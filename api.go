@@ -1,0 +1,247 @@
+package repro
+
+import (
+	"math/big"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/db"
+	"repro/internal/measures"
+	"repro/internal/probdb"
+	"repro/internal/query"
+	"repro/internal/relevance"
+)
+
+// Re-exported core types. The internal packages hold the implementations;
+// this facade is the supported public surface.
+type (
+	// Database is a set of facts partitioned into exogenous and endogenous.
+	Database = db.Database
+	// Fact is a ground atom R(c1, ..., ck).
+	Fact = db.Fact
+	// Const is a database constant.
+	Const = db.Const
+	// CQ is a conjunctive query with safe negation (CQ¬).
+	CQ = query.CQ
+	// UCQ is a union of CQ¬s.
+	UCQ = query.UCQ
+	// Atom is a possibly negated query atom.
+	Atom = query.Atom
+	// Term is a variable or constant in an atom.
+	Term = query.Term
+	// Binding maps query variables to constants.
+	Binding = query.Binding
+	// BooleanQuery is the common evaluation interface of CQ and UCQ.
+	BooleanQuery = query.BooleanQuery
+	// Solver computes Shapley values, dispatching on the dichotomies.
+	Solver = core.Solver
+	// ShapleyValue is a computed value with its method.
+	ShapleyValue = core.ShapleyValue
+	// Classification locates a query in the paper's dichotomies.
+	Classification = core.Classification
+	// MCResult is a Monte-Carlo estimate.
+	MCResult = core.MCResult
+	// ExoShapStage is one step of the ExoShap transformation.
+	ExoShapStage = core.ExoShapStage
+	// ProbDatabase is a tuple-independent probabilistic database.
+	ProbDatabase = probdb.ProbDatabase
+	// NonHierarchicalPath witnesses the Theorem 4.3 hardness condition.
+	NonHierarchicalPath = query.NonHierarchicalPath
+	// Triplet is a non-hierarchical triplet of atoms.
+	Triplet = query.Triplet
+)
+
+// Shapley computation methods.
+const (
+	MethodHierarchical = core.MethodHierarchical
+	MethodExoShap      = core.MethodExoShap
+	MethodBruteForce   = core.MethodBruteForce
+)
+
+// Errors surfaced by the solvers.
+var (
+	ErrNotSelfJoinFree       = core.ErrNotSelfJoinFree
+	ErrNotHierarchical       = core.ErrNotHierarchical
+	ErrIntractable           = core.ErrIntractable
+	ErrNotEndogenous         = core.ErrNotEndogenous
+	ErrExoViolated           = core.ErrExoViolated
+	ErrNotPolarityConsistent = relevance.ErrNotPolarityConsistent
+)
+
+// NewDatabase returns an empty database.
+func NewDatabase() *Database { return db.New() }
+
+// NewFact builds a fact from a relation symbol and string constants.
+func NewFact(rel string, args ...string) Fact { return db.F(rel, args...) }
+
+// ParseDatabase reads the textual database format ("exo R(a)" / "endo S(b)"
+// lines).
+func ParseDatabase(text string) (*Database, error) { return db.Parse(text) }
+
+// MustParseDatabase is ParseDatabase that panics on error.
+func MustParseDatabase(text string) *Database { return db.MustParse(text) }
+
+// ParseFact parses "R(c1, c2)".
+func ParseFact(s string) (Fact, error) { return db.ParseFact(s) }
+
+// ParseQuery reads a CQ¬ in rule syntax, e.g.
+// "q() :- Stud(x), !TA(x), Reg(x, y)".
+func ParseQuery(src string) (*CQ, error) { return query.Parse(src) }
+
+// MustParseQuery is ParseQuery that panics on error.
+func MustParseQuery(src string) *CQ { return query.MustParse(src) }
+
+// ParseUCQ reads a union of CQ¬s separated by '|' or newlines.
+func ParseUCQ(src string) (*UCQ, error) { return query.ParseUCQ(src) }
+
+// MustParseUCQ is ParseUCQ that panics on error.
+func MustParseUCQ(src string) *UCQ { return query.MustParseUCQ(src) }
+
+// Classify applies the dichotomies of Theorems 3.1 and 4.3 to q with the
+// declared exogenous relations (nil for none).
+func Classify(q *CQ, exoRelations map[string]bool) Classification {
+	return core.Classify(q, exoRelations)
+}
+
+// BruteForceShapley computes Shapley(D, q, f) by subset enumeration — the
+// definitional ground truth, exponential in the number of endogenous facts.
+func BruteForceShapley(d *Database, q BooleanQuery, f Fact) (*big.Rat, error) {
+	return core.BruteForceShapley(d, q, f)
+}
+
+// ShapleyHierarchical runs the polynomial-time exact algorithm for a
+// hierarchical self-join-free CQ¬ (Theorem 3.1, positive side).
+func ShapleyHierarchical(d *Database, q *CQ, f Fact) (*big.Rat, error) {
+	return core.ShapleyHierarchical(d, q, f)
+}
+
+// SatCountVector computes |Sat(D, q, k)| for k = 0..|Dn| (Lemma 3.2).
+func SatCountVector(d *Database, q *CQ) ([]*big.Int, error) {
+	return core.SatCountVector(d, q)
+}
+
+// ExoShapTransform applies the Algorithm 1 preprocessing pipeline,
+// returning the transformed instance, the hierarchical query, and the
+// intermediate stages.
+func ExoShapTransform(d *Database, q *CQ, exoRelations map[string]bool) (*Database, *CQ, []ExoShapStage, error) {
+	return core.ExoShapTransform(d, q, exoRelations)
+}
+
+// MonteCarloShapley estimates the Shapley value within additive error ε
+// with probability 1−δ (the §5.1 additive FPRAS).
+func MonteCarloShapley(d *Database, q BooleanQuery, f Fact, eps, delta float64, rng *rand.Rand) (MCResult, error) {
+	return core.MonteCarloShapley(d, q, f, eps, delta, rng)
+}
+
+// MonteCarloShapleyN estimates from a fixed number of sampled permutations.
+func MonteCarloShapleyN(d *Database, q BooleanQuery, f Fact, samples int, rng *rand.Rand) (MCResult, error) {
+	return core.MonteCarloShapleyN(d, q, f, samples, rng)
+}
+
+// HoeffdingSamples returns the sample count sufficient for an additive
+// (ε, δ)-approximation.
+func HoeffdingSamples(eps, delta float64) (int, error) {
+	return core.HoeffdingSamples(eps, delta)
+}
+
+// IsRelevant decides relevance (Definition 5.2) for a polarity-consistent
+// CQ¬ in polynomial time (Proposition 5.7; Algorithms 2 and 3). For such
+// queries this coincides with Shapley(D, q, f) ≠ 0.
+func IsRelevant(d *Database, q *CQ, f Fact) (bool, error) {
+	return relevance.IsRelevant(d, q, f)
+}
+
+// IsPosRelevant decides positive relevance (Algorithm 2).
+func IsPosRelevant(d *Database, q *CQ, f Fact) (bool, error) {
+	return relevance.IsPosRelevant(d, q, f)
+}
+
+// IsNegRelevant decides negative relevance (Algorithm 3).
+func IsNegRelevant(d *Database, q *CQ, f Fact) (bool, error) {
+	return relevance.IsNegRelevant(d, q, f)
+}
+
+// IsRelevantUCQ decides relevance to a polarity-consistent UCQ¬ in
+// polynomial time (§5.2).
+func IsRelevantUCQ(d *Database, u *UCQ, f Fact) (bool, error) {
+	return relevance.IsRelevantUCQ(d, u, f)
+}
+
+// IsRelevantBrute decides relevance for any Boolean query by subset
+// enumeration (exponential; the validation oracle).
+func IsRelevantBrute(d *Database, q BooleanQuery, f Fact) (bool, error) {
+	return relevance.IsRelevantBrute(d, q, f)
+}
+
+// ShapleyNonZero decides Shapley(D, q, f) ≠ 0 in polynomial time for
+// polarity-consistent CQ¬s.
+func ShapleyNonZero(d *Database, q *CQ, f Fact) (bool, error) {
+	return relevance.ShapleyNonZero(d, q, f)
+}
+
+// SatCountVectorUCQ computes |Sat(D, u, k)| for a relation-disjoint union
+// of hierarchical self-join-free CQ¬s.
+func SatCountVectorUCQ(d *Database, u *UCQ) ([]*big.Int, error) {
+	return core.SatCountVectorUCQ(d, u)
+}
+
+// ShapleyHierarchicalUCQ computes the exact Shapley value for a
+// relation-disjoint union of hierarchical self-join-free CQ¬s.
+func ShapleyHierarchicalUCQ(d *Database, u *UCQ, f Fact) (*big.Rat, error) {
+	return core.ShapleyHierarchicalUCQ(d, u, f)
+}
+
+// CriticalSubsets enumerates the witness subsets behind a Shapley value
+// (the families Appendix A enumerates by hand), split into false→true and
+// true→false directions. Exponential; for explanation on small databases.
+func CriticalSubsets(d *Database, q BooleanQuery, f Fact) (posE, negE [][]Fact, err error) {
+	return core.CriticalSubsets(d, q, f)
+}
+
+// NewProbDatabase returns an empty tuple-independent probabilistic database.
+func NewProbDatabase() *ProbDatabase { return probdb.New() }
+
+// LiftedProbabilityUCQ computes P(D ⊨ u) exactly for a relation-disjoint
+// union of hierarchical self-join-free CQ¬s.
+func LiftedProbabilityUCQ(pd *ProbDatabase, u *UCQ) (*big.Rat, error) {
+	return probdb.LiftedProbabilityUCQ(pd, u)
+}
+
+// LiftedProbability computes P(D ⊨ q) exactly for a hierarchical
+// self-join-free CQ¬.
+func LiftedProbability(pd *ProbDatabase, q *CQ) (*big.Rat, error) {
+	return probdb.LiftedProbability(pd, q)
+}
+
+// ProbEvalWithDeterministic evaluates P(D ⊨ q) with deterministic relations
+// per Theorem 4.10.
+func ProbEvalWithDeterministic(pd *ProbDatabase, q *CQ, deterministic map[string]bool) (*big.Rat, error) {
+	return probdb.EvalWithDeterministic(pd, q, deterministic)
+}
+
+// ExpectedCount returns E[#distinct answers of q] over a tuple-independent
+// database, by linearity of expectation with exact lifted inference.
+func ExpectedCount(pd *ProbDatabase, q *CQ) (*big.Rat, error) {
+	return probdb.ExpectedCount(pd, q)
+}
+
+// ExpectedSum returns E[Σ of the numeric head variable sumVar over distinct
+// answers of q].
+func ExpectedSum(pd *ProbDatabase, q *CQ, sumVar string) (*big.Rat, error) {
+	return probdb.ExpectedSum(pd, q, sumVar)
+}
+
+// CausalEffect computes Salimi et al.'s causal effect of f on q (the §1
+// baseline measure): the difference in expected query value between
+// assuming f present and absent, with other endogenous facts kept with
+// probability 1/2.
+func CausalEffect(d *Database, q *CQ, f Fact) (*big.Rat, error) {
+	return measures.CausalEffect(d, q, f)
+}
+
+// Responsibility computes Meliou et al.'s responsibility of f for q on D:
+// 1/(1+|Γ|) for the smallest contingency set Γ making f counterfactual,
+// and 0 if none exists.
+func Responsibility(d *Database, q *CQ, f Fact) (*big.Rat, error) {
+	return measures.Responsibility(d, q, f)
+}

@@ -1,0 +1,164 @@
+package repro
+
+import (
+	"errors"
+	"math/big"
+	"math/rand"
+	"testing"
+)
+
+const universityText = `
+exo  Stud(Adam)
+exo  Stud(Ben)
+exo  Stud(Caroline)
+exo  Stud(David)
+endo TA(Adam)
+endo TA(Ben)
+endo TA(David)
+exo  Course(OS, EE)
+exo  Course(IC, EE)
+exo  Course(DB, CS)
+exo  Course(AI, CS)
+endo Reg(Adam, OS)
+endo Reg(Adam, AI)
+endo Reg(Ben, OS)
+endo Reg(Caroline, DB)
+endo Reg(Caroline, IC)
+exo  Adv(Michael, Adam)
+exo  Adv(Michael, Ben)
+exo  Adv(Naomi, Caroline)
+exo  Adv(Michael, David)
+`
+
+func TestPublicAPIEndToEnd(t *testing.T) {
+	d, err := ParseDatabase(universityText)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := ParseQuery("q1() :- Stud(x), !TA(x), Reg(x, y)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := Classify(q, nil)
+	if !c.Tractable || !c.Hierarchical {
+		t.Fatalf("q1 classification: %+v", c)
+	}
+	solver := &Solver{}
+	vals, err := solver.ShapleyAll(d, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vals) != 8 {
+		t.Fatalf("got %d values", len(vals))
+	}
+	want, _ := new(big.Rat).SetString("-3/28")
+	for _, v := range vals {
+		if v.Fact.Key() == "TA(Adam)" && v.Value.Cmp(want) != 0 {
+			t.Fatalf("Shapley(TA(Adam)) = %s, want -3/28", v.Value.RatString())
+		}
+	}
+}
+
+func TestPublicAPIDispatchAndErrors(t *testing.T) {
+	d := MustParseDatabase(universityText)
+	q2 := MustParseQuery("q2() :- Stud(x), !TA(x), Reg(x, y), !Course(y, CS)")
+	s := &Solver{}
+	if _, err := s.Shapley(d, q2, NewFact("TA", "Adam")); !errors.Is(err, ErrIntractable) {
+		t.Fatalf("want ErrIntractable, got %v", err)
+	}
+	s.ExoRelations = map[string]bool{"Stud": true, "Course": true}
+	v, err := s.Shapley(d, q2, NewFact("TA", "Adam"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Method != MethodExoShap {
+		t.Fatalf("method %v, want ExoShap", v.Method)
+	}
+	brute, err := BruteForceShapley(d, q2, NewFact("TA", "Adam"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Value.Cmp(brute) != 0 {
+		t.Fatalf("ExoShap %s != brute %s", v.Value.RatString(), brute.RatString())
+	}
+}
+
+func TestPublicAPIRelevanceAndApproximation(t *testing.T) {
+	d := MustParseDatabase(universityText)
+	q := MustParseQuery("q1() :- Stud(x), !TA(x), Reg(x, y)")
+	rel, err := IsRelevant(d, q, NewFact("TA", "David"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel {
+		t.Fatal("TA(David) is irrelevant")
+	}
+	nz, err := ShapleyNonZero(d, q, NewFact("TA", "Adam"))
+	if err != nil || !nz {
+		t.Fatalf("ShapleyNonZero(TA(Adam)) = %v, %v", nz, err)
+	}
+	n, err := HoeffdingSamples(0.2, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := MonteCarloShapleyN(d, q, NewFact("Reg", "Caroline", "DB"), n, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact := 13.0 / 42.0
+	if res.Estimate < exact-0.2 || res.Estimate > exact+0.2 {
+		t.Fatalf("estimate %.4f too far from 13/42", res.Estimate)
+	}
+}
+
+func TestPublicAPIProbabilistic(t *testing.T) {
+	pd := NewProbDatabase()
+	pd.MustAdd(NewFact("R", "a"), big.NewRat(1, 2))
+	pd.MustAdd(NewFact("S", "a"), big.NewRat(1, 4))
+	q := MustParseQuery("q() :- R(x), !S(x)")
+	p, err := LiftedProbability(pd, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Cmp(big.NewRat(3, 8)) != 0 {
+		t.Fatalf("P = %s, want 3/8", p.RatString())
+	}
+}
+
+func TestPublicAPISatCountAndTransform(t *testing.T) {
+	d := MustParseDatabase(universityText)
+	q := MustParseQuery("q1() :- Stud(x), !TA(x), Reg(x, y)")
+	sat, err := SatCountVector(d, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sat) != d.NumEndo()+1 {
+		t.Fatalf("sat vector length %d", len(sat))
+	}
+	q2 := MustParseQuery("q2() :- Stud(x), !TA(x), Reg(x, y), !Course(y, CS)")
+	_, tq, stages, err := ExoShapTransform(d, q2, map[string]bool{"Stud": true, "Course": true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tq.IsHierarchical() || len(stages) != 4 {
+		t.Fatalf("transform: hierarchical=%v stages=%d", tq.IsHierarchical(), len(stages))
+	}
+}
+
+func TestPublicAPIUCQ(t *testing.T) {
+	u := MustParseUCQ("qa() :- R(x), !T(x) | qb() :- S(x, y), !T(y)")
+	d := NewDatabase()
+	d.MustAddEndo(NewFact("R", "a"))
+	d.MustAddEndo(NewFact("T", "a"))
+	rel, err := IsRelevantUCQ(d, u, NewFact("R", "a"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	brute, err := IsRelevantBrute(d, u, NewFact("R", "a"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel != brute {
+		t.Fatalf("UCQ relevance %v != brute %v", rel, brute)
+	}
+}

@@ -1,0 +1,225 @@
+package repro
+
+import (
+	"fmt"
+	"io"
+	"math/big"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/paperex"
+	"repro/internal/probdb"
+	"repro/internal/query"
+	"repro/internal/relevance"
+	"repro/internal/workload"
+)
+
+// --- one benchmark per paper artifact (see DESIGN.md's experiment index) ---
+
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	e, ok := experiments.ByID(id)
+	if !ok {
+		b.Fatalf("unknown experiment %s", id)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := e.Run(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE01RunningExample(b *testing.B)  { benchExperiment(b, "E01") }
+func BenchmarkE02Dichotomy(b *testing.B)       { benchExperiment(b, "E02") }
+func BenchmarkE03NonHierPath(b *testing.B)     { benchExperiment(b, "E03") }
+func BenchmarkE04ExoShap(b *testing.B)         { benchExperiment(b, "E04") }
+func BenchmarkE05ExoDichotomy(b *testing.B)    { benchExperiment(b, "E05") }
+func BenchmarkE06ProbDB(b *testing.B)          { benchExperiment(b, "E06") }
+func BenchmarkE07GapExplicit(b *testing.B)     { benchExperiment(b, "E07") }
+func BenchmarkE08GapGeneric(b *testing.B)      { benchExperiment(b, "E08") }
+func BenchmarkE09FPRAS(b *testing.B)           { benchExperiment(b, "E09") }
+func BenchmarkE10RelevanceHard(b *testing.B)   { benchExperiment(b, "E10") }
+func BenchmarkE11SatChain(b *testing.B)        { benchExperiment(b, "E11") }
+func BenchmarkE12RelevancePoly(b *testing.B)   { benchExperiment(b, "E12") }
+func BenchmarkE13UCQRelevance(b *testing.B)    { benchExperiment(b, "E13") }
+func BenchmarkE14ISReduction(b *testing.B)     { benchExperiment(b, "E14") }
+func BenchmarkE15ZeroRelevant(b *testing.B)    { benchExperiment(b, "E15") }
+func BenchmarkE16NegationDuality(b *testing.B) { benchExperiment(b, "E16") }
+func BenchmarkE17Aggregates(b *testing.B)      { benchExperiment(b, "E17") }
+func BenchmarkE18SelfJoin(b *testing.B)        { benchExperiment(b, "E18") }
+func BenchmarkE19Measures(b *testing.B)        { benchExperiment(b, "E19") }
+
+// --- scaling benchmarks for the polynomial algorithms ---
+
+func universityInstance(students int) *Database {
+	return workload.University(workload.UniversityConfig{
+		Students: students, Courses: 8, RegPerStudent: 2, TAFraction: 0.4, Seed: 7,
+	})
+}
+
+func BenchmarkHierarchicalShapley(b *testing.B) {
+	q1 := paperex.Q1()
+	for _, students := range []int{10, 40, 160} {
+		d := universityInstance(students)
+		f := d.EndoFacts()[0]
+		b.Run(fmt.Sprintf("students=%d/endo=%d", students, d.NumEndo()), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := core.ShapleyHierarchical(d, q1, f); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkSatCountVector(b *testing.B) {
+	q1 := paperex.Q1()
+	for _, students := range []int{10, 40, 160} {
+		d := universityInstance(students)
+		b.Run(fmt.Sprintf("students=%d", students), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := core.SatCountVector(d, q1); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// Ablation: the polynomial counting algorithm vs the exponential
+// definitional computation on the same instance (DESIGN.md ablation item).
+func BenchmarkAblationCntSatVsBrute(b *testing.B) {
+	q1 := paperex.Q1()
+	d := workload.University(workload.UniversityConfig{
+		Students: 6, Courses: 4, RegPerStudent: 1, TAFraction: 0.5, Seed: 11,
+	})
+	f := d.EndoFacts()[0]
+	b.Run(fmt.Sprintf("cntsat/endo=%d", d.NumEndo()), func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := core.ShapleyHierarchical(d, q1, f); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run(fmt.Sprintf("brute/endo=%d", d.NumEndo()), func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := core.BruteForceShapley(d, q1, f); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// Ablation: greedy join planning vs declaration-order joins in the
+// homomorphism evaluator.
+func BenchmarkAblationJoinOrder(b *testing.B) {
+	// Declaration order puts the large Reg relation first; the greedy plan
+	// starts from the small filtered relations.
+	q := query.MustParse("q() :- Reg(x, y), Stud(x), !TA(x), Course(y, CS)")
+	d := universityInstance(120)
+	count := func(enum func(*Database, func(query.Binding) bool)) int {
+		n := 0
+		enum(d, func(query.Binding) bool { n++; return true })
+		return n
+	}
+	want := count(q.ForEachHomomorphism)
+	if got := count(q.ForEachHomomorphismOrdered); got != want {
+		b.Fatalf("ablation variants disagree: %d vs %d", got, want)
+	}
+	b.Run("greedy", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			q.ForEachHomomorphism(d, func(query.Binding) bool { return true })
+		}
+	})
+	b.Run("declaration-order", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			q.ForEachHomomorphismOrdered(d, func(query.Binding) bool { return true })
+		}
+	})
+}
+
+// Ablation: exact polynomial computation vs Monte-Carlo estimation.
+func BenchmarkAblationMCVsExact(b *testing.B) {
+	q1 := paperex.Q1()
+	d := universityInstance(40)
+	f := d.EndoFacts()[0]
+	b.Run("exact", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := core.ShapleyHierarchical(d, q1, f); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("mc1000", func(b *testing.B) {
+		rng := rand.New(rand.NewSource(1))
+		for i := 0; i < b.N; i++ {
+			if _, err := core.MonteCarloShapleyN(d, q1, f, 1000, rng); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func BenchmarkExoShapTransform(b *testing.B) {
+	d := paperex.RunningExample()
+	q2 := paperex.Q2()
+	exo := map[string]bool{"Stud": true, "Course": true}
+	for i := 0; i < b.N; i++ {
+		if _, _, _, err := core.ExoShapTransform(d, q2, exo); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRelevancePoly(b *testing.B) {
+	q1 := paperex.Q1()
+	d := universityInstance(40)
+	f := d.EndoFacts()[0]
+	for i := 0; i < b.N; i++ {
+		if _, err := relevance.IsRelevant(d, q1, f); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEvalQ1(b *testing.B) {
+	q1 := paperex.Q1()
+	d := universityInstance(160)
+	for i := 0; i < b.N; i++ {
+		q1.Eval(d)
+	}
+}
+
+func BenchmarkLiftedProbability(b *testing.B) {
+	q1 := paperex.Q1()
+	d := universityInstance(40)
+	pd := probdb.New()
+	for _, f := range d.Facts() {
+		if d.IsEndogenous(f) {
+			pd.MustAdd(f, big.NewRat(1, 2))
+		} else {
+			pd.MustAdd(f, big.NewRat(1, 1))
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := probdb.LiftedProbability(pd, q1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMonteCarloSample(b *testing.B) {
+	d := paperex.RunningExample()
+	q1 := paperex.Q1()
+	f := NewFact("TA", "Adam")
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < b.N; i++ {
+		if _, err := core.MonteCarloShapleyN(d, q1, f, 100, rng); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,63 @@
+// Command experiments regenerates the paper's figures and quantitative
+// claims (the experiment index in DESIGN.md). Each experiment prints its
+// table and fails loudly if a paper-derived expectation is violated.
+//
+// Usage:
+//
+//	experiments            # run everything
+//	experiments -run E07   # run one experiment
+//	experiments -list      # list experiments
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		runIDs = flag.String("run", "", "comma-separated experiment IDs (default: all)")
+		list   = flag.Bool("list", false, "list available experiments")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Printf("%s  %-60s (%s)\n", e.ID, e.Title, e.Paper)
+		}
+		return
+	}
+
+	var selected []experiments.Experiment
+	if *runIDs == "" {
+		selected = experiments.All()
+	} else {
+		for _, id := range strings.Split(*runIDs, ",") {
+			e, ok := experiments.ByID(strings.TrimSpace(id))
+			if !ok {
+				fmt.Fprintf(os.Stderr, "experiments: unknown experiment %q\n", id)
+				os.Exit(1)
+			}
+			selected = append(selected, e)
+		}
+	}
+
+	failed := 0
+	for _, e := range selected {
+		fmt.Printf("== %s: %s ==\n", e.ID, e.Title)
+		fmt.Printf("reproduces: %s\n\n", e.Paper)
+		if err := e.Run(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "\n%s FAILED: %v\n", e.ID, err)
+			failed++
+		}
+		fmt.Println()
+	}
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "experiments: %d experiment(s) failed\n", failed)
+		os.Exit(1)
+	}
+}

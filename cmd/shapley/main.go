@@ -1,0 +1,176 @@
+// Command shapley computes Shapley values, classifications and relevance
+// for facts of a database with respect to a CQ¬, from the command line.
+//
+// Usage:
+//
+//	shapley -db university.db -query 'q() :- Stud(x), !TA(x), Reg(x, y)'
+//	shapley -db university.db -query-file q.cq -mode classify -exo Stud,Course
+//	shapley -db university.db -query '...' -fact 'TA(Adam)' -mode relevance
+//	shapley -db university.db -query '...' -mode mc -eps 0.1 -delta 0.05
+//
+// Database files contain one fact per line: "exo R(a, b)" or "endo S(c)".
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"strings"
+
+	"repro"
+)
+
+func main() {
+	var (
+		dbPath    = flag.String("db", "", "path to the database file (required)")
+		queryStr  = flag.String("query", "", "CQ¬ in rule syntax")
+		queryFile = flag.String("query-file", "", "file containing the query")
+		exoList   = flag.String("exo", "", "comma-separated exogenous relations (the set X of Theorem 4.3)")
+		factStr   = flag.String("fact", "", "single fact to analyze (default: all endogenous facts)")
+		mode      = flag.String("mode", "shapley", "shapley | classify | relevance | mc | satcount | measures")
+		brute     = flag.Bool("brute-force", false, "allow exponential brute force on intractable queries")
+		eps       = flag.Float64("eps", 0.1, "additive error for -mode mc")
+		delta     = flag.Float64("delta", 0.05, "failure probability for -mode mc")
+		seed      = flag.Int64("seed", 1, "random seed for -mode mc")
+	)
+	flag.Parse()
+	if err := run(os.Stdout, *dbPath, *queryStr, *queryFile, *exoList, *factStr, *mode, *brute, *eps, *delta, *seed); err != nil {
+		fmt.Fprintln(os.Stderr, "shapley:", err)
+		os.Exit(1)
+	}
+}
+
+func run(w io.Writer, dbPath, queryStr, queryFile, exoList, factStr, mode string, brute bool, eps, delta float64, seed int64) error {
+	if dbPath == "" {
+		return fmt.Errorf("-db is required")
+	}
+	raw, err := os.ReadFile(dbPath)
+	if err != nil {
+		return err
+	}
+	d, err := repro.ParseDatabase(string(raw))
+	if err != nil {
+		return err
+	}
+	if queryFile != "" {
+		qraw, err := os.ReadFile(queryFile)
+		if err != nil {
+			return err
+		}
+		queryStr = strings.TrimSpace(string(qraw))
+	}
+	if queryStr == "" {
+		return fmt.Errorf("-query or -query-file is required")
+	}
+	q, err := repro.ParseQuery(queryStr)
+	if err != nil {
+		return err
+	}
+	exo := map[string]bool{}
+	if exoList != "" {
+		for _, r := range strings.Split(exoList, ",") {
+			exo[strings.TrimSpace(r)] = true
+		}
+	}
+	facts := d.EndoFacts()
+	if factStr != "" {
+		f, err := repro.ParseFact(factStr)
+		if err != nil {
+			return err
+		}
+		facts = []repro.Fact{f}
+	}
+
+	switch mode {
+	case "classify":
+		c := repro.Classify(q, exo)
+		fmt.Fprintf(w, "query:                 %s\n", q)
+		fmt.Fprintf(w, "self-join-free:        %v\n", c.SelfJoinFree)
+		fmt.Fprintf(w, "hierarchical:          %v\n", c.Hierarchical)
+		fmt.Fprintf(w, "polarity consistent:   %v\n", c.PolarityConsistent)
+		fmt.Fprintf(w, "non-hierarchical path: %v\n", c.HasNonHierPath)
+		if c.PathWitness != nil {
+			fmt.Fprintf(w, "  witness: %s→%s via %v\n", c.PathWitness.X, c.PathWitness.Y, c.PathWitness.Path)
+		}
+		if c.Tractable {
+			fmt.Fprintln(w, "verdict: exact Shapley computation is polynomial (Theorems 3.1/4.3)")
+		} else {
+			fmt.Fprintln(w, "verdict: exact Shapley computation is FP#P-complete (Theorems 3.1/4.3)")
+		}
+		return nil
+
+	case "shapley":
+		solver := &repro.Solver{ExoRelations: exo, AllowBruteForce: brute}
+		for _, f := range facts {
+			v, err := solver.Shapley(d, q, f)
+			if err != nil {
+				return fmt.Errorf("%s: %w", f, err)
+			}
+			fmt.Fprintf(w, "%-30s %s [%s]\n", f.Key(), v.Value.RatString(), v.Method)
+		}
+		return nil
+
+	case "relevance":
+		for _, f := range facts {
+			var rel bool
+			var err error
+			if q.IsPolarityConsistent() {
+				rel, err = repro.IsRelevant(d, q, f)
+			} else if brute {
+				rel, err = repro.IsRelevantBrute(d, q, f)
+			} else {
+				return fmt.Errorf("%s is not polarity consistent; pass -brute-force for the exponential check", q.Name())
+			}
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(w, "%-30s relevant=%v\n", f.Key(), rel)
+		}
+		return nil
+
+	case "mc":
+		rng := rand.New(rand.NewSource(seed))
+		for _, f := range facts {
+			res, err := repro.MonteCarloShapley(d, q, f, eps, delta, rng)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(w, "%-30s %+.5f (n=%d, ±%.3g with prob ≥ %.3g)\n", f.Key(), res.Estimate, res.Samples, eps, 1-delta)
+		}
+		return nil
+
+	case "satcount":
+		sat, err := repro.SatCountVector(d, q)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(w, "k  |Sat(D,q,k)|")
+		for k, c := range sat {
+			fmt.Fprintf(w, "%-3d%s\n", k, c)
+		}
+		return nil
+
+	case "measures":
+		solver := &repro.Solver{ExoRelations: exo, AllowBruteForce: brute}
+		fmt.Fprintf(w, "%-30s %12s %15s %15s\n", "fact", "Shapley", "causal effect", "responsibility")
+		for _, f := range facts {
+			sv, err := solver.Shapley(d, q, f)
+			if err != nil {
+				return fmt.Errorf("%s: %w", f, err)
+			}
+			ce, err := repro.CausalEffect(d, q, f)
+			if err != nil {
+				return err
+			}
+			rho, err := repro.Responsibility(d, q, f)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(w, "%-30s %12s %15s %15s\n", f.Key(), sv.Value.RatString(), ce.RatString(), rho.RatString())
+		}
+		return nil
+	}
+	return fmt.Errorf("unknown mode %q", mode)
+}

@@ -1,0 +1,143 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+const dbFile = "testdata/university.db"
+
+func TestRunShapleyMode(t *testing.T) {
+	var buf bytes.Buffer
+	err := run(&buf, dbFile, "q1() :- Stud(x), !TA(x), Reg(x, y)", "", "", "", "shapley", false, 0.1, 0.05, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"TA(Adam)", "-3/28", "13/42", "[hierarchical]"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunSingleFact(t *testing.T) {
+	var buf bytes.Buffer
+	err := run(&buf, dbFile, "q1() :- Stud(x), !TA(x), Reg(x, y)", "", "", "TA(Ben)", "shapley", false, 0.1, 0.05, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "-2/35") || strings.Contains(out, "TA(Adam)") {
+		t.Errorf("single-fact output wrong:\n%s", out)
+	}
+}
+
+func TestRunClassifyMode(t *testing.T) {
+	var buf bytes.Buffer
+	q2 := "q2() :- Stud(x), !TA(x), Reg(x, y), !Course(y, CS)"
+	if err := run(&buf, dbFile, q2, "", "", "", "classify", false, 0.1, 0.05, 1); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "FP#P-complete") {
+		t.Errorf("q2 without declarations must classify hard:\n%s", buf.String())
+	}
+	buf.Reset()
+	if err := run(&buf, dbFile, q2, "", "Stud,Course", "", "classify", false, 0.1, 0.05, 1); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "polynomial") {
+		t.Errorf("q2 with X={Stud,Course} must classify tractable:\n%s", buf.String())
+	}
+}
+
+func TestRunExoShapMode(t *testing.T) {
+	var buf bytes.Buffer
+	q2 := "q2() :- Stud(x), !TA(x), Reg(x, y), !Course(y, CS)"
+	if err := run(&buf, dbFile, q2, "", "Stud,Course", "TA(Adam)", "shapley", false, 0.1, 0.05, 1); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "[exoshap]") {
+		t.Errorf("expected the ExoShap method:\n%s", buf.String())
+	}
+}
+
+func TestRunRelevanceMode(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, dbFile, "q1() :- Stud(x), !TA(x), Reg(x, y)", "", "", "TA(David)", "relevance", false, 0.1, 0.05, 1); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "relevant=false") {
+		t.Errorf("TA(David) should be irrelevant:\n%s", buf.String())
+	}
+}
+
+func TestRunMCMode(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, dbFile, "q1() :- Stud(x), !TA(x), Reg(x, y)", "", "", "TA(Adam)", "mc", false, 0.3, 0.2, 1); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "n=") {
+		t.Errorf("mc output missing sample count:\n%s", buf.String())
+	}
+}
+
+func TestRunSatCountMode(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, dbFile, "q1() :- Stud(x), !TA(x), Reg(x, y)", "", "", "", "satcount", false, 0.1, 0.05, 1); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "|Sat(D,q,k)|") {
+		t.Errorf("satcount output wrong:\n%s", buf.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var buf bytes.Buffer
+	cases := []struct {
+		name string
+		call func() error
+	}{
+		{"missing db", func() error {
+			return run(&buf, "", "q() :- R(x)", "", "", "", "shapley", false, 0.1, 0.05, 1)
+		}},
+		{"missing query", func() error {
+			return run(&buf, dbFile, "", "", "", "", "shapley", false, 0.1, 0.05, 1)
+		}},
+		{"bad query", func() error {
+			return run(&buf, dbFile, "nonsense", "", "", "", "shapley", false, 0.1, 0.05, 1)
+		}},
+		{"bad mode", func() error {
+			return run(&buf, dbFile, "q() :- Stud(x)", "", "", "", "zzz", false, 0.1, 0.05, 1)
+		}},
+		{"bad fact", func() error {
+			return run(&buf, dbFile, "q() :- Stud(x)", "", "", "garbage", "shapley", false, 0.1, 0.05, 1)
+		}},
+		{"intractable without fallback", func() error {
+			return run(&buf, dbFile, "q2() :- Stud(x), !TA(x), Reg(x, y), !Course(y, CS)", "", "", "", "shapley", false, 0.1, 0.05, 1)
+		}},
+		{"relevance needs polarity consistency", func() error {
+			return run(&buf, dbFile, "q() :- Reg(x, y), !Reg(y, x)", "", "", "", "relevance", false, 0.1, 0.05, 1)
+		}},
+		{"missing db file", func() error {
+			return run(&buf, "testdata/nope.db", "q() :- Stud(x)", "", "", "", "shapley", false, 0.1, 0.05, 1)
+		}},
+	}
+	for _, c := range cases {
+		if err := c.call(); err == nil {
+			t.Errorf("%s: expected error", c.name)
+		}
+	}
+}
+
+func TestRunBruteForceFallback(t *testing.T) {
+	var buf bytes.Buffer
+	q2 := "q2() :- Stud(x), !TA(x), Reg(x, y), !Course(y, CS)"
+	if err := run(&buf, dbFile, q2, "", "", "TA(Adam)", "shapley", true, 0.1, 0.05, 1); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "[brute-force]") {
+		t.Errorf("expected brute-force method:\n%s", buf.String())
+	}
+}

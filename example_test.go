@@ -1,0 +1,80 @@
+package repro_test
+
+import (
+	"fmt"
+	"math/big"
+
+	"repro"
+)
+
+// The paper's running example: exact Shapley values for q1 on Figure 1's
+// database, reproducing Example 2.3.
+func ExampleSolver_ShapleyAll() {
+	d := repro.MustParseDatabase(`
+exo  Stud(Adam)
+exo  Stud(Caroline)
+endo TA(Adam)
+endo Reg(Adam, OS)
+endo Reg(Caroline, DB)
+`)
+	q := repro.MustParseQuery("q1() :- Stud(x), !TA(x), Reg(x, y)")
+	solver := &repro.Solver{}
+	values, err := solver.ShapleyAll(d, q)
+	if err != nil {
+		panic(err)
+	}
+	for _, v := range values {
+		fmt.Printf("%s %s\n", v.Fact, v.Value.RatString())
+	}
+	// Output:
+	// TA(Adam) -1/6
+	// Reg(Adam,OS) 1/3
+	// Reg(Caroline,DB) 5/6
+}
+
+// Classification according to the paper's dichotomies: q2 is FP#P-hard in
+// general but becomes polynomial once Stud and Course are declared
+// exogenous (Theorem 4.3).
+func ExampleClassify() {
+	q2 := repro.MustParseQuery("q2() :- Stud(x), !TA(x), Reg(x, y), !Course(y, CS)")
+	plain := repro.Classify(q2, nil)
+	declared := repro.Classify(q2, map[string]bool{"Stud": true, "Course": true})
+	fmt.Println(plain.Tractable, declared.Tractable)
+	// Output:
+	// false true
+}
+
+// Relevance (Definition 5.2) for a polarity-consistent query is decidable
+// in polynomial time and coincides with the Shapley value being nonzero.
+func ExampleIsRelevant() {
+	d := repro.MustParseDatabase(`
+exo  Stud(Ben)
+endo TA(Ben)
+`)
+	q := repro.MustParseQuery("q() :- Stud(x), !TA(x), Reg(x, y)")
+	rel, err := repro.IsRelevant(d, q, repro.NewFact("TA", "Ben"))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(rel)
+	// Output:
+	// false
+}
+
+// Exact probabilistic query evaluation over a tuple-independent database
+// (§4.3): P(∃x R(x) ∧ ¬S(x)) with independent tuples.
+func ExampleLiftedProbability() {
+	pd := repro.NewProbDatabase()
+	pd.MustAdd(repro.NewFact("R", "a"), ratio(1, 2))
+	pd.MustAdd(repro.NewFact("S", "a"), ratio(1, 4))
+	q := repro.MustParseQuery("q() :- R(x), !S(x)")
+	p, err := repro.LiftedProbability(pd, q)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(p.RatString())
+	// Output:
+	// 3/8
+}
+
+func ratio(a, b int64) *big.Rat { return big.NewRat(a, b) }

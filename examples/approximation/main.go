@@ -1,0 +1,94 @@
+// Approximation: why negation breaks multiplicative approximation (§5).
+// The additive Monte-Carlo FPRAS works fine, but the §5.1 gap construction
+// makes the true value exponentially small while nonzero — indistinguishable
+// from zero with polynomially many samples.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/big"
+	"math/rand"
+
+	"repro"
+)
+
+func main() {
+	// Part 1: the additive FPRAS on the running example.
+	d := repro.MustParseDatabase(`
+exo  Stud(Adam)
+exo  Stud(Ben)
+endo TA(Adam)
+endo Reg(Adam, OS)
+endo Reg(Adam, AI)
+endo Reg(Ben, OS)
+`)
+	q := repro.MustParseQuery("q() :- Stud(x), !TA(x), Reg(x, y)")
+	f := repro.NewFact("TA", "Adam")
+	exact, err := repro.ShapleyHierarchical(d, q, f)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("exact Shapley(TA(Adam)) = %s\n", exact.RatString())
+	rng := rand.New(rand.NewSource(1))
+	for _, eps := range []float64{0.2, 0.1, 0.05} {
+		res, err := repro.MonteCarloShapley(d, q, f, eps, 0.05, rng)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  ε=%.2f: estimate %+.4f from %6d samples\n", eps, res.Estimate, res.Samples)
+	}
+
+	// Part 2: the gap-property violation. For q() :- R(x), S(x,y), ¬R(y)
+	// the §5.1 database makes Shapley(f) = n!·n!/(2n+1)! ≤ 2^-n.
+	gapQ := repro.MustParseQuery("q() :- R(x), S(x, y), !R(y)")
+	fmt.Printf("\ngap construction for %s:\n", gapQ)
+	for _, n := range []int{2, 4, 8, 16} {
+		val := gapValue(n)
+		dec, _ := val.Float64()
+		fmt.Printf("  n=%2d: Shapley(f) = %.3g  (nonzero, but below 2^-%d)\n", n, dec, n)
+	}
+
+	// At n=8 the value is ~1/24310: 2000 samples almost surely report 0.
+	dGap, fGap := gapDatabase(8)
+	res, err := repro.MonteCarloShapleyN(dGap, gapQ, fGap, 2000, rng)
+	if err != nil {
+		log.Fatal(err)
+	}
+	val := gapValue(8)
+	dec, _ := val.Float64()
+	fmt.Printf("\nn=8: exact value %.3g, Monte-Carlo estimate from 2000 samples: %v\n", dec, res.Estimate)
+	fmt.Println("An additive scheme cannot certify nonzeroness here — the reason a")
+	fmt.Println("multiplicative FPRAS does not follow from sampling once negation is present.")
+}
+
+// gapValue returns n!·n!/(2n+1)!.
+func gapValue(n int) *big.Rat {
+	fact := func(k int) *big.Int {
+		out := big.NewInt(1)
+		for i := 2; i <= k; i++ {
+			out.Mul(out, big.NewInt(int64(i)))
+		}
+		return out
+	}
+	return new(big.Rat).SetFrac(new(big.Int).Mul(fact(n), fact(n)), fact(2*n+1))
+}
+
+// gapDatabase builds the §5.1 instance: S(x_i, y_i) exogenous for
+// i = 0..2n, R(x_i) exogenous and R(y_i) endogenous for i = 1..n, and
+// R(x_i) endogenous for i ∈ {0, n+1..2n}; f = R(x_0).
+func gapDatabase(n int) (*repro.Database, repro.Fact) {
+	d := repro.NewDatabase()
+	for i := 0; i <= 2*n; i++ {
+		d.MustAddExo(repro.NewFact("S", fmt.Sprintf("x%d", i), fmt.Sprintf("y%d", i)))
+	}
+	for i := 1; i <= n; i++ {
+		d.MustAddExo(repro.NewFact("R", fmt.Sprintf("x%d", i)))
+		d.MustAddEndo(repro.NewFact("R", fmt.Sprintf("y%d", i)))
+	}
+	d.MustAddEndo(repro.NewFact("R", "x0"))
+	for i := n + 1; i <= 2*n; i++ {
+		d.MustAddEndo(repro.NewFact("R", fmt.Sprintf("x%d", i)))
+	}
+	return d, repro.NewFact("R", "x0")
+}

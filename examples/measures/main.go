@@ -1,0 +1,56 @@
+// Measures: side-by-side comparison of the three contribution measures the
+// paper's introduction discusses — responsibility (Meliou et al.), causal
+// effect (Salimi et al.) and the Shapley value — on the running example.
+// All three share the endogenous/exogenous fact model; the Shapley value is
+// the only one that is efficient (values sum to q(D) − q(Dx)).
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/big"
+
+	"repro"
+)
+
+func main() {
+	d := repro.MustParseDatabase(`
+exo  Stud(Adam)
+exo  Stud(Ben)
+exo  Stud(Caroline)
+exo  Stud(David)
+endo TA(Adam)
+endo TA(Ben)
+endo TA(David)
+endo Reg(Adam, OS)
+endo Reg(Adam, AI)
+endo Reg(Ben, OS)
+endo Reg(Caroline, DB)
+endo Reg(Caroline, IC)
+`)
+	q := repro.MustParseQuery("q1() :- Stud(x), !TA(x), Reg(x, y)")
+	solver := &repro.Solver{}
+
+	fmt.Printf("query: %s\n\n", q)
+	fmt.Printf("%-20s %12s %15s %15s\n", "fact", "Shapley", "causal effect", "responsibility")
+	shapleySum := new(big.Rat)
+	for _, f := range d.EndoFacts() {
+		sv, err := solver.Shapley(d, q, f)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ce, err := repro.CausalEffect(d, q, f)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rho, err := repro.Responsibility(d, q, f)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-20s %12s %15s %15s\n", f, sv.Value.RatString(), ce.RatString(), rho.RatString())
+		shapleySum.Add(shapleySum, sv.Value)
+	}
+	fmt.Printf("\nShapley values sum to %s = q(D) - q(Dx) (efficiency);\n", shapleySum.RatString())
+	fmt.Println("causal effect and responsibility are not efficient, and responsibility")
+	fmt.Println("is sign-blind: it cannot tell helpful facts (Reg) from harmful ones (TA).")
+}

@@ -1,0 +1,81 @@
+// Relevance: deciding whether a fact can matter at all (§5.2). For
+// polarity-consistent queries relevance is polynomial and coincides with
+// "Shapley value ≠ 0" (Proposition 5.7); with mixed polarity, relevance and
+// Shapley zeroness come apart (Example 5.3) and deciding them is NP-hard in
+// general (Propositions 5.5 and 5.8).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	// Part 1: polarity-consistent query — polynomial relevance.
+	d := repro.MustParseDatabase(`
+exo  Stud(Adam)
+exo  Stud(Ben)
+exo  Stud(Caroline)
+endo TA(Adam)
+endo TA(Ben)
+endo Reg(Adam, OS)
+endo Reg(Caroline, DB)
+`)
+	q := repro.MustParseQuery("q() :- Stud(x), !TA(x), Reg(x, y)")
+	fmt.Printf("query %s (polarity consistent: %v)\n\n", q, q.IsPolarityConsistent())
+	for _, f := range d.EndoFacts() {
+		pos, err := repro.IsPosRelevant(d, q, f)
+		if err != nil {
+			log.Fatal(err)
+		}
+		neg, err := repro.IsNegRelevant(d, q, f)
+		if err != nil {
+			log.Fatal(err)
+		}
+		nonzero, err := repro.ShapleyNonZero(d, q, f)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-18s pos-relevant=%-5v neg-relevant=%-5v Shapley≠0=%v\n", f, pos, neg, nonzero)
+	}
+	fmt.Println("\nReg facts are only ever positively relevant, TA facts only negatively —")
+	fmt.Println("and TA(Ben) is irrelevant because Ben never registered.")
+
+	// Part 2: Example 5.3 — relevance without contribution.
+	d2 := repro.NewDatabase()
+	d2.MustAddEndo(repro.NewFact("R", "1", "2"))
+	d2.MustAddEndo(repro.NewFact("R", "2", "1"))
+	q2 := repro.MustParseQuery("q() :- R(x, y), !R(y, x)")
+	f := repro.NewFact("R", "1", "2")
+	rel, err := repro.IsRelevantBrute(d2, q2, f)
+	if err != nil {
+		log.Fatal(err)
+	}
+	v, err := repro.BruteForceShapley(d2, q2, f)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nExample 5.3: %s over {R(1,2), R(2,1)}\n", q2)
+	fmt.Printf("  R(1,2): relevant=%v but Shapley=%s — positive and negative roles cancel.\n",
+		rel, v.RatString())
+
+	// Part 3: a polarity-consistent UCQ¬ keeps relevance polynomial (§5.2);
+	// the paper's qSAT shows the disjunct-wise property is not enough.
+	u := repro.MustParseUCQ(`
+qa() :- Works(x, y), !Retired(x)
+qb() :- Owns(x, z), !Retired(x)`)
+	d3 := repro.NewDatabase()
+	d3.MustAddEndo(repro.NewFact("Works", "ann", "acme"))
+	d3.MustAddEndo(repro.NewFact("Retired", "ann"))
+	d3.MustAddExo(repro.NewFact("Owns", "ann", "shop"))
+	fmt.Printf("\nunion %s\n", u)
+	for _, f := range d3.EndoFacts() {
+		rel, err := repro.IsRelevantUCQ(d3, u, f)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-22s relevant=%v\n", f, rel)
+	}
+}

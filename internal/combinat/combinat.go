@@ -1,0 +1,167 @@
+// Package combinat provides exact combinatorial arithmetic over math/big
+// integers and rationals: factorials, binomial coefficients, vector
+// convolutions over subset-size-indexed counts, and the Shapley permutation
+// weights k!(m-1-k)!/m!.
+//
+// All Shapley computations in this repository are exact; this package is the
+// shared arithmetic substrate. Factorials and binomials are cached behind a
+// mutex so concurrent benchmarks can share the tables.
+package combinat
+
+import (
+	"math/big"
+	"sync"
+)
+
+var (
+	factMu    sync.Mutex
+	factCache = []*big.Int{big.NewInt(1)} // factCache[i] = i!
+)
+
+// Factorial returns n! as a fresh big.Int. It panics if n < 0.
+func Factorial(n int) *big.Int {
+	if n < 0 {
+		panic("combinat: negative factorial")
+	}
+	factMu.Lock()
+	for len(factCache) <= n {
+		i := len(factCache)
+		next := new(big.Int).Mul(factCache[i-1], big.NewInt(int64(i)))
+		factCache = append(factCache, next)
+	}
+	out := new(big.Int).Set(factCache[n])
+	factMu.Unlock()
+	return out
+}
+
+// Binomial returns C(n, k) as a fresh big.Int. Out-of-range k yields 0.
+func Binomial(n, k int) *big.Int {
+	if k < 0 || n < 0 || k > n {
+		return new(big.Int)
+	}
+	return new(big.Int).Binomial(int64(n), int64(k))
+}
+
+// BinomialVector returns the vector [C(n,0), C(n,1), ..., C(n,n)].
+func BinomialVector(n int) []*big.Int {
+	out := make([]*big.Int, n+1)
+	for k := 0; k <= n; k++ {
+		out[k] = Binomial(n, k)
+	}
+	return out
+}
+
+// ZeroVector returns a vector of n+1 zero big.Ints (indices 0..n).
+func ZeroVector(n int) []*big.Int {
+	out := make([]*big.Int, n+1)
+	for i := range out {
+		out[i] = new(big.Int)
+	}
+	return out
+}
+
+// Convolve returns the convolution c[k] = sum_j a[j]*b[k-j] of two
+// subset-count vectors. If a counts j-subsets of a ground set A with some
+// property and b counts j-subsets of a disjoint ground set B, the result
+// counts k-subsets of A ∪ B whose A-part and B-part both have the property.
+func Convolve(a, b []*big.Int) []*big.Int {
+	if len(a) == 0 || len(b) == 0 {
+		return nil
+	}
+	out := ZeroVector(len(a) + len(b) - 2)
+	tmp := new(big.Int)
+	for i, ai := range a {
+		if ai.Sign() == 0 {
+			continue
+		}
+		for j, bj := range b {
+			if bj.Sign() == 0 {
+				continue
+			}
+			tmp.Mul(ai, bj)
+			out[i+j].Add(out[i+j], tmp)
+		}
+	}
+	return out
+}
+
+// ConvolveAll folds Convolve over a list of vectors. An empty list yields
+// the identity vector [1] (the unique 0-subset of the empty set).
+func ConvolveAll(vs [][]*big.Int) []*big.Int {
+	acc := []*big.Int{big.NewInt(1)}
+	for _, v := range vs {
+		acc = Convolve(acc, v)
+	}
+	return acc
+}
+
+// ComplementVector returns [C(n,k) - v[k]] for k = 0..n; i.e. if v counts
+// the k-subsets of an n-element set with some property, the result counts
+// those without it. It panics if len(v) != n+1 or some entry exceeds C(n,k).
+func ComplementVector(v []*big.Int, n int) []*big.Int {
+	if len(v) != n+1 {
+		panic("combinat: complement vector length mismatch")
+	}
+	out := make([]*big.Int, n+1)
+	for k := 0; k <= n; k++ {
+		out[k] = new(big.Int).Sub(Binomial(n, k), v[k])
+		if out[k].Sign() < 0 {
+			panic("combinat: subset count exceeds binomial bound")
+		}
+	}
+	return out
+}
+
+// ShapleyWeight returns k!(m-1-k)!/m!, the probability that, in a uniformly
+// random permutation of m players, a fixed player is preceded by a fixed set
+// of k players. It panics unless 0 <= k < m.
+func ShapleyWeight(k, m int) *big.Rat {
+	if k < 0 || m <= 0 || k >= m {
+		panic("combinat: ShapleyWeight requires 0 <= k < m")
+	}
+	num := Factorial(k)
+	num.Mul(num, Factorial(m-1-k))
+	return new(big.Rat).SetFrac(num, Factorial(m))
+}
+
+// WeightedDifference returns sum_k ShapleyWeight(k, m) * (with[k] - without[k]).
+// with and without must each have at least m entries (indices 0..m-1 are
+// used); this is the Shapley value reconstruction from |Sat| count vectors.
+func WeightedDifference(with, without []*big.Int, m int) *big.Rat {
+	total := new(big.Rat)
+	if m == 0 {
+		return total
+	}
+	diff := new(big.Int)
+	term := new(big.Rat)
+	for k := 0; k < m; k++ {
+		var w, wo *big.Int
+		if k < len(with) {
+			w = with[k]
+		} else {
+			w = new(big.Int)
+		}
+		if k < len(without) {
+			wo = without[k]
+		} else {
+			wo = new(big.Int)
+		}
+		diff.Sub(w, wo)
+		if diff.Sign() == 0 {
+			continue
+		}
+		term.SetInt(diff)
+		term.Mul(term, ShapleyWeight(k, m))
+		total.Add(total, term)
+	}
+	return total
+}
+
+// SumVector returns the sum of all entries of v.
+func SumVector(v []*big.Int) *big.Int {
+	out := new(big.Int)
+	for _, x := range v {
+		out.Add(out, x)
+	}
+	return out
+}

@@ -1,0 +1,214 @@
+package combinat
+
+import (
+	"math/big"
+	"testing"
+	"testing/quick"
+)
+
+func TestFactorialSmall(t *testing.T) {
+	want := []int64{1, 1, 2, 6, 24, 120, 720, 5040}
+	for n, w := range want {
+		if got := Factorial(n); got.Int64() != w {
+			t.Errorf("Factorial(%d) = %s, want %d", n, got, w)
+		}
+	}
+}
+
+func TestFactorialDoesNotAliasCache(t *testing.T) {
+	a := Factorial(5)
+	a.SetInt64(-1)
+	if got := Factorial(5); got.Int64() != 120 {
+		t.Fatalf("cache corrupted: Factorial(5) = %s after mutation", got)
+	}
+}
+
+func TestBinomialEdgeCases(t *testing.T) {
+	cases := []struct {
+		n, k int
+		want int64
+	}{
+		{0, 0, 1}, {5, 0, 1}, {5, 5, 1}, {5, 2, 10}, {5, 3, 10},
+		{5, 6, 0}, {5, -1, 0}, {-1, 0, 0}, {10, 4, 210},
+	}
+	for _, c := range cases {
+		if got := Binomial(c.n, c.k); got.Int64() != c.want {
+			t.Errorf("Binomial(%d,%d) = %s, want %d", c.n, c.k, got, c.want)
+		}
+	}
+}
+
+func TestBinomialPascal(t *testing.T) {
+	// C(n,k) = C(n-1,k-1) + C(n-1,k), checked via testing/quick.
+	f := func(n8, k8 uint8) bool {
+		n := int(n8%40) + 1
+		k := int(k8) % (n + 1)
+		lhs := Binomial(n, k)
+		rhs := new(big.Int).Add(Binomial(n-1, k-1), Binomial(n-1, k))
+		return lhs.Cmp(rhs) == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBinomialVectorSumsToPowerOfTwo(t *testing.T) {
+	for n := 0; n <= 12; n++ {
+		v := BinomialVector(n)
+		sum := SumVector(v)
+		want := new(big.Int).Lsh(big.NewInt(1), uint(n))
+		if sum.Cmp(want) != 0 {
+			t.Errorf("sum of BinomialVector(%d) = %s, want %s", n, sum, want)
+		}
+	}
+}
+
+func intVec(xs ...int64) []*big.Int {
+	out := make([]*big.Int, len(xs))
+	for i, x := range xs {
+		out[i] = big.NewInt(x)
+	}
+	return out
+}
+
+func TestConvolveBasic(t *testing.T) {
+	// (1 + x)^2 * (1 + x) = 1 + 3x + 3x^2 + x^3
+	got := Convolve(intVec(1, 2, 1), intVec(1, 1))
+	want := intVec(1, 3, 3, 1)
+	if len(got) != len(want) {
+		t.Fatalf("length %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i].Cmp(want[i]) != 0 {
+			t.Errorf("coefficient %d = %s, want %s", i, got[i], want[i])
+		}
+	}
+}
+
+func TestConvolveBinomialIdentity(t *testing.T) {
+	// Vandermonde: conv(C(a,·), C(b,·)) = C(a+b,·).
+	f := func(a8, b8 uint8) bool {
+		a, b := int(a8%15), int(b8%15)
+		got := Convolve(BinomialVector(a), BinomialVector(b))
+		want := BinomialVector(a + b)
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range want {
+			if got[i].Cmp(want[i]) != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestConvolveAllIdentity(t *testing.T) {
+	got := ConvolveAll(nil)
+	if len(got) != 1 || got[0].Int64() != 1 {
+		t.Fatalf("ConvolveAll(nil) = %v, want [1]", got)
+	}
+}
+
+func TestComplementVector(t *testing.T) {
+	v := intVec(1, 2, 0)
+	got := ComplementVector(v, 2)
+	want := intVec(0, 0, 1)
+	for i := range want {
+		if got[i].Cmp(want[i]) != 0 {
+			t.Errorf("complement[%d] = %s, want %s", i, got[i], want[i])
+		}
+	}
+}
+
+func TestComplementVectorPanicsOnOverflow(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for count exceeding binomial")
+		}
+	}()
+	ComplementVector(intVec(2, 0), 1)
+}
+
+func TestShapleyWeightsSumToOne(t *testing.T) {
+	// sum_k C(m-1,k) * k!(m-1-k)!/m! = 1: each subset size weighted by the
+	// number of subsets of that size partitions all permutations.
+	for m := 1; m <= 10; m++ {
+		total := new(big.Rat)
+		for k := 0; k < m; k++ {
+			w := ShapleyWeight(k, m)
+			w.Mul(w, new(big.Rat).SetInt(Binomial(m-1, k)))
+			total.Add(total, w)
+		}
+		if total.Cmp(big.NewRat(1, 1)) != 0 {
+			t.Errorf("m=%d: weights sum to %s, want 1", m, total)
+		}
+	}
+}
+
+func TestShapleyWeightExample(t *testing.T) {
+	// 1!*6!/8! from Example 2.3's calculation.
+	got := ShapleyWeight(1, 8)
+	want := big.NewRat(720, 40320)
+	if got.Cmp(want) != 0 {
+		t.Fatalf("ShapleyWeight(1,8) = %s, want %s", got, want)
+	}
+}
+
+func TestShapleyWeightPanics(t *testing.T) {
+	for _, c := range []struct{ k, m int }{{-1, 3}, {3, 3}, {0, 0}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("ShapleyWeight(%d,%d) should panic", c.k, c.m)
+				}
+			}()
+			ShapleyWeight(c.k, c.m)
+		}()
+	}
+}
+
+func TestWeightedDifference(t *testing.T) {
+	// m=2, with=[1,?], without=[0,?]: value = 0!*1!/2! * 1 = 1/2.
+	got := WeightedDifference(intVec(1, 0), intVec(0, 0), 2)
+	if got.Cmp(big.NewRat(1, 2)) != 0 {
+		t.Fatalf("got %s, want 1/2", got)
+	}
+	// Short vectors are treated as zero-padded.
+	got = WeightedDifference(intVec(1), intVec(0), 3)
+	if got.Cmp(big.NewRat(1, 3)) != 0 {
+		t.Fatalf("got %s, want 1/3", got)
+	}
+	if w := WeightedDifference(nil, nil, 0); w.Sign() != 0 {
+		t.Fatalf("m=0 should give 0, got %s", w)
+	}
+}
+
+func TestZeroVector(t *testing.T) {
+	v := ZeroVector(3)
+	if len(v) != 4 {
+		t.Fatalf("length %d, want 4", len(v))
+	}
+	for i, x := range v {
+		if x.Sign() != 0 {
+			t.Errorf("entry %d = %s, want 0", i, x)
+		}
+	}
+}
+
+func BenchmarkFactorial100(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		Factorial(100)
+	}
+}
+
+func BenchmarkConvolve64(b *testing.B) {
+	v := BinomialVector(64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Convolve(v, v)
+	}
+}

@@ -1,0 +1,166 @@
+package core
+
+import (
+	"fmt"
+	"math/big"
+
+	"repro/internal/combinat"
+	"repro/internal/db"
+	"repro/internal/query"
+)
+
+// Aggregate Shapley values (the §3 remark): for a numerical query
+// α(D') = Σ over distinct answers ā of q(x̄) of weight(ā), the game
+// v(E) = α(Dx ∪ E) − α(Dx) is a linear combination of the Boolean games of
+// the grounded queries q[x̄ → ā]; by linearity of the Shapley value,
+//
+//	Shapley_α(D, f) = Σ_ā weight(ā) · Shapley(D, q[x̄→ā], f).
+//
+// The candidate answers are the head projections of homomorphisms of the
+// positive part of q into the full database: with safe negation, any answer
+// over Dx ∪ E embeds its positive atoms into D, so this set is exhaustive.
+// Grounding head variables preserves self-join-freeness and hierarchy, so
+// each Boolean Shapley value is computed by the dichotomy-driven Solver.
+
+// CountShapley computes the Shapley value of f for the aggregate
+// Count{ x̄ | q } counting distinct answers of q (head variables required).
+func (s *Solver) CountShapley(d *db.Database, q *query.CQ, f db.Fact) (*big.Rat, error) {
+	return s.aggregateShapley(d, q, f, func([]db.Const) (*big.Rat, error) {
+		return big.NewRat(1, 1), nil
+	})
+}
+
+// SumShapley computes the Shapley value of f for the aggregate
+// Sum{ v | q } where v is one of q's head variables whose bindings must be
+// integer constants.
+func (s *Solver) SumShapley(d *db.Database, q *query.CQ, sumVar string, f db.Fact) (*big.Rat, error) {
+	pos := -1
+	for i, h := range q.Head {
+		if h == sumVar {
+			pos = i
+			break
+		}
+	}
+	if pos < 0 {
+		return nil, fmt.Errorf("core: sum variable %s is not a head variable of %s", sumVar, q.Name())
+	}
+	return s.aggregateShapley(d, q, f, func(row []db.Const) (*big.Rat, error) {
+		w, ok := new(big.Rat).SetString(string(row[pos]))
+		if !ok {
+			return nil, fmt.Errorf("core: non-numeric value %q for sum variable %s", row[pos], sumVar)
+		}
+		return w, nil
+	})
+}
+
+func (s *Solver) aggregateShapley(d *db.Database, q *query.CQ, f db.Fact, weight func([]db.Const) (*big.Rat, error)) (*big.Rat, error) {
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	if len(q.Head) == 0 {
+		return nil, fmt.Errorf("core: aggregate query %s must have head variables", q.Name())
+	}
+	if !d.IsEndogenous(f) {
+		return nil, fmt.Errorf("%w: %s", ErrNotEndogenous, f)
+	}
+	// Candidate answers: positive part of q over the full database.
+	posPart := q.SubQuery(q.Positive())
+	posPart.Head = append([]string(nil), q.Head...)
+	answers := posPart.Answers(d)
+
+	total := new(big.Rat)
+	for _, row := range answers {
+		ground := q.Clone()
+		ground.Label = fmt.Sprintf("%s@%v", q.Name(), row)
+		for i, x := range q.Head {
+			ground = ground.SubstituteVar(x, row[i])
+		}
+		ground.Head = nil
+		sv, err := s.Shapley(d, ground, f)
+		if err != nil {
+			return nil, fmt.Errorf("core: grounded query %s: %w", ground.Name(), err)
+		}
+		w, err := weight(row)
+		if err != nil {
+			return nil, err
+		}
+		total.Add(total, new(big.Rat).Mul(w, sv.Value))
+	}
+	return total, nil
+}
+
+// BruteForceAggregate computes the aggregate game's Shapley value directly
+// from the definition, for validating the linearity decomposition. The
+// aggregate is Σ over distinct answers of weight(answer).
+func BruteForceAggregate(d *db.Database, q *query.CQ, f db.Fact, weight func([]db.Const) (*big.Rat, error)) (*big.Rat, error) {
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	if !d.IsEndogenous(f) {
+		return nil, fmt.Errorf("%w: %s", ErrNotEndogenous, f)
+	}
+	endo := d.EndoFacts()
+	m := len(endo)
+	if m > 20 {
+		return nil, fmt.Errorf("core: %d endogenous facts exceed the aggregate brute-force limit", m)
+	}
+	fi := -1
+	for i, e := range endo {
+		if e.Key() == f.Key() {
+			fi = i
+		}
+	}
+	agg := func(mask uint64) (*big.Rat, error) {
+		sub := d.Restrict(func(_ db.Fact, endogenous bool) bool { return !endogenous })
+		for i, e := range endo {
+			if mask&(1<<uint(i)) != 0 {
+				sub.MustAddEndo(e)
+			}
+		}
+		out := new(big.Rat)
+		for _, row := range q.Answers(sub) {
+			w, err := weight(row)
+			if err != nil {
+				return nil, err
+			}
+			out.Add(out, w)
+		}
+		return out, nil
+	}
+	cache := make(map[uint64]*big.Rat)
+	cachedAgg := func(mask uint64) (*big.Rat, error) {
+		if v, ok := cache[mask]; ok {
+			return v, nil
+		}
+		v, err := agg(mask)
+		if err != nil {
+			return nil, err
+		}
+		cache[mask] = v
+		return v, nil
+	}
+	total := new(big.Rat)
+	fbit := uint64(1) << uint(fi)
+	for mask := uint64(0); mask < 1<<uint(m); mask++ {
+		if mask&fbit != 0 {
+			continue
+		}
+		with, err := cachedAgg(mask | fbit)
+		if err != nil {
+			return nil, err
+		}
+		without, err := cachedAgg(mask)
+		if err != nil {
+			return nil, err
+		}
+		diff := new(big.Rat).Sub(with, without)
+		if diff.Sign() == 0 {
+			continue
+		}
+		total.Add(total, diff.Mul(diff, combinat.ShapleyWeight(popcount(mask), m)))
+	}
+	return total, nil
+}
+
+// WeightOne is the Count weight function.
+func WeightOne([]db.Const) (*big.Rat, error) { return big.NewRat(1, 1), nil }

@@ -1,0 +1,136 @@
+package core
+
+import (
+	"math/big"
+	"math/rand"
+	"strconv"
+	"testing"
+
+	"repro/internal/db"
+	"repro/internal/query"
+)
+
+func aggregateFixture() (*db.Database, *query.CQ) {
+	d := db.MustParse(`
+endo Export(Wheat, Japan)
+endo Export(Rice, Japan)
+endo Export(Corn, France)
+exo  Grows(Japan, Rice)
+exo  Profit(Japan, Wheat, 10)
+exo  Profit(Japan, Rice, 7)
+exo  Profit(France, Corn, 5)
+`)
+	q := query.MustParse("q(p, c, r) :- Export(p, c), !Grows(c, p), Profit(c, p, r)")
+	return d, q
+}
+
+func TestSumShapleyAgainstBruteForce(t *testing.T) {
+	d, q := aggregateFixture()
+	s := &Solver{}
+	weight := func(row []db.Const) (*big.Rat, error) {
+		v, err := strconv.Atoi(string(row[2]))
+		if err != nil {
+			return nil, err
+		}
+		return big.NewRat(int64(v), 1), nil
+	}
+	for _, f := range d.EndoFacts() {
+		fast, err := s.SumShapley(d, q, "r", f)
+		if err != nil {
+			t.Fatalf("%s: %v", f, err)
+		}
+		slow, err := BruteForceAggregate(d, q, f, weight)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fast.Cmp(slow) != 0 {
+			t.Errorf("SumShapley(%s) = %s, brute force %s", f, fast.RatString(), slow.RatString())
+		}
+	}
+	// Each Export fact is the lone contributor to its profit rows:
+	// Export(Wheat,Japan) alone yields answer (Wheat,Japan,10) → value 10.
+	v, err := s.SumShapley(d, q, "r", db.F("Export", "Wheat", "Japan"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Cmp(big.NewRat(10, 1)) != 0 {
+		t.Errorf("Shapley for Export(Wheat,Japan) = %s, want 10", v.RatString())
+	}
+	// Export(Rice,Japan) is blocked by Grows(Japan,Rice): value 0.
+	v, err = s.SumShapley(d, q, "r", db.F("Export", "Rice", "Japan"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Sign() != 0 {
+		t.Errorf("Shapley for blocked export = %s, want 0", v.RatString())
+	}
+}
+
+func TestCountShapleyAgainstBruteForce(t *testing.T) {
+	// Count over q1 answers (x, y): how many registrations of non-TAs.
+	d := runningExample()
+	q := query.MustParse("q(x, y) :- Stud(x), !TA(x), Reg(x, y)")
+	s := &Solver{}
+	for _, f := range d.EndoFacts() {
+		fast, err := s.CountShapley(d, q, f)
+		if err != nil {
+			t.Fatalf("%s: %v", f, err)
+		}
+		slow, err := BruteForceAggregate(d, q, f, WeightOne)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fast.Cmp(slow) != 0 {
+			t.Errorf("CountShapley(%s) = %s, brute force %s", f, fast.RatString(), slow.RatString())
+		}
+	}
+}
+
+func TestCountShapleyRandom(t *testing.T) {
+	q := query.MustParse("q(x) :- R(x, y), !S(y)")
+	rng := rand.New(rand.NewSource(31))
+	s := &Solver{}
+	for trial := 0; trial < 6; trial++ {
+		d := randomInstance(rng, q, 3, 3, nil)
+		if d.NumEndo() == 0 || d.NumEndo() > 9 {
+			continue
+		}
+		for _, f := range d.EndoFacts() {
+			fast, err := s.CountShapley(d, q, f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			slow, err := BruteForceAggregate(d, q, f, WeightOne)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if fast.Cmp(slow) != 0 {
+				t.Fatalf("CountShapley(%s) = %s != brute %s\nDB:\n%s", f, fast.RatString(), slow.RatString(), d)
+			}
+		}
+	}
+}
+
+func TestAggregateErrors(t *testing.T) {
+	d, q := aggregateFixture()
+	s := &Solver{}
+	if _, err := s.SumShapley(d, q, "zz", db.F("Export", "Wheat", "Japan")); err == nil {
+		t.Fatal("unknown sum variable accepted")
+	}
+	boolean := query.MustParse("q() :- Export(p, c), !Grows(c, p)")
+	if _, err := s.CountShapley(d, boolean, db.F("Export", "Wheat", "Japan")); err == nil {
+		t.Fatal("aggregate over Boolean query accepted")
+	}
+	if _, err := s.CountShapley(d, q, db.F("Grows", "Japan", "Rice")); err == nil {
+		t.Fatal("exogenous fact accepted")
+	}
+	// Non-numeric sum values must error.
+	d2 := db.MustParse(`
+endo Export(Wheat, Japan)
+exo  Profit(Japan, Wheat, NotANumber)
+`)
+	q2 := query.MustParse("q(p, c, r) :- Export(p, c), Profit(c, p, r)")
+	if _, err := s.SumShapley(d2, q2, "r", db.F("Export", "Wheat", "Japan")); err == nil {
+		t.Fatal("non-numeric sum value accepted")
+	}
+}

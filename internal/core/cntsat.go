@@ -1,0 +1,216 @@
+package core
+
+import (
+	"fmt"
+	"math/big"
+	"sort"
+
+	"repro/internal/combinat"
+	"repro/internal/db"
+	"repro/internal/query"
+)
+
+// SatCountVector computes the vector sat[k] = |Sat(D, q, k)| for
+// k = 0..|Dn|: the number of k-subsets E of the endogenous facts such that
+// (Dx ∪ E) |= q. This is the CntSat algorithm of Livshits et al., extended
+// to safe negation per Lemma 3.2 (with the base case corrected for
+// endogenous negative facts; see DESIGN.md).
+//
+// q must be a self-join-free hierarchical CQ¬.
+func SatCountVector(d *db.Database, q *query.CQ) ([]*big.Int, error) {
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	if q.HasSelfJoin() {
+		return nil, ErrNotSelfJoinFree
+	}
+	if !q.IsHierarchical() {
+		return nil, ErrNotHierarchical
+	}
+	return cntSat(d, q)
+}
+
+// ShapleyHierarchical computes Shapley(D, q, f) in polynomial time for a
+// hierarchical self-join-free CQ¬ via the reduction to |Sat| counting:
+//
+//	Shapley(f) = Σ_k k!(m−1−k)!/m! · (|Sat(D+f, q, k)| − |Sat(D−f, q, k)|)
+//
+// where D+f moves f to the exogenous side and D−f removes it (both over the
+// remaining m−1 endogenous facts).
+func ShapleyHierarchical(d *db.Database, q *query.CQ, f db.Fact) (*big.Rat, error) {
+	if !d.IsEndogenous(f) {
+		return nil, fmt.Errorf("%w: %s", ErrNotEndogenous, f)
+	}
+	m := d.NumEndo()
+	dWith, err := d.WithExogenous(f)
+	if err != nil {
+		return nil, err
+	}
+	satWith, err := SatCountVector(dWith, q)
+	if err != nil {
+		return nil, err
+	}
+	dWithout, err := d.Without(f)
+	if err != nil {
+		return nil, err
+	}
+	satWithout, err := SatCountVector(dWithout, q)
+	if err != nil {
+		return nil, err
+	}
+	return combinat.WeightedDifference(satWith, satWithout, m), nil
+}
+
+// cntSat handles fact-relevance filtering, then delegates to cntSatCore.
+// A fact is relevant iff it can be the image of the (unique, by
+// self-join-freeness) atom over its relation; all other endogenous facts are
+// free fillers folded in by binomial convolution.
+func cntSat(d *db.Database, q *query.CQ) ([]*big.Int, error) {
+	atomOf := make(map[string]query.Atom)
+	for _, a := range q.Atoms {
+		atomOf[a.Rel] = a
+	}
+	relevant := db.New()
+	freeEndo := 0
+	for _, f := range d.Facts() {
+		a, inQuery := atomOf[f.Rel]
+		if inQuery && query.MatchesAtom(a, f) {
+			relevant.MustAdd(f, d.IsEndogenous(f))
+		} else if d.IsEndogenous(f) {
+			freeEndo++
+		}
+	}
+	core, err := cntSatCore(relevant, q)
+	if err != nil {
+		return nil, err
+	}
+	if freeEndo == 0 {
+		return core, nil
+	}
+	return combinat.Convolve(core, combinat.BinomialVector(freeEndo)), nil
+}
+
+// cntSatCore assumes every fact of d matches its atom's pattern.
+func cntSatCore(d *db.Database, q *query.CQ) ([]*big.Int, error) {
+	n := d.NumEndo()
+
+	// Disconnected query: the conjunction must hold componentwise, and the
+	// components touch disjoint relations (self-join-freeness), hence
+	// disjoint facts; satisfying counts convolve.
+	comps := q.AtomComponents()
+	if len(comps) > 1 {
+		vecs := make([][]*big.Int, 0, len(comps))
+		for _, comp := range comps {
+			sub := q.SubQuery(comp)
+			rels := make(map[string]bool)
+			for _, a := range sub.Atoms {
+				rels[a.Rel] = true
+			}
+			subDB := d.Restrict(func(f db.Fact, _ bool) bool { return rels[f.Rel] })
+			v, err := cntSat(subDB, sub)
+			if err != nil {
+				return nil, err
+			}
+			vecs = append(vecs, v)
+		}
+		out := combinat.ConvolveAll(vecs)
+		if len(out) != n+1 {
+			return nil, fmt.Errorf("core: internal error: component convolution length %d, want %d", len(out), n+1)
+		}
+		return out, nil
+	}
+
+	// Ground base case (single component with no variables means a single
+	// ground atom; but handle any all-ground conjunction defensively).
+	if len(q.Vars()) == 0 {
+		return groundBase(d, q)
+	}
+
+	// Connected with variables: a hierarchical connected query has a root
+	// variable occurring in every atom.
+	roots := q.RootVariables()
+	if len(roots) == 0 {
+		return nil, ErrNotHierarchical
+	}
+	x := roots[0]
+
+	// Partition facts by their x-value. Every atom contains x, and every
+	// fact matches its atom, so each fact determines a unique x-value.
+	posOf := make(map[string]int) // relation -> first position of x
+	for _, a := range q.Atoms {
+		for i, t := range a.Args {
+			if t.IsVar() && t.Var == x {
+				posOf[a.Rel] = i
+				break
+			}
+		}
+	}
+	buckets := make(map[db.Const]*db.Database)
+	var values []db.Const
+	for _, f := range d.Facts() {
+		v := f.Args[posOf[f.Rel]]
+		if buckets[v] == nil {
+			buckets[v] = db.New()
+			values = append(values, v)
+		}
+		buckets[v].MustAdd(f, d.IsEndogenous(f))
+	}
+	sort.Slice(values, func(i, j int) bool { return values[i] < values[j] })
+
+	// q = ∨_v q[x→v], where q[x→v] depends only on bucket v; count the
+	// subsets violating every disjunct by convolution and complement.
+	nonSat := make([][]*big.Int, 0, len(values))
+	for _, v := range values {
+		bucket := buckets[v]
+		sat, err := cntSat(bucket, q.SubstituteVar(x, v))
+		if err != nil {
+			return nil, err
+		}
+		nonSat = append(nonSat, combinat.ComplementVector(sat, bucket.NumEndo()))
+	}
+	allNonSat := combinat.ConvolveAll(nonSat)
+	out := make([]*big.Int, n+1)
+	for k := 0; k <= n; k++ {
+		out[k] = combinat.Binomial(n, k)
+		if k < len(allNonSat) {
+			out[k].Sub(out[k], allNonSat[k])
+		}
+	}
+	return out, nil
+}
+
+// groundBase counts satisfying k-subsets for an all-ground conjunction of
+// literals (the corrected Lemma 3.2 base case): with A+ the positive ground
+// atoms that are endogenous facts and A− the negative ground atoms that are
+// endogenous facts,
+//
+//	sat[k] = C(|Dn| − |A+| − |A−|, k − |A+|),
+//
+// and the count is 0 for all k when a positive atom is missing from D or a
+// negative atom is an exogenous fact.
+func groundBase(d *db.Database, q *query.CQ) ([]*big.Int, error) {
+	n := d.NumEndo()
+	zero := func() []*big.Int { return combinat.ZeroVector(n) }
+
+	mustHave := 0  // |A+|
+	mustAvoid := 0 // |A−|
+	for _, a := range q.Atoms {
+		f := a.GroundFact()
+		switch {
+		case !a.Negated && !d.Contains(f):
+			return zero(), nil
+		case !a.Negated && d.IsEndogenous(f):
+			mustHave++
+		case a.Negated && d.IsExogenous(f):
+			return zero(), nil
+		case a.Negated && d.IsEndogenous(f):
+			mustAvoid++
+		}
+	}
+	free := n - mustHave - mustAvoid
+	out := combinat.ZeroVector(n)
+	for k := mustHave; k <= mustHave+free && k <= n; k++ {
+		out[k] = combinat.Binomial(free, k-mustHave)
+	}
+	return out, nil
+}

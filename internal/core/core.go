@@ -1,0 +1,176 @@
+// Package core implements the paper's primary contribution: computing the
+// Shapley value of database facts for Boolean conjunctive queries with safe
+// negation (CQ¬).
+//
+// It provides:
+//   - the definitional ground truth (permutation and subset-sum brute force),
+//   - the polynomial-time exact algorithm for hierarchical self-join-free
+//     CQ¬s via the reduction to |Sat(D,q,k)| counting (Theorem 3.1,
+//     Lemma 3.2),
+//   - the ExoShap algorithm (Algorithm 1) extending tractability to every
+//     self-join-free CQ¬ without a non-hierarchical path when some relations
+//     are declared exogenous (Theorem 4.3),
+//   - a dichotomy-driven solver that picks the right algorithm (or reports
+//     FP#P-hardness),
+//   - the additive Monte-Carlo FPRAS of §5.1, and
+//   - aggregate (Count/Sum) Shapley values over CQ¬s by linearity (§3).
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/db"
+	"repro/internal/query"
+)
+
+// Errors reported by the exact algorithms.
+var (
+	// ErrNotSelfJoinFree: the exact algorithms require self-join-free queries.
+	ErrNotSelfJoinFree = errors.New("core: query has self-joins")
+	// ErrNotHierarchical: the CntSat algorithm requires a hierarchical query.
+	ErrNotHierarchical = errors.New("core: query is not hierarchical")
+	// ErrIntractable: the query falls on the FP#P-hard side of the dichotomy.
+	ErrIntractable = errors.New("core: query is FP#P-hard for exact Shapley computation (Theorems 3.1/4.3)")
+	// ErrNotEndogenous: Shapley values are defined for endogenous facts only.
+	ErrNotEndogenous = errors.New("core: fact is not an endogenous fact of the database")
+	// ErrExoViolated: a relation declared exogenous contains endogenous facts.
+	ErrExoViolated = errors.New("core: declared exogenous relation contains endogenous facts")
+)
+
+// Method identifies which algorithm produced a Shapley value.
+type Method int
+
+const (
+	// MethodHierarchical is the polynomial CntSat-based algorithm.
+	MethodHierarchical Method = iota
+	// MethodExoShap is ExoShap preprocessing followed by the hierarchical
+	// algorithm.
+	MethodExoShap
+	// MethodBruteForce is exponential subset enumeration.
+	MethodBruteForce
+)
+
+func (m Method) String() string {
+	switch m {
+	case MethodHierarchical:
+		return "hierarchical"
+	case MethodExoShap:
+		return "exoshap"
+	case MethodBruteForce:
+		return "brute-force"
+	}
+	return "?"
+}
+
+// Classification records where a query falls in the paper's dichotomies.
+type Classification struct {
+	SelfJoinFree       bool
+	Hierarchical       bool
+	HasNonHierPath     bool                       // w.r.t. the declared exogenous relations
+	PathWitness        *query.NonHierarchicalPath // set iff HasNonHierPath
+	PolarityConsistent bool
+	// Tractable reports polynomial-time exact computability per Theorem 4.3
+	// (which subsumes Theorem 3.1 when no relations are exogenous). It is
+	// only meaningful for self-join-free queries; with self-joins the
+	// dichotomy is open (§6) and Tractable is true only in the hierarchical
+	// case, which remains tractable regardless.
+	Tractable bool
+}
+
+// Classify applies the dichotomies of Theorems 3.1 and 4.3 to q with the
+// declared exogenous relations exo (may be nil).
+func Classify(q *query.CQ, exo map[string]bool) Classification {
+	c := Classification{
+		SelfJoinFree:       !q.HasSelfJoin(),
+		Hierarchical:       q.IsHierarchical(),
+		PolarityConsistent: q.IsPolarityConsistent(),
+	}
+	if w, ok := q.FindNonHierarchicalPath(exo); ok {
+		c.HasNonHierPath = true
+		c.PathWitness = &w
+	}
+	if c.Hierarchical {
+		c.Tractable = true
+	} else if c.SelfJoinFree && !c.HasNonHierPath {
+		c.Tractable = true
+	}
+	return c
+}
+
+// Solver computes Shapley values, selecting the algorithm the dichotomy
+// permits. The zero value is a valid solver with no exogenous relations and
+// no brute-force fallback.
+type Solver struct {
+	// ExoRelations declares the schema-level exogenous relations (the set X
+	// of §4). Every fact of these relations must be exogenous in the data.
+	ExoRelations map[string]bool
+	// AllowBruteForce enables exponential subset enumeration for queries on
+	// the intractable side (or with self-joins). Without it such queries
+	// yield ErrIntractable.
+	AllowBruteForce bool
+}
+
+// checkExo verifies the declared exogenous relations against the data.
+func (s *Solver) checkExo(d *db.Database) error {
+	for rel := range s.ExoRelations {
+		if d.RelationEndogenous(rel) {
+			return fmt.Errorf("%w: %s", ErrExoViolated, rel)
+		}
+	}
+	return nil
+}
+
+// Shapley computes Shapley(D, q, f) exactly, reporting the method used.
+func (s *Solver) Shapley(d *db.Database, q *query.CQ, f db.Fact) (*ShapleyValue, error) {
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	if !d.IsEndogenous(f) {
+		return nil, fmt.Errorf("%w: %s", ErrNotEndogenous, f)
+	}
+	if err := s.checkExo(d); err != nil {
+		return nil, err
+	}
+	c := Classify(q, s.ExoRelations)
+	switch {
+	case c.SelfJoinFree && c.Hierarchical:
+		v, err := ShapleyHierarchical(d, q, f)
+		if err != nil {
+			return nil, err
+		}
+		return &ShapleyValue{Fact: f, Value: v, Method: MethodHierarchical}, nil
+	case c.SelfJoinFree && !c.HasNonHierPath:
+		d2, q2, _, err := ExoShapTransform(d, q, s.ExoRelations)
+		if err != nil {
+			return nil, err
+		}
+		v, err := ShapleyHierarchical(d2, q2, f)
+		if err != nil {
+			return nil, err
+		}
+		return &ShapleyValue{Fact: f, Value: v, Method: MethodExoShap}, nil
+	case s.AllowBruteForce:
+		v, err := BruteForceShapley(d, q, f)
+		if err != nil {
+			return nil, err
+		}
+		return &ShapleyValue{Fact: f, Value: v, Method: MethodBruteForce}, nil
+	default:
+		return nil, ErrIntractable
+	}
+}
+
+// ShapleyAll computes the Shapley value of every endogenous fact.
+func (s *Solver) ShapleyAll(d *db.Database, q *query.CQ) ([]*ShapleyValue, error) {
+	facts := d.EndoFacts()
+	out := make([]*ShapleyValue, 0, len(facts))
+	for _, f := range facts {
+		v, err := s.Shapley(d, q, f)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}

@@ -1,0 +1,462 @@
+package core
+
+import (
+	"errors"
+	"math/big"
+	"math/rand"
+	"testing"
+
+	"repro/internal/combinat"
+	"repro/internal/db"
+	"repro/internal/query"
+)
+
+// runningExample mirrors Figure 1 (kept local to avoid an import cycle with
+// paperex, which is exercised in the experiments tests).
+func runningExample() *db.Database {
+	return db.MustParse(`
+exo  Stud(Adam)
+exo  Stud(Ben)
+exo  Stud(Caroline)
+exo  Stud(David)
+endo TA(Adam)
+endo TA(Ben)
+endo TA(David)
+exo  Course(OS, EE)
+exo  Course(IC, EE)
+exo  Course(DB, CS)
+exo  Course(AI, CS)
+endo Reg(Adam, OS)
+endo Reg(Adam, AI)
+endo Reg(Ben, OS)
+endo Reg(Caroline, DB)
+endo Reg(Caroline, IC)
+exo  Adv(Michael, Adam)
+exo  Adv(Michael, Ben)
+exo  Adv(Naomi, Caroline)
+exo  Adv(Michael, David)
+`)
+}
+
+var q1 = query.MustParse("q1() :- Stud(x), !TA(x), Reg(x, y)")
+
+var example23 = map[string]string{
+	"TA(Adam)":         "-3/28",
+	"TA(Ben)":          "-2/35",
+	"TA(David)":        "0",
+	"Reg(Adam,OS)":     "37/210",
+	"Reg(Adam,AI)":     "37/210",
+	"Reg(Ben,OS)":      "27/140",
+	"Reg(Caroline,DB)": "13/42",
+	"Reg(Caroline,IC)": "13/42",
+}
+
+func mustRat(t *testing.T, s string) *big.Rat {
+	t.Helper()
+	r, ok := new(big.Rat).SetString(s)
+	if !ok {
+		t.Fatalf("bad rational %q", s)
+	}
+	return r
+}
+
+func TestExample23HierarchicalExact(t *testing.T) {
+	d := runningExample()
+	for key, want := range example23 {
+		f, err := db.ParseFact(key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := ShapleyHierarchical(d, q1, f)
+		if err != nil {
+			t.Fatalf("%s: %v", key, err)
+		}
+		if got.Cmp(mustRat(t, want)) != 0 {
+			t.Errorf("Shapley(%s) = %s, want %s", key, got.RatString(), want)
+		}
+	}
+}
+
+func TestExample23BruteForceAgrees(t *testing.T) {
+	d := runningExample()
+	vals, err := BruteForceShapleyAll(d, q1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := new(big.Rat)
+	for _, v := range vals {
+		want, ok := example23[v.Fact.Key()]
+		if !ok {
+			t.Fatalf("unexpected endogenous fact %s", v.Fact)
+		}
+		if v.Value.Cmp(mustRat(t, want)) != 0 {
+			t.Errorf("brute Shapley(%s) = %s, want %s", v.Fact, v.Value.RatString(), want)
+		}
+		sum.Add(sum, v.Value)
+	}
+	// Efficiency: the values sum to q(D) − q(Dx) = 1 (noted in Example 2.3).
+	if sum.Cmp(big.NewRat(1, 1)) != 0 {
+		t.Errorf("sum of Shapley values = %s, want 1", sum.RatString())
+	}
+}
+
+func TestPermutationDefinitionAgrees(t *testing.T) {
+	d := runningExample()
+	for _, key := range []string{"TA(Ben)", "Reg(Ben,OS)"} {
+		f, _ := db.ParseFact(key)
+		perm, err := PermutationShapley(d, q1, f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if perm.Cmp(mustRat(t, example23[key])) != 0 {
+			t.Errorf("permutation Shapley(%s) = %s, want %s", key, perm.RatString(), example23[key])
+		}
+	}
+}
+
+// bruteSatCount enumerates |Sat(D,q,k)| directly, as ground truth for the
+// CntSat algorithm.
+func bruteSatCount(t *testing.T, d *db.Database, q *query.CQ) []*big.Int {
+	t.Helper()
+	endo := d.EndoFacts()
+	n := len(endo)
+	if n > 16 {
+		t.Fatalf("bruteSatCount: too many endogenous facts (%d)", n)
+	}
+	out := combinat.ZeroVector(n)
+	for mask := 0; mask < 1<<uint(n); mask++ {
+		sub := d.Restrict(func(_ db.Fact, e bool) bool { return !e })
+		k := 0
+		for i, f := range endo {
+			if mask&(1<<uint(i)) != 0 {
+				sub.MustAddEndo(f)
+				k++
+			}
+		}
+		if q.Eval(sub) {
+			out[k].Add(out[k], big.NewInt(1))
+		}
+	}
+	return out
+}
+
+func checkSatVector(t *testing.T, d *db.Database, q *query.CQ) {
+	t.Helper()
+	got, err := SatCountVector(d, q)
+	if err != nil {
+		t.Fatalf("SatCountVector(%s): %v", q, err)
+	}
+	want := bruteSatCount(t, d, q)
+	if len(got) != len(want) {
+		t.Fatalf("%s: length %d, want %d", q, len(got), len(want))
+	}
+	for k := range want {
+		if got[k].Cmp(want[k]) != 0 {
+			t.Fatalf("%s: sat[%d] = %s, want %s\nDB:\n%s", q, k, got[k], want[k], d)
+		}
+	}
+}
+
+func TestSatCountVectorRunningExample(t *testing.T) {
+	checkSatVector(t, runningExample(), q1)
+}
+
+func TestSatCountVectorGroundNegation(t *testing.T) {
+	// The corrected base case: q() :- Stud(C), ¬TA(C) with TA(C) endogenous
+	// has sat[0] = 1 (the paper's literal base case would give 0).
+	d := db.New()
+	d.MustAddExo(db.F("Stud", "C"))
+	d.MustAddEndo(db.F("TA", "C"))
+	q := query.MustParse("q() :- Stud(C), !TA(C)")
+	sat, err := SatCountVector(d, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sat[0].Int64() != 1 || sat[1].Int64() != 0 {
+		t.Fatalf("sat = [%s %s], want [1 0]", sat[0], sat[1])
+	}
+	checkSatVector(t, d, q)
+}
+
+// randomInstance builds a random database for the relations of q.
+func randomInstance(rng *rand.Rand, q *query.CQ, domSize, perRel int, exo map[string]bool) *db.Database {
+	d := db.New()
+	dom := make([]db.Const, domSize)
+	for i := range dom {
+		dom[i] = db.Const(string(rune('a' + i)))
+	}
+	arity := make(map[string]int)
+	for _, a := range q.Atoms {
+		arity[a.Rel] = len(a.Args)
+	}
+	for _, rel := range q.Relations() {
+		for i := 0; i < perRel; i++ {
+			args := make([]db.Const, arity[rel])
+			for j := range args {
+				args[j] = dom[rng.Intn(domSize)]
+			}
+			f := db.Fact{Rel: rel, Args: args}
+			if d.Contains(f) {
+				continue
+			}
+			endogenous := !exo[rel] && rng.Intn(3) > 0
+			d.MustAdd(f, endogenous)
+		}
+	}
+	return d
+}
+
+var hierarchicalQueries = []*query.CQ{
+	query.MustParse("h1() :- R(x), S(x, y)"),
+	query.MustParse("h2() :- R(x, y), !S(y)"),
+	query.MustParse("h3() :- R(x), S(x, y), !T(x, y)"),
+	query.MustParse("h4() :- R(x), !S(x), T(x, y), U(z)"),
+	query.MustParse("h5() :- R(x, x), !S(x, A)"),
+	query.MustParse("h6() :- Stud(x), !TA(x), Reg(x, y)"),
+	query.MustParse("h7() :- R(x), S(y)"),
+	query.MustParse("h8() :- R(x, y), !S(y, x)"),
+}
+
+func TestSatCountVectorRandomAgainstBrute(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, q := range hierarchicalQueries {
+		if !q.IsHierarchical() || q.HasSelfJoin() {
+			t.Fatalf("%s must be hierarchical and self-join-free", q)
+		}
+		for trial := 0; trial < 15; trial++ {
+			d := randomInstance(rng, q, 3, 4, nil)
+			if d.NumEndo() > 12 {
+				continue
+			}
+			checkSatVector(t, d, q)
+		}
+	}
+}
+
+func TestShapleyHierarchicalRandomAgainstBrute(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, q := range hierarchicalQueries {
+		for trial := 0; trial < 6; trial++ {
+			d := randomInstance(rng, q, 3, 3, nil)
+			if d.NumEndo() == 0 || d.NumEndo() > 10 {
+				continue
+			}
+			for _, f := range d.EndoFacts() {
+				fast, err := ShapleyHierarchical(d, q, f)
+				if err != nil {
+					t.Fatalf("%s %s: %v", q, f, err)
+				}
+				slow, err := BruteForceShapley(d, q, f)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if fast.Cmp(slow) != 0 {
+					t.Fatalf("%s: Shapley(%s) fast %s != brute %s\nDB:\n%s", q, f, fast.RatString(), slow.RatString(), d)
+				}
+			}
+		}
+	}
+}
+
+func TestEfficiencyAxiom(t *testing.T) {
+	// Σ_f Shapley(f) = q(D) − q(Dx) for every instance.
+	rng := rand.New(rand.NewSource(13))
+	for _, q := range hierarchicalQueries[:4] {
+		for trial := 0; trial < 4; trial++ {
+			d := randomInstance(rng, q, 3, 3, nil)
+			if d.NumEndo() == 0 {
+				continue
+			}
+			sum := new(big.Rat)
+			for _, f := range d.EndoFacts() {
+				v, err := ShapleyHierarchical(d, q, f)
+				if err != nil {
+					t.Fatal(err)
+				}
+				sum.Add(sum, v)
+			}
+			dx := d.Restrict(func(_ db.Fact, e bool) bool { return !e })
+			want := big.NewRat(0, 1)
+			if q.Eval(d) {
+				want.Add(want, big.NewRat(1, 1))
+			}
+			if q.Eval(dx) {
+				want.Sub(want, big.NewRat(1, 1))
+			}
+			if sum.Cmp(want) != 0 {
+				t.Fatalf("%s: efficiency violated: sum %s, want %s\nDB:\n%s", q, sum.RatString(), want.RatString(), d)
+			}
+		}
+	}
+}
+
+func TestSatCountVectorRejections(t *testing.T) {
+	d := runningExample()
+	if _, err := SatCountVector(d, query.MustParse("q() :- R(x), S(x, y), T(y)")); !errors.Is(err, ErrNotHierarchical) {
+		t.Fatalf("want ErrNotHierarchical, got %v", err)
+	}
+	if _, err := SatCountVector(d, query.MustParse("q() :- R(x, y), !R(y, x)")); !errors.Is(err, ErrNotSelfJoinFree) {
+		t.Fatalf("want ErrNotSelfJoinFree, got %v", err)
+	}
+}
+
+func TestShapleyErrorsOnNonEndogenous(t *testing.T) {
+	d := runningExample()
+	if _, err := ShapleyHierarchical(d, q1, db.F("Stud", "Adam")); !errors.Is(err, ErrNotEndogenous) {
+		t.Fatalf("want ErrNotEndogenous, got %v", err)
+	}
+	if _, err := BruteForceShapley(d, q1, db.F("TA", "Zoe")); !errors.Is(err, ErrNotEndogenous) {
+		t.Fatalf("want ErrNotEndogenous, got %v", err)
+	}
+}
+
+func TestExample53ZeroValue(t *testing.T) {
+	q := query.MustParse("q() :- R(x, y), !R(y, x)")
+	d := db.New()
+	d.MustAddEndo(db.F("R", "1", "2"))
+	d.MustAddEndo(db.F("R", "2", "1"))
+	for _, f := range d.EndoFacts() {
+		v, err := BruteForceShapley(d, q, f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v.Sign() != 0 {
+			t.Errorf("Shapley(%s) = %s, want 0 (Example 5.3)", f, v.RatString())
+		}
+	}
+}
+
+func TestGapConstructionValue(t *testing.T) {
+	// §5.1: Shapley(D, q, R(x0)) = n!·n!/(2n+1)! for the explicit gap
+	// construction; verified by brute force for small n.
+	q := query.MustParse("q() :- R(x), S(x, y), !R(y)")
+	for n := 1; n <= 3; n++ {
+		d := db.New()
+		for i := 0; i <= 2*n; i++ {
+			d.MustAddExo(db.F("S", "x"+string(rune('0'+i)), "y"+string(rune('0'+i))))
+		}
+		for i := 1; i <= n; i++ {
+			d.MustAddExo(db.F("R", "x"+string(rune('0'+i))))
+			d.MustAddEndo(db.F("R", "y"+string(rune('0'+i))))
+		}
+		d.MustAddEndo(db.F("R", "x0"))
+		for i := n + 1; i <= 2*n; i++ {
+			d.MustAddEndo(db.F("R", "x"+string(rune('0'+i))))
+		}
+		got, err := BruteForceShapley(d, q, db.F("R", "x0"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		num := new(big.Int).Mul(combinat.Factorial(n), combinat.Factorial(n))
+		want := new(big.Rat).SetFrac(num, combinat.Factorial(2*n+1))
+		if got.Cmp(want) != 0 {
+			t.Errorf("n=%d: Shapley = %s, want n!n!/(2n+1)! = %s", n, got.RatString(), want.RatString())
+		}
+	}
+}
+
+// --- Solver dispatch ---
+
+func TestSolverDispatchHierarchical(t *testing.T) {
+	d := runningExample()
+	s := &Solver{}
+	v, err := s.Shapley(d, q1, db.F("TA", "Adam"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Method != MethodHierarchical {
+		t.Fatalf("method = %v, want hierarchical", v.Method)
+	}
+	if v.Value.Cmp(mustRat(t, "-3/28")) != 0 {
+		t.Fatalf("value = %s", v.Value.RatString())
+	}
+}
+
+func TestSolverDispatchExoShap(t *testing.T) {
+	d := runningExample()
+	q2 := query.MustParse("q2() :- Stud(x), !TA(x), Reg(x, y), !Course(y, CS)")
+	s := &Solver{ExoRelations: map[string]bool{"Stud": true, "Course": true}}
+	v, err := s.Shapley(d, q2, db.F("TA", "Adam"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Method != MethodExoShap {
+		t.Fatalf("method = %v, want exoshap", v.Method)
+	}
+	slow, err := BruteForceShapley(d, q2, db.F("TA", "Adam"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Value.Cmp(slow) != 0 {
+		t.Fatalf("ExoShap value %s != brute force %s", v.Value.RatString(), slow.RatString())
+	}
+}
+
+func TestSolverIntractableWithoutFallback(t *testing.T) {
+	d := runningExample()
+	q2 := query.MustParse("q2() :- Stud(x), !TA(x), Reg(x, y), !Course(y, CS)")
+	s := &Solver{} // no exogenous declarations: q2 is FP#P-hard
+	if _, err := s.Shapley(d, q2, db.F("TA", "Adam")); !errors.Is(err, ErrIntractable) {
+		t.Fatalf("want ErrIntractable, got %v", err)
+	}
+	s.AllowBruteForce = true
+	v, err := s.Shapley(d, q2, db.F("TA", "Adam"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Method != MethodBruteForce {
+		t.Fatalf("method = %v, want brute-force", v.Method)
+	}
+}
+
+func TestSolverExoViolation(t *testing.T) {
+	d := runningExample() // TA has endogenous facts
+	s := &Solver{ExoRelations: map[string]bool{"TA": true}}
+	if _, err := s.Shapley(d, q1, db.F("Reg", "Adam", "OS")); !errors.Is(err, ErrExoViolated) {
+		t.Fatalf("want ErrExoViolated, got %v", err)
+	}
+}
+
+func TestSolverShapleyAllSumsToDelta(t *testing.T) {
+	d := runningExample()
+	s := &Solver{}
+	vals, err := s.ShapleyAll(d, q1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vals) != 8 {
+		t.Fatalf("got %d values, want 8", len(vals))
+	}
+	sum := new(big.Rat)
+	for _, v := range vals {
+		sum.Add(sum, v.Value)
+	}
+	if sum.Cmp(big.NewRat(1, 1)) != 0 {
+		t.Fatalf("sum = %s, want 1", sum.RatString())
+	}
+}
+
+func TestClassifyPaperQueries(t *testing.T) {
+	c := Classify(q1, nil)
+	if !c.Hierarchical || !c.SelfJoinFree || !c.Tractable || c.HasNonHierPath {
+		t.Fatalf("q1 classification wrong: %+v", c)
+	}
+	q2 := query.MustParse("q2() :- Stud(x), !TA(x), Reg(x, y), !Course(y, CS)")
+	c = Classify(q2, nil)
+	if c.Hierarchical || c.Tractable || !c.HasNonHierPath {
+		t.Fatalf("q2 with X=∅ classification wrong: %+v", c)
+	}
+	c = Classify(q2, map[string]bool{"Stud": true, "Course": true})
+	if !c.Tractable || c.HasNonHierPath {
+		t.Fatalf("q2 with X={Stud,Course} should be tractable: %+v", c)
+	}
+}
+
+func TestClassificationMethodString(t *testing.T) {
+	if MethodHierarchical.String() != "hierarchical" ||
+		MethodExoShap.String() != "exoshap" ||
+		MethodBruteForce.String() != "brute-force" ||
+		Method(99).String() != "?" {
+		t.Fatal("Method.String mismatch")
+	}
+}

@@ -1,0 +1,169 @@
+package core
+
+import (
+	"errors"
+	"math/big"
+	"math/rand"
+	"testing"
+
+	"repro/internal/db"
+	"repro/internal/query"
+	"repro/internal/workload"
+)
+
+// TestSolverDifferentialRandomQueries is the broad end-to-end check: random
+// safe self-join-free CQ¬s with random exogenous declarations and random
+// data. Whenever the dichotomy declares the query tractable, the solver's
+// exact value must match brute force for every endogenous fact; whenever it
+// declares it intractable, the solver must refuse (and the brute-force
+// fallback must engage).
+func TestSolverDifferentialRandomQueries(t *testing.T) {
+	rng := rand.New(rand.NewSource(2024))
+	cfg := workload.DefaultRandomCQConfig()
+	tractableSeen, intractableSeen := 0, 0
+	for trial := 0; trial < 300; trial++ {
+		q, exo := workload.RandomCQ(rng, cfg)
+		if err := q.Validate(); err != nil {
+			t.Fatalf("generator produced invalid query %s: %v", q, err)
+		}
+		if q.HasSelfJoin() {
+			t.Fatalf("generator produced self-join %s", q)
+		}
+		d := workload.RandomForQuery(rng, q, 2, 2, exo, 0.8)
+		if d.NumEndo() == 0 || d.NumEndo() > 9 {
+			continue
+		}
+		c := Classify(q, exo)
+		solver := &Solver{ExoRelations: exo}
+		if c.Tractable {
+			tractableSeen++
+			for _, f := range d.EndoFacts() {
+				v, err := solver.Shapley(d, q, f)
+				if err != nil {
+					t.Fatalf("%s (exo %v): %v\nDB:\n%s", q, exo, err, d)
+				}
+				brute, err := BruteForceShapley(d, q, f)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if v.Value.Cmp(brute) != 0 {
+					t.Fatalf("%s (exo %v, method %v): Shapley(%s) = %s, brute %s\nDB:\n%s",
+						q, exo, v.Method, f, v.Value.RatString(), brute.RatString(), d)
+				}
+			}
+		} else {
+			intractableSeen++
+			f := d.EndoFacts()[0]
+			if _, err := solver.Shapley(d, q, f); !errors.Is(err, ErrIntractable) {
+				t.Fatalf("%s (exo %v): want ErrIntractable, got %v", q, exo, err)
+			}
+			fallback := &Solver{ExoRelations: exo, AllowBruteForce: true}
+			if _, err := fallback.Shapley(d, q, f); err != nil {
+				t.Fatalf("%s: brute-force fallback failed: %v", q, err)
+			}
+		}
+	}
+	if tractableSeen < 30 || intractableSeen < 8 {
+		t.Fatalf("differential test coverage too thin: %d tractable, %d intractable", tractableSeen, intractableSeen)
+	}
+}
+
+// TestShapleyAxioms checks the game-theoretic axioms the Shapley value is
+// defined by, on the polynomial algorithm's output.
+func TestShapleyAxioms(t *testing.T) {
+	rng := rand.New(rand.NewSource(31337))
+	q := query.MustParse("ax() :- R(x), S(x, y), !T(x, y)")
+	for trial := 0; trial < 10; trial++ {
+		d := randomInstance(rng, q, 3, 4, nil)
+		m := d.NumEndo()
+		if m == 0 || m > 10 {
+			continue
+		}
+		// Efficiency: Σ Shapley = q(D) − q(Dx).
+		sum := new(big.Rat)
+		values := make(map[string]*big.Rat)
+		for _, f := range d.EndoFacts() {
+			v, err := ShapleyHierarchical(d, q, f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			values[f.Key()] = v
+			sum.Add(sum, v)
+		}
+		dx := d.Restrict(func(_ db.Fact, e bool) bool { return !e })
+		want := new(big.Rat)
+		if q.Eval(d) {
+			want.Add(want, big.NewRat(1, 1))
+		}
+		if q.Eval(dx) {
+			want.Sub(want, big.NewRat(1, 1))
+		}
+		if sum.Cmp(want) != 0 {
+			t.Fatalf("efficiency: Σ=%s, want %s\nDB:\n%s", sum.RatString(), want.RatString(), d)
+		}
+		// Null player: a fact that is never relevant has value 0 (checked
+		// via brute-force relevance to stay independent of Algorithms 2/3).
+		for _, f := range d.EndoFacts() {
+			relevant := false
+			others := make([]db.Fact, 0, m-1)
+			for _, e := range d.EndoFacts() {
+				if e.Key() != f.Key() {
+					others = append(others, e)
+				}
+			}
+			for mask := 0; mask < 1<<uint(len(others)); mask++ {
+				sub := dx.Clone()
+				for i, e := range others {
+					if mask&(1<<uint(i)) != 0 {
+						sub.MustAddEndo(e)
+					}
+				}
+				before := q.Eval(sub)
+				sub.MustAddEndo(f)
+				if q.Eval(sub) != before {
+					relevant = true
+					break
+				}
+			}
+			if !relevant && values[f.Key()].Sign() != 0 {
+				t.Fatalf("null player %s has value %s\nDB:\n%s", f, values[f.Key()].RatString(), d)
+			}
+		}
+	}
+}
+
+// TestShapleySymmetryAxiom: symmetric players get equal values. Two Reg
+// facts for students in identical situations are interchangeable.
+func TestShapleySymmetryAxiom(t *testing.T) {
+	d := db.MustParse(`
+exo  Stud(A)
+exo  Stud(B)
+endo TA(A)
+endo TA(B)
+endo Reg(A, C1)
+endo Reg(B, C2)
+`)
+	q := query.MustParse("q() :- Stud(x), !TA(x), Reg(x, y)")
+	vA, err := ShapleyHierarchical(d, q, db.F("Reg", "A", "C1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	vB, err := ShapleyHierarchical(d, q, db.F("Reg", "B", "C2"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vA.Cmp(vB) != 0 {
+		t.Fatalf("symmetric facts differ: %s vs %s", vA.RatString(), vB.RatString())
+	}
+	tA, err := ShapleyHierarchical(d, q, db.F("TA", "A"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tB, err := ShapleyHierarchical(d, q, db.F("TA", "B"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tA.Cmp(tB) != 0 {
+		t.Fatalf("symmetric TA facts differ: %s vs %s", tA.RatString(), tB.RatString())
+	}
+}

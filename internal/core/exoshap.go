@@ -1,0 +1,326 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/db"
+	"repro/internal/query"
+)
+
+// ExoShapStage records one step of the ExoShap transformation for
+// inspection (Figure 3 of the paper shows these stages).
+type ExoShapStage struct {
+	Description string
+	Query       *query.CQ
+}
+
+// ExoShapTransform implements the preprocessing pipeline of Algorithm 1
+// (ExoShap): given a self-join-free CQ¬ q without a non-hierarchical path
+// with respect to the exogenous relations exo, it produces an equivalent
+// instance (D', q') where q' is hierarchical, so that
+// Shapley(D, q, f) = Shapley(D', q', f) for every endogenous fact f.
+//
+// The three steps (Lemmas C.3, 4.6, 4.8):
+//  1. negated exogenous atoms are replaced by positive atoms over the
+//     complement relation (with respect to Dom(D));
+//  2. each connected component of the exogenous atom graph g_x(q) is joined
+//     into a single exogenous atom over the union of its variables;
+//  3. exogenous variables are projected away and each exogenous atom is
+//     padded (by Cartesian product with Dom(D)) to the exact variable set of
+//     a covering non-exogenous atom, which exists by Lemma 4.4.
+//
+// The endogenous facts of D are carried over untouched.
+func ExoShapTransform(d *db.Database, q *query.CQ, exo map[string]bool) (*db.Database, *query.CQ, []ExoShapStage, error) {
+	if err := q.Validate(); err != nil {
+		return nil, nil, nil, err
+	}
+	if q.HasSelfJoin() {
+		return nil, nil, nil, ErrNotSelfJoinFree
+	}
+	if q.HasNonHierarchicalPath(exo) {
+		return nil, nil, nil, ErrIntractable
+	}
+	for rel := range exo {
+		if d.RelationEndogenous(rel) {
+			return nil, nil, nil, fmt.Errorf("%w: %s", ErrExoViolated, rel)
+		}
+	}
+
+	// The working domain is fixed once: the active domain of D extended with
+	// the constants of q. (Extending matters for queries like q2's
+	// ¬Course(y, CS) when CS does not occur in the data: the complement
+	// relation must contain tuples ending in CS for the pattern to match.
+	// Spurious constants cannot create new satisfying homomorphisms, because
+	// every variable retains a positive occurrence over real data or a
+	// non-exogenous atom.)
+	dom := d.Domain()
+	seen := make(map[db.Const]bool, len(dom))
+	for _, c := range dom {
+		seen[c] = true
+	}
+	for _, a := range q.Atoms {
+		for _, tm := range a.Args {
+			if !tm.IsVar() && !seen[tm.Const] {
+				seen[tm.Const] = true
+				dom = append(dom, tm.Const)
+			}
+		}
+	}
+	sort.Slice(dom, func(i, j int) bool { return dom[i] < dom[j] })
+	cur := q.Clone()
+	work := d.Clone()
+	curExo := make(map[string]bool, len(exo))
+	for r := range exo {
+		curExo[r] = true
+	}
+	stages := []ExoShapStage{{Description: "input", Query: cur.Clone()}}
+
+	// If the query has no non-exogenous atoms, no endogenous fact can ever
+	// matter; downstream the hierarchical algorithm still works (the query
+	// is then a conjunction over exogenous relations and hierarchical
+	// trivially only if structured so). Reject explicitly for clarity.
+	nonExoCount := 0
+	for _, a := range cur.Atoms {
+		if !curExo[a.Rel] {
+			nonExoCount++
+		}
+	}
+	if nonExoCount == 0 {
+		return nil, nil, nil, fmt.Errorf("core: every atom of %s is over an exogenous relation; all Shapley values are trivially 0", q.Name())
+	}
+
+	// Step 1: complement negated exogenous atoms (Lemma C.3).
+	for i := range cur.Atoms {
+		a := cur.Atoms[i]
+		if !a.Negated || !curExo[a.Rel] {
+			continue
+		}
+		fresh := freshRel(work, cur, a.Rel+"_c")
+		old := factSet(work, a.Rel)
+		var compFacts []db.Fact
+		forEachTuple(dom, len(a.Args), func(tuple []db.Const) {
+			f := db.Fact{Rel: a.Rel, Args: append([]db.Const(nil), tuple...)}
+			if !old[f.Key()] {
+				compFacts = append(compFacts, db.Fact{Rel: fresh, Args: f.Args})
+			}
+		})
+		work = dropRelation(work, a.Rel)
+		for _, f := range compFacts {
+			work.MustAddExo(f)
+		}
+		cur.Atoms[i] = query.Atom{Rel: fresh, Args: a.Args, Negated: false}
+		curExo[fresh] = true
+	}
+	stages = append(stages, ExoShapStage{Description: "complement negated exogenous atoms", Query: cur.Clone()})
+
+	// Step 2: join each connected component of g_x(q) into one atom
+	// (Lemma 4.6).
+	comps := cur.ExoAtomComponents(curExo)
+	if len(comps) > 0 {
+		newQ := &query.CQ{Label: cur.Label, Head: append([]string(nil), cur.Head...)}
+		inComp := make(map[int]int) // atom index -> component id
+		for ci, comp := range comps {
+			for _, ai := range comp {
+				inComp[ai] = ci
+			}
+		}
+		compAtom := make([]query.Atom, len(comps))
+		for ci, comp := range comps {
+			// Union of variables in first-occurrence order.
+			var vars []string
+			seen := make(map[string]bool)
+			for _, ai := range comp {
+				for _, x := range cur.Atoms[ai].Vars() {
+					if !seen[x] {
+						seen[x] = true
+						vars = append(vars, x)
+					}
+				}
+			}
+			joinQ := &query.CQ{Label: "join", Head: vars}
+			for _, ai := range comp {
+				joinQ.Atoms = append(joinQ.Atoms, cur.Atoms[ai])
+			}
+			fresh := freshRel(work, cur, fmt.Sprintf("XJ%d", ci+1))
+			rows := joinQ.Answers(work)
+			terms := make([]query.Term, len(vars))
+			for i, x := range vars {
+				terms[i] = query.V(x)
+			}
+			compAtom[ci] = query.NewAtom(fresh, terms...)
+			for _, ai := range comp {
+				work = dropRelation(work, cur.Atoms[ai].Rel)
+			}
+			for _, row := range rows {
+				work.MustAddExo(db.Fact{Rel: fresh, Args: row})
+			}
+			curExo[fresh] = true
+		}
+		emitted := make(map[int]bool)
+		for ai, a := range cur.Atoms {
+			if ci, isExo := inComp[ai]; isExo {
+				if !emitted[ci] {
+					emitted[ci] = true
+					newQ.Atoms = append(newQ.Atoms, compAtom[ci])
+				}
+				continue
+			}
+			newQ.Atoms = append(newQ.Atoms, a)
+		}
+		cur = newQ
+	}
+	stages = append(stages, ExoShapStage{Description: "join exogenous components", Query: cur.Clone()})
+
+	// Step 3: remove exogenous variables and pad each exogenous atom to the
+	// variable set of a covering non-exogenous atom (Lemma 4.8).
+	exoVars := make(map[string]bool)
+	for _, x := range cur.ExogenousVars(curExo) {
+		exoVars[x] = true
+	}
+	for i := range cur.Atoms {
+		a := cur.Atoms[i]
+		if !curExo[a.Rel] {
+			continue
+		}
+		// Non-exogenous variables of a, in order.
+		var keep []string
+		seen := make(map[string]bool)
+		for _, x := range a.Vars() {
+			if !exoVars[x] && !seen[x] {
+				seen[x] = true
+				keep = append(keep, x)
+			}
+		}
+		beta, ok := coveringAtom(cur, curExo, keep)
+		if !ok {
+			return nil, nil, nil, fmt.Errorf("core: internal error: no covering non-exogenous atom for %s (Lemma 4.4 violated?)", a)
+		}
+		var pad []string
+		for _, x := range beta.Vars() {
+			if !seen[x] {
+				pad = append(pad, x)
+			}
+		}
+		// Project the relation onto the kept variables, then pad.
+		projQ := &query.CQ{Label: "proj", Head: keep, Atoms: []query.Atom{a}}
+		rows := projQ.Answers(work)
+		fresh := freshRel(work, cur, a.Rel+"_p")
+		work = dropRelation(work, a.Rel)
+		for _, row := range rows {
+			forEachTuple(dom, len(pad), func(tail []db.Const) {
+				args := make([]db.Const, 0, len(row)+len(tail))
+				args = append(args, row...)
+				args = append(args, tail...)
+				work.MustAddExo(db.Fact{Rel: fresh, Args: args})
+			})
+		}
+		terms := make([]query.Term, 0, len(keep)+len(pad))
+		for _, x := range keep {
+			terms = append(terms, query.V(x))
+		}
+		for _, x := range pad {
+			terms = append(terms, query.V(x))
+		}
+		cur.Atoms[i] = query.NewAtom(fresh, terms...)
+		curExo[fresh] = true
+	}
+	stages = append(stages, ExoShapStage{Description: "project exogenous variables and pad to covering atoms", Query: cur.Clone()})
+
+	if !cur.IsHierarchical() {
+		return nil, nil, nil, fmt.Errorf("core: internal error: ExoShap output %s is not hierarchical", cur)
+	}
+	return work, cur, stages, nil
+}
+
+// coveringAtom finds a non-exogenous atom whose variables include all of
+// vars (Lemma 4.4 guarantees one exists for component variable sets).
+func coveringAtom(q *query.CQ, exo map[string]bool, vars []string) (query.Atom, bool) {
+	for _, a := range q.Atoms {
+		if exo[a.Rel] {
+			continue
+		}
+		all := true
+		for _, x := range vars {
+			if !a.HasVar(x) {
+				all = false
+				break
+			}
+		}
+		if all {
+			return a, true
+		}
+	}
+	return query.Atom{}, false
+}
+
+// freshRel derives a relation name not used by the database or the query.
+func freshRel(d *db.Database, q *query.CQ, base string) string {
+	base = strings.ReplaceAll(base, " ", "_")
+	used := make(map[string]bool)
+	for _, r := range d.Relations() {
+		used[r] = true
+	}
+	for _, r := range q.Relations() {
+		used[r] = true
+	}
+	if !used[base] {
+		return base
+	}
+	for i := 2; ; i++ {
+		cand := fmt.Sprintf("%s%d", base, i)
+		if !used[cand] {
+			return cand
+		}
+	}
+}
+
+// factSet returns the key set of one relation's facts.
+func factSet(d *db.Database, rel string) map[string]bool {
+	out := make(map[string]bool)
+	for _, f := range d.RelationFacts(rel) {
+		out[f.Key()] = true
+	}
+	return out
+}
+
+// dropRelation returns a copy of d without the given relation's facts.
+func dropRelation(d *db.Database, rel string) *db.Database {
+	return d.Restrict(func(f db.Fact, _ bool) bool { return f.Rel != rel })
+}
+
+// forEachTuple enumerates dom^k in lexicographic order.
+func forEachTuple(dom []db.Const, k int, fn func([]db.Const)) {
+	tuple := make([]db.Const, k)
+	var rec func(i int)
+	rec = func(i int) {
+		if i == k {
+			fn(tuple)
+			return
+		}
+		for _, c := range dom {
+			tuple[i] = c
+			rec(i + 1)
+		}
+	}
+	if k == 0 {
+		fn(nil)
+		return
+	}
+	if len(dom) == 0 {
+		return
+	}
+	rec(0)
+}
+
+// SortedRelNames is a small helper used by experiments to display the
+// transformed schema deterministically.
+func SortedRelNames(exo map[string]bool) []string {
+	out := make([]string, 0, len(exo))
+	for r := range exo {
+		out = append(out, r)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,247 @@
+package core
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"repro/internal/db"
+	"repro/internal/query"
+)
+
+func TestExoShapStagesExample42QPrime(t *testing.T) {
+	// Figure 3: the pipeline on q' of Example 4.2.
+	qp := query.MustParse("qp() :- U(t, r), !T(y), Q(y, w), !V(t), R(x, y), !S(x, z), O(z), P(u, y, w)")
+	exo := map[string]bool{"R": true, "S": true, "O": true, "P": true}
+	d := db.New()
+	// Small instance over a 2-element domain.
+	d.MustAddEndo(db.F("U", "a", "b"))
+	d.MustAddEndo(db.F("T", "a"))
+	d.MustAddEndo(db.F("Q", "a", "b"))
+	d.MustAddEndo(db.F("V", "b"))
+	d.MustAddExo(db.F("R", "a", "a"))
+	d.MustAddExo(db.F("S", "a", "b"))
+	d.MustAddExo(db.F("O", "b"))
+	d.MustAddExo(db.F("P", "a", "a", "b"))
+
+	d2, q2, stages, err := ExoShapTransform(d, qp, exo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stages) != 4 {
+		t.Fatalf("got %d stages, want 4 (input + three steps)", len(stages))
+	}
+	if !q2.IsHierarchical() {
+		t.Fatalf("ExoShap output not hierarchical: %s", q2)
+	}
+	// Endogenous facts must be untouched.
+	if d2.NumEndo() != d.NumEndo() {
+		t.Fatalf("endogenous facts changed: %d vs %d", d2.NumEndo(), d.NumEndo())
+	}
+	for _, f := range d.EndoFacts() {
+		if !d2.IsEndogenous(f) {
+			t.Fatalf("endogenous fact %s lost", f)
+		}
+	}
+	// After step 1 no negated exogenous atoms remain; after step 3 every
+	// exogenous atom's variables equal a covering non-exogenous atom's.
+	step1 := stages[1].Query
+	for _, a := range step1.Atoms {
+		if a.Negated && exo[a.Rel] {
+			t.Fatalf("negated exogenous atom survived step 1: %s", a)
+		}
+	}
+}
+
+// checkExoShapEquivalence verifies Shapley(D,q,f) = Shapley(D',q',f) for all
+// endogenous facts via brute force on both sides.
+func checkExoShapEquivalence(t *testing.T, d *db.Database, q *query.CQ, exo map[string]bool) {
+	t.Helper()
+	d2, q2, _, err := ExoShapTransform(d, q, exo)
+	if err != nil {
+		t.Fatalf("%s: %v", q, err)
+	}
+	if !q2.IsHierarchical() {
+		t.Fatalf("%s: output %s not hierarchical", q, q2)
+	}
+	for _, f := range d.EndoFacts() {
+		orig, err := BruteForceShapley(d, q, f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		viaHier, err := ShapleyHierarchical(d2, q2, f)
+		if err != nil {
+			t.Fatalf("%s: transformed instance: %v", q, err)
+		}
+		if orig.Cmp(viaHier) != 0 {
+			t.Fatalf("%s / %s: Shapley(%s) original %s != transformed %s\nDB:\n%s\nDB':\n%s",
+				q, q2, f, orig.RatString(), viaHier.RatString(), d, d2)
+		}
+	}
+}
+
+func TestExoShapEquivalenceSection41Q(t *testing.T) {
+	q := query.MustParse("q() :- !R(x, w), S(z, x), !P(z, w), T(y, w)")
+	exo := map[string]bool{"S": true, "P": true}
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 10; trial++ {
+		d := randomInstance(rng, q, 2, 3, exo)
+		if d.NumEndo() == 0 || d.NumEndo() > 9 {
+			continue
+		}
+		checkExoShapEquivalence(t, d, q, exo)
+	}
+}
+
+func TestExoShapEquivalenceQ2(t *testing.T) {
+	q2 := query.MustParse("q2() :- Stud(x), !TA(x), Reg(x, y), !Course(y, CS)")
+	exo := map[string]bool{"Stud": true, "Course": true}
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 8; trial++ {
+		d := randomInstance(rng, q2, 3, 3, exo)
+		if d.NumEndo() == 0 || d.NumEndo() > 9 {
+			continue
+		}
+		checkExoShapEquivalence(t, d, q2, exo)
+	}
+	// And on the running example itself.
+	checkExoShapEquivalence(t, runningExample(), q2, exo)
+}
+
+func TestExoShapEquivalenceExample41(t *testing.T) {
+	// Author(x,y), Pub(x,z), Citations(z,w) with Pub, Citations exogenous.
+	q := query.MustParse("q() :- Author(x, y), Pub(x, z), Citations(z, w)")
+	exo := map[string]bool{"Pub": true, "Citations": true}
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 8; trial++ {
+		d := randomInstance(rng, q, 3, 3, exo)
+		if d.NumEndo() == 0 || d.NumEndo() > 9 {
+			continue
+		}
+		checkExoShapEquivalence(t, d, q, exo)
+	}
+}
+
+func TestExoShapEquivalenceCitationsOnly(t *testing.T) {
+	// Example 4.1's second claim: exogenous Citations alone already makes
+	// the query tractable.
+	q := query.MustParse("q() :- Author(x, y), Pub(x, z), Citations(z, w)")
+	exo := map[string]bool{"Citations": true}
+	rng := rand.New(rand.NewSource(19))
+	for trial := 0; trial < 8; trial++ {
+		d := randomInstance(rng, q, 2, 3, exo)
+		if d.NumEndo() == 0 || d.NumEndo() > 9 {
+			continue
+		}
+		checkExoShapEquivalence(t, d, q, exo)
+	}
+}
+
+func TestExoShapEquivalenceExample42QPrime(t *testing.T) {
+	qp := query.MustParse("qp() :- U(t, r), !T(y), Q(y, w), !V(t), R(x, y), !S(x, z), O(z), P(u, y, w)")
+	exo := map[string]bool{"R": true, "S": true, "O": true, "P": true}
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 6; trial++ {
+		d := randomInstance(rng, qp, 2, 2, exo)
+		if d.NumEndo() == 0 || d.NumEndo() > 8 {
+			continue
+		}
+		checkExoShapEquivalence(t, d, qp, exo)
+	}
+}
+
+func TestExoShapRejectsNonHierPath(t *testing.T) {
+	qp := query.MustParse("qp() :- !R(x, w), S(z, x), !P(z, y), T(y, w)")
+	exo := map[string]bool{"S": true, "P": true}
+	d := db.New()
+	d.MustAddEndo(db.F("R", "a", "b"))
+	d.MustAddEndo(db.F("T", "a", "b"))
+	d.MustAddExo(db.F("S", "a", "b"))
+	d.MustAddExo(db.F("P", "a", "b"))
+	if _, _, _, err := ExoShapTransform(d, qp, exo); !errors.Is(err, ErrIntractable) {
+		t.Fatalf("want ErrIntractable for §4.1 q', got %v", err)
+	}
+}
+
+func TestExoShapRejectsSelfJoin(t *testing.T) {
+	q := query.MustParse("q() :- R(x), S(x, y), !R(y)")
+	d := db.New()
+	d.MustAddEndo(db.F("R", "a"))
+	d.MustAddExo(db.F("S", "a", "b"))
+	if _, _, _, err := ExoShapTransform(d, q, map[string]bool{"S": true}); !errors.Is(err, ErrNotSelfJoinFree) {
+		t.Fatalf("want ErrNotSelfJoinFree, got %v", err)
+	}
+}
+
+func TestExoShapRejectsEndogenousFactsInExoRelation(t *testing.T) {
+	q := query.MustParse("q() :- Author(x, y), Pub(x, z)")
+	d := db.New()
+	d.MustAddEndo(db.F("Author", "a", "b"))
+	d.MustAddEndo(db.F("Pub", "a", "c")) // violates the declaration
+	if _, _, _, err := ExoShapTransform(d, q, map[string]bool{"Pub": true}); !errors.Is(err, ErrExoViolated) {
+		t.Fatalf("want ErrExoViolated, got %v", err)
+	}
+}
+
+func TestExoShapRejectsAllExogenousQuery(t *testing.T) {
+	q := query.MustParse("q() :- Pub(x, z)")
+	d := db.New()
+	d.MustAddExo(db.F("Pub", "a", "c"))
+	if _, _, _, err := ExoShapTransform(d, q, map[string]bool{"Pub": true}); err == nil {
+		t.Fatal("want error for all-exogenous query")
+	}
+}
+
+func TestExoShapHierarchicalInputIsStable(t *testing.T) {
+	// A hierarchical query without exogenous relations passes through with
+	// the same answers (no components, no padding).
+	d := runningExample()
+	d2, q2, _, err := ExoShapTransform(d, q1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range d.EndoFacts() {
+		a, err := ShapleyHierarchical(d, q1, f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := ShapleyHierarchical(d2, q2, f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Cmp(b) != 0 {
+			t.Fatalf("pass-through changed Shapley(%s): %s vs %s", f, a.RatString(), b.RatString())
+		}
+	}
+}
+
+func TestFreshRelAvoidsClashes(t *testing.T) {
+	d := db.New()
+	d.MustAddExo(db.F("R_c", "a"))
+	q := query.MustParse("q() :- R_c(x), Z(x)")
+	name := freshRel(d, q, "R_c")
+	if name == "R_c" || name == "" {
+		t.Fatalf("freshRel returned clashing name %q", name)
+	}
+}
+
+func TestForEachTuple(t *testing.T) {
+	dom := []db.Const{"a", "b"}
+	var got [][]db.Const
+	forEachTuple(dom, 2, func(t []db.Const) {
+		got = append(got, append([]db.Const(nil), t...))
+	})
+	if len(got) != 4 {
+		t.Fatalf("got %d tuples, want 4", len(got))
+	}
+	n := 0
+	forEachTuple(dom, 0, func(t []db.Const) { n++ })
+	if n != 1 {
+		t.Fatalf("dom^0 should have exactly one (empty) tuple, got %d", n)
+	}
+	n = 0
+	forEachTuple(nil, 2, func(t []db.Const) { n++ })
+	if n != 0 {
+		t.Fatalf("empty domain with k>0 should yield nothing, got %d", n)
+	}
+}

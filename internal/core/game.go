@@ -1,0 +1,216 @@
+package core
+
+import (
+	"fmt"
+	"math/big"
+
+	"repro/internal/combinat"
+	"repro/internal/db"
+	"repro/internal/query"
+)
+
+// ShapleyValue is a computed Shapley value for one fact.
+type ShapleyValue struct {
+	Fact   db.Fact
+	Value  *big.Rat
+	Method Method
+}
+
+// String renders "fact = p/q (~decimal)".
+func (v *ShapleyValue) String() string {
+	return fmt.Sprintf("%s = %s (~%.6f)", v.Fact, v.Value.RatString(), ratFloat(v.Value))
+}
+
+func ratFloat(r *big.Rat) float64 {
+	f, _ := r.Float64()
+	return f
+}
+
+// maxBruteForcePlayers bounds subset enumeration: 2^25 query evaluations is
+// the largest job the brute-force oracle will attempt.
+const maxBruteForcePlayers = 25
+
+// gameCache evaluates q(Dx ∪ E) for subsets E of the endogenous facts,
+// memoizing by bitmask over d.EndoFacts() order.
+type gameCache struct {
+	d    *db.Database
+	q    query.BooleanQuery
+	endo []db.Fact
+	vals map[uint64]bool
+}
+
+func newGameCache(d *db.Database, q query.BooleanQuery) (*gameCache, error) {
+	endo := d.EndoFacts()
+	if len(endo) > maxBruteForcePlayers {
+		return nil, fmt.Errorf("core: %d endogenous facts exceed the brute-force limit of %d", len(endo), maxBruteForcePlayers)
+	}
+	return &gameCache{d: d, q: q, endo: endo, vals: make(map[uint64]bool)}, nil
+}
+
+// value returns q(Dx ∪ E(mask)) as a boolean.
+func (g *gameCache) value(mask uint64) bool {
+	if v, ok := g.vals[mask]; ok {
+		return v
+	}
+	sub := g.d.Restrict(func(f db.Fact, endo bool) bool { return !endo })
+	for i, f := range g.endo {
+		if mask&(1<<uint(i)) != 0 {
+			sub.MustAddEndo(f)
+		}
+	}
+	v := g.q.Eval(sub)
+	g.vals[mask] = v
+	return v
+}
+
+func (g *gameCache) indexOf(f db.Fact) (int, error) {
+	key := f.Key()
+	for i, e := range g.endo {
+		if e.Key() == key {
+			return i, nil
+		}
+	}
+	return 0, fmt.Errorf("%w: %s", ErrNotEndogenous, f)
+}
+
+// BruteForceShapley computes Shapley(D, q, f) directly from the subset-sum
+// form of the definition:
+//
+//	Shapley(f) = Σ_{E ⊆ Dn\{f}} |E|!(m-1-|E|)!/m! · (q(Dx∪E∪{f}) − q(Dx∪E)).
+//
+// It works for any Boolean query (CQ¬ or UCQ¬, with or without self-joins)
+// and is the exponential-time ground truth the polynomial algorithms are
+// validated against.
+func BruteForceShapley(d *db.Database, q query.BooleanQuery, f db.Fact) (*big.Rat, error) {
+	if !d.IsEndogenous(f) {
+		return nil, fmt.Errorf("%w: %s", ErrNotEndogenous, f)
+	}
+	g, err := newGameCache(d, q)
+	if err != nil {
+		return nil, err
+	}
+	fi, err := g.indexOf(f)
+	if err != nil {
+		return nil, err
+	}
+	m := len(g.endo)
+	fbit := uint64(1) << uint(fi)
+	total := new(big.Rat)
+	for mask := uint64(0); mask < 1<<uint(m); mask++ {
+		if mask&fbit != 0 {
+			continue
+		}
+		with, without := g.value(mask|fbit), g.value(mask)
+		if with == without {
+			continue
+		}
+		k := popcount(mask)
+		w := combinat.ShapleyWeight(k, m)
+		if with {
+			total.Add(total, w)
+		} else {
+			total.Sub(total, w)
+		}
+	}
+	return total, nil
+}
+
+// BruteForceShapleyAll computes the Shapley value of every endogenous fact,
+// sharing one evaluation cache across all facts.
+func BruteForceShapleyAll(d *db.Database, q query.BooleanQuery) ([]*ShapleyValue, error) {
+	g, err := newGameCache(d, q)
+	if err != nil {
+		return nil, err
+	}
+	m := len(g.endo)
+	out := make([]*ShapleyValue, m)
+	for i, f := range g.endo {
+		fbit := uint64(1) << uint(i)
+		total := new(big.Rat)
+		for mask := uint64(0); mask < 1<<uint(m); mask++ {
+			if mask&fbit != 0 {
+				continue
+			}
+			with, without := g.value(mask|fbit), g.value(mask)
+			if with == without {
+				continue
+			}
+			w := combinat.ShapleyWeight(popcount(mask), m)
+			if with {
+				total.Add(total, w)
+			} else {
+				total.Sub(total, w)
+			}
+		}
+		out[i] = &ShapleyValue{Fact: f, Value: total, Method: MethodBruteForce}
+	}
+	return out, nil
+}
+
+// maxPermutationPlayers bounds the factorial enumeration of
+// PermutationShapley.
+const maxPermutationPlayers = 9
+
+// PermutationShapley computes Shapley(D, q, f) by literally enumerating all
+// |Dn|! permutations, exactly as the definition in §2 reads. It exists as an
+// independent cross-check of the subset-sum reformulation and is limited to
+// very small databases.
+func PermutationShapley(d *db.Database, q query.BooleanQuery, f db.Fact) (*big.Rat, error) {
+	if !d.IsEndogenous(f) {
+		return nil, fmt.Errorf("%w: %s", ErrNotEndogenous, f)
+	}
+	g, err := newGameCache(d, q)
+	if err != nil {
+		return nil, err
+	}
+	fi, err := g.indexOf(f)
+	if err != nil {
+		return nil, err
+	}
+	m := len(g.endo)
+	if m > maxPermutationPlayers {
+		return nil, fmt.Errorf("core: %d endogenous facts exceed the permutation-enumeration limit of %d", m, maxPermutationPlayers)
+	}
+	contributions := big.NewInt(0) // Σ over permutations of (v(σf ∪ {f}) − v(σf)) ∈ {−1,0,1}
+	perm := make([]int, m)
+	for i := range perm {
+		perm[i] = i
+	}
+	var walk func(k int)
+	walk = func(k int) {
+		if k == m {
+			mask := uint64(0)
+			for _, p := range perm {
+				if p == fi {
+					break
+				}
+				mask |= 1 << uint(p)
+			}
+			with, without := g.value(mask|1<<uint(fi)), g.value(mask)
+			if with != without {
+				if with {
+					contributions.Add(contributions, big.NewInt(1))
+				} else {
+					contributions.Sub(contributions, big.NewInt(1))
+				}
+			}
+			return
+		}
+		for i := k; i < m; i++ {
+			perm[k], perm[i] = perm[i], perm[k]
+			walk(k + 1)
+			perm[k], perm[i] = perm[i], perm[k]
+		}
+	}
+	walk(0)
+	return new(big.Rat).SetFrac(contributions, combinat.Factorial(m)), nil
+}
+
+func popcount(x uint64) int {
+	n := 0
+	for x != 0 {
+		x &= x - 1
+		n++
+	}
+	return n
+}

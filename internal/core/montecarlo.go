@@ -1,0 +1,93 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/db"
+	"repro/internal/query"
+)
+
+// MCResult is the outcome of a Monte-Carlo Shapley estimation.
+type MCResult struct {
+	Estimate float64
+	Samples  int
+}
+
+// HoeffdingSamples returns the number of random permutations sufficient for
+// an additive (ε, δ)-approximation of the Shapley value. The per-permutation
+// marginal contribution lies in [−1, 1], so Hoeffding's inequality gives
+// P(|estimate − value| ≥ ε) ≤ 2·exp(−n·ε²/2); solving for n yields
+// n = ⌈2·ln(2/δ)/ε²⌉ (the O(log(1/δ)/ε²) bound of §5.1).
+func HoeffdingSamples(eps, delta float64) (int, error) {
+	if eps <= 0 || eps >= 1 || delta <= 0 || delta >= 1 {
+		return 0, fmt.Errorf("core: ε and δ must lie in (0,1); got ε=%v δ=%v", eps, delta)
+	}
+	return int(math.Ceil(2 * math.Log(2/delta) / (eps * eps))), nil
+}
+
+// MonteCarloShapley estimates Shapley(D, q, f) within additive error ε with
+// probability at least 1−δ, by averaging the marginal contribution of f over
+// random permutations of the endogenous facts (the additive FPRAS of §5.1,
+// which applies verbatim to CQ¬s and UCQ¬s: the per-permutation contribution
+// is a random variable in {−1, 0, 1}).
+//
+// The paper's Theorem 5.1 explains why this is NOT a multiplicative FPRAS
+// once negation is present: the value can be exponentially small while
+// nonzero, so distinguishing it from zero needs exponentially many samples.
+func MonteCarloShapley(d *db.Database, q query.BooleanQuery, f db.Fact, eps, delta float64, rng *rand.Rand) (MCResult, error) {
+	n, err := HoeffdingSamples(eps, delta)
+	if err != nil {
+		return MCResult{}, err
+	}
+	return MonteCarloShapleyN(d, q, f, n, rng)
+}
+
+// MonteCarloShapleyN estimates Shapley(D, q, f) from exactly samples random
+// permutations.
+func MonteCarloShapleyN(d *db.Database, q query.BooleanQuery, f db.Fact, samples int, rng *rand.Rand) (MCResult, error) {
+	if !d.IsEndogenous(f) {
+		return MCResult{}, fmt.Errorf("%w: %s", ErrNotEndogenous, f)
+	}
+	if samples <= 0 {
+		return MCResult{}, fmt.Errorf("core: sample count must be positive, got %d", samples)
+	}
+	if rng == nil {
+		return MCResult{}, fmt.Errorf("core: nil random source")
+	}
+	endo := d.EndoFacts()
+	fi := -1
+	for i, e := range endo {
+		if e.Key() == f.Key() {
+			fi = i
+			break
+		}
+	}
+	if fi < 0 {
+		return MCResult{}, fmt.Errorf("%w: %s", ErrNotEndogenous, f)
+	}
+	exoBase := d.Restrict(func(_ db.Fact, endogenous bool) bool { return !endogenous })
+
+	sum := 0
+	for s := 0; s < samples; s++ {
+		perm := rng.Perm(len(endo))
+		prefix := exoBase.Clone()
+		for _, p := range perm {
+			if p == fi {
+				break
+			}
+			prefix.MustAddEndo(endo[p])
+		}
+		without := q.Eval(prefix)
+		prefix.MustAddEndo(endo[fi])
+		with := q.Eval(prefix)
+		switch {
+		case with && !without:
+			sum++
+		case !with && without:
+			sum--
+		}
+	}
+	return MCResult{Estimate: float64(sum) / float64(samples), Samples: samples}, nil
+}

@@ -1,0 +1,109 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/db"
+	"repro/internal/query"
+)
+
+func TestHoeffdingSamplesFormula(t *testing.T) {
+	n, err := HoeffdingSamples(0.1, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := int(math.Ceil(2 * math.Log(2/0.05) / 0.01))
+	if n != want {
+		t.Fatalf("HoeffdingSamples(0.1, 0.05) = %d, want %d", n, want)
+	}
+	// Monotone: tighter ε needs more samples.
+	n2, _ := HoeffdingSamples(0.05, 0.05)
+	if n2 <= n {
+		t.Fatalf("halving ε should raise the sample count: %d vs %d", n2, n)
+	}
+	for _, c := range []struct{ e, d float64 }{{0, 0.1}, {1, 0.1}, {0.1, 0}, {0.1, 1}, {-1, 0.5}} {
+		if _, err := HoeffdingSamples(c.e, c.d); err == nil {
+			t.Errorf("HoeffdingSamples(%v,%v) should fail", c.e, c.d)
+		}
+	}
+}
+
+func TestMonteCarloConvergesOnRunningExample(t *testing.T) {
+	d := runningExample()
+	rng := rand.New(rand.NewSource(42))
+	f := db.F("TA", "Adam") // exact value −3/28 ≈ −0.1071
+	res, err := MonteCarloShapleyN(d, q1, f, 4000, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact := -3.0 / 28.0
+	if math.Abs(res.Estimate-exact) > 0.04 {
+		t.Fatalf("estimate %.4f too far from exact %.4f", res.Estimate, exact)
+	}
+	if res.Samples != 4000 {
+		t.Fatalf("samples = %d", res.Samples)
+	}
+}
+
+func TestMonteCarloEpsDelta(t *testing.T) {
+	d := runningExample()
+	rng := rand.New(rand.NewSource(7))
+	f := db.F("Reg", "Caroline", "DB") // exact 13/42 ≈ 0.3095
+	res, err := MonteCarloShapley(d, q1, f, 0.15, 0.1, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Estimate-13.0/42.0) > 0.15 {
+		t.Fatalf("estimate %.4f outside ε=0.15 of 13/42", res.Estimate)
+	}
+	want, _ := HoeffdingSamples(0.15, 0.1)
+	if res.Samples != want {
+		t.Fatalf("samples = %d, want %d", res.Samples, want)
+	}
+}
+
+func TestMonteCarloZeroFact(t *testing.T) {
+	// TA(David) has Shapley value exactly 0; every sampled contribution is 0.
+	d := runningExample()
+	rng := rand.New(rand.NewSource(1))
+	res, err := MonteCarloShapleyN(d, q1, db.F("TA", "David"), 200, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Estimate != 0 {
+		t.Fatalf("estimate = %v, want exactly 0", res.Estimate)
+	}
+}
+
+func TestMonteCarloErrors(t *testing.T) {
+	d := runningExample()
+	rng := rand.New(rand.NewSource(1))
+	if _, err := MonteCarloShapleyN(d, q1, db.F("Stud", "Adam"), 10, rng); err == nil {
+		t.Fatal("exogenous fact accepted")
+	}
+	if _, err := MonteCarloShapleyN(d, q1, db.F("TA", "Adam"), 0, rng); err == nil {
+		t.Fatal("zero samples accepted")
+	}
+	if _, err := MonteCarloShapleyN(d, q1, db.F("TA", "Adam"), 10, nil); err == nil {
+		t.Fatal("nil rng accepted")
+	}
+}
+
+func TestMonteCarloNegationBothDirections(t *testing.T) {
+	// With self-joins and negation a fact can contribute in both directions
+	// (Example 5.3); the estimator must average them to ~0.
+	q := query.MustParse("q() :- R(x, y), !R(y, x)")
+	d := db.New()
+	d.MustAddEndo(db.F("R", "1", "2"))
+	d.MustAddEndo(db.F("R", "2", "1"))
+	rng := rand.New(rand.NewSource(9))
+	res, err := MonteCarloShapleyN(d, q, db.F("R", "1", "2"), 2000, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Estimate) > 0.05 {
+		t.Fatalf("estimate %.4f should be near 0", res.Estimate)
+	}
+}

@@ -1,0 +1,164 @@
+package core
+
+import (
+	"math"
+	"math/big"
+	"math/rand"
+	"testing"
+
+	"repro/internal/combinat"
+	"repro/internal/db"
+	"repro/internal/query"
+	"repro/internal/workload"
+)
+
+// Sign structure (discussed around equation (1) of the paper): for a
+// polarity-consistent CQ¬, facts of positive-only relations have
+// non-negative Shapley values and facts of negative-only relations have
+// non-positive ones.
+func TestShapleySignsFollowPolarity(t *testing.T) {
+	rng := rand.New(rand.NewSource(91))
+	queries := []*query.CQ{
+		query.MustParse("s1() :- Stud(x), !TA(x), Reg(x, y)"),
+		query.MustParse("s2() :- R(x, y), !S(y)"),
+		query.MustParse("s3() :- R(x), S(x, y), !T(x, y)"),
+	}
+	for _, q := range queries {
+		negRels := make(map[string]bool)
+		for _, r := range q.NegativeRels() {
+			negRels[r] = true
+		}
+		for trial := 0; trial < 8; trial++ {
+			d := randomInstance(rng, q, 3, 4, nil)
+			if d.NumEndo() == 0 || d.NumEndo() > 12 {
+				continue
+			}
+			for _, f := range d.EndoFacts() {
+				v, err := ShapleyHierarchical(d, q, f)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if negRels[f.Rel] && v.Sign() > 0 {
+					t.Fatalf("%s: negative-relation fact %s has positive value %s\nDB:\n%s", q, f, v.RatString(), d)
+				}
+				if !negRels[f.Rel] && v.Sign() < 0 {
+					t.Fatalf("%s: positive-relation fact %s has negative value %s\nDB:\n%s", q, f, v.RatString(), d)
+				}
+			}
+		}
+	}
+}
+
+// For a monotone query (no negation), the fraction sat[k]/C(m,k) of
+// satisfying k-subsets is non-decreasing in k.
+func TestSatFractionMonotoneForPositiveQueries(t *testing.T) {
+	rng := rand.New(rand.NewSource(92))
+	q := query.MustParse("m1() :- R(x), S(x, y)")
+	for trial := 0; trial < 10; trial++ {
+		d := randomInstance(rng, q, 3, 5, nil)
+		m := d.NumEndo()
+		sat, err := SatCountVector(d, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		prev := new(big.Rat)
+		for k := 0; k <= m; k++ {
+			binom := combinat.Binomial(m, k)
+			if binom.Sign() == 0 {
+				continue
+			}
+			frac := new(big.Rat).SetFrac(sat[k], binom)
+			if frac.Cmp(prev) < 0 {
+				t.Fatalf("monotone query has decreasing sat fraction at k=%d: %s < %s\nDB:\n%s",
+					k, frac.RatString(), prev.RatString(), d)
+			}
+			prev = frac
+		}
+	}
+}
+
+// Sat counts are preserved under renaming of constants (the algorithms
+// must not depend on constant identity).
+func TestSatCountInvariantUnderRenaming(t *testing.T) {
+	rng := rand.New(rand.NewSource(93))
+	q := query.MustParse("r1() :- R(x), S(x, y), !T(x, y)")
+	for trial := 0; trial < 8; trial++ {
+		d := randomInstance(rng, q, 3, 4, nil)
+		sat1, err := SatCountVector(d, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d3 := cloneWithRenamedConstants(d)
+		sat2, err := SatCountVector(d3, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(sat1) != len(sat2) {
+			t.Fatal("length mismatch after renaming")
+		}
+		for k := range sat1 {
+			if sat1[k].Cmp(sat2[k]) != 0 {
+				t.Fatalf("sat[%d] changed under constant renaming: %s vs %s", k, sat1[k], sat2[k])
+			}
+		}
+	}
+}
+
+// cloneWithRenamedConstants prefixes every constant with "z_", preserving
+// structure but changing every identity (and hence the sort order of bucket
+// values inside the counting recursion).
+func cloneWithRenamedConstants(d *db.Database) *db.Database {
+	out := db.New()
+	for _, f := range d.Facts() {
+		args := make([]db.Const, len(f.Args))
+		for i, c := range f.Args {
+			args[i] = "z_" + c
+		}
+		out.MustAdd(db.Fact{Rel: f.Rel, Args: args}, d.IsEndogenous(f))
+	}
+	return out
+}
+
+// The Monte-Carlo estimator is an unbiased average of {−1,0,1} samples, so
+// its estimate times the sample count is always an integer in range.
+func TestMonteCarloEstimateRange(t *testing.T) {
+	d := runningExample()
+	rng := rand.New(rand.NewSource(94))
+	for _, f := range d.EndoFacts() {
+		res, err := MonteCarloShapleyN(d, q1, f, 50, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Estimate < -1 || res.Estimate > 1 {
+			t.Fatalf("estimate %v out of [-1,1]", res.Estimate)
+		}
+		scaled := res.Estimate * float64(res.Samples)
+		if math.Abs(scaled-math.Round(scaled)) > 1e-9 {
+			t.Fatalf("estimate %v is not a multiple of 1/samples", res.Estimate)
+		}
+	}
+}
+
+// Random hierarchical fragments of random queries: whenever RandomCQ
+// produces a hierarchical query, SatCountVector must agree with brute-force
+// counting (complements the dichotomy-driven differential test).
+func TestSatCountRandomHierarchicalQueries(t *testing.T) {
+	rng := rand.New(rand.NewSource(95))
+	cfg := workload.DefaultRandomCQConfig()
+	checked := 0
+	for trial := 0; trial < 200 && checked < 25; trial++ {
+		q, _ := workload.RandomCQ(rng, cfg)
+		if !q.IsHierarchical() || q.HasSelfJoin() {
+			continue
+		}
+		d := workload.RandomForQuery(rng, q, 2, 3, nil, 0.7)
+		if d.NumEndo() == 0 || d.NumEndo() > 12 {
+			continue
+		}
+		checked++
+		checkSatVector(t, d, q)
+	}
+	if checked < 10 {
+		t.Fatalf("too few hierarchical random queries checked: %d", checked)
+	}
+}

@@ -1,0 +1,49 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/workload"
+)
+
+// The polynomial algorithm must handle instances three orders of magnitude
+// beyond the brute-force horizon. This is the "shape" claim of Theorem 3.1:
+// hierarchical queries scale, non-hierarchical ones do not.
+func TestHierarchicalScalesToLargeInstances(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large-instance scaling test skipped with -short")
+	}
+	d := workload.University(workload.UniversityConfig{
+		Students: 400, Courses: 20, RegPerStudent: 3, TAFraction: 0.4, Seed: 99,
+	})
+	m := d.NumEndo()
+	if m < 1000 {
+		t.Fatalf("instance too small: %d endogenous facts", m)
+	}
+	f := d.EndoFacts()[0]
+	start := time.Now()
+	v, err := ShapleyHierarchical(d, q1, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	elapsed := time.Since(start)
+	if elapsed > 2*time.Minute {
+		t.Fatalf("polynomial algorithm too slow at m=%d: %v", m, elapsed)
+	}
+	if v.Denom().Sign() == 0 {
+		t.Fatal("degenerate value")
+	}
+	// Sanity: a Reg fact's value is non-negative, a TA fact's non-positive.
+	switch f.Rel {
+	case "Reg":
+		if v.Sign() < 0 {
+			t.Fatalf("Reg fact with negative value %s", v.RatString())
+		}
+	case "TA":
+		if v.Sign() > 0 {
+			t.Fatalf("TA fact with positive value %s", v.RatString())
+		}
+	}
+	t.Logf("m=%d endogenous facts: Shapley(%s) computed in %v", m, f, elapsed)
+}

@@ -1,0 +1,111 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math/big"
+
+	"repro/internal/combinat"
+	"repro/internal/db"
+	"repro/internal/query"
+)
+
+// ErrUCQNotDisjoint is returned when the exact UCQ algorithm is applied to
+// a union whose disjuncts share relation symbols.
+var ErrUCQNotDisjoint = errors.New("core: UCQ disjuncts share relation symbols; exact counting requires pairwise relation-disjoint disjuncts")
+
+// SatCountVectorUCQ computes |Sat(D, u, k)| for a union of CQ¬s whose
+// disjuncts are hierarchical, self-join-free and pairwise relation-disjoint.
+// Disjointness makes the disjuncts probabilistically independent over
+// subset choice: a subset violates the union iff its per-disjunct parts
+// violate every disjunct, so the non-satisfying counts convolve exactly as
+// in the root-variable case of the CntSat recursion. (This covers the
+// natural UCQ¬ extension of the tractable side; the paper's qSAT shows the
+// union structure is otherwise genuinely harder.)
+func SatCountVectorUCQ(d *db.Database, u *query.UCQ) ([]*big.Int, error) {
+	if err := u.Validate(); err != nil {
+		return nil, err
+	}
+	seen := make(map[string]int)
+	for i, q := range u.Disjuncts {
+		if q.HasSelfJoin() {
+			return nil, fmt.Errorf("%w (disjunct %s)", ErrNotSelfJoinFree, q.Name())
+		}
+		if !q.IsHierarchical() {
+			return nil, fmt.Errorf("%w (disjunct %s)", ErrNotHierarchical, q.Name())
+		}
+		for _, rel := range q.Relations() {
+			if j, dup := seen[rel]; dup && j != i {
+				return nil, fmt.Errorf("%w: %s", ErrUCQNotDisjoint, rel)
+			}
+			seen[rel] = i
+		}
+	}
+
+	n := d.NumEndo()
+	relOf := make(map[string]int) // relation -> disjunct index
+	for i, q := range u.Disjuncts {
+		for _, rel := range q.Relations() {
+			relOf[rel] = i
+		}
+	}
+	pools := make([]*db.Database, len(u.Disjuncts))
+	for i := range pools {
+		pools[i] = db.New()
+	}
+	freeEndo := 0
+	for _, f := range d.Facts() {
+		if i, ok := relOf[f.Rel]; ok {
+			pools[i].MustAdd(f, d.IsEndogenous(f))
+		} else if d.IsEndogenous(f) {
+			freeEndo++
+		}
+	}
+	nonSat := make([][]*big.Int, 0, len(u.Disjuncts)+1)
+	for i, q := range u.Disjuncts {
+		sat, err := SatCountVector(pools[i], q)
+		if err != nil {
+			return nil, err
+		}
+		nonSat = append(nonSat, combinat.ComplementVector(sat, pools[i].NumEndo()))
+	}
+	if freeEndo > 0 {
+		nonSat = append(nonSat, combinat.BinomialVector(freeEndo))
+	}
+	allNonSat := combinat.ConvolveAll(nonSat)
+	out := make([]*big.Int, n+1)
+	for k := 0; k <= n; k++ {
+		out[k] = combinat.Binomial(n, k)
+		if k < len(allNonSat) {
+			out[k].Sub(out[k], allNonSat[k])
+		}
+	}
+	return out, nil
+}
+
+// ShapleyHierarchicalUCQ computes Shapley(D, u, f) exactly for a
+// relation-disjoint union of hierarchical self-join-free CQ¬s, via the same
+// |Sat| reduction as the single-query case.
+func ShapleyHierarchicalUCQ(d *db.Database, u *query.UCQ, f db.Fact) (*big.Rat, error) {
+	if !d.IsEndogenous(f) {
+		return nil, fmt.Errorf("%w: %s", ErrNotEndogenous, f)
+	}
+	m := d.NumEndo()
+	dWith, err := d.WithExogenous(f)
+	if err != nil {
+		return nil, err
+	}
+	satWith, err := SatCountVectorUCQ(dWith, u)
+	if err != nil {
+		return nil, err
+	}
+	dWithout, err := d.Without(f)
+	if err != nil {
+		return nil, err
+	}
+	satWithout, err := SatCountVectorUCQ(dWithout, u)
+	if err != nil {
+		return nil, err
+	}
+	return combinat.WeightedDifference(satWith, satWithout, m), nil
+}

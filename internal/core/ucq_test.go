@@ -1,0 +1,144 @@
+package core
+
+import (
+	"errors"
+	"math/big"
+	"math/rand"
+	"testing"
+
+	"repro/internal/db"
+	"repro/internal/query"
+)
+
+func disjointUnion() *query.UCQ {
+	return query.MustParseUCQ(`
+qa() :- R(x), S(x, y), !T(x, y)
+qb() :- U(x, y), !V(y)`)
+}
+
+// randomUnionInstance builds a random database spanning the relations of
+// both disjuncts plus an unrelated relation (free facts).
+func randomUnionInstance(rng *rand.Rand, perRel int) *db.Database {
+	d := db.New()
+	dom := []db.Const{"a", "b", "c"}
+	pick := func() db.Const { return dom[rng.Intn(len(dom))] }
+	add := func(f db.Fact) {
+		if !d.Contains(f) {
+			d.MustAdd(f, rng.Intn(3) > 0)
+		}
+	}
+	for i := 0; i < perRel; i++ {
+		add(db.NewFact("R", pick()))
+		add(db.NewFact("S", pick(), pick()))
+		add(db.NewFact("T", pick(), pick()))
+		add(db.NewFact("U", pick(), pick()))
+		add(db.NewFact("V", pick()))
+		add(db.NewFact("Free", pick()))
+	}
+	return d
+}
+
+func TestSatCountVectorUCQAgainstBrute(t *testing.T) {
+	u := disjointUnion()
+	rng := rand.New(rand.NewSource(121))
+	for trial := 0; trial < 10; trial++ {
+		d := randomUnionInstance(rng, 3)
+		if d.NumEndo() > 14 {
+			continue
+		}
+		got, err := SatCountVectorUCQ(d, u)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Brute force |Sat| for the union.
+		endo := d.EndoFacts()
+		n := len(endo)
+		want := make([]*big.Int, n+1)
+		for k := range want {
+			want[k] = new(big.Int)
+		}
+		for mask := 0; mask < 1<<uint(n); mask++ {
+			sub := d.Restrict(func(_ db.Fact, e bool) bool { return !e })
+			k := 0
+			for i, f := range endo {
+				if mask&(1<<uint(i)) != 0 {
+					sub.MustAddEndo(f)
+					k++
+				}
+			}
+			if u.Eval(sub) {
+				want[k].Add(want[k], big.NewInt(1))
+			}
+		}
+		for k := range want {
+			if got[k].Cmp(want[k]) != 0 {
+				t.Fatalf("sat[%d] = %s, want %s\nDB:\n%s", k, got[k], want[k], d)
+			}
+		}
+	}
+}
+
+func TestShapleyHierarchicalUCQAgainstBrute(t *testing.T) {
+	u := disjointUnion()
+	rng := rand.New(rand.NewSource(122))
+	for trial := 0; trial < 6; trial++ {
+		d := randomUnionInstance(rng, 2)
+		if d.NumEndo() == 0 || d.NumEndo() > 10 {
+			continue
+		}
+		for _, f := range d.EndoFacts() {
+			fast, err := ShapleyHierarchicalUCQ(d, u, f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			slow, err := BruteForceShapley(d, u, f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if fast.Cmp(slow) != 0 {
+				t.Fatalf("Shapley(%s) = %s, brute %s\nDB:\n%s", f, fast.RatString(), slow.RatString(), d)
+			}
+		}
+	}
+}
+
+func TestUCQRejectsSharedRelations(t *testing.T) {
+	u := query.MustParseUCQ("qa() :- R(x) | qb() :- R(x), S(x)")
+	d := db.New()
+	d.MustAddEndo(db.F("R", "a"))
+	if _, err := SatCountVectorUCQ(d, u); !errors.Is(err, ErrUCQNotDisjoint) {
+		t.Fatalf("want ErrUCQNotDisjoint, got %v", err)
+	}
+}
+
+func TestUCQRejectsHardDisjunct(t *testing.T) {
+	u := query.MustParseUCQ("qa() :- R(x), S(x, y), T(y) | qb() :- U(x)")
+	d := db.New()
+	d.MustAddEndo(db.F("U", "a"))
+	if _, err := SatCountVectorUCQ(d, u); !errors.Is(err, ErrNotHierarchical) {
+		t.Fatalf("want ErrNotHierarchical, got %v", err)
+	}
+	u2 := query.MustParseUCQ("qa() :- R(x, y), !R(y, x) | qb() :- U(x)")
+	if _, err := SatCountVectorUCQ(d, u2); !errors.Is(err, ErrNotSelfJoinFree) {
+		t.Fatalf("want ErrNotSelfJoinFree, got %v", err)
+	}
+}
+
+func TestUCQSingleDisjunctMatchesCQ(t *testing.T) {
+	// A one-disjunct union must agree with the plain CQ algorithm.
+	d := runningExample()
+	u := &query.UCQ{Disjuncts: []*query.CQ{q1}}
+	for _, f := range d.EndoFacts() {
+		a, err := ShapleyHierarchicalUCQ(d, u, f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := ShapleyHierarchical(d, q1, f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Cmp(b) != 0 {
+			t.Fatalf("UCQ wrapper differs for %s: %s vs %s", f, a.RatString(), b.RatString())
+		}
+	}
+}

@@ -1,0 +1,54 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/db"
+	"repro/internal/query"
+)
+
+// CriticalSubsets enumerates the witness subsets behind a Shapley value:
+// the subsets E ⊆ Dn \ {f} such that adding f to Dx ∪ E changes the query
+// answer, split by direction (false→true and true→false). These are exactly
+// the subset families Appendix A enumerates when working out Example 2.3 by
+// hand; the Shapley value is Σ_E |E|!(m−1−|E|)!/m! over positive witnesses
+// minus the same sum over negative ones.
+//
+// The enumeration is exponential and intended for explanation and debugging
+// on small databases.
+func CriticalSubsets(d *db.Database, q query.BooleanQuery, f db.Fact) (posE, negE [][]db.Fact, err error) {
+	if !d.IsEndogenous(f) {
+		return nil, nil, fmt.Errorf("%w: %s", ErrNotEndogenous, f)
+	}
+	g, err := newGameCache(d, q)
+	if err != nil {
+		return nil, nil, err
+	}
+	fi, err := g.indexOf(f)
+	if err != nil {
+		return nil, nil, err
+	}
+	m := len(g.endo)
+	fbit := uint64(1) << uint(fi)
+	for mask := uint64(0); mask < 1<<uint(m); mask++ {
+		if mask&fbit != 0 {
+			continue
+		}
+		with, without := g.value(mask|fbit), g.value(mask)
+		if with == without {
+			continue
+		}
+		var subset []db.Fact
+		for i, e := range g.endo {
+			if mask&(1<<uint(i)) != 0 {
+				subset = append(subset, e)
+			}
+		}
+		if with {
+			posE = append(posE, subset)
+		} else {
+			negE = append(negE, subset)
+		}
+	}
+	return posE, negE, nil
+}

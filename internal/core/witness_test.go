@@ -1,0 +1,114 @@
+package core
+
+import (
+	"math/big"
+	"testing"
+
+	"repro/internal/combinat"
+	"repro/internal/db"
+	"repro/internal/query"
+)
+
+// Appendix A works out Example 2.3 by enumerating, for each fact, the
+// subsets that may precede it in a permutation where it flips the answer.
+// This test reproduces those families exactly (including the f1r slip the
+// appendix makes: the correct family has six subsets, not five — see
+// EXPERIMENTS.md).
+func TestCriticalSubsetsMatchAppendixA(t *testing.T) {
+	d := runningExample()
+	// fact -> (#false→true witnesses, #true→false witnesses)
+	expected := map[string][2]int{
+		"TA(Adam)":         {0, 18}, // 2·1!6! + 5·2!5! + 6·3!4! + 4·4!3! + 5!2!
+		"TA(Ben)":          {0, 10}, // 1!6! + 2·2!5! + 3·(3!4! + 4!3!) + 5!2!
+		"TA(David)":        {0, 0},
+		"Reg(Adam,OS)":     {6, 0}, // corrected Appendix A family
+		"Reg(Adam,AI)":     {6, 0},
+		"Reg(Ben,OS)":      {10, 0}, // the appendix's "ten possible subsets"
+		"Reg(Caroline,DB)": {30, 0}, // the appendix's "thirty possible subsets"
+		"Reg(Caroline,IC)": {30, 0},
+	}
+	m := d.NumEndo()
+	for key, want := range expected {
+		f, _ := db.ParseFact(key)
+		pos, neg, err := CriticalSubsets(d, q1, f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(pos) != want[0] || len(neg) != want[1] {
+			t.Errorf("%s: %d positive / %d negative witnesses, want %d / %d",
+				key, len(pos), len(neg), want[0], want[1])
+		}
+		// Reconstruct the Shapley value from the witnesses, as the appendix
+		// does by hand.
+		total := new(big.Rat)
+		for _, e := range pos {
+			total.Add(total, combinat.ShapleyWeight(len(e), m))
+		}
+		for _, e := range neg {
+			total.Sub(total, combinat.ShapleyWeight(len(e), m))
+		}
+		exact, err := ShapleyHierarchical(d, q1, f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if total.Cmp(exact) != 0 {
+			t.Errorf("%s: witness reconstruction %s != exact %s", key, total.RatString(), exact.RatString())
+		}
+	}
+}
+
+func TestCriticalSubsetsSpecificFamily(t *testing.T) {
+	// The appendix's family for f2t = TA(Ben): the base subsets are
+	// {f3r}, {f3r,f1t}, {f3r,f1r,f1t}, {f3r,f2r,f1t}, {f3r,f2r,f1r,f1t},
+	// each optionally extended with f3t.
+	d := runningExample()
+	_, neg, err := CriticalSubsets(d, q1, db.F("TA", "Ben"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every negative witness must contain Reg(Ben,OS) and not contain
+	// either of Caroline's registrations.
+	for _, e := range neg {
+		hasBenReg := false
+		for _, f := range e {
+			if f.Key() == "Reg(Ben,OS)" {
+				hasBenReg = true
+			}
+			if f.Key() == "Reg(Caroline,DB)" || f.Key() == "Reg(Caroline,IC)" {
+				t.Fatalf("witness %v contains a Caroline registration (query would stay true)", e)
+			}
+		}
+		if !hasBenReg {
+			t.Fatalf("witness %v lacks Reg(Ben,OS); TA(Ben) could not flip the answer", e)
+		}
+	}
+}
+
+func TestCriticalSubsetsBothDirections(t *testing.T) {
+	// Example 5.3: R(1,2) has one positive witness (∅) and one negative
+	// ({R(2,1)}), so the value cancels to zero.
+	d := db.New()
+	d.MustAddEndo(db.F("R", "1", "2"))
+	d.MustAddEndo(db.F("R", "2", "1"))
+	q := query.MustParse("q() :- R(x, y), !R(y, x)")
+	pos, neg, err := CriticalSubsets(d, q, db.F("R", "1", "2"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pos) != 1 || len(neg) != 1 {
+		t.Fatalf("got %d positive, %d negative witnesses, want 1 and 1", len(pos), len(neg))
+	}
+	if len(pos[0]) != 0 {
+		t.Fatalf("positive witness should be the empty set, got %v", pos[0])
+	}
+	if len(neg[0]) != 1 || neg[0][0].Key() != "R(2,1)" {
+		t.Fatalf("negative witness should be {R(2,1)}, got %v", neg[0])
+	}
+}
+
+func TestCriticalSubsetsErrors(t *testing.T) {
+	d := runningExample()
+	if _, _, err := CriticalSubsets(d, q1, db.F("Stud", "Adam")); err == nil {
+		t.Fatal("exogenous fact accepted")
+	}
+}

@@ -1,0 +1,329 @@
+// Package db implements the relational database substrate of the paper:
+// databases are finite sets of facts over a relational schema, where every
+// fact is marked endogenous or exogenous (D = Dx ∪ Dn in the paper's
+// notation). Exogenous facts are taken as given; endogenous facts are the
+// players of the Shapley cooperative game.
+//
+// Databases preserve insertion order so that all algorithms in this
+// repository are deterministic, while maintaining hash indexes for O(1)
+// membership tests. Arity consistency per relation symbol is enforced.
+package db
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Const is a database constant (an element of the paper's set Const).
+type Const string
+
+// Fact is a fact R(c1, ..., ck) over relation symbol R.
+type Fact struct {
+	Rel  string
+	Args []Const
+}
+
+// NewFact builds a fact from a relation symbol and constants.
+func NewFact(rel string, args ...Const) Fact {
+	return Fact{Rel: rel, Args: args}
+}
+
+// F is a convenience constructor taking plain strings.
+func F(rel string, args ...string) Fact {
+	cs := make([]Const, len(args))
+	for i, a := range args {
+		cs[i] = Const(a)
+	}
+	return Fact{Rel: rel, Args: cs}
+}
+
+// Key returns a canonical map key for the fact.
+func (f Fact) Key() string {
+	var b strings.Builder
+	b.WriteString(f.Rel)
+	b.WriteByte('(')
+	for i, a := range f.Args {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(string(a))
+	}
+	b.WriteByte(')')
+	return b.String()
+}
+
+// String renders the fact as R(c1,...,ck).
+func (f Fact) String() string { return f.Key() }
+
+// Arity returns the number of arguments.
+func (f Fact) Arity() int { return len(f.Args) }
+
+// Equal reports whether two facts are identical.
+func (f Fact) Equal(g Fact) bool {
+	if f.Rel != g.Rel || len(f.Args) != len(g.Args) {
+		return false
+	}
+	for i := range f.Args {
+		if f.Args[i] != g.Args[i] {
+			return false
+		}
+	}
+	return true
+}
+
+type storedFact struct {
+	fact Fact
+	endo bool
+}
+
+// Database is a finite set of facts partitioned into exogenous and
+// endogenous subsets. The zero value is not usable; call New.
+type Database struct {
+	byKey map[string]*storedFact
+	order []*storedFact            // insertion order
+	rels  map[string][]*storedFact // per-relation, insertion order
+	arity map[string]int
+}
+
+// New returns an empty database.
+func New() *Database {
+	return &Database{
+		byKey: make(map[string]*storedFact),
+		rels:  make(map[string][]*storedFact),
+		arity: make(map[string]int),
+	}
+}
+
+// Add inserts a fact with the given endogeneity. It returns an error on a
+// duplicate fact (even with the same flag) or an arity clash, so that
+// construction bugs surface early.
+func (d *Database) Add(f Fact, endogenous bool) error {
+	if f.Rel == "" {
+		return fmt.Errorf("db: fact with empty relation symbol")
+	}
+	key := f.Key()
+	if _, dup := d.byKey[key]; dup {
+		return fmt.Errorf("db: duplicate fact %s", key)
+	}
+	if a, seen := d.arity[f.Rel]; seen {
+		if a != len(f.Args) {
+			return fmt.Errorf("db: arity clash for %s: %d vs %d", f.Rel, a, len(f.Args))
+		}
+	} else {
+		d.arity[f.Rel] = len(f.Args)
+	}
+	sf := &storedFact{fact: f, endo: endogenous}
+	d.byKey[key] = sf
+	d.order = append(d.order, sf)
+	d.rels[f.Rel] = append(d.rels[f.Rel], sf)
+	return nil
+}
+
+// AddExo inserts an exogenous fact (see Add for error conditions).
+func (d *Database) AddExo(f Fact) error { return d.Add(f, false) }
+
+// AddEndo inserts an endogenous fact (see Add for error conditions).
+func (d *Database) AddEndo(f Fact) error { return d.Add(f, true) }
+
+// MustAdd inserts a fact and panics on error; intended for fixtures.
+func (d *Database) MustAdd(f Fact, endogenous bool) {
+	if err := d.Add(f, endogenous); err != nil {
+		panic(err)
+	}
+}
+
+// MustAddExo is MustAdd with endogenous=false.
+func (d *Database) MustAddExo(f Fact) { d.MustAdd(f, false) }
+
+// MustAddEndo is MustAdd with endogenous=true.
+func (d *Database) MustAddEndo(f Fact) { d.MustAdd(f, true) }
+
+// Contains reports whether the fact is in the database.
+func (d *Database) Contains(f Fact) bool {
+	_, ok := d.byKey[f.Key()]
+	return ok
+}
+
+// IsEndogenous reports whether f is present and endogenous.
+func (d *Database) IsEndogenous(f Fact) bool {
+	sf, ok := d.byKey[f.Key()]
+	return ok && sf.endo
+}
+
+// IsExogenous reports whether f is present and exogenous.
+func (d *Database) IsExogenous(f Fact) bool {
+	sf, ok := d.byKey[f.Key()]
+	return ok && !sf.endo
+}
+
+// Facts returns all facts in insertion order.
+func (d *Database) Facts() []Fact {
+	out := make([]Fact, 0, len(d.order))
+	for _, sf := range d.order {
+		out = append(out, sf.fact)
+	}
+	return out
+}
+
+// EndoFacts returns the endogenous facts (Dn) in insertion order.
+func (d *Database) EndoFacts() []Fact {
+	var out []Fact
+	for _, sf := range d.order {
+		if sf.endo {
+			out = append(out, sf.fact)
+		}
+	}
+	return out
+}
+
+// ExoFacts returns the exogenous facts (Dx) in insertion order.
+func (d *Database) ExoFacts() []Fact {
+	var out []Fact
+	for _, sf := range d.order {
+		if !sf.endo {
+			out = append(out, sf.fact)
+		}
+	}
+	return out
+}
+
+// RelationFacts returns the facts of one relation in insertion order.
+func (d *Database) RelationFacts(rel string) []Fact {
+	sfs := d.rels[rel]
+	out := make([]Fact, 0, len(sfs))
+	for _, sf := range sfs {
+		out = append(out, sf.fact)
+	}
+	return out
+}
+
+// Relations returns the relation symbols in sorted order.
+func (d *Database) Relations() []string {
+	out := make([]string, 0, len(d.rels))
+	for r := range d.rels {
+		out = append(out, r)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Arity returns the arity of a relation symbol and whether it is known.
+func (d *Database) Arity(rel string) (int, bool) {
+	a, ok := d.arity[rel]
+	return a, ok
+}
+
+// NumFacts returns the total number of facts.
+func (d *Database) NumFacts() int { return len(d.order) }
+
+// NumEndo returns |Dn|.
+func (d *Database) NumEndo() int {
+	n := 0
+	for _, sf := range d.order {
+		if sf.endo {
+			n++
+		}
+	}
+	return n
+}
+
+// Domain returns the active domain Dom(D): all constants appearing in any
+// fact, sorted and deduplicated.
+func (d *Database) Domain() []Const {
+	seen := make(map[Const]bool)
+	var out []Const
+	for _, sf := range d.order {
+		for _, a := range sf.fact.Args {
+			if !seen[a] {
+				seen[a] = true
+				out = append(out, a)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// RelationEndogenous reports whether relation rel contains at least one
+// endogenous fact. A relation with only exogenous facts is an "exogenous
+// relation" instance-wise (the schema-level declaration lives with queries).
+func (d *Database) RelationEndogenous(rel string) bool {
+	for _, sf := range d.rels[rel] {
+		if sf.endo {
+			return true
+		}
+	}
+	return false
+}
+
+// Clone returns a deep copy of the database.
+func (d *Database) Clone() *Database {
+	out := New()
+	for _, sf := range d.order {
+		out.MustAdd(sf.fact, sf.endo)
+	}
+	return out
+}
+
+// WithExogenous returns a copy of d in which f (which must be an endogenous
+// fact of d) has been moved to the exogenous side.
+func (d *Database) WithExogenous(f Fact) (*Database, error) {
+	if !d.IsEndogenous(f) {
+		return nil, fmt.Errorf("db: %s is not an endogenous fact", f)
+	}
+	out := New()
+	key := f.Key()
+	for _, sf := range d.order {
+		endo := sf.endo
+		if sf.fact.Key() == key {
+			endo = false
+		}
+		out.MustAdd(sf.fact, endo)
+	}
+	return out, nil
+}
+
+// Without returns a copy of d with fact f removed. It is an error if f is
+// not present.
+func (d *Database) Without(f Fact) (*Database, error) {
+	if !d.Contains(f) {
+		return nil, fmt.Errorf("db: %s is not a fact of the database", f)
+	}
+	out := New()
+	key := f.Key()
+	for _, sf := range d.order {
+		if sf.fact.Key() == key {
+			continue
+		}
+		out.MustAdd(sf.fact, sf.endo)
+	}
+	return out, nil
+}
+
+// Restrict returns a copy of d containing only the facts for which keep
+// returns true.
+func (d *Database) Restrict(keep func(f Fact, endogenous bool) bool) *Database {
+	out := New()
+	for _, sf := range d.order {
+		if keep(sf.fact, sf.endo) {
+			out.MustAdd(sf.fact, sf.endo)
+		}
+	}
+	return out
+}
+
+// String renders the database in the textual format understood by Parse.
+func (d *Database) String() string {
+	var b strings.Builder
+	for _, sf := range d.order {
+		if sf.endo {
+			b.WriteString("endo ")
+		} else {
+			b.WriteString("exo  ")
+		}
+		b.WriteString(sf.fact.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

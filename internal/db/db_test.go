@@ -1,0 +1,297 @@
+package db
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestAddAndMembership(t *testing.T) {
+	d := New()
+	if err := d.AddExo(F("R", "a", "b")); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.AddEndo(F("S", "a")); err != nil {
+		t.Fatal(err)
+	}
+	if !d.Contains(F("R", "a", "b")) || !d.Contains(F("S", "a")) {
+		t.Fatal("missing inserted facts")
+	}
+	if d.Contains(F("R", "b", "a")) {
+		t.Fatal("phantom fact")
+	}
+	if !d.IsExogenous(F("R", "a", "b")) || d.IsEndogenous(F("R", "a", "b")) {
+		t.Fatal("wrong endogeneity for R(a,b)")
+	}
+	if !d.IsEndogenous(F("S", "a")) {
+		t.Fatal("wrong endogeneity for S(a)")
+	}
+	if d.IsEndogenous(F("T", "x")) || d.IsExogenous(F("T", "x")) {
+		t.Fatal("absent fact reported present")
+	}
+}
+
+func TestDuplicateRejected(t *testing.T) {
+	d := New()
+	d.MustAddExo(F("R", "a"))
+	if err := d.AddExo(F("R", "a")); err == nil {
+		t.Fatal("duplicate exo accepted")
+	}
+	if err := d.AddEndo(F("R", "a")); err == nil {
+		t.Fatal("duplicate with different flag accepted")
+	}
+}
+
+func TestArityClash(t *testing.T) {
+	d := New()
+	d.MustAddExo(F("R", "a"))
+	if err := d.AddExo(F("R", "a", "b")); err == nil {
+		t.Fatal("arity clash accepted")
+	}
+	if a, ok := d.Arity("R"); !ok || a != 1 {
+		t.Fatalf("Arity(R) = %d,%v want 1,true", a, ok)
+	}
+	if _, ok := d.Arity("Z"); ok {
+		t.Fatal("unknown relation has arity")
+	}
+}
+
+func TestEmptyRelationSymbolRejected(t *testing.T) {
+	d := New()
+	if err := d.Add(Fact{Rel: ""}, false); err == nil {
+		t.Fatal("empty relation symbol accepted")
+	}
+}
+
+func TestPartitionAndOrder(t *testing.T) {
+	d := New()
+	d.MustAddExo(F("R", "1"))
+	d.MustAddEndo(F("R", "2"))
+	d.MustAddExo(F("S", "3"))
+	d.MustAddEndo(F("R", "4"))
+
+	endo := d.EndoFacts()
+	if len(endo) != 2 || endo[0].Key() != "R(2)" || endo[1].Key() != "R(4)" {
+		t.Fatalf("EndoFacts order wrong: %v", endo)
+	}
+	exo := d.ExoFacts()
+	if len(exo) != 2 || exo[0].Key() != "R(1)" || exo[1].Key() != "S(3)" {
+		t.Fatalf("ExoFacts order wrong: %v", exo)
+	}
+	if d.NumFacts() != 4 || d.NumEndo() != 2 {
+		t.Fatalf("counts: %d facts, %d endo", d.NumFacts(), d.NumEndo())
+	}
+	rf := d.RelationFacts("R")
+	if len(rf) != 3 || rf[0].Key() != "R(1)" || rf[2].Key() != "R(4)" {
+		t.Fatalf("RelationFacts order wrong: %v", rf)
+	}
+	rels := d.Relations()
+	if len(rels) != 2 || rels[0] != "R" || rels[1] != "S" {
+		t.Fatalf("Relations = %v", rels)
+	}
+}
+
+func TestDomainSortedDeduped(t *testing.T) {
+	d := New()
+	d.MustAddExo(F("R", "b", "a"))
+	d.MustAddEndo(F("S", "a", "c"))
+	dom := d.Domain()
+	want := []Const{"a", "b", "c"}
+	if len(dom) != 3 {
+		t.Fatalf("domain %v", dom)
+	}
+	for i := range want {
+		if dom[i] != want[i] {
+			t.Fatalf("domain %v, want %v", dom, want)
+		}
+	}
+}
+
+func TestRelationEndogenous(t *testing.T) {
+	d := New()
+	d.MustAddExo(F("R", "a"))
+	d.MustAddEndo(F("S", "b"))
+	if d.RelationEndogenous("R") {
+		t.Fatal("R should be all-exogenous")
+	}
+	if !d.RelationEndogenous("S") {
+		t.Fatal("S has an endogenous fact")
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	d := New()
+	d.MustAddEndo(F("R", "a"))
+	c := d.Clone()
+	c.MustAddEndo(F("R", "b"))
+	if d.Contains(F("R", "b")) {
+		t.Fatal("clone shares storage with original")
+	}
+}
+
+func TestWithExogenous(t *testing.T) {
+	d := New()
+	d.MustAddEndo(F("R", "a"))
+	d.MustAddEndo(F("R", "b"))
+	d2, err := d.WithExogenous(F("R", "a"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d2.IsExogenous(F("R", "a")) || !d2.IsEndogenous(F("R", "b")) {
+		t.Fatal("WithExogenous moved wrong facts")
+	}
+	if !d.IsEndogenous(F("R", "a")) {
+		t.Fatal("WithExogenous mutated original")
+	}
+	if _, err := d.WithExogenous(F("R", "z")); err == nil {
+		t.Fatal("WithExogenous accepted absent fact")
+	}
+	if _, err := d2.WithExogenous(F("R", "a")); err == nil {
+		t.Fatal("WithExogenous accepted exogenous fact")
+	}
+}
+
+func TestWithout(t *testing.T) {
+	d := New()
+	d.MustAddEndo(F("R", "a"))
+	d.MustAddExo(F("R", "b"))
+	d2, err := d.Without(F("R", "a"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d2.Contains(F("R", "a")) || !d2.Contains(F("R", "b")) {
+		t.Fatal("Without removed wrong facts")
+	}
+	if _, err := d.Without(F("R", "z")); err == nil {
+		t.Fatal("Without accepted absent fact")
+	}
+}
+
+func TestRestrict(t *testing.T) {
+	d := New()
+	d.MustAddEndo(F("R", "a"))
+	d.MustAddExo(F("S", "b"))
+	only := d.Restrict(func(f Fact, endo bool) bool { return endo })
+	if only.NumFacts() != 1 || !only.Contains(F("R", "a")) {
+		t.Fatalf("Restrict kept %v", only.Facts())
+	}
+}
+
+func TestFactEqualAndKey(t *testing.T) {
+	a := F("R", "x", "y")
+	b := F("R", "x", "y")
+	if !a.Equal(b) {
+		t.Fatal("equal facts not Equal")
+	}
+	if a.Equal(F("R", "x")) || a.Equal(F("S", "x", "y")) || a.Equal(F("R", "x", "z")) {
+		t.Fatal("unequal facts Equal")
+	}
+	if a.Key() != "R(x,y)" || a.Arity() != 2 {
+		t.Fatalf("Key=%s Arity=%d", a.Key(), a.Arity())
+	}
+}
+
+func TestParseRoundTrip(t *testing.T) {
+	src := `
+# running example fragment
+exo  Stud(Adam)
+endo TA(Adam)
+endo Reg(Adam, OS)
+exo  Course(OS, EE)
+`
+	d, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.NumFacts() != 4 || d.NumEndo() != 2 {
+		t.Fatalf("parsed %d facts, %d endo", d.NumFacts(), d.NumEndo())
+	}
+	d2, err := Parse(d.String())
+	if err != nil {
+		t.Fatalf("round trip failed: %v", err)
+	}
+	if d2.String() != d.String() {
+		t.Fatalf("round trip mismatch:\n%s\nvs\n%s", d.String(), d2.String())
+	}
+}
+
+func TestParseQuotedConstants(t *testing.T) {
+	d, err := Parse("exo R('hello world', 'a,b')")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.Contains(NewFact("R", "hello world", "a,b")) {
+		t.Fatalf("quoted constants mis-parsed: %v", d.Facts())
+	}
+}
+
+func TestParseZeroAry(t *testing.T) {
+	d, err := Parse("endo Flag()")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.Contains(NewFact("Flag")) {
+		t.Fatal("zero-ary fact mis-parsed")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"R(a)",               // missing marker
+		"both R(a)",          // bad marker
+		"exo R(a",            // missing paren
+		"exo (a)",            // missing relation
+		"exo R(a, 'oops)",    // unterminated quote
+		"exo R(,a)",          // empty constant
+		"exo R(a) exo R(b)",  // trailing junk becomes bad constant list
+		"endo 9R(a)",         // relation starts with digit
+		"exo R(a)\nexo R(a)", // duplicate
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestMustParsePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustParse should panic on bad input")
+		}
+	}()
+	MustParse("nonsense")
+}
+
+func TestParseFactWhitespace(t *testing.T) {
+	f, err := ParseFact("R( a ,  b )")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !f.Equal(F("R", "a", "b")) {
+		t.Fatalf("got %v", f)
+	}
+}
+
+// Property: String/Parse round-trips databases built from arbitrary small
+// fact sets.
+func TestQuickRoundTrip(t *testing.T) {
+	rels := []string{"R", "S", "T"}
+	f := func(spec []uint8) bool {
+		d := New()
+		for _, b := range spec {
+			rel := rels[int(b)%3]
+			arg := Const(strings.Repeat("a", int(b)%4+1))
+			fact := Fact{Rel: rel, Args: []Const{arg}}
+			if d.Contains(fact) {
+				continue
+			}
+			d.MustAdd(fact, b%2 == 0)
+		}
+		d2, err := Parse(d.String())
+		return err == nil && d2.String() == d.String()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

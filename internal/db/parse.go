@@ -1,0 +1,152 @@
+package db
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// Parse reads a database from its textual format: one fact per line,
+// prefixed with "exo" or "endo", e.g.
+//
+//	# the running example (fragment)
+//	exo  Stud(Adam)
+//	endo TA(Adam)
+//	endo Reg(Adam, OS)
+//
+// Blank lines and lines starting with '#' or '%' are ignored. Constants are
+// bare identifiers (letters, digits, '_', '-', '.', '<', '>') or
+// single-quoted strings (which may contain any character except a quote).
+func Parse(text string) (*Database, error) {
+	d := New()
+	for lineNo, raw := range strings.Split(text, "\n") {
+		line := strings.TrimSpace(raw)
+		if line == "" || strings.HasPrefix(line, "#") || strings.HasPrefix(line, "%") {
+			continue
+		}
+		fields := strings.SplitN(line, " ", 2)
+		if len(fields) != 2 {
+			return nil, fmt.Errorf("db: line %d: want '<exo|endo> Fact(...)', got %q", lineNo+1, line)
+		}
+		var endo bool
+		switch strings.TrimSpace(fields[0]) {
+		case "exo":
+			endo = false
+		case "endo":
+			endo = true
+		default:
+			return nil, fmt.Errorf("db: line %d: unknown marker %q (want exo or endo)", lineNo+1, fields[0])
+		}
+		f, err := ParseFact(strings.TrimSpace(fields[1]))
+		if err != nil {
+			return nil, fmt.Errorf("db: line %d: %v", lineNo+1, err)
+		}
+		if err := d.Add(f, endo); err != nil {
+			return nil, fmt.Errorf("db: line %d: %v", lineNo+1, err)
+		}
+	}
+	return d, nil
+}
+
+// MustParse is Parse that panics on error; intended for fixtures.
+func MustParse(text string) *Database {
+	d, err := Parse(text)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// ParseFact parses a single fact "R(c1, c2, ...)". Zero-ary facts are
+// written "R()".
+func ParseFact(s string) (Fact, error) {
+	open := strings.IndexByte(s, '(')
+	if open < 0 || !strings.HasSuffix(s, ")") {
+		return Fact{}, fmt.Errorf("malformed fact %q", s)
+	}
+	rel := strings.TrimSpace(s[:open])
+	if !validIdent(rel) {
+		return Fact{}, fmt.Errorf("malformed relation symbol %q", rel)
+	}
+	inner := strings.TrimSpace(s[open+1 : len(s)-1])
+	if inner == "" {
+		return Fact{Rel: rel}, nil
+	}
+	parts, err := splitArgs(inner)
+	if err != nil {
+		return Fact{}, fmt.Errorf("fact %q: %v", s, err)
+	}
+	args := make([]Const, len(parts))
+	for i, p := range parts {
+		c, err := parseConst(p)
+		if err != nil {
+			return Fact{}, fmt.Errorf("fact %q: %v", s, err)
+		}
+		args[i] = c
+	}
+	return Fact{Rel: rel, Args: args}, nil
+}
+
+// splitArgs splits a comma-separated argument list, honoring single quotes.
+func splitArgs(s string) ([]string, error) {
+	var parts []string
+	var cur strings.Builder
+	inQuote := false
+	for _, r := range s {
+		switch {
+		case r == '\'':
+			inQuote = !inQuote
+			cur.WriteRune(r)
+		case r == ',' && !inQuote:
+			parts = append(parts, strings.TrimSpace(cur.String()))
+			cur.Reset()
+		default:
+			cur.WriteRune(r)
+		}
+	}
+	if inQuote {
+		return nil, fmt.Errorf("unterminated quote in %q", s)
+	}
+	parts = append(parts, strings.TrimSpace(cur.String()))
+	return parts, nil
+}
+
+func parseConst(s string) (Const, error) {
+	if s == "" {
+		return "", fmt.Errorf("empty constant")
+	}
+	if strings.HasPrefix(s, "'") {
+		if len(s) < 2 || !strings.HasSuffix(s, "'") {
+			return "", fmt.Errorf("malformed quoted constant %q", s)
+		}
+		return Const(s[1 : len(s)-1]), nil
+	}
+	if !validConstToken(s) {
+		return "", fmt.Errorf("malformed constant %q", s)
+	}
+	return Const(s), nil
+}
+
+func validIdent(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		if unicode.IsLetter(r) || r == '_' || (i > 0 && (unicode.IsDigit(r) || r == '\'')) {
+			continue
+		}
+		return false
+	}
+	return true
+}
+
+func validConstToken(s string) bool {
+	for _, r := range s {
+		if unicode.IsLetter(r) || unicode.IsDigit(r) ||
+			r == '_' || r == '-' || r == '.' || r == '<' || r == '>' || r == '$' {
+			continue
+		}
+		return false
+	}
+	return s != ""
+}

@@ -1,0 +1,169 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"math/big"
+	"math/rand"
+
+	"repro/internal/combinat"
+	"repro/internal/core"
+	"repro/internal/db"
+	"repro/internal/paperex"
+	"repro/internal/query"
+	"repro/internal/reductions"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "E07",
+		Title: "Gap-property violation: the explicit §5.1 construction",
+		Paper: "Section 5.1 (q() :- R(x), S(x,y), ¬R(y))",
+		Run:   runE07,
+	})
+	register(Experiment{
+		ID:    "E08",
+		Title: "Gap-property violation: the generic Theorem 5.1 witness",
+		Paper: "Theorem 5.1",
+		Run:   runE08,
+	})
+	register(Experiment{
+		ID:    "E09",
+		Title: "Additive Monte-Carlo FPRAS: Hoeffding bounds and measured error",
+		Paper: "Section 5.1 (additive FPRAS for CQ¬s)",
+		Run:   runE09,
+	})
+	register(Experiment{
+		ID:    "E15",
+		Title: "A relevant fact with Shapley value zero",
+		Paper: "Example 5.3",
+		Run:   runE15,
+	})
+}
+
+func gapValue(n int) *big.Rat {
+	num := new(big.Int).Mul(combinat.Factorial(n), combinat.Factorial(n))
+	return new(big.Rat).SetFrac(num, combinat.Factorial(2*n+1))
+}
+
+func runE07(w io.Writer) error {
+	q := paperex.GapQuery()
+	t := newTable(w, "n", "|D|", "Shapley(f) = n!n!/(2n+1)!", "2^-n bound", "brute force agrees")
+	for n := 1; n <= 10; n++ {
+		d, f := paperex.GapDatabase(n)
+		want := gapValue(n)
+		agree := "skipped"
+		if n <= 4 {
+			got, err := core.BruteForceShapley(d, q, f)
+			if err != nil {
+				return err
+			}
+			if got.Cmp(want) != 0 {
+				return fmt.Errorf("n=%d: brute force %s != closed form %s", n, got.RatString(), want.RatString())
+			}
+			agree = "yes"
+		}
+		bound := new(big.Rat).SetFrac(big.NewInt(1), new(big.Int).Lsh(big.NewInt(1), uint(n)))
+		if want.Sign() <= 0 || want.Cmp(bound) > 0 {
+			return fmt.Errorf("n=%d: value %s outside (0, 2^-n]", n, want.RatString())
+		}
+		f64, _ := want.Float64()
+		b64, _ := bound.Float64()
+		t.row(fmt.Sprintf("%d", n), fmt.Sprintf("%d", d.NumFacts()),
+			fmt.Sprintf("%s (~%.3g)", want.RatString(), f64),
+			fmt.Sprintf("%.3g", b64), agree)
+	}
+	if err := t.flush(); err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "\nConsequence: an additive FPRAS needs 2^Θ(n) samples to separate these values from 0,")
+	fmt.Fprintln(w, "so the positive-CQ route to a multiplicative FPRAS fails under negation.")
+	return nil
+}
+
+func runE08(w io.Writer) error {
+	queries := []*query.CQ{
+		query.MustParse("g1() :- R(x), S(x, y), !R(y)"),
+		query.MustParse("g2() :- !R(x), S(x, y), !T(y)"),
+		query.MustParse("g3() :- Stud(x), !TA(x), Reg(x, y)"),
+	}
+	t := newTable(w, "query", "n", "endo facts", "Shapley(f0)", "n!n!/(2n+1)!", "agree")
+	for _, q := range queries {
+		for n := 1; n <= 2; n++ {
+			d, f0, err := reductions.GapWitness(q, n)
+			if err != nil {
+				return err
+			}
+			got, err := core.BruteForceShapley(d, q, f0)
+			if err != nil {
+				return err
+			}
+			want := gapValue(n)
+			if got.Cmp(want) != 0 {
+				return fmt.Errorf("%s n=%d: %s != %s", q, n, got.RatString(), want.RatString())
+			}
+			t.row(q.String(), fmt.Sprintf("%d", n), fmt.Sprintf("%d", d.NumEndo()),
+				got.RatString(), want.RatString(), "yes")
+		}
+	}
+	return t.flush()
+}
+
+func runE09(w io.Writer) error {
+	d := paperex.RunningExample()
+	q1 := paperex.Q1()
+	f := db.F("TA", "Adam")
+	exact := -3.0 / 28.0
+	fmt.Fprintf(w, "target: Shapley(TA(Adam)) = -3/28 = %.6f\n\n", exact)
+	t := newTable(w, "ε", "δ", "Hoeffding samples", "estimate", "|error|", "within ε")
+	rng := rand.New(rand.NewSource(9))
+	for _, c := range []struct{ eps, delta float64 }{
+		{0.3, 0.1}, {0.2, 0.05}, {0.1, 0.05}, {0.05, 0.01},
+	} {
+		res, err := core.MonteCarloShapley(d, q1, f, c.eps, c.delta, rng)
+		if err != nil {
+			return err
+		}
+		errAbs := math.Abs(res.Estimate - exact)
+		t.row(fmt.Sprintf("%.2f", c.eps), fmt.Sprintf("%.2f", c.delta),
+			fmt.Sprintf("%d", res.Samples), fmt.Sprintf("%+.5f", res.Estimate),
+			fmt.Sprintf("%.5f", errAbs), yesNo(errAbs <= c.eps))
+	}
+	if err := t.flush(); err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "\nConvergence with fixed sample counts:")
+	t2 := newTable(w, "samples", "estimate", "|error|")
+	for _, n := range []int{100, 1000, 10000} {
+		res, err := core.MonteCarloShapleyN(d, q1, f, n, rng)
+		if err != nil {
+			return err
+		}
+		t2.row(fmt.Sprintf("%d", n), fmt.Sprintf("%+.5f", res.Estimate),
+			fmt.Sprintf("%.5f", math.Abs(res.Estimate-exact)))
+	}
+	return t2.flush()
+}
+
+func runE15(w io.Writer) error {
+	q := paperex.Example53Query()
+	d := paperex.Example53Database()
+	f := db.F("R", "1", "2")
+	v, err := core.BruteForceShapley(d, q, f)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "query: %s over D = {R(1,2), R(2,1)} (both endogenous)\n", q)
+	fmt.Fprintf(w, "Shapley(R(1,2)) = %s\n", v.RatString())
+	if v.Sign() != 0 {
+		return fmt.Errorf("Example 5.3 expects Shapley value 0, got %s", v.RatString())
+	}
+	// Yet the fact is relevant in both directions.
+	fmt.Fprintln(w, "positively relevant with E = {}: adding R(1,2) makes the query true")
+	fmt.Fprintln(w, "negatively relevant with E = {R(2,1)}: adding R(1,2) makes the query false")
+	fmt.Fprintln(w, "=> relevance does not imply a nonzero Shapley value when a relation is polarity-inconsistent")
+	return nil
+}
+
+var _ = ratStr

@@ -1,0 +1,264 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math/big"
+	"math/rand"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/paperex"
+	"repro/internal/query"
+	"repro/internal/workload"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "E01",
+		Title: "Exact Shapley values on the running example",
+		Paper: "Figure 1, Example 2.3 (and Appendix A)",
+		Run:   runE01,
+	})
+	register(Experiment{
+		ID:    "E02",
+		Title: "Theorem 3.1 dichotomy: classification and scaling",
+		Paper: "Theorem 3.1, Example 2.2",
+		Run:   runE02,
+	})
+	register(Experiment{
+		ID:    "E03",
+		Title: "Non-hierarchical path detection",
+		Paper: "Figure 2, Example 4.2",
+		Run:   runE03,
+	})
+	register(Experiment{
+		ID:    "E04",
+		Title: "ExoShap transformation stages",
+		Paper: "Figure 3, Examples 4.5-4.9, Algorithm 1",
+		Run:   runE04,
+	})
+	register(Experiment{
+		ID:    "E05",
+		Title: "Exogenous relations flip tractability",
+		Paper: "Section 4.1 (queries q and q'), Example 4.1",
+		Run:   runE05,
+	})
+}
+
+func runE01(w io.Writer) error {
+	d := paperex.RunningExample()
+	q1 := paperex.Q1()
+	solver := &core.Solver{}
+	vals, err := solver.ShapleyAll(d, q1)
+	if err != nil {
+		return err
+	}
+	t := newTable(w, "fact", "Shapley (exact)", "decimal", "paper", "brute force agrees")
+	sum := new(big.Rat)
+	for _, v := range vals {
+		want, ok := paperex.Example23Values[v.Fact.Key()]
+		if !ok {
+			return fmt.Errorf("unexpected endogenous fact %s", v.Fact)
+		}
+		wantRat, _ := new(big.Rat).SetString(want)
+		if v.Value.Cmp(wantRat) != 0 {
+			return fmt.Errorf("Shapley(%s) = %s, paper says %s", v.Fact, v.Value.RatString(), want)
+		}
+		brute, err := core.BruteForceShapley(d, q1, v.Fact)
+		if err != nil {
+			return err
+		}
+		agree := "yes"
+		if brute.Cmp(v.Value) != 0 {
+			agree = "NO"
+		}
+		f64, _ := v.Value.Float64()
+		t.row(v.Fact.Key(), v.Value.RatString(), fmt.Sprintf("%+.6f", f64), want, agree)
+		sum.Add(sum, v.Value)
+	}
+	if err := t.flush(); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "\nsum of values = %s (efficiency: q(D) - q(Dx) = 1)\n", sum.RatString())
+	if sum.Cmp(big.NewRat(1, 1)) != 0 {
+		return fmt.Errorf("efficiency violated: sum = %s", sum.RatString())
+	}
+	return nil
+}
+
+func runE02(w io.Writer) error {
+	queries := []*query.CQ{
+		paperex.Q1(), paperex.Q2(), paperex.Q3(), paperex.Q4(),
+		paperex.QRST(), paperex.QNegRSNegT(), paperex.QRNegST(), paperex.QRSNegT(),
+	}
+	t := newTable(w, "query", "self-join-free", "hierarchical", "Theorem 3.1 verdict")
+	for _, q := range queries {
+		c := core.Classify(q, nil)
+		verdict := "FP#P-complete"
+		if c.Hierarchical {
+			verdict = "polynomial time"
+		} else if !c.SelfJoinFree {
+			verdict = "open (self-joins); hard by Thm B.5 patterns"
+		}
+		t.row(q.String(), yesNo(c.SelfJoinFree), yesNo(c.Hierarchical), verdict)
+	}
+	if err := t.flush(); err != nil {
+		return err
+	}
+
+	// Scaling: the hierarchical algorithm vs brute force on q1 instances.
+	fmt.Fprintf(w, "\nScaling on q1 (university workload), exact Shapley of one fact:\n")
+	t2 := newTable(w, "endogenous facts", "hierarchical alg", "brute force")
+	for _, students := range []int{3, 5, 7, 20, 60} {
+		d := workload.University(workload.UniversityConfig{
+			Students: students, Courses: 4, RegPerStudent: 1, TAFraction: 0.5, Seed: 42,
+		})
+		q1 := paperex.Q1()
+		f := d.EndoFacts()[0]
+		start := time.Now()
+		if _, err := core.ShapleyHierarchical(d, q1, f); err != nil {
+			return err
+		}
+		fast := time.Since(start)
+		bruteCell := "skipped (exponential)"
+		if d.NumEndo() <= 16 {
+			start = time.Now()
+			if _, err := core.BruteForceShapley(d, q1, f); err != nil {
+				return err
+			}
+			bruteCell = time.Since(start).String()
+		}
+		t2.row(fmt.Sprintf("%d", d.NumEndo()), fast.String(), bruteCell)
+	}
+	return t2.flush()
+}
+
+func runE03(w io.Writer) error {
+	t := newTable(w, "query", "exogenous relations", "non-hierarchical path", "witness")
+	type pathCase struct {
+		q    *query.CQ
+		exo  map[string]bool
+		want bool
+	}
+	cases := []pathCase{
+		{paperex.Example42Q(), paperex.Example42QExo(), true},
+		{paperex.Example42QPrime(), paperex.Example42QPrimeExo(), false},
+		{paperex.Section41Q(), paperex.Section41Exo(), false},
+		{paperex.Section41QPrime(), paperex.Section41Exo(), true},
+		{paperex.Q2(), map[string]bool{"Stud": true, "Course": true}, false},
+		{paperex.Example41Query(), paperex.Example41Exo(), false},
+	}
+	for _, c := range cases {
+		witness, got := c.q.FindNonHierarchicalPath(c.exo)
+		if got != c.want {
+			return fmt.Errorf("%s: path=%v, paper says %v", c.q, got, c.want)
+		}
+		cell := "-"
+		if got {
+			cell = fmt.Sprintf("%s via %v", witness.X+"→"+witness.Y, witness.Path)
+		}
+		t.row(c.q.String(), fmt.Sprintf("%v", core.SortedRelNames(c.exo)), yesNo(got), cell)
+	}
+	return t.flush()
+}
+
+func runE04(w io.Writer) error {
+	qp := paperex.Example42QPrime()
+	exo := paperex.Example42QPrimeExo()
+	rng := rand.New(rand.NewSource(4))
+	d := workload.RandomForQuery(rng, qp, 2, 3, exo, 0.8)
+	d2, q2, stages, err := core.ExoShapTransform(d, qp, exo)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "ExoShap stages on Example 4.2's q' (compare Figure 3):")
+	for i, s := range stages {
+		fmt.Fprintf(w, "  stage %d (%s):\n    %s\n", i, s.Description, s.Query)
+	}
+	fmt.Fprintf(w, "\nfinal query hierarchical: %v\n", q2.IsHierarchical())
+	if !q2.IsHierarchical() {
+		return fmt.Errorf("ExoShap output is not hierarchical")
+	}
+	// Verify value preservation on the sample instance.
+	for _, f := range d.EndoFacts() {
+		if d.NumEndo() > 10 {
+			break
+		}
+		orig, err := core.BruteForceShapley(d, qp, f)
+		if err != nil {
+			return err
+		}
+		via, err := core.ShapleyHierarchical(d2, q2, f)
+		if err != nil {
+			return err
+		}
+		if orig.Cmp(via) != 0 {
+			return fmt.Errorf("value changed for %s: %s vs %s", f, orig.RatString(), via.RatString())
+		}
+	}
+	fmt.Fprintf(w, "Shapley values preserved on a random instance with %d endogenous facts: yes\n", d.NumEndo())
+	return nil
+}
+
+func runE05(w io.Writer) error {
+	t := newTable(w, "query", "X", "Theorem 4.3 verdict", "checked against brute force")
+	type c45 struct {
+		q   *query.CQ
+		exo map[string]bool
+	}
+	rng := rand.New(rand.NewSource(45))
+	for _, c := range []c45{
+		{paperex.Section41Q(), paperex.Section41Exo()},
+		{paperex.Section41QPrime(), paperex.Section41Exo()},
+		{paperex.Example41Query(), paperex.Example41Exo()},
+		{paperex.Q2(), map[string]bool{"Stud": true, "Course": true}},
+	} {
+		cls := core.Classify(c.q, c.exo)
+		verdict := "FP#P-complete"
+		if cls.Tractable {
+			verdict = "polynomial time"
+		}
+		checked := "-"
+		if cls.Tractable {
+			d := workload.RandomForQuery(rng, c.q, 3, 3, c.exo, 0.7)
+			solver := &core.Solver{ExoRelations: c.exo}
+			ok := true
+			for _, f := range d.EndoFacts() {
+				if d.NumEndo() > 10 {
+					break
+				}
+				v, err := solver.Shapley(d, c.q, f)
+				if err != nil {
+					return err
+				}
+				brute, err := core.BruteForceShapley(d, c.q, f)
+				if err != nil {
+					return err
+				}
+				if v.Value.Cmp(brute) != 0 {
+					ok = false
+				}
+			}
+			checked = yesNo(ok)
+			if !ok {
+				return fmt.Errorf("%s: ExoShap disagrees with brute force", c.q)
+			}
+		}
+		t.row(c.q.String(), fmt.Sprintf("%v", core.SortedRelNames(c.exo)), verdict, checked)
+	}
+	return t.flush()
+}
+
+func yesNo(b bool) string {
+	if b {
+		return "yes"
+	}
+	return "no"
+}
+
+// ratStr formats a big.Rat with its decimal approximation.
+func ratStr(r *big.Rat) string {
+	f, _ := r.Float64()
+	return fmt.Sprintf("%s (~%.4g)", r.RatString(), f)
+}

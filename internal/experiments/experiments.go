@@ -1,0 +1,74 @@
+// Package experiments regenerates every figure and quantitative claim of
+// the paper. Each experiment is a self-contained runner that prints a table
+// (the analogue of the paper's figures/examples) and fails with an error if
+// a paper-derived expectation is violated, so the suite doubles as an
+// end-to-end verification harness. EXPERIMENTS.md records the outputs.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"text/tabwriter"
+)
+
+// Experiment is one reproducible artifact of the paper.
+type Experiment struct {
+	ID    string // e.g. "E01"
+	Title string
+	Paper string // which figure/example/theorem it reproduces
+	Run   func(w io.Writer) error
+}
+
+var registry = map[string]Experiment{}
+
+func register(e Experiment) {
+	if _, dup := registry[e.ID]; dup {
+		panic("experiments: duplicate id " + e.ID)
+	}
+	registry[e.ID] = e
+}
+
+// All returns the experiments sorted by ID.
+func All() []Experiment {
+	out := make([]Experiment, 0, len(registry))
+	for _, e := range registry {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// ByID looks an experiment up.
+func ByID(id string) (Experiment, bool) {
+	e, ok := registry[id]
+	return e, ok
+}
+
+// table is a small helper around tabwriter.
+type table struct {
+	tw *tabwriter.Writer
+}
+
+func newTable(w io.Writer, headers ...string) *table {
+	t := &table{tw: tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)}
+	t.row(headers...)
+	return t
+}
+
+func (t *table) row(cells ...string) {
+	for i, c := range cells {
+		if i > 0 {
+			fmt.Fprint(t.tw, "\t")
+		}
+		fmt.Fprint(t.tw, c)
+	}
+	fmt.Fprintln(t.tw)
+}
+
+func (t *table) flush() error { return t.tw.Flush() }
+
+func header(w io.Writer, e Experiment) {
+	fmt.Fprintf(w, "== %s: %s ==\n", e.ID, e.Title)
+	fmt.Fprintf(w, "reproduces: %s\n\n", e.Paper)
+}

@@ -1,0 +1,79 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{
+		"E01", "E02", "E03", "E04", "E05", "E06", "E07", "E08", "E09",
+		"E10", "E11", "E12", "E13", "E14", "E15", "E16", "E17", "E18", "E19",
+	}
+	all := All()
+	if len(all) != len(want) {
+		t.Fatalf("registry has %d experiments, want %d", len(all), len(want))
+	}
+	for i, id := range want {
+		if all[i].ID != id {
+			t.Errorf("experiment %d has ID %s, want %s", i, all[i].ID, id)
+		}
+		if all[i].Title == "" || all[i].Paper == "" || all[i].Run == nil {
+			t.Errorf("experiment %s is incomplete", all[i].ID)
+		}
+	}
+	if _, ok := ByID("E01"); !ok {
+		t.Fatal("ByID(E01) not found")
+	}
+	if _, ok := ByID("E99"); ok {
+		t.Fatal("ByID(E99) should not exist")
+	}
+}
+
+// TestAllExperimentsRun executes every experiment; each runner validates its
+// own paper-derived expectations and returns an error on any mismatch, so
+// this is the end-to-end reproduction check.
+func TestAllExperimentsRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiments are slow; skipped with -short")
+	}
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := e.Run(&buf); err != nil {
+				t.Fatalf("%s failed: %v\noutput so far:\n%s", e.ID, err, buf.String())
+			}
+			if buf.Len() == 0 {
+				t.Fatalf("%s produced no output", e.ID)
+			}
+		})
+	}
+}
+
+func TestE01OutputMentionsPaperValues(t *testing.T) {
+	e, _ := ByID("E01")
+	var buf bytes.Buffer
+	if err := e.Run(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, v := range []string{"-3/28", "-2/35", "37/210", "27/140", "13/42"} {
+		if !strings.Contains(out, v) {
+			t.Errorf("E01 output missing paper value %s:\n%s", v, out)
+		}
+	}
+}
+
+func TestE03OutputCoversBothOutcomes(t *testing.T) {
+	e, _ := ByID("E03")
+	var buf bytes.Buffer
+	if err := e.Run(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "yes") || !strings.Contains(out, "no") {
+		t.Errorf("E03 should report both path outcomes:\n%s", out)
+	}
+}

@@ -1,0 +1,286 @@
+// Package graphs provides the graph substrate of the paper's reductions:
+// bipartite graphs with independent-set counting (the #P-complete problem
+// behind Lemma B.3), the set family S(g) from that proof, and undirected
+// graphs with 3-colorability (the problem behind Lemma D.1).
+package graphs
+
+import (
+	"fmt"
+	"math/big"
+	"math/rand"
+)
+
+// Bipartite is a bipartite graph with Left and Right vertex counts and
+// edges (l, r) with 0 ≤ l < Left, 0 ≤ r < Right.
+type Bipartite struct {
+	Left, Right int
+	Edges       [][2]int
+}
+
+// Validate checks edge endpoints.
+func (g *Bipartite) Validate() error {
+	for _, e := range g.Edges {
+		if e[0] < 0 || e[0] >= g.Left || e[1] < 0 || e[1] >= g.Right {
+			return fmt.Errorf("graphs: edge %v out of range %dx%d", e, g.Left, g.Right)
+		}
+	}
+	return nil
+}
+
+// HasIsolatedVertex reports whether some vertex touches no edge (the
+// Lemma B.3 construction assumes none do).
+func (g *Bipartite) HasIsolatedVertex() bool {
+	degL := make([]int, g.Left)
+	degR := make([]int, g.Right)
+	for _, e := range g.Edges {
+		degL[e[0]]++
+		degR[e[1]]++
+	}
+	for _, d := range degL {
+		if d == 0 {
+			return true
+		}
+	}
+	for _, d := range degR {
+		if d == 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// CountIndependentSets returns |IS(g)|: the number of subsets of vertices
+// with no edge inside. For a bipartite graph this enumerates the 2^Left
+// choices of left part and counts the free right vertices, so it is exact
+// and fast for Left ≤ ~24.
+func (g *Bipartite) CountIndependentSets() *big.Int {
+	if g.Left > 24 {
+		panic("graphs: CountIndependentSets limited to 24 left vertices")
+	}
+	neighbors := make([]uint64, g.Left) // right-neighborhood bitmask per left vertex
+	for _, e := range g.Edges {
+		neighbors[e[0]] |= 1 << uint(e[1])
+	}
+	total := new(big.Int)
+	one := big.NewInt(1)
+	for mask := 0; mask < 1<<uint(g.Left); mask++ {
+		var blocked uint64
+		for l := 0; l < g.Left; l++ {
+			if mask&(1<<uint(l)) != 0 {
+				blocked |= neighbors[l]
+			}
+		}
+		free := g.Right - popcount(blocked)
+		term := new(big.Int).Lsh(one, uint(free))
+		total.Add(total, term)
+	}
+	return total
+}
+
+// CountSFamily returns |S(g)| from the Lemma B.3 proof: subsets A′ ∪ B′
+// such that every neighbor of a chosen left vertex is chosen. The proof
+// shows |S(g)| = |IS(g)| via B′ ↦ B \ B′; this method counts S directly so
+// the bijection can be tested.
+func (g *Bipartite) CountSFamily() *big.Int {
+	if g.Left > 24 {
+		panic("graphs: CountSFamily limited to 24 left vertices")
+	}
+	neighbors := make([]uint64, g.Left)
+	for _, e := range g.Edges {
+		neighbors[e[0]] |= 1 << uint(e[1])
+	}
+	total := new(big.Int)
+	one := big.NewInt(1)
+	for mask := 0; mask < 1<<uint(g.Left); mask++ {
+		var required uint64
+		for l := 0; l < g.Left; l++ {
+			if mask&(1<<uint(l)) != 0 {
+				required |= neighbors[l]
+			}
+		}
+		free := g.Right - popcount(required)
+		total.Add(total, new(big.Int).Lsh(one, uint(free)))
+	}
+	return total
+}
+
+// SFamilySizeCounts returns the vector s[k] = |S(g,k)| for k = 0..Left+Right
+// (brute force over both sides; Left+Right ≤ 20), used to validate the
+// equation system of the Lemma B.3 reduction.
+func (g *Bipartite) SFamilySizeCounts() []*big.Int {
+	n := g.Left + g.Right
+	if n > 20 {
+		panic("graphs: SFamilySizeCounts limited to 20 vertices")
+	}
+	neighbors := make([]uint64, g.Left)
+	for _, e := range g.Edges {
+		neighbors[e[0]] |= 1 << uint(e[1])
+	}
+	out := make([]*big.Int, n+1)
+	for i := range out {
+		out[i] = new(big.Int)
+	}
+	for mask := 0; mask < 1<<uint(n); mask++ {
+		leftMask := mask & (1<<uint(g.Left) - 1)
+		rightMask := uint64(mask >> uint(g.Left))
+		ok := true
+		for l := 0; l < g.Left && ok; l++ {
+			if leftMask&(1<<uint(l)) != 0 && neighbors[l]&^rightMask != 0 {
+				ok = false
+			}
+		}
+		if ok {
+			out[popcount(uint64(mask))].Add(out[popcount(uint64(mask))], big.NewInt(1))
+		}
+	}
+	return out
+}
+
+// RandomBipartite generates a bipartite graph where each of the left×right
+// edges is present with probability p; vertices left isolated are then
+// connected to a random partner so the Lemma B.3 assumption holds.
+func RandomBipartite(rng *rand.Rand, left, right int, p float64) *Bipartite {
+	g := &Bipartite{Left: left, Right: right}
+	seen := make(map[[2]int]bool)
+	add := func(l, r int) {
+		e := [2]int{l, r}
+		if !seen[e] {
+			seen[e] = true
+			g.Edges = append(g.Edges, e)
+		}
+	}
+	for l := 0; l < left; l++ {
+		for r := 0; r < right; r++ {
+			if rng.Float64() < p {
+				add(l, r)
+			}
+		}
+	}
+	degL := make([]int, left)
+	degR := make([]int, right)
+	for _, e := range g.Edges {
+		degL[e[0]]++
+		degR[e[1]]++
+	}
+	for l := 0; l < left; l++ {
+		if degL[l] == 0 && right > 0 {
+			r := rng.Intn(right)
+			add(l, r)
+			degR[r]++
+		}
+	}
+	for r := 0; r < right; r++ {
+		if degR[r] == 0 && left > 0 {
+			add(rng.Intn(left), r)
+		}
+	}
+	return g
+}
+
+// Graph is a simple undirected graph on vertices 0..N-1.
+type Graph struct {
+	N     int
+	Edges [][2]int
+}
+
+// Validate checks edge endpoints.
+func (g *Graph) Validate() error {
+	for _, e := range g.Edges {
+		if e[0] < 0 || e[0] >= g.N || e[1] < 0 || e[1] >= g.N || e[0] == e[1] {
+			return fmt.Errorf("graphs: bad edge %v in graph of %d vertices", e, g.N)
+		}
+	}
+	return nil
+}
+
+// ThreeColoring returns a proper 3-coloring (vertex → 0..2) or nil if none
+// exists, by backtracking.
+func (g *Graph) ThreeColoring() []int {
+	adj := make([][]int, g.N)
+	for _, e := range g.Edges {
+		adj[e[0]] = append(adj[e[0]], e[1])
+		adj[e[1]] = append(adj[e[1]], e[0])
+	}
+	colors := make([]int, g.N)
+	for i := range colors {
+		colors[i] = -1
+	}
+	var assign func(v int) bool
+	assign = func(v int) bool {
+		if v == g.N {
+			return true
+		}
+		for c := 0; c < 3; c++ {
+			ok := true
+			for _, u := range adj[v] {
+				if colors[u] == c {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				colors[v] = c
+				if assign(v + 1) {
+					return true
+				}
+				colors[v] = -1
+			}
+		}
+		return false
+	}
+	if !assign(0) {
+		return nil
+	}
+	return colors
+}
+
+// IsProperColoring verifies a candidate coloring.
+func (g *Graph) IsProperColoring(colors []int) bool {
+	if len(colors) != g.N {
+		return false
+	}
+	for _, c := range colors {
+		if c < 0 || c > 2 {
+			return false
+		}
+	}
+	for _, e := range g.Edges {
+		if colors[e[0]] == colors[e[1]] {
+			return false
+		}
+	}
+	return true
+}
+
+// RandomGraph generates a simple graph with edge probability p.
+func RandomGraph(rng *rand.Rand, n int, p float64) *Graph {
+	g := &Graph{N: n}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if rng.Float64() < p {
+				g.Edges = append(g.Edges, [2]int{i, j})
+			}
+		}
+	}
+	return g
+}
+
+// CompleteGraph returns K_n (3-colorable iff n ≤ 3).
+func CompleteGraph(n int) *Graph {
+	g := &Graph{N: n}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			g.Edges = append(g.Edges, [2]int{i, j})
+		}
+	}
+	return g
+}
+
+func popcount(x uint64) int {
+	n := 0
+	for x != 0 {
+		x &= x - 1
+		n++
+	}
+	return n
+}

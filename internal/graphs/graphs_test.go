@@ -1,0 +1,159 @@
+package graphs
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+
+	"repro/internal/combinat"
+)
+
+func TestCountIndependentSetsSmall(t *testing.T) {
+	// Single edge between one left and one right vertex: subsets of {l, r}
+	// minus {l, r} itself = 3.
+	g := &Bipartite{Left: 1, Right: 1, Edges: [][2]int{{0, 0}}}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := g.CountIndependentSets(); got.Int64() != 3 {
+		t.Fatalf("IS count = %s, want 3", got)
+	}
+	// No edges: every subset is independent.
+	g = &Bipartite{Left: 2, Right: 3}
+	if got := g.CountIndependentSets(); got.Int64() != 32 {
+		t.Fatalf("edge-free IS count = %s, want 2^5", got)
+	}
+	// Complete bipartite K2,2: choose a side or nothing per side...
+	// IS = subsets with left part empty (2^2) + nonempty left with empty
+	// right (2^2 − 1) = 7.
+	g = &Bipartite{Left: 2, Right: 2, Edges: [][2]int{{0, 0}, {0, 1}, {1, 0}, {1, 1}}}
+	if got := g.CountIndependentSets(); got.Int64() != 7 {
+		t.Fatalf("K2,2 IS count = %s, want 7", got)
+	}
+}
+
+func TestSFamilyEqualsIS(t *testing.T) {
+	// |S(g)| = |IS(g)| (the bijection in Lemma B.3).
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 30; trial++ {
+		g := RandomBipartite(rng, 1+rng.Intn(4), 1+rng.Intn(4), 0.4)
+		is := g.CountIndependentSets()
+		s := g.CountSFamily()
+		if is.Cmp(s) != 0 {
+			t.Fatalf("|IS| = %s but |S| = %s for %+v", is, s, g)
+		}
+		// And the size-stratified counts sum to the total.
+		sum := combinat.SumVector(g.SFamilySizeCounts())
+		if sum.Cmp(is) != 0 {
+			t.Fatalf("Σ|S(g,k)| = %s, want %s", sum, is)
+		}
+	}
+}
+
+func TestSFamilySizeCountsSmall(t *testing.T) {
+	// Single edge (l0, r0): S = {∅, {r}, {l, r}} ∪ ... wait, S requires
+	// chosen-left ⇒ all neighbors chosen: subsets are ∅, {r0}, {l0, r0} and
+	// {l0} is excluded. Sizes: 1 of size 0, 1 of size 1, 1 of size 2.
+	g := &Bipartite{Left: 1, Right: 1, Edges: [][2]int{{0, 0}}}
+	s := g.SFamilySizeCounts()
+	want := []int64{1, 1, 1}
+	for k, w := range want {
+		if s[k].Int64() != w {
+			t.Fatalf("|S(g,%d)| = %s, want %d", k, s[k], w)
+		}
+	}
+}
+
+func TestRandomBipartiteNoIsolated(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 20; trial++ {
+		g := RandomBipartite(rng, 1+rng.Intn(5), 1+rng.Intn(5), 0.2)
+		if err := g.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		if g.HasIsolatedVertex() {
+			t.Fatalf("generator left an isolated vertex: %+v", g)
+		}
+	}
+}
+
+func TestBipartiteValidate(t *testing.T) {
+	g := &Bipartite{Left: 1, Right: 1, Edges: [][2]int{{1, 0}}}
+	if g.Validate() == nil {
+		t.Fatal("out-of-range edge accepted")
+	}
+}
+
+func TestThreeColoring(t *testing.T) {
+	// A 4-cycle is 2-colorable, hence 3-colorable.
+	c4 := &Graph{N: 4, Edges: [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 0}}}
+	if colors := c4.ThreeColoring(); colors == nil || !c4.IsProperColoring(colors) {
+		t.Fatal("C4 should be 3-colorable")
+	}
+	// K3 is 3-colorable, K4 is not.
+	if CompleteGraph(3).ThreeColoring() == nil {
+		t.Fatal("K3 should be 3-colorable")
+	}
+	if CompleteGraph(4).ThreeColoring() != nil {
+		t.Fatal("K4 should not be 3-colorable")
+	}
+	// An odd cycle (C5) is 3-colorable but not 2-colorable.
+	c5 := &Graph{N: 5, Edges: [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 0}}}
+	colors := c5.ThreeColoring()
+	if colors == nil || !c5.IsProperColoring(colors) {
+		t.Fatal("C5 should be 3-colorable")
+	}
+}
+
+func TestIsProperColoringRejects(t *testing.T) {
+	g := CompleteGraph(3)
+	if g.IsProperColoring([]int{0, 0, 1}) {
+		t.Fatal("monochromatic edge accepted")
+	}
+	if g.IsProperColoring([]int{0, 1}) {
+		t.Fatal("wrong length accepted")
+	}
+	if g.IsProperColoring([]int{0, 1, 5}) {
+		t.Fatal("out-of-range color accepted")
+	}
+	if !g.IsProperColoring([]int{0, 1, 2}) {
+		t.Fatal("proper coloring rejected")
+	}
+}
+
+func TestGraphValidate(t *testing.T) {
+	g := &Graph{N: 2, Edges: [][2]int{{0, 0}}}
+	if g.Validate() == nil {
+		t.Fatal("self-loop accepted")
+	}
+	g = &Graph{N: 2, Edges: [][2]int{{0, 5}}}
+	if g.Validate() == nil {
+		t.Fatal("out-of-range edge accepted")
+	}
+}
+
+func TestCountISMatchesSubsetEnumeration(t *testing.T) {
+	// Independent cross-check of CountIndependentSets against full 2^(L+R)
+	// enumeration.
+	rng := rand.New(rand.NewSource(6))
+	for trial := 0; trial < 15; trial++ {
+		g := RandomBipartite(rng, 1+rng.Intn(3), 1+rng.Intn(3), 0.5)
+		n := g.Left + g.Right
+		count := new(big.Int)
+		for mask := 0; mask < 1<<uint(n); mask++ {
+			ok := true
+			for _, e := range g.Edges {
+				if mask&(1<<uint(e[0])) != 0 && mask&(1<<uint(g.Left+e[1])) != 0 {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				count.Add(count, big.NewInt(1))
+			}
+		}
+		if got := g.CountIndependentSets(); got.Cmp(count) != 0 {
+			t.Fatalf("fast count %s != enumeration %s for %+v", got, count, g)
+		}
+	}
+}

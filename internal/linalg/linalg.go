@@ -1,0 +1,134 @@
+// Package linalg provides exact linear algebra over big.Rat: Gaussian
+// elimination with partial pivoting and determinants. It is used to solve
+// the independent-system of equations in the Lemma B.3 reduction, where
+// floating point would destroy the exact counts.
+package linalg
+
+import (
+	"errors"
+	"fmt"
+	"math/big"
+)
+
+// ErrSingular is returned for singular or non-square systems.
+var ErrSingular = errors.New("linalg: singular matrix")
+
+// Solve returns x with A·x = b, for a square nonsingular A, by Gaussian
+// elimination over exact rationals. A and b are not modified.
+func Solve(a [][]*big.Rat, b []*big.Rat) ([]*big.Rat, error) {
+	n := len(a)
+	if n == 0 || len(b) != n {
+		return nil, fmt.Errorf("linalg: bad system shape (%d equations, %d rhs)", n, len(b))
+	}
+	m := make([][]*big.Rat, n)
+	for i := range a {
+		if len(a[i]) != n {
+			return nil, fmt.Errorf("linalg: row %d has %d columns, want %d", i, len(a[i]), n)
+		}
+		m[i] = make([]*big.Rat, n+1)
+		for j := range a[i] {
+			m[i][j] = new(big.Rat).Set(a[i][j])
+		}
+		m[i][n] = new(big.Rat).Set(b[i])
+	}
+	for col := 0; col < n; col++ {
+		pivot := -1
+		for row := col; row < n; row++ {
+			if m[row][col].Sign() != 0 {
+				pivot = row
+				break
+			}
+		}
+		if pivot < 0 {
+			return nil, ErrSingular
+		}
+		m[col], m[pivot] = m[pivot], m[col]
+		inv := new(big.Rat).Inv(m[col][col])
+		for j := col; j <= n; j++ {
+			m[col][j].Mul(m[col][j], inv)
+		}
+		for row := 0; row < n; row++ {
+			if row == col || m[row][col].Sign() == 0 {
+				continue
+			}
+			factor := new(big.Rat).Set(m[row][col])
+			for j := col; j <= n; j++ {
+				t := new(big.Rat).Mul(factor, m[col][j])
+				m[row][j].Sub(m[row][j], t)
+			}
+		}
+	}
+	x := make([]*big.Rat, n)
+	for i := range x {
+		x[i] = m[i][n]
+	}
+	return x, nil
+}
+
+// Det returns the determinant of a square matrix by fraction-free-ish
+// elimination over big.Rat. A is not modified.
+func Det(a [][]*big.Rat) (*big.Rat, error) {
+	n := len(a)
+	m := make([][]*big.Rat, n)
+	for i := range a {
+		if len(a[i]) != n {
+			return nil, fmt.Errorf("linalg: row %d has %d columns, want %d", i, len(a[i]), n)
+		}
+		m[i] = make([]*big.Rat, n)
+		for j := range a[i] {
+			m[i][j] = new(big.Rat).Set(a[i][j])
+		}
+	}
+	det := big.NewRat(1, 1)
+	for col := 0; col < n; col++ {
+		pivot := -1
+		for row := col; row < n; row++ {
+			if m[row][col].Sign() != 0 {
+				pivot = row
+				break
+			}
+		}
+		if pivot < 0 {
+			return new(big.Rat), nil
+		}
+		if pivot != col {
+			m[col], m[pivot] = m[pivot], m[col]
+			det.Neg(det)
+		}
+		det.Mul(det, m[col][col])
+		inv := new(big.Rat).Inv(m[col][col])
+		for j := col; j < n; j++ {
+			m[col][j].Mul(m[col][j], inv)
+		}
+		for row := col + 1; row < n; row++ {
+			if m[row][col].Sign() == 0 {
+				continue
+			}
+			factor := new(big.Rat).Set(m[row][col])
+			for j := col; j < n; j++ {
+				t := new(big.Rat).Mul(factor, m[col][j])
+				m[row][j].Sub(m[row][j], t)
+			}
+		}
+	}
+	return det, nil
+}
+
+// MulVec returns A·x (used to verify solutions in tests).
+func MulVec(a [][]*big.Rat, x []*big.Rat) ([]*big.Rat, error) {
+	out := make([]*big.Rat, len(a))
+	for i, row := range a {
+		if len(row) != len(x) {
+			return nil, fmt.Errorf("linalg: row %d has %d columns, want %d", i, len(row), len(x))
+		}
+		s := new(big.Rat)
+		for j, v := range row {
+			s.Add(s, new(big.Rat).Mul(v, x[j]))
+		}
+		out[i] = s
+	}
+	return out, nil
+}
+
+// IntRat converts an int64 to a big.Rat (test and reduction convenience).
+func IntRat(v int64) *big.Rat { return new(big.Rat).SetInt64(v) }

@@ -1,0 +1,155 @@
+package linalg
+
+import (
+	"errors"
+	"math/big"
+	"math/rand"
+	"testing"
+)
+
+func ratMat(rows [][]int64) [][]*big.Rat {
+	out := make([][]*big.Rat, len(rows))
+	for i, r := range rows {
+		out[i] = make([]*big.Rat, len(r))
+		for j, v := range r {
+			out[i][j] = IntRat(v)
+		}
+	}
+	return out
+}
+
+func ratVec(vs ...int64) []*big.Rat {
+	out := make([]*big.Rat, len(vs))
+	for i, v := range vs {
+		out[i] = IntRat(v)
+	}
+	return out
+}
+
+func TestSolve2x2(t *testing.T) {
+	// x + y = 3; x - y = 1 → x=2, y=1.
+	a := ratMat([][]int64{{1, 1}, {1, -1}})
+	x, err := Solve(a, ratVec(3, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x[0].Cmp(IntRat(2)) != 0 || x[1].Cmp(IntRat(1)) != 0 {
+		t.Fatalf("x = %v", x)
+	}
+}
+
+func TestSolveNeedsPivoting(t *testing.T) {
+	// First pivot is zero; partial pivoting must swap rows.
+	a := ratMat([][]int64{{0, 1}, {1, 0}})
+	x, err := Solve(a, ratVec(5, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x[0].Cmp(IntRat(7)) != 0 || x[1].Cmp(IntRat(5)) != 0 {
+		t.Fatalf("x = %v", x)
+	}
+}
+
+func TestSolveSingular(t *testing.T) {
+	a := ratMat([][]int64{{1, 2}, {2, 4}})
+	if _, err := Solve(a, ratVec(1, 2)); !errors.Is(err, ErrSingular) {
+		t.Fatalf("want ErrSingular, got %v", err)
+	}
+}
+
+func TestSolveShapeErrors(t *testing.T) {
+	if _, err := Solve(nil, nil); err == nil {
+		t.Fatal("empty system accepted")
+	}
+	a := ratMat([][]int64{{1, 2}})
+	if _, err := Solve(a, ratVec(1)); err == nil {
+		t.Fatal("non-square matrix accepted")
+	}
+	a = ratMat([][]int64{{1, 0}, {0, 1}})
+	if _, err := Solve(a, ratVec(1)); err == nil {
+		t.Fatal("rhs length mismatch accepted")
+	}
+}
+
+func TestSolveDoesNotMutateInputs(t *testing.T) {
+	a := ratMat([][]int64{{2, 1}, {1, 3}})
+	b := ratVec(4, 5)
+	if _, err := Solve(a, b); err != nil {
+		t.Fatal(err)
+	}
+	if a[0][0].Cmp(IntRat(2)) != 0 || b[1].Cmp(IntRat(5)) != 0 {
+		t.Fatal("Solve mutated its inputs")
+	}
+}
+
+func TestSolveRandomRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 25; trial++ {
+		n := 1 + rng.Intn(6)
+		a := make([][]*big.Rat, n)
+		for i := range a {
+			a[i] = make([]*big.Rat, n)
+			for j := range a[i] {
+				a[i][j] = IntRat(int64(rng.Intn(21) - 10))
+			}
+		}
+		det, err := Det(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b := make([]*big.Rat, n)
+		for i := range b {
+			b[i] = IntRat(int64(rng.Intn(21) - 10))
+		}
+		x, err := Solve(a, b)
+		if det.Sign() == 0 {
+			if !errors.Is(err, ErrSingular) {
+				t.Fatalf("singular matrix not detected: %v", err)
+			}
+			continue
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		ax, err := MulVec(a, x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range b {
+			if ax[i].Cmp(b[i]) != 0 {
+				t.Fatalf("A·x ≠ b at row %d: %s vs %s", i, ax[i], b[i])
+			}
+		}
+	}
+}
+
+func TestDetKnownValues(t *testing.T) {
+	d, err := Det(ratMat([][]int64{{1, 2}, {3, 4}}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Cmp(IntRat(-2)) != 0 {
+		t.Fatalf("det = %s, want -2", d)
+	}
+	d, err = Det(ratMat([][]int64{{2, 0, 0}, {0, 3, 0}, {0, 0, 4}}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Cmp(IntRat(24)) != 0 {
+		t.Fatalf("det = %s, want 24", d)
+	}
+	// Row swap flips the sign.
+	d, err = Det(ratMat([][]int64{{0, 1}, {1, 0}}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Cmp(IntRat(-1)) != 0 {
+		t.Fatalf("det = %s, want -1", d)
+	}
+}
+
+func TestMulVecShape(t *testing.T) {
+	if _, err := MulVec(ratMat([][]int64{{1, 2}}), ratVec(1)); err == nil {
+		t.Fatal("shape mismatch accepted")
+	}
+}

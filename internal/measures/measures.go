@@ -1,0 +1,142 @@
+// Package measures implements the two earlier contribution measures the
+// paper positions the Shapley value against in §1: the causal effect of
+// Salimi et al. (the change in expected query value between assuming the
+// presence and the absence of a fact, with endogenous facts removed
+// independently and uniformly) and the responsibility of Meliou et al.
+// (inversely proportional to the smallest contingency set making the fact
+// counterfactual). They share the endogenous/exogenous fact model and are
+// useful baselines when comparing attribution schemes.
+package measures
+
+import (
+	"fmt"
+	"math/big"
+
+	"repro/internal/db"
+	"repro/internal/probdb"
+	"repro/internal/query"
+)
+
+var half = big.NewRat(1, 2)
+
+// CausalEffect computes the causal effect of the endogenous fact f on the
+// Boolean CQ¬ q:
+//
+//	CE(f) = E[q | f present] − E[q | f absent],
+//
+// where every other endogenous fact is present independently with
+// probability 1/2 and exogenous facts are always present. For hierarchical
+// self-join-free queries the two expectations are computed by exact lifted
+// inference; otherwise by possible-world enumeration (exponential).
+//
+// For a Boolean game this quantity coincides with the Banzhaf power index
+// of f (the uniform-subset analogue of the Shapley value), which is why
+// causal effect inherits tractability exactly where probabilistic query
+// evaluation is tractable.
+func CausalEffect(d *db.Database, q *query.CQ, f db.Fact) (*big.Rat, error) {
+	if !d.IsEndogenous(f) {
+		return nil, fmt.Errorf("measures: %s is not an endogenous fact", f)
+	}
+	build := func(withF bool) *probdb.ProbDatabase {
+		pd := probdb.New()
+		for _, g := range d.Facts() {
+			switch {
+			case g.Key() == f.Key():
+				if withF {
+					pd.MustAdd(g, big.NewRat(1, 1))
+				}
+			case d.IsEndogenous(g):
+				pd.MustAdd(g, half)
+			default:
+				pd.MustAdd(g, big.NewRat(1, 1))
+			}
+		}
+		return pd
+	}
+	eval := func(pd *probdb.ProbDatabase) (*big.Rat, error) {
+		if !q.HasSelfJoin() && q.IsHierarchical() {
+			return probdb.LiftedProbability(pd, q)
+		}
+		return probdb.BruteForceProbability(pd, q)
+	}
+	with, err := eval(build(true))
+	if err != nil {
+		return nil, err
+	}
+	without, err := eval(build(false))
+	if err != nil {
+		return nil, err
+	}
+	return new(big.Rat).Sub(with, without), nil
+}
+
+// maxResponsibilityFacts caps the contingency-set search.
+const maxResponsibilityFacts = 22
+
+// Responsibility computes Meliou et al.'s responsibility of the endogenous
+// fact f for the answer of q on D:
+//
+//	ρ(f) = 1 / (1 + min |Γ|)
+//
+// over contingency sets Γ ⊆ Dn \ {f} such that removing Γ from D leaves f
+// counterfactual (q(D−Γ) ≠ q(D−Γ−{f})), and 0 if no such Γ exists. The
+// search enumerates candidate sets in order of increasing size, so the
+// returned minimum is exact.
+func Responsibility(d *db.Database, q *query.CQ, f db.Fact) (*big.Rat, error) {
+	if !d.IsEndogenous(f) {
+		return nil, fmt.Errorf("measures: %s is not an endogenous fact", f)
+	}
+	var others []db.Fact
+	for _, e := range d.EndoFacts() {
+		if e.Key() != f.Key() {
+			others = append(others, e)
+		}
+	}
+	if len(others) > maxResponsibilityFacts {
+		return nil, fmt.Errorf("measures: %d endogenous facts exceed the responsibility search limit", len(others)+1)
+	}
+	for size := 0; size <= len(others); size++ {
+		found := false
+		forEachSubsetOfSize(len(others), size, func(idx []int) bool {
+			remove := make(map[string]bool, size)
+			for _, i := range idx {
+				remove[others[i].Key()] = true
+			}
+			reduced := d.Restrict(func(g db.Fact, _ bool) bool { return !remove[g.Key()] })
+			withF := q.Eval(reduced)
+			minusF, err := reduced.Without(f)
+			if err != nil {
+				return true
+			}
+			if withF != q.Eval(minusF) {
+				found = true
+				return false
+			}
+			return true
+		})
+		if found {
+			return big.NewRat(1, int64(1+size)), nil
+		}
+	}
+	return new(big.Rat), nil
+}
+
+// forEachSubsetOfSize enumerates the k-subsets of {0..n-1} in lexicographic
+// order; fn returns false to stop.
+func forEachSubsetOfSize(n, k int, fn func([]int) bool) {
+	idx := make([]int, k)
+	var rec func(start, depth int) bool
+	rec = func(start, depth int) bool {
+		if depth == k {
+			return fn(idx)
+		}
+		for i := start; i < n; i++ {
+			idx[depth] = i
+			if !rec(i+1, depth+1) {
+				return false
+			}
+		}
+		return true
+	}
+	rec(0, 0)
+}

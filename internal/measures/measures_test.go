@@ -1,0 +1,244 @@
+package measures
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+
+	"repro/internal/db"
+	"repro/internal/probdb"
+	"repro/internal/query"
+)
+
+func runningExample() *db.Database {
+	return db.MustParse(`
+exo  Stud(Adam)
+exo  Stud(Ben)
+exo  Stud(Caroline)
+exo  Stud(David)
+endo TA(Adam)
+endo TA(Ben)
+endo TA(David)
+endo Reg(Adam, OS)
+endo Reg(Adam, AI)
+endo Reg(Ben, OS)
+endo Reg(Caroline, DB)
+endo Reg(Caroline, IC)
+`)
+}
+
+var q1 = query.MustParse("q1() :- Stud(x), !TA(x), Reg(x, y)")
+
+func TestCausalEffectSigns(t *testing.T) {
+	d := runningExample()
+	// Registrations have positive causal effect, TA facts negative,
+	// TA(David) exactly zero — matching the Shapley sign structure.
+	pos, err := CausalEffect(d, q1, db.F("Reg", "Caroline", "DB"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pos.Sign() <= 0 {
+		t.Fatalf("CE(Reg(Caroline,DB)) = %s, want > 0", pos.RatString())
+	}
+	neg, err := CausalEffect(d, q1, db.F("TA", "Adam"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if neg.Sign() >= 0 {
+		t.Fatalf("CE(TA(Adam)) = %s, want < 0", neg.RatString())
+	}
+	zero, err := CausalEffect(d, q1, db.F("TA", "David"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if zero.Sign() != 0 {
+		t.Fatalf("CE(TA(David)) = %s, want 0", zero.RatString())
+	}
+}
+
+func TestCausalEffectLiftedMatchesBrute(t *testing.T) {
+	// Force the brute path by using a self-join query, and compare the
+	// lifted path against manual world enumeration on q1.
+	d := runningExample()
+	f := db.F("Reg", "Ben", "OS")
+	fast, err := CausalEffect(d, q1, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Manual enumeration.
+	pdWith := probdb.New()
+	pdWithout := probdb.New()
+	for _, g := range d.Facts() {
+		p := big.NewRat(1, 1)
+		if d.IsEndogenous(g) {
+			p = big.NewRat(1, 2)
+		}
+		if g.Key() == f.Key() {
+			pdWith.MustAdd(g, big.NewRat(1, 1))
+			continue
+		}
+		pdWith.MustAdd(g, p)
+		pdWithout.MustAdd(g, p)
+	}
+	a, err := probdb.BruteForceProbability(pdWith, q1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := probdb.BruteForceProbability(pdWithout, q1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := new(big.Rat).Sub(a, b)
+	if fast.Cmp(want) != 0 {
+		t.Fatalf("CE = %s, enumeration gives %s", fast.RatString(), want.RatString())
+	}
+}
+
+func TestCausalEffectSelfJoinBrutePath(t *testing.T) {
+	q := query.MustParse("q() :- R(x, y), !R(y, x)")
+	d := db.New()
+	d.MustAddEndo(db.F("R", "1", "2"))
+	d.MustAddEndo(db.F("R", "2", "1"))
+	ce, err := CausalEffect(d, q, db.F("R", "1", "2"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// By symmetry with Example 5.3 the effect is positive here: adding
+	// R(1,2) helps when R(2,1) is absent (prob 1/2) and hurts when present
+	// and... enumerate: f present: worlds over R(2,1): p=1/2 each:
+	// {f}: true; {f, R(2,1)}: false → E = 1/2. f absent: {}: false;
+	// {R(2,1)}: true → E = 1/2. CE = 0, mirroring the zero Shapley value.
+	if ce.Sign() != 0 {
+		t.Fatalf("CE = %s, want 0 by symmetry", ce.RatString())
+	}
+}
+
+func TestCausalEffectRejectsNonEndogenous(t *testing.T) {
+	d := runningExample()
+	if _, err := CausalEffect(d, q1, db.F("Stud", "Adam")); err == nil {
+		t.Fatal("exogenous fact accepted")
+	}
+	if _, err := Responsibility(d, q1, db.F("Stud", "Adam")); err == nil {
+		t.Fatal("exogenous fact accepted")
+	}
+}
+
+func TestResponsibilityRunningExample(t *testing.T) {
+	d := runningExample()
+	// q1(D) is true (Caroline). Reg(Caroline,DB) becomes counterfactual
+	// after removing {Reg(Caroline,IC)}: ρ = 1/2.
+	r, err := Responsibility(d, q1, db.F("Reg", "Caroline", "DB"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Cmp(big.NewRat(1, 2)) != 0 {
+		t.Fatalf("ρ(Reg(Caroline,DB)) = %s, want 1/2", r.RatString())
+	}
+	// TA(David) can never be counterfactual: ρ = 0.
+	r, err = Responsibility(d, q1, db.F("TA", "David"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Sign() != 0 {
+		t.Fatalf("ρ(TA(David)) = %s, want 0", r.RatString())
+	}
+	// TA(Adam): with Γ = {Reg(Caroline,DB), Reg(Caroline,IC)} the query is
+	// false (Ben and David are blocked anyway), and removing TA(Adam) frees
+	// Adam's registrations: counterfactual with |Γ| = 2, so ρ = 1/3.
+	r, err = Responsibility(d, q1, db.F("TA", "Adam"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Cmp(big.NewRat(1, 3)) != 0 {
+		t.Fatalf("ρ(TA(Adam)) = %s, want 1/3 (two removals needed)", r.RatString())
+	}
+}
+
+func TestResponsibilityCounterfactualDirectly(t *testing.T) {
+	// A fact that is counterfactual outright has responsibility 1.
+	d := db.New()
+	d.MustAddExo(db.F("Stud", "A"))
+	d.MustAddEndo(db.F("Reg", "A", "C"))
+	q := query.MustParse("q() :- Stud(x), Reg(x, y)")
+	r, err := Responsibility(d, q, db.F("Reg", "A", "C"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Cmp(big.NewRat(1, 1)) != 0 {
+		t.Fatalf("ρ = %s, want 1", r.RatString())
+	}
+}
+
+func TestForEachSubsetOfSize(t *testing.T) {
+	var got [][]int
+	forEachSubsetOfSize(4, 2, func(idx []int) bool {
+		got = append(got, append([]int(nil), idx...))
+		return true
+	})
+	if len(got) != 6 {
+		t.Fatalf("C(4,2) = 6 subsets, got %d", len(got))
+	}
+	n := 0
+	forEachSubsetOfSize(5, 2, func([]int) bool { n++; return n < 3 })
+	if n != 3 {
+		t.Fatalf("early stop at 3, got %d", n)
+	}
+}
+
+func TestCausalEffectRandomAgainstEnumeration(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	q := query.MustParse("q() :- R(x), !S(x)")
+	for trial := 0; trial < 6; trial++ {
+		d := db.New()
+		for i := 0; i < 4; i++ {
+			c := db.Const(string(rune('a' + rng.Intn(3))))
+			f := db.NewFact("R", c)
+			if !d.Contains(f) {
+				d.MustAdd(f, rng.Intn(2) == 0)
+			}
+			g := db.NewFact("S", c)
+			if !d.Contains(g) && rng.Intn(2) == 0 {
+				d.MustAdd(g, true)
+			}
+		}
+		if d.NumEndo() == 0 {
+			continue
+		}
+		f := d.EndoFacts()[0]
+		ce, err := CausalEffect(d, q, f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Enumerate directly.
+		var others []db.Fact
+		for _, e := range d.EndoFacts() {
+			if e.Key() != f.Key() {
+				others = append(others, e)
+			}
+		}
+		dx := d.Restrict(func(_ db.Fact, e bool) bool { return !e })
+		diff := new(big.Rat)
+		for mask := 0; mask < 1<<uint(len(others)); mask++ {
+			sub := dx.Clone()
+			for i, e := range others {
+				if mask&(1<<uint(i)) != 0 {
+					sub.MustAddEndo(e)
+				}
+			}
+			without := 0
+			if q.Eval(sub) {
+				without = 1
+			}
+			sub.MustAddEndo(f)
+			with := 0
+			if q.Eval(sub) {
+				with = 1
+			}
+			diff.Add(diff, big.NewRat(int64(with-without), 1))
+		}
+		diff.Mul(diff, big.NewRat(1, 1<<uint(len(others))))
+		if ce.Cmp(diff) != 0 {
+			t.Fatalf("CE = %s, enumeration %s\nDB:\n%s", ce.RatString(), diff.RatString(), d)
+		}
+	}
+}

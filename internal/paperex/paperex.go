@@ -1,0 +1,236 @@
+// Package paperex provides the concrete databases and queries that appear in
+// the paper, as reusable fixtures: the running example of Figure 1, the
+// queries of Examples 2.2 and 4.2, the four basic hard queries of §3, the
+// §4.1 tractable/intractable pair, the gap-property construction of §5.1,
+// the hard relevance queries qRST¬R and qSAT of §5.2, and the expected exact
+// Shapley values of Example 2.3.
+package paperex
+
+import (
+	"fmt"
+
+	"repro/internal/db"
+	"repro/internal/query"
+)
+
+// RunningExample builds the database of Figure 1. Facts in Stud, Course and
+// Adv are exogenous; facts in TA and Reg are endogenous (Example 2.3).
+func RunningExample() *db.Database {
+	return db.MustParse(`
+# Figure 1: the university database
+exo  Stud(Adam)
+exo  Stud(Ben)
+exo  Stud(Caroline)
+exo  Stud(David)
+endo TA(Adam)
+endo TA(Ben)
+endo TA(David)
+exo  Course(OS, EE)
+exo  Course(IC, EE)
+exo  Course(DB, CS)
+exo  Course(AI, CS)
+endo Reg(Adam, OS)
+endo Reg(Adam, AI)
+endo Reg(Ben, OS)
+endo Reg(Caroline, DB)
+endo Reg(Caroline, IC)
+exo  Adv(Michael, Adam)
+exo  Adv(Michael, Ben)
+exo  Adv(Naomi, Caroline)
+exo  Adv(Michael, David)
+`)
+}
+
+// Q1 returns q1() :- Stud(x), ¬TA(x), Reg(x,y) — hierarchical.
+func Q1() *query.CQ { return query.MustParse("q1() :- Stud(x), !TA(x), Reg(x, y)") }
+
+// Q2 returns q2() :- Stud(x), ¬TA(x), Reg(x,y), ¬Course(y,CS) — not
+// hierarchical; tractable only with Stud and Course exogenous (§4).
+func Q2() *query.CQ {
+	return query.MustParse("q2() :- Stud(x), !TA(x), Reg(x, y), !Course(y, CS)")
+}
+
+// Q3 returns the self-join query q3 of Example 2.2.
+func Q3() *query.CQ {
+	return query.MustParse("q3() :- Adv(x, y), Adv(x, z), !TA(y), !TA(z), Reg(y, IC), Reg(z, DB)")
+}
+
+// Q4 returns the polarity-inconsistent query q4 of Example 2.2.
+func Q4() *query.CQ {
+	return query.MustParse("q4() :- Adv(x, y), Adv(x, z), TA(y), !TA(z), Reg(z, w), !Reg(y, w)")
+}
+
+// Example23Values maps fact keys to the exact Shapley values of Example 2.3
+// (main text; Appendix A omits the subset {f2t, f3t} in the f1r calculation,
+// but the main-text value 37/210 is the correct one and is what both our
+// algorithms produce).
+var Example23Values = map[string]string{
+	"TA(Adam)":         "-3/28",
+	"TA(Ben)":          "-2/35",
+	"TA(David)":        "0",
+	"Reg(Adam,OS)":     "37/210",
+	"Reg(Adam,AI)":     "37/210",
+	"Reg(Ben,OS)":      "27/140",
+	"Reg(Caroline,DB)": "13/42",
+	"Reg(Caroline,IC)": "13/42",
+}
+
+// QRST returns qRST() :- R(x), S(x,y), T(y), the canonical hard query.
+func QRST() *query.CQ { return query.MustParse("qRST() :- R(x), S(x, y), T(y)") }
+
+// QNegRSNegT returns q¬RS¬T() :- ¬R(x), S(x,y), ¬T(y).
+func QNegRSNegT() *query.CQ { return query.MustParse("qnRSnT() :- !R(x), S(x, y), !T(y)") }
+
+// QRNegST returns qR¬ST() :- R(x), ¬S(x,y), T(y).
+func QRNegST() *query.CQ { return query.MustParse("qRnST() :- R(x), !S(x, y), T(y)") }
+
+// QRSNegT returns qRS¬T() :- R(x), S(x,y), ¬T(y).
+func QRSNegT() *query.CQ { return query.MustParse("qRSnT() :- R(x), S(x, y), !T(y)") }
+
+// Section41Q returns the §4.1 query q() :- ¬R(x,w), S(z,x), ¬P(z,w), T(y,w),
+// tractable with X = {S, P}.
+func Section41Q() *query.CQ {
+	return query.MustParse("q() :- !R(x, w), S(z, x), !P(z, w), T(y, w)")
+}
+
+// Section41QPrime returns q'() :- ¬R(x,w), S(z,x), ¬P(z,y), T(y,w), which is
+// FP#P-hard even with X = {S, P}.
+func Section41QPrime() *query.CQ {
+	return query.MustParse("qp() :- !R(x, w), S(z, x), !P(z, y), T(y, w)")
+}
+
+// Section41Exo is the exogenous relation set {S, P} of §4.1.
+func Section41Exo() map[string]bool { return map[string]bool{"S": true, "P": true} }
+
+// Example41Query returns the academic-publications query of Example 4.1:
+// q() :- Author(x,y), Pub(x,z), Citations(z,w) with Pub and Citations
+// exogenous.
+func Example41Query() *query.CQ {
+	return query.MustParse("q() :- Author(x, y), Pub(x, z), Citations(z, w)")
+}
+
+// Example41Exo is {Pub, Citations}.
+func Example41Exo() map[string]bool { return map[string]bool{"Pub": true, "Citations": true} }
+
+// Example42Q returns the query q of Example 4.2 (Figure 2a), which has a
+// non-hierarchical path with X = {Q, S, U, P}.
+func Example42Q() *query.CQ {
+	return query.MustParse("q() :- !R(x), Q(x, v), S(x, z), U(z, w), !P(w, y), T(y, v)")
+}
+
+// Example42QExo is {Q, S, U, P}.
+func Example42QExo() map[string]bool {
+	return map[string]bool{"Q": true, "S": true, "U": true, "P": true}
+}
+
+// Example42QPrime returns the query q' of Example 4.2 (Figures 2b and 3),
+// which has no non-hierarchical path with X = {R, S, O, P}.
+func Example42QPrime() *query.CQ {
+	return query.MustParse("qp() :- U(t, r), !T(y), Q(y, w), !V(t), R(x, y), !S(x, z), O(z), P(u, y, w)")
+}
+
+// Example42QPrimeExo is {R, S, O, P}.
+func Example42QPrimeExo() map[string]bool {
+	return map[string]bool{"R": true, "S": true, "O": true, "P": true}
+}
+
+// GapQuery returns the §5.1 query q() :- R(x), S(x,y), ¬R(y) used to break
+// the gap property.
+func GapQuery() *query.CQ { return query.MustParse("q() :- R(x), S(x, y), !R(y)") }
+
+// GapDatabase builds the §5.1 construction for parameter n and returns the
+// database together with the distinguished fact f = R(c0_x), whose Shapley
+// value is exactly n!·n!/(2n+1)! ≤ 2^−n.
+func GapDatabase(n int) (*db.Database, db.Fact) {
+	d := db.New()
+	cx := func(i int) db.Const { return db.Const(fmt.Sprintf("x%d", i)) }
+	cy := func(i int) db.Const { return db.Const(fmt.Sprintf("y%d", i)) }
+	for i := 0; i <= 2*n; i++ {
+		d.MustAddExo(db.NewFact("S", cx(i), cy(i)))
+	}
+	for i := 1; i <= n; i++ {
+		d.MustAddExo(db.NewFact("R", cx(i)))
+		d.MustAddEndo(db.NewFact("R", cy(i)))
+	}
+	d.MustAddEndo(db.NewFact("R", cx(0)))
+	for i := n + 1; i <= 2*n; i++ {
+		d.MustAddEndo(db.NewFact("R", cx(i)))
+	}
+	return d, db.NewFact("R", cx(0))
+}
+
+// Example53Query returns q() :- R(x,y), ¬R(y,x) and Example53Database the
+// two-fact database where R(1,2) is relevant yet has Shapley value 0.
+func Example53Query() *query.CQ { return query.MustParse("q() :- R(x, y), !R(y, x)") }
+
+// Example53Database returns {R(1,2), R(2,1)}, both endogenous.
+func Example53Database() *db.Database {
+	d := db.New()
+	d.MustAddEndo(db.F("R", "1", "2"))
+	d.MustAddEndo(db.F("R", "2", "1"))
+	return d
+}
+
+// QRSTNegR returns the §5.2 query
+// qRST¬R() :- T(z), ¬R(x), ¬R(y), R(z), R(w), S(x,y,z,w)
+// for which relevance of a T-fact is NP-complete (Proposition 5.5).
+func QRSTNegR() *query.CQ {
+	return query.MustParse("qRSTnR() :- T(z), !R(x), !R(y), R(z), R(w), S(x, y, z, w)")
+}
+
+// QSAT returns the §5.2 UCQ¬ qSAT = q1 ∨ q2 ∨ q3 ∨ q4 for which relevance of
+// R(0) is NP-complete (Proposition 5.8). Each disjunct is polarity
+// consistent; the union is not.
+func QSAT() *query.UCQ {
+	return query.MustParseUCQ(`
+q1() :- C(x1, x2, x3, v1, v2, v3), T(x1, v1), T(x2, v2), T(x3, v3)
+q2() :- V(x), !T(x, 1), !T(x, 0)
+q3() :- T(x, 1), T(x, 0)
+q4() :- R(0)`)
+}
+
+// IntroQuery returns the introduction's farmer query
+// q() :- Farmer(m), Export(m,p,c), ¬Grows(c,p).
+func IntroQuery() *query.CQ {
+	return query.MustParse("q() :- Farmer(m), Export(m, p, c), !Grows(c, p)")
+}
+
+// IntroDatabase builds a small agricultural-exports instance for the
+// introduction's query: farmers exporting products to countries, with the
+// Grows relation exogenous (the tractable reading of §4).
+func IntroDatabase() *db.Database {
+	return db.MustParse(`
+exo  Farmer(Miller)
+exo  Farmer(Sato)
+endo Export(Miller, Wheat, Japan)
+endo Export(Miller, Corn, France)
+endo Export(Sato, Rice, France)
+endo Export(Sato, Wheat, Brazil)
+exo  Grows(Japan, Rice)
+exo  Grows(France, Wheat)
+exo  Grows(France, Corn)
+exo  Grows(Brazil, Corn)
+`)
+}
+
+// AggregateQuery returns the §3 remark's aggregate body
+// q(p, c, r) :- Export(p, c), ¬Grows(c, p), Profit(c, p, r), whose Sum over
+// r is tractable by Theorem 3.1 (the body is hierarchical once grounded per
+// answer; here the body itself is hierarchical).
+func AggregateQuery() *query.CQ {
+	return query.MustParse("q(p, c, r) :- Export(p, c), !Grows(c, p), Profit(c, p, r)")
+}
+
+// AggregateDatabase builds an instance for AggregateQuery with integer
+// profits.
+func AggregateDatabase() *db.Database {
+	return db.MustParse(`
+endo Export(Wheat, Japan)
+endo Export(Rice, Japan)
+endo Export(Corn, France)
+exo  Grows(Japan, Rice)
+exo  Profit(Japan, Wheat, 10)
+exo  Profit(Japan, Rice, 7)
+exo  Profit(France, Corn, 5)
+`)
+}

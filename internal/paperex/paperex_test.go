@@ -1,0 +1,120 @@
+package paperex
+
+import (
+	"testing"
+
+	"repro/internal/db"
+	"repro/internal/query"
+)
+
+func TestRunningExampleShape(t *testing.T) {
+	d := RunningExample()
+	if d.NumFacts() != 20 {
+		t.Fatalf("Figure 1 has 20 facts, got %d", d.NumFacts())
+	}
+	if d.NumEndo() != 8 {
+		t.Fatalf("Figure 1 has 8 endogenous facts (3 TA + 5 Reg), got %d", d.NumEndo())
+	}
+	for _, rel := range []string{"Stud", "Course", "Adv"} {
+		if d.RelationEndogenous(rel) {
+			t.Errorf("%s must be exogenous (Example 2.3)", rel)
+		}
+	}
+	if len(Example23Values) != 8 {
+		t.Fatalf("Example 2.3 lists 8 values, got %d", len(Example23Values))
+	}
+}
+
+func TestQueriesValidateAndClassify(t *testing.T) {
+	cases := []struct {
+		q            *query.CQ
+		selfJoinFree bool
+		hierarchical bool
+	}{
+		{Q1(), true, true},
+		{Q2(), true, false},
+		{Q3(), false, false},
+		{Q4(), false, false},
+		{QRST(), true, false},
+		{QNegRSNegT(), true, false},
+		{QRNegST(), true, false},
+		{QRSNegT(), true, false},
+		{Section41Q(), true, false},
+		{Section41QPrime(), true, false},
+		{Example41Query(), true, false},
+		{Example42Q(), true, false},
+		{Example42QPrime(), true, false},
+		{GapQuery(), false, false},
+		// Example 5.3's query has a self-join but IS hierarchical
+		// (A_x = A_y = both atoms); Theorem 3.1 does not cover it because
+		// of the self-join, not because of hierarchy.
+		{Example53Query(), false, true},
+		{QRSTNegR(), false, false},
+		{IntroQuery(), true, false},
+		{AggregateQuery(), true, true},
+	}
+	for _, c := range cases {
+		if err := c.q.Validate(); err != nil {
+			t.Errorf("%s: %v", c.q, err)
+			continue
+		}
+		if got := !c.q.HasSelfJoin(); got != c.selfJoinFree {
+			t.Errorf("%s: self-join-free = %v, want %v", c.q, got, c.selfJoinFree)
+		}
+		if got := c.q.IsHierarchical(); got != c.hierarchical {
+			t.Errorf("%s: hierarchical = %v, want %v", c.q, got, c.hierarchical)
+		}
+	}
+}
+
+func TestQSATShape(t *testing.T) {
+	u := QSAT()
+	if err := u.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(u.Disjuncts) != 4 {
+		t.Fatalf("qSAT has 4 disjuncts, got %d", len(u.Disjuncts))
+	}
+	for _, q := range u.Disjuncts {
+		if !q.IsPolarityConsistent() {
+			t.Errorf("disjunct %s must be polarity consistent", q)
+		}
+	}
+	if u.IsPolarityConsistent() {
+		t.Error("the union must not be polarity consistent (T flips)")
+	}
+}
+
+func TestGapDatabaseShape(t *testing.T) {
+	for n := 1; n <= 4; n++ {
+		d, f := GapDatabase(n)
+		if d.NumEndo() != 2*n+1 {
+			t.Fatalf("n=%d: %d endogenous facts, want 2n+1", n, d.NumEndo())
+		}
+		if !d.IsEndogenous(f) {
+			t.Fatalf("n=%d: distinguished fact %s not endogenous", n, f)
+		}
+		if len(d.RelationFacts("S")) != 2*n+1 {
+			t.Fatalf("n=%d: %d S facts, want 2n+1", n, len(d.RelationFacts("S")))
+		}
+		// Dx must satisfy the query (the proof's starting point).
+		dx := d.Restrict(func(_ db.Fact, endo bool) bool { return !endo })
+		if !GapQuery().Eval(dx) {
+			t.Fatalf("n=%d: Dx must satisfy the gap query", n)
+		}
+	}
+}
+
+func TestExogenousDeclarationsMatchData(t *testing.T) {
+	if IntroDatabase().RelationEndogenous("Grows") {
+		t.Error("Grows must be exogenous in the intro instance")
+	}
+	if AggregateDatabase().RelationEndogenous("Profit") {
+		t.Error("Profit must be exogenous in the aggregate instance")
+	}
+	for rel := range Example42QPrimeExo() {
+		if !map[string]bool{"R": true, "S": true, "O": true, "P": true}[rel] {
+			t.Errorf("unexpected exogenous relation %s", rel)
+		}
+	}
+}

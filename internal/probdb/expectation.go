@@ -1,0 +1,131 @@
+package probdb
+
+import (
+	"fmt"
+	"math/big"
+
+	"repro/internal/db"
+	"repro/internal/query"
+)
+
+// Aggregate expectations over tuple-independent databases, by linearity of
+// expectation: for a query q(x̄) with head variables and an aggregate
+// α(D') = Σ over distinct answers ā of weight(ā),
+//
+//	E[α] = Σ_ā weight(ā) · P(D' ⊨ q[x̄→ā]),
+//
+// with the candidate answers drawn from the positive part of q over the
+// structural database. Each grounded Boolean probability is computed by
+// exact lifted inference, so q must be self-join-free and remain
+// hierarchical after grounding (grounding only removes variables, so a
+// hierarchical q always qualifies). This mirrors how the paper reduces
+// aggregate Shapley values to Boolean ones (§3) and links it to the §4.3
+// probabilistic reading.
+
+// ExpectedCount returns E[#distinct answers of q].
+func ExpectedCount(pd *ProbDatabase, q *query.CQ) (*big.Rat, error) {
+	return expectedAggregate(pd, q, func([]db.Const) (*big.Rat, error) {
+		return big.NewRat(1, 1), nil
+	})
+}
+
+// ExpectedSum returns E[Σ over distinct answers of the numeric head
+// variable sumVar].
+func ExpectedSum(pd *ProbDatabase, q *query.CQ, sumVar string) (*big.Rat, error) {
+	pos := -1
+	for i, h := range q.Head {
+		if h == sumVar {
+			pos = i
+			break
+		}
+	}
+	if pos < 0 {
+		return nil, fmt.Errorf("probdb: sum variable %s is not a head variable of %s", sumVar, q.Name())
+	}
+	return expectedAggregate(pd, q, func(row []db.Const) (*big.Rat, error) {
+		w, ok := new(big.Rat).SetString(string(row[pos]))
+		if !ok {
+			return nil, fmt.Errorf("probdb: non-numeric value %q for sum variable %s", row[pos], sumVar)
+		}
+		return w, nil
+	})
+}
+
+func expectedAggregate(pd *ProbDatabase, q *query.CQ, weight func([]db.Const) (*big.Rat, error)) (*big.Rat, error) {
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	if len(q.Head) == 0 {
+		return nil, fmt.Errorf("probdb: aggregate query %s must have head variables", q.Name())
+	}
+	posPart := q.SubQuery(q.Positive())
+	posPart.Head = append([]string(nil), q.Head...)
+	answers := posPart.Answers(pd.d)
+
+	total := new(big.Rat)
+	for _, row := range answers {
+		ground := q.Clone()
+		for i, x := range q.Head {
+			ground = ground.SubstituteVar(x, row[i])
+		}
+		ground.Head = nil
+		p, err := LiftedProbability(pd, ground)
+		if err != nil {
+			return nil, fmt.Errorf("probdb: grounded query %s: %w", ground, err)
+		}
+		w, err := weight(row)
+		if err != nil {
+			return nil, err
+		}
+		total.Add(total, new(big.Rat).Mul(w, p))
+	}
+	return total, nil
+}
+
+// BruteForceExpectedAggregate enumerates possible worlds and averages the
+// aggregate directly (the validation oracle for the expectation API).
+func BruteForceExpectedAggregate(pd *ProbDatabase, q *query.CQ, weight func([]db.Const) (*big.Rat, error)) (*big.Rat, error) {
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	if len(q.Head) == 0 {
+		return nil, fmt.Errorf("probdb: aggregate query %s must have head variables", q.Name())
+	}
+	uncertain := pd.UncertainFacts()
+	if len(uncertain) > maxWorldFacts {
+		return nil, fmt.Errorf("probdb: %d uncertain facts exceed the enumeration limit", len(uncertain))
+	}
+	certain := db.New()
+	for _, f := range pd.d.Facts() {
+		if pd.probs[f.Key()].Cmp(ratOne) == 0 {
+			certain.MustAddExo(f)
+		}
+	}
+	total := new(big.Rat)
+	for mask := 0; mask < 1<<uint(len(uncertain)); mask++ {
+		world := certain.Clone()
+		prob := big.NewRat(1, 1)
+		for i, f := range uncertain {
+			p := pd.probs[f.Key()]
+			if mask&(1<<uint(i)) != 0 {
+				world.MustAddExo(f)
+				prob.Mul(prob, p)
+			} else {
+				prob.Mul(prob, new(big.Rat).Sub(ratOne, p))
+			}
+		}
+		agg := new(big.Rat)
+		for _, row := range q.Answers(world) {
+			w, err := weight(row)
+			if err != nil {
+				return nil, err
+			}
+			agg.Add(agg, w)
+		}
+		total.Add(total, agg.Mul(agg, prob))
+	}
+	return total, nil
+}
+
+// WeightOne is the Count weight function.
+func WeightOne([]db.Const) (*big.Rat, error) { return big.NewRat(1, 1), nil }

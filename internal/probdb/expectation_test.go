@@ -1,0 +1,97 @@
+package probdb
+
+import (
+	"math/big"
+	"math/rand"
+	"strconv"
+	"testing"
+
+	"repro/internal/db"
+	"repro/internal/query"
+)
+
+func TestExpectedCountSimple(t *testing.T) {
+	// q(x) :- R(x): E[#answers] = Σ p_i by linearity.
+	q := query.MustParse("q(x) :- R(x)")
+	pd := New()
+	pd.MustAdd(db.F("R", "a"), rat(1, 2))
+	pd.MustAdd(db.F("R", "b"), rat(1, 4))
+	got, err := ExpectedCount(pd, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Cmp(rat(3, 4)) != 0 {
+		t.Fatalf("E[count] = %s, want 3/4", got.RatString())
+	}
+}
+
+func TestExpectedCountAgainstBruteForce(t *testing.T) {
+	q := query.MustParse("q(x) :- R(x, y), !S(y)")
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 10; trial++ {
+		pd := randomProbInstance(rng, q, 3, 4)
+		if len(pd.UncertainFacts()) > 12 {
+			continue
+		}
+		fast, err := ExpectedCount(pd, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		slow, err := BruteForceExpectedAggregate(pd, q, WeightOne)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fast.Cmp(slow) != 0 {
+			t.Fatalf("E[count] lifted %s != brute %s", fast.RatString(), slow.RatString())
+		}
+	}
+}
+
+func TestExpectedSumAgainstBruteForce(t *testing.T) {
+	q := query.MustParse("q(p, r) :- Export(p), !Grows(p), Profit(p, r)")
+	pd := New()
+	pd.MustAdd(db.F("Export", "Wheat"), rat(1, 2))
+	pd.MustAdd(db.F("Export", "Rice"), rat(1, 4))
+	pd.MustAdd(db.F("Grows", "Rice"), rat(1, 2))
+	pd.MustAdd(db.F("Profit", "Wheat", "10"), rat(1, 1))
+	pd.MustAdd(db.F("Profit", "Rice", "8"), rat(1, 1))
+	fast, err := ExpectedSum(pd, q, "r")
+	if err != nil {
+		t.Fatal(err)
+	}
+	weight := func(row []db.Const) (*big.Rat, error) {
+		v, err := strconv.Atoi(string(row[1]))
+		if err != nil {
+			return nil, err
+		}
+		return big.NewRat(int64(v), 1), nil
+	}
+	slow, err := BruteForceExpectedAggregate(pd, q, weight)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fast.Cmp(slow) != 0 {
+		t.Fatalf("E[sum] lifted %s != brute %s", fast.RatString(), slow.RatString())
+	}
+	// Closed form: 10·(1/2) + 8·(1/4)·(1/2) = 6.
+	if fast.Cmp(rat(6, 1)) != 0 {
+		t.Fatalf("E[sum] = %s, want 6", fast.RatString())
+	}
+}
+
+func TestExpectedAggregateErrors(t *testing.T) {
+	pd := New()
+	pd.MustAdd(db.F("R", "a"), rat(1, 2))
+	if _, err := ExpectedCount(pd, query.MustParse("q() :- R(x)")); err == nil {
+		t.Fatal("Boolean query accepted for aggregate expectation")
+	}
+	if _, err := ExpectedSum(pd, query.MustParse("q(x) :- R(x)"), "zz"); err == nil {
+		t.Fatal("unknown sum variable accepted")
+	}
+	// Non-numeric sum values.
+	pd2 := New()
+	pd2.MustAdd(db.F("P", "a", "NaN"), rat(1, 2))
+	if _, err := ExpectedSum(pd2, query.MustParse("q(x, r) :- P(x, r)"), "r"); err == nil {
+		t.Fatal("non-numeric sum value accepted")
+	}
+}

@@ -1,0 +1,274 @@
+// Package probdb implements tuple-independent probabilistic databases and
+// the §4.3 application of the paper's results: exact query evaluation
+// P(D ⊨ q) for CQ¬s via lifted inference when the query is hierarchical,
+// extended by the ExoShap transformation to every self-join-free CQ¬
+// without a non-hierarchical path with respect to the deterministic
+// relations (Theorem 4.10, generalizing Fink and Olteanu's dichotomy).
+//
+// Probabilities are exact big.Rat values so that lifted inference can be
+// validated bit-for-bit against possible-world enumeration.
+package probdb
+
+import (
+	"errors"
+	"fmt"
+	"math/big"
+
+	"repro/internal/core"
+	"repro/internal/db"
+	"repro/internal/query"
+)
+
+// ErrBadProbability is returned for probabilities outside [0, 1].
+var ErrBadProbability = errors.New("probdb: probability outside [0,1]")
+
+var ratOne = big.NewRat(1, 1)
+
+// ProbDatabase is a tuple-independent probabilistic database: each fact is
+// present independently with its probability. Facts with probability 1 are
+// deterministic (the analogue of the paper's exogenous facts).
+type ProbDatabase struct {
+	d     *db.Database
+	probs map[string]*big.Rat
+}
+
+// New returns an empty probabilistic database.
+func New() *ProbDatabase {
+	return &ProbDatabase{d: db.New(), probs: make(map[string]*big.Rat)}
+}
+
+// Add inserts fact f with probability p ∈ [0, 1].
+func (pd *ProbDatabase) Add(f db.Fact, p *big.Rat) error {
+	if p.Sign() < 0 || p.Cmp(ratOne) > 0 {
+		return fmt.Errorf("%w: %s for %s", ErrBadProbability, p.RatString(), f)
+	}
+	if err := pd.d.Add(f, p.Cmp(ratOne) < 0); err != nil {
+		return err
+	}
+	pd.probs[f.Key()] = new(big.Rat).Set(p)
+	return nil
+}
+
+// MustAdd is Add that panics on error.
+func (pd *ProbDatabase) MustAdd(f db.Fact, p *big.Rat) {
+	if err := pd.Add(f, p); err != nil {
+		panic(err)
+	}
+}
+
+// AddDeterministic inserts a fact with probability 1.
+func (pd *ProbDatabase) AddDeterministic(f db.Fact) error { return pd.Add(f, ratOne) }
+
+// Facts returns all facts in insertion order.
+func (pd *ProbDatabase) Facts() []db.Fact { return pd.d.Facts() }
+
+// Prob returns the probability of f (0 if absent).
+func (pd *ProbDatabase) Prob(f db.Fact) *big.Rat {
+	if p, ok := pd.probs[f.Key()]; ok {
+		return new(big.Rat).Set(p)
+	}
+	return new(big.Rat)
+}
+
+// NumFacts returns the number of stored facts.
+func (pd *ProbDatabase) NumFacts() int { return pd.d.NumFacts() }
+
+// UncertainFacts returns the facts with probability strictly between 0 and 1.
+func (pd *ProbDatabase) UncertainFacts() []db.Fact {
+	var out []db.Fact
+	for _, f := range pd.d.Facts() {
+		p := pd.probs[f.Key()]
+		if p.Sign() > 0 && p.Cmp(ratOne) < 0 {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// RelationDeterministic reports whether every fact of rel has probability 1.
+func (pd *ProbDatabase) RelationDeterministic(rel string) bool {
+	for _, f := range pd.d.RelationFacts(rel) {
+		if pd.probs[f.Key()].Cmp(ratOne) < 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// maxWorldFacts caps the possible-world enumeration.
+const maxWorldFacts = 20
+
+// BruteForceProbability computes P(D ⊨ q) by enumerating the 2^u possible
+// worlds over the uncertain facts (the validation oracle).
+func BruteForceProbability(pd *ProbDatabase, q query.BooleanQuery) (*big.Rat, error) {
+	uncertain := pd.UncertainFacts()
+	if len(uncertain) > maxWorldFacts {
+		return nil, fmt.Errorf("probdb: %d uncertain facts exceed the enumeration limit of %d", len(uncertain), maxWorldFacts)
+	}
+	certain := db.New()
+	for _, f := range pd.d.Facts() {
+		if pd.probs[f.Key()].Cmp(ratOne) == 0 {
+			certain.MustAddExo(f)
+		}
+	}
+	total := new(big.Rat)
+	for mask := 0; mask < 1<<uint(len(uncertain)); mask++ {
+		world := certain.Clone()
+		weight := big.NewRat(1, 1)
+		for i, f := range uncertain {
+			p := pd.probs[f.Key()]
+			if mask&(1<<uint(i)) != 0 {
+				world.MustAddExo(f)
+				weight.Mul(weight, p)
+			} else {
+				weight.Mul(weight, new(big.Rat).Sub(ratOne, p))
+			}
+		}
+		if q.Eval(world) {
+			total.Add(total, weight)
+		}
+	}
+	return total, nil
+}
+
+// LiftedProbability computes P(D ⊨ q) in polynomial time for a hierarchical
+// self-join-free CQ¬ by the lifted-inference recursion (independent-AND
+// across connected components, independent-OR across root-variable values,
+// literal probabilities at the ground base case). This mirrors the CntSat
+// recursion of the Shapley algorithm — the paper's §4.3 observation.
+func LiftedProbability(pd *ProbDatabase, q *query.CQ) (*big.Rat, error) {
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	if q.HasSelfJoin() {
+		return nil, core.ErrNotSelfJoinFree
+	}
+	if !q.IsHierarchical() {
+		return nil, core.ErrNotHierarchical
+	}
+	return lifted(pd, q)
+}
+
+func lifted(pd *ProbDatabase, q *query.CQ) (*big.Rat, error) {
+	// Keep only facts that can be the image of their relation's atom.
+	atomOf := make(map[string]query.Atom)
+	for _, a := range q.Atoms {
+		atomOf[a.Rel] = a
+	}
+	relevant := New()
+	for _, f := range pd.d.Facts() {
+		if a, ok := atomOf[f.Rel]; ok && query.MatchesAtom(a, f) {
+			relevant.MustAdd(f, pd.probs[f.Key()])
+		}
+	}
+	return liftedCore(relevant, q)
+}
+
+func liftedCore(pd *ProbDatabase, q *query.CQ) (*big.Rat, error) {
+	comps := q.AtomComponents()
+	if len(comps) > 1 {
+		// Components touch disjoint relations: independent conjunction.
+		out := big.NewRat(1, 1)
+		for _, comp := range comps {
+			sub := q.SubQuery(comp)
+			rels := make(map[string]bool)
+			for _, a := range sub.Atoms {
+				rels[a.Rel] = true
+			}
+			subPD := New()
+			for _, f := range pd.d.Facts() {
+				if rels[f.Rel] {
+					subPD.MustAdd(f, pd.probs[f.Key()])
+				}
+			}
+			p, err := lifted(subPD, sub)
+			if err != nil {
+				return nil, err
+			}
+			out.Mul(out, p)
+		}
+		return out, nil
+	}
+
+	if len(q.Vars()) == 0 {
+		// Ground conjunction of literals over distinct relations:
+		// independent product.
+		out := big.NewRat(1, 1)
+		for _, a := range q.Atoms {
+			p := pd.Prob(a.GroundFact())
+			if a.Negated {
+				out.Mul(out, new(big.Rat).Sub(ratOne, p))
+			} else {
+				out.Mul(out, p)
+			}
+			if out.Sign() == 0 {
+				return out, nil
+			}
+		}
+		return out, nil
+	}
+
+	roots := q.RootVariables()
+	if len(roots) == 0 {
+		return nil, core.ErrNotHierarchical
+	}
+	x := roots[0]
+	posOf := make(map[string]int)
+	for _, a := range q.Atoms {
+		for i, t := range a.Args {
+			if t.IsVar() && t.Var == x {
+				posOf[a.Rel] = i
+				break
+			}
+		}
+	}
+	buckets := make(map[db.Const]*ProbDatabase)
+	var values []db.Const
+	for _, f := range pd.d.Facts() {
+		v := f.Args[posOf[f.Rel]]
+		if buckets[v] == nil {
+			buckets[v] = New()
+			values = append(values, v)
+		}
+		buckets[v].MustAdd(f, pd.probs[f.Key()])
+	}
+	// q = ∨_v q[x→v] over independent buckets: P = 1 − ∏ (1 − P_v).
+	allFail := big.NewRat(1, 1)
+	for _, v := range values {
+		pv, err := lifted(buckets[v], q.SubstituteVar(x, v))
+		if err != nil {
+			return nil, err
+		}
+		allFail.Mul(allFail, new(big.Rat).Sub(ratOne, pv))
+	}
+	return new(big.Rat).Sub(ratOne, allFail), nil
+}
+
+// EvalWithDeterministic computes P(D ⊨ q) for a self-join-free CQ¬ q that
+// has no non-hierarchical path with respect to the deterministic relations
+// X (Theorem 4.10): the ExoShap transformation is applied with the
+// deterministic facts playing the exogenous role, and lifted inference runs
+// on the transformed hierarchical instance. Every relation in X must be
+// deterministic in the data.
+func EvalWithDeterministic(pd *ProbDatabase, q *query.CQ, deterministic map[string]bool) (*big.Rat, error) {
+	for rel := range deterministic {
+		if !pd.RelationDeterministic(rel) {
+			return nil, fmt.Errorf("%w: %s", core.ErrExoViolated, rel)
+		}
+	}
+	// Reuse the ExoShap pipeline: deterministic ↔ exogenous,
+	// probabilistic ↔ endogenous.
+	d2, q2, _, err := core.ExoShapTransform(pd.d, q, deterministic)
+	if err != nil {
+		return nil, err
+	}
+	out := New()
+	for _, f := range d2.Facts() {
+		if d2.IsEndogenous(f) {
+			out.MustAdd(f, pd.probs[f.Key()])
+		} else if err := out.AddDeterministic(f); err != nil {
+			return nil, err
+		}
+	}
+	return LiftedProbability(out, q2)
+}

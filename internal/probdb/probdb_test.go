@@ -1,0 +1,267 @@
+package probdb
+
+import (
+	"errors"
+	"math/big"
+	"math/rand"
+	"testing"
+
+	"repro/internal/combinat"
+	"repro/internal/core"
+	"repro/internal/db"
+	"repro/internal/query"
+)
+
+func rat(a, b int64) *big.Rat { return big.NewRat(a, b) }
+
+func TestAddValidation(t *testing.T) {
+	pd := New()
+	if err := pd.Add(db.F("R", "a"), rat(1, 2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := pd.Add(db.F("R", "a"), rat(1, 2)); err == nil {
+		t.Fatal("duplicate accepted")
+	}
+	if err := pd.Add(db.F("R", "b"), rat(3, 2)); !errors.Is(err, ErrBadProbability) {
+		t.Fatalf("p>1 accepted: %v", err)
+	}
+	if err := pd.Add(db.F("R", "c"), rat(-1, 2)); !errors.Is(err, ErrBadProbability) {
+		t.Fatalf("p<0 accepted: %v", err)
+	}
+	if pd.Prob(db.F("R", "a")).Cmp(rat(1, 2)) != 0 {
+		t.Fatal("stored probability wrong")
+	}
+	if pd.Prob(db.F("Z", "z")).Sign() != 0 {
+		t.Fatal("absent fact should have probability 0")
+	}
+}
+
+func TestUncertainAndDeterministic(t *testing.T) {
+	pd := New()
+	pd.MustAdd(db.F("R", "a"), rat(1, 2))
+	pd.MustAdd(db.F("R", "b"), rat(1, 1))
+	pd.MustAdd(db.F("S", "c"), rat(0, 1))
+	if n := len(pd.UncertainFacts()); n != 1 {
+		t.Fatalf("uncertain facts = %d, want 1", n)
+	}
+	if pd.RelationDeterministic("R") {
+		t.Fatal("R has an uncertain fact")
+	}
+	if !pd.RelationDeterministic("T") {
+		t.Fatal("empty relation is vacuously deterministic")
+	}
+}
+
+func TestLiftedSingleAtom(t *testing.T) {
+	// q() :- R(x): P = 1 − ∏(1−p_i).
+	q := query.MustParse("q() :- R(x)")
+	pd := New()
+	pd.MustAdd(db.F("R", "a"), rat(1, 2))
+	pd.MustAdd(db.F("R", "b"), rat(1, 3))
+	got, err := LiftedProbability(pd, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := rat(2, 3) // 1 − (1/2)(2/3)
+	if got.Cmp(want) != 0 {
+		t.Fatalf("P = %s, want %s", got.RatString(), want.RatString())
+	}
+}
+
+func TestLiftedNegation(t *testing.T) {
+	// q() :- R(x), ¬S(x): per value v, P_v = p(R(v))·(1−p(S(v))).
+	q := query.MustParse("q() :- R(x), !S(x)")
+	pd := New()
+	pd.MustAdd(db.F("R", "a"), rat(1, 2))
+	pd.MustAdd(db.F("S", "a"), rat(1, 4))
+	got, err := LiftedProbability(pd, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := rat(3, 8)
+	if got.Cmp(want) != 0 {
+		t.Fatalf("P = %s, want %s", got.RatString(), want.RatString())
+	}
+}
+
+var liftedQueries = []*query.CQ{
+	query.MustParse("l1() :- R(x), S(x, y)"),
+	query.MustParse("l2() :- R(x, y), !S(y)"),
+	query.MustParse("l3() :- R(x), S(x, y), !T(x, y)"),
+	query.MustParse("l4() :- R(x), !S(x), T(x, y), U(z)"),
+	query.MustParse("l5() :- Stud(x), !TA(x), Reg(x, y)"),
+}
+
+func randomProbInstance(rng *rand.Rand, q *query.CQ, domSize, perRel int) *ProbDatabase {
+	pd := New()
+	dom := make([]db.Const, domSize)
+	for i := range dom {
+		dom[i] = db.Const(string(rune('a' + i)))
+	}
+	arity := make(map[string]int)
+	for _, a := range q.Atoms {
+		arity[a.Rel] = len(a.Args)
+	}
+	for _, rel := range q.Relations() {
+		for i := 0; i < perRel; i++ {
+			args := make([]db.Const, arity[rel])
+			for j := range args {
+				args[j] = dom[rng.Intn(domSize)]
+			}
+			f := db.Fact{Rel: rel, Args: args}
+			if pd.d.Contains(f) {
+				continue
+			}
+			pd.MustAdd(f, rat(int64(rng.Intn(5)), 4)) // 0, 1/4, 1/2, 3/4, 1
+		}
+	}
+	return pd
+}
+
+func TestLiftedAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	for _, q := range liftedQueries {
+		for trial := 0; trial < 12; trial++ {
+			pd := randomProbInstance(rng, q, 3, 4)
+			if len(pd.UncertainFacts()) > 14 {
+				continue
+			}
+			fast, err := LiftedProbability(pd, q)
+			if err != nil {
+				t.Fatalf("%s: %v", q, err)
+			}
+			slow, err := BruteForceProbability(pd, q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if fast.Cmp(slow) != 0 {
+				t.Fatalf("%s: lifted %s != brute %s", q, fast.RatString(), slow.RatString())
+			}
+		}
+	}
+}
+
+func TestLiftedRejections(t *testing.T) {
+	pd := New()
+	pd.MustAdd(db.F("R", "a"), rat(1, 2))
+	if _, err := LiftedProbability(pd, query.MustParse("q() :- R(x), S(x, y), T(y)")); !errors.Is(err, core.ErrNotHierarchical) {
+		t.Fatalf("want ErrNotHierarchical, got %v", err)
+	}
+	if _, err := LiftedProbability(pd, query.MustParse("q() :- R(x, y), !R(y, x)")); !errors.Is(err, core.ErrNotSelfJoinFree) {
+		t.Fatalf("want ErrNotSelfJoinFree, got %v", err)
+	}
+}
+
+// Bridge property: for endogenous facts with p = 1/2 and exogenous with
+// p = 1, P(D ⊨ q) = Σ_k |Sat(D,q,k)| / 2^m — the lifted engine and the
+// Shapley counting engine must agree exactly.
+func TestLiftedMatchesSatCounting(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	for _, q := range liftedQueries {
+		for trial := 0; trial < 6; trial++ {
+			d := db.New()
+			dom := []db.Const{"a", "b", "c"}
+			arity := make(map[string]int)
+			for _, a := range q.Atoms {
+				arity[a.Rel] = len(a.Args)
+			}
+			for _, rel := range q.Relations() {
+				for i := 0; i < 3; i++ {
+					args := make([]db.Const, arity[rel])
+					for j := range args {
+						args[j] = dom[rng.Intn(3)]
+					}
+					f := db.Fact{Rel: rel, Args: args}
+					if !d.Contains(f) {
+						d.MustAdd(f, rng.Intn(2) == 0)
+					}
+				}
+			}
+			sat, err := core.SatCountVector(d, q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			m := d.NumEndo()
+			want := new(big.Rat).SetFrac(combinat.SumVector(sat), new(big.Int).Lsh(big.NewInt(1), uint(m)))
+
+			pd := New()
+			for _, f := range d.Facts() {
+				if d.IsEndogenous(f) {
+					pd.MustAdd(f, rat(1, 2))
+				} else {
+					pd.MustAdd(f, rat(1, 1))
+				}
+			}
+			got, err := LiftedProbability(pd, q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got.Cmp(want) != 0 {
+				t.Fatalf("%s: lifted %s != Σsat/2^m %s\nDB:\n%s", q, got.RatString(), want.RatString(), d)
+			}
+		}
+	}
+}
+
+func TestEvalWithDeterministicTheorem410(t *testing.T) {
+	// q2 with deterministic Stud and Course: no non-hierarchical path, so
+	// evaluation is polynomial; cross-check against world enumeration.
+	q2 := query.MustParse("q2() :- Stud(x), !TA(x), Reg(x, y), !Course(y, CS)")
+	deterministic := map[string]bool{"Stud": true, "Course": true}
+	rng := rand.New(rand.NewSource(81))
+	for trial := 0; trial < 8; trial++ {
+		pd := New()
+		dom := []db.Const{"a", "b", "c"}
+		for _, c := range dom {
+			if rng.Intn(2) == 0 {
+				pd.MustAdd(db.NewFact("Stud", c), rat(1, 1))
+			}
+			if rng.Intn(2) == 0 {
+				pd.MustAdd(db.NewFact("TA", c), rat(int64(1+rng.Intn(3)), 4))
+			}
+			for _, c2 := range dom {
+				if rng.Intn(3) == 0 {
+					pd.MustAdd(db.NewFact("Reg", c, c2), rat(int64(1+rng.Intn(3)), 4))
+				}
+			}
+			if rng.Intn(2) == 0 {
+				pd.MustAdd(db.NewFact("Course", c, "CS"), rat(1, 1))
+			}
+		}
+		fast, err := EvalWithDeterministic(pd, q2, deterministic)
+		if err != nil {
+			t.Fatal(err)
+		}
+		slow, err := BruteForceProbability(pd, q2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fast.Cmp(slow) != 0 {
+			t.Fatalf("Theorem 4.10 evaluation %s != brute %s", fast.RatString(), slow.RatString())
+		}
+	}
+}
+
+func TestEvalWithDeterministicRejectsHardQuery(t *testing.T) {
+	// §4.1's q' keeps its non-hierarchical path with X = {S, P} and must be
+	// rejected (its evaluation is FP#P-complete).
+	qp := query.MustParse("qp() :- !R(x, w), S(z, x), !P(z, y), T(y, w)")
+	pd := New()
+	pd.MustAdd(db.F("R", "a", "b"), rat(1, 2))
+	pd.MustAdd(db.F("T", "a", "b"), rat(1, 2))
+	pd.MustAdd(db.F("S", "a", "b"), rat(1, 1))
+	pd.MustAdd(db.F("P", "a", "b"), rat(1, 1))
+	if _, err := EvalWithDeterministic(pd, qp, map[string]bool{"S": true, "P": true}); !errors.Is(err, core.ErrIntractable) {
+		t.Fatalf("want ErrIntractable, got %v", err)
+	}
+}
+
+func TestEvalWithDeterministicChecksDeclaration(t *testing.T) {
+	q := query.MustParse("q() :- Author(x, y), Pub(x, z)")
+	pd := New()
+	pd.MustAdd(db.F("Author", "a", "b"), rat(1, 2))
+	pd.MustAdd(db.F("Pub", "a", "c"), rat(1, 2)) // not deterministic
+	if _, err := EvalWithDeterministic(pd, q, map[string]bool{"Pub": true}); !errors.Is(err, core.ErrExoViolated) {
+		t.Fatalf("want ErrExoViolated, got %v", err)
+	}
+}

@@ -1,0 +1,41 @@
+package probdb
+
+import (
+	"errors"
+	"fmt"
+	"math/big"
+
+	"repro/internal/query"
+)
+
+// ErrUCQNotDisjoint mirrors core.ErrUCQNotDisjoint for probabilistic
+// evaluation.
+var ErrUCQNotDisjoint = errors.New("probdb: UCQ disjuncts share relation symbols; exact lifted evaluation requires pairwise relation-disjoint disjuncts")
+
+// LiftedProbabilityUCQ computes P(D ⊨ u) exactly for a union of
+// hierarchical self-join-free CQ¬s with pairwise disjoint relation sets:
+// the disjuncts are then independent events over the tuple-independent
+// distribution, so P(∨ qi) = 1 − Π (1 − P(qi)).
+func LiftedProbabilityUCQ(pd *ProbDatabase, u *query.UCQ) (*big.Rat, error) {
+	if err := u.Validate(); err != nil {
+		return nil, err
+	}
+	seen := make(map[string]int)
+	for i, q := range u.Disjuncts {
+		for _, rel := range q.Relations() {
+			if j, dup := seen[rel]; dup && j != i {
+				return nil, fmt.Errorf("%w: %s", ErrUCQNotDisjoint, rel)
+			}
+			seen[rel] = i
+		}
+	}
+	allFail := big.NewRat(1, 1)
+	for _, q := range u.Disjuncts {
+		p, err := LiftedProbability(pd, q)
+		if err != nil {
+			return nil, fmt.Errorf("probdb: disjunct %s: %w", q.Name(), err)
+		}
+		allFail.Mul(allFail, new(big.Rat).Sub(ratOne, p))
+	}
+	return new(big.Rat).Sub(ratOne, allFail), nil
+}

@@ -1,0 +1,72 @@
+package probdb
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"repro/internal/db"
+	"repro/internal/query"
+)
+
+func TestLiftedUCQAgainstBrute(t *testing.T) {
+	u := query.MustParseUCQ(`
+qa() :- R(x), !S(x)
+qb() :- U(x, y)`)
+	rng := rand.New(rand.NewSource(131))
+	for trial := 0; trial < 10; trial++ {
+		pd := New()
+		dom := []db.Const{"a", "b", "c"}
+		for _, c := range dom {
+			if rng.Intn(2) == 0 {
+				pd.MustAdd(db.NewFact("R", c), rat(int64(rng.Intn(5)), 4))
+			}
+			if rng.Intn(2) == 0 {
+				pd.MustAdd(db.NewFact("S", c), rat(int64(rng.Intn(5)), 4))
+			}
+			for _, c2 := range dom {
+				if rng.Intn(4) == 0 {
+					pd.MustAdd(db.NewFact("U", c, c2), rat(int64(rng.Intn(5)), 4))
+				}
+			}
+		}
+		fast, err := LiftedProbabilityUCQ(pd, u)
+		if err != nil {
+			t.Fatal(err)
+		}
+		slow, err := BruteForceProbability(pd, u)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fast.Cmp(slow) != 0 {
+			t.Fatalf("UCQ lifted %s != brute %s", fast.RatString(), slow.RatString())
+		}
+	}
+}
+
+func TestLiftedUCQRejectsSharedRelations(t *testing.T) {
+	u := query.MustParseUCQ("qa() :- R(x) | qb() :- R(x), S(x)")
+	pd := New()
+	pd.MustAdd(db.F("R", "a"), rat(1, 2))
+	if _, err := LiftedProbabilityUCQ(pd, u); !errors.Is(err, ErrUCQNotDisjoint) {
+		t.Fatalf("want ErrUCQNotDisjoint, got %v", err)
+	}
+}
+
+func TestLiftedUCQSingleDisjunct(t *testing.T) {
+	u := query.MustParseUCQ("qa() :- R(x), !S(x)")
+	pd := New()
+	pd.MustAdd(db.F("R", "a"), rat(1, 2))
+	pd.MustAdd(db.F("S", "a"), rat(1, 4))
+	got, err := LiftedProbabilityUCQ(pd, u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := LiftedProbability(pd, u.Disjuncts[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Cmp(want) != 0 {
+		t.Fatalf("single disjunct union %s != CQ %s", got.RatString(), want.RatString())
+	}
+}

@@ -1,0 +1,593 @@
+package query
+
+import (
+	"sort"
+)
+
+// HasSelfJoin reports whether two distinct atoms share a relation symbol.
+// Both polarities count: R(x), ¬R(y) is a self-join (the paper's Example 5.3
+// and qRST¬R rely on this).
+func (q *CQ) HasSelfJoin() bool {
+	seen := make(map[string]bool)
+	for _, a := range q.Atoms {
+		if seen[a.Rel] {
+			return true
+		}
+		seen[a.Rel] = true
+	}
+	return false
+}
+
+// atomsOf returns, for every variable, the set of atom indices containing it
+// (the paper's A_x), over all atoms regardless of polarity.
+func (q *CQ) atomsOf() map[string]map[int]bool {
+	out := make(map[string]map[int]bool)
+	for i, a := range q.Atoms {
+		for _, x := range a.Vars() {
+			if out[x] == nil {
+				out[x] = make(map[int]bool)
+			}
+			out[x][i] = true
+		}
+	}
+	return out
+}
+
+// IsHierarchical reports whether for all variables x, y one of A_x ⊆ A_y,
+// A_y ⊆ A_x, or A_x ∩ A_y = ∅ holds. The definition extends verbatim to
+// CQ¬s (paper §2).
+func (q *CQ) IsHierarchical() bool {
+	_, _, ok := q.NonHierarchicalWitness()
+	return !ok
+}
+
+// NonHierarchicalWitness returns a pair of variables violating the
+// hierarchy condition, if any.
+func (q *CQ) NonHierarchicalWitness() (x, y string, found bool) {
+	ax := q.atomsOf()
+	vars := q.Vars()
+	for i := 0; i < len(vars); i++ {
+		for j := i + 1; j < len(vars); j++ {
+			a, b := ax[vars[i]], ax[vars[j]]
+			if !subset(a, b) && !subset(b, a) && intersects(a, b) {
+				return vars[i], vars[j], true
+			}
+		}
+	}
+	return "", "", false
+}
+
+func subset(a, b map[int]bool) bool {
+	for k := range a {
+		if !b[k] {
+			return false
+		}
+	}
+	return true
+}
+
+func intersects(a, b map[int]bool) bool {
+	for k := range a {
+		if b[k] {
+			return true
+		}
+	}
+	return false
+}
+
+// Triplet is a non-hierarchical triplet (αx, αxy, αy) of atom indices with
+// its witnessing variables: X occurs in AtomX but not AtomY, Y occurs in
+// AtomY but not AtomX, and both occur in AtomXY.
+type Triplet struct {
+	AtomX, AtomXY, AtomY int
+	X, Y                 string
+}
+
+// NonHierarchicalTriplets enumerates all non-hierarchical triplets of q in a
+// deterministic order.
+func (q *CQ) NonHierarchicalTriplets() []Triplet {
+	var out []Triplet
+	vars := q.Vars()
+	for _, x := range vars {
+		for _, y := range vars {
+			if x == y {
+				continue
+			}
+			for ix, ax := range q.Atoms {
+				if !ax.HasVar(x) || ax.HasVar(y) {
+					continue
+				}
+				for iy, ay := range q.Atoms {
+					if !ay.HasVar(y) || ay.HasVar(x) {
+						continue
+					}
+					for ixy, axy := range q.Atoms {
+						if axy.HasVar(x) && axy.HasVar(y) {
+							out = append(out, Triplet{AtomX: ix, AtomXY: ixy, AtomY: iy, X: x, Y: y})
+						}
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// BaseHardQuery identifies which of the four basic non-hierarchical queries
+// of §3 a triplet's polarity pattern reduces from.
+type BaseHardQuery int
+
+const (
+	// BaseRST is qRST() :- R(x), S(x,y), T(y).
+	BaseRST BaseHardQuery = iota
+	// BaseNegRSNegT is q¬RS¬T() :- ¬R(x), S(x,y), ¬T(y).
+	BaseNegRSNegT
+	// BaseRNegST is qR¬ST() :- R(x), ¬S(x,y), T(y).
+	BaseRNegST
+	// BaseRSNegT is qRS¬T() :- R(x), S(x,y), ¬T(y) (covers the symmetric
+	// ¬R(x), S(x,y), T(y) by swapping the roles of x and y).
+	BaseRSNegT
+)
+
+func (b BaseHardQuery) String() string {
+	switch b {
+	case BaseRST:
+		return "qRST"
+	case BaseNegRSNegT:
+		return "q¬RS¬T"
+	case BaseRNegST:
+		return "qR¬ST"
+	case BaseRSNegT:
+		return "qRS¬T"
+	}
+	return "?"
+}
+
+// ReductionTriplet returns a non-hierarchical triplet suitable for the
+// hardness reduction of Theorem 3.1, i.e. one avoiding the pattern where
+// αxy and at least one of αx, αy are negated (Lemma B.4 proves such a
+// triplet always exists in a safe non-hierarchical CQ¬), together with the
+// base query it reduces from. ok is false iff q is hierarchical.
+func (q *CQ) ReductionTriplet() (t Triplet, base BaseHardQuery, ok bool) {
+	var candidates []Triplet
+	for _, tr := range q.NonHierarchicalTriplets() {
+		negXY := q.Atoms[tr.AtomXY].Negated
+		negX := q.Atoms[tr.AtomX].Negated
+		negY := q.Atoms[tr.AtomY].Negated
+		if negXY && (negX || negY) {
+			continue // forbidden pattern; Lemma B.4 guarantees an alternative
+		}
+		candidates = append(candidates, tr)
+	}
+	if len(candidates) == 0 {
+		return Triplet{}, 0, false
+	}
+	// Prefer all-positive (the simplest reduction) for determinism.
+	best := candidates[0]
+	for _, tr := range candidates {
+		if !q.Atoms[tr.AtomX].Negated && !q.Atoms[tr.AtomXY].Negated && !q.Atoms[tr.AtomY].Negated {
+			best = tr
+			break
+		}
+	}
+	negXY := q.Atoms[best.AtomXY].Negated
+	negX := q.Atoms[best.AtomX].Negated
+	negY := q.Atoms[best.AtomY].Negated
+	switch {
+	case !negXY && !negX && !negY:
+		base = BaseRST
+	case !negXY && negX && negY:
+		base = BaseNegRSNegT
+	case negXY && !negX && !negY:
+		base = BaseRNegST
+	default: // αxy positive, exactly one endpoint negated
+		base = BaseRSNegT
+	}
+	return best, base, true
+}
+
+// GaifmanGraph returns the Gaifman graph of q: vertices are variables, with
+// an edge between two variables iff they co-occur in some atom (of either
+// polarity). The result maps each variable to its sorted neighbor list.
+func (q *CQ) GaifmanGraph() map[string][]string {
+	adj := make(map[string]map[string]bool)
+	for _, x := range q.Vars() {
+		adj[x] = make(map[string]bool)
+	}
+	for _, a := range q.Atoms {
+		vs := a.Vars()
+		for i := 0; i < len(vs); i++ {
+			for j := i + 1; j < len(vs); j++ {
+				adj[vs[i]][vs[j]] = true
+				adj[vs[j]][vs[i]] = true
+			}
+		}
+	}
+	out := make(map[string][]string, len(adj))
+	for x, ns := range adj {
+		var lst []string
+		for y := range ns {
+			lst = append(lst, y)
+		}
+		sort.Strings(lst)
+		out[x] = lst
+	}
+	return out
+}
+
+// NonHierarchicalPath describes a witness for the §4 hardness condition: two
+// atoms αx, αy over non-exogenous relations, variables x ∈ αx \ αy and
+// y ∈ αy \ αx, and a path from x to y in the Gaifman graph avoiding all
+// other variables of αx and αy.
+type NonHierarchicalPath struct {
+	AtomX, AtomY int
+	X, Y         string
+	Path         []string // x = Path[0], ..., y = Path[len-1]
+}
+
+// FindNonHierarchicalPath searches for a non-hierarchical path with respect
+// to the set exo of exogenous relation symbols. It returns the first witness
+// in deterministic order, or ok=false if none exists (the tractable side of
+// Theorem 4.3).
+func (q *CQ) FindNonHierarchicalPath(exo map[string]bool) (NonHierarchicalPath, bool) {
+	g := q.GaifmanGraph()
+	for ix, ax := range q.Atoms {
+		if exo[ax.Rel] {
+			continue
+		}
+		for iy, ay := range q.Atoms {
+			if ix == iy || exo[ay.Rel] {
+				continue
+			}
+			for _, x := range ax.Vars() {
+				if ay.HasVar(x) {
+					continue
+				}
+				for _, y := range ay.Vars() {
+					if ax.HasVar(y) {
+						continue
+					}
+					removed := make(map[string]bool)
+					for _, v := range ax.Vars() {
+						if v != x && v != y {
+							removed[v] = true
+						}
+					}
+					for _, v := range ay.Vars() {
+						if v != x && v != y {
+							removed[v] = true
+						}
+					}
+					if path := bfsPath(g, x, y, removed); path != nil {
+						return NonHierarchicalPath{AtomX: ix, AtomY: iy, X: x, Y: y, Path: path}, true
+					}
+				}
+			}
+		}
+	}
+	return NonHierarchicalPath{}, false
+}
+
+// HasNonHierarchicalPath reports whether q has a non-hierarchical path with
+// respect to the exogenous relations exo.
+func (q *CQ) HasNonHierarchicalPath(exo map[string]bool) bool {
+	_, ok := q.FindNonHierarchicalPath(exo)
+	return ok
+}
+
+// bfsPath finds a shortest path from x to y in g avoiding removed vertices;
+// x and y themselves are never considered removed.
+func bfsPath(g map[string][]string, x, y string, removed map[string]bool) []string {
+	if x == y {
+		return []string{x}
+	}
+	prev := map[string]string{x: x}
+	queue := []string{x}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, nb := range g[cur] {
+			if nb != y && removed[nb] {
+				continue
+			}
+			if _, seen := prev[nb]; seen {
+				continue
+			}
+			prev[nb] = cur
+			if nb == y {
+				var path []string
+				for v := y; ; v = prev[v] {
+					path = append([]string{v}, path...)
+					if v == x {
+						return path
+					}
+				}
+			}
+			queue = append(queue, nb)
+		}
+	}
+	return nil
+}
+
+// IsPolarityConsistent reports whether every relation symbol of q occurs
+// only in positive atoms or only in negative atoms (§5.2).
+func (q *CQ) IsPolarityConsistent() bool {
+	return len(q.PolarityInconsistentRels()) == 0
+}
+
+// PolarityInconsistentRels returns the relation symbols occurring both
+// positively and negatively, sorted.
+func (q *CQ) PolarityInconsistentRels() []string {
+	pos := make(map[string]bool)
+	neg := make(map[string]bool)
+	for _, a := range q.Atoms {
+		if a.Negated {
+			neg[a.Rel] = true
+		} else {
+			pos[a.Rel] = true
+		}
+	}
+	var out []string
+	for r := range pos {
+		if neg[r] {
+			out = append(out, r)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// NegativeRels returns the relation symbols that occur in negated atoms,
+// sorted (the paper's Neg_q relations).
+func (q *CQ) NegativeRels() []string {
+	seen := make(map[string]bool)
+	for _, a := range q.Atoms {
+		if a.Negated {
+			seen[a.Rel] = true
+		}
+	}
+	var out []string
+	for r := range seen {
+		out = append(out, r)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// IsPolarityConsistent reports whether every relation symbol of the whole
+// union occurs only positively or only negatively across all disjuncts.
+func (u *UCQ) IsPolarityConsistent() bool {
+	pos := make(map[string]bool)
+	neg := make(map[string]bool)
+	for _, q := range u.Disjuncts {
+		for _, a := range q.Atoms {
+			if a.Negated {
+				neg[a.Rel] = true
+			} else {
+				pos[a.Rel] = true
+			}
+		}
+	}
+	for r := range pos {
+		if neg[r] {
+			return false
+		}
+	}
+	return true
+}
+
+// NegativeRels returns the relation symbols negated in any disjunct, sorted.
+func (u *UCQ) NegativeRels() []string {
+	seen := make(map[string]bool)
+	for _, q := range u.Disjuncts {
+		for _, r := range q.NegativeRels() {
+			seen[r] = true
+		}
+	}
+	var out []string
+	for r := range seen {
+		out = append(out, r)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ExogenousVars returns the variables of q occurring only in atoms over
+// exogenous relations (the paper's Vars_x(q)).
+func (q *CQ) ExogenousVars(exo map[string]bool) []string {
+	var out []string
+	for _, x := range q.Vars() {
+		onlyExo := true
+		for _, a := range q.Atoms {
+			if a.HasVar(x) && !exo[a.Rel] {
+				onlyExo = false
+				break
+			}
+		}
+		if onlyExo {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+// ExoAtomComponents returns the connected components of the exogenous atom
+// graph g_x(q): vertices are atoms over exogenous relations; two are
+// adjacent iff they share an exogenous variable. Each component is a sorted
+// list of atom indices; components are ordered by smallest index.
+func (q *CQ) ExoAtomComponents(exo map[string]bool) [][]int {
+	exoVars := make(map[string]bool)
+	for _, x := range q.ExogenousVars(exo) {
+		exoVars[x] = true
+	}
+	var nodes []int
+	for i, a := range q.Atoms {
+		if exo[a.Rel] {
+			nodes = append(nodes, i)
+		}
+	}
+	parent := make(map[int]int, len(nodes))
+	for _, i := range nodes {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(i int) int {
+		if parent[i] != i {
+			parent[i] = find(parent[i])
+		}
+		return parent[i]
+	}
+	union := func(a, b int) { parent[find(a)] = find(b) }
+	for ii := 0; ii < len(nodes); ii++ {
+		for jj := ii + 1; jj < len(nodes); jj++ {
+			i, j := nodes[ii], nodes[jj]
+			for _, x := range q.Atoms[i].Vars() {
+				if exoVars[x] && q.Atoms[j].HasVar(x) {
+					union(i, j)
+					break
+				}
+			}
+		}
+	}
+	groups := make(map[int][]int)
+	for _, i := range nodes {
+		r := find(i)
+		groups[r] = append(groups[r], i)
+	}
+	var roots []int
+	for r := range groups {
+		sort.Ints(groups[r])
+		roots = append(roots, groups[r][0])
+	}
+	sort.Ints(roots)
+	var out [][]int
+	for _, first := range roots {
+		for _, grp := range groups {
+			if grp[0] == first {
+				out = append(out, grp)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// RootVariables returns the variables occurring in every atom of q, sorted.
+// A connected hierarchical query with at least one variable has at least one
+// root variable; the CntSat recursion branches on one.
+func (q *CQ) RootVariables() []string {
+	var out []string
+	for _, x := range q.Vars() {
+		inAll := true
+		for _, a := range q.Atoms {
+			if !a.HasVar(x) {
+				inAll = false
+				break
+			}
+		}
+		if inAll {
+			out = append(out, x)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// AtomComponents partitions atom indices into connected components by
+// shared variables (ground atoms are singleton components). Components are
+// ordered by smallest atom index.
+func (q *CQ) AtomComponents() [][]int {
+	n := len(q.Atoms)
+	parent := make([]int, n)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(i int) int {
+		if parent[i] != i {
+			parent[i] = find(parent[i])
+		}
+		return parent[i]
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			shared := false
+			for _, x := range q.Atoms[i].Vars() {
+				if q.Atoms[j].HasVar(x) {
+					shared = true
+					break
+				}
+			}
+			if shared {
+				parent[find(i)] = find(j)
+			}
+		}
+	}
+	groups := make(map[int][]int)
+	for i := 0; i < n; i++ {
+		groups[find(i)] = append(groups[find(i)], i)
+	}
+	var roots []int
+	for r := range groups {
+		sort.Ints(groups[r])
+		roots = append(roots, groups[r][0])
+	}
+	sort.Ints(roots)
+	out := make([][]int, 0, len(groups))
+	for _, first := range roots {
+		for _, grp := range groups {
+			if grp[0] == first {
+				out = append(out, grp)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// SubQuery returns a new CQ consisting of the atoms at the given indices
+// (Boolean; head dropped).
+func (q *CQ) SubQuery(indices []int) *CQ {
+	out := &CQ{Label: q.Label}
+	for _, i := range indices {
+		out.Atoms = append(out.Atoms, q.Atoms[i].clone())
+	}
+	return out
+}
+
+// IsPositivelyConnected reports whether every pair of variables of q is
+// connected in the Gaifman graph restricted to positive atoms (the
+// hypothesis of Theorem 5.1).
+func (q *CQ) IsPositivelyConnected() bool {
+	pos := q.SubQuery(q.Positive())
+	vars := q.Vars()
+	if len(vars) <= 1 {
+		return true
+	}
+	comps := pos.AtomComponents()
+	if len(pos.Atoms) == 0 {
+		return false
+	}
+	// All variables of q must appear in a single positive component.
+	varComp := make(map[string]int)
+	for ci, comp := range comps {
+		for _, ai := range comp {
+			for _, x := range pos.Atoms[ai].Vars() {
+				varComp[x] = ci
+			}
+		}
+	}
+	first, seen := -1, false
+	for _, x := range vars {
+		c, ok := varComp[x]
+		if !ok {
+			return false // variable not in any positive atom (unsafe anyway)
+		}
+		if !seen {
+			first, seen = c, true
+		} else if c != first {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,305 @@
+package query
+
+import (
+	"sort"
+
+	"repro/internal/db"
+)
+
+// Binding maps query variables to database constants. A homomorphism from q
+// to D is a total Binding over Vars(q) mapping every positive atom into D
+// and no negated atom into D.
+type Binding map[string]db.Const
+
+// clone copies a binding.
+func (b Binding) clone() Binding {
+	out := make(Binding, len(b))
+	for k, v := range b {
+		out[k] = v
+	}
+	return out
+}
+
+// Eval reports whether D |= q: there is a homomorphism mapping every
+// positive atom of q to a fact of D and no negated atom to a fact of D.
+func (q *CQ) Eval(d *db.Database) bool {
+	found := false
+	q.ForEachHomomorphism(d, func(Binding) bool {
+		found = true
+		return false // stop
+	})
+	return found
+}
+
+// Eval reports whether D satisfies at least one disjunct.
+func (u *UCQ) Eval(d *db.Database) bool {
+	for _, q := range u.Disjuncts {
+		if q.Eval(d) {
+			return true
+		}
+	}
+	return false
+}
+
+// ForEachHomomorphism enumerates every homomorphism from q to d in a
+// deterministic order, calling fn with a fresh Binding for each. fn returns
+// false to stop the enumeration. The query must be safe (every variable of q
+// occurs in a positive atom) or the enumeration may be incomplete; Validate
+// enforces safety.
+func (q *CQ) ForEachHomomorphism(d *db.Database, fn func(Binding) bool) {
+	plan := planAtoms(q, d)
+	// Ground negative atoms can be checked once.
+	for _, i := range q.Negative() {
+		if q.Atoms[i].IsGround() && d.Contains(q.Atoms[i].GroundFact()) {
+			return
+		}
+	}
+	search(d, q, plan, 0, make(Binding), fn)
+}
+
+// ForEachHomomorphismOrdered is ForEachHomomorphism with the positive atoms
+// joined in declaration order instead of the greedy plan. It exists as the
+// baseline for the join-ordering ablation benchmark; results are identical.
+func (q *CQ) ForEachHomomorphismOrdered(d *db.Database, fn func(Binding) bool) {
+	plan := planAtomsOrdered(q)
+	for _, i := range q.Negative() {
+		if q.Atoms[i].IsGround() && d.Contains(q.Atoms[i].GroundFact()) {
+			return
+		}
+	}
+	search(d, q, plan, 0, make(Binding), fn)
+}
+
+// planAtomsOrdered schedules positive atoms in declaration order, with
+// negated atoms checked as soon as their variables are bound.
+func planAtomsOrdered(q *CQ) []planStep {
+	bound := make(map[string]bool)
+	negDone := make(map[int]bool)
+	var steps []planStep
+	for _, i := range q.Positive() {
+		for _, x := range q.Atoms[i].Vars() {
+			bound[x] = true
+		}
+		step := planStep{atom: i}
+		for _, j := range q.Negative() {
+			if negDone[j] || q.Atoms[j].IsGround() {
+				continue
+			}
+			all := true
+			for _, x := range q.Atoms[j].Vars() {
+				if !bound[x] {
+					all = false
+					break
+				}
+			}
+			if all {
+				negDone[j] = true
+				step.negAfter = append(step.negAfter, j)
+			}
+		}
+		steps = append(steps, step)
+	}
+	return steps
+}
+
+// Answers returns the distinct head-variable tuples of homomorphisms from q
+// to d, in the order first encountered.
+func (q *CQ) Answers(d *db.Database) [][]db.Const {
+	var out [][]db.Const
+	seen := make(map[string]bool)
+	q.ForEachHomomorphism(d, func(b Binding) bool {
+		row := make([]db.Const, len(q.Head))
+		key := ""
+		for i, x := range q.Head {
+			row[i] = b[x]
+			key += string(b[x]) + "\x00"
+		}
+		if !seen[key] {
+			seen[key] = true
+			out = append(out, row)
+		}
+		return true
+	})
+	return out
+}
+
+// planStep is one positive atom to join, plus the negated atoms that become
+// fully bound right after it.
+type planStep struct {
+	atom     int   // index into q.Atoms (positive)
+	negAfter []int // indices of negated atoms checkable after this step
+}
+
+// planAtoms orders the positive atoms greedily: start with the smallest
+// relation, then repeatedly pick the atom sharing the most already-bound
+// variables (ties broken by relation size, then index). Negated atoms are
+// scheduled as early as all their variables are bound.
+func planAtoms(q *CQ, d *db.Database) []planStep {
+	pos := q.Positive()
+	neg := q.Negative()
+	bound := make(map[string]bool)
+	used := make(map[int]bool)
+	negDone := make(map[int]bool)
+
+	relSize := func(i int) int { return len(d.RelationFacts(q.Atoms[i].Rel)) }
+	countBound := func(i int) int {
+		n := 0
+		for _, x := range q.Atoms[i].Vars() {
+			if bound[x] {
+				n++
+			}
+		}
+		return n
+	}
+
+	var steps []planStep
+	for len(steps) < len(pos) {
+		best, bestShared, bestSize := -1, -1, 0
+		for _, i := range pos {
+			if used[i] {
+				continue
+			}
+			shared := countBound(i)
+			size := relSize(i)
+			if best == -1 || shared > bestShared || (shared == bestShared && size < bestSize) {
+				best, bestShared, bestSize = i, shared, size
+			}
+		}
+		used[best] = true
+		for _, x := range q.Atoms[best].Vars() {
+			bound[x] = true
+		}
+		step := planStep{atom: best}
+		for _, j := range neg {
+			if negDone[j] || q.Atoms[j].IsGround() {
+				continue
+			}
+			all := true
+			for _, x := range q.Atoms[j].Vars() {
+				if !bound[x] {
+					all = false
+					break
+				}
+			}
+			if all {
+				negDone[j] = true
+				step.negAfter = append(step.negAfter, j)
+			}
+		}
+		sort.Ints(step.negAfter)
+		steps = append(steps, step)
+	}
+	return steps
+}
+
+// search performs the backtracking join over the planned positive atoms.
+func search(d *db.Database, q *CQ, plan []planStep, depth int, env Binding, fn func(Binding) bool) bool {
+	if depth == len(plan) {
+		return fn(env.clone())
+	}
+	step := plan[depth]
+	atom := q.Atoms[step.atom]
+	for _, f := range d.RelationFacts(atom.Rel) {
+		newVars, ok := unify(atom, f, env)
+		if !ok {
+			continue
+		}
+		violated := false
+		for _, j := range step.negAfter {
+			if d.Contains(instantiate(q.Atoms[j], env)) {
+				violated = true
+				break
+			}
+		}
+		if !violated {
+			if !search(d, q, plan, depth+1, env, fn) {
+				for _, x := range newVars {
+					delete(env, x)
+				}
+				return false
+			}
+		}
+		for _, x := range newVars {
+			delete(env, x)
+		}
+	}
+	return true
+}
+
+// unify extends env so that atom maps to fact f; it returns the variables
+// newly bound (for backtracking) and whether unification succeeded. On
+// failure env is left unchanged.
+func unify(atom Atom, f db.Fact, env Binding) (newVars []string, ok bool) {
+	if len(atom.Args) != len(f.Args) {
+		return nil, false
+	}
+	for i, t := range atom.Args {
+		if !t.IsVar() {
+			if t.Const != f.Args[i] {
+				rollback(env, newVars)
+				return nil, false
+			}
+			continue
+		}
+		if v, bound := env[t.Var]; bound {
+			if v != f.Args[i] {
+				rollback(env, newVars)
+				return nil, false
+			}
+			continue
+		}
+		env[t.Var] = f.Args[i]
+		newVars = append(newVars, t.Var)
+	}
+	return newVars, true
+}
+
+func rollback(env Binding, vars []string) {
+	for _, x := range vars {
+		delete(env, x)
+	}
+}
+
+// instantiate grounds an atom under a (total, for this atom) binding.
+func instantiate(a Atom, env Binding) db.Fact {
+	args := make([]db.Const, len(a.Args))
+	for i, t := range a.Args {
+		if t.IsVar() {
+			args[i] = env[t.Var]
+		} else {
+			args[i] = t.Const
+		}
+	}
+	return db.Fact{Rel: a.Rel, Args: args}
+}
+
+// Instantiate grounds atom a under binding b (exported for the relevance
+// algorithms, which need the fact images of atoms under a homomorphism).
+func Instantiate(a Atom, b Binding) db.Fact { return instantiate(a, b) }
+
+// MatchesAtom reports whether fact f can be the image of atom a under some
+// variable assignment (arity, constants and repeated-variable positions
+// agree). It is the per-fact "relevance to an atom pattern" filter used by
+// the counting algorithm.
+func MatchesAtom(a Atom, f db.Fact) bool {
+	if a.Rel != f.Rel || len(a.Args) != len(f.Args) {
+		return false
+	}
+	seen := make(map[string]db.Const)
+	for i, t := range a.Args {
+		if !t.IsVar() {
+			if t.Const != f.Args[i] {
+				return false
+			}
+			continue
+		}
+		if v, ok := seen[t.Var]; ok {
+			if v != f.Args[i] {
+				return false
+			}
+		} else {
+			seen[t.Var] = f.Args[i]
+		}
+	}
+	return true
+}

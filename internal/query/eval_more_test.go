@@ -1,0 +1,148 @@
+package query
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+
+	"repro/internal/db"
+)
+
+// randomDBFor builds a small random database over the relations of q.
+func randomDBFor(rng *rand.Rand, q *CQ, domSize, perRel int) *db.Database {
+	d := db.New()
+	dom := make([]db.Const, domSize)
+	for i := range dom {
+		dom[i] = db.Const(string(rune('a' + i)))
+	}
+	arity := make(map[string]int)
+	for _, a := range q.Atoms {
+		arity[a.Rel] = len(a.Args)
+	}
+	for _, rel := range q.Relations() {
+		for i := 0; i < perRel; i++ {
+			args := make([]db.Const, arity[rel])
+			for j := range args {
+				args[j] = dom[rng.Intn(domSize)]
+			}
+			f := db.Fact{Rel: rel, Args: args}
+			if !d.Contains(f) {
+				d.MustAdd(f, rng.Intn(2) == 0)
+			}
+		}
+	}
+	return d
+}
+
+// collectHoms renders each homomorphism as a sorted string for set
+// comparison.
+func collectHoms(q *CQ, d *db.Database, enum func(*db.Database, func(Binding) bool)) []string {
+	var out []string
+	enum(d, func(b Binding) bool {
+		keys := make([]string, 0, len(b))
+		for k := range b {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		s := ""
+		for _, k := range keys {
+			s += k + "=" + string(b[k]) + ";"
+		}
+		out = append(out, s)
+		return true
+	})
+	sort.Strings(out)
+	return out
+}
+
+// The greedy plan and the declaration-order plan must enumerate exactly the
+// same homomorphism sets on arbitrary instances.
+func TestOrderedEvaluatorEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	queries := []*CQ{
+		MustParse("e1() :- R(x), S(x, y)"),
+		MustParse("e2() :- R(x), S(x, y), !T(y, x)"),
+		MustParse("e3() :- S(x, y), R(x), !T(x, x)"),
+		MustParse("e4() :- R(x, y), S(y, z), T(z)"),
+		MustParse("e5() :- R(x), !S(x), T(x, y), U(z)"),
+	}
+	for _, q := range queries {
+		for trial := 0; trial < 12; trial++ {
+			d := randomDBFor(rng, q, 3, 5)
+			greedy := collectHoms(q, d, q.ForEachHomomorphism)
+			ordered := collectHoms(q, d, q.ForEachHomomorphismOrdered)
+			if !reflect.DeepEqual(greedy, ordered) {
+				t.Fatalf("%s: plans disagree\ngreedy:  %v\nordered: %v\nDB:\n%s", q, greedy, ordered, d)
+			}
+		}
+	}
+}
+
+// Enumeration must be deterministic: two runs on the same database yield
+// the same sequence (insertion order of facts drives the search).
+func TestEnumerationDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(18))
+	q := MustParse("d1() :- R(x), S(x, y), !T(y)")
+	d := randomDBFor(rng, q, 3, 6)
+	first := collectHoms(q, d, q.ForEachHomomorphism)
+	for i := 0; i < 3; i++ {
+		again := collectHoms(q, d, q.ForEachHomomorphism)
+		if !reflect.DeepEqual(first, again) {
+			t.Fatalf("enumeration not deterministic: %v vs %v", first, again)
+		}
+	}
+}
+
+// Bindings passed to the callback must be insulated from the search state:
+// mutating them must not corrupt later results.
+func TestBindingsAreCopies(t *testing.T) {
+	q := MustParse("c1() :- R(x), S(x, y)")
+	d := db.New()
+	d.MustAddEndo(db.F("R", "a"))
+	d.MustAddEndo(db.F("S", "a", "1"))
+	d.MustAddEndo(db.F("S", "a", "2"))
+	var collected []Binding
+	q.ForEachHomomorphism(d, func(b Binding) bool {
+		b["x"] = "CORRUPTED"
+		collected = append(collected, b)
+		return true
+	})
+	if len(collected) != 2 {
+		t.Fatalf("expected 2 homomorphisms, got %d", len(collected))
+	}
+	if collected[0]["y"] == collected[1]["y"] {
+		t.Fatal("bindings alias each other")
+	}
+}
+
+// A query whose negative atom shares the relation of a positive atom
+// (self-join across polarities) must respect both constraints.
+func TestEvalSelfJoinAcrossPolarities(t *testing.T) {
+	q := MustParse("p() :- R(x, y), !R(y, y)")
+	d := db.New()
+	d.MustAddEndo(db.F("R", "a", "b"))
+	if !q.Eval(d) {
+		t.Fatal("R(a,b) with no R(b,b) satisfies q")
+	}
+	d.MustAddEndo(db.F("R", "b", "b"))
+	// Homomorphism x=a,y=b now blocked; x=b,y=b blocked by itself.
+	if q.Eval(d) {
+		t.Fatal("adding R(b,b) should block all homomorphisms")
+	}
+}
+
+// Empty-relation behavior: positive atom over an absent relation means
+// unsatisfiable; negated atom over an absent relation is vacuously true.
+func TestEvalAbsentRelations(t *testing.T) {
+	q := MustParse("a1() :- R(x), !Missing(x)")
+	d := db.New()
+	d.MustAddEndo(db.F("R", "v"))
+	if !q.Eval(d) {
+		t.Fatal("negated absent relation must be vacuously satisfied")
+	}
+	q2 := MustParse("a2() :- MissingPos(x)")
+	if q2.Eval(d) {
+		t.Fatal("positive absent relation cannot be satisfied")
+	}
+}

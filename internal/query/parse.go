@@ -1,0 +1,257 @@
+package query
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// Parse reads a CQ¬ from the paper's rule syntax, e.g.
+//
+//	q2(x) :- Stud(x), !TA(x), Reg(x, y), !Course(y, CS)
+//
+// Negation is written '!', '¬', or a leading "not ". Identifiers starting
+// with a lowercase letter are variables; identifiers starting with an
+// uppercase letter or a digit, and single-quoted strings, are constants.
+// The head may be empty (Boolean query). The query is validated (safety,
+// arity consistency) before being returned.
+func Parse(src string) (*CQ, error) {
+	q, err := parseCQ(src)
+	if err != nil {
+		return nil, err
+	}
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	return q, nil
+}
+
+// MustParse is Parse that panics on error; intended for fixtures.
+func MustParse(src string) *CQ {
+	q, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return q
+}
+
+// ParseUCQ reads a UCQ¬ whose disjuncts are separated by '|' or newlines.
+func ParseUCQ(src string) (*UCQ, error) {
+	var parts []string
+	for _, line := range strings.Split(src, "\n") {
+		for _, p := range strings.Split(line, "|") {
+			p = strings.TrimSpace(p)
+			if p == "" || strings.HasPrefix(p, "#") || strings.HasPrefix(p, "%") {
+				continue
+			}
+			parts = append(parts, p)
+		}
+	}
+	if len(parts) == 0 {
+		return nil, fmt.Errorf("query: empty UCQ source")
+	}
+	u := &UCQ{}
+	for _, p := range parts {
+		q, err := Parse(p)
+		if err != nil {
+			return nil, err
+		}
+		u.Disjuncts = append(u.Disjuncts, q)
+	}
+	u.Label = u.Disjuncts[0].Label
+	return u, nil
+}
+
+// MustParseUCQ is ParseUCQ that panics on error.
+func MustParseUCQ(src string) *UCQ {
+	u, err := ParseUCQ(src)
+	if err != nil {
+		panic(err)
+	}
+	return u
+}
+
+func parseCQ(src string) (*CQ, error) {
+	s := strings.TrimSpace(src)
+	sep := strings.Index(s, ":-")
+	if sep < 0 {
+		return nil, fmt.Errorf("query: missing ':-' in %q", src)
+	}
+	headPart := strings.TrimSpace(s[:sep])
+	bodyPart := strings.TrimSpace(s[sep+2:])
+
+	q := &CQ{}
+	if headPart != "" {
+		open := strings.IndexByte(headPart, '(')
+		if open < 0 || !strings.HasSuffix(headPart, ")") {
+			return nil, fmt.Errorf("query: malformed head %q", headPart)
+		}
+		q.Label = strings.TrimSpace(headPart[:open])
+		inner := strings.TrimSpace(headPart[open+1 : len(headPart)-1])
+		if inner != "" {
+			for _, v := range strings.Split(inner, ",") {
+				v = strings.TrimSpace(v)
+				if !isVariableToken(v) {
+					return nil, fmt.Errorf("query: head term %q is not a variable", v)
+				}
+				q.Head = append(q.Head, v)
+			}
+		}
+	}
+
+	atoms, err := splitAtoms(bodyPart)
+	if err != nil {
+		return nil, err
+	}
+	if len(atoms) == 0 {
+		return nil, fmt.Errorf("query: empty body in %q", src)
+	}
+	for _, as := range atoms {
+		a, err := parseAtom(as)
+		if err != nil {
+			return nil, err
+		}
+		q.Atoms = append(q.Atoms, a)
+	}
+	return q, nil
+}
+
+// splitAtoms splits the body on top-level commas (outside parentheses and
+// quotes).
+func splitAtoms(body string) ([]string, error) {
+	var parts []string
+	depth := 0
+	inQuote := false
+	var cur strings.Builder
+	for _, r := range body {
+		switch {
+		case r == '\'':
+			inQuote = !inQuote
+			cur.WriteRune(r)
+		case inQuote:
+			cur.WriteRune(r)
+		case r == '(':
+			depth++
+			cur.WriteRune(r)
+		case r == ')':
+			depth--
+			if depth < 0 {
+				return nil, fmt.Errorf("query: unbalanced ')' in %q", body)
+			}
+			cur.WriteRune(r)
+		case r == ',' && depth == 0:
+			parts = append(parts, strings.TrimSpace(cur.String()))
+			cur.Reset()
+		default:
+			cur.WriteRune(r)
+		}
+	}
+	if depth != 0 || inQuote {
+		return nil, fmt.Errorf("query: unbalanced parentheses or quote in %q", body)
+	}
+	if last := strings.TrimSpace(cur.String()); last != "" {
+		parts = append(parts, last)
+	}
+	return parts, nil
+}
+
+func parseAtom(s string) (Atom, error) {
+	s = strings.TrimSpace(s)
+	neg := false
+	switch {
+	case strings.HasPrefix(s, "!"):
+		neg, s = true, strings.TrimSpace(s[1:])
+	case strings.HasPrefix(s, "¬"):
+		neg, s = true, strings.TrimSpace(s[len("¬"):])
+	case strings.HasPrefix(s, "not "):
+		neg, s = true, strings.TrimSpace(s[4:])
+	}
+	open := strings.IndexByte(s, '(')
+	if open < 0 || !strings.HasSuffix(s, ")") {
+		return Atom{}, fmt.Errorf("query: malformed atom %q", s)
+	}
+	rel := strings.TrimSpace(s[:open])
+	if rel == "" {
+		return Atom{}, fmt.Errorf("query: atom with empty relation in %q", s)
+	}
+	inner := strings.TrimSpace(s[open+1 : len(s)-1])
+	a := Atom{Rel: rel, Negated: neg}
+	if inner == "" {
+		return a, nil
+	}
+	args, err := splitTerms(inner)
+	if err != nil {
+		return Atom{}, fmt.Errorf("query: atom %q: %v", s, err)
+	}
+	for _, t := range args {
+		term, err := parseTerm(t)
+		if err != nil {
+			return Atom{}, fmt.Errorf("query: atom %q: %v", s, err)
+		}
+		a.Args = append(a.Args, term)
+	}
+	return a, nil
+}
+
+func splitTerms(s string) ([]string, error) {
+	var parts []string
+	inQuote := false
+	var cur strings.Builder
+	for _, r := range s {
+		switch {
+		case r == '\'':
+			inQuote = !inQuote
+			cur.WriteRune(r)
+		case r == ',' && !inQuote:
+			parts = append(parts, strings.TrimSpace(cur.String()))
+			cur.Reset()
+		default:
+			cur.WriteRune(r)
+		}
+	}
+	if inQuote {
+		return nil, fmt.Errorf("unterminated quote in %q", s)
+	}
+	parts = append(parts, strings.TrimSpace(cur.String()))
+	return parts, nil
+}
+
+func parseTerm(s string) (Term, error) {
+	if s == "" {
+		return Term{}, fmt.Errorf("empty term")
+	}
+	if strings.HasPrefix(s, "'") {
+		if len(s) < 2 || !strings.HasSuffix(s, "'") {
+			return Term{}, fmt.Errorf("malformed quoted constant %q", s)
+		}
+		return C(s[1 : len(s)-1]), nil
+	}
+	if isVariableToken(s) {
+		return V(s), nil
+	}
+	r := rune(s[0])
+	if unicode.IsUpper(r) || unicode.IsDigit(r) {
+		return C(s), nil
+	}
+	return Term{}, fmt.Errorf("malformed term %q", s)
+}
+
+// isVariableToken reports whether s is a valid variable token: a lowercase
+// letter followed by letters, digits, or underscores.
+func isVariableToken(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		if i == 0 {
+			if !unicode.IsLower(r) {
+				return false
+			}
+			continue
+		}
+		if !(unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_') {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,647 @@
+package query
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/db"
+)
+
+// Paper queries (Example 2.2).
+const (
+	srcQ1 = "q1() :- Stud(x), !TA(x), Reg(x, y)"
+	srcQ2 = "q2() :- Stud(x), !TA(x), Reg(x, y), !Course(y, CS)"
+	srcQ3 = "q3() :- Adv(x, y), Adv(x, z), !TA(y), !TA(z), Reg(y, IC), Reg(z, DB)"
+	srcQ4 = "q4() :- Adv(x, y), Adv(x, z), TA(y), !TA(z), Reg(z, w), !Reg(y, w)"
+)
+
+func TestParsePaperQueries(t *testing.T) {
+	for _, src := range []string{srcQ1, srcQ2, srcQ3, srcQ4} {
+		q, err := Parse(src)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", src, err)
+		}
+		// Round trip.
+		q2, err := Parse(q.String())
+		if err != nil {
+			t.Fatalf("round trip of %q: %v", q.String(), err)
+		}
+		if q2.String() != q.String() {
+			t.Fatalf("round trip mismatch: %q vs %q", q.String(), q2.String())
+		}
+	}
+}
+
+func TestParseNegationSyntaxes(t *testing.T) {
+	for _, src := range []string{
+		"q() :- R(x), !S(x)",
+		"q() :- R(x), ¬S(x)",
+		"q() :- R(x), not S(x)",
+	} {
+		q, err := Parse(src)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", src, err)
+		}
+		if len(q.Negative()) != 1 || q.Atoms[1].Rel != "S" || !q.Atoms[1].Negated {
+			t.Fatalf("Parse(%q) negation lost: %v", src, q)
+		}
+	}
+}
+
+func TestParseConstantsAndVariables(t *testing.T) {
+	q := MustParse("q() :- Reg(x, IC), Course(y, 'CS dept'), R(0, z)")
+	if q.Atoms[0].Args[1].IsVar() || q.Atoms[0].Args[1].Const != "IC" {
+		t.Fatal("uppercase token should be constant")
+	}
+	if q.Atoms[1].Args[1].Const != "CS dept" {
+		t.Fatal("quoted constant mis-parsed")
+	}
+	if q.Atoms[2].Args[0].Const != "0" {
+		t.Fatal("digit token should be constant")
+	}
+	if !q.Atoms[2].Args[1].IsVar() {
+		t.Fatal("lowercase token should be variable")
+	}
+}
+
+func TestParseHead(t *testing.T) {
+	q := MustParse("ans(x, y) :- R(x, y), S(y)")
+	if q.Label != "ans" || len(q.Head) != 2 || q.Head[0] != "x" || q.Head[1] != "y" {
+		t.Fatalf("head mis-parsed: %+v", q)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",                           // no rule
+		"q() R(x)",                   // missing :-
+		"q() :- ",                    // empty body
+		"q() :- R(x,)",               // empty term
+		"q() :- R(x",                 // unbalanced
+		"q(X) :- R(x)",               // head not a variable
+		"q(z) :- R(x)",               // head var not in body
+		"q() :- !R(x)",               // unsafe: x only in negated atom
+		"q() :- R(x), !S(x, y)",      // unsafe: y only negated
+		"q() :- R(x), R(x, y)",       // arity clash
+		"q() :- R('unterminated, x)", // quote
+		"q() :- (x)",                 // empty relation
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestValidateSafeNegationVacuous(t *testing.T) {
+	// Ground negated atoms are safe even with no positive atoms.
+	q := NewCQ("q", NewNegAtom("R", C("0")))
+	if err := q.Validate(); err != nil {
+		t.Fatalf("ground negation should be safe: %v", err)
+	}
+}
+
+func TestSelfJoinDetection(t *testing.T) {
+	if MustParse(srcQ1).HasSelfJoin() || MustParse(srcQ2).HasSelfJoin() {
+		t.Fatal("q1/q2 are self-join-free")
+	}
+	if !MustParse(srcQ3).HasSelfJoin() || !MustParse(srcQ4).HasSelfJoin() {
+		t.Fatal("q3/q4 have self-joins")
+	}
+	// Mixed polarity counts as self-join.
+	if !MustParse("q() :- R(x), S(x, y), !R(y)").HasSelfJoin() {
+		t.Fatal("R(x)...!R(y) is a self-join")
+	}
+}
+
+func TestHierarchyPaperExamples(t *testing.T) {
+	if !MustParse(srcQ1).IsHierarchical() {
+		t.Error("q1 is hierarchical (Example 2.2)")
+	}
+	for _, src := range []string{srcQ2, srcQ3, srcQ4} {
+		if MustParse(src).IsHierarchical() {
+			t.Errorf("%s should be non-hierarchical", src)
+		}
+	}
+	// The four basic hard queries of §3.
+	for _, src := range []string{
+		"qRST() :- R(x), S(x, y), T(y)",
+		"q() :- !R(x), S(x, y), !T(y)",
+		"q() :- R(x), !S(x, y), T(y)",
+		"q() :- R(x), S(x, y), !T(y)",
+	} {
+		if MustParse(src).IsHierarchical() {
+			t.Errorf("%s should be non-hierarchical", src)
+		}
+	}
+	// Constants do not affect hierarchy.
+	if !MustParse("q() :- R(x, CS), S(x)").IsHierarchical() {
+		t.Error("single-variable query is hierarchical")
+	}
+}
+
+func TestNonHierarchicalTriplets(t *testing.T) {
+	q := MustParse("qRST() :- R(x), S(x, y), T(y)")
+	ts := q.NonHierarchicalTriplets()
+	if len(ts) == 0 {
+		t.Fatal("qRST has a non-hierarchical triplet")
+	}
+	tr := ts[0]
+	if q.Atoms[tr.AtomX].Rel == q.Atoms[tr.AtomY].Rel {
+		t.Fatal("triplet endpoints must differ")
+	}
+	if tr.X == tr.Y {
+		t.Fatal("triplet variables must differ")
+	}
+	if len(MustParse(srcQ1).NonHierarchicalTriplets()) != 0 {
+		t.Fatal("hierarchical query has no triplets")
+	}
+}
+
+func TestReductionTripletPolarities(t *testing.T) {
+	cases := []struct {
+		src  string
+		base BaseHardQuery
+	}{
+		{"q() :- R(x), S(x, y), T(y)", BaseRST},
+		{"q() :- !R(x), S(x, y), !T(y)", BaseNegRSNegT},
+		{"q() :- R(x), !S(x, y), T(y)", BaseRNegST},
+		{"q() :- R(x), S(x, y), !T(y)", BaseRSNegT},
+		{"q() :- !R(x), S(x, y), T(y)", BaseRSNegT},
+	}
+	for _, c := range cases {
+		q := MustParse(c.src)
+		tr, base, ok := q.ReductionTriplet()
+		if !ok {
+			t.Errorf("%s: no reduction triplet found", c.src)
+			continue
+		}
+		if base != c.base {
+			t.Errorf("%s: base %v, want %v", c.src, base, c.base)
+		}
+		if q.Atoms[tr.AtomXY].Negated && (q.Atoms[tr.AtomX].Negated || q.Atoms[tr.AtomY].Negated) {
+			t.Errorf("%s: forbidden polarity pattern chosen", c.src)
+		}
+	}
+	// q2 is safe and non-hierarchical: Lemma B.4 guarantees a usable triplet.
+	if _, _, ok := MustParse(srcQ2).ReductionTriplet(); !ok {
+		t.Error("q2 must have a reduction triplet")
+	}
+	if _, _, ok := MustParse(srcQ1).ReductionTriplet(); ok {
+		t.Error("hierarchical q1 must not have a reduction triplet")
+	}
+}
+
+// Example 4.2 queries.
+const (
+	srcEx42Q      = "q() :- !R(x), Q(x, v), S(x, z), U(z, w), !P(w, y), T(y, v)"
+	srcEx42QPrime = "qp() :- U(t, r), !T(y), Q(y, w), !V(t), R(x, y), !S(x, z), O(z), P(u, y, w)"
+)
+
+func exoSet(rels ...string) map[string]bool {
+	out := make(map[string]bool)
+	for _, r := range rels {
+		out[r] = true
+	}
+	return out
+}
+
+func TestNonHierarchicalPathExample42(t *testing.T) {
+	q := MustParse(srcEx42Q)
+	// Exogenous relations: Q, S, U, P (the example's underlined atoms).
+	w, ok := q.FindNonHierarchicalPath(exoSet("Q", "S", "U", "P"))
+	if !ok {
+		t.Fatal("Example 4.2: q has a non-hierarchical path")
+	}
+	if len(w.Path) < 2 || w.Path[0] != w.X || w.Path[len(w.Path)-1] != w.Y {
+		t.Fatalf("malformed path witness %+v", w)
+	}
+
+	qp := MustParse(srcEx42QPrime)
+	if qp.HasNonHierarchicalPath(exoSet("R", "S", "O", "P")) {
+		t.Fatal("Example 4.2: q' has no non-hierarchical path")
+	}
+}
+
+func TestNonHierarchicalPathSection41(t *testing.T) {
+	// §4.1: q is tractable, q' is hard, both with X = {S, P}.
+	q := MustParse("q() :- !R(x, w), S(z, x), !P(z, w), T(y, w)")
+	if q.HasNonHierarchicalPath(exoSet("S", "P")) {
+		t.Fatal("§4.1 q should have no non-hierarchical path")
+	}
+	qp := MustParse("qp() :- !R(x, w), S(z, x), !P(z, y), T(y, w)")
+	if !qp.HasNonHierarchicalPath(exoSet("S", "P")) {
+		t.Fatal("§4.1 q' should have a non-hierarchical path")
+	}
+	// With no exogenous relations, both are hard (Theorem 3.1 view): a
+	// non-hierarchical triplet yields a direct path.
+	if !q.HasNonHierarchicalPath(nil) || !qp.HasNonHierarchicalPath(nil) {
+		t.Fatal("with X = ∅, non-hierarchical queries have paths")
+	}
+	// A hierarchical query never has a non-hierarchical path.
+	if MustParse(srcQ1).HasNonHierarchicalPath(nil) {
+		t.Fatal("hierarchical q1 has no non-hierarchical path")
+	}
+}
+
+func TestNonHierarchicalPathQRNegST(t *testing.T) {
+	// qR¬ST with only S exogenous remains hard (§4.1 discussion).
+	q := MustParse("q() :- R(x), !S(x, y), T(y)")
+	if !q.HasNonHierarchicalPath(exoSet("S")) {
+		t.Fatal("qR¬ST with X={S} should have a non-hierarchical path")
+	}
+	// With R and T also exogenous, no valid endpoint pair remains.
+	if q.HasNonHierarchicalPath(exoSet("R", "S", "T")) {
+		t.Fatal("all-exogenous query has no non-hierarchical path")
+	}
+}
+
+func TestGaifmanGraph(t *testing.T) {
+	q := MustParse(srcEx42Q)
+	g := q.GaifmanGraph()
+	// Figure 2a: x adjacent to v (Q), z (S), and w? x occurs with w nowhere.
+	adj := func(a, b string) bool {
+		for _, n := range g[a] {
+			if n == b {
+				return true
+			}
+		}
+		return false
+	}
+	if !adj("x", "v") || !adj("x", "z") || adj("x", "w") || adj("x", "y") {
+		t.Fatalf("Gaifman adjacency of x wrong: %v", g["x"])
+	}
+	if !adj("w", "y") || !adj("w", "z") || !adj("y", "v") {
+		t.Fatalf("Gaifman adjacency wrong: %v", g)
+	}
+}
+
+func TestPolarityConsistencyExample54(t *testing.T) {
+	for _, src := range []string{srcQ1, srcQ2, srcQ3} {
+		if !MustParse(src).IsPolarityConsistent() {
+			t.Errorf("%s is polarity consistent (Example 5.4)", src)
+		}
+	}
+	q4 := MustParse(srcQ4)
+	if q4.IsPolarityConsistent() {
+		t.Error("q4 is not polarity consistent")
+	}
+	incons := q4.PolarityInconsistentRels()
+	if len(incons) != 2 || incons[0] != "Reg" || incons[1] != "TA" {
+		t.Errorf("q4 inconsistent relations = %v, want [Reg TA]", incons)
+	}
+}
+
+func TestUCQPolarityConsistency(t *testing.T) {
+	// The paper's qSAT: each disjunct is polarity consistent, the union is not.
+	u := MustParseUCQ(`
+q1() :- Cl(x1, x2, x3, v1, v2, v3), T(x1, v1), T(x2, v2), T(x3, v3)
+q2() :- V(x), !T(x, 1), !T(x, 0)
+q3() :- T(x, 1), T(x, 0)
+q4() :- R(0)`)
+	if err := u.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(u.Disjuncts) != 4 {
+		t.Fatalf("got %d disjuncts", len(u.Disjuncts))
+	}
+	for _, q := range u.Disjuncts {
+		if !q.IsPolarityConsistent() {
+			t.Errorf("disjunct %s should be polarity consistent", q)
+		}
+	}
+	if u.IsPolarityConsistent() {
+		t.Error("qSAT as a whole is not polarity consistent")
+	}
+	if rels := u.NegativeRels(); len(rels) != 1 || rels[0] != "T" {
+		t.Errorf("NegativeRels = %v, want [T]", rels)
+	}
+}
+
+func TestExoAtomComponentsExample45(t *testing.T) {
+	qp := MustParse(srcEx42QPrime)
+	exo := exoSet("R", "S", "O", "P")
+	// Exogenous variables of q': x, z, u.
+	ev := qp.ExogenousVars(exo)
+	if len(ev) != 3 {
+		t.Fatalf("ExogenousVars = %v, want x,z,u", ev)
+	}
+	got := make(map[string]bool)
+	for _, x := range ev {
+		got[x] = true
+	}
+	if !got["x"] || !got["z"] || !got["u"] {
+		t.Fatalf("ExogenousVars = %v, want x,z,u", ev)
+	}
+	comps := qp.ExoAtomComponents(exo)
+	if len(comps) != 2 {
+		t.Fatalf("components = %v, want 2 (Example 4.5)", comps)
+	}
+	// First component: R(x,y), !S(x,z), O(z) — atom indices 4, 5, 6.
+	if len(comps[0]) != 3 || comps[0][0] != 4 || comps[0][1] != 5 || comps[0][2] != 6 {
+		t.Fatalf("component 1 = %v, want [4 5 6]", comps[0])
+	}
+	if len(comps[1]) != 1 || comps[1][0] != 7 {
+		t.Fatalf("component 2 = %v, want [7] (P alone)", comps[1])
+	}
+}
+
+func TestRootVariables(t *testing.T) {
+	if rv := MustParse(srcQ1).RootVariables(); len(rv) != 1 || rv[0] != "x" {
+		t.Fatalf("q1 root variables = %v, want [x]", rv)
+	}
+	if rv := MustParse("q() :- R(x), S(x, y), T(y)").RootVariables(); len(rv) != 0 {
+		t.Fatalf("qRST has no root variable, got %v", rv)
+	}
+}
+
+func TestAtomComponents(t *testing.T) {
+	q := MustParse("q() :- R(x), S(x, y), T(z), U(0)")
+	comps := q.AtomComponents()
+	if len(comps) != 3 {
+		t.Fatalf("components = %v, want 3", comps)
+	}
+	if len(comps[0]) != 2 || comps[0][0] != 0 || comps[0][1] != 1 {
+		t.Fatalf("first component = %v", comps[0])
+	}
+}
+
+func TestSubstituteVar(t *testing.T) {
+	q := MustParse("q(x, y) :- R(x, y), !S(x)")
+	s := q.SubstituteVar("x", "A")
+	if s.String() != "q(y) :- R(A, y), !S(A)" {
+		t.Fatalf("substituted = %q", s.String())
+	}
+	// Original untouched.
+	if q.Atoms[0].Args[0].Var != "x" {
+		t.Fatal("SubstituteVar mutated the receiver")
+	}
+}
+
+func TestIsPositivelyConnected(t *testing.T) {
+	if !MustParse("q() :- R(x), S(x, y), !R(y)").IsPositivelyConnected() {
+		t.Error("R(x),S(x,y),¬R(y) is positively connected")
+	}
+	if MustParse("q() :- R(x), T(y), !S(x, y)").IsPositivelyConnected() {
+		t.Error("R(x),T(y),¬S(x,y) is not positively connected")
+	}
+	if !MustParse("q() :- R(x)").IsPositivelyConnected() {
+		t.Error("single-variable query is positively connected")
+	}
+}
+
+// --- evaluation ---
+
+func runningExample(t *testing.T) *db.Database {
+	t.Helper()
+	d, err := db.Parse(`
+exo  Stud(Adam)
+exo  Stud(Ben)
+exo  Stud(Caroline)
+exo  Stud(David)
+endo TA(Adam)
+endo TA(Ben)
+endo TA(David)
+exo  Course(OS, EE)
+exo  Course(IC, EE)
+exo  Course(DB, CS)
+exo  Course(AI, CS)
+endo Reg(Adam, OS)
+endo Reg(Adam, AI)
+endo Reg(Ben, OS)
+endo Reg(Caroline, DB)
+endo Reg(Caroline, IC)
+exo  Adv(Michael, Adam)
+exo  Adv(Michael, Ben)
+exo  Adv(Naomi, Caroline)
+exo  Adv(Michael, David)
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func exoOnly(d *db.Database) *db.Database {
+	return d.Restrict(func(_ db.Fact, endo bool) bool { return !endo })
+}
+
+func TestEvalRunningExample(t *testing.T) {
+	d := runningExample(t)
+	q1 := MustParse(srcQ1)
+
+	if !q1.Eval(d) {
+		t.Fatal("full database satisfies q1 (Caroline is not a TA and registered)")
+	}
+	dx := exoOnly(d)
+	if q1.Eval(dx) {
+		t.Fatal("Dx does not satisfy q1 (no Reg facts)")
+	}
+	// Condition (1) of Example 2.3: f4r alone suffices.
+	e1 := dx.Clone()
+	e1.MustAddEndo(db.F("Reg", "Caroline", "DB"))
+	if !q1.Eval(e1) {
+		t.Fatal("Dx ∪ {f4r} satisfies q1")
+	}
+	// Condition (2): f1r suffices only without f1t.
+	e2 := dx.Clone()
+	e2.MustAddEndo(db.F("Reg", "Adam", "OS"))
+	if !q1.Eval(e2) {
+		t.Fatal("Dx ∪ {f1r} satisfies q1")
+	}
+	e2.MustAddEndo(db.F("TA", "Adam"))
+	if q1.Eval(e2) {
+		t.Fatal("Dx ∪ {f1r, f1t} violates q1")
+	}
+	// q2 on full database: Ben is a TA, Caroline registered to DB (CS)...
+	q2 := MustParse(srcQ2)
+	// Caroline: not TA, Reg(Caroline, IC), Course(IC, EE) — not CS: true.
+	if !q2.Eval(d) {
+		t.Fatal("full database satisfies q2 via Caroline/IC")
+	}
+}
+
+func TestEvalSelfJoinAndConstants(t *testing.T) {
+	q := MustParse("q() :- R(x, y), !R(y, x)")
+	d := db.New()
+	d.MustAddEndo(db.F("R", "1", "2"))
+	if !q.Eval(d) {
+		t.Fatal("R(1,2) without R(2,1) satisfies q")
+	}
+	d.MustAddEndo(db.F("R", "2", "1"))
+	if q.Eval(d) {
+		t.Fatal("symmetric pair violates q (Example 5.3)")
+	}
+	// Reflexive fact R(3,3) maps x=y=3 and ¬R(3,3) fails: still unsatisfied.
+	d2 := db.New()
+	d2.MustAddEndo(db.F("R", "3", "3"))
+	if q.Eval(d2) {
+		t.Fatal("reflexive fact alone cannot satisfy q")
+	}
+}
+
+func TestEvalRepeatedVariables(t *testing.T) {
+	q := MustParse("q() :- R(x, x)")
+	d := db.New()
+	d.MustAddEndo(db.F("R", "a", "b"))
+	if q.Eval(d) {
+		t.Fatal("R(a,b) should not match R(x,x)")
+	}
+	d.MustAddEndo(db.F("R", "c", "c"))
+	if !q.Eval(d) {
+		t.Fatal("R(c,c) should match R(x,x)")
+	}
+}
+
+func TestEvalGroundNegative(t *testing.T) {
+	q := NewCQ("q", NewAtom("R", V("x")), NewNegAtom("S", C("0")))
+	if err := q.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	d := db.New()
+	d.MustAddEndo(db.F("R", "a"))
+	if !q.Eval(d) {
+		t.Fatal("S(0) absent: query should hold")
+	}
+	d.MustAddExo(db.F("S", "0"))
+	if q.Eval(d) {
+		t.Fatal("S(0) present: query should fail")
+	}
+}
+
+func TestEvalUCQ(t *testing.T) {
+	u := MustParseUCQ("q() :- R(x) | q() :- S(x)")
+	d := db.New()
+	d.MustAddEndo(db.F("S", "a"))
+	if !u.Eval(d) {
+		t.Fatal("second disjunct satisfied")
+	}
+	d2 := db.New()
+	d2.MustAddEndo(db.F("T", "a"))
+	if u.Eval(d2) {
+		t.Fatal("no disjunct satisfied")
+	}
+}
+
+func TestForEachHomomorphismEnumerates(t *testing.T) {
+	q := MustParse("q() :- R(x), S(x, y)")
+	d := db.New()
+	d.MustAddEndo(db.F("R", "a"))
+	d.MustAddEndo(db.F("R", "b"))
+	d.MustAddEndo(db.F("S", "a", "1"))
+	d.MustAddEndo(db.F("S", "a", "2"))
+	d.MustAddEndo(db.F("S", "b", "1"))
+	var got []string
+	q.ForEachHomomorphism(d, func(b Binding) bool {
+		got = append(got, string(b["x"])+string(b["y"]))
+		return true
+	})
+	if len(got) != 3 {
+		t.Fatalf("got %d homomorphisms (%v), want 3", len(got), got)
+	}
+	// Early stop.
+	n := 0
+	q.ForEachHomomorphism(d, func(Binding) bool {
+		n++
+		return false
+	})
+	if n != 1 {
+		t.Fatalf("early stop failed, got %d calls", n)
+	}
+}
+
+func TestAnswersProjection(t *testing.T) {
+	q := MustParse("ans(x) :- R(x, y)")
+	d := db.New()
+	d.MustAddEndo(db.F("R", "a", "1"))
+	d.MustAddEndo(db.F("R", "a", "2"))
+	d.MustAddEndo(db.F("R", "b", "1"))
+	rows := q.Answers(d)
+	if len(rows) != 2 {
+		t.Fatalf("answers = %v, want a and b", rows)
+	}
+	if rows[0][0] != "a" || rows[1][0] != "b" {
+		t.Fatalf("answers = %v", rows)
+	}
+}
+
+func TestMatchesAtom(t *testing.T) {
+	a := NewAtom("R", V("x"), V("x"), C("c"))
+	if !MatchesAtom(a, db.F("R", "1", "1", "c")) {
+		t.Fatal("matching fact rejected")
+	}
+	if MatchesAtom(a, db.F("R", "1", "2", "c")) {
+		t.Fatal("repeated variable mismatch accepted")
+	}
+	if MatchesAtom(a, db.F("R", "1", "1", "d")) {
+		t.Fatal("constant mismatch accepted")
+	}
+	if MatchesAtom(a, db.F("S", "1", "1", "c")) {
+		t.Fatal("relation mismatch accepted")
+	}
+	if MatchesAtom(a, db.F("R", "1", "1")) {
+		t.Fatal("arity mismatch accepted")
+	}
+}
+
+func TestInstantiate(t *testing.T) {
+	a := NewNegAtom("R", V("x"), C("k"))
+	f := Instantiate(a, Binding{"x": "7"})
+	if !f.Equal(db.F("R", "7", "k")) {
+		t.Fatalf("Instantiate = %v", f)
+	}
+}
+
+func TestTermString(t *testing.T) {
+	cases := map[string]string{
+		"x":  V("x").String(),
+		"CS": C("CS").String(),
+		"0":  C("0").String(),
+	}
+	for want, got := range cases {
+		if got != want {
+			t.Errorf("term rendered %q, want %q", got, want)
+		}
+	}
+	if s := C("lower").String(); s != "'lower'" {
+		t.Errorf("lowercase constant rendered %q, want quoted", s)
+	}
+	if s := C("has space").String(); s != "'has space'" {
+		t.Errorf("constant with space rendered %q, want quoted", s)
+	}
+	if s := C("").String(); s != "''" {
+		t.Errorf("empty constant rendered %q", s)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	q := MustParse("q(x) :- R(x, y)")
+	c := q.Clone()
+	c.Atoms[0].Args[0] = C("Z")
+	c.Head[0] = "w"
+	if !q.Atoms[0].Args[0].IsVar() || q.Head[0] != "x" {
+		t.Fatal("Clone shares storage")
+	}
+}
+
+func TestUCQValidate(t *testing.T) {
+	if err := (&UCQ{}).Validate(); err == nil {
+		t.Fatal("empty UCQ must not validate")
+	}
+	u := NewUCQ("u", NewCQ("q", NewNegAtom("R", V("x"))))
+	if err := u.Validate(); err == nil {
+		t.Fatal("UCQ with unsafe disjunct must not validate")
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	q := MustParse("q2() :- Stud(x), !TA(x), Reg(x, y), !Course(y, CS)")
+	want := "q2() :- Stud(x), !TA(x), Reg(x, y), !Course(y, CS)"
+	if q.String() != want {
+		t.Fatalf("String() = %q, want %q", q.String(), want)
+	}
+	u := MustParseUCQ("a() :- R(x) | b() :- S(y)")
+	if !strings.Contains(u.String(), " | ") {
+		t.Fatalf("UCQ String() = %q", u.String())
+	}
+}

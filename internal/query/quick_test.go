@@ -1,0 +1,106 @@
+package query
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/db"
+)
+
+// Property: a fact built by instantiating an atom under a total binding
+// always matches that atom's pattern (Instantiate and MatchesAtom are
+// inverse-consistent).
+func TestQuickInstantiateMatches(t *testing.T) {
+	f := func(relSeed uint8, argSpec []uint8, valSeed uint8) bool {
+		if len(argSpec) == 0 || len(argSpec) > 5 {
+			return true
+		}
+		rel := fmt.Sprintf("R%d", relSeed%4)
+		args := make([]Term, len(argSpec))
+		binding := Binding{}
+		for i, s := range argSpec {
+			if s%3 == 0 {
+				args[i] = C(fmt.Sprintf("K%d", s%4))
+			} else {
+				v := fmt.Sprintf("v%d", s%3)
+				args[i] = V(v)
+				binding[v] = db.Const(fmt.Sprintf("c%d", (int(s)+int(valSeed))%3))
+			}
+		}
+		atom := Atom{Rel: rel, Args: args, Negated: s2b(valSeed)}
+		fact := Instantiate(atom, binding)
+		return MatchesAtom(atom, fact)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func s2b(v uint8) bool { return v%2 == 0 }
+
+// Property: substituting a variable never changes the relation symbols or
+// atom count, and removes the variable entirely.
+func TestQuickSubstituteRemovesVariable(t *testing.T) {
+	f := func(nAtoms, nVars uint8) bool {
+		n := int(nAtoms)%3 + 1
+		v := int(nVars)%3 + 1
+		q := &CQ{Label: "p"}
+		for i := 0; i < n; i++ {
+			args := []Term{V(fmt.Sprintf("x%d", i%v)), V(fmt.Sprintf("x%d", (i+1)%v))}
+			q.Atoms = append(q.Atoms, Atom{Rel: fmt.Sprintf("R%d", i), Args: args})
+		}
+		target := "x0"
+		out := q.SubstituteVar(target, "Z")
+		if len(out.Atoms) != len(q.Atoms) {
+			return false
+		}
+		for i := range out.Atoms {
+			if out.Atoms[i].Rel != q.Atoms[i].Rel {
+				return false
+			}
+			if out.Atoms[i].HasVar(target) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the Gaifman graph is symmetric and loop-free.
+func TestQuickGaifmanSymmetric(t *testing.T) {
+	f := func(spec []uint8) bool {
+		if len(spec) == 0 || len(spec) > 6 {
+			return true
+		}
+		q := &CQ{Label: "g"}
+		for i, s := range spec {
+			args := []Term{V(fmt.Sprintf("v%d", s%4)), V(fmt.Sprintf("v%d", (s/4)%4))}
+			q.Atoms = append(q.Atoms, Atom{Rel: fmt.Sprintf("R%d", i), Args: args})
+		}
+		g := q.GaifmanGraph()
+		for x, ns := range g {
+			for _, y := range ns {
+				if x == y {
+					return false // self-loop
+				}
+				back := false
+				for _, z := range g[y] {
+					if z == x {
+						back = true
+					}
+				}
+				if !back {
+					return false // asymmetric
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

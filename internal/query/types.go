@@ -1,0 +1,346 @@
+// Package query implements the paper's query language: Boolean conjunctive
+// queries with safe negation (CQ¬) and unions thereof (UCQ¬), together with
+// the structural analyses the paper's dichotomies are built on (hierarchy,
+// non-hierarchical triplets, the Gaifman graph, non-hierarchical paths with
+// respect to exogenous relations, polarity consistency, and the exogenous
+// atom graph) and a homomorphism-based evaluator.
+package query
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+
+	"repro/internal/db"
+)
+
+// Term is a variable or a constant appearing in an atom. Exactly one of Var
+// and Const is meaningful: a Term is a variable iff Var != "".
+type Term struct {
+	Var   string
+	Const db.Const
+}
+
+// V returns a variable term.
+func V(name string) Term { return Term{Var: name} }
+
+// C returns a constant term.
+func C(c string) Term { return Term{Const: db.Const(c)} }
+
+// CT returns a constant term from a db.Const.
+func CT(c db.Const) Term { return Term{Const: c} }
+
+// IsVar reports whether the term is a variable.
+func (t Term) IsVar() bool { return t.Var != "" }
+
+// String renders the term in parser-compatible syntax. Variables must start
+// with a lowercase letter to round-trip; constants that could be mistaken
+// for variables are quoted.
+func (t Term) String() string {
+	if t.IsVar() {
+		return t.Var
+	}
+	s := string(t.Const)
+	if s == "" {
+		return "''"
+	}
+	r := rune(s[0])
+	if unicode.IsUpper(r) || unicode.IsDigit(r) {
+		for _, c := range s {
+			if !(unicode.IsLetter(c) || unicode.IsDigit(c) || c == '_' || c == '-' || c == '.' || c == '<' || c == '>' || c == '$') {
+				return "'" + s + "'"
+			}
+		}
+		return s
+	}
+	return "'" + s + "'"
+}
+
+// Atom is a (possibly negated) relational atom R(t1, ..., tk).
+type Atom struct {
+	Rel     string
+	Args    []Term
+	Negated bool
+}
+
+// NewAtom builds a positive atom.
+func NewAtom(rel string, args ...Term) Atom {
+	return Atom{Rel: rel, Args: args}
+}
+
+// NewNegAtom builds a negated atom.
+func NewNegAtom(rel string, args ...Term) Atom {
+	return Atom{Rel: rel, Args: args, Negated: true}
+}
+
+// Vars returns the distinct variables of the atom in first-occurrence order.
+func (a Atom) Vars() []string {
+	var out []string
+	seen := make(map[string]bool)
+	for _, t := range a.Args {
+		if t.IsVar() && !seen[t.Var] {
+			seen[t.Var] = true
+			out = append(out, t.Var)
+		}
+	}
+	return out
+}
+
+// HasVar reports whether variable x occurs in the atom.
+func (a Atom) HasVar(x string) bool {
+	for _, t := range a.Args {
+		if t.IsVar() && t.Var == x {
+			return true
+		}
+	}
+	return false
+}
+
+// IsGround reports whether the atom has no variables.
+func (a Atom) IsGround() bool {
+	for _, t := range a.Args {
+		if t.IsVar() {
+			return false
+		}
+	}
+	return true
+}
+
+// GroundFact converts a ground atom into a fact; it panics on variables.
+func (a Atom) GroundFact() db.Fact {
+	args := make([]db.Const, len(a.Args))
+	for i, t := range a.Args {
+		if t.IsVar() {
+			panic("query: GroundFact on non-ground atom " + a.String())
+		}
+		args[i] = t.Const
+	}
+	return db.Fact{Rel: a.Rel, Args: args}
+}
+
+// String renders the atom; negation is written with a leading '!'.
+func (a Atom) String() string {
+	var b strings.Builder
+	if a.Negated {
+		b.WriteByte('!')
+	}
+	b.WriteString(a.Rel)
+	b.WriteByte('(')
+	for i, t := range a.Args {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(t.String())
+	}
+	b.WriteByte(')')
+	return b.String()
+}
+
+// clone returns a deep copy of the atom.
+func (a Atom) clone() Atom {
+	args := make([]Term, len(a.Args))
+	copy(args, a.Args)
+	return Atom{Rel: a.Rel, Args: args, Negated: a.Negated}
+}
+
+// CQ is a conjunctive query with safe negation (a CQ¬). A Boolean query has
+// an empty Head; a non-empty Head lists answer variables (used for the
+// aggregate extension and for the ExoShap component joins).
+type CQ struct {
+	Label string   // optional display name, e.g. "q1"
+	Head  []string // answer variables; empty for Boolean queries
+	Atoms []Atom
+}
+
+// NewCQ builds a Boolean CQ¬ from atoms.
+func NewCQ(label string, atoms ...Atom) *CQ {
+	return &CQ{Label: label, Atoms: atoms}
+}
+
+// Clone returns a deep copy of the query.
+func (q *CQ) Clone() *CQ {
+	out := &CQ{Label: q.Label, Head: append([]string(nil), q.Head...)}
+	out.Atoms = make([]Atom, len(q.Atoms))
+	for i, a := range q.Atoms {
+		out.Atoms[i] = a.clone()
+	}
+	return out
+}
+
+// Positive returns the indices of the positive atoms.
+func (q *CQ) Positive() []int {
+	var out []int
+	for i, a := range q.Atoms {
+		if !a.Negated {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Negative returns the indices of the negated atoms.
+func (q *CQ) Negative() []int {
+	var out []int
+	for i, a := range q.Atoms {
+		if a.Negated {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Vars returns the distinct variables of the query in first-occurrence order.
+func (q *CQ) Vars() []string {
+	var out []string
+	seen := make(map[string]bool)
+	for _, a := range q.Atoms {
+		for _, x := range a.Vars() {
+			if !seen[x] {
+				seen[x] = true
+				out = append(out, x)
+			}
+		}
+	}
+	return out
+}
+
+// Relations returns the distinct relation symbols in first-occurrence order.
+func (q *CQ) Relations() []string {
+	var out []string
+	seen := make(map[string]bool)
+	for _, a := range q.Atoms {
+		if !seen[a.Rel] {
+			seen[a.Rel] = true
+			out = append(out, a.Rel)
+		}
+	}
+	return out
+}
+
+// Validate checks structural well-formedness: at least one atom, consistent
+// arity per relation symbol, safety (every variable of a negated atom occurs
+// in a positive atom), and head variables occurring in positive atoms.
+func (q *CQ) Validate() error {
+	if len(q.Atoms) == 0 {
+		return fmt.Errorf("query: %s has no atoms", q.Name())
+	}
+	arity := make(map[string]int)
+	for _, a := range q.Atoms {
+		if a.Rel == "" {
+			return fmt.Errorf("query: %s has an atom with empty relation symbol", q.Name())
+		}
+		if k, ok := arity[a.Rel]; ok && k != len(a.Args) {
+			return fmt.Errorf("query: %s: arity clash for %s (%d vs %d)", q.Name(), a.Rel, k, len(a.Args))
+		}
+		arity[a.Rel] = len(a.Args)
+	}
+	posVars := make(map[string]bool)
+	for _, i := range q.Positive() {
+		for _, x := range q.Atoms[i].Vars() {
+			posVars[x] = true
+		}
+	}
+	for _, i := range q.Negative() {
+		for _, x := range q.Atoms[i].Vars() {
+			if !posVars[x] {
+				return fmt.Errorf("query: %s has unsafe negation: variable %s occurs only in negated atoms", q.Name(), x)
+			}
+		}
+	}
+	for _, x := range q.Head {
+		if !posVars[x] {
+			return fmt.Errorf("query: %s: head variable %s does not occur in a positive atom", q.Name(), x)
+		}
+	}
+	return nil
+}
+
+// Name returns the label, or a placeholder if unset.
+func (q *CQ) Name() string {
+	if q.Label != "" {
+		return q.Label
+	}
+	return "q"
+}
+
+// String renders the query in parser-compatible syntax.
+func (q *CQ) String() string {
+	var b strings.Builder
+	b.WriteString(q.Name())
+	b.WriteByte('(')
+	for i, x := range q.Head {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(x)
+	}
+	b.WriteString(") :- ")
+	for i, a := range q.Atoms {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(a.String())
+	}
+	return b.String()
+}
+
+// SubstituteVar returns a copy of q with every occurrence of variable x
+// replaced by constant c. The head loses x if present.
+func (q *CQ) SubstituteVar(x string, c db.Const) *CQ {
+	out := q.Clone()
+	for i := range out.Atoms {
+		for j := range out.Atoms[i].Args {
+			if out.Atoms[i].Args[j].IsVar() && out.Atoms[i].Args[j].Var == x {
+				out.Atoms[i].Args[j] = Term{Const: c}
+			}
+		}
+	}
+	head := out.Head[:0]
+	for _, h := range out.Head {
+		if h != x {
+			head = append(head, h)
+		}
+	}
+	out.Head = head
+	return out
+}
+
+// UCQ is a union of CQ¬s: it is satisfied iff some disjunct is.
+type UCQ struct {
+	Label     string
+	Disjuncts []*CQ
+}
+
+// NewUCQ builds a UCQ¬.
+func NewUCQ(label string, disjuncts ...*CQ) *UCQ {
+	return &UCQ{Label: label, Disjuncts: disjuncts}
+}
+
+// Validate checks each disjunct and that the union is nonempty.
+func (u *UCQ) Validate() error {
+	if len(u.Disjuncts) == 0 {
+		return fmt.Errorf("query: UCQ %s has no disjuncts", u.Label)
+	}
+	for _, q := range u.Disjuncts {
+		if err := q.Validate(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// String renders the union with " | " between disjuncts.
+func (u *UCQ) String() string {
+	parts := make([]string, len(u.Disjuncts))
+	for i, q := range u.Disjuncts {
+		parts[i] = q.String()
+	}
+	return strings.Join(parts, " | ")
+}
+
+// BooleanQuery is the common interface of CQ and UCQ Boolean evaluation,
+// used by the Shapley game definition and the relevance checkers.
+type BooleanQuery interface {
+	Eval(d *db.Database) bool
+	String() string
+}

@@ -1,0 +1,123 @@
+package reductions
+
+import (
+	"fmt"
+
+	"repro/internal/db"
+	"repro/internal/query"
+	"repro/internal/sat"
+)
+
+// QRSTNegR is the Proposition 5.5 query
+// qRST¬R() :- T(z), ¬R(x), ¬R(y), R(z), R(w), S(x,y,z,w).
+func QRSTNegR() *query.CQ {
+	return query.MustParse("qRSTnR() :- T(z), !R(x), !R(y), R(z), R(w), S(x, y, z, w)")
+}
+
+// RelevanceInstance225 builds the Proposition 5.5 database for a
+// (2+,2−,4+−)-CNF formula φ (Figure 4 shows the instance for
+// (x1∨x2) ∧ (¬x1∨¬x3) ∧ (x3∨x4∨¬x1∨¬x2)). The returned endogenous fact
+// f = T(c) is relevant to qRST¬R iff φ is satisfiable.
+//
+// The reduction assumes φ contains at least one positive 2-clause
+// (otherwise the all-false assignment trivially satisfies φ and the
+// reduction is unnecessary); an error is returned if it does not.
+func RelevanceInstance225(f *sat.Formula) (*db.Database, db.Fact, error) {
+	if err := f.Validate(); err != nil {
+		return nil, db.Fact{}, err
+	}
+	if !f.IsTwoTwoFour() {
+		return nil, db.Fact{}, fmt.Errorf("reductions: formula is not in (2+,2−,4+−)-CNF")
+	}
+	if !f.HasPositiveTwoClause() {
+		return nil, db.Fact{}, fmt.Errorf("reductions: Proposition 5.5 assumes a positive 2-clause (the formula is trivially satisfiable without one)")
+	}
+	d := db.New()
+	v := func(i int) db.Const { return db.Const(fmt.Sprintf("v%d", i)) }
+	for i := 1; i <= f.NumVars; i++ {
+		d.MustAddEndo(db.NewFact("R", v(i)))
+		d.MustAddExo(db.NewFact("T", v(i)))
+	}
+	addS := func(a, b, c, e db.Const) {
+		fact := db.NewFact("S", a, b, c, e)
+		if !d.Contains(fact) {
+			d.MustAddExo(fact)
+		}
+	}
+	for _, clause := range f.Clauses {
+		switch {
+		case len(clause) == 2 && !clause[0].Neg:
+			addS(v(clause[0].Var), v(clause[1].Var), "a", "a")
+		case len(clause) == 2:
+			addS("b", "b", v(clause[0].Var), v(clause[1].Var))
+		default: // (xi ∨ xj ∨ ¬xk ∨ ¬xl)
+			addS(v(clause[0].Var), v(clause[1].Var), v(clause[2].Var), v(clause[3].Var))
+		}
+	}
+	d.MustAddExo(db.F("R", "a"))
+	d.MustAddExo(db.F("T", "a"))
+	d.MustAddExo(db.F("R", "c"))
+	d.MustAddExo(db.F("S", "d", "d", "c", "c"))
+	target := db.F("T", "c")
+	d.MustAddEndo(target)
+	return d, target, nil
+}
+
+// AssignmentSubset maps a satisfying assignment of φ to the witness subset
+// E = {R(v_i) | z(x_i) = 1} of the Proposition 5.5 proof (exported so tests
+// and experiments can exhibit the witness).
+func AssignmentSubset(f *sat.Formula, assignment []bool) []db.Fact {
+	var out []db.Fact
+	for i := 1; i <= f.NumVars; i++ {
+		if assignment[i] {
+			out = append(out, db.NewFact("R", db.Const(fmt.Sprintf("v%d", i))))
+		}
+	}
+	return out
+}
+
+// QSAT is the Proposition 5.8 union qSAT = q1 ∨ q2 ∨ q3 ∨ q4. Every
+// disjunct is polarity consistent; the union is not (T flips polarity).
+func QSAT() *query.UCQ {
+	return query.MustParseUCQ(`
+q1() :- C(x1, x2, x3, v1, v2, v3), T(x1, v1), T(x2, v2), T(x3, v3)
+q2() :- V(x), !T(x, 1), !T(x, 0)
+q3() :- T(x, 1), T(x, 0)
+q4() :- R(0)`)
+}
+
+// RelevanceInstance3SAT builds the Proposition 5.8 database for a 3CNF
+// formula φ. The returned endogenous fact f = R(0) is relevant to qSAT iff
+// φ is satisfiable.
+func RelevanceInstance3SAT(f *sat.Formula) (*db.Database, db.Fact, error) {
+	if err := f.Validate(); err != nil {
+		return nil, db.Fact{}, err
+	}
+	if !f.Is3CNF() {
+		return nil, db.Fact{}, fmt.Errorf("reductions: formula is not in 3CNF")
+	}
+	d := db.New()
+	v := func(i int) db.Const { return db.Const(fmt.Sprintf("v%d", i)) }
+	for i := 1; i <= f.NumVars; i++ {
+		d.MustAddExo(db.NewFact("V", v(i)))
+		d.MustAddEndo(db.NewFact("T", v(i), "1"))
+		d.MustAddEndo(db.NewFact("T", v(i), "0"))
+	}
+	pol := func(l sat.Literal) db.Const {
+		if l.Neg {
+			return "1"
+		}
+		return "0"
+	}
+	for _, clause := range f.Clauses {
+		fact := db.NewFact("C",
+			v(clause[0].Var), v(clause[1].Var), v(clause[2].Var),
+			pol(clause[0]), pol(clause[1]), pol(clause[2]))
+		if !d.Contains(fact) {
+			d.MustAddExo(fact)
+		}
+	}
+	target := db.F("R", "0")
+	d.MustAddEndo(target)
+	return d, target, nil
+}

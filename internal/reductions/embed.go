@@ -1,0 +1,170 @@
+package reductions
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/db"
+	"repro/internal/query"
+)
+
+// Dot is the padding constant ⊙ of the Lemma B.4 construction.
+const Dot = db.Const("$dot")
+
+// ComplementSInstance implements the Lemma B.2 transformation: given an
+// instance D for qRST (with every S-fact exogenous), it returns D' with
+//
+//	S^D' = { S(a,b) | R(a) ∈ D, T(b) ∈ D, S(a,b) ∉ D },
+//
+// so that Shapley(D, qRST, f) = Shapley(D', qR¬ST, f) for every endogenous
+// fact f.
+func ComplementSInstance(d *db.Database) (*db.Database, error) {
+	for _, f := range d.RelationFacts("S") {
+		if d.IsEndogenous(f) {
+			return nil, fmt.Errorf("reductions: Lemma B.2 assumes every S-fact is exogenous; %s is not", f)
+		}
+	}
+	out := db.New()
+	for _, f := range d.Facts() {
+		if f.Rel == "S" {
+			continue
+		}
+		out.MustAdd(f, d.IsEndogenous(f))
+	}
+	for _, rf := range d.RelationFacts("R") {
+		for _, tf := range d.RelationFacts("T") {
+			s := db.NewFact("S", rf.Args[0], tf.Args[0])
+			if !d.Contains(s) {
+				out.MustAddExo(s)
+			}
+		}
+	}
+	return out, nil
+}
+
+// EmbedTriplet implements the database construction of Lemma B.4 (and its
+// self-join extension, Theorem B.5): it lifts an instance D of the base
+// query identified by q.ReductionTriplet() into an instance D' of q with
+// identical Shapley values. R-facts of D populate the relation of αx
+// (variable x set to the R-value, all other variables to ⊙), T-facts
+// populate αy, S-facts populate αxy and every other positive atom; the
+// relations of the remaining negated atoms stay empty.
+//
+// Requirements checked: every S-fact of D is exogenous; outside the triplet
+// the relations of q are pairwise distinct and distinct from the triplet's;
+// if αx and αy share a relation symbol (the Theorem B.5 case) the R- and
+// T-values of D must be disjoint.
+//
+// It returns D' and a mapping from the keys of D's endogenous facts to
+// their images in D'.
+func EmbedTriplet(d *db.Database, q *query.CQ, t query.Triplet) (*db.Database, map[string]db.Fact, error) {
+	if err := q.Validate(); err != nil {
+		return nil, nil, err
+	}
+	atomX, atomXY, atomY := q.Atoms[t.AtomX], q.Atoms[t.AtomXY], q.Atoms[t.AtomY]
+	// Relation-sharing checks.
+	seen := map[string]int{}
+	for i, a := range q.Atoms {
+		if i == t.AtomX || i == t.AtomY || i == t.AtomXY {
+			continue
+		}
+		if _, dup := seen[a.Rel]; dup {
+			return nil, nil, fmt.Errorf("reductions: relation %s occurs twice outside the triplet", a.Rel)
+		}
+		seen[a.Rel] = i
+		if a.Rel == atomX.Rel || a.Rel == atomY.Rel || a.Rel == atomXY.Rel {
+			return nil, nil, fmt.Errorf("reductions: relation %s shared between triplet and non-triplet atoms", a.Rel)
+		}
+	}
+	if atomXY.Rel == atomX.Rel || atomXY.Rel == atomY.Rel {
+		return nil, nil, fmt.Errorf("reductions: αxy's relation must occur only once (Theorem B.5)")
+	}
+	if atomX.Rel == atomY.Rel {
+		rVals := map[db.Const]bool{}
+		for _, f := range d.RelationFacts("R") {
+			rVals[f.Args[0]] = true
+		}
+		for _, f := range d.RelationFacts("T") {
+			if rVals[f.Args[0]] {
+				return nil, nil, fmt.Errorf("reductions: Theorem B.5 requires disjoint R and T domains; %s is shared", f.Args[0])
+			}
+		}
+	}
+	for _, f := range d.RelationFacts("S") {
+		if d.IsEndogenous(f) {
+			return nil, nil, fmt.Errorf("reductions: every S-fact must be exogenous; %s is not", f)
+		}
+	}
+
+	instantiate := func(a query.Atom, x, y string, xv, yv db.Const) db.Fact {
+		args := make([]db.Const, len(a.Args))
+		for i, tm := range a.Args {
+			switch {
+			case !tm.IsVar():
+				args[i] = tm.Const
+			case tm.Var == x && xv != "":
+				args[i] = xv
+			case tm.Var == y && yv != "":
+				args[i] = yv
+			default:
+				args[i] = Dot
+			}
+		}
+		return db.Fact{Rel: a.Rel, Args: args}
+	}
+
+	out := db.New()
+	mapping := make(map[string]db.Fact)
+	add := func(f db.Fact, endo bool) {
+		if !out.Contains(f) {
+			out.MustAdd(f, endo)
+		}
+	}
+	for _, rf := range d.RelationFacts("R") {
+		img := instantiate(atomX, t.X, t.Y, rf.Args[0], "")
+		add(img, d.IsEndogenous(rf))
+		if d.IsEndogenous(rf) {
+			mapping[rf.Key()] = img
+		}
+	}
+	for _, tf := range d.RelationFacts("T") {
+		img := instantiate(atomY, t.X, t.Y, "", tf.Args[0])
+		add(img, d.IsEndogenous(tf))
+		if d.IsEndogenous(tf) {
+			mapping[tf.Key()] = img
+		}
+	}
+	for _, sf := range d.RelationFacts("S") {
+		a, b := sf.Args[0], sf.Args[1]
+		add(instantiate(atomXY, t.X, t.Y, a, b), false)
+		for i, atom := range q.Atoms {
+			if i == t.AtomX || i == t.AtomY || i == t.AtomXY || atom.Negated {
+				continue
+			}
+			add(instantiate(atom, t.X, t.Y, a, b), false)
+		}
+	}
+	return out, mapping, nil
+}
+
+// RandomBaseInstance generates a random instance over the schema
+// {R(x), S(x,y), T(y)} suitable for the reduction lemmas: every S-fact is
+// exogenous, every S(a,b) has R(a) and T(b) present (the assumption of
+// Lemmas B.1/B.2/B.5), and R- and T-values are drawn from disjoint pools.
+func RandomBaseInstance(rng *rand.Rand, rCount, tCount int, edgeProb float64, endoProb float64) *db.Database {
+	d := db.New()
+	for i := 0; i < rCount; i++ {
+		d.MustAdd(db.NewFact("R", db.Const(fmt.Sprintf("r%d", i))), rng.Float64() < endoProb)
+	}
+	for j := 0; j < tCount; j++ {
+		d.MustAdd(db.NewFact("T", db.Const(fmt.Sprintf("t%d", j))), rng.Float64() < endoProb)
+	}
+	for i := 0; i < rCount; i++ {
+		for j := 0; j < tCount; j++ {
+			if rng.Float64() < edgeProb {
+				d.MustAddExo(db.NewFact("S", db.Const(fmt.Sprintf("r%d", i)), db.Const(fmt.Sprintf("t%d", j))))
+			}
+		}
+	}
+	return d
+}

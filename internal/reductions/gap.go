@@ -1,0 +1,188 @@
+// Package reductions implements the paper's proofs as executable,
+// testable constructions: the Theorem 5.1 gap-property witness, the
+// Lemma B.3 #IS-from-Shapley-oracle reduction with its exact equation
+// system, the Lemma B.2 complement instance, the Lemma B.4 / Theorem B.5
+// triplet-embedding reduction, the Proposition 5.5 and 5.8 CNF-to-relevance
+// databases, and the Lemma D.1 SAT reduction chain. Each is validated
+// against an independent brute-force oracle in the tests.
+package reductions
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/db"
+	"repro/internal/query"
+)
+
+// GapWitness builds the database D_n of Theorem 5.1 for a satisfiable,
+// positively connected, constant-free CQ¬ q with at least one negated atom,
+// and returns it together with the distinguished endogenous fact f0 whose
+// Shapley value is exactly n!·n!/(2n+1)! — strictly positive yet
+// exponentially small, violating the gap property.
+//
+// The construction assembles n disjoint copies of a database D_q with a
+// fact f_i such that D_q \ {f_i} ⊨ q but D_q ⊭ q, and n+1 disjoint copies
+// of a minimal satisfying database D'_q with a fact f_i whose removal
+// breaks satisfaction; all facts are exogenous except the 2n+1 f_i.
+func GapWitness(q *query.CQ, n int) (*db.Database, db.Fact, error) {
+	if n < 1 {
+		return nil, db.Fact{}, fmt.Errorf("reductions: gap parameter n must be positive")
+	}
+	if err := q.Validate(); err != nil {
+		return nil, db.Fact{}, err
+	}
+	if len(q.Negative()) == 0 {
+		return nil, db.Fact{}, fmt.Errorf("reductions: %s has no negated atom (Theorem 5.1 needs one)", q.Name())
+	}
+	for _, a := range q.Atoms {
+		for _, tm := range a.Args {
+			if !tm.IsVar() {
+				return nil, db.Fact{}, fmt.Errorf("reductions: %s has constants (Theorem 5.1 assumes none)", q.Name())
+			}
+		}
+	}
+	if !q.IsPositivelyConnected() {
+		return nil, db.Fact{}, fmt.Errorf("reductions: %s is not positively connected", q.Name())
+	}
+
+	frozen := frozenPositives(q)
+	if !q.Eval(frozen) {
+		return nil, db.Fact{}, fmt.Errorf("reductions: %s is unsatisfiable", q.Name())
+	}
+
+	// D'_q: a minimal satisfying database (every fact's removal breaks
+	// satisfaction), with its first fact as the distinguished one.
+	minimal := minimize(q, frozen)
+	satFact := minimal.Facts()[0]
+
+	// D_q: grow the negative relations one missing tuple at a time until the
+	// query fails; the last added fact is the distinguished one.
+	broken, breakFact, err := breakSatisfaction(q, frozen)
+	if err != nil {
+		return nil, db.Fact{}, err
+	}
+
+	out := db.New()
+	var f0 db.Fact
+	addCopy := func(src *db.Database, endoFact db.Fact, idx int) db.Fact {
+		rename := func(f db.Fact) db.Fact {
+			args := make([]db.Const, len(f.Args))
+			for i, c := range f.Args {
+				args[i] = db.Const(fmt.Sprintf("%s#%d", c, idx))
+			}
+			return db.Fact{Rel: f.Rel, Args: args}
+		}
+		target := rename(endoFact)
+		for _, f := range src.Facts() {
+			nf := rename(f)
+			out.MustAdd(nf, nf.Equal(target))
+		}
+		return target
+	}
+	f0 = addCopy(minimal, satFact, 0)
+	for i := 1; i <= n; i++ {
+		addCopy(broken, breakFact, i)
+	}
+	for i := n + 1; i <= 2*n; i++ {
+		addCopy(minimal, satFact, i)
+	}
+	return out, f0, nil
+}
+
+// frozenPositives builds the canonical database of q's positive atoms with
+// each variable frozen to its own constant. For a constant-free CQ¬ this
+// satisfies q iff q is satisfiable.
+func frozenPositives(q *query.CQ) *db.Database {
+	d := db.New()
+	for _, i := range q.Positive() {
+		a := q.Atoms[i]
+		args := make([]db.Const, len(a.Args))
+		for j, tm := range a.Args {
+			args[j] = db.Const("c_" + tm.Var)
+		}
+		f := db.Fact{Rel: a.Rel, Args: args}
+		if !d.Contains(f) {
+			d.MustAddExo(f)
+		}
+	}
+	return d
+}
+
+// minimize greedily removes facts while the query stays satisfied.
+func minimize(q *query.CQ, d *db.Database) *db.Database {
+	cur := d.Clone()
+	for {
+		removed := false
+		for _, f := range cur.Facts() {
+			smaller, err := cur.Without(f)
+			if err != nil {
+				continue
+			}
+			if q.Eval(smaller) {
+				cur = smaller
+				removed = true
+				break
+			}
+		}
+		if !removed {
+			return cur
+		}
+	}
+}
+
+// breakSatisfaction adds missing tuples over Dom(d) to the negative
+// relations of q, one at a time, until the query fails; it returns the
+// resulting database and the last added fact. Safety guarantees every
+// homomorphism's negative images lie within Dom(d)-tuples, so filling all
+// of them must break satisfaction.
+func breakSatisfaction(q *query.CQ, d *db.Database) (*db.Database, db.Fact, error) {
+	cur := d.Clone()
+	dom := d.Domain()
+	negRels := q.NegativeRels()
+	sort.Strings(negRels)
+	arity := make(map[string]int)
+	for _, a := range q.Atoms {
+		arity[a.Rel] = len(a.Args)
+	}
+	for _, rel := range negRels {
+		var missing []db.Fact
+		collect := func(tuple []db.Const) {
+			f := db.Fact{Rel: rel, Args: append([]db.Const(nil), tuple...)}
+			if !cur.Contains(f) {
+				missing = append(missing, f)
+			}
+		}
+		forEachTuple(dom, arity[rel], collect)
+		for _, f := range missing {
+			cur.MustAddExo(f)
+			if !q.Eval(cur) {
+				return cur, f, nil
+			}
+		}
+	}
+	return nil, db.Fact{}, fmt.Errorf("reductions: internal error: filling negative relations of %s never broke satisfaction", q.Name())
+}
+
+func forEachTuple(dom []db.Const, k int, fn func([]db.Const)) {
+	if k == 0 {
+		fn(nil)
+		return
+	}
+	if len(dom) == 0 {
+		return
+	}
+	tuple := make([]db.Const, k)
+	var rec func(i int)
+	rec = func(i int) {
+		if i == k {
+			fn(tuple)
+			return
+		}
+		for _, c := range dom {
+			tuple[i] = c
+			rec(i + 1)
+		}
+	}
+	rec(0)
+}

@@ -1,0 +1,146 @@
+package reductions
+
+import (
+	"fmt"
+	"math/big"
+
+	"repro/internal/combinat"
+	"repro/internal/db"
+	"repro/internal/graphs"
+	"repro/internal/linalg"
+	"repro/internal/query"
+)
+
+// ShapleyOracle computes Shapley(D, qRS¬T, f) — the problem Lemma B.3
+// reduces #IS to. In tests this is the brute-force computation; the point of
+// the reduction is that any polynomial such oracle would make #IS (a
+// #P-complete problem) polynomial.
+type ShapleyOracle func(d *db.Database, f db.Fact) (*big.Rat, error)
+
+// QRSNegT is the query qRS¬T() :- R(x), S(x,y), ¬T(y) of the reduction.
+func QRSNegT() *query.CQ { return query.MustParse("qRSnT() :- R(x), S(x, y), !T(y)") }
+
+// CountISViaShapley recovers |IS(g)| — the number of independent sets of
+// the bipartite graph g — from N+2 Shapley-value queries, following the
+// Lemma B.3 proof:
+//
+//	instance D0 pins down P1→1 (permutations where the query stays true);
+//	instances D1..D(N+1) yield an independent linear system over the
+//	stratified counts |S(g,k)|, solved exactly over big.Rat;
+//	|IS(g)| = Σ_k |S(g,k)|.
+//
+// g must have no isolated vertices (the proof's standing assumption).
+func CountISViaShapley(g *graphs.Bipartite, oracle ShapleyOracle) (*big.Int, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	if g.HasIsolatedVertex() {
+		return nil, fmt.Errorf("reductions: Lemma B.3 requires a graph without isolated vertices")
+	}
+	m := g.Left
+	N := g.Left + g.Right
+	f := db.F("T", "0")
+
+	// D0: R(a) endo per left vertex, T(b) endo per right vertex, S(a,b) exo
+	// per edge, T(0) endo, S(a,0) exo per left vertex.
+	d0 := db.New()
+	leftC := func(l int) db.Const { return db.Const(fmt.Sprintf("a%d", l)) }
+	rightC := func(r int) db.Const { return db.Const(fmt.Sprintf("b%d", r)) }
+	for l := 0; l < g.Left; l++ {
+		d0.MustAddEndo(db.NewFact("R", leftC(l)))
+	}
+	for r := 0; r < g.Right; r++ {
+		d0.MustAddEndo(db.NewFact("T", rightC(r)))
+	}
+	for _, e := range g.Edges {
+		d0.MustAddExo(db.NewFact("S", leftC(e[0]), rightC(e[1])))
+	}
+	d0.MustAddEndo(db.NewFact("T", "0"))
+	for l := 0; l < g.Left; l++ {
+		d0.MustAddExo(db.NewFact("S", leftC(l), "0"))
+	}
+
+	v0, err := oracle(d0, f)
+	if err != nil {
+		return nil, fmt.Errorf("reductions: oracle on D0: %w", err)
+	}
+	// f = T(0) only ever flips the answer true→false, so Shapley(D0,f) =
+	// −P1→0/(N+1)!.
+	factN1 := combinat.Factorial(N + 1)
+	p10, err := ratTimesIntExact(new(big.Rat).Neg(v0), factN1)
+	if err != nil {
+		return nil, fmt.Errorf("reductions: D0 Shapley value %s is not a permutation count over (N+1)!: %w", v0.RatString(), err)
+	}
+	// P0→0 = (N+1)!/(m+1): permutations where T(0) precedes every R(a).
+	p00 := new(big.Int).Quo(factN1, big.NewInt(int64(m+1)))
+	p11 := new(big.Int).Sub(factN1, p00)
+	p11.Sub(p11, p10)
+
+	// Instances D1..D(N+1) and the equation system over |S(g,k)|.
+	a := make([][]*big.Rat, N+1)
+	b := make([]*big.Rat, N+1)
+	for r := 1; r <= N+1; r++ {
+		dr := db.New()
+		for l := 0; l < g.Left; l++ {
+			dr.MustAddEndo(db.NewFact("R", leftC(l)))
+		}
+		for rr := 0; rr < g.Right; rr++ {
+			dr.MustAddEndo(db.NewFact("T", rightC(rr)))
+		}
+		for _, e := range g.Edges {
+			dr.MustAddExo(db.NewFact("S", leftC(e[0]), rightC(e[1])))
+		}
+		dr.MustAddEndo(db.NewFact("T", "0"))
+		for i := 1; i <= r; i++ {
+			zi := db.Const(fmt.Sprintf("z%d", i))
+			dr.MustAddEndo(db.NewFact("R", zi))
+			dr.MustAddExo(db.NewFact("S", zi, "0"))
+		}
+		vr, err := oracle(dr, f)
+		if err != nil {
+			return nil, fmt.Errorf("reductions: oracle on D%d: %w", r, err)
+		}
+		factNr1 := combinat.Factorial(N + r + 1)
+		p10r, err := ratTimesIntExact(new(big.Rat).Neg(vr), factNr1)
+		if err != nil {
+			return nil, fmt.Errorf("reductions: D%d Shapley value %s is not a permutation count: %w", r, vr.RatString(), err)
+		}
+		// m_r = C(N+r+1, r)·r!: the r auxiliary R(z_i) facts can be placed
+		// anywhere in a 1→1 permutation.
+		mr := combinat.Binomial(N+r+1, r)
+		mr.Mul(mr, combinat.Factorial(r))
+		// P^r_0→0 = (N+r+1)! − P1→1·m_r − P^r_1→0 = Σ_k |S(g,k)|·k!·(N−k+r)!.
+		rhs := new(big.Int).Set(factNr1)
+		rhs.Sub(rhs, new(big.Int).Mul(p11, mr))
+		rhs.Sub(rhs, p10r)
+		b[r-1] = new(big.Rat).SetInt(rhs)
+		row := make([]*big.Rat, N+1)
+		for k := 0; k <= N; k++ {
+			coeff := new(big.Int).Mul(combinat.Factorial(k), combinat.Factorial(N-k+r))
+			row[k] = new(big.Rat).SetInt(coeff)
+		}
+		a[r-1] = row
+	}
+
+	s, err := linalg.Solve(a, b)
+	if err != nil {
+		return nil, fmt.Errorf("reductions: Lemma B.3 equation system: %w", err)
+	}
+	total := new(big.Int)
+	for k, sk := range s {
+		if !sk.IsInt() || sk.Sign() < 0 {
+			return nil, fmt.Errorf("reductions: |S(g,%d)| solved to non-count %s", k, sk.RatString())
+		}
+		total.Add(total, sk.Num())
+	}
+	return total, nil
+}
+
+// ratTimesIntExact returns r·n, requiring the product to be an integer.
+func ratTimesIntExact(r *big.Rat, n *big.Int) (*big.Int, error) {
+	prod := new(big.Rat).Mul(r, new(big.Rat).SetInt(n))
+	if !prod.IsInt() {
+		return nil, fmt.Errorf("product %s is not integral", prod.RatString())
+	}
+	return new(big.Int).Set(prod.Num()), nil
+}

@@ -1,0 +1,156 @@
+package reductions
+
+import (
+	"fmt"
+
+	"repro/internal/db"
+	"repro/internal/query"
+)
+
+// EmbedPath implements the Appendix C construction behind the hardness side
+// of Theorem 4.3: given a self-join-free CQ¬ q with a non-hierarchical path
+// with respect to the exogenous relations exo, it lifts an instance D of
+// the matching base query (qRST, q¬RS¬T or qRS¬T, depending on the polarity
+// of the path's endpoint atoms) into an instance D” of q with identical
+// Shapley values for the endogenous facts.
+//
+// The endpoint atoms represent the R and T atoms of the base query; the
+// atoms along the non-hierarchical path jointly represent S(x, y), with
+// every path variable mapped to a pair constant ⟨a,b⟩. The intermediate
+// database D' is then adjusted: relations of negated atoms are complemented
+// over Dom(D') (the construction's D” step), so that a negated atom is
+// violated exactly when the corresponding positive tuple existed in D'.
+//
+// Assumptions checked: q is self-join-free and safe; every S-fact of D is
+// exogenous. The base-query instances must keep all R- and T-facts
+// endogenous (as the hardness instances of Lemma B.3 do).
+func EmbedPath(d *db.Database, q *query.CQ, exo map[string]bool) (*db.Database, map[string]db.Fact, query.BaseHardQuery, error) {
+	if err := q.Validate(); err != nil {
+		return nil, nil, 0, err
+	}
+	if q.HasSelfJoin() {
+		return nil, nil, 0, fmt.Errorf("reductions: EmbedPath requires a self-join-free query")
+	}
+	witness, ok := q.FindNonHierarchicalPath(exo)
+	if !ok {
+		return nil, nil, 0, fmt.Errorf("reductions: %s has no non-hierarchical path for the given exogenous relations", q.Name())
+	}
+	for _, f := range d.RelationFacts("S") {
+		if d.IsEndogenous(f) {
+			return nil, nil, 0, fmt.Errorf("reductions: every S-fact must be exogenous; %s is not", f)
+		}
+	}
+	for _, rel := range []string{"R", "T"} {
+		for _, f := range d.RelationFacts(rel) {
+			if !d.IsEndogenous(f) {
+				return nil, nil, 0, fmt.Errorf("reductions: the base instance must keep %s-facts endogenous; %s is not", rel, f)
+			}
+		}
+	}
+
+	ax, ay := q.Atoms[witness.AtomX], q.Atoms[witness.AtomY]
+	xVar, yVar := witness.X, witness.Y
+	path := witness.Path
+	// Orient: when the polarities are mixed, the positive endpoint plays
+	// the role of qRS¬T's positive R atom.
+	if ax.Negated && !ay.Negated {
+		ax, ay = ay, ax
+		xVar, yVar = yVar, xVar
+		for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
+			path[i], path[j] = path[j], path[i]
+		}
+	}
+	var base query.BaseHardQuery
+	switch {
+	case !ax.Negated && !ay.Negated:
+		base = query.BaseRST
+	case ax.Negated && ay.Negated:
+		base = query.BaseNegRSNegT
+	default:
+		base = query.BaseRSNegT
+	}
+	pathVars := make(map[string]bool)
+	for _, v := range path {
+		if v != xVar && v != yVar {
+			pathVars[v] = true
+		}
+	}
+	pair := func(a, b db.Const) db.Const {
+		return db.Const("pr$" + string(a) + "$" + string(b))
+	}
+	instantiate := func(atom query.Atom, a, b db.Const) db.Fact {
+		args := make([]db.Const, len(atom.Args))
+		for i, tm := range atom.Args {
+			switch {
+			case !tm.IsVar():
+				args[i] = tm.Const
+			case tm.Var == xVar && a != "":
+				args[i] = a
+			case tm.Var == yVar && b != "":
+				args[i] = b
+			case pathVars[tm.Var] && a != "" && b != "":
+				args[i] = pair(a, b)
+			default:
+				args[i] = Dot
+			}
+		}
+		return db.Fact{Rel: atom.Rel, Args: args}
+	}
+
+	// D': endpoint relations carry the R/T facts, every other atom carries
+	// one fact per S-edge.
+	dPrime := db.New()
+	mapping := make(map[string]db.Fact)
+	add := func(f db.Fact, endo bool) {
+		if !dPrime.Contains(f) {
+			dPrime.MustAdd(f, endo)
+		}
+	}
+	for _, rf := range d.RelationFacts("R") {
+		img := instantiate(ax, rf.Args[0], "")
+		add(img, true)
+		mapping[rf.Key()] = img
+	}
+	for _, tf := range d.RelationFacts("T") {
+		img := instantiate(ay, "", tf.Args[0])
+		add(img, true)
+		mapping[tf.Key()] = img
+	}
+	for _, sf := range d.RelationFacts("S") {
+		a, b := sf.Args[0], sf.Args[1]
+		for i, atom := range q.Atoms {
+			if i == witness.AtomX || i == witness.AtomY {
+				continue
+			}
+			add(instantiate(atom, a, b), false)
+		}
+	}
+
+	// D'': endogenous facts kept; positive-atom relations copy their
+	// exogenous facts; negative-atom relations are complemented over
+	// Dom(D').
+	dom := dPrime.Domain()
+	out := db.New()
+	for _, f := range dPrime.Facts() {
+		if dPrime.IsEndogenous(f) {
+			out.MustAddEndo(f)
+		}
+	}
+	for _, atom := range q.Atoms {
+		if !atom.Negated {
+			for _, f := range dPrime.RelationFacts(atom.Rel) {
+				if dPrime.IsExogenous(f) && !out.Contains(f) {
+					out.MustAddExo(f)
+				}
+			}
+			continue
+		}
+		forEachTuple(dom, len(atom.Args), func(tuple []db.Const) {
+			f := db.Fact{Rel: atom.Rel, Args: append([]db.Const(nil), tuple...)}
+			if !dPrime.Contains(f) && !out.Contains(f) {
+				out.MustAddExo(f)
+			}
+		})
+	}
+	return out, mapping, base, nil
+}

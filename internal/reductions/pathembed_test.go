@@ -1,0 +1,93 @@
+package reductions
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/query"
+)
+
+// checkPathEmbedding verifies Shapley preservation for the Appendix C
+// construction on random base instances (all R/T facts endogenous, as the
+// hardness instances require).
+func checkPathEmbedding(t *testing.T, target *query.CQ, exo map[string]bool, wantBase query.BaseHardQuery, seed int64) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	trials := 0
+	for trials < 5 {
+		d := RandomBaseInstance(rng, 1+rng.Intn(2), 1+rng.Intn(2), 0.7, 1.1)
+		if d.NumEndo() == 0 || d.NumEndo() > 7 {
+			continue
+		}
+		trials++
+		d2, mapping, base, err := EmbedPath(d, target, exo)
+		if err != nil {
+			t.Fatalf("%s: %v", target, err)
+		}
+		if base != wantBase {
+			t.Fatalf("%s: base %v, want %v", target, base, wantBase)
+		}
+		bq := baseQueryFor(base)
+		for _, f := range d.EndoFacts() {
+			img, ok := mapping[f.Key()]
+			if !ok {
+				t.Fatalf("%s: no image for %s", target, f)
+			}
+			a, err := core.BruteForceShapley(d, bq, f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := core.BruteForceShapley(d2, target, img)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if a.Cmp(b) != 0 {
+				t.Fatalf("%s (base %v): Shapley(%s)=%s but embedded %s=%s\nD:\n%s\nD'':\n%s",
+					target, base, f, a.RatString(), img, b.RatString(), d, d2)
+			}
+		}
+	}
+}
+
+func TestEmbedPathSection41QPrime(t *testing.T) {
+	// §4.1's q': mixed endpoint polarity → base qRS¬T.
+	target := query.MustParse("qp() :- !R2(x, w), S2(z, x), !P2(z, y), T2(y, w)")
+	exo := map[string]bool{"S2": true, "P2": true}
+	checkPathEmbedding(t, target, exo, query.BaseRSNegT, 71)
+}
+
+func TestEmbedPathBothPositive(t *testing.T) {
+	target := query.MustParse("qq() :- R2(x, w), S2(z, x), P2(z, y), T2(y, w)")
+	exo := map[string]bool{"S2": true, "P2": true}
+	checkPathEmbedding(t, target, exo, query.BaseRST, 72)
+}
+
+func TestEmbedPathBothNegative(t *testing.T) {
+	// Both endpoints negated; W(w) keeps the query safe.
+	target := query.MustParse("qn() :- !R2(x, w), S2(z, x), P2(z, y), !T2(y, w), W(w)")
+	exo := map[string]bool{"S2": true, "P2": true, "W": true}
+	checkPathEmbedding(t, target, exo, query.BaseNegRSNegT, 73)
+}
+
+func TestEmbedPathErrors(t *testing.T) {
+	// No non-hierarchical path: the §4.1 tractable query.
+	tractable := query.MustParse("q() :- !R2(x, w), S2(z, x), !P2(z, w), T2(y, w)")
+	exo := map[string]bool{"S2": true, "P2": true}
+	rng := rand.New(rand.NewSource(74))
+	d := RandomBaseInstance(rng, 2, 2, 1.0, 1.1)
+	if _, _, _, err := EmbedPath(d, tractable, exo); err == nil {
+		t.Fatal("tractable query accepted by EmbedPath")
+	}
+	// Self-join rejected.
+	sj := query.MustParse("q() :- R2(x, w), S2(z, x), R2(z, y), T2(y, w)")
+	if _, _, _, err := EmbedPath(d, sj, nil); err == nil {
+		t.Fatal("self-join accepted by EmbedPath")
+	}
+	// Exogenous R-fact in the base instance rejected.
+	dBad := RandomBaseInstance(rng, 2, 2, 1.0, 0.0) // all R/T exogenous
+	hard := query.MustParse("qp() :- !R2(x, w), S2(z, x), !P2(z, y), T2(y, w)")
+	if _, _, _, err := EmbedPath(dBad, hard, exo); err == nil {
+		t.Fatal("exogenous R/T facts accepted by EmbedPath")
+	}
+}

@@ -1,0 +1,536 @@
+package reductions
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+
+	"repro/internal/combinat"
+	"repro/internal/core"
+	"repro/internal/db"
+	"repro/internal/graphs"
+	"repro/internal/query"
+	"repro/internal/relevance"
+	"repro/internal/sat"
+)
+
+// --- Theorem 5.1: generic gap witness ---
+
+func TestGapWitnessValues(t *testing.T) {
+	queries := []*query.CQ{
+		query.MustParse("g1() :- R(x), S(x, y), !R(y)"),
+		query.MustParse("g2() :- !R(x), S(x, y), !T(y)"),
+		query.MustParse("g3() :- Stud(x), !TA(x), Reg(x, y)"),
+		query.MustParse("g4() :- R(x), S(x, y), !T(y)"),
+	}
+	for _, q := range queries {
+		for n := 1; n <= 2; n++ {
+			d, f0, err := GapWitness(q, n)
+			if err != nil {
+				t.Fatalf("%s n=%d: %v", q, n, err)
+			}
+			if d.NumEndo() != 2*n+1 {
+				t.Fatalf("%s n=%d: %d endogenous facts, want 2n+1=%d", q, n, d.NumEndo(), 2*n+1)
+			}
+			got, err := core.BruteForceShapley(d, q, f0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			num := new(big.Int).Mul(combinat.Factorial(n), combinat.Factorial(n))
+			want := new(big.Rat).SetFrac(num, combinat.Factorial(2*n+1))
+			if got.Cmp(want) != 0 {
+				t.Errorf("%s n=%d: Shapley(f0) = %s, want n!n!/(2n+1)! = %s\nDB:\n%s",
+					q, n, got.RatString(), want.RatString(), d)
+			}
+		}
+	}
+}
+
+func TestGapWitnessExponentiallySmall(t *testing.T) {
+	// 0 < value ≤ 2^-n (the Theorem 5.1 bound) for the explicit formula.
+	for n := 1; n <= 12; n++ {
+		num := new(big.Int).Mul(combinat.Factorial(n), combinat.Factorial(n))
+		val := new(big.Rat).SetFrac(num, combinat.Factorial(2*n+1))
+		bound := new(big.Rat).SetFrac(big.NewInt(1), new(big.Int).Lsh(big.NewInt(1), uint(n)))
+		if val.Sign() <= 0 || val.Cmp(bound) > 0 {
+			t.Errorf("n=%d: n!n!/(2n+1)! = %s violates (0, 2^-n]", n, val.RatString())
+		}
+	}
+}
+
+func TestGapWitnessErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		q    *query.CQ
+		n    int
+	}{
+		{"no negation", query.MustParse("q() :- R(x), S(x, y)"), 1},
+		{"constants", query.MustParse("q() :- R(x), !S(x, A)"), 1},
+		{"not positively connected", query.MustParse("q() :- R(x), T(y), !S(x, y)"), 1},
+		{"unsatisfiable", query.MustParse("q() :- R(x, y), !R(x, y)"), 1},
+		{"bad n", query.MustParse("q() :- R(x), !S(x)"), 0},
+	}
+	for _, c := range cases {
+		if _, _, err := GapWitness(c.q, c.n); err == nil {
+			t.Errorf("%s: GapWitness should fail", c.name)
+		}
+	}
+}
+
+// --- Lemma B.3: #IS via a Shapley oracle ---
+
+func bruteOracle(t *testing.T) ShapleyOracle {
+	t.Helper()
+	q := QRSNegT()
+	return func(d *db.Database, f db.Fact) (*big.Rat, error) {
+		return core.BruteForceShapley(d, q, f)
+	}
+}
+
+func TestCountISViaShapleySmallGraphs(t *testing.T) {
+	cases := []*graphs.Bipartite{
+		{Left: 1, Right: 1, Edges: [][2]int{{0, 0}}},
+		{Left: 2, Right: 1, Edges: [][2]int{{0, 0}, {1, 0}}},
+		{Left: 1, Right: 2, Edges: [][2]int{{0, 0}, {0, 1}}},
+		{Left: 2, Right: 2, Edges: [][2]int{{0, 0}, {0, 1}, {1, 0}, {1, 1}}},
+		{Left: 2, Right: 2, Edges: [][2]int{{0, 0}, {1, 1}}},
+	}
+	for _, g := range cases {
+		got, err := CountISViaShapley(g, bruteOracle(t))
+		if err != nil {
+			t.Fatalf("%+v: %v", g, err)
+		}
+		want := g.CountIndependentSets()
+		if got.Cmp(want) != 0 {
+			t.Errorf("%+v: reduction counted %s independent sets, brute force %s", g, got, want)
+		}
+	}
+}
+
+func TestCountISViaShapleyRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(55))
+	for trial := 0; trial < 4; trial++ {
+		g := graphs.RandomBipartite(rng, 1+rng.Intn(2), 1+rng.Intn(3), 0.5)
+		got, err := CountISViaShapley(g, bruteOracle(t))
+		if err != nil {
+			t.Fatalf("%+v: %v", g, err)
+		}
+		if want := g.CountIndependentSets(); got.Cmp(want) != 0 {
+			t.Errorf("%+v: reduction %s != brute %s", g, got, want)
+		}
+	}
+}
+
+func TestCountISRejectsIsolatedVertices(t *testing.T) {
+	g := &graphs.Bipartite{Left: 2, Right: 1, Edges: [][2]int{{0, 0}}}
+	if _, err := CountISViaShapley(g, bruteOracle(t)); err == nil {
+		t.Fatal("isolated vertex accepted")
+	}
+}
+
+// --- Proposition 5.5: relevance of qRST¬R ---
+
+func figure4Formula() *sat.Formula {
+	// (x1∨x2) ∧ (¬x1∨¬x3) ∧ (x3∨x4∨¬x1∨¬x2)
+	return &sat.Formula{NumVars: 4, Clauses: []sat.Clause{
+		{sat.Pos(1), sat.Pos(2)},
+		{sat.Neg(1), sat.Neg(3)},
+		{sat.Pos(3), sat.Pos(4), sat.Neg(1), sat.Neg(2)},
+	}}
+}
+
+func TestRelevanceInstance225Figure4(t *testing.T) {
+	f := figure4Formula()
+	d, target, err := RelevanceInstance225(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Figure 4's database: endogenous R(v1..v4) and T(c); the S facts
+	// S(v1,v2,a,a), S(b,b,v1,v3), S(v3,v4,v1,v2), S(d,d,c,c).
+	for _, key := range []string{"S(v1,v2,a,a)", "S(b,b,v1,v3)", "S(v3,v4,v1,v2)", "S(d,d,c,c)"} {
+		fact, _ := db.ParseFact(key)
+		if !d.IsExogenous(fact) {
+			t.Errorf("expected exogenous fact %s", key)
+		}
+	}
+	if d.NumEndo() != 5 {
+		t.Fatalf("endo count %d, want 5", d.NumEndo())
+	}
+	rel, err := relevance.IsRelevantBrute(d, QRSTNegR(), target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rel {
+		t.Fatal("Figure 4's formula is satisfiable, so T(c) must be relevant")
+	}
+	// The paper's satisfying assignment z(x2)=z(x3)=1 yields the witness
+	// E = {R(v2), R(v3)}.
+	assignment := []bool{false, false, true, true, false}
+	if !f.Eval(assignment) {
+		t.Fatal("paper's assignment must satisfy the formula")
+	}
+	witness := AssignmentSubset(f, assignment)
+	test := d.Restrict(func(_ db.Fact, endo bool) bool { return !endo })
+	for _, w := range witness {
+		test.MustAddEndo(w)
+	}
+	q := QRSTNegR()
+	if q.Eval(test) {
+		t.Fatal("Dx ∪ E must violate qRST¬R (proof of Prop 5.5)")
+	}
+	test.MustAddEndo(target)
+	if !q.Eval(test) {
+		t.Fatal("Dx ∪ E ∪ {f} must satisfy qRST¬R")
+	}
+}
+
+func TestRelevanceInstance225MatchesSatisfiability(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	q := QRSTNegR()
+	for trial := 0; trial < 12; trial++ {
+		f := sat.RandomTwoTwoFour(rng, 3+rng.Intn(3), 3+rng.Intn(5))
+		d, target, err := RelevanceInstance225(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rel, err := relevance.IsRelevantBrute(d, q, target)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rel != f.Satisfiable() {
+			t.Fatalf("relevant=%v but satisfiable=%v for %s", rel, f.Satisfiable(), f)
+		}
+	}
+}
+
+func TestRelevanceInstance225Unsatisfiable(t *testing.T) {
+	// (x1∨x2) ∧ (¬x1∨¬x1) ∧ (¬x2∨¬x2) forces x1=x2=false, contradiction.
+	f := &sat.Formula{NumVars: 2, Clauses: []sat.Clause{
+		{sat.Pos(1), sat.Pos(2)},
+		{sat.Neg(1), sat.Neg(1)},
+		{sat.Neg(2), sat.Neg(2)},
+	}}
+	if f.Satisfiable() {
+		t.Fatal("fixture should be unsatisfiable")
+	}
+	d, target, err := RelevanceInstance225(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel, err := relevance.IsRelevantBrute(d, QRSTNegR(), target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel {
+		t.Fatal("unsatisfiable formula must make T(c) irrelevant")
+	}
+}
+
+func TestRelevanceInstance225Errors(t *testing.T) {
+	mixed := &sat.Formula{NumVars: 2, Clauses: []sat.Clause{{sat.Pos(1), sat.Neg(2)}}}
+	if _, _, err := RelevanceInstance225(mixed); err == nil {
+		t.Fatal("non-(2+,2−,4+−) formula accepted")
+	}
+	noPos := &sat.Formula{NumVars: 2, Clauses: []sat.Clause{{sat.Neg(1), sat.Neg(2)}}}
+	if _, _, err := RelevanceInstance225(noPos); err == nil {
+		t.Fatal("formula without positive 2-clause accepted")
+	}
+}
+
+// --- Proposition 5.8: relevance of qSAT ---
+
+func TestRelevanceInstance3SATMatchesSatisfiability(t *testing.T) {
+	rng := rand.New(rand.NewSource(88))
+	u := QSAT()
+	for trial := 0; trial < 10; trial++ {
+		f := sat.Random3CNF(rng, 2+rng.Intn(3), 2+rng.Intn(5))
+		d, target, err := RelevanceInstance3SAT(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rel, err := relevance.IsRelevantBrute(d, u, target)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rel != f.Satisfiable() {
+			t.Fatalf("relevant=%v but satisfiable=%v for %s\nDB:\n%s", rel, f.Satisfiable(), f, d)
+		}
+	}
+	// A canonical unsatisfiable 3CNF.
+	f := &sat.Formula{NumVars: 1, Clauses: []sat.Clause{
+		{sat.Pos(1), sat.Pos(1), sat.Pos(1)},
+		{sat.Neg(1), sat.Neg(1), sat.Neg(1)},
+	}}
+	d, target, err := RelevanceInstance3SAT(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel, err := relevance.IsRelevantBrute(d, u, target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel {
+		t.Fatal("unsatisfiable 3CNF must make R(0) irrelevant")
+	}
+}
+
+func TestRelevanceInstance3SATRejectsNon3CNF(t *testing.T) {
+	f := &sat.Formula{NumVars: 2, Clauses: []sat.Clause{{sat.Pos(1), sat.Pos(2)}}}
+	if _, _, err := RelevanceInstance3SAT(f); err == nil {
+		t.Fatal("non-3CNF accepted")
+	}
+}
+
+// --- Lemma D.1: the SAT reduction chain ---
+
+func TestSatChainAgainstColoring(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	tested3colorable, testedNot := false, false
+	graphsToTest := []*graphs.Graph{
+		graphs.CompleteGraph(3),
+		graphs.CompleteGraph(4),
+		{N: 5, Edges: [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 0}}},
+	}
+	for trial := 0; trial < 6; trial++ {
+		graphsToTest = append(graphsToTest, graphs.RandomGraph(rng, 4+rng.Intn(3), 0.6))
+	}
+	for _, g := range graphsToTest {
+		colorable := g.ThreeColoring() != nil
+		f32, err := ThreeColorToSAT(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !f32.IsThreePosTwoNeg() {
+			t.Fatalf("encoding is not (3+,2−): %s", f32)
+		}
+		if got := f32.Satisfiable(); got != colorable {
+			t.Fatalf("(3+,2−) encoding satisfiable=%v, colorable=%v", got, colorable)
+		}
+		f224, err := ThreePosTwoNegToTwoTwoFour(f32)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !f224.IsTwoTwoFour() {
+			t.Fatalf("chain output is not (2+,2−,4+−): %s", f224)
+		}
+		if got := f224.Satisfiable(); got != colorable {
+			t.Fatalf("(2+,2−,4+−) output satisfiable=%v, colorable=%v", got, colorable)
+		}
+		if colorable {
+			tested3colorable = true
+			model := f32.Solve()
+			colors := ColoringFromAssignment(g, model)
+			if !g.IsProperColoring(colors) {
+				t.Fatalf("decoded coloring %v is not proper", colors)
+			}
+		} else {
+			testedNot = true
+		}
+	}
+	if !tested3colorable || !testedNot {
+		t.Fatal("test fixtures must cover both outcomes")
+	}
+}
+
+func TestChainRejectsWrongForm(t *testing.T) {
+	f := &sat.Formula{NumVars: 2, Clauses: []sat.Clause{{sat.Pos(1), sat.Neg(2)}}}
+	if _, err := ThreePosTwoNegToTwoTwoFour(f); err == nil {
+		t.Fatal("non-(3+,2−) formula accepted")
+	}
+}
+
+// --- Lemmas B.1, B.2 and the triplet embedding ---
+
+func TestDualityQRSTvsNegRSNegT(t *testing.T) {
+	// Lemma B.1: Shapley(D, qRST, f) = −Shapley(D, q¬RS¬T, f) whenever every
+	// S-fact is exogenous and has both endpoints present. The reversal
+	// bijection additionally needs every R- and T-fact to be endogenous
+	// (presence before f in σ corresponds to absence before f in the
+	// reversed permutation only for players), which the hardness instances
+	// of Lemma B.3 satisfy.
+	qrst := query.MustParse("qRST() :- R(x), S(x, y), T(y)")
+	qneg := query.MustParse("qn() :- !R(x), S(x, y), !T(y)")
+	rng := rand.New(rand.NewSource(111))
+	for trial := 0; trial < 10; trial++ {
+		d := RandomBaseInstance(rng, 1+rng.Intn(3), 1+rng.Intn(3), 0.7, 1.1)
+		if d.NumEndo() == 0 || d.NumEndo() > 9 {
+			continue
+		}
+		for _, f := range d.EndoFacts() {
+			a, err := core.BruteForceShapley(d, qrst, f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := core.BruteForceShapley(d, qneg, f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if a.Cmp(new(big.Rat).Neg(b)) != 0 {
+				t.Fatalf("duality violated for %s: qRST %s, q¬RS¬T %s\nDB:\n%s",
+					f, a.RatString(), b.RatString(), d)
+			}
+		}
+	}
+}
+
+func TestComplementSInstanceLemmaB2(t *testing.T) {
+	qrst := query.MustParse("qRST() :- R(x), S(x, y), T(y)")
+	qrnst := query.MustParse("qRnST() :- R(x), !S(x, y), T(y)")
+	rng := rand.New(rand.NewSource(222))
+	for trial := 0; trial < 10; trial++ {
+		d := RandomBaseInstance(rng, 1+rng.Intn(3), 1+rng.Intn(3), 0.5, 0.7)
+		if d.NumEndo() == 0 || d.NumEndo() > 9 {
+			continue
+		}
+		d2, err := ComplementSInstance(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, f := range d.EndoFacts() {
+			a, err := core.BruteForceShapley(d, qrst, f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := core.BruteForceShapley(d2, qrnst, f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if a.Cmp(b) != 0 {
+				t.Fatalf("Lemma B.2 violated for %s: %s vs %s\nD:\n%s\nD':\n%s",
+					f, a.RatString(), b.RatString(), d, d2)
+			}
+		}
+	}
+}
+
+func TestComplementSRejectsEndogenousS(t *testing.T) {
+	d := db.New()
+	d.MustAddEndo(db.F("S", "a", "b"))
+	if _, err := ComplementSInstance(d); err == nil {
+		t.Fatal("endogenous S-fact accepted")
+	}
+}
+
+func baseQueryFor(b query.BaseHardQuery) *query.CQ {
+	switch b {
+	case query.BaseRST:
+		return query.MustParse("b() :- R(x), S(x, y), T(y)")
+	case query.BaseNegRSNegT:
+		return query.MustParse("b() :- !R(x), S(x, y), !T(y)")
+	case query.BaseRNegST:
+		return query.MustParse("b() :- R(x), !S(x, y), T(y)")
+	default:
+		return query.MustParse("b() :- R(x), S(x, y), !T(y)")
+	}
+}
+
+func TestEmbedTripletPreservesShapley(t *testing.T) {
+	// Lemma B.4 instances: self-join-free non-hierarchical CQ¬s.
+	targets := []*query.CQ{
+		query.MustParse("t1() :- Stud(x), !TA(x), Reg(x, y), !Course(y, CS)"),
+		query.MustParse("t2() :- A(x), B(x, y), C(y), D(x, y, z)"),
+		query.MustParse("t3() :- A(x), !B(x, y), C(y)"),
+	}
+	rng := rand.New(rand.NewSource(333))
+	for _, target := range targets {
+		tr, base, ok := target.ReductionTriplet()
+		if !ok {
+			t.Fatalf("%s must have a reduction triplet", target)
+		}
+		bq := baseQueryFor(base)
+		for trial := 0; trial < 6; trial++ {
+			d := RandomBaseInstance(rng, 1+rng.Intn(3), 1+rng.Intn(2), 0.6, 0.7)
+			if d.NumEndo() == 0 || d.NumEndo() > 8 {
+				continue
+			}
+			var d2 *db.Database
+			var mapping map[string]db.Fact
+			var err error
+			if base == query.BaseRNegST {
+				// The base instance for qR¬ST assumes a complemented S; the
+				// embedding still consumes the direct instance shape.
+				d2, mapping, err = EmbedTriplet(d, target, tr)
+			} else {
+				d2, mapping, err = EmbedTriplet(d, target, tr)
+			}
+			if err != nil {
+				t.Fatalf("%s: %v", target, err)
+			}
+			if d2.NumEndo() != d.NumEndo() {
+				t.Fatalf("%s: endo count %d vs %d", target, d2.NumEndo(), d.NumEndo())
+			}
+			for _, f := range d.EndoFacts() {
+				img, ok := mapping[f.Key()]
+				if !ok {
+					t.Fatalf("%s: endogenous fact %s has no image", target, f)
+				}
+				a, err := core.BruteForceShapley(d, bq, f)
+				if err != nil {
+					t.Fatal(err)
+				}
+				b, err := core.BruteForceShapley(d2, target, img)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if a.Cmp(b) != 0 {
+					t.Fatalf("%s (base %v): Shapley(%s)=%s but Shapley(%s)=%s\nD:\n%s\nD':\n%s",
+						target, base, f, a.RatString(), img, b.RatString(), d, d2)
+				}
+			}
+		}
+	}
+}
+
+func TestEmbedTripletSelfJoinTheoremB5(t *testing.T) {
+	// ¬R(x), S(x,y), ¬R(y): αx and αy share relation R; base q¬RS¬T.
+	target := query.MustParse("sj() :- !R(x), S(x, y), !R(y)")
+	tr := query.Triplet{AtomX: 0, AtomXY: 1, AtomY: 2, X: "x", Y: "y"}
+	bq := query.MustParse("b() :- !R(x), S(x, y), !T(y)")
+	rng := rand.New(rand.NewSource(444))
+	for trial := 0; trial < 8; trial++ {
+		d := RandomBaseInstance(rng, 1+rng.Intn(3), 1+rng.Intn(2), 0.6, 0.7)
+		if d.NumEndo() == 0 || d.NumEndo() > 8 {
+			continue
+		}
+		d2, mapping, err := EmbedTriplet(d, target, tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, f := range d.EndoFacts() {
+			a, err := core.BruteForceShapley(d, bq, f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := core.BruteForceShapley(d2, target, mapping[f.Key()])
+			if err != nil {
+				t.Fatal(err)
+			}
+			if a.Cmp(b) != 0 {
+				t.Fatalf("Theorem B.5 embedding: Shapley(%s)=%s vs %s\nD:\n%s\nD':\n%s",
+					f, a.RatString(), b.RatString(), d, d2)
+			}
+		}
+	}
+}
+
+func TestEmbedTripletErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	d := RandomBaseInstance(rng, 2, 2, 1.0, 1.0)
+	// Shared domains with shared relation αx = αy.
+	dBad := db.New()
+	dBad.MustAddEndo(db.F("R", "v"))
+	dBad.MustAddEndo(db.F("T", "v"))
+	dBad.MustAddExo(db.F("S", "v", "v"))
+	target := query.MustParse("sj() :- !R(x), S(x, y), !R(y)")
+	tr := query.Triplet{AtomX: 0, AtomXY: 1, AtomY: 2, X: "x", Y: "y"}
+	if _, _, err := EmbedTriplet(dBad, target, tr); err == nil {
+		t.Fatal("shared R/T domain accepted for self-join embedding")
+	}
+	// Endogenous S fact.
+	dBad2 := db.New()
+	dBad2.MustAddEndo(db.F("S", "a", "b"))
+	if _, _, err := EmbedTriplet(dBad2, target, tr); err == nil {
+		t.Fatal("endogenous S accepted")
+	}
+	_ = d
+}

@@ -1,0 +1,82 @@
+package reductions
+
+import (
+	"fmt"
+
+	"repro/internal/graphs"
+	"repro/internal/sat"
+)
+
+// ThreeColorToSAT encodes 3-colorability of g as a (3+,2−)-CNF formula
+// (Lemma D.1, first reduction): variable x_{v,c} (numbered 3v+c+1) says
+// vertex v gets color c; one all-positive 3-clause per vertex forces a
+// color, all-negative 2-clauses forbid monochromatic edges and double
+// colors.
+func ThreeColorToSAT(g *graphs.Graph) (*sat.Formula, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	x := func(v, c int) int { return 3*v + c + 1 }
+	f := &sat.Formula{NumVars: 3 * g.N}
+	for v := 0; v < g.N; v++ {
+		f.Clauses = append(f.Clauses, sat.Clause{sat.Pos(x(v, 0)), sat.Pos(x(v, 1)), sat.Pos(x(v, 2))})
+	}
+	for _, e := range g.Edges {
+		for c := 0; c < 3; c++ {
+			f.Clauses = append(f.Clauses, sat.Clause{sat.Neg(x(e[0], c)), sat.Neg(x(e[1], c))})
+		}
+	}
+	for v := 0; v < g.N; v++ {
+		for c := 0; c < 3; c++ {
+			for c2 := c + 1; c2 < 3; c2++ {
+				f.Clauses = append(f.Clauses, sat.Clause{sat.Neg(x(v, c)), sat.Neg(x(v, c2))})
+			}
+		}
+	}
+	return f, nil
+}
+
+// ColoringFromAssignment decodes a model of ThreeColorToSAT(g) back into a
+// coloring (for verifying the reduction end to end).
+func ColoringFromAssignment(g *graphs.Graph, assignment []bool) []int {
+	colors := make([]int, g.N)
+	for v := 0; v < g.N; v++ {
+		colors[v] = -1
+		for c := 0; c < 3; c++ {
+			if assignment[3*v+c+1] {
+				colors[v] = c
+				break
+			}
+		}
+	}
+	return colors
+}
+
+// ThreePosTwoNegToTwoTwoFour rewrites a (3+,2−)-CNF into an equisatisfiable
+// (2+,2−,4+−)-CNF (Lemma D.1, second reduction): each positive 3-clause
+// (xi∨xj∨xk) becomes (xi∨xj∨¬y∨¬y) ∧ (xk∨y) ∧ (¬xk∨¬y) with a fresh
+// variable y; negative 2-clauses are copied.
+func ThreePosTwoNegToTwoTwoFour(f *sat.Formula) (*sat.Formula, error) {
+	if err := f.Validate(); err != nil {
+		return nil, err
+	}
+	if !f.IsThreePosTwoNeg() {
+		return nil, fmt.Errorf("reductions: formula is not in (3+,2−)-CNF")
+	}
+	out := &sat.Formula{NumVars: f.NumVars}
+	for _, c := range f.Clauses {
+		if len(c) == 2 {
+			out.Clauses = append(out.Clauses, sat.Clause{c[0], c[1]})
+			continue
+		}
+		out.NumVars++
+		y := out.NumVars
+		xi, xj, xk := c[0].Var, c[1].Var, c[2].Var
+		out.Clauses = append(out.Clauses,
+			sat.Clause{sat.Pos(xi), sat.Pos(xj), sat.Neg(y), sat.Neg(y)},
+			sat.Clause{sat.Pos(xk), sat.Pos(y)},
+			sat.Clause{sat.Neg(xk), sat.Neg(y)},
+		)
+	}
+	return out, nil
+}

@@ -1,0 +1,308 @@
+// Package relevance implements the paper's §5.2 notion of relevance of a
+// fact to a query — whether adding f can ever change the query answer given
+// the exogenous facts and some subset of the endogenous facts — and the
+// polynomial-time decision procedures IsPosRelevant / IsNegRelevant
+// (Algorithms 2 and 3) for polarity-consistent CQ¬s, together with their
+// extension to polarity-consistent UCQ¬s and an exponential brute-force
+// oracle used for validation.
+//
+// For a fact over a polarity-consistent relation symbol, relevance coincides
+// with the Shapley value being nonzero, which is why these procedures decide
+// Shapley zeroness (and bound multiplicative approximability) in §5.
+package relevance
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/db"
+	"repro/internal/query"
+)
+
+// ErrNotPolarityConsistent is returned when Algorithms 2/3 are applied to a
+// query with a relation occurring both positively and negatively.
+var ErrNotPolarityConsistent = errors.New("relevance: query is not polarity consistent")
+
+// ErrNotEndogenous mirrors core.ErrNotEndogenous for this package.
+var ErrNotEndogenous = errors.New("relevance: fact is not an endogenous fact of the database")
+
+// maxBruteForcePlayers caps the exponential oracle.
+const maxBruteForcePlayers = 22
+
+// IsRelevantBrute decides relevance by enumerating all subsets
+// E ⊆ Dn \ {f} and testing q(Dx ∪ E) ≠ q(Dx ∪ E ∪ {f}) (Definition 5.2).
+// It works for any Boolean query.
+func IsRelevantBrute(d *db.Database, q query.BooleanQuery, f db.Fact) (bool, error) {
+	pos, neg, err := relevantBrute(d, q, f)
+	return pos || neg, err
+}
+
+// IsPosRelevantBrute decides positive relevance (f can flip false→true).
+func IsPosRelevantBrute(d *db.Database, q query.BooleanQuery, f db.Fact) (bool, error) {
+	pos, _, err := relevantBrute(d, q, f)
+	return pos, err
+}
+
+// IsNegRelevantBrute decides negative relevance (f can flip true→false).
+func IsNegRelevantBrute(d *db.Database, q query.BooleanQuery, f db.Fact) (bool, error) {
+	_, neg, err := relevantBrute(d, q, f)
+	return neg, err
+}
+
+func relevantBrute(d *db.Database, q query.BooleanQuery, f db.Fact) (pos, neg bool, err error) {
+	if !d.IsEndogenous(f) {
+		return false, false, fmt.Errorf("%w: %s", ErrNotEndogenous, f)
+	}
+	var others []db.Fact
+	for _, e := range d.EndoFacts() {
+		if e.Key() != f.Key() {
+			others = append(others, e)
+		}
+	}
+	if len(others) > maxBruteForcePlayers {
+		return false, false, fmt.Errorf("relevance: %d endogenous facts exceed the brute-force limit", len(others)+1)
+	}
+	dx := d.Restrict(func(_ db.Fact, endo bool) bool { return !endo })
+	for mask := 0; mask < 1<<uint(len(others)); mask++ {
+		sub := dx.Clone()
+		for i, e := range others {
+			if mask&(1<<uint(i)) != 0 {
+				sub.MustAddEndo(e)
+			}
+		}
+		without := q.Eval(sub)
+		sub.MustAddEndo(f)
+		with := q.Eval(sub)
+		if with && !without {
+			pos = true
+		}
+		if !with && without {
+			neg = true
+		}
+		if pos && neg {
+			return pos, neg, nil
+		}
+	}
+	return pos, neg, nil
+}
+
+// IsPosRelevant implements Algorithm 2: it decides in polynomial time (data
+// complexity) whether f is positively relevant to the polarity-consistent
+// CQ¬ q. It enumerates the assignments h that embed the positive atoms of q
+// into D with f among the images, and tests whether the rest of the witness
+// subset can be completed:
+//
+//	(Dx ∪ (P \ {f}) ∪ (Neg_q(Dn) \ N)) ⊭ q,
+//
+// where P and N are the endogenous facts h assigns to positive and negative
+// atoms. Polarity consistency makes adding all of Neg_q(Dn) \ N the hardest
+// completion, so one test per h suffices (Lemma D.2).
+func IsPosRelevant(d *db.Database, q *query.CQ, f db.Fact) (bool, error) {
+	return relevantPoly(d, q, f, true)
+}
+
+// IsNegRelevant implements Algorithm 3: whether f is negatively relevant to
+// the polarity-consistent CQ¬ q. Here h must avoid f among the positive
+// images and the test adds f to the witness set:
+//
+//	(Dx ∪ P ∪ (Neg_q(Dn) \ N) ∪ {f}) ⊭ q  (Lemma D.3).
+func IsNegRelevant(d *db.Database, q *query.CQ, f db.Fact) (bool, error) {
+	return relevantPoly(d, q, f, false)
+}
+
+// IsRelevant combines Algorithms 2 and 3.
+func IsRelevant(d *db.Database, q *query.CQ, f db.Fact) (bool, error) {
+	pos, err := IsPosRelevant(d, q, f)
+	if err != nil {
+		return false, err
+	}
+	if pos {
+		return true, nil
+	}
+	return IsNegRelevant(d, q, f)
+}
+
+// ShapleyNonZero decides whether Shapley(D, q, f) ≠ 0 for a
+// polarity-consistent CQ¬ in polynomial time (Proposition 5.7): for such
+// queries a fact is relevant iff its Shapley value is nonzero.
+func ShapleyNonZero(d *db.Database, q *query.CQ, f db.Fact) (bool, error) {
+	return IsRelevant(d, q, f)
+}
+
+func relevantPoly(d *db.Database, q *query.CQ, f db.Fact, positive bool) (bool, error) {
+	if err := q.Validate(); err != nil {
+		return false, err
+	}
+	if !q.IsPolarityConsistent() {
+		return false, fmt.Errorf("%w: %s (relations %v)", ErrNotPolarityConsistent, q.Name(), q.PolarityInconsistentRels())
+	}
+	if !d.IsEndogenous(f) {
+		return false, fmt.Errorf("%w: %s", ErrNotEndogenous, f)
+	}
+	dx := d.Restrict(func(_ db.Fact, endo bool) bool { return !endo })
+	negEndo := negEndoFacts(d, q.NegativeRels())
+	found := false
+	forEachCandidate(d, q, func(P, N map[string]db.Fact) bool {
+		_, fInP := P[f.Key()]
+		if positive != fInP {
+			return true // continue
+		}
+		test := dx.Clone()
+		for k, fact := range P {
+			if positive && k == f.Key() {
+				continue
+			}
+			test.MustAddEndo(fact)
+		}
+		for k, fact := range negEndo {
+			if _, inN := N[k]; !inN {
+				if !test.Contains(fact) {
+					test.MustAddEndo(fact)
+				}
+			}
+		}
+		if !positive {
+			if !test.Contains(f) {
+				test.MustAddEndo(f)
+			}
+		}
+		if !q.Eval(test) {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found, nil
+}
+
+// negEndoFacts returns Neg_q(Dn): the endogenous facts over relations that
+// occur in negated atoms, keyed by fact key.
+func negEndoFacts(d *db.Database, negRels []string) map[string]db.Fact {
+	rels := make(map[string]bool, len(negRels))
+	for _, r := range negRels {
+		rels[r] = true
+	}
+	out := make(map[string]db.Fact)
+	for _, f := range d.EndoFacts() {
+		if rels[f.Rel] {
+			out[f.Key()] = f
+		}
+	}
+	return out
+}
+
+// forEachCandidate enumerates the assignments h of Algorithms 2/3: every
+// mapping of Vars(q) embedding all positive atoms into D whose negative-atom
+// images avoid Dx. For each it reports the endogenous positive images P and
+// endogenous negative images N (keyed by fact key). fn returns false to stop.
+func forEachCandidate(d *db.Database, q *query.CQ, fn func(P, N map[string]db.Fact) bool) {
+	posPart := q.SubQuery(q.Positive())
+	// Ground negative atoms are constants under every h; a ground negative
+	// atom in Dx disqualifies all assignments.
+	dxHit := false
+	for _, i := range q.Negative() {
+		if a := q.Atoms[i]; a.IsGround() {
+			if fact := a.GroundFact(); d.IsExogenous(fact) {
+				dxHit = true
+			}
+		}
+	}
+	if dxHit {
+		return
+	}
+	posPart.ForEachHomomorphism(d, func(b query.Binding) bool {
+		P := make(map[string]db.Fact)
+		N := make(map[string]db.Fact)
+		for _, i := range q.Positive() {
+			img := query.Instantiate(q.Atoms[i], b)
+			if d.IsEndogenous(img) {
+				P[img.Key()] = img
+			}
+		}
+		for _, i := range q.Negative() {
+			img := query.Instantiate(q.Atoms[i], b)
+			if d.IsExogenous(img) {
+				return true // h maps a negated atom into Dx: not a candidate
+			}
+			if d.IsEndogenous(img) {
+				N[img.Key()] = img
+			}
+		}
+		return fn(P, N)
+	})
+}
+
+// --- polarity-consistent UCQ¬ relevance (§5.2, closing discussion) ---
+
+// IsPosRelevantUCQ decides positive relevance to a polarity-consistent
+// UCQ¬ u in polynomial time: f is positively relevant iff some disjunct has
+// an assignment h with f among its positive images whose completion
+// E = (P \ {f}) ∪ (Neg_u(Dn) \ N) falsifies the whole union. Neg_u ranges
+// over relations negated in any disjunct.
+func IsPosRelevantUCQ(d *db.Database, u *query.UCQ, f db.Fact) (bool, error) {
+	return relevantPolyUCQ(d, u, f, true)
+}
+
+// IsNegRelevantUCQ is the negative counterpart.
+func IsNegRelevantUCQ(d *db.Database, u *query.UCQ, f db.Fact) (bool, error) {
+	return relevantPolyUCQ(d, u, f, false)
+}
+
+// IsRelevantUCQ combines both directions.
+func IsRelevantUCQ(d *db.Database, u *query.UCQ, f db.Fact) (bool, error) {
+	pos, err := IsPosRelevantUCQ(d, u, f)
+	if err != nil {
+		return false, err
+	}
+	if pos {
+		return true, nil
+	}
+	return IsNegRelevantUCQ(d, u, f)
+}
+
+func relevantPolyUCQ(d *db.Database, u *query.UCQ, f db.Fact, positive bool) (bool, error) {
+	if err := u.Validate(); err != nil {
+		return false, err
+	}
+	if !u.IsPolarityConsistent() {
+		return false, fmt.Errorf("%w: union %s", ErrNotPolarityConsistent, u.Label)
+	}
+	if !d.IsEndogenous(f) {
+		return false, fmt.Errorf("%w: %s", ErrNotEndogenous, f)
+	}
+	dx := d.Restrict(func(_ db.Fact, endo bool) bool { return !endo })
+	negEndo := negEndoFacts(d, u.NegativeRels())
+	for _, disjunct := range u.Disjuncts {
+		found := false
+		forEachCandidate(d, disjunct, func(P, N map[string]db.Fact) bool {
+			_, fInP := P[f.Key()]
+			if positive != fInP {
+				return true
+			}
+			test := dx.Clone()
+			for k, fact := range P {
+				if positive && k == f.Key() {
+					continue
+				}
+				test.MustAddEndo(fact)
+			}
+			for k, fact := range negEndo {
+				if _, inN := N[k]; !inN && !test.Contains(fact) {
+					test.MustAddEndo(fact)
+				}
+			}
+			if !positive && !test.Contains(f) {
+				test.MustAddEndo(f)
+			}
+			if !u.Eval(test) {
+				found = true
+				return false
+			}
+			return true
+		})
+		if found {
+			return true, nil
+		}
+	}
+	return false, nil
+}

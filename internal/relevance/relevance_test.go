@@ -1,0 +1,300 @@
+package relevance
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"repro/internal/db"
+	"repro/internal/query"
+)
+
+func runningExample() *db.Database {
+	return db.MustParse(`
+exo  Stud(Adam)
+exo  Stud(Ben)
+exo  Stud(Caroline)
+exo  Stud(David)
+endo TA(Adam)
+endo TA(Ben)
+endo TA(David)
+exo  Course(OS, EE)
+exo  Course(IC, EE)
+exo  Course(DB, CS)
+exo  Course(AI, CS)
+endo Reg(Adam, OS)
+endo Reg(Adam, AI)
+endo Reg(Ben, OS)
+endo Reg(Caroline, DB)
+endo Reg(Caroline, IC)
+exo  Adv(Michael, Adam)
+exo  Adv(Michael, Ben)
+exo  Adv(Naomi, Caroline)
+exo  Adv(Michael, David)
+`)
+}
+
+var q1 = query.MustParse("q1() :- Stud(x), !TA(x), Reg(x, y)")
+
+func TestRunningExampleRelevance(t *testing.T) {
+	d := runningExample()
+	// TA(David) is irrelevant (David never registered); everything else is
+	// relevant — exactly the facts with nonzero Shapley value in Example 2.3.
+	cases := map[string]bool{
+		"TA(Adam)":         true,
+		"TA(Ben)":          true,
+		"TA(David)":        false,
+		"Reg(Adam,OS)":     true,
+		"Reg(Adam,AI)":     true,
+		"Reg(Ben,OS)":      true,
+		"Reg(Caroline,DB)": true,
+		"Reg(Caroline,IC)": true,
+	}
+	for key, want := range cases {
+		f, _ := db.ParseFact(key)
+		got, err := IsRelevant(d, q1, f)
+		if err != nil {
+			t.Fatalf("%s: %v", key, err)
+		}
+		if got != want {
+			t.Errorf("IsRelevant(%s) = %v, want %v", key, got, want)
+		}
+		brute, err := IsRelevantBrute(d, q1, f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if brute != want {
+			t.Errorf("IsRelevantBrute(%s) = %v, want %v", key, brute, want)
+		}
+	}
+}
+
+func TestPolarityOfRelevanceMatchesAtomPolarity(t *testing.T) {
+	d := runningExample()
+	// Reg facts can only be positively relevant, TA facts only negatively.
+	pos, err := IsPosRelevant(d, q1, db.F("Reg", "Caroline", "DB"))
+	if err != nil || !pos {
+		t.Fatalf("Reg(Caroline,DB) positively relevant: got %v, %v", pos, err)
+	}
+	neg, err := IsNegRelevant(d, q1, db.F("Reg", "Caroline", "DB"))
+	if err != nil || neg {
+		t.Fatalf("Reg(Caroline,DB) must not be negatively relevant: got %v, %v", neg, err)
+	}
+	neg, err = IsNegRelevant(d, q1, db.F("TA", "Adam"))
+	if err != nil || !neg {
+		t.Fatalf("TA(Adam) negatively relevant: got %v, %v", neg, err)
+	}
+	pos, err = IsPosRelevant(d, q1, db.F("TA", "Adam"))
+	if err != nil || pos {
+		t.Fatalf("TA(Adam) must not be positively relevant: got %v, %v", pos, err)
+	}
+}
+
+func randomInstance(rng *rand.Rand, q *query.CQ, domSize, perRel int) *db.Database {
+	d := db.New()
+	dom := make([]db.Const, domSize)
+	for i := range dom {
+		dom[i] = db.Const(string(rune('a' + i)))
+	}
+	arity := make(map[string]int)
+	for _, a := range q.Atoms {
+		arity[a.Rel] = len(a.Args)
+	}
+	for _, rel := range q.Relations() {
+		for i := 0; i < perRel; i++ {
+			args := make([]db.Const, arity[rel])
+			for j := range args {
+				args[j] = dom[rng.Intn(domSize)]
+			}
+			f := db.Fact{Rel: rel, Args: args}
+			if d.Contains(f) {
+				continue
+			}
+			d.MustAdd(f, rng.Intn(3) > 0)
+		}
+	}
+	return d
+}
+
+var polarityConsistentQueries = []*query.CQ{
+	query.MustParse("p1() :- Stud(x), !TA(x), Reg(x, y)"),
+	query.MustParse("p2() :- R(x), S(x, y), !T(y)"),
+	query.MustParse("p3() :- R(x), !S(x, y), T(y)"),
+	query.MustParse("p4() :- !R(x), S(x, y), !T(y)"),
+	// Self-joins are fine for the relevance algorithms as long as polarity
+	// is consistent (e.g. q3 of Example 2.2).
+	query.MustParse("p5() :- Adv(x, y), Adv(x, z), !TA(y), !TA(z), Reg(y, A), Reg(z, B)"),
+	query.MustParse("p6() :- R(x, y), R(y, x), !S(x)"),
+}
+
+func TestPolyRelevanceAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(101))
+	for _, q := range polarityConsistentQueries {
+		for trial := 0; trial < 10; trial++ {
+			d := randomInstance(rng, q, 3, 3)
+			if d.NumEndo() == 0 || d.NumEndo() > 12 {
+				continue
+			}
+			for _, f := range d.EndoFacts() {
+				fastPos, err := IsPosRelevant(d, q, f)
+				if err != nil {
+					t.Fatalf("%s: %v", q, err)
+				}
+				slowPos, err := IsPosRelevantBrute(d, q, f)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if fastPos != slowPos {
+					t.Fatalf("%s: IsPosRelevant(%s) = %v, brute %v\nDB:\n%s", q, f, fastPos, slowPos, d)
+				}
+				fastNeg, err := IsNegRelevant(d, q, f)
+				if err != nil {
+					t.Fatal(err)
+				}
+				slowNeg, err := IsNegRelevantBrute(d, q, f)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if fastNeg != slowNeg {
+					t.Fatalf("%s: IsNegRelevant(%s) = %v, brute %v\nDB:\n%s", q, f, fastNeg, slowNeg, d)
+				}
+			}
+		}
+	}
+}
+
+func TestExample53BothDirections(t *testing.T) {
+	// R(1,2) is positively relevant (E = ∅) and negatively relevant
+	// (E = {R(2,1)}), so its Shapley value is 0 despite relevance.
+	q := query.MustParse("q() :- R(x, y), !R(y, x)")
+	d := db.New()
+	d.MustAddEndo(db.F("R", "1", "2"))
+	d.MustAddEndo(db.F("R", "2", "1"))
+	f := db.F("R", "1", "2")
+	pos, err := IsPosRelevantBrute(d, q, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	neg, err := IsNegRelevantBrute(d, q, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pos || !neg {
+		t.Fatalf("Example 5.3: pos=%v neg=%v, want both true", pos, neg)
+	}
+	// The polynomial algorithms refuse: q is not polarity consistent.
+	if _, err := IsPosRelevant(d, q, f); !errors.Is(err, ErrNotPolarityConsistent) {
+		t.Fatalf("want ErrNotPolarityConsistent, got %v", err)
+	}
+}
+
+func TestRelevanceErrors(t *testing.T) {
+	d := runningExample()
+	if _, err := IsPosRelevant(d, q1, db.F("Stud", "Adam")); !errors.Is(err, ErrNotEndogenous) {
+		t.Fatalf("want ErrNotEndogenous, got %v", err)
+	}
+	if _, err := IsRelevantBrute(d, q1, db.F("Stud", "Adam")); !errors.Is(err, ErrNotEndogenous) {
+		t.Fatalf("want ErrNotEndogenous, got %v", err)
+	}
+}
+
+// --- UCQ relevance ---
+
+func TestUCQRelevancePolarityConsistent(t *testing.T) {
+	// A polarity-consistent union: both disjuncts negate only T.
+	u := query.MustParseUCQ(`
+qa() :- R(x), !T(x)
+qb() :- S(x, y), !T(y)`)
+	if !u.IsPolarityConsistent() {
+		t.Fatal("fixture must be polarity consistent")
+	}
+	rng := rand.New(rand.NewSource(202))
+	cq := query.MustParse("all() :- R(x), S(x, y), T(y)") // just for instance generation
+	for trial := 0; trial < 12; trial++ {
+		d := randomInstance(rng, cq, 3, 3)
+		if d.NumEndo() == 0 || d.NumEndo() > 12 {
+			continue
+		}
+		for _, f := range d.EndoFacts() {
+			fast, err := IsRelevantUCQ(d, u, f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			slow, err := IsRelevantBrute(d, u, f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if fast != slow {
+				t.Fatalf("IsRelevantUCQ(%s) = %v, brute %v\nDB:\n%s", f, fast, slow, d)
+			}
+			fastPos, err := IsPosRelevantUCQ(d, u, f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			slowPos, err := IsPosRelevantBrute(d, u, f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if fastPos != slowPos {
+				t.Fatalf("IsPosRelevantUCQ(%s) = %v, brute %v\nDB:\n%s", f, fastPos, slowPos, d)
+			}
+		}
+	}
+}
+
+func TestUCQRelevanceRejectsInconsistentUnion(t *testing.T) {
+	// qSAT's shape: T positive in one disjunct, negative in another.
+	u := query.MustParseUCQ(`
+qa() :- T(x, y)
+qb() :- V(x), !T(x, x)`)
+	d := db.New()
+	d.MustAddEndo(db.F("T", "a", "a"))
+	d.MustAddExo(db.F("V", "a"))
+	if _, err := IsRelevantUCQ(d, u, db.F("T", "a", "a")); !errors.Is(err, ErrNotPolarityConsistent) {
+		t.Fatalf("want ErrNotPolarityConsistent, got %v", err)
+	}
+}
+
+func TestGroundNegativeDisqualifier(t *testing.T) {
+	// A ground negated atom that is an exogenous fact blocks all candidates.
+	q := query.MustParse("q() :- R(x), !S(0)")
+	d := db.New()
+	d.MustAddEndo(db.F("R", "a"))
+	d.MustAddExo(db.F("S", "0"))
+	rel, err := IsRelevant(d, q, db.F("R", "a"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel {
+		t.Fatal("S(0) exogenous: R(a) can never flip the answer")
+	}
+	// With S(0) endogenous instead, R(a) is relevant (choose E without S(0)).
+	d2 := db.New()
+	d2.MustAddEndo(db.F("R", "a"))
+	d2.MustAddEndo(db.F("S", "0"))
+	rel, err = IsRelevant(d2, q, db.F("R", "a"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rel {
+		t.Fatal("S(0) endogenous: R(a) is relevant")
+	}
+}
+
+func TestShapleyNonZeroMatchesRelevance(t *testing.T) {
+	d := runningExample()
+	nz, err := ShapleyNonZero(d, q1, db.F("TA", "David"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nz {
+		t.Fatal("TA(David) has Shapley value 0")
+	}
+	nz, err = ShapleyNonZero(d, q1, db.F("TA", "Adam"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !nz {
+		t.Fatal("TA(Adam) has Shapley value −3/28 ≠ 0")
+	}
+}

@@ -1,0 +1,336 @@
+// Package sat provides the propositional-logic substrate used by the
+// paper's hardness reductions (§5.2, Appendix D): CNF formulas, a DPLL
+// solver with unit propagation, a brute-force solver for cross-validation,
+// recognizers for the special clause forms the paper reduces between
+// ((3+,2−)-CNF and (2+,2−,4+−)-CNF), and random formula generators.
+package sat
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+)
+
+// Literal is a possibly negated propositional variable. Variables are
+// numbered 1..NumVars.
+type Literal struct {
+	Var int
+	Neg bool
+}
+
+// Pos returns a positive literal.
+func Pos(v int) Literal { return Literal{Var: v} }
+
+// Neg returns a negative literal.
+func Neg(v int) Literal { return Literal{Var: v, Neg: true} }
+
+// String renders the literal as x3 or ¬x3.
+func (l Literal) String() string {
+	if l.Neg {
+		return fmt.Sprintf("!x%d", l.Var)
+	}
+	return fmt.Sprintf("x%d", l.Var)
+}
+
+// Clause is a disjunction of literals.
+type Clause []Literal
+
+// String renders (l1 | l2 | ...).
+func (c Clause) String() string {
+	parts := make([]string, len(c))
+	for i, l := range c {
+		parts[i] = l.String()
+	}
+	return "(" + strings.Join(parts, " | ") + ")"
+}
+
+// Formula is a CNF formula.
+type Formula struct {
+	NumVars int
+	Clauses []Clause
+}
+
+// Validate checks variable indices.
+func (f *Formula) Validate() error {
+	if f.NumVars < 0 {
+		return fmt.Errorf("sat: negative variable count")
+	}
+	for _, c := range f.Clauses {
+		if len(c) == 0 {
+			return fmt.Errorf("sat: empty clause")
+		}
+		for _, l := range c {
+			if l.Var < 1 || l.Var > f.NumVars {
+				return fmt.Errorf("sat: literal %s out of range 1..%d", l, f.NumVars)
+			}
+		}
+	}
+	return nil
+}
+
+// String renders the conjunction.
+func (f *Formula) String() string {
+	parts := make([]string, len(f.Clauses))
+	for i, c := range f.Clauses {
+		parts[i] = c.String()
+	}
+	return strings.Join(parts, " & ")
+}
+
+// Eval evaluates the formula under assignment (indexed 1..NumVars;
+// assignment[0] is ignored).
+func (f *Formula) Eval(assignment []bool) bool {
+	for _, c := range f.Clauses {
+		ok := false
+		for _, l := range c {
+			if assignment[l.Var] != l.Neg {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// SolveBrute finds a satisfying assignment by exhaustive search (for
+// cross-validating Solve); nil if unsatisfiable.
+func (f *Formula) SolveBrute() []bool {
+	if f.NumVars > 24 {
+		panic("sat: SolveBrute limited to 24 variables")
+	}
+	assignment := make([]bool, f.NumVars+1)
+	for mask := 0; mask < 1<<uint(f.NumVars); mask++ {
+		for v := 1; v <= f.NumVars; v++ {
+			assignment[v] = mask&(1<<uint(v-1)) != 0
+		}
+		if f.Eval(assignment) {
+			out := make([]bool, f.NumVars+1)
+			copy(out, assignment)
+			return out
+		}
+	}
+	return nil
+}
+
+// value is the tri-state of a variable during DPLL.
+type value int8
+
+const (
+	unset value = iota
+	vTrue
+	vFalse
+)
+
+// Solve runs DPLL with unit propagation and pure-literal-free branching.
+// It returns a satisfying assignment (indexed 1..NumVars) or nil.
+func (f *Formula) Solve() []bool {
+	vals := make([]value, f.NumVars+1)
+	if !dpll(f, vals) {
+		return nil
+	}
+	out := make([]bool, f.NumVars+1)
+	for v := 1; v <= f.NumVars; v++ {
+		out[v] = vals[v] == vTrue
+	}
+	return out
+}
+
+// Satisfiable reports whether the formula has a model.
+func (f *Formula) Satisfiable() bool { return f.Solve() != nil }
+
+func dpll(f *Formula, vals []value) bool {
+	// Unit propagation to a fixed point.
+	var trail []int
+	assign := func(v int, b bool) {
+		if b {
+			vals[v] = vTrue
+		} else {
+			vals[v] = vFalse
+		}
+		trail = append(trail, v)
+	}
+	undo := func() {
+		for _, v := range trail {
+			vals[v] = unset
+		}
+	}
+	for {
+		progress := false
+		for _, c := range f.Clauses {
+			satisfied := false
+			var unit *Literal
+			unassigned := 0
+			for i := range c {
+				l := c[i]
+				switch vals[l.Var] {
+				case unset:
+					unassigned++
+					unit = &c[i]
+				case vTrue:
+					if !l.Neg {
+						satisfied = true
+					}
+				case vFalse:
+					if l.Neg {
+						satisfied = true
+					}
+				}
+				if satisfied {
+					break
+				}
+			}
+			if satisfied {
+				continue
+			}
+			if unassigned == 0 {
+				undo()
+				return false // conflict
+			}
+			if unassigned == 1 {
+				assign(unit.Var, !unit.Neg)
+				progress = true
+			}
+		}
+		if !progress {
+			break
+		}
+	}
+	// Pick a branching variable.
+	branch := 0
+	for v := 1; v <= f.NumVars; v++ {
+		if vals[v] == unset {
+			branch = v
+			break
+		}
+	}
+	if branch == 0 {
+		// All assigned; clauses checked during propagation, but a clause
+		// might have been fully assigned satisfied — re-verify cheaply.
+		assignment := make([]bool, f.NumVars+1)
+		for v := 1; v <= f.NumVars; v++ {
+			assignment[v] = vals[v] == vTrue
+		}
+		if f.Eval(assignment) {
+			return true
+		}
+		undo()
+		return false
+	}
+	for _, b := range []bool{true, false} {
+		if b {
+			vals[branch] = vTrue
+		} else {
+			vals[branch] = vFalse
+		}
+		if dpll(f, vals) {
+			return true
+		}
+		vals[branch] = unset
+	}
+	undo()
+	return false
+}
+
+// Is3CNF reports whether every clause has exactly three literals.
+func (f *Formula) Is3CNF() bool {
+	for _, c := range f.Clauses {
+		if len(c) != 3 {
+			return false
+		}
+	}
+	return true
+}
+
+// IsThreePosTwoNeg reports whether the formula is a (3+,2−)-CNF: every
+// clause is either three positive literals or two negative literals.
+func (f *Formula) IsThreePosTwoNeg() bool {
+	for _, c := range f.Clauses {
+		switch {
+		case len(c) == 3 && !c[0].Neg && !c[1].Neg && !c[2].Neg:
+		case len(c) == 2 && c[0].Neg && c[1].Neg:
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// IsTwoTwoFour reports whether the formula is a (2+,2−,4+−)-CNF: every
+// clause is (x∨y), (¬x∨¬y), or (x∨y∨¬z∨¬w). Repeated literals are allowed
+// (the Lemma D.1 reduction emits (xi∨xj∨¬y∨¬y)).
+func (f *Formula) IsTwoTwoFour() bool {
+	for _, c := range f.Clauses {
+		switch {
+		case len(c) == 2 && !c[0].Neg && !c[1].Neg:
+		case len(c) == 2 && c[0].Neg && c[1].Neg:
+		case len(c) == 4 && !c[0].Neg && !c[1].Neg && c[2].Neg && c[3].Neg:
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// HasPositiveTwoClause reports whether some clause is of the form (x∨y);
+// Proposition 5.5's reduction assumes one exists (otherwise the all-false
+// assignment satisfies every (2+,2−,4+−)-CNF).
+func (f *Formula) HasPositiveTwoClause() bool {
+	for _, c := range f.Clauses {
+		if len(c) == 2 && !c[0].Neg && !c[1].Neg {
+			return true
+		}
+	}
+	return false
+}
+
+// Vars returns the sorted distinct variables mentioned by the formula.
+func (f *Formula) Vars() []int {
+	seen := make(map[int]bool)
+	for _, c := range f.Clauses {
+		for _, l := range c {
+			seen[l.Var] = true
+		}
+	}
+	out := make([]int, 0, len(seen))
+	for v := range seen {
+		out = append(out, v)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Random3CNF generates a random 3CNF formula with the given shape.
+func Random3CNF(rng *rand.Rand, numVars, numClauses int) *Formula {
+	f := &Formula{NumVars: numVars}
+	for i := 0; i < numClauses; i++ {
+		c := make(Clause, 3)
+		for j := range c {
+			c[j] = Literal{Var: rng.Intn(numVars) + 1, Neg: rng.Intn(2) == 0}
+		}
+		f.Clauses = append(f.Clauses, c)
+	}
+	return f
+}
+
+// RandomTwoTwoFour generates a random (2+,2−,4+−)-CNF formula containing at
+// least one positive 2-clause.
+func RandomTwoTwoFour(rng *rand.Rand, numVars, numClauses int) *Formula {
+	f := &Formula{NumVars: numVars}
+	v := func() int { return rng.Intn(numVars) + 1 }
+	f.Clauses = append(f.Clauses, Clause{Pos(v()), Pos(v())})
+	for len(f.Clauses) < numClauses {
+		switch rng.Intn(3) {
+		case 0:
+			f.Clauses = append(f.Clauses, Clause{Pos(v()), Pos(v())})
+		case 1:
+			f.Clauses = append(f.Clauses, Clause{Neg(v()), Neg(v())})
+		default:
+			f.Clauses = append(f.Clauses, Clause{Pos(v()), Pos(v()), Neg(v()), Neg(v())})
+		}
+	}
+	return f
+}

@@ -1,0 +1,187 @@
+package sat
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestEvalBasics(t *testing.T) {
+	// (x1 | !x2) & (x2 | x3)
+	f := &Formula{NumVars: 3, Clauses: []Clause{
+		{Pos(1), Neg(2)},
+		{Pos(2), Pos(3)},
+	}}
+	if err := f.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		a    []bool
+		want bool
+	}{
+		{[]bool{false, true, false, false}, false}, // x1 only: second clause fails
+		{[]bool{false, true, true, false}, true},   // x1, x2
+		{[]bool{false, false, false, true}, true},  // x3 only
+		{[]bool{false, false, true, false}, false}, // x2 only: first clause fails
+	}
+	for _, c := range cases {
+		if got := f.Eval(c.a); got != c.want {
+			t.Errorf("Eval(%v) = %v, want %v", c.a, got, c.want)
+		}
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	bad := []*Formula{
+		{NumVars: 1, Clauses: []Clause{{}}},
+		{NumVars: 1, Clauses: []Clause{{Pos(2)}}},
+		{NumVars: 1, Clauses: []Clause{{Pos(0)}}},
+		{NumVars: -1},
+	}
+	for i, f := range bad {
+		if err := f.Validate(); err == nil {
+			t.Errorf("formula %d should fail validation", i)
+		}
+	}
+}
+
+func TestSolveSatisfiable(t *testing.T) {
+	f := &Formula{NumVars: 3, Clauses: []Clause{
+		{Pos(1), Pos(2)},
+		{Neg(1), Pos(3)},
+		{Neg(2), Neg(3)},
+	}}
+	a := f.Solve()
+	if a == nil {
+		t.Fatal("formula is satisfiable")
+	}
+	if !f.Eval(a) {
+		t.Fatalf("returned assignment %v does not satisfy the formula", a)
+	}
+}
+
+func TestSolveUnsatisfiable(t *testing.T) {
+	// x1 & !x1
+	f := &Formula{NumVars: 1, Clauses: []Clause{{Pos(1)}, {Neg(1)}}}
+	if f.Solve() != nil {
+		t.Fatal("x ∧ ¬x is unsatisfiable")
+	}
+	// Pigeonhole-ish: x1|x2, !x1|x2, x1|!x2, !x1|!x2.
+	f = &Formula{NumVars: 2, Clauses: []Clause{
+		{Pos(1), Pos(2)}, {Neg(1), Pos(2)}, {Pos(1), Neg(2)}, {Neg(1), Neg(2)},
+	}}
+	if f.Satisfiable() {
+		t.Fatal("all four 2-clauses over two variables are unsatisfiable")
+	}
+}
+
+func TestSolveAgainstBruteForceRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 200; trial++ {
+		f := Random3CNF(rng, 3+rng.Intn(6), 2+rng.Intn(12))
+		fast := f.Solve()
+		slow := f.SolveBrute()
+		if (fast == nil) != (slow == nil) {
+			t.Fatalf("DPLL sat=%v brute sat=%v for %s", fast != nil, slow != nil, f)
+		}
+		if fast != nil && !f.Eval(fast) {
+			t.Fatalf("DPLL returned non-model %v for %s", fast, f)
+		}
+	}
+}
+
+func TestSolveTwoTwoFourRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 200; trial++ {
+		f := RandomTwoTwoFour(rng, 3+rng.Intn(5), 2+rng.Intn(10))
+		if !f.IsTwoTwoFour() {
+			t.Fatalf("generator produced non-(2+,2−,4+−) formula %s", f)
+		}
+		if !f.HasPositiveTwoClause() {
+			t.Fatalf("generator must include a positive 2-clause: %s", f)
+		}
+		fast := f.Solve()
+		slow := f.SolveBrute()
+		if (fast == nil) != (slow == nil) {
+			t.Fatalf("DPLL sat=%v brute sat=%v for %s", fast != nil, slow != nil, f)
+		}
+	}
+}
+
+func TestFormRecognizers(t *testing.T) {
+	three := &Formula{NumVars: 3, Clauses: []Clause{{Pos(1), Pos(2), Pos(3)}}}
+	if !three.Is3CNF() || !three.IsThreePosTwoNeg() {
+		t.Fatal("all-positive 3-clause misclassified")
+	}
+	mixed := &Formula{NumVars: 3, Clauses: []Clause{{Pos(1), Neg(2), Pos(3)}}}
+	if !mixed.Is3CNF() || mixed.IsThreePosTwoNeg() {
+		t.Fatal("mixed 3-clause misclassified")
+	}
+	ttf := &Formula{NumVars: 4, Clauses: []Clause{
+		{Pos(1), Pos(2)},
+		{Neg(1), Neg(3)},
+		{Pos(3), Pos(4), Neg(1), Neg(2)},
+	}}
+	if !ttf.IsTwoTwoFour() {
+		t.Fatal("(2+,2−,4+−) formula misclassified")
+	}
+	notTTF := &Formula{NumVars: 2, Clauses: []Clause{{Pos(1), Neg(2)}}}
+	if notTTF.IsTwoTwoFour() {
+		t.Fatal("mixed 2-clause accepted as (2+,2−,4+−)")
+	}
+	if !ttf.HasPositiveTwoClause() {
+		t.Fatal("positive 2-clause not found")
+	}
+	onlyNeg := &Formula{NumVars: 2, Clauses: []Clause{{Neg(1), Neg(2)}}}
+	if onlyNeg.HasPositiveTwoClause() {
+		t.Fatal("phantom positive 2-clause")
+	}
+}
+
+func TestVars(t *testing.T) {
+	f := &Formula{NumVars: 9, Clauses: []Clause{{Pos(7), Neg(2)}, {Pos(2), Pos(5)}}}
+	vs := f.Vars()
+	want := []int{2, 5, 7}
+	if len(vs) != len(want) {
+		t.Fatalf("Vars = %v", vs)
+	}
+	for i := range want {
+		if vs[i] != want[i] {
+			t.Fatalf("Vars = %v, want %v", vs, want)
+		}
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	f := &Formula{NumVars: 2, Clauses: []Clause{{Pos(1), Neg(2)}}}
+	if f.String() != "(x1 | !x2)" {
+		t.Fatalf("String = %q", f.String())
+	}
+}
+
+// Property: the all-false assignment satisfies any (2+,2−,4+−) formula with
+// no positive 2-clause (the observation behind the Prop 5.5 assumption).
+func TestAllFalseSatisfiesWithoutPositiveTwoClauses(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed + rng.Int63()))
+		formula := RandomTwoTwoFour(r, 4, 8)
+		// Strip positive 2-clauses.
+		var kept []Clause
+		for _, c := range formula.Clauses {
+			if len(c) == 2 && !c[0].Neg && !c[1].Neg {
+				continue
+			}
+			kept = append(kept, c)
+		}
+		formula.Clauses = kept
+		if len(kept) == 0 {
+			return true
+		}
+		assignment := make([]bool, formula.NumVars+1)
+		return formula.Eval(assignment)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

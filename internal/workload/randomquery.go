@@ -1,0 +1,82 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/query"
+)
+
+// RandomCQConfig shapes random query generation.
+type RandomCQConfig struct {
+	MaxAtoms  int     // at most this many atoms (at least 1 positive)
+	MaxVars   int     // variable pool size
+	MaxArity  int     // per-relation arity
+	NegProb   float64 // probability an eligible atom is negated
+	ExoProb   float64 // probability a relation is declared exogenous
+	ConstProb float64 // probability an argument is a constant
+}
+
+// DefaultRandomCQConfig is tuned for differential testing: small queries
+// with a healthy mix of negation, constants and exogenous declarations.
+func DefaultRandomCQConfig() RandomCQConfig {
+	return RandomCQConfig{MaxAtoms: 4, MaxVars: 3, MaxArity: 2, NegProb: 0.4, ExoProb: 0.4, ConstProb: 0.15}
+}
+
+// RandomCQ generates a random safe self-join-free CQ¬ together with a
+// random exogenous-relation declaration. Safety is enforced by negating
+// only atoms whose variables are covered by the positive atoms.
+func RandomCQ(rng *rand.Rand, cfg RandomCQConfig) (*query.CQ, map[string]bool) {
+	nAtoms := 1 + rng.Intn(cfg.MaxAtoms)
+	q := &query.CQ{Label: "rand"}
+	for i := 0; i < nAtoms; i++ {
+		arity := 1 + rng.Intn(cfg.MaxArity)
+		args := make([]query.Term, arity)
+		for j := range args {
+			if rng.Float64() < cfg.ConstProb {
+				args[j] = query.C(fmt.Sprintf("K%d", rng.Intn(2)))
+			} else {
+				args[j] = query.V(fmt.Sprintf("v%d", rng.Intn(cfg.MaxVars)))
+			}
+		}
+		q.Atoms = append(q.Atoms, query.Atom{Rel: fmt.Sprintf("R%d", i), Args: args})
+	}
+	// Negate a subset of atoms, keeping the query safe: a variable may end
+	// up negated-only, in which case we flip the offending atoms back.
+	for i := range q.Atoms {
+		if rng.Float64() < cfg.NegProb {
+			q.Atoms[i].Negated = true
+		}
+	}
+	for {
+		posVars := make(map[string]bool)
+		for _, i := range q.Positive() {
+			for _, x := range q.Atoms[i].Vars() {
+				posVars[x] = true
+			}
+		}
+		fixed := false
+		for i := range q.Atoms {
+			if !q.Atoms[i].Negated {
+				continue
+			}
+			for _, x := range q.Atoms[i].Vars() {
+				if !posVars[x] {
+					q.Atoms[i].Negated = false
+					fixed = true
+					break
+				}
+			}
+		}
+		if !fixed {
+			break
+		}
+	}
+	exo := make(map[string]bool)
+	for _, rel := range q.Relations() {
+		if rng.Float64() < cfg.ExoProb {
+			exo[rel] = true
+		}
+	}
+	return q, exo
+}

@@ -1,0 +1,74 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/query"
+)
+
+func TestRandomCQAlwaysValid(t *testing.T) {
+	rng := rand.New(rand.NewSource(51))
+	cfg := DefaultRandomCQConfig()
+	negSeen, exoSeen, constSeen := false, false, false
+	for trial := 0; trial < 500; trial++ {
+		q, exo := RandomCQ(rng, cfg)
+		if err := q.Validate(); err != nil {
+			t.Fatalf("invalid random query %s: %v", q, err)
+		}
+		if q.HasSelfJoin() {
+			t.Fatalf("random query has self-join: %s", q)
+		}
+		for rel := range exo {
+			found := false
+			for _, r := range q.Relations() {
+				if r == rel {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("exogenous declaration %s not a relation of %s", rel, q)
+			}
+		}
+		if len(q.Negative()) > 0 {
+			negSeen = true
+		}
+		if len(exo) > 0 {
+			exoSeen = true
+		}
+		for _, a := range q.Atoms {
+			for _, tm := range a.Args {
+				if !tm.IsVar() {
+					constSeen = true
+				}
+			}
+		}
+	}
+	if !negSeen || !exoSeen || !constSeen {
+		t.Fatalf("generator diversity too low: neg=%v exo=%v const=%v", negSeen, exoSeen, constSeen)
+	}
+}
+
+func TestRandomCQRoundTripsThroughParser(t *testing.T) {
+	rng := rand.New(rand.NewSource(52))
+	cfg := DefaultRandomCQConfig()
+	for trial := 0; trial < 200; trial++ {
+		q, _ := RandomCQ(rng, cfg)
+		q.Label = "rt"
+		parsed, err := query.Parse(q.String())
+		if err != nil {
+			t.Fatalf("round trip of %q: %v", q.String(), err)
+		}
+		if parsed.String() != q.String() {
+			t.Fatalf("round trip changed query: %q vs %q", q.String(), parsed.String())
+		}
+	}
+}
+
+func TestRandomCQDeterministic(t *testing.T) {
+	a, _ := RandomCQ(rand.New(rand.NewSource(9)), DefaultRandomCQConfig())
+	b, _ := RandomCQ(rand.New(rand.NewSource(9)), DefaultRandomCQConfig())
+	if a.String() != b.String() {
+		t.Fatalf("same seed should give same query: %s vs %s", a, b)
+	}
+}

@@ -1,0 +1,118 @@
+// Package workload generates databases for tests, experiments and
+// benchmarks: generic random instances shaped to a query's schema, scaled
+// university instances matching the paper's running example, and scaled
+// instances of the §4.1 and intro queries.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/db"
+	"repro/internal/query"
+)
+
+// RandomForQuery builds a random database over the relations of q: perRel
+// random facts per relation over a domain of domSize constants. Relations
+// in exo get only exogenous facts; other facts are endogenous with
+// probability endoProb.
+func RandomForQuery(rng *rand.Rand, q *query.CQ, domSize, perRel int, exo map[string]bool, endoProb float64) *db.Database {
+	d := db.New()
+	dom := make([]db.Const, domSize)
+	for i := range dom {
+		dom[i] = db.Const(fmt.Sprintf("d%d", i))
+	}
+	arity := make(map[string]int)
+	for _, a := range q.Atoms {
+		arity[a.Rel] = len(a.Args)
+	}
+	for _, rel := range q.Relations() {
+		for i := 0; i < perRel; i++ {
+			args := make([]db.Const, arity[rel])
+			for j := range args {
+				args[j] = dom[rng.Intn(domSize)]
+			}
+			f := db.Fact{Rel: rel, Args: args}
+			if d.Contains(f) {
+				continue
+			}
+			endo := !exo[rel] && rng.Float64() < endoProb
+			d.MustAdd(f, endo)
+		}
+	}
+	return d
+}
+
+// UniversityConfig parameterizes the scaled running-example generator.
+type UniversityConfig struct {
+	Students      int
+	Courses       int
+	RegPerStudent int     // registrations per student (capped by Courses)
+	TAFraction    float64 // fraction of students that are TAs
+	Seed          int64
+}
+
+// University builds a scaled instance of the Figure 1 schema: exogenous
+// Stud, Course and Adv facts, endogenous TA and Reg facts. It is the
+// workload for the dichotomy-scaling experiments: q1 stays polynomial on it
+// while brute force explodes with the number of endogenous facts.
+func University(cfg UniversityConfig) *db.Database {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	d := db.New()
+	for c := 0; c < cfg.Courses; c++ {
+		faculty := "EE"
+		if c%2 == 1 {
+			faculty = "CS"
+		}
+		d.MustAddExo(db.NewFact("Course", course(c), db.Const(faculty)))
+	}
+	for s := 0; s < cfg.Students; s++ {
+		d.MustAddExo(db.NewFact("Stud", student(s)))
+		d.MustAddExo(db.NewFact("Adv", advisor(s%7), student(s)))
+		if rng.Float64() < cfg.TAFraction {
+			d.MustAddEndo(db.NewFact("TA", student(s)))
+		}
+		regs := cfg.RegPerStudent
+		if regs > cfg.Courses {
+			regs = cfg.Courses
+		}
+		for _, c := range rng.Perm(cfg.Courses)[:regs] {
+			d.MustAddEndo(db.NewFact("Reg", student(s), course(c)))
+		}
+	}
+	return d
+}
+
+func student(i int) db.Const { return db.Const(fmt.Sprintf("S%d", i)) }
+func course(i int) db.Const  { return db.Const(fmt.Sprintf("C%d", i)) }
+func advisor(i int) db.Const { return db.Const(fmt.Sprintf("A%d", i)) }
+
+// Exports builds a scaled instance of the introduction's farmer schema:
+// exogenous Farmer and Grows facts, endogenous Export facts.
+func Exports(farmers, products, countries, exportsPerFarmer int, seed int64) *db.Database {
+	rng := rand.New(rand.NewSource(seed))
+	d := db.New()
+	for f := 0; f < farmers; f++ {
+		d.MustAddExo(db.NewFact("Farmer", db.Const(fmt.Sprintf("F%d", f))))
+	}
+	for c := 0; c < countries; c++ {
+		for p := 0; p < products; p++ {
+			if rng.Intn(2) == 0 {
+				d.MustAddExo(db.NewFact("Grows",
+					db.Const(fmt.Sprintf("K%d", c)), db.Const(fmt.Sprintf("P%d", p))))
+			}
+		}
+	}
+	for f := 0; f < farmers; f++ {
+		for i := 0; i < exportsPerFarmer; i++ {
+			fact := db.NewFact("Export",
+				db.Const(fmt.Sprintf("F%d", f)),
+				db.Const(fmt.Sprintf("P%d", rng.Intn(products))),
+				db.Const(fmt.Sprintf("K%d", rng.Intn(countries))))
+			if !d.Contains(fact) {
+				d.MustAddEndo(fact)
+			}
+		}
+	}
+	return d
+}

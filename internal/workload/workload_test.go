@@ -1,0 +1,80 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/query"
+)
+
+func TestRandomForQueryShape(t *testing.T) {
+	q := query.MustParse("q() :- R(x), S(x, y), !T(y)")
+	rng := rand.New(rand.NewSource(1))
+	d := RandomForQuery(rng, q, 4, 5, map[string]bool{"S": true}, 0.8)
+	if a, ok := d.Arity("S"); ok && a != 2 {
+		t.Fatalf("S arity %d, want 2", a)
+	}
+	for _, f := range d.RelationFacts("S") {
+		if d.IsEndogenous(f) {
+			t.Fatalf("exogenous relation S got endogenous fact %s", f)
+		}
+	}
+	if d.NumFacts() == 0 {
+		t.Fatal("empty instance")
+	}
+}
+
+func TestRandomForQueryDeterministic(t *testing.T) {
+	q := query.MustParse("q() :- R(x, y)")
+	a := RandomForQuery(rand.New(rand.NewSource(7)), q, 3, 6, nil, 0.5)
+	b := RandomForQuery(rand.New(rand.NewSource(7)), q, 3, 6, nil, 0.5)
+	if a.String() != b.String() {
+		t.Fatal("same seed must yield the same instance")
+	}
+}
+
+func TestUniversityInstanceIsQ1Tractable(t *testing.T) {
+	d := University(UniversityConfig{Students: 30, Courses: 8, RegPerStudent: 2, TAFraction: 0.4, Seed: 3})
+	if d.NumEndo() == 0 {
+		t.Fatal("no endogenous facts")
+	}
+	q1 := query.MustParse("q1() :- Stud(x), !TA(x), Reg(x, y)")
+	// The hierarchical algorithm must handle instances far beyond brute
+	// force: 60+ endogenous facts here.
+	f := d.EndoFacts()[0]
+	if _, err := core.ShapleyHierarchical(d, q1, f); err != nil {
+		t.Fatal(err)
+	}
+	// Schema endogeneity invariants.
+	for _, rel := range []string{"Stud", "Course", "Adv"} {
+		if d.RelationEndogenous(rel) {
+			t.Fatalf("%s must be all-exogenous", rel)
+		}
+	}
+}
+
+func TestUniversityRegCap(t *testing.T) {
+	d := University(UniversityConfig{Students: 3, Courses: 2, RegPerStudent: 10, TAFraction: 0, Seed: 1})
+	if got := len(d.RelationFacts("Reg")); got != 6 {
+		t.Fatalf("Reg facts = %d, want 3 students × 2 courses", got)
+	}
+}
+
+func TestExportsInstance(t *testing.T) {
+	d := Exports(4, 3, 3, 2, 9)
+	q := query.MustParse("q() :- Farmer(m), Export(m, p, c), !Grows(c, p)")
+	if err := q.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range d.RelationFacts("Export") {
+		if !d.IsEndogenous(f) {
+			t.Fatalf("Export fact %s must be endogenous", f)
+		}
+	}
+	for _, rel := range []string{"Farmer", "Grows"} {
+		if d.RelationEndogenous(rel) {
+			t.Fatalf("%s must be all-exogenous", rel)
+		}
+	}
+}
