@@ -33,8 +33,14 @@ type (
 	Binding = query.Binding
 	// BooleanQuery is the common evaluation interface of CQ and UCQ.
 	BooleanQuery = query.BooleanQuery
-	// Solver computes Shapley values, dispatching on the dichotomies.
+	// Solver computes Shapley values, dispatching on the dichotomies. Its
+	// ShapleyAll method delegates to the batched engine (ShapleyAllBatch),
+	// which validates once, classifies once, runs ExoShap once, and shares
+	// the fact-independent CntSat tables across the whole batch.
 	Solver = core.Solver
+	// BatchOptions configures Solver.ShapleyAllBatch: the worker-pool size
+	// and an in-order streaming callback.
+	BatchOptions = core.BatchOptions
 	// ShapleyValue is a computed value with its method.
 	ShapleyValue = core.ShapleyValue
 	// Classification locates a query in the paper's dichotomies.

@@ -75,6 +75,84 @@ func BenchmarkHierarchicalShapley(b *testing.B) {
 	}
 }
 
+// BenchmarkShapleyAllBatch compares the all-facts workload under the
+// batched engine (shared classification/ExoShap/CntSat tables + worker
+// pool) against the naive per-fact loop, asserting byte-identical values.
+func BenchmarkShapleyAllBatch(b *testing.B) {
+	q1 := paperex.Q1()
+	d := universityInstance(40)
+
+	perFactAll := func(b *testing.B) []*ShapleyValue {
+		s := &Solver{}
+		out := make([]*ShapleyValue, 0, d.NumEndo())
+		for _, f := range d.EndoFacts() {
+			v, err := s.Shapley(d, q1, f)
+			if err != nil {
+				b.Fatal(err)
+			}
+			out = append(out, v)
+		}
+		return out
+	}
+
+	// Sanity: the batch engine must be bit-for-bit equal to the loop.
+	want := perFactAll(b)
+	s := &Solver{}
+	got, err := s.ShapleyAllBatch(d, q1, BatchOptions{Workers: 4})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := range want {
+		if want[i].Value.RatString() != got[i].Value.RatString() {
+			b.Fatalf("batch diverges at %s: %s vs %s", want[i].Fact, got[i].Value.RatString(), want[i].Value.RatString())
+		}
+	}
+
+	b.Run(fmt.Sprintf("per-fact-loop/endo=%d", d.NumEndo()), func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			perFactAll(b)
+		}
+	})
+	for _, workers := range []int{1, 4} {
+		b.Run(fmt.Sprintf("batch/workers=%d/endo=%d", workers, d.NumEndo()), func(b *testing.B) {
+			s := &Solver{}
+			for i := 0; i < b.N; i++ {
+				if _, err := s.ShapleyAllBatch(d, q1, BatchOptions{Workers: workers}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkShapleyAllBatchExoShap measures the batch win when every
+// per-fact computation previously repeated the ExoShap transformation.
+func BenchmarkShapleyAllBatchExoShap(b *testing.B) {
+	d := paperex.RunningExample()
+	q2 := paperex.Q2()
+	exo := map[string]bool{"Stud": true, "Course": true}
+	b.Run("per-fact-loop", func(b *testing.B) {
+		s := &Solver{ExoRelations: exo}
+		for i := 0; i < b.N; i++ {
+			for _, f := range d.EndoFacts() {
+				if _, err := s.Shapley(d, q2, f); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	for _, workers := range []int{1, 4} {
+		b.Run(fmt.Sprintf("batch/workers=%d", workers), func(b *testing.B) {
+			s := &Solver{ExoRelations: exo}
+			for i := 0; i < b.N; i++ {
+				if _, err := s.ShapleyAllBatch(d, q2, BatchOptions{Workers: workers}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 func BenchmarkSatCountVector(b *testing.B) {
 	q1 := paperex.Q1()
 	for _, students := range []int{10, 40, 160} {

@@ -4,6 +4,7 @@
 // Usage:
 //
 //	shapley -db university.db -query 'q() :- Stud(x), !TA(x), Reg(x, y)'
+//	shapley -db university.db -query '...' -all -workers 4
 //	shapley -db university.db -query-file q.cq -mode classify -exo Stud,Course
 //	shapley -db university.db -query '...' -fact 'TA(Adam)' -mode relevance
 //	shapley -db university.db -query '...' -mode mc -eps 0.1 -delta 0.05
@@ -17,36 +18,54 @@ import (
 	"io"
 	"math/rand"
 	"os"
+	"sort"
 	"strings"
 
 	"repro"
 )
 
+// runOptions carries the parsed command line into run.
+type runOptions struct {
+	dbPath    string
+	query     string
+	queryFile string
+	exo       string
+	fact      string
+	mode      string
+	all       bool
+	workers   int
+	brute     bool
+	eps       float64
+	delta     float64
+	seed      int64
+}
+
 func main() {
-	var (
-		dbPath    = flag.String("db", "", "path to the database file (required)")
-		queryStr  = flag.String("query", "", "CQ¬ in rule syntax")
-		queryFile = flag.String("query-file", "", "file containing the query")
-		exoList   = flag.String("exo", "", "comma-separated exogenous relations (the set X of Theorem 4.3)")
-		factStr   = flag.String("fact", "", "single fact to analyze (default: all endogenous facts)")
-		mode      = flag.String("mode", "shapley", "shapley | classify | relevance | mc | satcount | measures")
-		brute     = flag.Bool("brute-force", false, "allow exponential brute force on intractable queries")
-		eps       = flag.Float64("eps", 0.1, "additive error for -mode mc")
-		delta     = flag.Float64("delta", 0.05, "failure probability for -mode mc")
-		seed      = flag.Int64("seed", 1, "random seed for -mode mc")
-	)
+	var o runOptions
+	flag.StringVar(&o.dbPath, "db", "", "path to the database file (required)")
+	flag.StringVar(&o.query, "query", "", "CQ¬ in rule syntax")
+	flag.StringVar(&o.queryFile, "query-file", "", "file containing the query")
+	flag.StringVar(&o.exo, "exo", "", "comma-separated exogenous relations (the set X of Theorem 4.3)")
+	flag.StringVar(&o.fact, "fact", "", "single fact to analyze (default: all endogenous facts)")
+	flag.StringVar(&o.mode, "mode", "shapley", "shapley | classify | relevance | mc | satcount | measures")
+	flag.BoolVar(&o.all, "all", false, "print a ranked attribution table over all endogenous facts (batched engine)")
+	flag.IntVar(&o.workers, "workers", 0, "worker-pool size for the batched engine (0 = GOMAXPROCS)")
+	flag.BoolVar(&o.brute, "brute-force", false, "allow exponential brute force on intractable queries")
+	flag.Float64Var(&o.eps, "eps", 0.1, "additive error for -mode mc")
+	flag.Float64Var(&o.delta, "delta", 0.05, "failure probability for -mode mc")
+	flag.Int64Var(&o.seed, "seed", 1, "random seed for -mode mc")
 	flag.Parse()
-	if err := run(os.Stdout, *dbPath, *queryStr, *queryFile, *exoList, *factStr, *mode, *brute, *eps, *delta, *seed); err != nil {
+	if err := run(os.Stdout, o); err != nil {
 		fmt.Fprintln(os.Stderr, "shapley:", err)
 		os.Exit(1)
 	}
 }
 
-func run(w io.Writer, dbPath, queryStr, queryFile, exoList, factStr, mode string, brute bool, eps, delta float64, seed int64) error {
-	if dbPath == "" {
+func run(w io.Writer, o runOptions) error {
+	if o.dbPath == "" {
 		return fmt.Errorf("-db is required")
 	}
-	raw, err := os.ReadFile(dbPath)
+	raw, err := os.ReadFile(o.dbPath)
 	if err != nil {
 		return err
 	}
@@ -54,8 +73,9 @@ func run(w io.Writer, dbPath, queryStr, queryFile, exoList, factStr, mode string
 	if err != nil {
 		return err
 	}
-	if queryFile != "" {
-		qraw, err := os.ReadFile(queryFile)
+	queryStr := o.query
+	if o.queryFile != "" {
+		qraw, err := os.ReadFile(o.queryFile)
 		if err != nil {
 			return err
 		}
@@ -69,21 +89,27 @@ func run(w io.Writer, dbPath, queryStr, queryFile, exoList, factStr, mode string
 		return err
 	}
 	exo := map[string]bool{}
-	if exoList != "" {
-		for _, r := range strings.Split(exoList, ",") {
+	if o.exo != "" {
+		for _, r := range strings.Split(o.exo, ",") {
 			exo[strings.TrimSpace(r)] = true
 		}
 	}
+	if o.all && o.mode != "shapley" {
+		return fmt.Errorf("-all applies only to -mode shapley, not %q", o.mode)
+	}
+	if o.all && o.fact != "" {
+		return fmt.Errorf("-all ranks every endogenous fact; drop -fact")
+	}
 	facts := d.EndoFacts()
-	if factStr != "" {
-		f, err := repro.ParseFact(factStr)
+	if o.fact != "" {
+		f, err := repro.ParseFact(o.fact)
 		if err != nil {
 			return err
 		}
 		facts = []repro.Fact{f}
 	}
 
-	switch mode {
+	switch o.mode {
 	case "classify":
 		c := repro.Classify(q, exo)
 		fmt.Fprintf(w, "query:                 %s\n", q)
@@ -102,13 +128,29 @@ func run(w io.Writer, dbPath, queryStr, queryFile, exoList, factStr, mode string
 		return nil
 
 	case "shapley":
-		solver := &repro.Solver{ExoRelations: exo, AllowBruteForce: brute}
-		for _, f := range facts {
+		solver := &repro.Solver{ExoRelations: exo, AllowBruteForce: o.brute}
+		if o.fact != "" {
+			f := facts[0]
 			v, err := solver.Shapley(d, q, f)
 			if err != nil {
 				return fmt.Errorf("%s: %w", f, err)
 			}
 			fmt.Fprintf(w, "%-30s %s [%s]\n", f.Key(), v.Value.RatString(), v.Method)
+			return nil
+		}
+		// The whole-database workload goes through the batched engine:
+		// validated once, classified once, shared CntSat tables, parallel
+		// per-fact computation with deterministic output order.
+		vals, err := solver.ShapleyAllBatch(d, q, repro.BatchOptions{Workers: o.workers})
+		if err != nil {
+			return err
+		}
+		if o.all {
+			printRanked(w, vals)
+			return nil
+		}
+		for _, v := range vals {
+			fmt.Fprintf(w, "%-30s %s [%s]\n", v.Fact.Key(), v.Value.RatString(), v.Method)
 		}
 		return nil
 
@@ -118,7 +160,7 @@ func run(w io.Writer, dbPath, queryStr, queryFile, exoList, factStr, mode string
 			var err error
 			if q.IsPolarityConsistent() {
 				rel, err = repro.IsRelevant(d, q, f)
-			} else if brute {
+			} else if o.brute {
 				rel, err = repro.IsRelevantBrute(d, q, f)
 			} else {
 				return fmt.Errorf("%s is not polarity consistent; pass -brute-force for the exponential check", q.Name())
@@ -131,13 +173,13 @@ func run(w io.Writer, dbPath, queryStr, queryFile, exoList, factStr, mode string
 		return nil
 
 	case "mc":
-		rng := rand.New(rand.NewSource(seed))
+		rng := rand.New(rand.NewSource(o.seed))
 		for _, f := range facts {
-			res, err := repro.MonteCarloShapley(d, q, f, eps, delta, rng)
+			res, err := repro.MonteCarloShapley(d, q, f, o.eps, o.delta, rng)
 			if err != nil {
 				return err
 			}
-			fmt.Fprintf(w, "%-30s %+.5f (n=%d, ±%.3g with prob ≥ %.3g)\n", f.Key(), res.Estimate, res.Samples, eps, 1-delta)
+			fmt.Fprintf(w, "%-30s %+.5f (n=%d, ±%.3g with prob ≥ %.3g)\n", f.Key(), res.Estimate, res.Samples, o.eps, 1-o.delta)
 		}
 		return nil
 
@@ -153,7 +195,7 @@ func run(w io.Writer, dbPath, queryStr, queryFile, exoList, factStr, mode string
 		return nil
 
 	case "measures":
-		solver := &repro.Solver{ExoRelations: exo, AllowBruteForce: brute}
+		solver := &repro.Solver{ExoRelations: exo, AllowBruteForce: o.brute}
 		fmt.Fprintf(w, "%-30s %12s %15s %15s\n", "fact", "Shapley", "causal effect", "responsibility")
 		for _, f := range facts {
 			sv, err := solver.Shapley(d, q, f)
@@ -172,5 +214,22 @@ func run(w io.Writer, dbPath, queryStr, queryFile, exoList, factStr, mode string
 		}
 		return nil
 	}
-	return fmt.Errorf("unknown mode %q", mode)
+	return fmt.Errorf("unknown mode %q", o.mode)
+}
+
+// printRanked renders the batch output as an attribution table, most
+// influential facts first (ties broken by fact key for determinism).
+func printRanked(w io.Writer, vals []*repro.ShapleyValue) {
+	ranked := append([]*repro.ShapleyValue(nil), vals...)
+	sort.SliceStable(ranked, func(i, j int) bool {
+		if c := ranked[i].Value.Cmp(ranked[j].Value); c != 0 {
+			return c > 0
+		}
+		return ranked[i].Fact.Key() < ranked[j].Fact.Key()
+	})
+	fmt.Fprintf(w, "%4s  %-30s %15s %12s  %s\n", "rank", "fact", "Shapley", "decimal", "method")
+	for i, v := range ranked {
+		f64, _ := v.Value.Float64()
+		fmt.Fprintf(w, "%4d  %-30s %15s %+12.6f  [%s]\n", i+1, v.Fact.Key(), v.Value.RatString(), f64, v.Method)
+	}
 }

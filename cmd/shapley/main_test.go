@@ -8,10 +8,17 @@ import (
 
 const dbFile = "testdata/university.db"
 
+// baseOpts returns the default-flag equivalent of the command line.
+func baseOpts(query string) runOptions {
+	return runOptions{dbPath: dbFile, query: query, mode: "shapley", eps: 0.1, delta: 0.05, seed: 1}
+}
+
+const q1Src = "q1() :- Stud(x), !TA(x), Reg(x, y)"
+const q2Src = "q2() :- Stud(x), !TA(x), Reg(x, y), !Course(y, CS)"
+
 func TestRunShapleyMode(t *testing.T) {
 	var buf bytes.Buffer
-	err := run(&buf, dbFile, "q1() :- Stud(x), !TA(x), Reg(x, y)", "", "", "", "shapley", false, 0.1, 0.05, 1)
-	if err != nil {
+	if err := run(&buf, baseOpts(q1Src)); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -24,8 +31,9 @@ func TestRunShapleyMode(t *testing.T) {
 
 func TestRunSingleFact(t *testing.T) {
 	var buf bytes.Buffer
-	err := run(&buf, dbFile, "q1() :- Stud(x), !TA(x), Reg(x, y)", "", "", "TA(Ben)", "shapley", false, 0.1, 0.05, 1)
-	if err != nil {
+	o := baseOpts(q1Src)
+	o.fact = "TA(Ben)"
+	if err := run(&buf, o); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -34,17 +42,46 @@ func TestRunSingleFact(t *testing.T) {
 	}
 }
 
+func TestRunAllRankedTable(t *testing.T) {
+	for _, workers := range []int{0, 1, 4} {
+		var buf bytes.Buffer
+		o := baseOpts(q1Src)
+		o.all = true
+		o.workers = workers
+		if err := run(&buf, o); err != nil {
+			t.Fatal(err)
+		}
+		lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+		if len(lines) != 9 { // header + 8 endogenous facts
+			t.Fatalf("workers=%d: want 9 lines, got %d:\n%s", workers, len(lines), buf.String())
+		}
+		if !strings.Contains(lines[0], "rank") || !strings.Contains(lines[0], "method") {
+			t.Errorf("workers=%d: missing table header:\n%s", workers, buf.String())
+		}
+		// Example 2.3 ranking: the two 13/42 Reg(Caroline, ·) facts lead,
+		// TA(Adam) = −3/28 is the most negative attribution.
+		if !strings.Contains(lines[1], "13/42") {
+			t.Errorf("workers=%d: rank 1 should be 13/42:\n%s", workers, buf.String())
+		}
+		if !strings.Contains(lines[len(lines)-1], "TA(Adam)") || !strings.Contains(lines[len(lines)-1], "-3/28") {
+			t.Errorf("workers=%d: last rank should be TA(Adam) = -3/28:\n%s", workers, buf.String())
+		}
+	}
+}
+
 func TestRunClassifyMode(t *testing.T) {
 	var buf bytes.Buffer
-	q2 := "q2() :- Stud(x), !TA(x), Reg(x, y), !Course(y, CS)"
-	if err := run(&buf, dbFile, q2, "", "", "", "classify", false, 0.1, 0.05, 1); err != nil {
+	o := baseOpts(q2Src)
+	o.mode = "classify"
+	if err := run(&buf, o); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(buf.String(), "FP#P-complete") {
 		t.Errorf("q2 without declarations must classify hard:\n%s", buf.String())
 	}
 	buf.Reset()
-	if err := run(&buf, dbFile, q2, "", "Stud,Course", "", "classify", false, 0.1, 0.05, 1); err != nil {
+	o.exo = "Stud,Course"
+	if err := run(&buf, o); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(buf.String(), "polynomial") {
@@ -54,8 +91,10 @@ func TestRunClassifyMode(t *testing.T) {
 
 func TestRunExoShapMode(t *testing.T) {
 	var buf bytes.Buffer
-	q2 := "q2() :- Stud(x), !TA(x), Reg(x, y), !Course(y, CS)"
-	if err := run(&buf, dbFile, q2, "", "Stud,Course", "TA(Adam)", "shapley", false, 0.1, 0.05, 1); err != nil {
+	o := baseOpts(q2Src)
+	o.exo = "Stud,Course"
+	o.fact = "TA(Adam)"
+	if err := run(&buf, o); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(buf.String(), "[exoshap]") {
@@ -63,9 +102,28 @@ func TestRunExoShapMode(t *testing.T) {
 	}
 }
 
+func TestRunExoShapAllFacts(t *testing.T) {
+	// The whole-database ExoShap workload runs the transformation once for
+	// the batch instead of once per fact.
+	var buf bytes.Buffer
+	o := baseOpts(q2Src)
+	o.exo = "Stud,Course"
+	o.workers = 4
+	if err := run(&buf, o); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if strings.Count(out, "[exoshap]") != 8 {
+		t.Errorf("expected 8 ExoShap values:\n%s", out)
+	}
+}
+
 func TestRunRelevanceMode(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run(&buf, dbFile, "q1() :- Stud(x), !TA(x), Reg(x, y)", "", "", "TA(David)", "relevance", false, 0.1, 0.05, 1); err != nil {
+	o := baseOpts(q1Src)
+	o.mode = "relevance"
+	o.fact = "TA(David)"
+	if err := run(&buf, o); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(buf.String(), "relevant=false") {
@@ -75,7 +133,11 @@ func TestRunRelevanceMode(t *testing.T) {
 
 func TestRunMCMode(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run(&buf, dbFile, "q1() :- Stud(x), !TA(x), Reg(x, y)", "", "", "TA(Adam)", "mc", false, 0.3, 0.2, 1); err != nil {
+	o := baseOpts(q1Src)
+	o.mode = "mc"
+	o.fact = "TA(Adam)"
+	o.eps, o.delta = 0.3, 0.2
+	if err := run(&buf, o); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(buf.String(), "n=") {
@@ -85,7 +147,9 @@ func TestRunMCMode(t *testing.T) {
 
 func TestRunSatCountMode(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run(&buf, dbFile, "q1() :- Stud(x), !TA(x), Reg(x, y)", "", "", "", "satcount", false, 0.1, 0.05, 1); err != nil {
+	o := baseOpts(q1Src)
+	o.mode = "satcount"
+	if err := run(&buf, o); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(buf.String(), "|Sat(D,q,k)|") {
@@ -95,37 +159,29 @@ func TestRunSatCountMode(t *testing.T) {
 
 func TestRunErrors(t *testing.T) {
 	var buf bytes.Buffer
+	with := func(mutate func(*runOptions)) runOptions {
+		o := baseOpts("q() :- Stud(x)")
+		mutate(&o)
+		return o
+	}
 	cases := []struct {
 		name string
-		call func() error
+		opts runOptions
 	}{
-		{"missing db", func() error {
-			return run(&buf, "", "q() :- R(x)", "", "", "", "shapley", false, 0.1, 0.05, 1)
-		}},
-		{"missing query", func() error {
-			return run(&buf, dbFile, "", "", "", "", "shapley", false, 0.1, 0.05, 1)
-		}},
-		{"bad query", func() error {
-			return run(&buf, dbFile, "nonsense", "", "", "", "shapley", false, 0.1, 0.05, 1)
-		}},
-		{"bad mode", func() error {
-			return run(&buf, dbFile, "q() :- Stud(x)", "", "", "", "zzz", false, 0.1, 0.05, 1)
-		}},
-		{"bad fact", func() error {
-			return run(&buf, dbFile, "q() :- Stud(x)", "", "", "garbage", "shapley", false, 0.1, 0.05, 1)
-		}},
-		{"intractable without fallback", func() error {
-			return run(&buf, dbFile, "q2() :- Stud(x), !TA(x), Reg(x, y), !Course(y, CS)", "", "", "", "shapley", false, 0.1, 0.05, 1)
-		}},
-		{"relevance needs polarity consistency", func() error {
-			return run(&buf, dbFile, "q() :- Reg(x, y), !Reg(y, x)", "", "", "", "relevance", false, 0.1, 0.05, 1)
-		}},
-		{"missing db file", func() error {
-			return run(&buf, "testdata/nope.db", "q() :- Stud(x)", "", "", "", "shapley", false, 0.1, 0.05, 1)
-		}},
+		{"missing db", with(func(o *runOptions) { o.dbPath = "" })},
+		{"missing query", with(func(o *runOptions) { o.query = "" })},
+		{"bad query", with(func(o *runOptions) { o.query = "nonsense" })},
+		{"bad mode", with(func(o *runOptions) { o.mode = "zzz" })},
+		{"bad fact", with(func(o *runOptions) { o.fact = "garbage" })},
+		{"intractable without fallback", with(func(o *runOptions) { o.query = q2Src })},
+		{"intractable ranked without fallback", with(func(o *runOptions) { o.query = q2Src; o.all = true; o.workers = 4 })},
+		{"-all conflicts with -fact", with(func(o *runOptions) { o.all = true; o.fact = "TA(Adam)" })},
+		{"-all conflicts with non-shapley mode", with(func(o *runOptions) { o.all = true; o.mode = "classify" })},
+		{"relevance needs polarity consistency", with(func(o *runOptions) { o.query = "q() :- Reg(x, y), !Reg(y, x)"; o.mode = "relevance" })},
+		{"missing db file", with(func(o *runOptions) { o.dbPath = "testdata/nope.db" })},
 	}
 	for _, c := range cases {
-		if err := c.call(); err == nil {
+		if err := run(&buf, c.opts); err == nil {
 			t.Errorf("%s: expected error", c.name)
 		}
 	}
@@ -133,8 +189,10 @@ func TestRunErrors(t *testing.T) {
 
 func TestRunBruteForceFallback(t *testing.T) {
 	var buf bytes.Buffer
-	q2 := "q2() :- Stud(x), !TA(x), Reg(x, y), !Course(y, CS)"
-	if err := run(&buf, dbFile, q2, "", "", "TA(Adam)", "shapley", true, 0.1, 0.05, 1); err != nil {
+	o := baseOpts(q2Src)
+	o.fact = "TA(Adam)"
+	o.brute = true
+	if err := run(&buf, o); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(buf.String(), "[brute-force]") {

@@ -1,0 +1,31 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"testing"
+
+	"repro/internal/paperex"
+)
+
+// TestMain regenerates the university fixture from the authoritative copy in
+// internal/paperex before any test runs, so the tests can never fail on a
+// missing or stale testdata file (the original seed-repo failure mode).
+func TestMain(m *testing.M) {
+	if err := paperex.WriteUniversityDB(dbFile); err != nil {
+		fmt.Fprintln(os.Stderr, "regenerating", dbFile+":", err)
+		os.Exit(1)
+	}
+	os.Exit(m.Run())
+}
+
+// TestFixtureMatchesPaperex pins the on-disk fixture to the Figure 1 text.
+func TestFixtureMatchesPaperex(t *testing.T) {
+	raw, err := os.ReadFile(dbFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(raw) != paperex.UniversityDBText {
+		t.Errorf("%s drifted from paperex.UniversityDBText; delete it and rerun the tests to regenerate", dbFile)
+	}
+}

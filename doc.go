@@ -17,6 +17,13 @@
 //     to every self-join-free CQ¬ without a non-hierarchical path when some
 //     relations are declared exogenous (Theorem 4.3), plus exponential
 //     brute-force oracles for everything else,
+//   - a batched, parallel all-facts engine (Solver.ShapleyAllBatch with
+//     BatchOptions{Workers, OnResult}): the query is validated and
+//     classified once, ExoShap runs once per batch, the fact-independent
+//     parts of the CntSat dynamic program (relevance partition, free-filler
+//     binomials, per-bucket tables and their prefix/suffix convolutions)
+//     are shared, and per-fact work fans across a worker pool with
+//     deterministic output order — Solver.ShapleyAll delegates to it,
 //   - the additive Monte-Carlo FPRAS of §5.1 and the machinery showing why
 //     no multiplicative FPRAS exists in general (gap-property witnesses,
 //     relevance hardness reductions),
@@ -31,6 +38,9 @@
 //
 // # Quick start
 //
+// The module is named "repro" (see go.mod; building requires it — the
+// tier-1 check is `go build ./... && go test ./...` from the repo root):
+//
 //	d := repro.MustParseDatabase(`
 //	exo  Stud(Ann)
 //	endo TA(Ann)
@@ -39,6 +49,13 @@
 //	q := repro.MustParseQuery("q() :- Stud(x), !TA(x), Reg(x, y)")
 //	solver := &repro.Solver{}
 //	values, err := solver.ShapleyAll(d, q)
+//
+// For large all-facts workloads, control the batch engine directly:
+//
+//	values, err := solver.ShapleyAllBatch(d, q, repro.BatchOptions{
+//		Workers:  8,
+//		OnResult: func(v *repro.ShapleyValue) { fmt.Println(v) },
+//	})
 //
 // See examples/ for runnable programs, DESIGN.md for the system inventory
 // and EXPERIMENTS.md for the paper-vs-measured record.

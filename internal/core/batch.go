@@ -1,0 +1,448 @@
+package core
+
+import (
+	"fmt"
+	"math/big"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/combinat"
+	"repro/internal/db"
+	"repro/internal/query"
+)
+
+// BatchOptions configures Solver.ShapleyAllBatch.
+type BatchOptions struct {
+	// Workers is the number of goroutines computing per-fact values
+	// concurrently. Zero or negative means runtime.GOMAXPROCS(0). The
+	// computed values are independent of Workers.
+	Workers int
+	// OnResult, if non-nil, receives each completed value as soon as it and
+	// every earlier fact (in d.EndoFacts() order) have completed, so the
+	// callbacks arrive in the same deterministic order as the returned
+	// slice. Calls are serialized; the callback must not block for long.
+	OnResult func(*ShapleyValue)
+}
+
+// ShapleyAllBatch computes the Shapley value of every endogenous fact with
+// work shared across the batch: the query is validated and classified once,
+// the ExoShap transformation (when needed) runs once instead of once per
+// fact, the parts of the CntSat dynamic program that do not depend on which
+// fact is toggled are hoisted into a reusable satCountContext, and the
+// remaining per-fact D+f / D−f computations are fanned across a worker
+// pool. Results are returned in d.EndoFacts() order and are bit-for-bit
+// identical to calling Shapley on each fact.
+//
+// On error, in-flight work is cancelled and the error of the lowest-indexed
+// fact observed to fail is returned (query- and declaration-level errors
+// surface before any per-fact work starts).
+func (s *Solver) ShapleyAllBatch(d *db.Database, q *query.CQ, opts BatchOptions) ([]*ShapleyValue, error) {
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	if err := s.checkExo(d); err != nil {
+		return nil, err
+	}
+	facts := d.EndoFacts()
+	out := make([]*ShapleyValue, len(facts))
+	if len(facts) == 0 {
+		return out, nil
+	}
+
+	c := Classify(q, s.ExoRelations)
+	var (
+		work   *db.Database
+		qh     *query.CQ
+		method Method
+	)
+	switch {
+	case c.SelfJoinFree && c.Hierarchical:
+		work, qh, method = d, q, MethodHierarchical
+	case c.SelfJoinFree && !c.HasNonHierPath:
+		d2, q2, _, err := ExoShapTransform(d, q, s.ExoRelations)
+		if err != nil {
+			return nil, err
+		}
+		work, qh, method = d2, q2, MethodExoShap
+	case s.AllowBruteForce:
+		vals, err := BruteForceShapleyAll(d, q)
+		if err != nil {
+			return nil, err
+		}
+		if opts.OnResult != nil {
+			for _, v := range vals {
+				opts.OnResult(v)
+			}
+		}
+		return vals, nil
+	default:
+		return nil, ErrIntractable
+	}
+
+	ctx, err := newSatCountContext(work, qh)
+	if err != nil {
+		return nil, err
+	}
+
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(facts) {
+		workers = len(facts)
+	}
+
+	var (
+		mu       sync.Mutex
+		firstIdx = -1
+		firstErr error
+		emitted  int
+		next     int64 = -1
+		cancel         = make(chan struct{})
+		once     sync.Once
+		wg       sync.WaitGroup
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(atomic.AddInt64(&next, 1))
+				if i >= len(facts) {
+					return
+				}
+				select {
+				case <-cancel:
+					return
+				default:
+				}
+				v, err := ctx.shapley(facts[i])
+				mu.Lock()
+				if err != nil {
+					if firstIdx == -1 || i < firstIdx {
+						firstIdx, firstErr = i, fmt.Errorf("%s: %w", facts[i], err)
+					}
+					mu.Unlock()
+					once.Do(func() { close(cancel) })
+					return
+				}
+				out[i] = &ShapleyValue{Fact: facts[i], Value: v, Method: method}
+				if opts.OnResult != nil {
+					for emitted < len(out) && out[emitted] != nil {
+						opts.OnResult(out[emitted])
+						emitted++
+					}
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return out, nil
+}
+
+// topoKind identifies the top-level shape of the CntSat dynamic program.
+type topoKind int
+
+const (
+	topoGround     topoKind = iota // all-ground conjunction (Lemma 3.2 base case)
+	topoComponents                 // disconnected query: independent components
+	topoBuckets                    // connected query: root-variable buckets
+)
+
+// satCountContext hoists every part of the |Sat(D, q, k)| computation that
+// is independent of which endogenous fact is toggled: the atom-of-relation
+// map, the relevance partition of D, the binomial convolution vector for
+// free fillers, and the per-bucket (or per-component) DP vectors together
+// with their prefix/suffix convolution products. Toggling a fact f between
+// endogenous, exogenous and absent only changes the one bucket or component
+// containing f, so a per-fact query costs two sub-DP recomputations plus a
+// constant number of full-length convolutions, instead of two full dynamic
+// programs over all of D.
+//
+// The context is immutable after construction and safe for concurrent use.
+type satCountContext struct {
+	q        *query.CQ
+	m        int // |Dn| of the full database
+	relevant *db.Database
+	relEndo  map[string]bool // keys of relevant endogenous facts
+	freeKeys map[string]bool // keys of endogenous facts matching no atom pattern
+	freeVec  []*big.Int      // BinomialVector(len(freeKeys)), nil when empty
+
+	kind topoKind
+	n    int // relevant endogenous count
+
+	// topoComponents: per-component sub-query, sub-database and Sat vector.
+	compQ     []*query.CQ
+	compDB    []*db.Database
+	compOfRel map[string]int
+
+	// topoBuckets: per-bucket substituted query, sub-database and NonSat
+	// vector (complement of Sat within the bucket).
+	bucketQ  []*query.CQ
+	bucketDB []*db.Database
+	bucketOf map[string]int // relevant endogenous fact key -> bucket index
+
+	// Prefix/suffix convolution products over the per-component Sat vectors
+	// (topoComponents) or per-bucket NonSat vectors (topoBuckets):
+	// pre[i] = vec[0] ⊛ ... ⊛ vec[i-1], suf[i] = vec[i+1] ⊛ ... ⊛ vec[last].
+	pre, suf [][]*big.Int
+}
+
+// newSatCountContext validates q and precomputes the shared DP state for
+// batched Shapley computation over d.
+func newSatCountContext(d *db.Database, q *query.CQ) (*satCountContext, error) {
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	if q.HasSelfJoin() {
+		return nil, ErrNotSelfJoinFree
+	}
+	if !q.IsHierarchical() {
+		return nil, ErrNotHierarchical
+	}
+	c := &satCountContext{
+		q:        q,
+		m:        d.NumEndo(),
+		relevant: db.New(),
+		relEndo:  make(map[string]bool),
+		freeKeys: make(map[string]bool),
+	}
+	atomOf := make(map[string]query.Atom)
+	for _, a := range q.Atoms {
+		atomOf[a.Rel] = a
+	}
+	for _, f := range d.Facts() {
+		a, inQuery := atomOf[f.Rel]
+		if inQuery && query.MatchesAtom(a, f) {
+			c.relevant.MustAdd(f, d.IsEndogenous(f))
+			if d.IsEndogenous(f) {
+				c.relEndo[f.Key()] = true
+			}
+		} else if d.IsEndogenous(f) {
+			c.freeKeys[f.Key()] = true
+		}
+	}
+	if len(c.freeKeys) > 0 {
+		c.freeVec = combinat.BinomialVector(len(c.freeKeys))
+	}
+	c.n = c.relevant.NumEndo()
+
+	// Mirror the top-level branching of cntSatCore exactly, so that the
+	// per-fact incremental recomputation follows the same decomposition as
+	// the from-scratch dynamic program.
+	comps := q.AtomComponents()
+	switch {
+	case len(comps) > 1:
+		c.kind = topoComponents
+		c.compOfRel = make(map[string]int)
+		vecs := make([][]*big.Int, 0, len(comps))
+		for ci, comp := range comps {
+			sub := q.SubQuery(comp)
+			rels := make(map[string]bool)
+			for _, a := range sub.Atoms {
+				rels[a.Rel] = true
+				c.compOfRel[a.Rel] = ci
+			}
+			subDB := c.relevant.Restrict(func(f db.Fact, _ bool) bool { return rels[f.Rel] })
+			v, err := cntSat(subDB, sub)
+			if err != nil {
+				return nil, err
+			}
+			c.compQ = append(c.compQ, sub)
+			c.compDB = append(c.compDB, subDB)
+			vecs = append(vecs, v)
+		}
+		c.pre, c.suf = prefixSuffixConv(vecs)
+
+	case len(q.Vars()) == 0:
+		c.kind = topoGround
+
+	default:
+		c.kind = topoBuckets
+		roots := q.RootVariables()
+		if len(roots) == 0 {
+			return nil, ErrNotHierarchical
+		}
+		x := roots[0]
+		posOf := make(map[string]int)
+		for _, a := range q.Atoms {
+			for i, t := range a.Args {
+				if t.IsVar() && t.Var == x {
+					posOf[a.Rel] = i
+					break
+				}
+			}
+		}
+		buckets := make(map[db.Const]*db.Database)
+		var values []db.Const
+		for _, f := range c.relevant.Facts() {
+			v := f.Args[posOf[f.Rel]]
+			if buckets[v] == nil {
+				buckets[v] = db.New()
+				values = append(values, v)
+			}
+			buckets[v].MustAdd(f, c.relevant.IsEndogenous(f))
+		}
+		sort.Slice(values, func(i, j int) bool { return values[i] < values[j] })
+		c.bucketOf = make(map[string]int)
+		vecs := make([][]*big.Int, 0, len(values))
+		for bi, v := range values {
+			bucket := buckets[v]
+			qv := q.SubstituteVar(x, v)
+			sat, err := cntSat(bucket, qv)
+			if err != nil {
+				return nil, err
+			}
+			for _, f := range bucket.EndoFacts() {
+				c.bucketOf[f.Key()] = bi
+			}
+			c.bucketQ = append(c.bucketQ, qv)
+			c.bucketDB = append(c.bucketDB, bucket)
+			vecs = append(vecs, combinat.ComplementVector(sat, bucket.NumEndo()))
+		}
+		c.pre, c.suf = prefixSuffixConv(vecs)
+	}
+	return c, nil
+}
+
+// shapley computes Shapley(D, q, f) for an endogenous fact of the context's
+// database, reusing the precomputed DP state.
+func (c *satCountContext) shapley(f db.Fact) (*big.Rat, error) {
+	if !c.relEndo[f.Key()] {
+		// A fact matching no atom pattern can never change the query value:
+		// its Shapley value is identically zero (it is a free filler on both
+		// sides of the reduction, so the weighted difference cancels).
+		if c.freeKeys[f.Key()] {
+			return new(big.Rat), nil
+		}
+		return nil, fmt.Errorf("%w: %s", ErrNotEndogenous, f)
+	}
+	with, without, err := c.satPair(f)
+	if err != nil {
+		return nil, err
+	}
+	return combinat.WeightedDifference(with, without, c.m), nil
+}
+
+// satPair returns the vectors |Sat(D+f, q, k)| and |Sat(D−f, q, k)| for a
+// relevant endogenous fact f, recomputing only the bucket or component that
+// contains f.
+func (c *satCountContext) satPair(f db.Fact) (with, without []*big.Int, err error) {
+	var coreWith, coreWithout []*big.Int
+	switch c.kind {
+	case topoGround:
+		dw, err := c.relevant.WithExogenous(f)
+		if err != nil {
+			return nil, nil, err
+		}
+		if coreWith, err = groundBase(dw, c.q); err != nil {
+			return nil, nil, err
+		}
+		dwo, err := c.relevant.Without(f)
+		if err != nil {
+			return nil, nil, err
+		}
+		if coreWithout, err = groundBase(dwo, c.q); err != nil {
+			return nil, nil, err
+		}
+
+	case topoComponents:
+		ci, ok := c.compOfRel[f.Rel]
+		if !ok {
+			return nil, nil, fmt.Errorf("core: internal error: relevant fact %s outside every component", f)
+		}
+		vW, vWo, err := c.toggledSat(c.compDB[ci], c.compQ[ci], f)
+		if err != nil {
+			return nil, nil, err
+		}
+		coreWith = convolve3(c.pre[ci], vW, c.suf[ci])
+		coreWithout = convolve3(c.pre[ci], vWo, c.suf[ci])
+		if len(coreWith) != c.n || len(coreWithout) != c.n {
+			return nil, nil, fmt.Errorf("core: internal error: component convolution length %d/%d, want %d", len(coreWith), len(coreWithout), c.n)
+		}
+
+	case topoBuckets:
+		bi, ok := c.bucketOf[f.Key()]
+		if !ok {
+			return nil, nil, fmt.Errorf("core: internal error: relevant fact %s outside every bucket", f)
+		}
+		bucket := c.bucketDB[bi]
+		sW, sWo, err := c.toggledSat(bucket, c.bucketQ[bi], f)
+		if err != nil {
+			return nil, nil, err
+		}
+		bn := bucket.NumEndo() - 1
+		nonW := combinat.ComplementVector(sW, bn)
+		nonWo := combinat.ComplementVector(sWo, bn)
+		coreWith = complementTotal(convolve3(c.pre[bi], nonW, c.suf[bi]), c.n-1)
+		coreWithout = complementTotal(convolve3(c.pre[bi], nonWo, c.suf[bi]), c.n-1)
+	}
+	if c.freeVec != nil {
+		return combinat.Convolve(coreWith, c.freeVec), combinat.Convolve(coreWithout, c.freeVec), nil
+	}
+	return coreWith, coreWithout, nil
+}
+
+// toggledSat recomputes one sub-DP twice: once with f moved to the
+// exogenous side and once with f removed.
+func (c *satCountContext) toggledSat(sub *db.Database, q *query.CQ, f db.Fact) (satWith, satWithout []*big.Int, err error) {
+	dw, err := sub.WithExogenous(f)
+	if err != nil {
+		return nil, nil, err
+	}
+	if satWith, err = cntSat(dw, q); err != nil {
+		return nil, nil, err
+	}
+	dwo, err := sub.Without(f)
+	if err != nil {
+		return nil, nil, err
+	}
+	if satWithout, err = cntSat(dwo, q); err != nil {
+		return nil, nil, err
+	}
+	return satWith, satWithout, nil
+}
+
+// prefixSuffixConv returns, for each index i, the convolution of all
+// vectors before i (pre[i]) and after i (suf[i]); the identity vector [1]
+// at the ends.
+func prefixSuffixConv(vecs [][]*big.Int) (pre, suf [][]*big.Int) {
+	k := len(vecs)
+	pre = make([][]*big.Int, k)
+	suf = make([][]*big.Int, k)
+	acc := []*big.Int{big.NewInt(1)}
+	for i := 0; i < k; i++ {
+		pre[i] = acc
+		acc = combinat.Convolve(acc, vecs[i])
+	}
+	acc = []*big.Int{big.NewInt(1)}
+	for i := k - 1; i >= 0; i-- {
+		suf[i] = acc
+		acc = combinat.Convolve(acc, vecs[i])
+	}
+	return pre, suf
+}
+
+// convolve3 convolves three subset-count vectors.
+func convolve3(a, b, c []*big.Int) []*big.Int {
+	return combinat.Convolve(combinat.Convolve(a, b), c)
+}
+
+// complementTotal turns a non-satisfying count vector over an n-element
+// endogenous set into the satisfying counts: out[k] = C(n, k) − nonSat[k].
+func complementTotal(nonSat []*big.Int, n int) []*big.Int {
+	out := make([]*big.Int, n+1)
+	for k := 0; k <= n; k++ {
+		out[k] = combinat.Binomial(n, k)
+		if k < len(nonSat) {
+			out[k].Sub(out[k], nonSat[k])
+		}
+	}
+	return out
+}

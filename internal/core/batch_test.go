@@ -1,0 +1,321 @@
+package core
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"repro/internal/db"
+	"repro/internal/paperex"
+	"repro/internal/query"
+	"repro/internal/workload"
+)
+
+// batchWorkerCounts are the worker-pool sizes every differential test runs
+// under; 1 exercises the pure incremental DP, 4 the concurrent path.
+var batchWorkerCounts = []int{1, 4}
+
+// assertBatchMatchesPerFact runs ShapleyAllBatch under each worker count and
+// requires bit-for-bit agreement with the per-fact Shapley method.
+func assertBatchMatchesPerFact(t *testing.T, s *Solver, d *db.Database, q *query.CQ) []*ShapleyValue {
+	t.Helper()
+	facts := d.EndoFacts()
+	var first []*ShapleyValue
+	for _, workers := range batchWorkerCounts {
+		got, err := s.ShapleyAllBatch(d, q, BatchOptions{Workers: workers})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if len(got) != len(facts) {
+			t.Fatalf("workers=%d: %d results for %d facts", workers, len(got), len(facts))
+		}
+		for i, v := range got {
+			if !v.Fact.Equal(facts[i]) {
+				t.Fatalf("workers=%d: result %d is %s, want %s (order must be deterministic)", workers, i, v.Fact, facts[i])
+			}
+			want, err := s.Shapley(d, q, facts[i])
+			if err != nil {
+				t.Fatalf("per-fact Shapley(%s): %v", facts[i], err)
+			}
+			if v.Value.Cmp(want.Value) != 0 || v.Value.RatString() != want.Value.RatString() {
+				t.Fatalf("workers=%d: Shapley(%s) = %s, per-fact %s", workers, facts[i], v.Value.RatString(), want.Value.RatString())
+			}
+			if v.Method != want.Method {
+				t.Fatalf("workers=%d: method %v, per-fact %v", workers, v.Method, want.Method)
+			}
+		}
+		if first == nil {
+			first = got
+		}
+	}
+	return first
+}
+
+// assertMatchesBruteAll checks batch output against the brute-force oracle.
+func assertMatchesBruteAll(t *testing.T, vals []*ShapleyValue, d *db.Database, q query.BooleanQuery) {
+	t.Helper()
+	brute, err := BruteForceShapleyAll(d, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(brute) != len(vals) {
+		t.Fatalf("%d batch results vs %d brute-force results", len(vals), len(brute))
+	}
+	for i, v := range vals {
+		if v.Value.Cmp(brute[i].Value) != 0 {
+			t.Fatalf("Shapley(%s) = %s, brute force %s", v.Fact, v.Value.RatString(), brute[i].Value.RatString())
+		}
+	}
+}
+
+func TestBatchRunningExampleQ1(t *testing.T) {
+	d := paperex.RunningExample()
+	q1 := paperex.Q1()
+	s := &Solver{}
+	vals := assertBatchMatchesPerFact(t, s, d, q1)
+	for _, v := range vals {
+		if v.Method != MethodHierarchical {
+			t.Fatalf("expected the hierarchical method, got %v", v.Method)
+		}
+		want, ok := paperex.Example23Values[v.Fact.Key()]
+		if !ok {
+			t.Fatalf("unexpected fact %s", v.Fact)
+		}
+		if v.Value.RatString() != want {
+			t.Fatalf("Shapley(%s) = %s, paper says %s", v.Fact, v.Value.RatString(), want)
+		}
+	}
+	assertMatchesBruteAll(t, vals, d, q1)
+}
+
+func TestBatchExoShapQ2(t *testing.T) {
+	d := paperex.RunningExample()
+	q2 := paperex.Q2()
+	s := &Solver{ExoRelations: map[string]bool{"Stud": true, "Course": true}}
+	vals := assertBatchMatchesPerFact(t, s, d, q2)
+	for _, v := range vals {
+		if v.Method != MethodExoShap {
+			t.Fatalf("expected the ExoShap method, got %v", v.Method)
+		}
+	}
+	assertMatchesBruteAll(t, vals, d, q2)
+}
+
+// TestBatchFreeFillerShortCircuit: endogenous facts outside every atom
+// pattern must come out exactly zero without disturbing their neighbors.
+func TestBatchFreeFillerShortCircuit(t *testing.T) {
+	d := paperex.RunningExample()
+	d.MustAddEndo(db.F("Audit", "Adam"))
+	d.MustAddEndo(db.F("Audit", "Ben"))
+	q1 := paperex.Q1()
+	s := &Solver{}
+	vals := assertBatchMatchesPerFact(t, s, d, q1)
+	zeros := 0
+	for _, v := range vals {
+		if v.Fact.Rel == "Audit" {
+			zeros++
+			if v.Value.Sign() != 0 || v.Value.RatString() != "0" {
+				t.Fatalf("free filler %s has value %s, want 0", v.Fact, v.Value.RatString())
+			}
+		}
+	}
+	if zeros != 2 {
+		t.Fatalf("expected 2 free-filler facts, saw %d", zeros)
+	}
+	assertMatchesBruteAll(t, vals, d, q1)
+}
+
+// TestBatchDisconnectedQuery exercises the component topology of the
+// context (the query splits into variable-disjoint components).
+func TestBatchDisconnectedQuery(t *testing.T) {
+	d := db.MustParse(`
+endo R(a)
+endo R(b)
+exo  S(a, c)
+endo S(b, c)
+endo T(u, v)
+endo T(u, w)
+exo  T(z, z)
+`)
+	q := query.MustParse("q() :- R(x), S(x, y), T(z, w)")
+	s := &Solver{}
+	vals := assertBatchMatchesPerFact(t, s, d, q)
+	assertMatchesBruteAll(t, vals, d, q)
+}
+
+// TestBatchGroundQuery exercises the ground base-case topology.
+func TestBatchGroundQuery(t *testing.T) {
+	d := db.MustParse(`
+endo R(A)
+endo R(B)
+endo S(C)
+exo  S(E)
+`)
+	for _, src := range []string{
+		"q() :- R(A)",
+		"q() :- R(A), !S(C)",
+		"q() :- R(A), !S(E)",
+	} {
+		q := query.MustParse(src)
+		s := &Solver{}
+		vals := assertBatchMatchesPerFact(t, s, d, q)
+		assertMatchesBruteAll(t, vals, d, q)
+	}
+}
+
+// TestBatchSingletonBuckets covers the corner where removing a fact makes
+// its root-variable bucket empty (D−f loses the bucket entirely).
+func TestBatchSingletonBuckets(t *testing.T) {
+	d := db.MustParse(`
+exo  Stud(A)
+exo  Stud(B)
+endo TA(A)
+endo Reg(A, C1)
+endo Reg(B, C1)
+`)
+	q := query.MustParse("q() :- Stud(x), !TA(x), Reg(x, y)")
+	s := &Solver{}
+	vals := assertBatchMatchesPerFact(t, s, d, q)
+	assertMatchesBruteAll(t, vals, d, q)
+}
+
+func TestBatchUniversityWorkload(t *testing.T) {
+	d := workload.University(workload.UniversityConfig{
+		Students: 14, Courses: 5, RegPerStudent: 2, TAFraction: 0.4, Seed: 3,
+	})
+	q1 := paperex.Q1()
+	s := &Solver{}
+	assertBatchMatchesPerFact(t, s, d, q1)
+}
+
+// TestBatchDifferentialRandom mirrors the solver-level differential test:
+// random queries, random declarations, random data; the batch engine must
+// agree bit-for-bit with the per-fact path and the brute-force oracle.
+func TestBatchDifferentialRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(777))
+	cfg := workload.DefaultRandomCQConfig()
+	checked := 0
+	for trial := 0; trial < 200; trial++ {
+		q, exo := workload.RandomCQ(rng, cfg)
+		d := workload.RandomForQuery(rng, q, 2, 2, exo, 0.8)
+		if d.NumEndo() == 0 || d.NumEndo() > 9 {
+			continue
+		}
+		if !Classify(q, exo).Tractable {
+			continue
+		}
+		checked++
+		s := &Solver{ExoRelations: exo}
+		vals := assertBatchMatchesPerFact(t, s, d, q)
+		assertMatchesBruteAll(t, vals, d, q)
+	}
+	if checked < 30 {
+		t.Fatalf("differential coverage too thin: %d tractable instances", checked)
+	}
+}
+
+// TestBatchOnResultOrdering: the streaming callback must deliver the exact
+// result sequence, in fact order, regardless of worker count.
+func TestBatchOnResultOrdering(t *testing.T) {
+	d := workload.University(workload.UniversityConfig{
+		Students: 10, Courses: 4, RegPerStudent: 2, TAFraction: 0.5, Seed: 9,
+	})
+	q1 := paperex.Q1()
+	s := &Solver{}
+	for _, workers := range []int{1, 4, 16} {
+		var streamed []*ShapleyValue
+		got, err := s.ShapleyAllBatch(d, q1, BatchOptions{
+			Workers:  workers,
+			OnResult: func(v *ShapleyValue) { streamed = append(streamed, v) },
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(streamed) != len(got) {
+			t.Fatalf("workers=%d: streamed %d of %d results", workers, len(streamed), len(got))
+		}
+		for i := range got {
+			if streamed[i] != got[i] {
+				t.Fatalf("workers=%d: stream position %d out of order", workers, i)
+			}
+		}
+	}
+}
+
+// TestBatchFailsFast: declaration- and query-level problems must surface as
+// one error before any per-fact work, not after partial output.
+func TestBatchFailsFast(t *testing.T) {
+	d := paperex.RunningExample()
+	q1 := paperex.Q1()
+
+	// TA has endogenous facts, so declaring it exogenous is invalid.
+	bad := &Solver{ExoRelations: map[string]bool{"TA": true}}
+	calls := 0
+	if _, err := bad.ShapleyAllBatch(d, q1, BatchOptions{
+		OnResult: func(*ShapleyValue) { calls++ },
+	}); !errors.Is(err, ErrExoViolated) {
+		t.Fatalf("want ErrExoViolated, got %v", err)
+	}
+	if calls != 0 {
+		t.Fatalf("OnResult fired %d times before the up-front validation error", calls)
+	}
+
+	// Intractable without the brute-force fallback.
+	s := &Solver{}
+	if _, err := s.ShapleyAllBatch(d, paperex.Q2(), BatchOptions{}); !errors.Is(err, ErrIntractable) {
+		t.Fatalf("want ErrIntractable, got %v", err)
+	}
+
+	// Self-join query without fallback: also a single up-front refusal.
+	if _, err := s.ShapleyAllBatch(d, paperex.Q3(), BatchOptions{}); !errors.Is(err, ErrIntractable) {
+		t.Fatalf("want ErrIntractable for the self-join query, got %v", err)
+	}
+}
+
+// TestBatchBruteForceFallback: with AllowBruteForce the batch engine
+// delegates to the shared-cache oracle and still streams in order.
+func TestBatchBruteForceFallback(t *testing.T) {
+	d := paperex.RunningExample()
+	q2 := paperex.Q2()
+	s := &Solver{AllowBruteForce: true}
+	var streamed []*ShapleyValue
+	got, err := s.ShapleyAllBatch(d, q2, BatchOptions{
+		Workers:  4,
+		OnResult: func(v *ShapleyValue) { streamed = append(streamed, v) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(streamed) != len(got) {
+		t.Fatalf("streamed %d of %d results", len(streamed), len(got))
+	}
+	for i, v := range got {
+		if v.Method != MethodBruteForce {
+			t.Fatalf("expected brute-force method, got %v", v.Method)
+		}
+		want, err := s.Shapley(d, q2, v.Fact)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v.Value.Cmp(want.Value) != 0 {
+			t.Fatalf("Shapley(%s) = %s, per-fact %s", v.Fact, v.Value.RatString(), want.Value.RatString())
+		}
+		if streamed[i] != v {
+			t.Fatalf("stream position %d out of order", i)
+		}
+	}
+}
+
+// TestBatchEmptyDatabase: no endogenous facts means an empty result, not an
+// error.
+func TestBatchEmptyDatabase(t *testing.T) {
+	d := db.MustParse("exo Stud(A)\n")
+	s := &Solver{}
+	got, err := s.ShapleyAllBatch(d, paperex.Q1(), BatchOptions{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("expected no results, got %d", len(got))
+	}
+}

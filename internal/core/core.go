@@ -161,16 +161,12 @@ func (s *Solver) Shapley(d *db.Database, q *query.CQ, f db.Fact) (*ShapleyValue,
 	}
 }
 
-// ShapleyAll computes the Shapley value of every endogenous fact.
+// ShapleyAll computes the Shapley value of every endogenous fact. It
+// delegates to the batch engine (ShapleyAllBatch), so the query and the
+// exogenous declarations are validated once up front — a bad batch fails
+// fast with a single error instead of after partial per-fact work — and
+// the classification, ExoShap transformation and shared CntSat tables are
+// computed once for the whole batch.
 func (s *Solver) ShapleyAll(d *db.Database, q *query.CQ) ([]*ShapleyValue, error) {
-	facts := d.EndoFacts()
-	out := make([]*ShapleyValue, 0, len(facts))
-	for _, f := range facts {
-		v, err := s.Shapley(d, q, f)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, v)
-	}
-	return out, nil
+	return s.ShapleyAllBatch(d, q, BatchOptions{})
 }

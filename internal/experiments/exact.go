@@ -50,7 +50,10 @@ func runE01(w io.Writer) error {
 	d := paperex.RunningExample()
 	q1 := paperex.Q1()
 	solver := &core.Solver{}
-	vals, err := solver.ShapleyAll(d, q1)
+	// The all-facts workload goes through the batched engine (the same path
+	// ShapleyAll takes, with an explicit worker pool); the table below then
+	// pins every value against the paper and the brute-force oracle.
+	vals, err := solver.ShapleyAllBatch(d, q1, core.BatchOptions{Workers: 4})
 	if err != nil {
 		return err
 	}

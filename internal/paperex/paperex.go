@@ -8,16 +8,18 @@ package paperex
 
 import (
 	"fmt"
+	"os"
+	"path/filepath"
 
 	"repro/internal/db"
 	"repro/internal/query"
 )
 
-// RunningExample builds the database of Figure 1. Facts in Stud, Course and
-// Adv are exogenous; facts in TA and Reg are endogenous (Example 2.3).
-func RunningExample() *db.Database {
-	return db.MustParse(`
-# Figure 1: the university database
+// UniversityDBText is the database of Figure 1 in the textual format
+// understood by db.Parse. It is exported so that fixtures outside this
+// package (notably cmd/shapley/testdata/university.db) can be generated
+// from the single authoritative copy; see WriteUniversityDB.
+const UniversityDBText = `# Figure 1: the university database
 exo  Stud(Adam)
 exo  Stud(Ben)
 exo  Stud(Caroline)
@@ -38,7 +40,23 @@ exo  Adv(Michael, Adam)
 exo  Adv(Michael, Ben)
 exo  Adv(Naomi, Caroline)
 exo  Adv(Michael, David)
-`)
+`
+
+// RunningExample builds the database of Figure 1. Facts in Stud, Course and
+// Adv are exogenous; facts in TA and Reg are endogenous (Example 2.3).
+func RunningExample() *db.Database {
+	return db.MustParse(UniversityDBText)
+}
+
+// WriteUniversityDB writes the Figure 1 database to path in the textual
+// format, creating parent directories as needed. Test fixtures that read
+// the university database from disk are generated through this helper so
+// they can never drift from the in-code copy.
+func WriteUniversityDB(path string) error {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return err
+	}
+	return os.WriteFile(path, []byte(UniversityDBText), 0o644)
 }
 
 // Q1 returns q1() :- Stud(x), ¬TA(x), Reg(x,y) — hierarchical.
