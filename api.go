@@ -41,6 +41,13 @@ type (
 	// BatchOptions configures Solver.ShapleyAllBatch: the worker-pool size
 	// and an in-order streaming callback.
 	BatchOptions = core.BatchOptions
+	// PreparedBatch is a reusable handle over the fact-independent parts of
+	// a Shapley computation (validation, classification, ExoShap, shared
+	// CntSat tables), returned by Solver.PrepareAll / Solver.PrepareAllUCQ.
+	// Serving layers cache it across requests: its Shapley and ShapleyAll
+	// methods answer any number of queries over the prepared snapshot
+	// without re-running the setup.
+	PreparedBatch = core.PreparedBatch
 	// ShapleyValue is a computed value with its method.
 	ShapleyValue = core.ShapleyValue
 	// Classification locates a query in the paper's dichotomies.

@@ -5,6 +5,7 @@
 //
 //	shapley -db university.db -query 'q() :- Stud(x), !TA(x), Reg(x, y)'
 //	shapley -db university.db -query '...' -all -workers 4
+//	shapley -db university.db -query '...' -all -json
 //	shapley -db university.db -query-file q.cq -mode classify -exo Stud,Course
 //	shapley -db university.db -query '...' -fact 'TA(Adam)' -mode relevance
 //	shapley -db university.db -query '...' -mode mc -eps 0.1 -delta 0.05
@@ -13,15 +14,16 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"math/rand"
 	"os"
-	"sort"
 	"strings"
 
 	"repro"
+	"repro/internal/server"
 )
 
 // runOptions carries the parsed command line into run.
@@ -33,6 +35,7 @@ type runOptions struct {
 	fact      string
 	mode      string
 	all       bool
+	jsonOut   bool
 	workers   int
 	brute     bool
 	eps       float64
@@ -49,6 +52,7 @@ func main() {
 	flag.StringVar(&o.fact, "fact", "", "single fact to analyze (default: all endogenous facts)")
 	flag.StringVar(&o.mode, "mode", "shapley", "shapley | classify | relevance | mc | satcount | measures")
 	flag.BoolVar(&o.all, "all", false, "print a ranked attribution table over all endogenous facts (batched engine)")
+	flag.BoolVar(&o.jsonOut, "json", false, "with -mode shapley: emit JSON in the server's result schema")
 	flag.IntVar(&o.workers, "workers", 0, "worker-pool size for the batched engine (0 = GOMAXPROCS)")
 	flag.BoolVar(&o.brute, "brute-force", false, "allow exponential brute force on intractable queries")
 	flag.Float64Var(&o.eps, "eps", 0.1, "additive error for -mode mc")
@@ -97,6 +101,9 @@ func run(w io.Writer, o runOptions) error {
 	if o.all && o.mode != "shapley" {
 		return fmt.Errorf("-all applies only to -mode shapley, not %q", o.mode)
 	}
+	if o.jsonOut && o.mode != "shapley" {
+		return fmt.Errorf("-json applies only to -mode shapley, not %q", o.mode)
+	}
 	if o.all && o.fact != "" {
 		return fmt.Errorf("-all ranks every endogenous fact; drop -fact")
 	}
@@ -135,6 +142,9 @@ func run(w io.Writer, o runOptions) error {
 			if err != nil {
 				return fmt.Errorf("%s: %w", f, err)
 			}
+			if o.jsonOut {
+				return printJSON(w, server.EncodeValue(v))
+			}
 			fmt.Fprintf(w, "%-30s %s [%s]\n", f.Key(), v.Value.RatString(), v.Method)
 			return nil
 		}
@@ -144,6 +154,15 @@ func run(w io.Writer, o runOptions) error {
 		vals, err := solver.ShapleyAllBatch(d, q, repro.BatchOptions{Workers: o.workers})
 		if err != nil {
 			return err
+		}
+		if o.jsonOut {
+			// The same schema the server's /shapley endpoint emits: ranked
+			// with -all (the attribution-table order), database order
+			// otherwise.
+			if o.all {
+				return printJSON(w, map[string]any{"values": server.RankValues(vals)})
+			}
+			return printJSON(w, map[string]any{"values": server.EncodeValues(vals)})
 		}
 		if o.all {
 			printRanked(w, vals)
@@ -217,19 +236,20 @@ func run(w io.Writer, o runOptions) error {
 	return fmt.Errorf("unknown mode %q", o.mode)
 }
 
+// printJSON writes v as indented JSON (the schema shared with shapleyd).
+func printJSON(w io.Writer, v any) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(v)
+}
+
 // printRanked renders the batch output as an attribution table, most
-// influential facts first (ties broken by fact key for determinism).
+// influential facts first. The ordering and rank assignment come from
+// server.RankValues, so the table, the CLI's -json output and the server's
+// rank=true responses can never disagree.
 func printRanked(w io.Writer, vals []*repro.ShapleyValue) {
-	ranked := append([]*repro.ShapleyValue(nil), vals...)
-	sort.SliceStable(ranked, func(i, j int) bool {
-		if c := ranked[i].Value.Cmp(ranked[j].Value); c != 0 {
-			return c > 0
-		}
-		return ranked[i].Fact.Key() < ranked[j].Fact.Key()
-	})
 	fmt.Fprintf(w, "%4s  %-30s %15s %12s  %s\n", "rank", "fact", "Shapley", "decimal", "method")
-	for i, v := range ranked {
-		f64, _ := v.Value.Float64()
-		fmt.Fprintf(w, "%4d  %-30s %15s %+12.6f  [%s]\n", i+1, v.Fact.Key(), v.Value.RatString(), f64, v.Method)
+	for _, v := range server.RankValues(vals) {
+		fmt.Fprintf(w, "%4d  %-30s %15s %+12.6f  [%s]\n", v.Rank, v.Fact, v.Shapley, v.Decimal, v.Method)
 	}
 }

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"strings"
 	"testing"
 )
@@ -66,6 +67,67 @@ func TestRunAllRankedTable(t *testing.T) {
 		if !strings.Contains(lines[len(lines)-1], "TA(Adam)") || !strings.Contains(lines[len(lines)-1], "-3/28") {
 			t.Errorf("workers=%d: last rank should be TA(Adam) = -3/28:\n%s", workers, buf.String())
 		}
+	}
+}
+
+// TestRunJSONOutput: -json must emit the server's result schema — ranked
+// with -all, database order otherwise, and a bare object for single facts.
+func TestRunJSONOutput(t *testing.T) {
+	var buf bytes.Buffer
+	o := baseOpts(q1Src)
+	o.all = true
+	o.jsonOut = true
+	if err := run(&buf, o); err != nil {
+		t.Fatal(err)
+	}
+	var ranked struct {
+		Values []struct {
+			Rank    int     `json:"rank"`
+			Fact    string  `json:"fact"`
+			Shapley string  `json:"shapley"`
+			Decimal float64 `json:"decimal"`
+			Method  string  `json:"method"`
+		} `json:"values"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &ranked); err != nil {
+		t.Fatalf("decoding -all -json output: %v\n%s", err, buf.String())
+	}
+	if len(ranked.Values) != 8 {
+		t.Fatalf("want 8 values, got %d", len(ranked.Values))
+	}
+	if ranked.Values[0].Rank != 1 || ranked.Values[0].Shapley != "13/42" {
+		t.Fatalf("top-ranked value = %+v, want rank 1 at 13/42", ranked.Values[0])
+	}
+	for _, v := range ranked.Values {
+		if v.Method != "hierarchical" {
+			t.Fatalf("method = %q", v.Method)
+		}
+	}
+
+	buf.Reset()
+	o = baseOpts(q1Src)
+	o.fact = "TA(Adam)"
+	o.jsonOut = true
+	if err := run(&buf, o); err != nil {
+		t.Fatal(err)
+	}
+	var single struct {
+		Fact    string `json:"fact"`
+		Shapley string `json:"shapley"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &single); err != nil {
+		t.Fatalf("decoding single-fact -json output: %v\n%s", err, buf.String())
+	}
+	if single.Fact != "TA(Adam)" || single.Shapley != "-3/28" {
+		t.Fatalf("single = %+v", single)
+	}
+
+	// -json is scoped to -mode shapley.
+	o = baseOpts(q1Src)
+	o.mode = "classify"
+	o.jsonOut = true
+	if err := run(&buf, o); err == nil {
+		t.Fatal("-json with -mode classify should error")
 	}
 }
 

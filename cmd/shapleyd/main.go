@@ -1,0 +1,76 @@
+// Command shapleyd runs the Shapley attribution server: a long-lived HTTP
+// daemon serving exact and approximate Shapley values, classifications and
+// relevance over registered databases, with a cross-query LRU plan cache
+// so repeated queries skip validation, classification, ExoShap and the
+// shared CntSat tables.
+//
+// Usage:
+//
+//	shapleyd -addr :8080 -workers 4 -cache-size 128
+//
+// Quickstart (see docs/server.md for the full walkthrough):
+//
+//	curl -s localhost:8080/healthz
+//	curl -s -X POST localhost:8080/v1/databases \
+//	    -d '{"id":"uni","text":"exo Stud(Ann)\nendo TA(Ann)\nendo Reg(Ann, OS)"}'
+//	curl -s -X POST localhost:8080/v1/databases/uni/shapley \
+//	    -d '{"query":"q() :- Stud(x), !TA(x), Reg(x, y)","mode":"all"}'
+//
+// The daemon shuts down gracefully on SIGINT/SIGTERM, draining in-flight
+// requests before exiting.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/server"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", ":8080", "listen address")
+		workers   = flag.Int("workers", 0, "default worker-pool size for mode=all requests (0 = GOMAXPROCS)")
+		cacheSize = flag.Int("cache-size", server.DefaultCacheSize, "plan-cache capacity in entries")
+		drain     = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain timeout")
+	)
+	flag.Parse()
+
+	srv := server.New(server.Options{Workers: *workers, CacheSize: *cacheSize})
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	errCh := make(chan error, 1)
+	go func() {
+		log.Printf("shapleyd: listening on %s (workers=%d cache-size=%d)", *addr, *workers, *cacheSize)
+		errCh <- httpSrv.ListenAndServe()
+	}()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	select {
+	case err := <-errCh:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Fatalf("shapleyd: %v", err)
+		}
+	case <-ctx.Done():
+		log.Printf("shapleyd: shutting down (draining up to %s)", *drain)
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
+		defer cancel()
+		if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+			log.Printf("shapleyd: forced shutdown: %v", err)
+		}
+	}
+	log.Printf("shapleyd: bye")
+}

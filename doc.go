@@ -24,6 +24,16 @@
 //     binomials, per-bucket tables and their prefix/suffix convolutions)
 //     are shared, and per-fact work fans across a worker pool with
 //     deterministic output order — Solver.ShapleyAll delegates to it,
+//   - a reusable prepared handle (Solver.PrepareAll / PrepareAllUCQ →
+//     PreparedBatch): the batch engine's fact-independent setup as a
+//     first-class value that serves any number of single-fact or all-facts
+//     requests, plus a batched UCQ engine (Solver.ShapleyAllUCQ) and a
+//     parallel brute-force oracle (BruteForceShapleyAllWorkers),
+//   - a serving layer (internal/server + cmd/shapleyd): an HTTP/JSON
+//     attribution server with registered databases and a cross-query LRU
+//     plan cache (internal/servercache) keyed by database fingerprint and
+//     canonicalized query, so repeated queries skip validation,
+//     classification, ExoShap and the DP tables — see docs/server.md,
 //   - the additive Monte-Carlo FPRAS of §5.1 and the machinery showing why
 //     no multiplicative FPRAS exists in general (gap-property witnesses,
 //     relevance hardness reductions),
@@ -56,6 +66,16 @@
 //		Workers:  8,
 //		OnResult: func(v *repro.ShapleyValue) { fmt.Println(v) },
 //	})
+//
+// When the same database and query will be hit repeatedly (a serving
+// layer), prepare once and reuse the handle:
+//
+//	prepared, err := solver.PrepareAll(d, q)
+//	v, err := prepared.Shapley(f)                         // per-fact
+//	values, err := prepared.ShapleyAll(repro.BatchOptions{Workers: 8})
+//
+// The `shapleyd` daemon (cmd/shapleyd, docs/server.md) does exactly that
+// behind an HTTP/JSON API with an LRU plan cache across queries.
 //
 // See examples/ for runnable programs, DESIGN.md for the system inventory
 // and EXPERIMENTS.md for the paper-vs-measured record.

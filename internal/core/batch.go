@@ -3,10 +3,7 @@ package core
 import (
 	"fmt"
 	"math/big"
-	"runtime"
 	"sort"
-	"sync"
-	"sync/atomic"
 
 	"repro/internal/combinat"
 	"repro/internal/db"
@@ -35,115 +32,19 @@ type BatchOptions struct {
 // pool. Results are returned in d.EndoFacts() order and are bit-for-bit
 // identical to calling Shapley on each fact.
 //
+// It is PrepareAll followed by PreparedBatch.ShapleyAll; callers serving
+// many requests over one database should hold on to the PreparedBatch
+// instead, which amortizes the preparation across calls.
+//
 // On error, in-flight work is cancelled and the error of the lowest-indexed
 // fact observed to fail is returned (query- and declaration-level errors
 // surface before any per-fact work starts).
 func (s *Solver) ShapleyAllBatch(d *db.Database, q *query.CQ, opts BatchOptions) ([]*ShapleyValue, error) {
-	if err := q.Validate(); err != nil {
-		return nil, err
-	}
-	if err := s.checkExo(d); err != nil {
-		return nil, err
-	}
-	facts := d.EndoFacts()
-	out := make([]*ShapleyValue, len(facts))
-	if len(facts) == 0 {
-		return out, nil
-	}
-
-	c := Classify(q, s.ExoRelations)
-	var (
-		work   *db.Database
-		qh     *query.CQ
-		method Method
-	)
-	switch {
-	case c.SelfJoinFree && c.Hierarchical:
-		work, qh, method = d, q, MethodHierarchical
-	case c.SelfJoinFree && !c.HasNonHierPath:
-		d2, q2, _, err := ExoShapTransform(d, q, s.ExoRelations)
-		if err != nil {
-			return nil, err
-		}
-		work, qh, method = d2, q2, MethodExoShap
-	case s.AllowBruteForce:
-		vals, err := BruteForceShapleyAll(d, q)
-		if err != nil {
-			return nil, err
-		}
-		if opts.OnResult != nil {
-			for _, v := range vals {
-				opts.OnResult(v)
-			}
-		}
-		return vals, nil
-	default:
-		return nil, ErrIntractable
-	}
-
-	ctx, err := newSatCountContext(work, qh)
+	p, err := s.PrepareAll(d, q)
 	if err != nil {
 		return nil, err
 	}
-
-	workers := opts.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > len(facts) {
-		workers = len(facts)
-	}
-
-	var (
-		mu       sync.Mutex
-		firstIdx = -1
-		firstErr error
-		emitted  int
-		next     int64 = -1
-		cancel         = make(chan struct{})
-		once     sync.Once
-		wg       sync.WaitGroup
-	)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				i := int(atomic.AddInt64(&next, 1))
-				if i >= len(facts) {
-					return
-				}
-				select {
-				case <-cancel:
-					return
-				default:
-				}
-				v, err := ctx.shapley(facts[i])
-				mu.Lock()
-				if err != nil {
-					if firstIdx == -1 || i < firstIdx {
-						firstIdx, firstErr = i, fmt.Errorf("%s: %w", facts[i], err)
-					}
-					mu.Unlock()
-					once.Do(func() { close(cancel) })
-					return
-				}
-				out[i] = &ShapleyValue{Fact: facts[i], Value: v, Method: method}
-				if opts.OnResult != nil {
-					for emitted < len(out) && out[emitted] != nil {
-						opts.OnResult(out[emitted])
-						emitted++
-					}
-				}
-				mu.Unlock()
-			}
-		}()
-	}
-	wg.Wait()
-	if firstErr != nil {
-		return nil, firstErr
-	}
-	return out, nil
+	return p.ShapleyAll(opts)
 }
 
 // topoKind identifies the top-level shape of the CntSat dynamic program.

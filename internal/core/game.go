@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"math/big"
+	"sync"
 
 	"repro/internal/combinat"
 	"repro/internal/db"
@@ -116,35 +117,120 @@ func BruteForceShapley(d *db.Database, q query.BooleanQuery, f db.Fact) (*big.Ra
 }
 
 // BruteForceShapleyAll computes the Shapley value of every endogenous fact,
-// sharing one evaluation cache across all facts.
+// sharing one evaluation cache across all facts (the sequential scan:
+// every subset of the 2^m space is evaluated exactly once).
 func BruteForceShapleyAll(d *db.Database, q query.BooleanQuery) ([]*ShapleyValue, error) {
-	g, err := newGameCache(d, q)
+	return BruteForceShapleyAllWorkers(d, q, 1)
+}
+
+// BruteForceShapleyAllWorkers is BruteForceShapleyAll with an explicit
+// worker-pool size, mirroring BatchOptions.Workers of the polynomial batch
+// engine with one deliberate difference: zero (or one) means the
+// sequential shared-cache scan, not GOMAXPROCS. The gameCache memoization
+// map is not safe for concurrent writers, so each parallel worker
+// evaluates subsets against a private cache; a worker's facts cover
+// (nearly) the whole 2^m subset space either way, so fact-level
+// parallelism multiplies the total enumeration work by up to the worker
+// count in exchange for wall-clock overlap — callers must opt in
+// explicitly. Output order is d.EndoFacts() order regardless of
+// scheduling, and the values are identical to the sequential scan.
+func BruteForceShapleyAllWorkers(d *db.Database, q query.BooleanQuery, workers int) ([]*ShapleyValue, error) {
+	facts := d.EndoFacts()
+	out := make([]*ShapleyValue, len(facts))
+	if len(facts) == 0 {
+		// Validate the query/player bound even for the trivial batch.
+		if _, err := newGameCache(d, q); err != nil {
+			return nil, err
+		}
+		return out, nil
+	}
+	if workers > len(facts) {
+		workers = len(facts)
+	}
+	if workers <= 1 {
+		g, err := newGameCache(d, q)
+		if err != nil {
+			return nil, err
+		}
+		for i, f := range facts {
+			v, err := bruteForceOne(g, f)
+			if err != nil {
+				return nil, fmt.Errorf("%s: %w", f, err)
+			}
+			out[i] = &ShapleyValue{Fact: f, Value: v, Method: MethodBruteForce}
+		}
+		return out, nil
+	}
+
+	// Parallel path: facts are striped across workers, each with a private
+	// evaluation cache, writing results to fixed slots for deterministic
+	// output order.
+	var (
+		wg   sync.WaitGroup
+		mu   sync.Mutex
+		errI = -1
+		errV error
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			g, err := newGameCache(d, q)
+			if err != nil {
+				mu.Lock()
+				if errI == -1 || w < errI {
+					errI, errV = w, err
+				}
+				mu.Unlock()
+				return
+			}
+			for i := w; i < len(facts); i += workers {
+				v, err := bruteForceOne(g, facts[i])
+				if err != nil {
+					mu.Lock()
+					if errI == -1 || i < errI {
+						errI, errV = i, fmt.Errorf("%s: %w", facts[i], err)
+					}
+					mu.Unlock()
+					return
+				}
+				out[i] = &ShapleyValue{Fact: facts[i], Value: v, Method: MethodBruteForce}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if errV != nil {
+		return nil, errV
+	}
+	return out, nil
+}
+
+// bruteForceOne runs the subset-sum enumeration for one fact against a
+// caller-owned game cache.
+func bruteForceOne(g *gameCache, f db.Fact) (*big.Rat, error) {
+	fi, err := g.indexOf(f)
 	if err != nil {
 		return nil, err
 	}
 	m := len(g.endo)
-	out := make([]*ShapleyValue, m)
-	for i, f := range g.endo {
-		fbit := uint64(1) << uint(i)
-		total := new(big.Rat)
-		for mask := uint64(0); mask < 1<<uint(m); mask++ {
-			if mask&fbit != 0 {
-				continue
-			}
-			with, without := g.value(mask|fbit), g.value(mask)
-			if with == without {
-				continue
-			}
-			w := combinat.ShapleyWeight(popcount(mask), m)
-			if with {
-				total.Add(total, w)
-			} else {
-				total.Sub(total, w)
-			}
+	fbit := uint64(1) << uint(fi)
+	total := new(big.Rat)
+	for mask := uint64(0); mask < 1<<uint(m); mask++ {
+		if mask&fbit != 0 {
+			continue
 		}
-		out[i] = &ShapleyValue{Fact: f, Value: total, Method: MethodBruteForce}
+		with, without := g.value(mask|fbit), g.value(mask)
+		if with == without {
+			continue
+		}
+		w := combinat.ShapleyWeight(popcount(mask), m)
+		if with {
+			total.Add(total, w)
+		} else {
+			total.Sub(total, w)
+		}
 	}
-	return out, nil
+	return total, nil
 }
 
 // maxPermutationPlayers bounds the factorial enumeration of

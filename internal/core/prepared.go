@@ -1,0 +1,287 @@
+package core
+
+import (
+	"fmt"
+	"math/big"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/db"
+	"repro/internal/query"
+)
+
+// PreparedBatch is a reusable handle over everything in a Shapley
+// computation that does not depend on which fact is queried: the validated
+// query, the Classification, the ExoShap transformation (when the dichotomy
+// requires it) and the shared CntSat dynamic-programming tables
+// (satCountContext). Preparing once and serving many per-fact or all-facts
+// requests from the same handle is what lets a long-lived server amortize
+// the fact-independent setup across requests.
+//
+// A PreparedBatch is immutable after construction and safe for concurrent
+// use. It snapshots the database it was prepared against: mutating or
+// re-parsing the database afterwards does not invalidate the handle, it
+// simply answers for the snapshot.
+type PreparedBatch struct {
+	class  Classification
+	method Method
+	facts  []db.Fact // d.EndoFacts() order
+
+	// Tractable CQ path (hierarchical directly, or after ExoShap).
+	ctx *satCountContext
+
+	// Tractable UCQ path (relation-disjoint union of hierarchical CQ¬s).
+	uctx *ucqSatContext
+
+	// Brute-force fallback (AllowBruteForce on an intractable query). The
+	// database is a clone, honoring the snapshot semantics above.
+	bruteDB *db.Database
+	bruteQ  query.BooleanQuery
+
+	// empty marks a snapshot with no endogenous facts: ShapleyAll returns
+	// the empty batch without touching any algorithm (matching
+	// ShapleyAllBatch's historical short-circuit, which applied even to
+	// queries on the intractable side of the dichotomy).
+	empty bool
+}
+
+// Classification reports where the prepared query fell in the dichotomies.
+// For a UCQ prepared via PrepareAllUCQ the CQ-specific fields summarize the
+// disjuncts (SelfJoinFree/Hierarchical hold iff they hold for every
+// disjunct).
+func (p *PreparedBatch) Classification() Classification { return p.class }
+
+// Method reports which algorithm the handle will use.
+func (p *PreparedBatch) Method() Method { return p.method }
+
+// Facts returns the endogenous facts of the prepared snapshot, in the
+// deterministic order ShapleyAll results follow.
+func (p *PreparedBatch) Facts() []db.Fact { return append([]db.Fact(nil), p.facts...) }
+
+// NumFacts returns the number of endogenous facts in the snapshot.
+func (p *PreparedBatch) NumFacts() int { return len(p.facts) }
+
+// Shapley computes the value of a single endogenous fact, reusing the
+// prepared tables. It is bit-for-bit identical to Solver.Shapley on the
+// prepared database and query.
+func (p *PreparedBatch) Shapley(f db.Fact) (*ShapleyValue, error) {
+	switch {
+	case p.empty:
+		return nil, fmt.Errorf("%w: %s", ErrNotEndogenous, f)
+	case p.ctx != nil:
+		v, err := p.ctx.shapley(f)
+		if err != nil {
+			return nil, err
+		}
+		return &ShapleyValue{Fact: f, Value: v, Method: p.method}, nil
+	case p.uctx != nil:
+		v, err := p.uctx.shapley(f)
+		if err != nil {
+			return nil, err
+		}
+		return &ShapleyValue{Fact: f, Value: v, Method: p.method}, nil
+	default:
+		v, err := BruteForceShapley(p.bruteDB, p.bruteQ, f)
+		if err != nil {
+			return nil, err
+		}
+		return &ShapleyValue{Fact: f, Value: v, Method: MethodBruteForce}, nil
+	}
+}
+
+// ShapleyAll computes the value of every endogenous fact of the prepared
+// snapshot, fanning the per-fact work across opts.Workers goroutines.
+// Results are in Facts() order and identical to Solver.ShapleyAll.
+func (p *PreparedBatch) ShapleyAll(opts BatchOptions) ([]*ShapleyValue, error) {
+	switch {
+	case p.empty:
+		return []*ShapleyValue{}, nil
+	case p.ctx != nil:
+		return runFactPool(p.facts, opts, p.method, p.ctx.shapley)
+	case p.uctx != nil:
+		return runFactPool(p.facts, opts, p.method, p.uctx.shapley)
+	default:
+		vals, err := BruteForceShapleyAllWorkers(p.bruteDB, p.bruteQ, opts.Workers)
+		if err != nil {
+			return nil, err
+		}
+		if opts.OnResult != nil {
+			for _, v := range vals {
+				opts.OnResult(v)
+			}
+		}
+		return vals, nil
+	}
+}
+
+// PrepareAll validates, classifies and precomputes the shared state for
+// Shapley computation of q over d, returning a reusable handle. The
+// returned PreparedBatch serves any number of Shapley / ShapleyAll calls
+// without re-running validation, classification, ExoShap or the
+// fact-independent CntSat tables. Queries on the intractable side of the
+// dichotomy yield ErrIntractable unless s.AllowBruteForce is set.
+func (s *Solver) PrepareAll(d *db.Database, q *query.CQ) (*PreparedBatch, error) {
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	if err := s.checkExo(d); err != nil {
+		return nil, err
+	}
+	c := Classify(q, s.ExoRelations)
+	p := &PreparedBatch{class: c, facts: d.EndoFacts()}
+	if len(p.facts) == 0 {
+		p.empty, p.method = true, MethodHierarchical
+		return p, nil
+	}
+	switch {
+	case c.SelfJoinFree && c.Hierarchical:
+		ctx, err := newSatCountContext(d, q)
+		if err != nil {
+			return nil, err
+		}
+		p.ctx, p.method = ctx, MethodHierarchical
+	case c.SelfJoinFree && !c.HasNonHierPath:
+		d2, q2, _, err := ExoShapTransform(d, q, s.ExoRelations)
+		if err != nil {
+			return nil, err
+		}
+		ctx, err := newSatCountContext(d2, q2)
+		if err != nil {
+			return nil, err
+		}
+		p.ctx, p.method = ctx, MethodExoShap
+	case s.AllowBruteForce:
+		p.bruteDB, p.bruteQ, p.method = d.Clone(), q, MethodBruteForce
+	default:
+		return nil, ErrIntractable
+	}
+	return p, nil
+}
+
+// PrepareAllUCQ is PrepareAll for a union of CQ¬s. The exact algorithm
+// requires the disjuncts to be hierarchical, self-join-free and pairwise
+// relation-disjoint; other unions fall back to brute force when
+// s.AllowBruteForce is set and fail with the structural error otherwise.
+func (s *Solver) PrepareAllUCQ(d *db.Database, u *query.UCQ) (*PreparedBatch, error) {
+	if err := u.Validate(); err != nil {
+		return nil, err
+	}
+	if err := s.checkExo(d); err != nil {
+		return nil, err
+	}
+	p := &PreparedBatch{facts: d.EndoFacts(), class: classifyUCQ(u)}
+	if len(p.facts) == 0 {
+		p.empty, p.method = true, MethodHierarchical
+		return p, nil
+	}
+	ctx, err := newUCQSatContext(d, u)
+	if err != nil {
+		if isUCQStructuralError(err) && s.AllowBruteForce {
+			p.bruteDB, p.bruteQ, p.method = d.Clone(), u, MethodBruteForce
+			return p, nil
+		}
+		return nil, err
+	}
+	p.uctx, p.method = ctx, MethodHierarchical
+	return p, nil
+}
+
+// classifyUCQ summarizes a union in Classification terms in one walk over
+// the disjuncts: the CQ-specific structural fields hold iff they hold for
+// every disjunct, and Tractable additionally requires pairwise
+// relation-disjointness (the exact algorithm's precondition; see
+// newUCQSatContext, which enforces the same three checks with specific
+// errors).
+func classifyUCQ(u *query.UCQ) Classification {
+	c := Classification{
+		SelfJoinFree:       true,
+		Hierarchical:       true,
+		PolarityConsistent: u.IsPolarityConsistent(),
+	}
+	disjoint := true
+	seen := make(map[string]int)
+	for i, q := range u.Disjuncts {
+		if q.HasSelfJoin() {
+			c.SelfJoinFree = false
+		}
+		if !q.IsHierarchical() {
+			c.Hierarchical = false
+		}
+		for _, rel := range q.Relations() {
+			if j, dup := seen[rel]; dup && j != i {
+				disjoint = false
+			}
+			seen[rel] = i
+		}
+	}
+	c.Tractable = c.SelfJoinFree && c.Hierarchical && disjoint
+	return c
+}
+
+// runFactPool fans compute over the facts with opts.Workers goroutines,
+// preserving deterministic output order and in-order OnResult delivery, and
+// cancelling in-flight work on the first (lowest-indexed) error.
+func runFactPool(facts []db.Fact, opts BatchOptions, method Method, compute func(db.Fact) (*big.Rat, error)) ([]*ShapleyValue, error) {
+	out := make([]*ShapleyValue, len(facts))
+	if len(facts) == 0 {
+		return out, nil
+	}
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(facts) {
+		workers = len(facts)
+	}
+	var (
+		mu       sync.Mutex
+		firstIdx = -1
+		firstErr error
+		emitted  int
+		next     int64 = -1
+		cancel         = make(chan struct{})
+		once     sync.Once
+		wg       sync.WaitGroup
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(atomic.AddInt64(&next, 1))
+				if i >= len(facts) {
+					return
+				}
+				select {
+				case <-cancel:
+					return
+				default:
+				}
+				v, err := compute(facts[i])
+				mu.Lock()
+				if err != nil {
+					if firstIdx == -1 || i < firstIdx {
+						firstIdx, firstErr = i, fmt.Errorf("%s: %w", facts[i], err)
+					}
+					mu.Unlock()
+					once.Do(func() { close(cancel) })
+					return
+				}
+				out[i] = &ShapleyValue{Fact: facts[i], Value: v, Method: method}
+				if opts.OnResult != nil {
+					for emitted < len(out) && out[emitted] != nil {
+						opts.OnResult(out[emitted])
+						emitted++
+					}
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return out, nil
+}

@@ -1,0 +1,348 @@
+package core
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"repro/internal/db"
+	"repro/internal/paperex"
+	"repro/internal/query"
+	"repro/internal/workload"
+)
+
+// TestPreparedBatchReuse: one PrepareAll must serve repeated ShapleyAll and
+// single-fact Shapley calls with values bit-for-bit identical to the
+// unprepared paths.
+func TestPreparedBatchReuse(t *testing.T) {
+	d := workload.University(workload.UniversityConfig{
+		Students: 12, Courses: 4, RegPerStudent: 2, TAFraction: 0.4, Seed: 5,
+	})
+	q1 := paperex.Q1()
+	s := &Solver{}
+	want, err := s.ShapleyAll(d, q1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := s.PrepareAll(d, q1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := p.Method(), MethodHierarchical; got != want {
+		t.Fatalf("method = %v, want %v", got, want)
+	}
+	if !p.Classification().Tractable {
+		t.Fatal("prepared classification must be tractable")
+	}
+	if p.NumFacts() != len(want) {
+		t.Fatalf("NumFacts = %d, want %d", p.NumFacts(), len(want))
+	}
+	for round := 0; round < 3; round++ {
+		got, err := p.ShapleyAll(BatchOptions{Workers: 1 + round})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, v := range got {
+			if !v.Fact.Equal(want[i].Fact) || v.Value.Cmp(want[i].Value) != 0 {
+				t.Fatalf("round %d: Shapley(%s) = %s, want %s", round, v.Fact, v.Value.RatString(), want[i].Value.RatString())
+			}
+		}
+	}
+	for i, f := range p.Facts() {
+		v, err := p.Shapley(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v.Value.Cmp(want[i].Value) != 0 {
+			t.Fatalf("single-fact Shapley(%s) = %s, want %s", f, v.Value.RatString(), want[i].Value.RatString())
+		}
+	}
+}
+
+// TestPreparedBatchExoShap: preparation must hoist the ExoShap
+// transformation too, and still agree with the unprepared solver.
+func TestPreparedBatchExoShap(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	cfg := workload.DefaultRandomCQConfig()
+	checked := 0
+	for trial := 0; trial < 200 && checked < 10; trial++ {
+		q, exo := workload.RandomCQ(rng, cfg)
+		d := workload.RandomForQuery(rng, q, 2, 2, exo, 0.8)
+		if d.NumEndo() == 0 || d.NumEndo() > 9 {
+			continue
+		}
+		c := Classify(q, exo)
+		if !c.Tractable || c.Hierarchical || !c.SelfJoinFree {
+			continue // only the genuine ExoShap cases
+		}
+		checked++
+		s := &Solver{ExoRelations: exo}
+		p, err := s.PrepareAll(d, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.Method() != MethodExoShap {
+			t.Fatalf("method = %v, want %v", p.Method(), MethodExoShap)
+		}
+		for _, f := range d.EndoFacts() {
+			got, err := p.Shapley(f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := s.Shapley(d, q, f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got.Value.Cmp(want.Value) != 0 {
+				t.Fatalf("Shapley(%s) = %s, want %s", f, got.Value.RatString(), want.Value.RatString())
+			}
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no ExoShap instances generated")
+	}
+}
+
+// TestPreparedBatchIntractable: without brute force, preparation itself
+// reports ErrIntractable; with it, the handle serves brute-force values.
+func TestPreparedBatchIntractable(t *testing.T) {
+	d := db.MustParse(`
+endo R(a)
+endo S(a, b)
+endo T(b)
+`)
+	q := paperex.QRST()
+	s := &Solver{}
+	if _, err := s.PrepareAll(d, q); !errors.Is(err, ErrIntractable) {
+		t.Fatalf("want ErrIntractable, got %v", err)
+	}
+	s.AllowBruteForce = true
+	p, err := s.PrepareAll(d, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Method() != MethodBruteForce {
+		t.Fatalf("method = %v, want %v", p.Method(), MethodBruteForce)
+	}
+	vals, err := p.ShapleyAll(BatchOptions{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range vals {
+		want, err := BruteForceShapley(d, q, v.Fact)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v.Value.Cmp(want) != 0 {
+			t.Fatalf("Shapley(%s) = %s, brute %s", v.Fact, v.Value.RatString(), want.RatString())
+		}
+		single, err := p.Shapley(v.Fact)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if single.Value.Cmp(want) != 0 {
+			t.Fatalf("single Shapley(%s) = %s, brute %s", v.Fact, single.Value.RatString(), want.RatString())
+		}
+	}
+}
+
+// TestBruteForceShapleyAllWorkers: the parallel enumeration with per-worker
+// game caches must match the per-fact oracle at every worker count, in
+// deterministic d.EndoFacts() order.
+func TestBruteForceShapleyAllWorkers(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 4; trial++ {
+		d := db.New()
+		dom := []db.Const{"a", "b", "c"}
+		for i := 0; i < 8; i++ {
+			f := db.NewFact("R", dom[rng.Intn(3)], dom[rng.Intn(3)])
+			if !d.Contains(f) {
+				d.MustAdd(f, rng.Intn(4) > 0)
+			}
+		}
+		if d.NumEndo() == 0 {
+			continue
+		}
+		// A self-join query: only the brute-force oracle applies.
+		q := paperex.Example53Query()
+		facts := d.EndoFacts()
+		for _, workers := range []int{1, 3, 16} {
+			got, err := BruteForceShapleyAllWorkers(d, q, workers)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got) != len(facts) {
+				t.Fatalf("workers=%d: %d results for %d facts", workers, len(got), len(facts))
+			}
+			for i, v := range got {
+				if !v.Fact.Equal(facts[i]) {
+					t.Fatalf("workers=%d: result %d is %s, want %s", workers, i, v.Fact, facts[i])
+				}
+				want, err := BruteForceShapley(d, q, facts[i])
+				if err != nil {
+					t.Fatal(err)
+				}
+				if v.Value.Cmp(want) != 0 {
+					t.Fatalf("workers=%d: Shapley(%s) = %s, want %s", workers, v.Fact, v.Value.RatString(), want.RatString())
+				}
+			}
+		}
+	}
+}
+
+// TestShapleyAllUCQDifferential: the batched UCQ engine must agree
+// bit-for-bit with the per-fact ShapleyHierarchicalUCQ at every worker
+// count, including the free facts outside every disjunct.
+func TestShapleyAllUCQDifferential(t *testing.T) {
+	u := query.MustParseUCQ(`
+qa() :- R(x), S(x, y), !T(x, y)
+qb() :- U(x, y), !V(y)`)
+	rng := rand.New(rand.NewSource(321))
+	checked := 0
+	for trial := 0; trial < 8; trial++ {
+		d := db.New()
+		dom := []db.Const{"a", "b", "c"}
+		pick := func() db.Const { return dom[rng.Intn(len(dom))] }
+		add := func(f db.Fact) {
+			if !d.Contains(f) {
+				d.MustAdd(f, rng.Intn(3) > 0)
+			}
+		}
+		for i := 0; i < 3; i++ {
+			add(db.NewFact("R", pick()))
+			add(db.NewFact("S", pick(), pick()))
+			add(db.NewFact("T", pick(), pick()))
+			add(db.NewFact("U", pick(), pick()))
+			add(db.NewFact("V", pick()))
+			add(db.NewFact("Free", pick()))
+		}
+		if d.NumEndo() == 0 {
+			continue
+		}
+		checked++
+		s := &Solver{}
+		facts := d.EndoFacts()
+		for _, workers := range []int{1, 4} {
+			got, err := s.ShapleyAllUCQ(d, u, BatchOptions{Workers: workers})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got) != len(facts) {
+				t.Fatalf("workers=%d: %d results for %d facts", workers, len(got), len(facts))
+			}
+			for i, v := range got {
+				if !v.Fact.Equal(facts[i]) {
+					t.Fatalf("workers=%d: result %d is %s, want %s", workers, i, v.Fact, facts[i])
+				}
+				want, err := ShapleyHierarchicalUCQ(d, u, facts[i])
+				if err != nil {
+					t.Fatal(err)
+				}
+				if v.Value.Cmp(want) != 0 {
+					t.Fatalf("workers=%d: Shapley(%s) = %s, per-fact %s\nDB:\n%s", workers, v.Fact, v.Value.RatString(), want.RatString(), d)
+				}
+			}
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no instances generated")
+	}
+}
+
+// TestShapleyAllUCQBruteFallback: unions outside the exact algorithm fall
+// back to brute force only when allowed.
+func TestShapleyAllUCQBruteFallback(t *testing.T) {
+	u := query.MustParseUCQ("qa() :- R(x) | qb() :- R(x), S(x)")
+	d := db.MustParse(`
+endo R(a)
+endo S(a)
+endo R(b)
+`)
+	s := &Solver{}
+	if _, err := s.ShapleyAllUCQ(d, u, BatchOptions{}); !errors.Is(err, ErrUCQNotDisjoint) {
+		t.Fatalf("want ErrUCQNotDisjoint, got %v", err)
+	}
+	s.AllowBruteForce = true
+	vals, err := s.ShapleyAllUCQ(d, u, BatchOptions{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range vals {
+		if v.Method != MethodBruteForce {
+			t.Fatalf("method = %v, want brute force", v.Method)
+		}
+		want, err := BruteForceShapley(d, u, v.Fact)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v.Value.Cmp(want) != 0 {
+			t.Fatalf("Shapley(%s) = %s, brute %s", v.Fact, v.Value.RatString(), want.RatString())
+		}
+	}
+}
+
+// TestPreparedBatchEmptyDatabase: a database with no endogenous facts
+// yields the empty batch even for queries on the intractable side — the
+// historical ShapleyAllBatch short-circuit.
+func TestPreparedBatchEmptyDatabase(t *testing.T) {
+	d := db.MustParse(`
+exo R(a)
+exo S(a, b)
+exo T(b)
+`)
+	s := &Solver{}
+	// QRST is intractable without declarations; the empty batch must still
+	// succeed, as it did before PrepareAll existed.
+	vals, err := s.ShapleyAllBatch(d, paperex.QRST(), BatchOptions{})
+	if err != nil {
+		t.Fatalf("empty batch: %v", err)
+	}
+	if len(vals) != 0 {
+		t.Fatalf("%d values for an empty endogenous set", len(vals))
+	}
+	p, err := s.PrepareAll(d, paperex.QRST())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Shapley(db.F("R", "a")); !errors.Is(err, ErrNotEndogenous) {
+		t.Fatalf("want ErrNotEndogenous from the empty handle, got %v", err)
+	}
+	u := query.MustParseUCQ("qa() :- R(x) | qb() :- R(x), S(x, y)")
+	if vals, err := s.ShapleyAllUCQ(d, u, BatchOptions{}); err != nil || len(vals) != 0 {
+		t.Fatalf("empty UCQ batch: %v, %d values", err, len(vals))
+	}
+}
+
+// TestPreparedBatchSnapshotsBruteDatabase: the handle must answer for the
+// database as it was at preparation time on every path, including brute
+// force (which clones rather than aliasing the caller's pointer).
+func TestPreparedBatchSnapshotsBruteDatabase(t *testing.T) {
+	d := db.MustParse(`
+endo R(a)
+endo S(a, b)
+endo T(b)
+`)
+	s := &Solver{AllowBruteForce: true}
+	p, err := s.PrepareAll(d, paperex.QRST())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := p.ShapleyAll(BatchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Mutate the live database after preparation.
+	d.MustAddEndo(db.F("R", "b"))
+	got, err := p.ShapleyAll(BatchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) || len(got) != p.NumFacts() {
+		t.Fatalf("snapshot grew: %d values, prepared with %d", len(got), p.NumFacts())
+	}
+	for i := range got {
+		if got[i].Value.Cmp(want[i].Value) != 0 {
+			t.Fatalf("snapshot value drifted for %s", got[i].Fact)
+		}
+	}
+}

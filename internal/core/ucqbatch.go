@@ -1,0 +1,174 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math/big"
+
+	"repro/internal/combinat"
+	"repro/internal/db"
+	"repro/internal/query"
+)
+
+// ucqSatContext hoists the fact-independent parts of the
+// SatCountVectorUCQ computation for batched Shapley values over a
+// relation-disjoint union of hierarchical self-join-free CQ¬s: the
+// relation→disjunct map, the per-disjunct fact pools, the per-pool
+// non-satisfying count vectors and their prefix/suffix convolution
+// products, and the binomial vector for endogenous facts matching no
+// disjunct. Toggling a fact between endogenous, exogenous and absent only
+// changes the pool of its own disjunct, so a per-fact query costs two
+// single-pool Sat recomputations plus a constant number of full-length
+// convolutions instead of two full SatCountVectorUCQ runs.
+//
+// The context is immutable after construction and safe for concurrent use.
+type ucqSatContext struct {
+	u *query.UCQ
+	m int // |Dn| of the full database
+
+	poolQ    []*query.CQ
+	poolDB   []*db.Database
+	poolOf   map[string]int  // endogenous fact key -> pool index
+	freeKeys map[string]bool // endogenous facts of relations outside every disjunct
+	freeVec  []*big.Int      // BinomialVector(len(freeKeys)), nil when empty
+
+	// pre[i] / suf[i]: convolution of the per-pool NonSat vectors before /
+	// after pool i.
+	pre, suf [][]*big.Int
+}
+
+// isUCQStructuralError reports whether err is one of the structural
+// preconditions of the exact UCQ algorithm (as opposed to a data-level
+// error), i.e. the cases a brute-force fallback can still answer.
+func isUCQStructuralError(err error) bool {
+	return errors.Is(err, ErrNotSelfJoinFree) ||
+		errors.Is(err, ErrNotHierarchical) ||
+		errors.Is(err, ErrUCQNotDisjoint)
+}
+
+// newUCQSatContext validates u and precomputes the shared DP state for
+// batched Shapley computation over d.
+func newUCQSatContext(d *db.Database, u *query.UCQ) (*ucqSatContext, error) {
+	if err := u.Validate(); err != nil {
+		return nil, err
+	}
+	relOf := make(map[string]int)
+	for i, q := range u.Disjuncts {
+		if q.HasSelfJoin() {
+			return nil, fmt.Errorf("%w (disjunct %s)", ErrNotSelfJoinFree, q.Name())
+		}
+		if !q.IsHierarchical() {
+			return nil, fmt.Errorf("%w (disjunct %s)", ErrNotHierarchical, q.Name())
+		}
+		for _, rel := range q.Relations() {
+			if j, dup := relOf[rel]; dup && j != i {
+				return nil, fmt.Errorf("%w: %s", ErrUCQNotDisjoint, rel)
+			}
+			relOf[rel] = i
+		}
+	}
+	c := &ucqSatContext{
+		u:        u,
+		m:        d.NumEndo(),
+		poolOf:   make(map[string]int),
+		freeKeys: make(map[string]bool),
+	}
+	pools := make([]*db.Database, len(u.Disjuncts))
+	for i := range pools {
+		pools[i] = db.New()
+	}
+	for _, f := range d.Facts() {
+		if i, ok := relOf[f.Rel]; ok {
+			pools[i].MustAdd(f, d.IsEndogenous(f))
+			if d.IsEndogenous(f) {
+				c.poolOf[f.Key()] = i
+			}
+		} else if d.IsEndogenous(f) {
+			c.freeKeys[f.Key()] = true
+		}
+	}
+	if len(c.freeKeys) > 0 {
+		c.freeVec = combinat.BinomialVector(len(c.freeKeys))
+	}
+	vecs := make([][]*big.Int, 0, len(u.Disjuncts))
+	for i, q := range u.Disjuncts {
+		sat, err := SatCountVector(pools[i], q)
+		if err != nil {
+			return nil, err
+		}
+		c.poolQ = append(c.poolQ, q)
+		c.poolDB = append(c.poolDB, pools[i])
+		vecs = append(vecs, combinat.ComplementVector(sat, pools[i].NumEndo()))
+	}
+	c.pre, c.suf = prefixSuffixConv(vecs)
+	return c, nil
+}
+
+// shapley computes Shapley(D, u, f) for an endogenous fact of the
+// context's database, reusing the precomputed DP state. It is bit-for-bit
+// identical to ShapleyHierarchicalUCQ(d, u, f).
+func (c *ucqSatContext) shapley(f db.Fact) (*big.Rat, error) {
+	i, ok := c.poolOf[f.Key()]
+	if !ok {
+		// A fact of a relation outside every disjunct can never change the
+		// union's value, so its Shapley value is identically zero (it is a
+		// free filler on both sides of the weighted difference).
+		if c.freeKeys[f.Key()] {
+			return new(big.Rat), nil
+		}
+		return nil, fmt.Errorf("%w: %s", ErrNotEndogenous, f)
+	}
+	with, err := c.toggledUnionSat(i, f, true)
+	if err != nil {
+		return nil, err
+	}
+	without, err := c.toggledUnionSat(i, f, false)
+	if err != nil {
+		return nil, err
+	}
+	return combinat.WeightedDifference(with, without, c.m), nil
+}
+
+// toggledUnionSat returns |Sat(D±f, u, k)| for k = 0..m−1, recomputing only
+// the pool of disjunct i: f is moved to the exogenous side when asExo is
+// true and removed otherwise.
+func (c *ucqSatContext) toggledUnionSat(i int, f db.Fact, asExo bool) ([]*big.Int, error) {
+	pool := c.poolDB[i]
+	var (
+		toggled *db.Database
+		err     error
+	)
+	if asExo {
+		toggled, err = pool.WithExogenous(f)
+	} else {
+		toggled, err = pool.Without(f)
+	}
+	if err != nil {
+		return nil, err
+	}
+	sat, err := SatCountVector(toggled, c.poolQ[i])
+	if err != nil {
+		return nil, err
+	}
+	nonSat := combinat.ComplementVector(sat, pool.NumEndo()-1)
+	all := convolve3(c.pre[i], nonSat, c.suf[i])
+	if c.freeVec != nil {
+		all = combinat.Convolve(all, c.freeVec)
+	}
+	return complementTotal(all, c.m-1), nil
+}
+
+// ShapleyAllUCQ computes the Shapley value of every endogenous fact for a
+// union of CQ¬s, mirroring ShapleyAllBatch: the union is validated once,
+// the per-disjunct pools and NonSat tables are shared across the batch,
+// and the per-fact toggles fan across opts.Workers goroutines with
+// deterministic output order. Unions outside the exact algorithm's reach
+// (self-joins, non-hierarchical disjuncts, shared relations) fall back to
+// brute force when s.AllowBruteForce is set.
+func (s *Solver) ShapleyAllUCQ(d *db.Database, u *query.UCQ, opts BatchOptions) ([]*ShapleyValue, error) {
+	p, err := s.PrepareAllUCQ(d, u)
+	if err != nil {
+		return nil, err
+	}
+	return p.ShapleyAll(opts)
+}

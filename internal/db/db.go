@@ -10,6 +10,8 @@
 package db
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"fmt"
 	"sort"
 	"strings"
@@ -311,6 +313,28 @@ func (d *Database) Restrict(keep func(f Fact, endogenous bool) bool) *Database {
 		}
 	}
 	return out
+}
+
+// Fingerprint returns a content hash of the database: two databases have
+// equal fingerprints iff they contain the same facts with the same
+// endogeneity flags, regardless of insertion order. It is the database
+// component of cross-query plan-cache keys.
+func (d *Database) Fingerprint() string {
+	lines := make([]string, 0, len(d.order))
+	for _, sf := range d.order {
+		if sf.endo {
+			lines = append(lines, "n "+sf.fact.Key())
+		} else {
+			lines = append(lines, "x "+sf.fact.Key())
+		}
+	}
+	sort.Strings(lines)
+	h := sha256.New()
+	for _, l := range lines {
+		h.Write([]byte(l))
+		h.Write([]byte{'\n'})
+	}
+	return hex.EncodeToString(h.Sum(nil))
 }
 
 // String renders the database in the textual format understood by Parse.

@@ -295,3 +295,31 @@ func TestQuickRoundTrip(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// Fingerprint must be insertion-order independent, flag sensitive and
+// content sensitive — it keys the serving layer's cross-query plan cache.
+func TestFingerprint(t *testing.T) {
+	a := New()
+	a.MustAddExo(F("R", "x"))
+	a.MustAddEndo(F("S", "y"))
+	b := New()
+	b.MustAddEndo(F("S", "y"))
+	b.MustAddExo(F("R", "x"))
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Fatal("fingerprint must not depend on insertion order")
+	}
+	c := New()
+	c.MustAddEndo(F("R", "x")) // same facts, R flipped to endogenous
+	c.MustAddEndo(F("S", "y"))
+	if a.Fingerprint() == c.Fingerprint() {
+		t.Fatal("fingerprint must distinguish endogenous from exogenous")
+	}
+	d := New()
+	d.MustAddExo(F("R", "x"))
+	if a.Fingerprint() == d.Fingerprint() {
+		t.Fatal("fingerprint must depend on the fact set")
+	}
+	if len(a.Fingerprint()) != 64 {
+		t.Fatalf("fingerprint length %d, want 64 hex chars", len(a.Fingerprint()))
+	}
+}

@@ -1,0 +1,58 @@
+package server
+
+import (
+	"sort"
+
+	"repro/internal/core"
+)
+
+// ValueJSON is the wire form of one Shapley value. It is the single result
+// schema shared by the server's /shapley responses and the CLI's -json
+// output: the exact rational as a string (math/big rationals do not fit
+// JSON numbers), a float approximation for consumers that only chart, and
+// the method the dichotomy selected.
+type ValueJSON struct {
+	Rank    int     `json:"rank,omitempty"` // 1-based; set by RankValues only
+	Fact    string  `json:"fact"`
+	Shapley string  `json:"shapley"` // exact rational, e.g. "-3/28"
+	Decimal float64 `json:"decimal"`
+	Method  string  `json:"method"`
+}
+
+// EncodeValue converts one computed value.
+func EncodeValue(v *core.ShapleyValue) ValueJSON {
+	f64, _ := v.Value.Float64()
+	return ValueJSON{
+		Fact:    v.Fact.Key(),
+		Shapley: v.Value.RatString(),
+		Decimal: f64,
+		Method:  v.Method.String(),
+	}
+}
+
+// EncodeValues converts a batch in its given (database) order.
+func EncodeValues(vals []*core.ShapleyValue) []ValueJSON {
+	out := make([]ValueJSON, len(vals))
+	for i, v := range vals {
+		out[i] = EncodeValue(v)
+	}
+	return out
+}
+
+// RankValues converts a batch sorted by descending Shapley value (ties
+// broken by fact key for determinism) with 1-based ranks — the order of
+// the CLI's -all attribution table.
+func RankValues(vals []*core.ShapleyValue) []ValueJSON {
+	ranked := append([]*core.ShapleyValue(nil), vals...)
+	sort.SliceStable(ranked, func(i, j int) bool {
+		if c := ranked[i].Value.Cmp(ranked[j].Value); c != 0 {
+			return c > 0
+		}
+		return ranked[i].Fact.Key() < ranked[j].Fact.Key()
+	})
+	out := EncodeValues(ranked)
+	for i := range out {
+		out[i].Rank = i + 1
+	}
+	return out
+}

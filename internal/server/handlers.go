@@ -1,0 +1,477 @@
+package server
+
+import (
+	"fmt"
+	"math/rand"
+	"net/http"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/db"
+	"repro/internal/query"
+	"repro/internal/relevance"
+)
+
+// registerRequest is the body of POST /v1/databases.
+type registerRequest struct {
+	// ID optionally names the registration; generated when empty.
+	ID string `json:"id,omitempty"`
+	// Text is the database in the textual format ("exo R(a)" / "endo S(b)"
+	// lines).
+	Text string `json:"text"`
+}
+
+// databaseInfo describes a registered database.
+type databaseInfo struct {
+	ID          string    `json:"id"`
+	Fingerprint string    `json:"fingerprint"`
+	Facts       int       `json:"facts"`
+	Endogenous  int       `json:"endogenous"`
+	Exogenous   int       `json:"exogenous"`
+	Relations   []string  `json:"relations"`
+	Created     time.Time `json:"created"`
+}
+
+func (rdb *registeredDB) info() databaseInfo {
+	endo := rdb.d.NumEndo()
+	return databaseInfo{
+		ID:          rdb.id,
+		Fingerprint: rdb.fingerprint,
+		Facts:       rdb.d.NumFacts(),
+		Endogenous:  endo,
+		Exogenous:   rdb.d.NumFacts() - endo,
+		Relations:   rdb.d.Relations(),
+		Created:     rdb.created,
+	}
+}
+
+func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
+	var req registerRequest
+	if err := decodeBody(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad_request", err.Error())
+		return
+	}
+	if strings.TrimSpace(req.Text) == "" {
+		writeError(w, http.StatusBadRequest, "bad_request", "missing database text")
+		return
+	}
+	// "." and ".." survive registration but are unreachable afterwards:
+	// ServeMux path-cleaning redirects /v1/databases/../... away before
+	// route matching ever sees the id.
+	if strings.ContainsAny(req.ID, "/ \t\n") || req.ID == "." || req.ID == ".." {
+		writeError(w, http.StatusBadRequest, "bad_request", "database id must not contain slashes, whitespace or be a dot segment")
+		return
+	}
+	d, err := db.Parse(req.Text)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad_request", err.Error())
+		return
+	}
+	s.mu.Lock()
+	id := req.ID
+	if id == "" {
+		// Generated ids must not displace an explicitly registered database
+		// that happens to be named like one.
+		for {
+			s.seq++
+			id = fmt.Sprintf("db-%d", s.seq)
+			if _, taken := s.dbs[id]; !taken {
+				break
+			}
+		}
+	} else if _, exists := s.dbs[id]; exists {
+		s.mu.Unlock()
+		writeError(w, http.StatusConflict, "conflict", fmt.Sprintf("database %q is already registered", id))
+		return
+	}
+	rdb := &registeredDB{id: id, fingerprint: d.Fingerprint(), d: d, created: time.Now()}
+	s.dbs[id] = rdb
+	s.mu.Unlock()
+	writeJSON(w, http.StatusCreated, rdb.info())
+}
+
+func (s *Server) handleListDatabases(w http.ResponseWriter, r *http.Request) {
+	s.mu.RLock()
+	infos := make([]databaseInfo, 0, len(s.dbs))
+	for _, rdb := range s.dbs {
+		infos = append(infos, rdb.info())
+	}
+	s.mu.RUnlock()
+	sort.Slice(infos, func(i, j int) bool { return infos[i].ID < infos[j].ID })
+	writeJSON(w, http.StatusOK, map[string]any{"databases": infos})
+}
+
+func (s *Server) handleGetDatabase(w http.ResponseWriter, r *http.Request) {
+	rdb, ok := s.lookup(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "not_found", fmt.Sprintf("no database %q", r.PathValue("id")))
+		return
+	}
+	writeJSON(w, http.StatusOK, rdb.info())
+}
+
+func (s *Server) handleDeleteDatabase(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	rdb, ok := s.dbs[id]
+	if ok {
+		delete(s.dbs, id)
+	}
+	// Drop the deregistered database's cached plans unless another
+	// registration shares the fingerprint (plans are keyed by content, so
+	// they remain valid for the surviving alias).
+	shared := false
+	if ok {
+		for _, other := range s.dbs {
+			if other.fingerprint == rdb.fingerprint {
+				shared = true
+				break
+			}
+		}
+	}
+	s.mu.Unlock()
+	if !ok {
+		writeError(w, http.StatusNotFound, "not_found", fmt.Sprintf("no database %q", id))
+		return
+	}
+	if !shared {
+		prefix := rdb.fingerprint + "\x00"
+		s.plans.RemoveIf(func(key string) bool { return strings.HasPrefix(key, prefix) })
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// shapleyRequest is the body of POST /v1/databases/{id}/shapley.
+type shapleyRequest struct {
+	// Query is a CQ¬ in rule syntax, or a UCQ¬ with '|' between disjuncts.
+	Query string `json:"query"`
+	// Fact selects single-fact mode, e.g. "TA(Adam)".
+	Fact string `json:"fact,omitempty"`
+	// Mode "all" computes every endogenous fact; default is single-fact.
+	Mode string `json:"mode,omitempty"`
+	// Workers overrides the server's worker-pool size for this request.
+	Workers int `json:"workers,omitempty"`
+	// Exo declares schema-level exogenous relations (the set X of §4).
+	Exo []string `json:"exo,omitempty"`
+	// BruteForce permits exponential enumeration on intractable queries.
+	BruteForce bool `json:"brute_force,omitempty"`
+	// Rank sorts mode=all output by descending value (the CLI's -all table
+	// order) instead of database order.
+	Rank bool `json:"rank,omitempty"`
+}
+
+// shapleyResponse is the result schema shared (via ValueJSON) with the
+// CLI's -json output.
+type shapleyResponse struct {
+	Database string     `json:"database"`
+	Query    string     `json:"query"`
+	Method   string     `json:"method"`
+	Cache    string     `json:"cache"` // "hit" | "miss"
+	Value    *ValueJSON `json:"value,omitempty"`
+	// omitzero (not omitempty): a mode=all answer over a database with no
+	// endogenous facts must serialize as "values": [], while single-fact
+	// responses (nil slice) omit the key.
+	Values []ValueJSON `json:"values,omitzero"`
+}
+
+func (s *Server) handleShapley(w http.ResponseWriter, r *http.Request) {
+	rdb, ok := s.lookup(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "not_found", fmt.Sprintf("no database %q", r.PathValue("id")))
+		return
+	}
+	var req shapleyRequest
+	if err := decodeBody(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad_request", err.Error())
+		return
+	}
+	pq, err := parseRequestQuery(req.Query)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad_request", err.Error())
+		return
+	}
+	if req.Mode != "" && req.Mode != "all" {
+		writeError(w, http.StatusBadRequest, "bad_request", fmt.Sprintf("unknown mode %q (want \"\" or \"all\")", req.Mode))
+		return
+	}
+	if req.Mode == "" && req.Fact == "" {
+		writeError(w, http.StatusBadRequest, "bad_request", "single-fact mode needs \"fact\"; pass \"mode\": \"all\" for every endogenous fact")
+		return
+	}
+	if req.Mode == "all" && req.Fact != "" {
+		// Mirror the CLI's "-all ranks every endogenous fact; drop -fact".
+		writeError(w, http.StatusBadRequest, "bad_request", "mode \"all\" computes every endogenous fact; drop \"fact\"")
+		return
+	}
+	// Parse the fact before preparing: a malformed fact must not cost (or
+	// cache) a full plan preparation.
+	var f db.Fact
+	if req.Mode == "" {
+		var err error
+		if f, err = db.ParseFact(req.Fact); err != nil {
+			writeError(w, http.StatusBadRequest, "bad_request", err.Error())
+			return
+		}
+	}
+	prepared, hit, err := s.preparedFor(rdb, pq, req.Exo, req.BruteForce)
+	if err != nil {
+		writeSolverError(w, err)
+		return
+	}
+	cache := "miss"
+	if hit {
+		cache = "hit"
+	}
+	w.Header().Set("X-Cache", cache)
+	resp := shapleyResponse{
+		Database: rdb.id,
+		Query:    pq.canonical,
+		Method:   prepared.Method().String(),
+		Cache:    cache,
+	}
+
+	if req.Mode == "all" {
+		workers := req.Workers
+		if workers <= 0 {
+			workers = s.opts.Workers
+		}
+		vals, err := prepared.ShapleyAll(core.BatchOptions{Workers: workers})
+		if err != nil {
+			writeSolverError(w, err)
+			return
+		}
+		s.met.valuesComputed.Add(int64(len(vals)))
+		if req.Rank {
+			resp.Values = RankValues(vals)
+		} else {
+			resp.Values = EncodeValues(vals)
+		}
+		writeJSON(w, http.StatusOK, resp)
+		return
+	}
+
+	v, err := prepared.Shapley(f)
+	if err != nil {
+		writeSolverError(w, err)
+		return
+	}
+	s.met.valuesComputed.Add(1)
+	ev := EncodeValue(v)
+	resp.Value = &ev
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// classifyRequest is the body of POST /v1/databases/{id}/classify.
+type classifyRequest struct {
+	Query string   `json:"query"`
+	Exo   []string `json:"exo,omitempty"`
+}
+
+// classifyResponse mirrors core.Classification plus a human verdict.
+type classifyResponse struct {
+	Query              string `json:"query"`
+	SelfJoinFree       bool   `json:"self_join_free"`
+	Hierarchical       bool   `json:"hierarchical"`
+	PolarityConsistent bool   `json:"polarity_consistent"`
+	HasNonHierPath     bool   `json:"has_non_hierarchical_path"`
+	PathWitness        string `json:"path_witness,omitempty"`
+	Tractable          bool   `json:"tractable"`
+	Verdict            string `json:"verdict"`
+}
+
+func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
+	if _, ok := s.lookup(r.PathValue("id")); !ok {
+		writeError(w, http.StatusNotFound, "not_found", fmt.Sprintf("no database %q", r.PathValue("id")))
+		return
+	}
+	var req classifyRequest
+	if err := decodeBody(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad_request", err.Error())
+		return
+	}
+	pq, err := parseRequestQuery(req.Query)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad_request", err.Error())
+		return
+	}
+	if pq.cq == nil {
+		writeError(w, http.StatusBadRequest, "bad_request", "classification applies to a single CQ¬, not a union")
+		return
+	}
+	exoRels, err := exoSet(req.Exo)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad_request", err.Error())
+		return
+	}
+	c := core.Classify(pq.cq, exoRels)
+	resp := classifyResponse{
+		Query:              pq.canonical,
+		SelfJoinFree:       c.SelfJoinFree,
+		Hierarchical:       c.Hierarchical,
+		PolarityConsistent: c.PolarityConsistent,
+		HasNonHierPath:     c.HasNonHierPath,
+		Tractable:          c.Tractable,
+	}
+	if c.PathWitness != nil {
+		resp.PathWitness = fmt.Sprintf("%s→%s via %v", c.PathWitness.X, c.PathWitness.Y, c.PathWitness.Path)
+	}
+	if c.Tractable {
+		resp.Verdict = "exact Shapley computation is polynomial (Theorems 3.1/4.3)"
+	} else {
+		resp.Verdict = "exact Shapley computation is FP#P-complete (Theorems 3.1/4.3)"
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// relevanceRequest is the body of POST /v1/databases/{id}/relevance.
+type relevanceRequest struct {
+	Query      string `json:"query"`
+	Fact       string `json:"fact"`
+	BruteForce bool   `json:"brute_force,omitempty"`
+}
+
+type relevanceResponse struct {
+	Fact     string `json:"fact"`
+	Relevant bool   `json:"relevant"`
+	Method   string `json:"method"` // "polynomial" | "brute-force"
+}
+
+func (s *Server) handleRelevance(w http.ResponseWriter, r *http.Request) {
+	rdb, ok := s.lookup(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "not_found", fmt.Sprintf("no database %q", r.PathValue("id")))
+		return
+	}
+	var req relevanceRequest
+	if err := decodeBody(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad_request", err.Error())
+		return
+	}
+	pq, err := parseRequestQuery(req.Query)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad_request", err.Error())
+		return
+	}
+	f, err := db.ParseFact(req.Fact)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad_request", err.Error())
+		return
+	}
+	var (
+		rel    bool
+		method = "polynomial"
+	)
+	switch {
+	case pq.cq != nil && pq.cq.IsPolarityConsistent():
+		rel, err = relevance.IsRelevant(rdb.d, pq.cq, f)
+	case pq.ucq != nil && pq.ucq.IsPolarityConsistent():
+		rel, err = relevance.IsRelevantUCQ(rdb.d, pq.ucq, f)
+	case req.BruteForce:
+		method = "brute-force"
+		rel, err = relevance.IsRelevantBrute(rdb.d, boolQuery(pq), f)
+	default:
+		err = fmt.Errorf("%w: %s (set brute_force for the exponential check)", relevance.ErrNotPolarityConsistent, pq.canonical)
+	}
+	if err != nil {
+		writeSolverError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, relevanceResponse{Fact: f.Key(), Relevant: rel, Method: method})
+}
+
+// approxRequest is the body of POST /v1/databases/{id}/approx.
+type approxRequest struct {
+	Query string `json:"query"`
+	Fact  string `json:"fact"`
+	// Eps and Delta select the additive (ε, δ)-approximation of §5.1;
+	// defaults 0.1 and 0.05.
+	Eps   float64 `json:"eps,omitempty"`
+	Delta float64 `json:"delta,omitempty"`
+	// Samples, when positive, fixes the permutation count directly and
+	// overrides eps/delta.
+	Samples int `json:"samples,omitempty"`
+	// Seed makes the estimate reproducible; default 1.
+	Seed int64 `json:"seed,omitempty"`
+}
+
+type approxResponse struct {
+	Fact     string  `json:"fact"`
+	Estimate float64 `json:"estimate"`
+	Samples  int     `json:"samples"`
+	Eps      float64 `json:"eps,omitempty"`
+	Delta    float64 `json:"delta,omitempty"`
+	Seed     int64   `json:"seed"`
+}
+
+func (s *Server) handleApprox(w http.ResponseWriter, r *http.Request) {
+	rdb, ok := s.lookup(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "not_found", fmt.Sprintf("no database %q", r.PathValue("id")))
+		return
+	}
+	var req approxRequest
+	if err := decodeBody(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad_request", err.Error())
+		return
+	}
+	pq, err := parseRequestQuery(req.Query)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad_request", err.Error())
+		return
+	}
+	f, err := db.ParseFact(req.Fact)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad_request", err.Error())
+		return
+	}
+	if req.Eps == 0 {
+		req.Eps = 0.1
+	}
+	if req.Delta == 0 {
+		req.Delta = 0.05
+	}
+	if req.Seed == 0 {
+		req.Seed = 1
+	}
+	rng := rand.New(rand.NewSource(req.Seed))
+	var res core.MCResult
+	if req.Samples > 0 {
+		res, err = core.MonteCarloShapleyN(rdb.d, boolQuery(pq), f, req.Samples, rng)
+		req.Eps, req.Delta = 0, 0
+	} else {
+		res, err = core.MonteCarloShapley(rdb.d, boolQuery(pq), f, req.Eps, req.Delta, rng)
+	}
+	if err != nil {
+		writeSolverError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, approxResponse{
+		Fact:     f.Key(),
+		Estimate: res.Estimate,
+		Samples:  res.Samples,
+		Eps:      req.Eps,
+		Delta:    req.Delta,
+		Seed:     req.Seed,
+	})
+}
+
+// boolQuery returns the request query as the evaluation interface.
+func boolQuery(pq parsedQuery) query.BooleanQuery {
+	if pq.cq != nil {
+		return pq.cq
+	}
+	return pq.ucq
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.mu.RLock()
+	n := len(s.dbs)
+	s.mu.RUnlock()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":         "ok",
+		"databases":      n,
+		"uptime_seconds": time.Since(s.start).Seconds(),
+	})
+}

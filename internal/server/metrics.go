@@ -1,0 +1,93 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// metrics holds the server's counters. Everything is monotonically
+// increasing except the gauges derived at scrape time.
+type metrics struct {
+	mu       sync.Mutex
+	requests map[string]int64 // by "route|status"
+
+	valuesComputed atomic.Int64
+	plansPrepared  atomic.Int64
+}
+
+func newMetrics() *metrics {
+	return &metrics{requests: make(map[string]int64)}
+}
+
+func (m *metrics) countRequest(route string, status int) {
+	key := fmt.Sprintf("%s|%d", route, status)
+	m.mu.Lock()
+	m.requests[key]++
+	m.mu.Unlock()
+}
+
+// handleMetrics renders the counters in the Prometheus text exposition
+// format (hand-rolled: the container has no client library, and counters
+// plus gauges need nothing more).
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+
+	fmt.Fprintln(w, "# HELP shapleyd_requests_total HTTP requests served, by route pattern and status.")
+	fmt.Fprintln(w, "# TYPE shapleyd_requests_total counter")
+	s.met.mu.Lock()
+	keys := make([]string, 0, len(s.met.requests))
+	for k := range s.met.requests {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	lines := make([]string, 0, len(keys))
+	for _, k := range keys {
+		route, status := k, ""
+		if i := strings.LastIndexByte(k, '|'); i >= 0 {
+			route, status = k[:i], k[i+1:]
+		}
+		lines = append(lines, fmt.Sprintf("shapleyd_requests_total{route=%q,status=%q} %d", route, status, s.met.requests[k]))
+	}
+	s.met.mu.Unlock()
+	for _, l := range lines {
+		fmt.Fprintln(w, l)
+	}
+
+	hits, misses, evictions, entries := s.CacheStats()
+	fmt.Fprintln(w, "# HELP shapleyd_plan_cache_hits_total Plan-cache lookups answered from cache.")
+	fmt.Fprintln(w, "# TYPE shapleyd_plan_cache_hits_total counter")
+	fmt.Fprintf(w, "shapleyd_plan_cache_hits_total %d\n", hits)
+	fmt.Fprintln(w, "# HELP shapleyd_plan_cache_misses_total Plan-cache lookups that prepared fresh state.")
+	fmt.Fprintln(w, "# TYPE shapleyd_plan_cache_misses_total counter")
+	fmt.Fprintf(w, "shapleyd_plan_cache_misses_total %d\n", misses)
+	fmt.Fprintln(w, "# HELP shapleyd_plan_cache_evictions_total Plans displaced by LRU capacity pressure.")
+	fmt.Fprintln(w, "# TYPE shapleyd_plan_cache_evictions_total counter")
+	fmt.Fprintf(w, "shapleyd_plan_cache_evictions_total %d\n", evictions)
+	fmt.Fprintln(w, "# HELP shapleyd_plan_cache_entries Plans currently cached.")
+	fmt.Fprintln(w, "# TYPE shapleyd_plan_cache_entries gauge")
+	fmt.Fprintf(w, "shapleyd_plan_cache_entries %d\n", entries)
+
+	fmt.Fprintln(w, "# HELP shapleyd_plans_prepared_total PreparedBatch constructions (cold paths).")
+	fmt.Fprintln(w, "# TYPE shapleyd_plans_prepared_total counter")
+	fmt.Fprintf(w, "shapleyd_plans_prepared_total %d\n", s.met.plansPrepared.Load())
+
+	fmt.Fprintln(w, "# HELP shapleyd_values_computed_total Shapley values computed and returned.")
+	fmt.Fprintln(w, "# TYPE shapleyd_values_computed_total counter")
+	fmt.Fprintf(w, "shapleyd_values_computed_total %d\n", s.met.valuesComputed.Load())
+
+	s.mu.RLock()
+	n := len(s.dbs)
+	s.mu.RUnlock()
+	fmt.Fprintln(w, "# HELP shapleyd_databases_registered Databases currently registered.")
+	fmt.Fprintln(w, "# TYPE shapleyd_databases_registered gauge")
+	fmt.Fprintf(w, "shapleyd_databases_registered %d\n", n)
+
+	fmt.Fprintln(w, "# HELP shapleyd_uptime_seconds Seconds since the server started.")
+	fmt.Fprintln(w, "# TYPE shapleyd_uptime_seconds gauge")
+	fmt.Fprintf(w, "shapleyd_uptime_seconds %.3f\n", time.Since(s.start).Seconds())
+}

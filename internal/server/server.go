@@ -1,0 +1,322 @@
+// Package server implements the Shapley attribution server: an HTTP/JSON
+// serving layer over the exact and approximate algorithms of the
+// reproduction, designed around the observation that for the paper's
+// tractable cases (hierarchical CQ¬ via Lemma 3.2 CntSat, ExoShap per
+// Theorem 4.3, relation-disjoint UCQ¬s) the per-request cost is dominated
+// by fact-independent setup — validation, classification, the ExoShap
+// transformation and the shared CntSat dynamic-programming tables. A
+// long-lived server amortizes that setup across requests with a
+// cross-query LRU plan cache keyed by (database fingerprint, canonicalized
+// query, exogenous declarations, brute-force flag): warm requests go
+// straight to the per-fact toggles of a cached core.PreparedBatch.
+//
+// API (all request/response bodies are JSON):
+//
+//	POST   /v1/databases                  register a database (textual format)
+//	GET    /v1/databases                  list registered databases
+//	GET    /v1/databases/{id}             inspect one database
+//	DELETE /v1/databases/{id}             deregister (drops its cached plans)
+//	POST   /v1/databases/{id}/shapley     exact Shapley: one fact, or mode=all
+//	POST   /v1/databases/{id}/classify    dichotomy classification (Thms 3.1/4.3)
+//	POST   /v1/databases/{id}/relevance   relevance decision (Def. 5.2)
+//	POST   /v1/databases/{id}/approx      Monte-Carlo (ε, δ) estimate (§5.1)
+//	GET    /healthz                       liveness
+//	GET    /metrics                       Prometheus-format counters
+//
+// Queries on the FP#P-hard side of the dichotomies map to 422 (unless the
+// request sets brute_force), unknown databases and non-endogenous facts to
+// 404, and malformed inputs to 400.
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"regexp"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/db"
+	"repro/internal/query"
+	"repro/internal/relevance"
+	"repro/internal/servercache"
+)
+
+// Options configures a Server.
+type Options struct {
+	// Workers is the default worker-pool size for mode=all requests that do
+	// not set their own (zero means runtime.GOMAXPROCS(0)).
+	Workers int
+	// CacheSize is the plan-cache capacity in entries; zero means
+	// DefaultCacheSize.
+	CacheSize int
+	// MaxBodyBytes bounds request bodies; zero means DefaultMaxBodyBytes.
+	MaxBodyBytes int64
+}
+
+// DefaultCacheSize is the plan-cache capacity when Options.CacheSize is 0.
+const DefaultCacheSize = 128
+
+// DefaultMaxBodyBytes is the request-body bound when Options.MaxBodyBytes
+// is 0 (databases register as text, so bodies can be sizable).
+const DefaultMaxBodyBytes = 32 << 20
+
+// Server is the HTTP handler. Create with New; the zero value is unusable.
+type Server struct {
+	opts  Options
+	mux   *http.ServeMux
+	start time.Time
+
+	mu  sync.RWMutex
+	dbs map[string]*registeredDB
+	seq int
+
+	plans *servercache.Cache[*core.PreparedBatch]
+	met   *metrics
+}
+
+// registeredDB is one registered database. The database value is immutable
+// after registration, which is what makes cached plans valid for the life
+// of the registration.
+type registeredDB struct {
+	id          string
+	fingerprint string
+	d           *db.Database
+	created     time.Time
+}
+
+// New returns a Server ready to serve.
+func New(opts Options) *Server {
+	if opts.CacheSize <= 0 {
+		opts.CacheSize = DefaultCacheSize
+	}
+	if opts.MaxBodyBytes <= 0 {
+		opts.MaxBodyBytes = DefaultMaxBodyBytes
+	}
+	s := &Server{
+		opts:  opts,
+		mux:   http.NewServeMux(),
+		start: time.Now(),
+		dbs:   make(map[string]*registeredDB),
+		plans: servercache.New[*core.PreparedBatch](opts.CacheSize),
+		met:   newMetrics(),
+	}
+	s.mux.HandleFunc("POST /v1/databases", s.handleRegister)
+	s.mux.HandleFunc("GET /v1/databases", s.handleListDatabases)
+	s.mux.HandleFunc("GET /v1/databases/{id}", s.handleGetDatabase)
+	s.mux.HandleFunc("DELETE /v1/databases/{id}", s.handleDeleteDatabase)
+	s.mux.HandleFunc("POST /v1/databases/{id}/shapley", s.handleShapley)
+	s.mux.HandleFunc("POST /v1/databases/{id}/classify", s.handleClassify)
+	s.mux.HandleFunc("POST /v1/databases/{id}/relevance", s.handleRelevance)
+	s.mux.HandleFunc("POST /v1/databases/{id}/approx", s.handleApprox)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return s
+}
+
+// ServeHTTP implements http.Handler, recording per-route counters around
+// the mux dispatch.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if s.opts.MaxBodyBytes > 0 && r.Body != nil {
+		r.Body = http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes)
+	}
+	sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+	s.mux.ServeHTTP(sw, r)
+	// r.Pattern is set by the mux on a match; unmatched requests group
+	// under "unmatched".
+	route := r.Pattern
+	if route == "" {
+		route = "unmatched"
+	}
+	s.met.countRequest(route, sw.status)
+}
+
+// statusWriter captures the response status for metrics.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// CacheStats reports the plan cache's hit/miss/eviction counters and
+// current size (exported for tests and benchmarks).
+func (s *Server) CacheStats() (hits, misses, evictions int64, entries int) {
+	return s.plans.Hits(), s.plans.Misses(), s.plans.Evictions(), s.plans.Len()
+}
+
+// PurgePlans empties the plan cache (benchmark cold-path support).
+func (s *Server) PurgePlans() { s.plans.Purge() }
+
+// lookup returns the registered database for an id.
+func (s *Server) lookup(id string) (*registeredDB, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	rdb, ok := s.dbs[id]
+	return rdb, ok
+}
+
+// planKey builds the cross-query cache key. The query component is the
+// canonical rendering of the parsed query, so textual variants of the same
+// query (whitespace, atom spelling) share a plan; exogenous declarations
+// and the brute-force flag change the prepared state, so they are part of
+// the key. Joining the exo list with ',' is collision-free because exoSet
+// rejects relation names containing anything but word characters.
+func planKey(fingerprint, canonicalQuery string, exo []string, brute bool) string {
+	sorted := append([]string(nil), exo...)
+	sort.Strings(sorted)
+	return fmt.Sprintf("%s\x00%s\x00exo=%s\x00bf=%t", fingerprint, canonicalQuery, strings.Join(sorted, ","), brute)
+}
+
+// parsedQuery is a request query parsed to its canonical form: exactly one
+// of cq and ucq is non-nil (a union with a single disjunct is a CQ).
+type parsedQuery struct {
+	cq        *query.CQ
+	ucq       *query.UCQ
+	canonical string
+}
+
+func parseRequestQuery(src string) (parsedQuery, error) {
+	if strings.TrimSpace(src) == "" {
+		return parsedQuery{}, fmt.Errorf("missing query")
+	}
+	u, err := query.ParseUCQ(src)
+	if err != nil {
+		return parsedQuery{}, err
+	}
+	if len(u.Disjuncts) == 1 {
+		q := u.Disjuncts[0]
+		return parsedQuery{cq: q, canonical: q.String()}, nil
+	}
+	return parsedQuery{ucq: u, canonical: u.String()}, nil
+}
+
+// preparedFor returns the PreparedBatch for (rdb, pq, exo, brute), from
+// the plan cache when warm. Concurrent misses on the same key may prepare
+// twice; the last Put wins and both handles are valid, so correctness is
+// unaffected.
+func (s *Server) preparedFor(rdb *registeredDB, pq parsedQuery, exo []string, brute bool) (*core.PreparedBatch, bool, error) {
+	exoRels, err := exoSet(exo)
+	if err != nil {
+		return nil, false, err
+	}
+	key := planKey(rdb.fingerprint, pq.canonical, exo, brute)
+	if p, ok := s.plans.Get(key); ok {
+		return p, true, nil
+	}
+	solver := &core.Solver{ExoRelations: exoRels, AllowBruteForce: brute}
+	var p *core.PreparedBatch
+	if pq.cq != nil {
+		p, err = solver.PrepareAll(rdb.d, pq.cq)
+	} else {
+		p, err = solver.PrepareAllUCQ(rdb.d, pq.ucq)
+	}
+	if err != nil {
+		return nil, false, err
+	}
+	s.met.plansPrepared.Add(1)
+	s.plans.Put(key, p)
+	return p, false, nil
+}
+
+// relName matches well-formed relation symbols. Rejecting anything else at
+// the API boundary both surfaces typos early and guarantees that the
+// comma-joined exo component of planKey cannot collide across distinct
+// declaration lists.
+var relName = regexp.MustCompile(`^[A-Za-z_][A-Za-z0-9_]*$`)
+
+func exoSet(exo []string) (map[string]bool, error) {
+	if len(exo) == 0 {
+		return nil, nil
+	}
+	m := make(map[string]bool, len(exo))
+	for _, r := range exo {
+		if !relName.MatchString(r) {
+			return nil, fmt.Errorf("invalid exogenous relation name %q", r)
+		}
+		m[r] = true
+	}
+	return m, nil
+}
+
+// statusFor maps solver errors to HTTP status codes: data-level "no such
+// endogenous fact" is 404, complexity-side rejections (the FP#P-hard side
+// of the dichotomies and the structural preconditions of the exact
+// algorithms) are 422, everything else (parse and validation failures) is
+// 400.
+func statusFor(err error) int {
+	switch {
+	case errors.Is(err, core.ErrNotEndogenous):
+		return http.StatusNotFound
+	case errors.Is(err, core.ErrIntractable),
+		errors.Is(err, core.ErrNotSelfJoinFree),
+		errors.Is(err, core.ErrNotHierarchical),
+		errors.Is(err, core.ErrUCQNotDisjoint),
+		errors.Is(err, relevance.ErrNotPolarityConsistent):
+		return http.StatusUnprocessableEntity
+	default:
+		return http.StatusBadRequest
+	}
+}
+
+// errKind labels an error for machine consumption in error bodies.
+func errKind(err error) string {
+	switch {
+	case errors.Is(err, core.ErrNotEndogenous):
+		return "not_endogenous"
+	case errors.Is(err, core.ErrIntractable):
+		return "intractable"
+	case errors.Is(err, core.ErrNotSelfJoinFree):
+		return "not_self_join_free"
+	case errors.Is(err, core.ErrNotHierarchical):
+		return "not_hierarchical"
+	case errors.Is(err, core.ErrUCQNotDisjoint):
+		return "ucq_not_disjoint"
+	case errors.Is(err, relevance.ErrNotPolarityConsistent):
+		return "not_polarity_consistent"
+	case errors.Is(err, core.ErrExoViolated):
+		return "exo_violated"
+	default:
+		return "bad_request"
+	}
+}
+
+// writeJSON encodes v with a status code.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+// errorBody is the uniform error response.
+type errorBody struct {
+	Error string `json:"error"`
+	Kind  string `json:"kind"`
+}
+
+func writeError(w http.ResponseWriter, status int, kind, msg string) {
+	writeJSON(w, status, errorBody{Error: msg, Kind: kind})
+}
+
+func writeSolverError(w http.ResponseWriter, err error) {
+	writeError(w, statusFor(err), errKind(err), err.Error())
+}
+
+// decodeBody decodes a JSON request body into dst.
+func decodeBody(r *http.Request, dst any) error {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		return fmt.Errorf("invalid JSON body: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,440 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/db"
+	"repro/internal/paperex"
+	"repro/internal/query"
+)
+
+const q1Src = "q1() :- Stud(x), !TA(x), Reg(x, y)"
+
+// do runs one request against the handler and decodes the JSON response
+// into out (when non-nil), returning the recorder.
+func do(t *testing.T, h http.Handler, method, path string, body any, out any) *httptest.ResponseRecorder {
+	t.Helper()
+	var rd *bytes.Reader
+	if body == nil {
+		rd = bytes.NewReader(nil)
+	} else {
+		raw, err := json.Marshal(body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rd = bytes.NewReader(raw)
+	}
+	req := httptest.NewRequest(method, path, rd)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if out != nil {
+		if err := json.Unmarshal(rec.Body.Bytes(), out); err != nil {
+			t.Fatalf("%s %s: decoding %q: %v", method, path, rec.Body.String(), err)
+		}
+	}
+	return rec
+}
+
+// registerUniversity registers the Figure 1 database under id "uni".
+func registerUniversity(t *testing.T, s *Server) {
+	t.Helper()
+	var info map[string]any
+	rec := do(t, s, "POST", "/v1/databases", map[string]any{"id": "uni", "text": paperex.UniversityDBText}, &info)
+	if rec.Code != http.StatusCreated {
+		t.Fatalf("register: status %d: %s", rec.Code, rec.Body.String())
+	}
+	if info["id"] != "uni" || info["endogenous"].(float64) != 8 {
+		t.Fatalf("register info = %v", info)
+	}
+}
+
+func TestServerRegisterQueryCacheHit(t *testing.T) {
+	s := New(Options{})
+	registerUniversity(t, s)
+
+	// Cold request: prepared fresh.
+	var resp shapleyResponse
+	rec := do(t, s, "POST", "/v1/databases/uni/shapley", map[string]any{"query": q1Src, "mode": "all"}, &resp)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("shapley: status %d: %s", rec.Code, rec.Body.String())
+	}
+	if resp.Cache != "miss" || rec.Header().Get("X-Cache") != "miss" {
+		t.Fatalf("first request should be a cache miss, got %q", resp.Cache)
+	}
+	if resp.Method != "hierarchical" {
+		t.Fatalf("method = %q, want hierarchical", resp.Method)
+	}
+	if len(resp.Values) != 8 {
+		t.Fatalf("%d values, want 8", len(resp.Values))
+	}
+	for _, v := range resp.Values {
+		if want := paperex.Example23Values[v.Fact]; want != v.Shapley {
+			t.Fatalf("Shapley(%s) = %s, want %s", v.Fact, v.Shapley, want)
+		}
+	}
+
+	// Warm request with different whitespace: the canonicalized query must
+	// hit the same plan.
+	var warm shapleyResponse
+	rec = do(t, s, "POST", "/v1/databases/uni/shapley",
+		map[string]any{"query": "q1()   :-   Stud(x), !TA(x),Reg(x , y)", "mode": "all"}, &warm)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("warm shapley: status %d: %s", rec.Code, rec.Body.String())
+	}
+	if warm.Cache != "hit" || rec.Header().Get("X-Cache") != "hit" {
+		t.Fatalf("second request should be a cache hit, got %q", warm.Cache)
+	}
+	for i := range warm.Values {
+		if warm.Values[i] != resp.Values[i] {
+			t.Fatalf("warm value %d differs: %v vs %v", i, warm.Values[i], resp.Values[i])
+		}
+	}
+
+	// Single-fact requests ride the same cached plan.
+	var single shapleyResponse
+	rec = do(t, s, "POST", "/v1/databases/uni/shapley", map[string]any{"query": q1Src, "fact": "TA(Adam)"}, &single)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("single: status %d: %s", rec.Code, rec.Body.String())
+	}
+	if single.Cache != "hit" {
+		t.Fatalf("single-fact request should reuse the plan, got %q", single.Cache)
+	}
+	if single.Value == nil || single.Value.Shapley != "-3/28" {
+		t.Fatalf("Shapley(TA(Adam)) = %+v, want -3/28", single.Value)
+	}
+
+	// One miss (the cold request), two hits (warm mode=all + single fact),
+	// one cached plan.
+	hits, misses, _, entries := s.CacheStats()
+	if hits != 2 || misses != 1 || entries != 1 {
+		t.Fatalf("cache stats hits=%d misses=%d entries=%d, want 2/1/1", hits, misses, entries)
+	}
+}
+
+func TestServerRankedAndWarmIdentical(t *testing.T) {
+	s := New(Options{})
+	registerUniversity(t, s)
+
+	var ranked shapleyResponse
+	do(t, s, "POST", "/v1/databases/uni/shapley", map[string]any{"query": q1Src, "mode": "all", "rank": true}, &ranked)
+	if len(ranked.Values) != 8 || ranked.Values[0].Rank != 1 {
+		t.Fatalf("ranked values = %+v", ranked.Values)
+	}
+	for i := 1; i < len(ranked.Values); i++ {
+		if ranked.Values[i-1].Decimal < ranked.Values[i].Decimal {
+			t.Fatalf("ranking not descending at %d", i)
+		}
+	}
+
+	// The warm path must be bit-for-bit identical to the library engine.
+	d := db.MustParse(paperex.UniversityDBText)
+	want, err := (&core.Solver{}).ShapleyAll(d, query.MustParse(q1Src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var warm shapleyResponse
+	rec := do(t, s, "POST", "/v1/databases/uni/shapley", map[string]any{"query": q1Src, "mode": "all"}, &warm)
+	if warm.Cache != "hit" {
+		t.Fatalf("expected warm request, got %q (%s)", warm.Cache, rec.Body.String())
+	}
+	for i, v := range warm.Values {
+		if v.Fact != want[i].Fact.Key() || v.Shapley != want[i].Value.RatString() {
+			t.Fatalf("warm value %d = %+v, want %s = %s", i, v, want[i].Fact.Key(), want[i].Value.RatString())
+		}
+	}
+}
+
+func TestServerErrorMapping(t *testing.T) {
+	s := New(Options{})
+	registerUniversity(t, s)
+
+	cases := []struct {
+		name   string
+		path   string
+		body   any
+		status int
+		kind   string
+	}{
+		{"unknown database", "/v1/databases/nope/shapley",
+			map[string]any{"query": q1Src, "mode": "all"}, http.StatusNotFound, "not_found"},
+		{"intractable query", "/v1/databases/uni/shapley",
+			map[string]any{"query": "q() :- TA(x), Reg(x, y), Course(y, z)", "mode": "all"}, http.StatusUnprocessableEntity, "intractable"},
+		{"not endogenous fact", "/v1/databases/uni/shapley",
+			map[string]any{"query": q1Src, "fact": "Stud(Adam)"}, http.StatusNotFound, "not_endogenous"},
+		{"absent fact", "/v1/databases/uni/shapley",
+			map[string]any{"query": q1Src, "fact": "TA(Zoe)"}, http.StatusNotFound, "not_endogenous"},
+		{"parse error", "/v1/databases/uni/shapley",
+			map[string]any{"query": "not a query", "mode": "all"}, http.StatusBadRequest, "bad_request"},
+		{"missing fact and mode", "/v1/databases/uni/shapley",
+			map[string]any{"query": q1Src}, http.StatusBadRequest, "bad_request"},
+		{"mode=all with fact", "/v1/databases/uni/shapley",
+			map[string]any{"query": q1Src, "mode": "all", "fact": "TA(Adam)"}, http.StatusBadRequest, "bad_request"},
+		{"exo violated", "/v1/databases/uni/shapley",
+			map[string]any{"query": q1Src, "mode": "all", "exo": []string{"TA"}}, http.StatusBadRequest, "exo_violated"},
+		{"malformed exo name", "/v1/databases/uni/shapley",
+			map[string]any{"query": q1Src, "mode": "all", "exo": []string{"Stud,Course"}}, http.StatusBadRequest, "bad_request"},
+		{"non-disjoint union", "/v1/databases/uni/shapley",
+			map[string]any{"query": "qa() :- TA(x) | qb() :- TA(x), Reg(x, y)", "mode": "all"}, http.StatusUnprocessableEntity, "ucq_not_disjoint"},
+		{"polarity inconsistent relevance", "/v1/databases/uni/relevance",
+			map[string]any{"query": "q() :- Reg(x, y), !Reg(y, x)", "fact": "Reg(Adam,OS)"}, http.StatusUnprocessableEntity, "not_polarity_consistent"},
+	}
+	for _, tc := range cases {
+		var eb errorBody
+		rec := do(t, s, "POST", tc.path, tc.body, &eb)
+		if rec.Code != tc.status {
+			t.Fatalf("%s: status %d, want %d (%s)", tc.name, rec.Code, tc.status, rec.Body.String())
+		}
+		if eb.Kind != tc.kind {
+			t.Fatalf("%s: kind %q, want %q", tc.name, eb.Kind, tc.kind)
+		}
+	}
+
+	// Intractable becomes servable with brute_force.
+	var resp shapleyResponse
+	rec := do(t, s, "POST", "/v1/databases/uni/shapley",
+		map[string]any{"query": "q() :- TA(x), Reg(x, y), Course(y, z)", "mode": "all", "brute_force": true}, &resp)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("brute_force: status %d: %s", rec.Code, rec.Body.String())
+	}
+	if resp.Method != "brute-force" {
+		t.Fatalf("method = %q, want brute-force", resp.Method)
+	}
+}
+
+func TestServerUCQModeAll(t *testing.T) {
+	s := New(Options{})
+	text := `
+endo R(a)
+endo S(a, b)
+endo U(a, b)
+endo V(b)
+endo Free(a)
+`
+	var info map[string]any
+	if rec := do(t, s, "POST", "/v1/databases", map[string]any{"id": "u", "text": text}, &info); rec.Code != http.StatusCreated {
+		t.Fatalf("register: %d", rec.Code)
+	}
+	union := "qa() :- R(x), S(x, y) | qb() :- U(x, y), !V(y)"
+	var resp shapleyResponse
+	rec := do(t, s, "POST", "/v1/databases/u/shapley", map[string]any{"query": union, "mode": "all"}, &resp)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("ucq: status %d: %s", rec.Code, rec.Body.String())
+	}
+	if len(resp.Values) != 5 {
+		t.Fatalf("%d values, want 5", len(resp.Values))
+	}
+	// Differential against the per-fact UCQ algorithm.
+	d := db.MustParse(text)
+	u := query.MustParseUCQ(union)
+	for i, f := range d.EndoFacts() {
+		want, err := core.ShapleyHierarchicalUCQ(d, u, f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.Values[i].Shapley != want.RatString() {
+			t.Fatalf("Shapley(%s) = %s, want %s", f, resp.Values[i].Shapley, want.RatString())
+		}
+	}
+	// And warm.
+	var warm shapleyResponse
+	do(t, s, "POST", "/v1/databases/u/shapley", map[string]any{"query": union, "mode": "all"}, &warm)
+	if warm.Cache != "hit" {
+		t.Fatalf("repeated UCQ request should hit, got %q", warm.Cache)
+	}
+}
+
+func TestServerClassifyRelevanceApprox(t *testing.T) {
+	s := New(Options{})
+	registerUniversity(t, s)
+
+	hard := "q() :- TA(x), Reg(x, y), Course(y, z)"
+	var c classifyResponse
+	rec := do(t, s, "POST", "/v1/databases/uni/classify", map[string]any{"query": hard}, &c)
+	if rec.Code != http.StatusOK || c.Tractable || !c.SelfJoinFree || c.Hierarchical || !c.HasNonHierPath {
+		t.Fatalf("classify = %+v (status %d)", c, rec.Code)
+	}
+	// Declaring Course exogenous breaks the non-hierarchical path (Thm 4.3).
+	do(t, s, "POST", "/v1/databases/uni/classify", map[string]any{"query": hard, "exo": []string{"Course"}}, &c)
+	if !c.Tractable {
+		t.Fatalf("with exogenous Course the query should be tractable: %+v", c)
+	}
+
+	var rel relevanceResponse
+	rec = do(t, s, "POST", "/v1/databases/uni/relevance", map[string]any{"query": q1Src, "fact": "TA(David)"}, &rel)
+	if rec.Code != http.StatusOK || rel.Relevant {
+		t.Fatalf("TA(David) should be irrelevant (Example 5.4): %+v (status %d)", rel, rec.Code)
+	}
+	do(t, s, "POST", "/v1/databases/uni/relevance", map[string]any{"query": q1Src, "fact": "TA(Adam)"}, &rel)
+	if !rel.Relevant {
+		t.Fatalf("TA(Adam) should be relevant: %+v", rel)
+	}
+
+	var ap approxResponse
+	rec = do(t, s, "POST", "/v1/databases/uni/approx",
+		map[string]any{"query": q1Src, "fact": "TA(Adam)", "eps": 0.2, "delta": 0.1, "seed": 7}, &ap)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("approx: status %d: %s", rec.Code, rec.Body.String())
+	}
+	// Exact value is -3/28 ≈ -0.107; the (0.2, 0.1) estimate must be within
+	// ε with overwhelming probability at the fixed seed.
+	if ap.Estimate < -0.107-0.2 || ap.Estimate > -0.107+0.2 {
+		t.Fatalf("estimate %f outside ε of -3/28", ap.Estimate)
+	}
+	if ap.Samples == 0 {
+		t.Fatal("samples not reported")
+	}
+}
+
+func TestServerDatabaseLifecycle(t *testing.T) {
+	s := New(Options{})
+	registerUniversity(t, s)
+
+	// Conflict on duplicate id.
+	rec := do(t, s, "POST", "/v1/databases", map[string]any{"id": "uni", "text": "endo R(a)"}, nil)
+	if rec.Code != http.StatusConflict {
+		t.Fatalf("duplicate register: status %d, want 409", rec.Code)
+	}
+
+	// Dot segments would be ServeMux-redirected and thus unreachable.
+	for _, id := range []string{".", "..", "a/b", "a b"} {
+		if rec := do(t, s, "POST", "/v1/databases", map[string]any{"id": id, "text": "endo R(a)"}, nil); rec.Code != http.StatusBadRequest {
+			t.Fatalf("register %q: status %d, want 400", id, rec.Code)
+		}
+	}
+
+	// mode=all over a database with no endogenous facts must serialize an
+	// explicit empty values array, not drop the key.
+	do(t, s, "POST", "/v1/databases", map[string]any{"id": "exo-only", "text": "exo R(a)"}, nil)
+	rec = do(t, s, "POST", "/v1/databases/exo-only/shapley", map[string]any{"query": "q() :- R(x)", "mode": "all"}, nil)
+	if rec.Code != http.StatusOK || !strings.Contains(rec.Body.String(), `"values": []`) {
+		t.Fatalf("empty batch: status %d body %s", rec.Code, rec.Body.String())
+	}
+	do(t, s, "DELETE", "/v1/databases/exo-only", nil, nil)
+
+	// A generated id must skip explicitly registered names, not displace
+	// them.
+	do(t, s, "POST", "/v1/databases", map[string]any{"id": "db-1", "text": "endo S(a)"}, nil)
+	var gen map[string]any
+	do(t, s, "POST", "/v1/databases", map[string]any{"text": "endo T(a)"}, &gen)
+	if gen["id"] == "db-1" {
+		t.Fatal("generated id displaced the explicit registration db-1")
+	}
+	var kept map[string]any
+	do(t, s, "GET", "/v1/databases/db-1", nil, &kept)
+	if kept["relations"].([]any)[0] != "S" {
+		t.Fatalf("db-1 was overwritten: %v", kept)
+	}
+	do(t, s, "DELETE", "/v1/databases/db-1", nil, nil)
+	do(t, s, "DELETE", "/v1/databases/"+gen["id"].(string), nil, nil)
+
+	// GET and list.
+	var info map[string]any
+	if rec := do(t, s, "GET", "/v1/databases/uni", nil, &info); rec.Code != http.StatusOK || info["fingerprint"] == "" {
+		t.Fatalf("get: %d %v", rec.Code, info)
+	}
+	var list map[string][]map[string]any
+	do(t, s, "GET", "/v1/databases", nil, &list)
+	if len(list["databases"]) != 1 {
+		t.Fatalf("list = %v", list)
+	}
+
+	// Warm a plan, then delete: plans must be dropped with the database.
+	do(t, s, "POST", "/v1/databases/uni/shapley", map[string]any{"query": q1Src, "mode": "all"}, nil)
+	if _, _, _, entries := s.CacheStats(); entries != 1 {
+		t.Fatalf("entries = %d, want 1", entries)
+	}
+	if rec := do(t, s, "DELETE", "/v1/databases/uni", nil, nil); rec.Code != http.StatusNoContent {
+		t.Fatalf("delete: status %d", rec.Code)
+	}
+	if _, _, _, entries := s.CacheStats(); entries != 0 {
+		t.Fatalf("entries = %d after delete, want 0", entries)
+	}
+	if rec := do(t, s, "GET", "/v1/databases/uni", nil, nil); rec.Code != http.StatusNotFound {
+		t.Fatalf("get after delete: status %d", rec.Code)
+	}
+	if rec := do(t, s, "DELETE", "/v1/databases/uni", nil, nil); rec.Code != http.StatusNotFound {
+		t.Fatalf("double delete: status %d", rec.Code)
+	}
+}
+
+func TestServerHealthzAndMetrics(t *testing.T) {
+	s := New(Options{})
+	registerUniversity(t, s)
+	do(t, s, "POST", "/v1/databases/uni/shapley", map[string]any{"query": q1Src, "mode": "all"}, nil)
+	do(t, s, "POST", "/v1/databases/uni/shapley", map[string]any{"query": q1Src, "mode": "all"}, nil)
+
+	var hz map[string]any
+	rec := do(t, s, "GET", "/healthz", nil, &hz)
+	if rec.Code != http.StatusOK || hz["status"] != "ok" || hz["databases"].(float64) != 1 {
+		t.Fatalf("healthz = %v (status %d)", hz, rec.Code)
+	}
+
+	req := httptest.NewRequest("GET", "/metrics", nil)
+	mrec := httptest.NewRecorder()
+	s.ServeHTTP(mrec, req)
+	body := mrec.Body.String()
+	for _, want := range []string{
+		"shapleyd_plan_cache_hits_total 1",
+		"shapleyd_plan_cache_misses_total 1",
+		"shapleyd_plan_cache_entries 1",
+		"shapleyd_databases_registered 1",
+		"shapleyd_values_computed_total 16",
+		`shapleyd_requests_total{route="POST /v1/databases/{id}/shapley",status="200"} 2`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("metrics missing %q:\n%s", want, body)
+		}
+	}
+}
+
+// TestConcurrentRequests hammers a shared plan from many goroutines while
+// registrations churn; run under -race this is the server's thread-safety
+// gate.
+func TestServerConcurrentRequests(t *testing.T) {
+	s := New(Options{CacheSize: 4})
+	registerUniversity(t, s)
+
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 12; i++ {
+				switch i % 4 {
+				case 0, 1:
+					var resp shapleyResponse
+					rec := do(t, s, "POST", "/v1/databases/uni/shapley", map[string]any{"query": q1Src, "mode": "all", "workers": 2}, &resp)
+					if rec.Code != http.StatusOK {
+						t.Errorf("shapley: status %d", rec.Code)
+						return
+					}
+					if len(resp.Values) != 8 {
+						t.Errorf("%d values", len(resp.Values))
+						return
+					}
+				case 2:
+					var single shapleyResponse
+					rec := do(t, s, "POST", "/v1/databases/uni/shapley", map[string]any{"query": q1Src, "fact": "TA(Adam)"}, &single)
+					if rec.Code != http.StatusOK || single.Value.Shapley != "-3/28" {
+						t.Errorf("single: status %d value %+v", rec.Code, single.Value)
+						return
+					}
+				case 3:
+					id := fmt.Sprintf("scratch-%d-%d", g, i)
+					do(t, s, "POST", "/v1/databases", map[string]any{"id": id, "text": "endo R(a)\nendo R(b)"}, nil)
+					do(t, s, "POST", "/v1/databases/"+id+"/shapley", map[string]any{"query": "q() :- R(x)", "mode": "all"}, nil)
+					do(t, s, "DELETE", "/v1/databases/"+id, nil, nil)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}

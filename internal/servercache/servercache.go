@@ -1,0 +1,154 @@
+// Package servercache provides the thread-safe LRU cache behind the
+// serving layer's cross-query plan cache: entries are keyed by strings
+// combining a database fingerprint with a canonicalized query, and hold
+// prepared computation state (validated classification plus the shared
+// CntSat dynamic-programming tables) so repeated queries over a registered
+// database skip the fact-independent setup entirely.
+package servercache
+
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+)
+
+// Cache is a fixed-capacity least-recently-used cache with hit/miss
+// accounting. All methods are safe for concurrent use. The zero value is
+// not usable; call New.
+type Cache[V any] struct {
+	mu       sync.Mutex
+	capacity int
+	ll       *list.List // front = most recently used
+	items    map[string]*list.Element
+
+	hits      atomic.Int64
+	misses    atomic.Int64
+	evictions atomic.Int64
+}
+
+type entry[V any] struct {
+	key string
+	val V
+}
+
+// New returns an empty cache holding at most capacity entries; a
+// non-positive capacity is treated as 1 (a cache that can never hold an
+// entry would turn every warm request cold, which is never what a serving
+// layer wants).
+func New[V any](capacity int) *Cache[V] {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Cache[V]{
+		capacity: capacity,
+		ll:       list.New(),
+		items:    make(map[string]*list.Element),
+	}
+}
+
+// Get returns the value cached under key, marking it most recently used.
+func (c *Cache[V]) Get(key string) (V, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		c.hits.Add(1)
+		return el.Value.(*entry[V]).val, true
+	}
+	c.misses.Add(1)
+	var zero V
+	return zero, false
+}
+
+// Put inserts or replaces the value under key, evicting the least recently
+// used entry when the cache is full.
+func (c *Cache[V]) Put(key string, val V) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		el.Value.(*entry[V]).val = val
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.items[key] = c.ll.PushFront(&entry[V]{key: key, val: val})
+	for c.ll.Len() > c.capacity {
+		c.evictOldest()
+	}
+}
+
+// evictOldest removes the back of the list; callers hold c.mu.
+func (c *Cache[V]) evictOldest() {
+	el := c.ll.Back()
+	if el == nil {
+		return
+	}
+	c.ll.Remove(el)
+	delete(c.items, el.Value.(*entry[V]).key)
+	c.evictions.Add(1)
+}
+
+// Remove drops the entry under key, reporting whether it was present.
+func (c *Cache[V]) Remove(key string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if ok {
+		c.ll.Remove(el)
+		delete(c.items, key)
+	}
+	return ok
+}
+
+// RemoveIf drops every entry whose key satisfies pred, returning the
+// number removed. Used to drop a database's plans when it is deregistered.
+func (c *Cache[V]) RemoveIf(pred func(key string) bool) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for el := c.ll.Front(); el != nil; {
+		next := el.Next()
+		if k := el.Value.(*entry[V]).key; pred(k) {
+			c.ll.Remove(el)
+			delete(c.items, k)
+			n++
+		}
+		el = next
+	}
+	return n
+}
+
+// Purge empties the cache (counters are kept).
+func (c *Cache[V]) Purge() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.ll.Init()
+	clear(c.items)
+}
+
+// Len returns the number of cached entries.
+func (c *Cache[V]) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// Keys returns the cached keys, most recently used first.
+func (c *Cache[V]) Keys() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]string, 0, c.ll.Len())
+	for el := c.ll.Front(); el != nil; el = el.Next() {
+		out = append(out, el.Value.(*entry[V]).key)
+	}
+	return out
+}
+
+// Hits returns the number of Get calls that found their key.
+func (c *Cache[V]) Hits() int64 { return c.hits.Load() }
+
+// Misses returns the number of Get calls that missed.
+func (c *Cache[V]) Misses() int64 { return c.misses.Load() }
+
+// Evictions returns the number of entries displaced by capacity pressure
+// (Remove/RemoveIf/Purge do not count).
+func (c *Cache[V]) Evictions() int64 { return c.evictions.Load() }

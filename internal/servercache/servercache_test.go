@@ -1,0 +1,125 @@
+package servercache
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestServerCacheLRUEviction(t *testing.T) {
+	c := New[int](3)
+	c.Put("a", 1)
+	c.Put("b", 2)
+	c.Put("c", 3)
+	if c.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", c.Len())
+	}
+	// Touch "a" so "b" is the least recently used.
+	if v, ok := c.Get("a"); !ok || v != 1 {
+		t.Fatalf("Get(a) = %d, %t", v, ok)
+	}
+	c.Put("d", 4)
+	if _, ok := c.Get("b"); ok {
+		t.Fatal("b should have been evicted as the LRU entry")
+	}
+	for _, k := range []string{"a", "c", "d"} {
+		if _, ok := c.Get(k); !ok {
+			t.Fatalf("%s should have survived eviction", k)
+		}
+	}
+	if c.Evictions() != 1 {
+		t.Fatalf("Evictions = %d, want 1", c.Evictions())
+	}
+	if got := c.Keys(); len(got) != 3 {
+		t.Fatalf("Keys = %v, want 3 entries", got)
+	}
+}
+
+func TestServerCacheCounters(t *testing.T) {
+	c := New[string](2)
+	c.Put("x", "1")
+	c.Get("x")
+	c.Get("x")
+	c.Get("missing")
+	if c.Hits() != 2 || c.Misses() != 1 {
+		t.Fatalf("hits=%d misses=%d, want 2/1", c.Hits(), c.Misses())
+	}
+}
+
+func TestServerCachePutReplaces(t *testing.T) {
+	c := New[int](2)
+	c.Put("k", 1)
+	c.Put("k", 2)
+	if c.Len() != 1 {
+		t.Fatalf("Len = %d, want 1 after replacement", c.Len())
+	}
+	if v, _ := c.Get("k"); v != 2 {
+		t.Fatalf("Get(k) = %d, want the replaced value 2", v)
+	}
+}
+
+func TestServerCacheRemove(t *testing.T) {
+	c := New[int](8)
+	for i := 0; i < 6; i++ {
+		prefix := "odd"
+		if i%2 == 0 {
+			prefix = "even"
+		}
+		c.Put(fmt.Sprintf("%s-%d", prefix, i), i)
+	}
+	if !c.Remove("odd-1") {
+		t.Fatal("Remove(odd-1) should report presence")
+	}
+	if c.Remove("odd-1") {
+		t.Fatal("double Remove should report absence")
+	}
+	if n := c.RemoveIf(func(k string) bool { return strings.HasPrefix(k, "even-") }); n != 3 {
+		t.Fatalf("RemoveIf removed %d, want 3", n)
+	}
+	if c.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", c.Len())
+	}
+	c.Purge()
+	if c.Len() != 0 {
+		t.Fatalf("Len = %d after Purge, want 0", c.Len())
+	}
+}
+
+func TestServerCacheMinimumCapacity(t *testing.T) {
+	c := New[int](0)
+	c.Put("a", 1)
+	if _, ok := c.Get("a"); !ok {
+		t.Fatal("a capacity-0 cache must clamp to 1 and keep the entry")
+	}
+}
+
+// TestServerCacheConcurrentAccess drives the cache from many goroutines; run with
+// -race this is the memory-safety check behind the server's shared plan
+// cache.
+func TestServerCacheConcurrentAccess(t *testing.T) {
+	c := New[int](16)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				key := fmt.Sprintf("k%d", (g*7+i)%24)
+				if i%3 == 0 {
+					c.Put(key, i)
+				} else {
+					c.Get(key)
+				}
+				if i%50 == 0 {
+					c.Keys()
+					c.Len()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if c.Len() > 16 {
+		t.Fatalf("Len = %d exceeds capacity", c.Len())
+	}
+}
