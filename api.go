@@ -38,15 +38,36 @@ type (
 	// which validates once, classifies once, runs ExoShap once, and shares
 	// the fact-independent CntSat tables across the whole batch.
 	Solver = core.Solver
-	// BatchOptions configures Solver.ShapleyAllBatch: the worker-pool size
-	// and an in-order streaming callback.
+	// BatchOptions configures the batch engines (Plan.ShapleyAll,
+	// Solver.ShapleyAllBatch): the worker-pool size and an in-order
+	// streaming callback.
 	BatchOptions = core.BatchOptions
-	// PreparedBatch is a reusable handle over the fact-independent parts of
-	// a Shapley computation (validation, classification, ExoShap, shared
-	// CntSat tables), returned by Solver.PrepareAll / Solver.PrepareAllUCQ.
-	// Serving layers cache it across requests: its Shapley and ShapleyAll
-	// methods answer any number of queries over the prepared snapshot
-	// without re-running the setup.
+	// Engine is the v2 compute entry point: an immutable policy bundle
+	// (workers, brute force, exogenous relations) built with functional
+	// options (WithWorkers, WithBruteForce, WithExoRelations) whose
+	// Prepare/PrepareUCQ return versioned Plans.
+	Engine = core.Engine
+	// EngineOption configures NewEngine.
+	EngineOption = core.EngineOption
+	// Plan is the versioned, incrementally maintainable compute handle:
+	// Shapley/ShapleyAll accept a context.Context for cancellation, and
+	// Apply evolves the plan under a Delta by recomputing only the DP
+	// buckets the delta touches — bit-identical to a fresh Prepare over
+	// the post-delta database.
+	Plan = core.Plan
+	// Delta is a batch of fact insertions and removals for Plan.Apply.
+	Delta = db.Delta
+	// Version is the monotone version number of a Plan (and of registered
+	// databases on the serving layer).
+	Version = db.Version
+	// PreparedBatch is the v1 reusable handle over the fact-independent
+	// parts of a Shapley computation, returned by Solver.PrepareAll /
+	// Solver.PrepareAllUCQ.
+	//
+	// Deprecated: use Engine.Prepare / Engine.PrepareUCQ, whose Plan
+	// additionally supports context cancellation and incremental
+	// maintenance under deltas. PreparedBatch remains as a thin shim over
+	// the same preparation path; see docs/api.md for the migration table.
 	PreparedBatch = core.PreparedBatch
 	// ShapleyValue is a computed value with its method.
 	ShapleyValue = core.ShapleyValue
@@ -80,6 +101,22 @@ var (
 	ErrExoViolated           = core.ErrExoViolated
 	ErrNotPolarityConsistent = relevance.ErrNotPolarityConsistent
 )
+
+// NewEngine returns an Engine with the given options applied; see
+// WithWorkers, WithBruteForce and WithExoRelations.
+func NewEngine(opts ...EngineOption) *Engine { return core.NewEngine(opts...) }
+
+// WithWorkers sets the engine's default worker-pool size for
+// Plan.ShapleyAll (0 = GOMAXPROCS).
+func WithWorkers(n int) EngineOption { return core.WithWorkers(n) }
+
+// WithBruteForce enables the exponential fallback for queries on the
+// intractable side of the dichotomies.
+func WithBruteForce(allow bool) EngineOption { return core.WithBruteForce(allow) }
+
+// WithExoRelations declares schema-level exogenous relations (the set X of
+// §4, widening tractability per Theorem 4.3).
+func WithExoRelations(rels ...string) EngineOption { return core.WithExoRelations(rels...) }
 
 // NewDatabase returns an empty database.
 func NewDatabase() *Database { return db.New() }

@@ -1,6 +1,7 @@
 package repro
 
 import (
+	"context"
 	"errors"
 	"math/big"
 	"math/rand"
@@ -160,5 +161,61 @@ func TestPublicAPIUCQ(t *testing.T) {
 	}
 	if rel != brute {
 		t.Fatalf("UCQ relevance %v != brute %v", rel, brute)
+	}
+}
+
+// TestPublicAPIEnginePlan drives the v2 surface end to end through the
+// facade: functional options, versioned plans, deltas and cancellation.
+func TestPublicAPIEnginePlan(t *testing.T) {
+	d := MustParseDatabase(universityText)
+	q := MustParseQuery("q1() :- Stud(x), !TA(x), Reg(x, y)")
+	ctx := context.Background()
+	eng := NewEngine(WithWorkers(2), WithBruteForce(false), WithExoRelations())
+	plan, err := eng.Prepare(ctx, d, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Version() != 1 || plan.Method() != MethodHierarchical {
+		t.Fatalf("version %d method %v", plan.Version(), plan.Method())
+	}
+	before, err := plan.ShapleyAll(ctx, BatchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(before) != d.NumEndo() {
+		t.Fatalf("%d values, want %d", len(before), d.NumEndo())
+	}
+
+	// Delta: the plan answers for the new snapshot, a fresh prepare agrees.
+	ver, err := plan.Apply(ctx, Delta{AddEndo: []Fact{NewFact("TA", "Caroline")}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ver != Version(2) {
+		t.Fatalf("version %d, want 2", ver)
+	}
+	after, err := plan.ShapleyAll(ctx, BatchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := eng.Prepare(ctx, plan.Snapshot(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := fresh.ShapleyAll(ctx, BatchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if after[i].Value.Cmp(want[i].Value) != 0 {
+			t.Fatalf("delta value %s = %s, want %s", after[i].Fact, after[i].Value.RatString(), want[i].Value.RatString())
+		}
+	}
+
+	// Cancellation through the facade.
+	cancelled, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := plan.ShapleyAll(cancelled, BatchOptions{}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
 	}
 }

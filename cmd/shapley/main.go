@@ -14,13 +14,16 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"math/rand"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	"repro"
 	"repro/internal/server"
@@ -59,13 +62,17 @@ func main() {
 	flag.Float64Var(&o.delta, "delta", 0.05, "failure probability for -mode mc")
 	flag.Int64Var(&o.seed, "seed", 1, "random seed for -mode mc")
 	flag.Parse()
-	if err := run(os.Stdout, o); err != nil {
+	// Ctrl-C aborts an in-flight batch cleanly: the context threads
+	// through Engine.Prepare and Plan.ShapleyAll down to the worker pool.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Stdout, o); err != nil {
 		fmt.Fprintln(os.Stderr, "shapley:", err)
 		os.Exit(1)
 	}
 }
 
-func run(w io.Writer, o runOptions) error {
+func run(ctx context.Context, w io.Writer, o runOptions) error {
 	if o.dbPath == "" {
 		return fmt.Errorf("-db is required")
 	}
@@ -135,10 +142,21 @@ func run(w io.Writer, o runOptions) error {
 		return nil
 
 	case "shapley":
-		solver := &repro.Solver{ExoRelations: exo, AllowBruteForce: o.brute}
+		// The Engine/Plan API: prepared once (validation, classification,
+		// ExoShap, shared CntSat tables), then any number of single-fact or
+		// all-facts queries, cancellable via the signal context.
+		eng := repro.NewEngine(
+			repro.WithExoRelations(exoList(exo)...),
+			repro.WithBruteForce(o.brute),
+			repro.WithWorkers(o.workers),
+		)
+		plan, err := eng.Prepare(ctx, d, q)
+		if err != nil {
+			return err
+		}
 		if o.fact != "" {
 			f := facts[0]
-			v, err := solver.Shapley(d, q, f)
+			v, err := plan.Shapley(ctx, f)
 			if err != nil {
 				return fmt.Errorf("%s: %w", f, err)
 			}
@@ -148,10 +166,7 @@ func run(w io.Writer, o runOptions) error {
 			fmt.Fprintf(w, "%-30s %s [%s]\n", f.Key(), v.Value.RatString(), v.Method)
 			return nil
 		}
-		// The whole-database workload goes through the batched engine:
-		// validated once, classified once, shared CntSat tables, parallel
-		// per-fact computation with deterministic output order.
-		vals, err := solver.ShapleyAllBatch(d, q, repro.BatchOptions{Workers: o.workers})
+		vals, err := plan.ShapleyAll(ctx, repro.BatchOptions{Workers: o.workers})
 		if err != nil {
 			return err
 		}
@@ -234,6 +249,15 @@ func run(w io.Writer, o runOptions) error {
 		return nil
 	}
 	return fmt.Errorf("unknown mode %q", o.mode)
+}
+
+// exoList flattens the -exo set for the engine option.
+func exoList(exo map[string]bool) []string {
+	out := make([]string, 0, len(exo))
+	for r := range exo {
+		out = append(out, r)
+	}
+	return out
 }
 
 // printJSON writes v as indented JSON (the schema shared with shapleyd).

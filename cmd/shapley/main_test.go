@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"strings"
 	"testing"
@@ -19,7 +20,7 @@ const q2Src = "q2() :- Stud(x), !TA(x), Reg(x, y), !Course(y, CS)"
 
 func TestRunShapleyMode(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run(&buf, baseOpts(q1Src)); err != nil {
+	if err := run(context.Background(), &buf, baseOpts(q1Src)); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -34,7 +35,7 @@ func TestRunSingleFact(t *testing.T) {
 	var buf bytes.Buffer
 	o := baseOpts(q1Src)
 	o.fact = "TA(Ben)"
-	if err := run(&buf, o); err != nil {
+	if err := run(context.Background(), &buf, o); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -49,7 +50,7 @@ func TestRunAllRankedTable(t *testing.T) {
 		o := baseOpts(q1Src)
 		o.all = true
 		o.workers = workers
-		if err := run(&buf, o); err != nil {
+		if err := run(context.Background(), &buf, o); err != nil {
 			t.Fatal(err)
 		}
 		lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
@@ -77,7 +78,7 @@ func TestRunJSONOutput(t *testing.T) {
 	o := baseOpts(q1Src)
 	o.all = true
 	o.jsonOut = true
-	if err := run(&buf, o); err != nil {
+	if err := run(context.Background(), &buf, o); err != nil {
 		t.Fatal(err)
 	}
 	var ranked struct {
@@ -108,7 +109,7 @@ func TestRunJSONOutput(t *testing.T) {
 	o = baseOpts(q1Src)
 	o.fact = "TA(Adam)"
 	o.jsonOut = true
-	if err := run(&buf, o); err != nil {
+	if err := run(context.Background(), &buf, o); err != nil {
 		t.Fatal(err)
 	}
 	var single struct {
@@ -126,7 +127,7 @@ func TestRunJSONOutput(t *testing.T) {
 	o = baseOpts(q1Src)
 	o.mode = "classify"
 	o.jsonOut = true
-	if err := run(&buf, o); err == nil {
+	if err := run(context.Background(), &buf, o); err == nil {
 		t.Fatal("-json with -mode classify should error")
 	}
 }
@@ -135,7 +136,7 @@ func TestRunClassifyMode(t *testing.T) {
 	var buf bytes.Buffer
 	o := baseOpts(q2Src)
 	o.mode = "classify"
-	if err := run(&buf, o); err != nil {
+	if err := run(context.Background(), &buf, o); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(buf.String(), "FP#P-complete") {
@@ -143,7 +144,7 @@ func TestRunClassifyMode(t *testing.T) {
 	}
 	buf.Reset()
 	o.exo = "Stud,Course"
-	if err := run(&buf, o); err != nil {
+	if err := run(context.Background(), &buf, o); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(buf.String(), "polynomial") {
@@ -156,7 +157,7 @@ func TestRunExoShapMode(t *testing.T) {
 	o := baseOpts(q2Src)
 	o.exo = "Stud,Course"
 	o.fact = "TA(Adam)"
-	if err := run(&buf, o); err != nil {
+	if err := run(context.Background(), &buf, o); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(buf.String(), "[exoshap]") {
@@ -171,7 +172,7 @@ func TestRunExoShapAllFacts(t *testing.T) {
 	o := baseOpts(q2Src)
 	o.exo = "Stud,Course"
 	o.workers = 4
-	if err := run(&buf, o); err != nil {
+	if err := run(context.Background(), &buf, o); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -185,7 +186,7 @@ func TestRunRelevanceMode(t *testing.T) {
 	o := baseOpts(q1Src)
 	o.mode = "relevance"
 	o.fact = "TA(David)"
-	if err := run(&buf, o); err != nil {
+	if err := run(context.Background(), &buf, o); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(buf.String(), "relevant=false") {
@@ -199,7 +200,7 @@ func TestRunMCMode(t *testing.T) {
 	o.mode = "mc"
 	o.fact = "TA(Adam)"
 	o.eps, o.delta = 0.3, 0.2
-	if err := run(&buf, o); err != nil {
+	if err := run(context.Background(), &buf, o); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(buf.String(), "n=") {
@@ -211,7 +212,7 @@ func TestRunSatCountMode(t *testing.T) {
 	var buf bytes.Buffer
 	o := baseOpts(q1Src)
 	o.mode = "satcount"
-	if err := run(&buf, o); err != nil {
+	if err := run(context.Background(), &buf, o); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(buf.String(), "|Sat(D,q,k)|") {
@@ -243,7 +244,7 @@ func TestRunErrors(t *testing.T) {
 		{"missing db file", with(func(o *runOptions) { o.dbPath = "testdata/nope.db" })},
 	}
 	for _, c := range cases {
-		if err := run(&buf, c.opts); err == nil {
+		if err := run(context.Background(), &buf, c.opts); err == nil {
 			t.Errorf("%s: expected error", c.name)
 		}
 	}
@@ -254,7 +255,7 @@ func TestRunBruteForceFallback(t *testing.T) {
 	o := baseOpts(q2Src)
 	o.fact = "TA(Adam)"
 	o.brute = true
-	if err := run(&buf, o); err != nil {
+	if err := run(context.Background(), &buf, o); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(buf.String(), "[brute-force]") {

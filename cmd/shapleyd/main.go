@@ -17,7 +17,10 @@
 //	    -d '{"query":"q() :- Stud(x), !TA(x), Reg(x, y)","mode":"all"}'
 //
 // The daemon shuts down gracefully on SIGINT/SIGTERM, draining in-flight
-// requests before exiting.
+// requests for up to -drain; when the drain window expires, the base
+// request context is cancelled, which aborts in-flight mode=all batches
+// (the compute stack is context-aware end to end) before the listener is
+// forcibly closed.
 package main
 
 import (
@@ -25,6 +28,7 @@ import (
 	"errors"
 	"flag"
 	"log"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
@@ -44,10 +48,15 @@ func main() {
 	flag.Parse()
 
 	srv := server.New(server.Options{Workers: *workers, CacheSize: *cacheSize})
+	// Every request context derives from baseCtx, so cancelling it aborts
+	// all in-flight Shapley batches at once when the drain window expires.
+	baseCtx, cancelRequests := context.WithCancel(context.Background())
+	defer cancelRequests()
 	httpSrv := &http.Server{
 		Addr:              *addr,
 		Handler:           srv,
 		ReadHeaderTimeout: 10 * time.Second,
+		BaseContext:       func(net.Listener) context.Context { return baseCtx },
 	}
 
 	errCh := make(chan error, 1)
@@ -69,7 +78,13 @@ func main() {
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
 		defer cancel()
 		if err := httpSrv.Shutdown(shutdownCtx); err != nil {
-			log.Printf("shapleyd: forced shutdown: %v", err)
+			// Drain expired: cancel every in-flight request context so
+			// running batches abort, then close the remaining connections.
+			log.Printf("shapleyd: drain expired, aborting in-flight batches: %v", err)
+			cancelRequests()
+			if err := httpSrv.Close(); err != nil {
+				log.Printf("shapleyd: forced close: %v", err)
+			}
 		}
 	}
 	log.Printf("shapleyd: bye")

@@ -21,19 +21,28 @@
 //     BatchOptions{Workers, OnResult}): the query is validated and
 //     classified once, ExoShap runs once per batch, the fact-independent
 //     parts of the CntSat dynamic program (relevance partition, free-filler
-//     binomials, per-bucket tables and their prefix/suffix convolutions)
-//     are shared, and per-fact work fans across a worker pool with
-//     deterministic output order — Solver.ShapleyAll delegates to it,
-//   - a reusable prepared handle (Solver.PrepareAll / PrepareAllUCQ →
-//     PreparedBatch): the batch engine's fact-independent setup as a
-//     first-class value that serves any number of single-fact or all-facts
-//     requests, plus a batched UCQ engine (Solver.ShapleyAllUCQ) and a
-//     parallel brute-force oracle (BruteForceShapleyAllWorkers),
+//     binomials, per-bucket tables and their leave-one-out convolution
+//     product) are shared, and per-fact work fans across a worker pool
+//     with deterministic output order — Solver.ShapleyAll delegates to it,
+//   - the Engine/Plan API v2 (NewEngine with WithWorkers / WithBruteForce
+//     / WithExoRelations → Engine.Prepare / PrepareUCQ → Plan): a
+//     versioned, incrementally maintainable compute handle whose
+//     Shapley/ShapleyAll accept a context.Context for cancellation, and
+//     whose Apply evolves the snapshot under a Delta by recomputing only
+//     the DP buckets the delta touches (content-keyed memoization + exact
+//     polynomial division of the bucket product) — bit-identical to a
+//     fresh preparation and roughly an order of magnitude cheaper for
+//     single-fact deltas; see docs/api.md for the migration table from
+//     the deprecated PreparedBatch surface,
+//   - a batched UCQ engine (Solver.ShapleyAllUCQ) and a parallel
+//     brute-force oracle (BruteForceShapleyAllWorkers) that splits the
+//     2^m subset scan by mask range across workers,
 //   - a serving layer (internal/server + cmd/shapleyd): an HTTP/JSON
-//     attribution server with registered databases and a cross-query LRU
-//     plan cache (internal/servercache) keyed by database fingerprint and
-//     canonicalized query, so repeated queries skip validation,
-//     classification, ExoShap and the DP tables — see docs/server.md,
+//     attribution server with mutable, versioned registered databases
+//     (PATCH applies deltas and patches cached plans in place), a
+//     cross-query LRU plan cache (internal/servercache) with single-flight
+//     cold paths, and chunked NDJSON streaming of mode=all batches — see
+//     docs/server.md,
 //   - the additive Monte-Carlo FPRAS of §5.1 and the machinery showing why
 //     no multiplicative FPRAS exists in general (gap-property witnesses,
 //     relevance hardness reductions),
@@ -68,14 +77,19 @@
 //	})
 //
 // When the same database and query will be hit repeatedly (a serving
-// layer), prepare once and reuse the handle:
+// layer), prepare a Plan once and reuse it; the handle is versioned,
+// cancellable and maintainable under deltas:
 //
-//	prepared, err := solver.PrepareAll(d, q)
-//	v, err := prepared.Shapley(f)                         // per-fact
-//	values, err := prepared.ShapleyAll(repro.BatchOptions{Workers: 8})
+//	eng := repro.NewEngine(repro.WithWorkers(8))
+//	plan, err := eng.Prepare(ctx, d, q)
+//	v, err := plan.Shapley(ctx, f)                        // per-fact
+//	values, err := plan.ShapleyAll(ctx, repro.BatchOptions{})
+//	_, err = plan.Apply(ctx, repro.Delta{AddEndo: []repro.Fact{f2}})
 //
 // The `shapleyd` daemon (cmd/shapleyd, docs/server.md) does exactly that
-// behind an HTTP/JSON API with an LRU plan cache across queries.
+// behind an HTTP/JSON API: an LRU plan cache across queries, PATCH deltas
+// that maintain cached plans in place, and NDJSON streaming of all-facts
+// batches.
 //
 // See examples/ for runnable programs, DESIGN.md for the system inventory
 // and EXPERIMENTS.md for the paper-vs-measured record.

@@ -1,6 +1,7 @@
 package repro_test
 
 import (
+	"context"
 	"fmt"
 	"math/big"
 
@@ -78,3 +79,40 @@ func ExampleLiftedProbability() {
 }
 
 func ratio(a, b int64) *big.Rat { return big.NewRat(a, b) }
+
+// The v2 compute surface: prepare a versioned Plan once, query it, evolve
+// the database with a delta — only the touched DP buckets recompute — and
+// query again, all under a cancellable context.
+func ExamplePlan_Apply() {
+	d := repro.MustParseDatabase(`
+exo  Stud(Adam)
+exo  Stud(Caroline)
+endo TA(Adam)
+endo Reg(Adam, OS)
+endo Reg(Caroline, DB)
+`)
+	q := repro.MustParseQuery("q1() :- Stud(x), !TA(x), Reg(x, y)")
+	ctx := context.Background()
+	plan, err := repro.NewEngine().Prepare(ctx, d, q)
+	if err != nil {
+		panic(err)
+	}
+	v, err := plan.Shapley(ctx, repro.NewFact("Reg", "Caroline", "DB"))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("v%d %s %s\n", plan.Version(), v.Fact, v.Value.RatString())
+
+	// Caroline becomes a TA: her bucket is recomputed, Adam's is reused.
+	if _, err := plan.Apply(ctx, repro.Delta{AddEndo: []repro.Fact{repro.NewFact("TA", "Caroline")}}); err != nil {
+		panic(err)
+	}
+	v, err = plan.Shapley(ctx, repro.NewFact("Reg", "Caroline", "DB"))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("v%d %s %s\n", plan.Version(), v.Fact, v.Value.RatString())
+	// Output:
+	// v1 Reg(Caroline,DB) 5/6
+	// v2 Reg(Caroline,DB) 5/12
+}

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -37,10 +38,16 @@ exo  Grows(Brazil, Corn)
 	fmt.Printf("tractable without declarations: %v; with X={Farmer, Grows}: %v\n\n",
 		bare.Tractable, declared.Tractable)
 
-	solver := &repro.Solver{ExoRelations: exo}
+	// One prepared plan serves all per-fact queries: the ExoShap transform
+	// and the shared tables are built exactly once.
+	ctx := context.Background()
+	plan, err := repro.NewEngine(repro.WithExoRelations("Farmer", "Grows")).Prepare(ctx, d, q)
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Println("Boolean query: Shapley value of each export")
 	for _, f := range d.EndoFacts() {
-		v, err := solver.Shapley(d, q, f)
+		v, err := plan.Shapley(ctx, f)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -1,8 +1,11 @@
 // Quickstart: compute exact Shapley values for the paper's running example
-// (Figure 1, Example 2.3) with the polynomial-time hierarchical algorithm.
+// (Figure 1, Example 2.3) with the polynomial-time hierarchical algorithm,
+// using the Engine/Plan API — prepare once, query repeatedly, and evolve
+// the database with deltas without re-preparing.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -45,8 +48,15 @@ exo  Adv(Michael, David)
 	fmt.Printf("query %s\n  hierarchical=%v self-join-free=%v => tractable=%v\n\n",
 		q, c.Hierarchical, c.SelfJoinFree, c.Tractable)
 
-	solver := &repro.Solver{}
-	values, err := solver.ShapleyAll(d, q)
+	// Prepare a Plan: validation, classification and the shared CntSat
+	// dynamic-programming tables run once; every query after that reuses
+	// them. The context cancels long batches (Ctrl-C, timeouts, ...).
+	ctx := context.Background()
+	plan, err := repro.NewEngine().Prepare(ctx, d, q)
+	if err != nil {
+		log.Fatal(err)
+	}
+	values, err := plan.ShapleyAll(ctx, repro.BatchOptions{})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -55,6 +65,20 @@ exo  Adv(Michael, David)
 		dec, _ := v.Value.Float64()
 		fmt.Printf("  %-20s %10s  (%+.4f)  [%s]\n", v.Fact, v.Value.RatString(), dec, v.Method)
 	}
+
+	// The database evolves without discarding the plan: Apply recomputes
+	// only the DP buckets the delta touches (here: Caroline's), bumps the
+	// version and keeps answering — bit-identical to re-preparing from
+	// scratch.
+	version, err := plan.Apply(ctx, repro.Delta{AddEndo: []repro.Fact{repro.NewFact("TA", "Caroline")}})
+	if err != nil {
+		log.Fatal(err)
+	}
+	v, err := plan.Shapley(ctx, repro.NewFact("TA", "Caroline"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nafter delta (plan version %d): Shapley(TA(Caroline)) = %s\n", version, v.Value.RatString())
 
 	// Registrations can only help the query (positive values), TA facts can
 	// only hurt it (negative values), and TA(David) is irrelevant.

@@ -165,3 +165,59 @@ func SumVector(v []*big.Int) *big.Int {
 	}
 	return out
 }
+
+// IsZeroVector reports whether every entry of v is zero (the zero
+// polynomial; the Sat vector of an unsatisfiable sub-instance or the
+// NonSat vector of an always-satisfied one).
+func IsZeroVector(v []*big.Int) bool {
+	for _, x := range v {
+		if x.Sign() != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Deconvolve is the exact inverse of Convolve in its first argument: given
+// p = Convolve(q, v) for some subset-count vector q and a not-identically-
+// zero v, it recovers q. It is how the batched engines divide one bucket's
+// factor out of a leave-one-out product in O(len(p)·len(v)) instead of
+// re-convolving all other factors: synthetic division anchored at v's
+// lowest non-zero coefficient. The division must be exact (p really has v
+// as a convolution factor); a non-exact input panics, since it can only
+// arise from an internal invariant violation, never from user data.
+func Deconvolve(p, v []*big.Int) []*big.Int {
+	lead := -1
+	for i, x := range v {
+		if x.Sign() != 0 {
+			lead = i
+			break
+		}
+	}
+	if lead < 0 {
+		panic("combinat: Deconvolve by the zero vector")
+	}
+	n := len(p) - len(v) + 1
+	if n < 1 {
+		panic("combinat: Deconvolve length mismatch")
+	}
+	out := make([]*big.Int, n)
+	tmp := new(big.Int)
+	rem := new(big.Int)
+	for k := 0; k < n; k++ {
+		// p[lead+k] = Σ_j out[j]·v[lead+k-j]; solve for out[k].
+		acc := new(big.Int).Set(p[lead+k])
+		lo := 0
+		if k+lead >= len(v) {
+			lo = k + lead - len(v) + 1
+		}
+		for j := lo; j < k; j++ {
+			acc.Sub(acc, tmp.Mul(out[j], v[lead+k-j]))
+		}
+		out[k], rem = acc.QuoRem(acc, v[lead], rem)
+		if rem.Sign() != 0 {
+			panic("combinat: Deconvolve of a non-multiple")
+		}
+	}
+	return out
+}

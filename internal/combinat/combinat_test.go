@@ -2,6 +2,7 @@ package combinat
 
 import (
 	"math/big"
+	"math/rand"
 	"testing"
 	"testing/quick"
 )
@@ -211,4 +212,54 @@ func BenchmarkConvolve64(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		Convolve(v, v)
 	}
+}
+
+// TestDeconvolveRoundTrip: Deconvolve(Convolve(a, b), b) must recover a
+// exactly, including factors with leading zeros and interior zeros.
+func TestDeconvolveRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 200; trial++ {
+		a := make([]*big.Int, 1+rng.Intn(6))
+		b := make([]*big.Int, 1+rng.Intn(6))
+		nz := false
+		for i := range a {
+			a[i] = big.NewInt(int64(rng.Intn(5)))
+		}
+		for i := range b {
+			b[i] = big.NewInt(int64(rng.Intn(5)))
+			nz = nz || b[i].Sign() != 0
+		}
+		if !nz {
+			b[rng.Intn(len(b))] = big.NewInt(1 + int64(rng.Intn(4)))
+		}
+		p := Convolve(a, b)
+		got := Deconvolve(p, b)
+		if len(got) != len(a) {
+			t.Fatalf("len %d, want %d (a=%v b=%v)", len(got), len(a), a, b)
+		}
+		for i := range a {
+			if got[i].Cmp(a[i]) != 0 {
+				t.Fatalf("entry %d = %v, want %v (a=%v b=%v)", i, got[i], a[i], a, b)
+			}
+		}
+	}
+}
+
+// TestDeconvolvePanics: the zero divisor and non-multiples are internal
+// invariant violations and must panic loudly.
+func TestDeconvolvePanics(t *testing.T) {
+	expectPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: want panic", name)
+			}
+		}()
+		f()
+	}
+	expectPanic("zero divisor", func() {
+		Deconvolve([]*big.Int{big.NewInt(1)}, []*big.Int{big.NewInt(0)})
+	})
+	expectPanic("non-multiple", func() {
+		Deconvolve([]*big.Int{big.NewInt(1), big.NewInt(1)}, []*big.Int{big.NewInt(2), big.NewInt(1)})
+	})
 }

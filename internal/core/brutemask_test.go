@@ -1,0 +1,91 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"testing"
+
+	"repro/internal/db"
+	"repro/internal/paperex"
+	"repro/internal/query"
+	"repro/internal/workload"
+)
+
+// TestBruteForceMaskRangeDifferential: the parallel mask-range split must
+// be bit-identical to the sequential shared-cache scan, across random
+// queries (including self-joins, which only brute force handles) and
+// worker counts exceeding both fact count and chunk count.
+func TestBruteForceMaskRangeDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(97))
+	queries := []query.BooleanQuery{
+		paperex.Q1(),
+		paperex.Q3(), // self-join
+		paperex.QRST(),
+		query.MustParseUCQ("a() :- R(x), !S(x) | b() :- S(x)"),
+	}
+	for trial := 0; trial < 12; trial++ {
+		q := queries[trial%len(queries)]
+		var d *db.Database
+		if cq, ok := q.(*query.CQ); ok {
+			d = workload.RandomForQuery(rng, cq, 2, 2, nil, 0.7)
+		} else {
+			d = db.New()
+			for _, rel := range []string{"R", "S"} {
+				for _, c := range []string{"a", "b", "c"} {
+					if rng.Float64() < 0.7 {
+						d.MustAdd(db.F(rel, c), rng.Float64() < 0.8)
+					}
+				}
+			}
+		}
+		if d.NumEndo() == 0 || d.NumEndo() > 10 {
+			continue
+		}
+		want, err := BruteForceShapleyAll(d, q)
+		if err != nil {
+			t.Fatalf("sequential: %v\nDB:\n%s", err, d)
+		}
+		for _, workers := range []int{2, 3, 16} {
+			got, err := BruteForceShapleyAllWorkers(d, q, workers)
+			if err != nil {
+				t.Fatalf("workers=%d: %v\nDB:\n%s", workers, err, d)
+			}
+			if len(got) != len(want) {
+				t.Fatalf("workers=%d: %d values, want %d", workers, len(got), len(want))
+			}
+			for i := range want {
+				if got[i].Fact.Key() != want[i].Fact.Key() || got[i].Value.Cmp(want[i].Value) != 0 {
+					t.Fatalf("workers=%d: %s = %s, want %s = %s\nDB:\n%s", workers,
+						got[i].Fact, got[i].Value.RatString(), want[i].Fact, want[i].Value.RatString(), d)
+				}
+			}
+		}
+	}
+}
+
+// TestBruteForceMaskRangeCancellation: a cancelled context aborts the
+// mask-range scan between chunks.
+func TestBruteForceMaskRangeCancellation(t *testing.T) {
+	d := db.New()
+	for i := 0; i < 18; i++ {
+		d.MustAddEndo(db.F("R", string(rune('a'+i))))
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := bruteForceShapleyAll(ctx, d, query.MustParse("q() :- R(x)"), 2); !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+}
+
+// TestBruteForceMaskRangeLimit: the player bound applies on the parallel
+// path exactly as on the sequential one.
+func TestBruteForceMaskRangeLimit(t *testing.T) {
+	d := db.New()
+	for i := 0; i < maxBruteForcePlayers+1; i++ {
+		d.MustAddEndo(db.F("R", string(rune('a'+i))))
+	}
+	if _, err := BruteForceShapleyAllWorkers(d, query.MustParse("q() :- R(x)"), 4); err == nil {
+		t.Fatal("want player-limit error")
+	}
+}

@@ -113,12 +113,7 @@ type Solver struct {
 
 // checkExo verifies the declared exogenous relations against the data.
 func (s *Solver) checkExo(d *db.Database) error {
-	for rel := range s.ExoRelations {
-		if d.RelationEndogenous(rel) {
-			return fmt.Errorf("%w: %s", ErrExoViolated, rel)
-		}
-	}
-	return nil
+	return checkExoRelations(d, s.ExoRelations)
 }
 
 // Shapley computes Shapley(D, q, f) exactly, reporting the method used.

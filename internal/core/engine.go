@@ -1,0 +1,121 @@
+package core
+
+import (
+	"context"
+
+	"repro/internal/db"
+	"repro/internal/query"
+)
+
+// Engine is the entry point of the v2 compute API: an immutable bundle of
+// computation policy — default worker-pool size, brute-force fallback and
+// schema-level exogenous relations — configured once with functional
+// options and shared by any number of Prepare calls. Where Solver couples
+// policy to each call, an Engine is what a serving layer holds for its
+// lifetime; the Plans it prepares are the versioned, incrementally
+// maintainable successors of PreparedBatch.
+//
+// An Engine is safe for concurrent use.
+type Engine struct {
+	workers int
+	brute   bool
+	exo     map[string]bool
+}
+
+// EngineOption configures an Engine at construction.
+type EngineOption func(*Engine)
+
+// WithWorkers sets the default worker-pool size Plans of this engine use
+// for ShapleyAll when BatchOptions.Workers is zero. Zero or negative means
+// runtime.GOMAXPROCS(0).
+func WithWorkers(n int) EngineOption {
+	return func(e *Engine) { e.workers = n }
+}
+
+// WithBruteForce enables the exponential subset-enumeration fallback for
+// queries on the intractable side of the dichotomies (or with self-joins);
+// without it such queries fail Prepare with ErrIntractable.
+func WithBruteForce(allow bool) EngineOption {
+	return func(e *Engine) { e.brute = allow }
+}
+
+// WithExoRelations declares the schema-level exogenous relations (the set X
+// of §4). Every fact of these relations must be exogenous in the data; the
+// declaration widens the tractable side per Theorem 4.3 (ExoShap).
+func WithExoRelations(rels ...string) EngineOption {
+	return func(e *Engine) {
+		if e.exo == nil {
+			e.exo = make(map[string]bool, len(rels))
+		}
+		for _, r := range rels {
+			e.exo[r] = true
+		}
+	}
+}
+
+// NewEngine returns an Engine with the given options applied. The zero
+// option set matches the zero Solver: no exogenous relations, no
+// brute-force fallback, GOMAXPROCS workers.
+func NewEngine(opts ...EngineOption) *Engine {
+	e := &Engine{}
+	for _, o := range opts {
+		o(e)
+	}
+	return e
+}
+
+// Workers returns the engine's default worker-pool size (0 = GOMAXPROCS).
+func (e *Engine) Workers() int { return e.workers }
+
+// BruteForceAllowed reports whether the exponential fallback is enabled.
+func (e *Engine) BruteForceAllowed() bool { return e.brute }
+
+// ExoRelations returns a copy of the declared exogenous relations.
+func (e *Engine) ExoRelations() []string {
+	out := make([]string, 0, len(e.exo))
+	for r := range e.exo {
+		out = append(out, r)
+	}
+	return out
+}
+
+// Prepare validates, classifies and precomputes the fact-independent state
+// for Shapley computation of q over d, returning a versioned Plan. The
+// plan snapshots d (later mutations of d do not affect it); evolve the
+// plan's own snapshot with Plan.Apply instead. Queries on the intractable
+// side of the dichotomy yield ErrIntractable unless WithBruteForce is set.
+func (e *Engine) Prepare(ctx context.Context, d *db.Database, q *query.CQ) (*Plan, error) {
+	if err := ctxErr(ctx); err != nil {
+		return nil, err
+	}
+	memo := newSatMemo()
+	pb, err := prepareCQ(d, q, e.exo, e.brute, prepExtras{memo: memo})
+	if err != nil {
+		return nil, err
+	}
+	return &Plan{eng: e, cq: q, d: d.Clone(), version: 1, pb: pb, memo: memo}, nil
+}
+
+// PrepareUCQ is Prepare for a union of CQ¬s. The exact algorithm requires
+// the disjuncts to be hierarchical, self-join-free and pairwise
+// relation-disjoint; other unions fall back to brute force when
+// WithBruteForce is set and fail with the structural error otherwise.
+func (e *Engine) PrepareUCQ(ctx context.Context, d *db.Database, u *query.UCQ) (*Plan, error) {
+	if err := ctxErr(ctx); err != nil {
+		return nil, err
+	}
+	memo := newSatMemo()
+	pb, err := prepareUCQ(d, u, e.exo, e.brute, prepExtras{memo: memo})
+	if err != nil {
+		return nil, err
+	}
+	return &Plan{eng: e, ucq: u, d: d.Clone(), version: 1, pb: pb, memo: memo}, nil
+}
+
+// ctxErr reports a context's error, treating nil as never cancelled.
+func ctxErr(ctx context.Context) error {
+	if ctx == nil {
+		return nil
+	}
+	return ctx.Err()
+}

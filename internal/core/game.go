@@ -1,9 +1,12 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math/big"
+	"math/bits"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/combinat"
 	"repro/internal/db"
@@ -120,21 +123,37 @@ func BruteForceShapley(d *db.Database, q query.BooleanQuery, f db.Fact) (*big.Ra
 // sharing one evaluation cache across all facts (the sequential scan:
 // every subset of the 2^m space is evaluated exactly once).
 func BruteForceShapleyAll(d *db.Database, q query.BooleanQuery) ([]*ShapleyValue, error) {
-	return BruteForceShapleyAllWorkers(d, q, 1)
+	return bruteForceShapleyAll(context.Background(), d, q, 1)
 }
 
 // BruteForceShapleyAllWorkers is BruteForceShapleyAll with an explicit
 // worker-pool size, mirroring BatchOptions.Workers of the polynomial batch
 // engine with one deliberate difference: zero (or one) means the
-// sequential shared-cache scan, not GOMAXPROCS. The gameCache memoization
-// map is not safe for concurrent writers, so each parallel worker
-// evaluates subsets against a private cache; a worker's facts cover
-// (nearly) the whole 2^m subset space either way, so fact-level
-// parallelism multiplies the total enumeration work by up to the worker
-// count in exchange for wall-clock overlap — callers must opt in
-// explicitly. Output order is d.EndoFacts() order regardless of
-// scheduling, and the values are identical to the sequential scan.
+// sequential shared-cache scan, not GOMAXPROCS. The parallel path splits
+// the work by subset mask range, not by fact: the 2^m game values are
+// evaluated exactly once in total into a shared table (each worker owns a
+// contiguous range of masks), and the per-fact Shapley sums are then
+// accumulated from that table in a second mask-range sweep — so adding
+// workers divides the total enumeration work instead of duplicating the
+// scan per worker cache as the by-fact split did. Output order is
+// d.EndoFacts() order regardless of scheduling, and the values are
+// identical to the sequential scan.
 func BruteForceShapleyAllWorkers(d *db.Database, q query.BooleanQuery, workers int) ([]*ShapleyValue, error) {
+	return bruteForceShapleyAll(context.Background(), d, q, workers)
+}
+
+// bruteChunkBits sizes the mask-range work units: workers claim chunks of
+// 2^bruteChunkBits masks from a shared counter, which balances load when
+// query evaluation cost varies across subsets and bounds the cancellation
+// latency to one chunk.
+const bruteChunkBits = 12
+
+// bruteForceShapleyAll is the context-aware engine behind the exported
+// brute-force batch entry points and the brute path of Plan / PreparedBatch.
+func bruteForceShapleyAll(ctx context.Context, d *db.Database, q query.BooleanQuery, workers int) ([]*ShapleyValue, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	facts := d.EndoFacts()
 	out := make([]*ShapleyValue, len(facts))
 	if len(facts) == 0 {
@@ -144,8 +163,9 @@ func BruteForceShapleyAllWorkers(d *db.Database, q query.BooleanQuery, workers i
 		}
 		return out, nil
 	}
-	if workers > len(facts) {
-		workers = len(facts)
+	m := len(facts)
+	if m > maxBruteForcePlayers {
+		return nil, fmt.Errorf("core: %d endogenous facts exceed the brute-force limit of %d", m, maxBruteForcePlayers)
 	}
 	if workers <= 1 {
 		g, err := newGameCache(d, q)
@@ -153,6 +173,9 @@ func BruteForceShapleyAllWorkers(d *db.Database, q query.BooleanQuery, workers i
 			return nil, err
 		}
 		for i, f := range facts {
+			if err := ctxErr(ctx); err != nil {
+				return nil, err
+			}
 			v, err := bruteForceOne(g, f)
 			if err != nil {
 				return nil, fmt.Errorf("%s: %w", f, err)
@@ -162,45 +185,119 @@ func BruteForceShapleyAllWorkers(d *db.Database, q query.BooleanQuery, workers i
 		return out, nil
 	}
 
-	// Parallel path: facts are striped across workers, each with a private
-	// evaluation cache, writing results to fixed slots for deterministic
-	// output order.
+	// Parallel mask-range path. Phase 1 evaluates q(Dx ∪ E) for every
+	// subset E exactly once into a shared table, each worker filling a
+	// disjoint range of masks; phase 2 sweeps the table again by range,
+	// accumulating for each fact f and coalition size k the signed count of
+	// subsets where toggling f flips the query, so the exact rational
+	// Shapley values reduce to Σ_k count·ShapleyWeight(k, m) at the end.
+	size := uint64(1) << uint(m)
+	exoBase := d.Restrict(func(_ db.Fact, endo bool) bool { return !endo })
+	vals := make([]bool, size)
+
+	chunk := uint64(1) << bruteChunkBits
+	if chunk > size {
+		chunk = size
+	}
 	var (
-		wg   sync.WaitGroup
-		mu   sync.Mutex
-		errI = -1
-		errV error
+		next1, next2 atomic.Uint64
+		wg           sync.WaitGroup
 	)
+	counts := make([][][]int64, workers) // worker → fact → k → signed count
+	for w := range counts {
+		counts[w] = make([][]int64, m)
+		for i := range counts[w] {
+			counts[w][i] = make([]int64, m)
+		}
+	}
+	done := ctx.Done()
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			g, err := newGameCache(d, q)
-			if err != nil {
-				mu.Lock()
-				if errI == -1 || w < errI {
-					errI, errV = w, err
+			// Phase 1: evaluate this worker's mask ranges.
+			for {
+				start := next1.Add(chunk) - chunk
+				if start >= size {
+					break
 				}
-				mu.Unlock()
-				return
-			}
-			for i := w; i < len(facts); i += workers {
-				v, err := bruteForceOne(g, facts[i])
-				if err != nil {
-					mu.Lock()
-					if errI == -1 || i < errI {
-						errI, errV = i, fmt.Errorf("%s: %w", facts[i], err)
-					}
-					mu.Unlock()
+				select {
+				case <-done:
 					return
+				default:
 				}
-				out[i] = &ShapleyValue{Fact: facts[i], Value: v, Method: MethodBruteForce}
+				end := min(start+chunk, size)
+				for mask := start; mask < end; mask++ {
+					sub := exoBase.Clone()
+					for i, f := range facts {
+						if mask&(1<<uint(i)) != 0 {
+							sub.MustAddEndo(f)
+						}
+					}
+					vals[mask] = q.Eval(sub)
+				}
 			}
 		}(w)
 	}
 	wg.Wait()
-	if errV != nil {
-		return nil, errV
+	if err := ctxErr(ctx); err != nil {
+		return nil, err
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			// Phase 2: accumulate signed flip counts. The pair (E, E∪{f})
+			// is visited exactly once, at the mask containing f.
+			cnt := counts[w]
+			for {
+				start := next2.Add(chunk) - chunk
+				if start >= size {
+					break
+				}
+				select {
+				case <-done:
+					return
+				default:
+				}
+				end := min(start+chunk, size)
+				for mask := max(start, 1); mask < end; mask++ {
+					v := vals[mask]
+					k := popcount(mask) - 1 // |E| for every pair below
+					for rem := mask; rem != 0; rem &= rem - 1 {
+						i := bits.TrailingZeros64(rem)
+						if parent := mask &^ (1 << uint(i)); vals[parent] != v {
+							if v {
+								cnt[i][k]++
+							} else {
+								cnt[i][k]--
+							}
+						}
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if err := ctxErr(ctx); err != nil {
+		return nil, err
+	}
+	for i, f := range facts {
+		total := new(big.Rat)
+		term := new(big.Rat)
+		for k := 0; k < m; k++ {
+			var c int64
+			for w := 0; w < workers; w++ {
+				c += counts[w][i][k]
+			}
+			if c == 0 {
+				continue
+			}
+			term.SetInt64(c)
+			term.Mul(term, combinat.ShapleyWeight(k, m))
+			total.Add(total, term)
+		}
+		out[i] = &ShapleyValue{Fact: f, Value: total, Method: MethodBruteForce}
 	}
 	return out, nil
 }

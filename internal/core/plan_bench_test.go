@@ -1,0 +1,87 @@
+package core
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/db"
+	"repro/internal/paperex"
+	"repro/internal/workload"
+)
+
+// BenchmarkPlanApplyDelta measures the tentpole claim: maintaining a Plan
+// under a single-fact delta (content-keyed bucket reuse) against paying a
+// full re-preparation of the post-delta database, on the 94-endogenous-fact
+// university workload. The values are asserted bit-identical first.
+func BenchmarkPlanApplyDelta(b *testing.B) {
+	d := workload.University(workload.UniversityConfig{
+		Students: 40, Courses: 8, RegPerStudent: 2, TAFraction: 0.4, Seed: 7,
+	})
+	q := paperex.Q1()
+	eng := NewEngine()
+	ctx := context.Background()
+
+	newFact := db.F("Reg", "student-delta", "course-delta")
+	add := db.Delta{AddEndo: []db.Fact{newFact}}
+	remove := db.Delta{Remove: []db.Fact{newFact}}
+
+	// Correctness gate: one add/remove round-trip must be bit-identical to
+	// fresh preparation at both versions.
+	plan, err := eng.Prepare(ctx, d, q)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := plan.Apply(ctx, add); err != nil {
+		b.Fatal(err)
+	}
+	got, err := plan.ShapleyAll(ctx, BatchOptions{Workers: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	fresh, err := eng.Prepare(ctx, plan.Snapshot(), q)
+	if err != nil {
+		b.Fatal(err)
+	}
+	want, err := fresh.ShapleyAll(ctx, BatchOptions{Workers: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if len(got) != len(want) {
+		b.Fatalf("%d values, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i].Fact.Key() != want[i].Fact.Key() || got[i].Value.Cmp(want[i].Value) != 0 {
+			b.Fatalf("delta batch diverges at %s", want[i].Fact)
+		}
+	}
+	if _, err := plan.Apply(ctx, remove); err != nil {
+		b.Fatal(err)
+	}
+
+	b.Run("apply-delta", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := plan.Apply(ctx, add); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := plan.Apply(ctx, remove); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	dPlus, err := d.Apply(add)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("fresh-prepare", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := eng.Prepare(ctx, dPlus, q); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := eng.Prepare(ctx, d, q); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math/big"
 	"runtime"
@@ -93,16 +94,26 @@ func (p *PreparedBatch) Shapley(f db.Fact) (*ShapleyValue, error) {
 // ShapleyAll computes the value of every endogenous fact of the prepared
 // snapshot, fanning the per-fact work across opts.Workers goroutines.
 // Results are in Facts() order and identical to Solver.ShapleyAll.
+//
+// Deprecated-style shim: new code should hold a Plan (Engine.Prepare) and
+// call Plan.ShapleyAll, which additionally accepts a context for
+// cancellation; this method runs uncancellably.
 func (p *PreparedBatch) ShapleyAll(opts BatchOptions) ([]*ShapleyValue, error) {
+	return p.shapleyAll(context.Background(), opts)
+}
+
+// shapleyAll is the context-aware batch engine shared by the deprecated
+// PreparedBatch.ShapleyAll shim and Plan.ShapleyAll.
+func (p *PreparedBatch) shapleyAll(ctx context.Context, opts BatchOptions) ([]*ShapleyValue, error) {
 	switch {
 	case p.empty:
 		return []*ShapleyValue{}, nil
 	case p.ctx != nil:
-		return runFactPool(p.facts, opts, p.method, p.ctx.shapley)
+		return runFactPool(ctx, p.facts, opts, p.method, p.ctx.shapley)
 	case p.uctx != nil:
-		return runFactPool(p.facts, opts, p.method, p.uctx.shapley)
+		return runFactPool(ctx, p.facts, opts, p.method, p.uctx.shapley)
 	default:
-		vals, err := BruteForceShapleyAllWorkers(p.bruteDB, p.bruteQ, opts.Workers)
+		vals, err := bruteForceShapleyAll(ctx, p.bruteDB, p.bruteQ, opts.Workers)
 		if err != nil {
 			return nil, err
 		}
@@ -121,14 +132,74 @@ func (p *PreparedBatch) ShapleyAll(opts BatchOptions) ([]*ShapleyValue, error) {
 // without re-running validation, classification, ExoShap or the
 // fact-independent CntSat tables. Queries on the intractable side of the
 // dichotomy yield ErrIntractable unless s.AllowBruteForce is set.
+//
+// Deprecated-style shim: new code should use Engine.Prepare, whose Plan
+// handle additionally supports context cancellation and incremental
+// maintenance under database deltas (Plan.Apply); this method is kept as a
+// thin wrapper over the same preparation path.
 func (s *Solver) PrepareAll(d *db.Database, q *query.CQ) (*PreparedBatch, error) {
+	return prepareCQ(d, q, s.ExoRelations, s.AllowBruteForce, prepExtras{})
+}
+
+// PrepareAllUCQ is PrepareAll for a union of CQ¬s. The exact algorithm
+// requires the disjuncts to be hierarchical, self-join-free and pairwise
+// relation-disjoint; other unions fall back to brute force when
+// s.AllowBruteForce is set and fail with the structural error otherwise.
+//
+// Deprecated-style shim: new code should use Engine.PrepareUCQ (see
+// PrepareAll).
+func (s *Solver) PrepareAllUCQ(d *db.Database, u *query.UCQ) (*PreparedBatch, error) {
+	return prepareUCQ(d, u, s.ExoRelations, s.AllowBruteForce, prepExtras{})
+}
+
+// prepExtras carries the optional incremental-maintenance inputs into the
+// preparation path: the content-keyed memo and — when rebuilding after
+// Plan.Apply — the previous version's state plus the delta between the two
+// snapshots. The zero value means a cold from-scratch preparation.
+type prepExtras struct {
+	memo      *satMemo
+	prev      *PreparedBatch
+	delta     db.Delta
+	haveDelta bool
+}
+
+func (ex prepExtras) prevCtx() *satCountContext {
+	if ex.prev == nil {
+		return nil
+	}
+	return ex.prev.ctx
+}
+
+func (ex prepExtras) prevUCtx() *ucqSatContext {
+	if ex.prev == nil {
+		return nil
+	}
+	return ex.prev.uctx
+}
+
+// checkExoRelations verifies that every relation declared exogenous holds
+// no endogenous facts in d.
+func checkExoRelations(d *db.Database, exo map[string]bool) error {
+	for rel := range exo {
+		if d.RelationEndogenous(rel) {
+			return fmt.Errorf("%w: %s", ErrExoViolated, rel)
+		}
+	}
+	return nil
+}
+
+// prepareCQ is the preparation path shared by Solver.PrepareAll (nil memo)
+// and Engine.Prepare / Plan.Apply (generational memo): validation,
+// classification, dichotomy dispatch and construction of the shared CntSat
+// tables.
+func prepareCQ(d *db.Database, q *query.CQ, exo map[string]bool, brute bool, ex prepExtras) (*PreparedBatch, error) {
 	if err := q.Validate(); err != nil {
 		return nil, err
 	}
-	if err := s.checkExo(d); err != nil {
+	if err := checkExoRelations(d, exo); err != nil {
 		return nil, err
 	}
-	c := Classify(q, s.ExoRelations)
+	c := Classify(q, exo)
 	p := &PreparedBatch{class: c, facts: d.EndoFacts()}
 	if len(p.facts) == 0 {
 		p.empty, p.method = true, MethodHierarchical
@@ -136,22 +207,25 @@ func (s *Solver) PrepareAll(d *db.Database, q *query.CQ) (*PreparedBatch, error)
 	}
 	switch {
 	case c.SelfJoinFree && c.Hierarchical:
-		ctx, err := newSatCountContext(d, q)
+		ctx, err := newSatCountContext(d, q, ex.memo, ex.prevCtx(), ex.delta, ex.haveDelta)
 		if err != nil {
 			return nil, err
 		}
 		p.ctx, p.method = ctx, MethodHierarchical
 	case c.SelfJoinFree && !c.HasNonHierPath:
-		d2, q2, _, err := ExoShapTransform(d, q, s.ExoRelations)
+		d2, q2, _, err := ExoShapTransform(d, q, exo)
 		if err != nil {
 			return nil, err
 		}
-		ctx, err := newSatCountContext(d2, q2)
+		// The transformed query is rebuilt per version, so the structural
+		// fast path never engages; the content-keyed memo and the product
+		// diff still reuse every bucket the transform leaves unchanged.
+		ctx, err := newSatCountContext(d2, q2, ex.memo, ex.prevCtx(), db.Delta{}, false)
 		if err != nil {
 			return nil, err
 		}
 		p.ctx, p.method = ctx, MethodExoShap
-	case s.AllowBruteForce:
+	case brute:
 		p.bruteDB, p.bruteQ, p.method = d.Clone(), q, MethodBruteForce
 	default:
 		return nil, ErrIntractable
@@ -159,15 +233,12 @@ func (s *Solver) PrepareAll(d *db.Database, q *query.CQ) (*PreparedBatch, error)
 	return p, nil
 }
 
-// PrepareAllUCQ is PrepareAll for a union of CQ¬s. The exact algorithm
-// requires the disjuncts to be hierarchical, self-join-free and pairwise
-// relation-disjoint; other unions fall back to brute force when
-// s.AllowBruteForce is set and fail with the structural error otherwise.
-func (s *Solver) PrepareAllUCQ(d *db.Database, u *query.UCQ) (*PreparedBatch, error) {
+// prepareUCQ is prepareCQ for unions of CQ¬s.
+func prepareUCQ(d *db.Database, u *query.UCQ, exo map[string]bool, brute bool, ex prepExtras) (*PreparedBatch, error) {
 	if err := u.Validate(); err != nil {
 		return nil, err
 	}
-	if err := s.checkExo(d); err != nil {
+	if err := checkExoRelations(d, exo); err != nil {
 		return nil, err
 	}
 	p := &PreparedBatch{facts: d.EndoFacts(), class: classifyUCQ(u)}
@@ -175,9 +246,9 @@ func (s *Solver) PrepareAllUCQ(d *db.Database, u *query.UCQ) (*PreparedBatch, er
 		p.empty, p.method = true, MethodHierarchical
 		return p, nil
 	}
-	ctx, err := newUCQSatContext(d, u)
+	ctx, err := newUCQSatContext(d, u, ex.memo, ex.prevUCtx())
 	if err != nil {
-		if isUCQStructuralError(err) && s.AllowBruteForce {
+		if isUCQStructuralError(err) && brute {
 			p.bruteDB, p.bruteQ, p.method = d.Clone(), u, MethodBruteForce
 			return p, nil
 		}
@@ -221,11 +292,21 @@ func classifyUCQ(u *query.UCQ) Classification {
 
 // runFactPool fans compute over the facts with opts.Workers goroutines,
 // preserving deterministic output order and in-order OnResult delivery, and
-// cancelling in-flight work on the first (lowest-indexed) error.
-func runFactPool(facts []db.Fact, opts BatchOptions, method Method, compute func(db.Fact) (*big.Rat, error)) ([]*ShapleyValue, error) {
+// cancelling in-flight work on the first (lowest-indexed) error or on ctx
+// cancellation. On cancellation the partial results are discarded and
+// ctx.Err() is returned (a compute error observed first takes precedence);
+// OnResult callbacks already delivered are not unwound.
+func runFactPool(ctx context.Context, facts []db.Fact, opts BatchOptions, method Method, compute func(db.Fact) (*big.Rat, error)) ([]*ShapleyValue, error) {
 	out := make([]*ShapleyValue, len(facts))
 	if len(facts) == 0 {
 		return out, nil
+	}
+	var done <-chan struct{}
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		done = ctx.Done()
 	}
 	workers := opts.Workers
 	if workers <= 0 {
@@ -258,6 +339,13 @@ func runFactPool(facts []db.Fact, opts BatchOptions, method Method, compute func
 					return
 				default:
 				}
+				if done != nil {
+					select {
+					case <-done:
+						return
+					default:
+					}
+				}
 				v, err := compute(facts[i])
 				mu.Lock()
 				if err != nil {
@@ -282,6 +370,11 @@ func runFactPool(facts []db.Fact, opts BatchOptions, method Method, compute func
 	wg.Wait()
 	if firstErr != nil {
 		return nil, firstErr
+	}
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 	}
 	return out, nil
 }

@@ -14,27 +14,29 @@ import (
 // SatCountVectorUCQ computation for batched Shapley values over a
 // relation-disjoint union of hierarchical self-join-free CQ¬s: the
 // relation→disjunct map, the per-disjunct fact pools, the per-pool
-// non-satisfying count vectors and their prefix/suffix convolution
-// products, and the binomial vector for endogenous facts matching no
+// non-satisfying count vectors with their leave-one-out convolution
+// product, and the binomial vector for endogenous facts matching no
 // disjunct. Toggling a fact between endogenous, exogenous and absent only
 // changes the pool of its own disjunct, so a per-fact query costs two
-// single-pool Sat recomputations plus a constant number of full-length
-// convolutions instead of two full SatCountVectorUCQ runs.
+// single-pool Sat recomputations plus one exact polynomial division and
+// convolution instead of two full SatCountVectorUCQ runs. The same
+// structure makes Plan.Apply incremental: per-pool vectors are keyed by
+// pool content (satMemo) and the product is updated by dividing out stale
+// factors.
 //
 // The context is immutable after construction and safe for concurrent use.
 type ucqSatContext struct {
 	u *query.UCQ
 	m int // |Dn| of the full database
 
-	poolQ    []*query.CQ
-	poolDB   []*db.Database
+	units    []subUnit       // one per disjunct; vec = pool NonSat
 	poolOf   map[string]int  // endogenous fact key -> pool index
 	freeKeys map[string]bool // endogenous facts of relations outside every disjunct
 	freeVec  []*big.Int      // BinomialVector(len(freeKeys)), nil when empty
 
-	// pre[i] / suf[i]: convolution of the per-pool NonSat vectors before /
-	// after pool i.
-	pre, suf [][]*big.Int
+	relN  int // endogenous facts inside the pools
+	prod  []*big.Int
+	zeros int
 }
 
 // isUCQStructuralError reports whether err is one of the structural
@@ -47,8 +49,11 @@ func isUCQStructuralError(err error) bool {
 }
 
 // newUCQSatContext validates u and precomputes the shared DP state for
-// batched Shapley computation over d.
-func newUCQSatContext(d *db.Database, u *query.UCQ) (*ucqSatContext, error) {
+// batched Shapley computation over d. A non-nil memo caches the per-pool
+// NonSat vectors by content, and a prev context lets the leave-one-out
+// product update by division instead of a full re-convolution, so
+// Plan.Apply recomputes only the pools a delta touches.
+func newUCQSatContext(d *db.Database, u *query.UCQ, memo *satMemo, prev *ucqSatContext) (*ucqSatContext, error) {
 	if err := u.Validate(); err != nil {
 		return nil, err
 	}
@@ -73,34 +78,58 @@ func newUCQSatContext(d *db.Database, u *query.UCQ) (*ucqSatContext, error) {
 		poolOf:   make(map[string]int),
 		freeKeys: make(map[string]bool),
 	}
-	pools := make([]*db.Database, len(u.Disjuncts))
-	for i := range pools {
-		pools[i] = db.New()
-	}
+	pools := make([][]taggedFact, len(u.Disjuncts))
 	for _, f := range d.Facts() {
+		endo := d.IsEndogenous(f)
 		if i, ok := relOf[f.Rel]; ok {
-			pools[i].MustAdd(f, d.IsEndogenous(f))
-			if d.IsEndogenous(f) {
+			pools[i] = append(pools[i], taggedFact{f, endo})
+			if endo {
 				c.poolOf[f.Key()] = i
+				c.relN++
 			}
-		} else if d.IsEndogenous(f) {
+		} else if endo {
 			c.freeKeys[f.Key()] = true
 		}
 	}
 	if len(c.freeKeys) > 0 {
 		c.freeVec = combinat.BinomialVector(len(c.freeKeys))
 	}
-	vecs := make([][]*big.Int, 0, len(u.Disjuncts))
 	for i, q := range u.Disjuncts {
-		sat, err := SatCountVector(pools[i], q)
-		if err != nil {
-			return nil, err
+		endoN := 0
+		for _, tf := range pools[i] {
+			if tf.endo {
+				endoN++
+			}
 		}
-		c.poolQ = append(c.poolQ, q)
-		c.poolDB = append(c.poolDB, pools[i])
-		vecs = append(vecs, combinat.ComplementVector(sat, pools[i].NumEndo()))
+		unit := subUnit{q: q, facts: pools[i], endo: endoN, key: memoKey('u', q, pools[i])}
+		nonSat, hit := memo.lookup(unit.key)
+		if !hit {
+			sat, err := SatCountVector(dbOf(pools[i]), q)
+			if err != nil {
+				return nil, err
+			}
+			nonSat = combinat.ComplementVector(sat, endoN)
+			memo.store(unit.key, nonSat)
+		}
+		unit.vec, unit.zero = nonSat, combinat.IsZeroVector(nonSat)
+		c.units = append(c.units, unit)
 	}
-	c.pre, c.suf = prefixSuffixConv(vecs)
+	for i := range c.units {
+		if c.units[i].zero {
+			c.zeros++
+		}
+	}
+	if prev != nil && prev.prod != nil {
+		c.prod = updateProd(prev.prod, prev.units, c.units)
+	} else {
+		vecs := make([][]*big.Int, 0, len(c.units))
+		for i := range c.units {
+			if !c.units[i].zero {
+				vecs = append(vecs, c.units[i].vec)
+			}
+		}
+		c.prod = combinat.ConvolveAll(vecs)
+	}
 	return c, nil
 }
 
@@ -133,25 +162,37 @@ func (c *ucqSatContext) shapley(f db.Fact) (*big.Rat, error) {
 // the pool of disjunct i: f is moved to the exogenous side when asExo is
 // true and removed otherwise.
 func (c *ucqSatContext) toggledUnionSat(i int, f db.Fact, asExo bool) ([]*big.Int, error) {
-	pool := c.poolDB[i]
-	var (
-		toggled *db.Database
-		err     error
-	)
-	if asExo {
-		toggled, err = pool.WithExogenous(f)
+	unit := &c.units[i]
+	key := f.Key()
+	toggled := db.New()
+	found := false
+	for _, tf := range unit.facts {
+		switch {
+		case tf.f.Key() != key:
+			toggled.MustAdd(tf.f, tf.endo)
+		case !tf.endo:
+			return nil, fmt.Errorf("db: %s is not an endogenous fact", f)
+		default:
+			found = true
+			if asExo {
+				toggled.MustAdd(tf.f, false)
+			}
+		}
+	}
+	if !found {
+		return nil, fmt.Errorf("db: %s is not a fact of the database", f)
+	}
+	sat, err := SatCountVector(toggled, unit.q)
+	if err != nil {
+		return nil, err
+	}
+	nonSat := combinat.ComplementVector(sat, unit.endo-1)
+	var all []*big.Int
+	if others := leaveOneOut(c.prod, c.zeros, unit); others == nil {
+		all = combinat.ZeroVector(c.relN - 1)
 	} else {
-		toggled, err = pool.Without(f)
+		all = combinat.Convolve(others, nonSat)
 	}
-	if err != nil {
-		return nil, err
-	}
-	sat, err := SatCountVector(toggled, c.poolQ[i])
-	if err != nil {
-		return nil, err
-	}
-	nonSat := combinat.ComplementVector(sat, pool.NumEndo()-1)
-	all := convolve3(c.pre[i], nonSat, c.suf[i])
 	if c.freeVec != nil {
 		all = combinat.Convolve(all, c.freeVec)
 	}

@@ -1,0 +1,75 @@
+package db
+
+import "fmt"
+
+// Version is a monotone database version number. Handles that maintain
+// state derived from a database (core.Plan, the serving layer's registered
+// databases) bump it on every applied Delta, so cached artifacts can be
+// revalidated with a single integer comparison instead of re-hashing the
+// content.
+type Version uint64
+
+// Delta is a batch of fact insertions and removals to apply to a database.
+// Removals are applied before insertions, so a single delta can flip a
+// fact's endogeneity by listing it in Remove and in AddExo (or AddEndo).
+type Delta struct {
+	// AddEndo lists facts to insert as endogenous (new Shapley players).
+	AddEndo []Fact
+	// AddExo lists facts to insert as exogenous.
+	AddExo []Fact
+	// Remove lists facts to delete; each must be present (with either flag).
+	Remove []Fact
+}
+
+// Empty reports whether the delta performs no mutation at all.
+func (dl Delta) Empty() bool {
+	return len(dl.AddEndo) == 0 && len(dl.AddExo) == 0 && len(dl.Remove) == 0
+}
+
+// Size returns the number of individual fact mutations in the delta.
+func (dl Delta) Size() int {
+	return len(dl.AddEndo) + len(dl.AddExo) + len(dl.Remove)
+}
+
+// String renders the delta compactly for error messages and logs.
+func (dl Delta) String() string {
+	return fmt.Sprintf("delta{+endo:%d +exo:%d -:%d}", len(dl.AddEndo), len(dl.AddExo), len(dl.Remove))
+}
+
+// Apply returns a new database with the delta applied; d is unchanged. The
+// relative insertion order of surviving facts is preserved and added facts
+// append in AddEndo-then-AddExo order, so all downstream algorithms remain
+// deterministic. It is an error to remove an absent fact, to insert a
+// duplicate (against the post-removal state), or to violate per-relation
+// arity consistency.
+func (d *Database) Apply(dl Delta) (*Database, error) {
+	removed := make(map[string]bool, len(dl.Remove))
+	for _, f := range dl.Remove {
+		key := f.Key()
+		if !d.Contains(f) {
+			return nil, fmt.Errorf("db: delta removes %s, which is not a fact of the database", key)
+		}
+		if removed[key] {
+			return nil, fmt.Errorf("db: delta removes %s twice", key)
+		}
+		removed[key] = true
+	}
+	out := New()
+	for _, sf := range d.order {
+		if removed[sf.fact.Key()] {
+			continue
+		}
+		out.MustAdd(sf.fact, sf.endo)
+	}
+	for _, f := range dl.AddEndo {
+		if err := out.Add(f, true); err != nil {
+			return nil, fmt.Errorf("db: delta add endo: %w", err)
+		}
+	}
+	for _, f := range dl.AddExo {
+		if err := out.Add(f, false); err != nil {
+			return nil, fmt.Errorf("db: delta add exo: %w", err)
+		}
+	}
+	return out, nil
+}

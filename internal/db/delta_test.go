@@ -1,0 +1,92 @@
+package db
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDeltaApplyAddRemove(t *testing.T) {
+	d := MustParse("exo Stud(Ann)\nendo TA(Ann)\nendo Reg(Ann, OS)")
+	out, err := d.Apply(Delta{
+		AddEndo: []Fact{F("TA", "Bob")},
+		AddExo:  []Fact{F("Stud", "Bob")},
+		Remove:  []Fact{F("Reg", "Ann", "OS")},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Original is untouched.
+	if d.NumFacts() != 3 || !d.Contains(F("Reg", "Ann", "OS")) {
+		t.Fatalf("delta mutated the receiver: %v", d)
+	}
+	if out.NumFacts() != 4 || out.Contains(F("Reg", "Ann", "OS")) {
+		t.Fatalf("unexpected result: %v", out)
+	}
+	if !out.IsEndogenous(F("TA", "Bob")) || !out.IsExogenous(F("Stud", "Bob")) {
+		t.Fatalf("added facts carry wrong flags: %v", out)
+	}
+	// Insertion order: survivors first, then AddEndo, then AddExo.
+	keys := make([]string, 0, 4)
+	for _, f := range out.Facts() {
+		keys = append(keys, f.Key())
+	}
+	want := "Stud(Ann) TA(Ann) TA(Bob) Stud(Bob)"
+	if got := strings.Join(keys, " "); got != want {
+		t.Fatalf("order %q, want %q", got, want)
+	}
+}
+
+func TestDeltaApplyFlipEndogeneity(t *testing.T) {
+	d := MustParse("endo TA(Ann)\nendo TA(Bob)")
+	out, err := d.Apply(Delta{
+		Remove: []Fact{F("TA", "Ann")},
+		AddExo: []Fact{F("TA", "Ann")},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.IsExogenous(F("TA", "Ann")) || out.NumEndo() != 1 {
+		t.Fatalf("flip failed: %v", out)
+	}
+}
+
+func TestDeltaApplyErrors(t *testing.T) {
+	d := MustParse("endo TA(Ann)")
+	cases := []struct {
+		name string
+		dl   Delta
+	}{
+		{"remove absent", Delta{Remove: []Fact{F("TA", "Zoe")}}},
+		{"remove twice", Delta{Remove: []Fact{F("TA", "Ann"), F("TA", "Ann")}}},
+		{"duplicate add", Delta{AddEndo: []Fact{F("TA", "Ann")}}},
+		{"duplicate within delta", Delta{AddEndo: []Fact{F("TA", "Zoe")}, AddExo: []Fact{F("TA", "Zoe")}}},
+		{"arity clash", Delta{AddEndo: []Fact{F("TA", "Zoe", "CS")}}},
+	}
+	for _, tc := range cases {
+		if _, err := d.Apply(tc.dl); err == nil {
+			t.Errorf("%s: want error, got nil", tc.name)
+		}
+	}
+	// Errors must not leave partial state behind on the receiver.
+	if d.NumFacts() != 1 {
+		t.Fatalf("receiver mutated on error: %v", d)
+	}
+}
+
+func TestDeltaEmptyAndSize(t *testing.T) {
+	if !(Delta{}).Empty() || (Delta{}).Size() != 0 {
+		t.Fatal("zero delta must be empty")
+	}
+	dl := Delta{AddEndo: []Fact{F("R", "a")}, Remove: []Fact{F("S", "b")}}
+	if dl.Empty() || dl.Size() != 2 {
+		t.Fatalf("Empty/Size wrong for %v", dl)
+	}
+	d := MustParse("endo R(a)")
+	out, err := d.Apply(Delta{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Fingerprint() != d.Fingerprint() {
+		t.Fatal("empty delta changed content")
+	}
+}

@@ -1,6 +1,8 @@
 package server
 
 import (
+	"context"
+	"encoding/json"
 	"fmt"
 	"math/rand"
 	"net/http"
@@ -23,27 +25,43 @@ type registerRequest struct {
 	Text string `json:"text"`
 }
 
-// databaseInfo describes a registered database.
+// databaseInfo describes a registered database. Version starts at 1 and
+// increases by one per applied (non-empty) PATCH delta.
 type databaseInfo struct {
-	ID          string    `json:"id"`
-	Fingerprint string    `json:"fingerprint"`
-	Facts       int       `json:"facts"`
-	Endogenous  int       `json:"endogenous"`
-	Exogenous   int       `json:"exogenous"`
-	Relations   []string  `json:"relations"`
-	Created     time.Time `json:"created"`
+	ID          string     `json:"id"`
+	Version     db.Version `json:"version"`
+	Fingerprint string     `json:"fingerprint"`
+	Facts       int        `json:"facts"`
+	Endogenous  int        `json:"endogenous"`
+	Exogenous   int        `json:"exogenous"`
+	Relations   []string   `json:"relations"`
+	Created     time.Time  `json:"created"`
 }
 
-func (rdb *registeredDB) info() databaseInfo {
-	endo := rdb.d.NumEndo()
+func (snap dbSnapshot) info() databaseInfo {
+	endo := snap.d.NumEndo()
 	return databaseInfo{
-		ID:          rdb.id,
-		Fingerprint: rdb.fingerprint,
-		Facts:       rdb.d.NumFacts(),
+		ID:          snap.id,
+		Version:     snap.version,
+		Fingerprint: snap.fingerprint,
+		Facts:       snap.d.NumFacts(),
 		Endogenous:  endo,
-		Exogenous:   rdb.d.NumFacts() - endo,
-		Relations:   rdb.d.Relations(),
-		Created:     rdb.created,
+		Exogenous:   snap.d.NumFacts() - endo,
+		Relations:   snap.d.Relations(),
+		Created:     snap.created,
+	}
+}
+
+// snap converts the registered database to its consistent view; callers
+// hold the server mutex.
+func (rdb *registeredDB) snap() dbSnapshot {
+	return dbSnapshot{
+		id:          rdb.id,
+		gen:         rdb.gen,
+		fingerprint: rdb.fingerprint,
+		d:           rdb.d,
+		version:     rdb.version,
+		created:     rdb.created,
 	}
 }
 
@@ -59,9 +77,11 @@ func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
 	}
 	// "." and ".." survive registration but are unreachable afterwards:
 	// ServeMux path-cleaning redirects /v1/databases/../... away before
-	// route matching ever sees the id.
-	if strings.ContainsAny(req.ID, "/ \t\n") || req.ID == "." || req.ID == ".." {
-		writeError(w, http.StatusBadRequest, "bad_request", "database id must not contain slashes, whitespace or be a dot segment")
+	// route matching ever sees the id. Control characters are rejected so
+	// ids can never embed the '\x00' separator of plan-cache keys.
+	if strings.ContainsAny(req.ID, "/ \t\n") || req.ID == "." || req.ID == ".." ||
+		strings.ContainsFunc(req.ID, func(r rune) bool { return r < 0x20 || r == 0x7f }) {
+		writeError(w, http.StatusBadRequest, "bad_request", "database id must not contain slashes, whitespace, control characters or be a dot segment")
 		return
 	}
 	d, err := db.Parse(req.Text)
@@ -86,17 +106,19 @@ func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusConflict, "conflict", fmt.Sprintf("database %q is already registered", id))
 		return
 	}
-	rdb := &registeredDB{id: id, fingerprint: d.Fingerprint(), d: d, created: time.Now()}
+	s.gens++
+	rdb := &registeredDB{id: id, gen: s.gens, fingerprint: d.Fingerprint(), d: d, version: 1, created: time.Now()}
 	s.dbs[id] = rdb
+	snap := rdb.snap()
 	s.mu.Unlock()
-	writeJSON(w, http.StatusCreated, rdb.info())
+	writeJSON(w, http.StatusCreated, snap.info())
 }
 
 func (s *Server) handleListDatabases(w http.ResponseWriter, r *http.Request) {
 	s.mu.RLock()
 	infos := make([]databaseInfo, 0, len(s.dbs))
 	for _, rdb := range s.dbs {
-		infos = append(infos, rdb.info())
+		infos = append(infos, rdb.snap().info())
 	}
 	s.mu.RUnlock()
 	sort.Slice(infos, func(i, j int) bool { return infos[i].ID < infos[j].ID })
@@ -104,42 +126,156 @@ func (s *Server) handleListDatabases(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleGetDatabase(w http.ResponseWriter, r *http.Request) {
-	rdb, ok := s.lookup(r.PathValue("id"))
+	snap, ok := s.snapshot(r.PathValue("id"))
 	if !ok {
 		writeError(w, http.StatusNotFound, "not_found", fmt.Sprintf("no database %q", r.PathValue("id")))
 		return
 	}
-	writeJSON(w, http.StatusOK, rdb.info())
+	writeJSON(w, http.StatusOK, snap.info())
+}
+
+// patchRequest is the body of PATCH /v1/databases/{id}: a fact delta.
+// Removals apply before insertions, so a fact can flip endogeneity in one
+// delta by appearing in both remove and one of the add lists.
+type patchRequest struct {
+	AddEndo []string `json:"add_endo,omitempty"`
+	AddExo  []string `json:"add_exo,omitempty"`
+	Remove  []string `json:"remove,omitempty"`
+}
+
+// patchResponse reports the post-delta database plus what happened to its
+// cached plans: patched in place versus dropped (a plan is dropped when
+// the delta makes it unservable, e.g. an endogenous fact added to a
+// relation the plan declared exogenous).
+type patchResponse struct {
+	databaseInfo
+	PlansPatched int `json:"plans_patched"`
+	PlansDropped int `json:"plans_dropped"`
+}
+
+func (s *Server) handlePatchDatabase(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	var req patchRequest
+	if err := decodeBody(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad_request", err.Error())
+		return
+	}
+	parseFacts := func(in []string) ([]db.Fact, error) {
+		out := make([]db.Fact, 0, len(in))
+		for _, s := range in {
+			f, err := db.ParseFact(s)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, f)
+		}
+		return out, nil
+	}
+	var (
+		delta db.Delta
+		err   error
+	)
+	if delta.AddEndo, err = parseFacts(req.AddEndo); err == nil {
+		if delta.AddExo, err = parseFacts(req.AddExo); err == nil {
+			delta.Remove, err = parseFacts(req.Remove)
+		}
+	}
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad_request", err.Error())
+		return
+	}
+
+	s.mu.Lock()
+	rdb, ok := s.dbs[id]
+	if !ok {
+		s.mu.Unlock()
+		writeError(w, http.StatusNotFound, "not_found", fmt.Sprintf("no database %q", id))
+		return
+	}
+	if delta.Empty() {
+		// The no-op delta keeps the version, mirroring Plan.Apply.
+		resp := patchResponse{databaseInfo: rdb.snap().info()}
+		s.mu.Unlock()
+		writeJSON(w, http.StatusOK, resp)
+		return
+	}
+	newD, err := rdb.d.Apply(delta)
+	if err != nil {
+		s.mu.Unlock()
+		writeError(w, http.StatusBadRequest, "bad_delta", err.Error())
+		return
+	}
+	oldVersion := rdb.version
+	rdb.d = newD
+	rdb.version++
+	rdb.fingerprint = newD.Fingerprint()
+	newVersion := rdb.version
+	gen := rdb.gen
+	resp := patchResponse{databaseInfo: rdb.snap().info()}
+	s.mu.Unlock()
+
+	// Patch every cached plan of this database in place: Plan.Apply
+	// recomputes only the DP buckets the delta touches and the entry keeps
+	// serving warm requests at the new version. The sweep runs outside the
+	// server lock (readers keep flowing; patchMu serializes sweeps with
+	// each other), with the client's cancellation detached — the version
+	// bump above is already committed, so a disconnect must not turn
+	// healthy plans into evictions. Peek keeps the bookkeeping out of the
+	// LRU ordering and the hit/miss counters.
+	//
+	// This delta only advances entries answering for oldVersion. An entry
+	// already at newVersion (a cold preparation against the new snapshot
+	// raced ahead) is current and left alone; any other version means the
+	// entry missed a delta (it was prepared against a stale snapshot, or
+	// an overlapping PATCH superseded this one) and serving it would be
+	// wrong at any warmth, so it is dropped for re-preparation.
+	s.patchMu.Lock()
+	applyCtx := context.WithoutCancel(r.Context())
+	prefix := fmt.Sprintf("%s\x00g%d\x00", id, gen)
+	for _, key := range s.plans.Keys() {
+		if !strings.HasPrefix(key, prefix) {
+			continue
+		}
+		cp, ok := s.plans.Peek(key)
+		if !ok {
+			continue
+		}
+		switch cp.servedVersion(nil) {
+		case newVersion:
+			continue
+		case oldVersion:
+			if _, err := cp.plan.Apply(applyCtx, delta); err != nil {
+				s.plans.Remove(key)
+				resp.PlansDropped++
+				continue
+			}
+			resp.PlansPatched++
+		default:
+			s.plans.Remove(key)
+			resp.PlansDropped++
+		}
+	}
+	s.patchMu.Unlock()
+	s.met.plansPatched.Add(int64(resp.PlansPatched))
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleDeleteDatabase(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	s.mu.Lock()
-	rdb, ok := s.dbs[id]
+	_, ok := s.dbs[id]
 	if ok {
 		delete(s.dbs, id)
-	}
-	// Drop the deregistered database's cached plans unless another
-	// registration shares the fingerprint (plans are keyed by content, so
-	// they remain valid for the surviving alias).
-	shared := false
-	if ok {
-		for _, other := range s.dbs {
-			if other.fingerprint == rdb.fingerprint {
-				shared = true
-				break
-			}
-		}
 	}
 	s.mu.Unlock()
 	if !ok {
 		writeError(w, http.StatusNotFound, "not_found", fmt.Sprintf("no database %q", id))
 		return
 	}
-	if !shared {
-		prefix := rdb.fingerprint + "\x00"
-		s.plans.RemoveIf(func(key string) bool { return strings.HasPrefix(key, prefix) })
-	}
+	// Plans are keyed by registration id, so the deregistered database's
+	// entries can never serve another registration; drop them.
+	prefix := id + "\x00"
+	s.plans.RemoveIf(func(key string) bool { return strings.HasPrefix(key, prefix) })
 	w.WriteHeader(http.StatusNoContent)
 }
 
@@ -166,6 +302,7 @@ type shapleyRequest struct {
 // CLI's -json output.
 type shapleyResponse struct {
 	Database string     `json:"database"`
+	Version  db.Version `json:"version"`
 	Query    string     `json:"query"`
 	Method   string     `json:"method"`
 	Cache    string     `json:"cache"` // "hit" | "miss"
@@ -176,8 +313,16 @@ type shapleyResponse struct {
 	Values []ValueJSON `json:"values,omitzero"`
 }
 
+// ndjsonContentType selects the streaming mode=all response.
+const ndjsonContentType = "application/x-ndjson"
+
+func wantsNDJSON(r *http.Request) bool {
+	return strings.Contains(r.Header.Get("Accept"), ndjsonContentType)
+}
+
 func (s *Server) handleShapley(w http.ResponseWriter, r *http.Request) {
-	rdb, ok := s.lookup(r.PathValue("id"))
+	ctx := r.Context()
+	snap, ok := s.snapshot(r.PathValue("id"))
 	if !ok {
 		writeError(w, http.StatusNotFound, "not_found", fmt.Sprintf("no database %q", r.PathValue("id")))
 		return
@@ -205,6 +350,11 @@ func (s *Server) handleShapley(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "bad_request", "mode \"all\" computes every endogenous fact; drop \"fact\"")
 		return
 	}
+	stream := req.Mode == "all" && wantsNDJSON(r)
+	if stream && req.Rank {
+		writeError(w, http.StatusBadRequest, "bad_request", "rank is not supported with NDJSON streaming (values stream in database order)")
+		return
+	}
 	// Parse the fact before preparing: a malformed fact must not cost (or
 	// cache) a full plan preparation.
 	var f db.Fact
@@ -215,31 +365,40 @@ func (s *Server) handleShapley(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	prepared, hit, err := s.preparedFor(rdb, pq, req.Exo, req.BruteForce)
+	cp, hit, err := s.planFor(ctx, snap, pq, req.Exo, req.BruteForce)
 	if err != nil {
 		writeSolverError(w, err)
 		return
 	}
+	// Pin one plan version for the whole response: the reported version,
+	// method and every value come from the same immutable state even if a
+	// PATCH advances the plan mid-request.
+	view := cp.plan.View()
 	cache := "miss"
 	if hit {
 		cache = "hit"
 	}
 	w.Header().Set("X-Cache", cache)
 	resp := shapleyResponse{
-		Database: rdb.id,
+		Database: snap.id,
+		Version:  cp.servedVersion(view),
 		Query:    pq.canonical,
-		Method:   prepared.Method().String(),
+		Method:   view.Method().String(),
 		Cache:    cache,
 	}
 
+	workers := req.Workers
+	if workers <= 0 {
+		workers = s.opts.Workers
+	}
+	if stream {
+		s.streamShapleyAll(w, r, view, resp, workers)
+		return
+	}
 	if req.Mode == "all" {
-		workers := req.Workers
-		if workers <= 0 {
-			workers = s.opts.Workers
-		}
-		vals, err := prepared.ShapleyAll(core.BatchOptions{Workers: workers})
+		vals, err := view.ShapleyAll(ctx, core.BatchOptions{Workers: workers})
 		if err != nil {
-			writeSolverError(w, err)
+			writeComputeError(w, ctx, err)
 			return
 		}
 		s.met.valuesComputed.Add(int64(len(vals)))
@@ -252,15 +411,63 @@ func (s *Server) handleShapley(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	v, err := prepared.Shapley(f)
+	v, err := view.Shapley(ctx, f)
 	if err != nil {
-		writeSolverError(w, err)
+		writeComputeError(w, ctx, err)
 		return
 	}
 	s.met.valuesComputed.Add(1)
 	ev := EncodeValue(v)
 	resp.Value = &ev
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// streamShapleyAll writes a mode=all batch as chunked NDJSON: one header
+// object, one line per fact as soon as it (and every earlier fact)
+// completes, and a {"done":true} trailer — so clients over large databases
+// consume values incrementally instead of waiting for the full batch. A
+// mid-stream failure (including client-disconnect cancellation) ends the
+// stream with an error line instead of the trailer; the absent trailer is
+// what tells consumers the batch did not finish.
+func (s *Server) streamShapleyAll(w http.ResponseWriter, r *http.Request, view *core.PlanView, head shapleyResponse, workers int) {
+	w.Header().Set("Content-Type", ndjsonContentType)
+	w.WriteHeader(http.StatusOK)
+	enc := json.NewEncoder(w)
+	flusher, _ := w.(http.Flusher)
+	flush := func() {
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+	_ = enc.Encode(head)
+	flush()
+	n := 0
+	_, err := view.ShapleyAll(r.Context(), core.BatchOptions{
+		Workers: workers,
+		OnResult: func(v *core.ShapleyValue) {
+			_ = enc.Encode(EncodeValue(v))
+			n++
+			flush()
+		},
+	})
+	s.met.valuesComputed.Add(int64(n))
+	if err != nil {
+		_ = enc.Encode(errorBody{Error: err.Error(), Kind: errKind(err)})
+		flush()
+		return
+	}
+	_ = enc.Encode(map[string]any{"done": true, "count": n})
+	flush()
+}
+
+// writeComputeError maps a post-preparation compute failure: if the
+// request context is gone the client cannot read a response, so nothing is
+// written (the wrapped ResponseWriter just records the abort).
+func writeComputeError(w http.ResponseWriter, ctx context.Context, err error) {
+	if ctx.Err() != nil {
+		return
+	}
+	writeSolverError(w, err)
 }
 
 // classifyRequest is the body of POST /v1/databases/{id}/classify.
@@ -282,7 +489,7 @@ type classifyResponse struct {
 }
 
 func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
-	if _, ok := s.lookup(r.PathValue("id")); !ok {
+	if _, ok := s.snapshot(r.PathValue("id")); !ok {
 		writeError(w, http.StatusNotFound, "not_found", fmt.Sprintf("no database %q", r.PathValue("id")))
 		return
 	}
@@ -339,7 +546,7 @@ type relevanceResponse struct {
 }
 
 func (s *Server) handleRelevance(w http.ResponseWriter, r *http.Request) {
-	rdb, ok := s.lookup(r.PathValue("id"))
+	snap, ok := s.snapshot(r.PathValue("id"))
 	if !ok {
 		writeError(w, http.StatusNotFound, "not_found", fmt.Sprintf("no database %q", r.PathValue("id")))
 		return
@@ -365,12 +572,12 @@ func (s *Server) handleRelevance(w http.ResponseWriter, r *http.Request) {
 	)
 	switch {
 	case pq.cq != nil && pq.cq.IsPolarityConsistent():
-		rel, err = relevance.IsRelevant(rdb.d, pq.cq, f)
+		rel, err = relevance.IsRelevant(snap.d, pq.cq, f)
 	case pq.ucq != nil && pq.ucq.IsPolarityConsistent():
-		rel, err = relevance.IsRelevantUCQ(rdb.d, pq.ucq, f)
+		rel, err = relevance.IsRelevantUCQ(snap.d, pq.ucq, f)
 	case req.BruteForce:
 		method = "brute-force"
-		rel, err = relevance.IsRelevantBrute(rdb.d, boolQuery(pq), f)
+		rel, err = relevance.IsRelevantBrute(snap.d, boolQuery(pq), f)
 	default:
 		err = fmt.Errorf("%w: %s (set brute_force for the exponential check)", relevance.ErrNotPolarityConsistent, pq.canonical)
 	}
@@ -406,7 +613,7 @@ type approxResponse struct {
 }
 
 func (s *Server) handleApprox(w http.ResponseWriter, r *http.Request) {
-	rdb, ok := s.lookup(r.PathValue("id"))
+	snap, ok := s.snapshot(r.PathValue("id"))
 	if !ok {
 		writeError(w, http.StatusNotFound, "not_found", fmt.Sprintf("no database %q", r.PathValue("id")))
 		return
@@ -438,10 +645,10 @@ func (s *Server) handleApprox(w http.ResponseWriter, r *http.Request) {
 	rng := rand.New(rand.NewSource(req.Seed))
 	var res core.MCResult
 	if req.Samples > 0 {
-		res, err = core.MonteCarloShapleyN(rdb.d, boolQuery(pq), f, req.Samples, rng)
+		res, err = core.MonteCarloShapleyN(snap.d, boolQuery(pq), f, req.Samples, rng)
 		req.Eps, req.Delta = 0, 0
 	} else {
-		res, err = core.MonteCarloShapley(rdb.d, boolQuery(pq), f, req.Eps, req.Delta, rng)
+		res, err = core.MonteCarloShapley(snap.d, boolQuery(pq), f, req.Eps, req.Delta, rng)
 	}
 	if err != nil {
 		writeSolverError(w, err)

@@ -18,6 +18,7 @@ type metrics struct {
 
 	valuesComputed atomic.Int64
 	plansPrepared  atomic.Int64
+	plansPatched   atomic.Int64
 }
 
 func newMetrics() *metrics {
@@ -72,9 +73,13 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintln(w, "# TYPE shapleyd_plan_cache_entries gauge")
 	fmt.Fprintf(w, "shapleyd_plan_cache_entries %d\n", entries)
 
-	fmt.Fprintln(w, "# HELP shapleyd_plans_prepared_total PreparedBatch constructions (cold paths).")
+	fmt.Fprintln(w, "# HELP shapleyd_plans_prepared_total Plan preparations (cold paths).")
 	fmt.Fprintln(w, "# TYPE shapleyd_plans_prepared_total counter")
 	fmt.Fprintf(w, "shapleyd_plans_prepared_total %d\n", s.met.plansPrepared.Load())
+
+	fmt.Fprintln(w, "# HELP shapleyd_plans_patched_total Cached plans delta-maintained in place by PATCH.")
+	fmt.Fprintln(w, "# TYPE shapleyd_plans_patched_total counter")
+	fmt.Fprintf(w, "shapleyd_plans_patched_total %d\n", s.met.plansPatched.Load())
 
 	fmt.Fprintln(w, "# HELP shapleyd_values_computed_total Shapley values computed and returned.")
 	fmt.Fprintln(w, "# TYPE shapleyd_values_computed_total counter")

@@ -1,0 +1,342 @@
+package server
+
+import (
+	"bufio"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/paperex"
+)
+
+// TestServerPatchMaintainsPlans: PATCH must bump the version, patch the
+// cached plan in place (no re-preparation), and the maintained plan must
+// answer bit-identically to a fresh registration of the patched database.
+func TestServerPatchMaintainsPlans(t *testing.T) {
+	s := New(Options{})
+	registerUniversity(t, s)
+
+	var cold shapleyResponse
+	if rec := do(t, s, "POST", "/v1/databases/uni/shapley", map[string]any{"query": q1Src, "mode": "all"}, &cold); rec.Code != http.StatusOK {
+		t.Fatalf("cold: %d: %s", rec.Code, rec.Body.String())
+	}
+	if cold.Version != 1 {
+		t.Fatalf("cold version %d, want 1", cold.Version)
+	}
+
+	var patched patchResponse
+	rec := do(t, s, "PATCH", "/v1/databases/uni", map[string]any{"add_endo": []string{"TA(Caroline)"}}, &patched)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("patch: %d: %s", rec.Code, rec.Body.String())
+	}
+	if patched.Version != 2 || patched.PlansPatched != 1 || patched.PlansDropped != 0 {
+		t.Fatalf("patch response %+v, want version 2 / 1 patched / 0 dropped", patched)
+	}
+	if patched.Endogenous != 9 {
+		t.Fatalf("endogenous %d after patch, want 9", patched.Endogenous)
+	}
+
+	// The maintained plan serves the new version warm: a cache hit, still
+	// exactly one preparation ever, and values matching a from-scratch
+	// registration of the patched database.
+	var warm shapleyResponse
+	if rec := do(t, s, "POST", "/v1/databases/uni/shapley", map[string]any{"query": q1Src, "mode": "all"}, &warm); rec.Code != http.StatusOK {
+		t.Fatalf("warm: %d: %s", rec.Code, rec.Body.String())
+	}
+	if warm.Cache != "hit" || warm.Version != 2 {
+		t.Fatalf("post-patch request: cache %q version %d, want hit/2", warm.Cache, warm.Version)
+	}
+	if n := s.PlansPrepared(); n != 1 {
+		t.Fatalf("%d preparations after patch, want 1 (plan must be maintained, not rebuilt)", n)
+	}
+
+	fresh := New(Options{})
+	if rec := do(t, fresh, "POST", "/v1/databases", map[string]any{"id": "uni2", "text": paperex.UniversityDBText + "endo TA(Caroline)\n"}, nil); rec.Code != http.StatusCreated {
+		t.Fatalf("fresh register: %d", rec.Code)
+	}
+	var want shapleyResponse
+	if rec := do(t, fresh, "POST", "/v1/databases/uni2/shapley", map[string]any{"query": q1Src, "mode": "all"}, &want); rec.Code != http.StatusOK {
+		t.Fatalf("fresh all: %d", rec.Code)
+	}
+	if len(warm.Values) != len(want.Values) {
+		t.Fatalf("%d values, want %d", len(warm.Values), len(want.Values))
+	}
+	for i := range want.Values {
+		if warm.Values[i] != want.Values[i] {
+			t.Fatalf("value %d: maintained %+v vs fresh %+v", i, warm.Values[i], want.Values[i])
+		}
+	}
+
+	// The patched values must actually differ from the pre-patch batch
+	// (TA(Caroline) flips Caroline's buckets), or this test proves nothing.
+	same := true
+	for i := range cold.Values {
+		if cold.Values[i] != warm.Values[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("patch did not change any value; pick a more influential delta")
+	}
+}
+
+// TestServerPatchErrorsAndNoOp: malformed facts, bad deltas, unknown
+// databases and the empty-delta no-op.
+func TestServerPatchErrorsAndNoOp(t *testing.T) {
+	s := New(Options{})
+	registerUniversity(t, s)
+
+	if rec := do(t, s, "PATCH", "/v1/databases/nope", map[string]any{"add_endo": []string{"TA(X)"}}, nil); rec.Code != http.StatusNotFound {
+		t.Fatalf("unknown db: %d", rec.Code)
+	}
+	if rec := do(t, s, "PATCH", "/v1/databases/uni", map[string]any{"add_endo": []string{"not a fact"}}, nil); rec.Code != http.StatusBadRequest {
+		t.Fatalf("malformed fact: %d", rec.Code)
+	}
+	var errResp errorBody
+	if rec := do(t, s, "PATCH", "/v1/databases/uni", map[string]any{"remove": []string{"TA(Nobody)"}}, &errResp); rec.Code != http.StatusBadRequest || errResp.Kind != "bad_delta" {
+		t.Fatalf("bad delta: %d %+v", rec.Code, errResp)
+	}
+	var noop patchResponse
+	if rec := do(t, s, "PATCH", "/v1/databases/uni", map[string]any{}, &noop); rec.Code != http.StatusOK {
+		t.Fatalf("empty delta: %d", rec.Code)
+	}
+	if noop.Version != 1 || noop.PlansPatched != 0 {
+		t.Fatalf("empty delta must keep version 1, got %+v", noop)
+	}
+}
+
+// TestServerPatchDropsUnservablePlan: a delta that endogenously grows a
+// relation some cached plan declared exogenous must drop that plan and
+// keep patching the others.
+func TestServerPatchDropsUnservablePlan(t *testing.T) {
+	s := New(Options{})
+	registerUniversity(t, s)
+
+	// Two plans over the same database: one plain, one declaring Stud
+	// exogenous.
+	if rec := do(t, s, "POST", "/v1/databases/uni/shapley", map[string]any{"query": q1Src, "mode": "all"}, nil); rec.Code != http.StatusOK {
+		t.Fatalf("plain: %d", rec.Code)
+	}
+	if rec := do(t, s, "POST", "/v1/databases/uni/shapley", map[string]any{"query": q1Src, "mode": "all", "exo": []string{"Stud"}}, nil); rec.Code != http.StatusOK {
+		t.Fatalf("exo: %d", rec.Code)
+	}
+
+	var patched patchResponse
+	rec := do(t, s, "PATCH", "/v1/databases/uni", map[string]any{"add_endo": []string{"Stud(Zoe)"}}, &patched)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("patch: %d: %s", rec.Code, rec.Body.String())
+	}
+	if patched.PlansPatched != 1 || patched.PlansDropped != 1 {
+		t.Fatalf("patched/dropped = %d/%d, want 1/1", patched.PlansPatched, patched.PlansDropped)
+	}
+	// The exo plan is gone: the next exo request must fail the exogeneity
+	// check instead of serving stale state.
+	if rec := do(t, s, "POST", "/v1/databases/uni/shapley", map[string]any{"query": q1Src, "mode": "all", "exo": []string{"Stud"}}, nil); rec.Code == http.StatusOK {
+		t.Fatal("exo plan must not survive an endogenous Stud fact")
+	}
+}
+
+// TestServerNDJSONStreaming reads a mode=all stream incrementally over a
+// real connection: a header line, eight value lines in deterministic
+// database order, and a done trailer, with chunked transfer encoding (no
+// buffered Content-Length).
+func TestServerNDJSONStreaming(t *testing.T) {
+	s := New(Options{})
+	registerUniversity(t, s)
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	req, err := http.NewRequest("POST", ts.URL+"/v1/databases/uni/shapley",
+		strings.NewReader(`{"query":"`+q1Src+`","mode":"all"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Accept", "application/x-ndjson")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("content type %q", ct)
+	}
+	if len(resp.TransferEncoding) == 0 || resp.TransferEncoding[0] != "chunked" {
+		t.Fatalf("transfer encoding %v, want chunked (streaming, not buffered)", resp.TransferEncoding)
+	}
+
+	sc := bufio.NewScanner(resp.Body)
+	if !sc.Scan() {
+		t.Fatal("missing header line")
+	}
+	var head shapleyResponse
+	if err := json.Unmarshal(sc.Bytes(), &head); err != nil {
+		t.Fatalf("header line: %v", err)
+	}
+	if head.Database != "uni" || head.Method != "hierarchical" || head.Cache != "miss" {
+		t.Fatalf("header %+v", head)
+	}
+	wantOrder := []string{
+		"TA(Adam)", "TA(Ben)", "TA(David)",
+		"Reg(Adam,OS)", "Reg(Adam,AI)", "Reg(Ben,OS)", "Reg(Caroline,DB)", "Reg(Caroline,IC)",
+	}
+	// Each line is complete as soon as the scanner yields it — the
+	// line-by-line read IS the incremental consumption.
+	for i, wantFact := range wantOrder {
+		if !sc.Scan() {
+			t.Fatalf("stream ended before value %d", i)
+		}
+		var v ValueJSON
+		if err := json.Unmarshal(sc.Bytes(), &v); err != nil {
+			t.Fatalf("value line %d: %v (%s)", i, err, sc.Text())
+		}
+		if v.Fact != wantFact {
+			t.Fatalf("value %d is %s, want %s", i, v.Fact, wantFact)
+		}
+		if want := paperex.Example23Values[v.Fact]; v.Shapley != want {
+			t.Fatalf("Shapley(%s) = %s, want %s", v.Fact, v.Shapley, want)
+		}
+	}
+	if !sc.Scan() {
+		t.Fatal("missing trailer")
+	}
+	var trailer struct {
+		Done  bool `json:"done"`
+		Count int  `json:"count"`
+	}
+	if err := json.Unmarshal(sc.Bytes(), &trailer); err != nil || !trailer.Done || trailer.Count != len(wantOrder) {
+		t.Fatalf("trailer %s (err %v)", sc.Text(), err)
+	}
+	if sc.Scan() {
+		t.Fatalf("unexpected extra line %q", sc.Text())
+	}
+
+	// rank + streaming is a contradiction (streams are in database order).
+	req2, _ := http.NewRequest("POST", ts.URL+"/v1/databases/uni/shapley",
+		strings.NewReader(`{"query":"`+q1Src+`","mode":"all","rank":true}`))
+	req2.Header.Set("Accept", "application/x-ndjson")
+	resp2, err := http.DefaultClient.Do(req2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	if resp2.StatusCode != http.StatusBadRequest {
+		t.Fatalf("rank+stream: %d, want 400", resp2.StatusCode)
+	}
+}
+
+// TestServerSingleFlightColdRequests: N concurrent identical cold requests
+// must trigger exactly one plan preparation (run under -race in CI).
+func TestServerSingleFlightColdRequests(t *testing.T) {
+	s := New(Options{})
+	registerUniversity(t, s)
+
+	const n = 16
+	var wg sync.WaitGroup
+	codes := make([]int, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			rec := do(t, s, "POST", "/v1/databases/uni/shapley", map[string]any{"query": q1Src, "mode": "all"}, nil)
+			codes[i] = rec.Code
+		}(i)
+	}
+	wg.Wait()
+	for i, c := range codes {
+		if c != http.StatusOK {
+			t.Fatalf("request %d: status %d", i, c)
+		}
+	}
+	if n := s.PlansPrepared(); n != 1 {
+		t.Fatalf("%d preparations for %d concurrent identical cold requests, want exactly 1", n, 16)
+	}
+}
+
+// TestServerConcurrentPatchAndQuery hammers PATCH against warm queries;
+// with -race this is the data-race gate for in-place plan maintenance.
+func TestServerConcurrentPatchAndQuery(t *testing.T) {
+	s := New(Options{})
+	registerUniversity(t, s)
+	if rec := do(t, s, "POST", "/v1/databases/uni/shapley", map[string]any{"query": q1Src, "mode": "all"}, nil); rec.Code != http.StatusOK {
+		t.Fatalf("seed plan: %d", rec.Code)
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 10; i++ {
+				rec := do(t, s, "POST", "/v1/databases/uni/shapley", map[string]any{"query": q1Src, "mode": "all"}, nil)
+				if rec.Code != http.StatusOK {
+					t.Errorf("query during patches: %d", rec.Code)
+					return
+				}
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 10; i++ {
+			if rec := do(t, s, "PATCH", "/v1/databases/uni", map[string]any{"add_endo": []string{"TA(Caroline)"}}, nil); rec.Code != http.StatusOK {
+				t.Errorf("patch add: %d", rec.Code)
+				return
+			}
+			if rec := do(t, s, "PATCH", "/v1/databases/uni", map[string]any{"remove": []string{"TA(Caroline)"}}, nil); rec.Code != http.StatusOK {
+				t.Errorf("patch remove: %d", rec.Code)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+
+	// After the churn the database is back at its original content and the
+	// maintained plan must still produce the Example 2.3 values.
+	var resp shapleyResponse
+	if rec := do(t, s, "POST", "/v1/databases/uni/shapley", map[string]any{"query": q1Src, "mode": "all"}, &resp); rec.Code != http.StatusOK {
+		t.Fatalf("final: %d", rec.Code)
+	}
+	for _, v := range resp.Values {
+		if want := paperex.Example23Values[v.Fact]; v.Shapley != want {
+			t.Fatalf("Shapley(%s) = %s, want %s after churn", v.Fact, v.Shapley, want)
+		}
+	}
+}
+
+// TestServerReRegisterDoesNotAliasPlans: deleting a database and
+// re-registering the same id with different content must never serve the
+// old registration's cached (or in-flight) plans — keys carry a
+// per-registration generation.
+func TestServerReRegisterDoesNotAliasPlans(t *testing.T) {
+	s := New(Options{})
+	registerUniversity(t, s)
+	var first shapleyResponse
+	if rec := do(t, s, "POST", "/v1/databases/uni/shapley", map[string]any{"query": q1Src, "mode": "all"}, &first); rec.Code != http.StatusOK {
+		t.Fatalf("first: %d", rec.Code)
+	}
+	if rec := do(t, s, "DELETE", "/v1/databases/uni", nil, nil); rec.Code != http.StatusNoContent {
+		t.Fatalf("delete: %d", rec.Code)
+	}
+	// Same id, same version number (1), different content.
+	if rec := do(t, s, "POST", "/v1/databases", map[string]any{"id": "uni", "text": "exo Stud(Zoe)\nendo TA(Zoe)\nendo Reg(Zoe, OS)"}, nil); rec.Code != http.StatusCreated {
+		t.Fatalf("re-register: %d", rec.Code)
+	}
+	var second shapleyResponse
+	if rec := do(t, s, "POST", "/v1/databases/uni/shapley", map[string]any{"query": q1Src, "mode": "all"}, &second); rec.Code != http.StatusOK {
+		t.Fatalf("second: %d", rec.Code)
+	}
+	if second.Cache != "miss" {
+		t.Fatalf("re-registered database served cache %q, want miss", second.Cache)
+	}
+	if len(second.Values) != 2 || second.Values[0].Fact != "TA(Zoe)" {
+		t.Fatalf("values answer for the wrong registration: %+v", second.Values)
+	}
+}

@@ -6,15 +6,30 @@
 // by fact-independent setup — validation, classification, the ExoShap
 // transformation and the shared CntSat dynamic-programming tables. A
 // long-lived server amortizes that setup across requests with a
-// cross-query LRU plan cache keyed by (database fingerprint, canonicalized
-// query, exogenous declarations, brute-force flag): warm requests go
-// straight to the per-fact toggles of a cached core.PreparedBatch.
+// cross-query LRU plan cache of core.Plan handles keyed by (database id,
+// canonicalized query, exogenous declarations, brute-force flag): warm
+// requests go straight to the per-fact toggles of a cached plan.
+//
+// Registered databases are mutable and versioned: PATCH applies a fact
+// delta, bumps a monotone version and patches every cached plan of the
+// database in place (core.Plan.Apply recomputes only the DP buckets the
+// delta touches) instead of evicting them. Cache entries remember the
+// database version they answer for and revalidate with one integer
+// comparison; concurrent identical cold requests coalesce through a
+// single-flight group so N misses cost one preparation.
+//
+// mode=all responses stream as chunked NDJSON when the request carries
+// "Accept: application/x-ndjson": a header line, one line per fact in
+// deterministic order as values complete, and a {"done":true} trailer.
+// Request contexts thread through the whole compute stack, so a client
+// disconnect (or the daemon's forced drain) aborts in-flight batches.
 //
 // API (all request/response bodies are JSON):
 //
 //	POST   /v1/databases                  register a database (textual format)
 //	GET    /v1/databases                  list registered databases
 //	GET    /v1/databases/{id}             inspect one database
+//	PATCH  /v1/databases/{id}             apply a fact delta (add/remove facts)
 //	DELETE /v1/databases/{id}             deregister (drops its cached plans)
 //	POST   /v1/databases/{id}/shapley     exact Shapley: one fact, or mode=all
 //	POST   /v1/databases/{id}/classify    dichotomy classification (Thms 3.1/4.3)
@@ -29,6 +44,7 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -71,22 +87,69 @@ type Server struct {
 	mux   *http.ServeMux
 	start time.Time
 
-	mu  sync.RWMutex
-	dbs map[string]*registeredDB
-	seq int
+	mu   sync.RWMutex
+	dbs  map[string]*registeredDB
+	seq  int
+	gens uint64 // registration generation counter (see registeredDB.gen)
 
-	plans *servercache.Cache[*core.PreparedBatch]
-	met   *metrics
+	// patchMu serializes plan-maintenance sweeps (PATCH) with each other.
+	// It is deliberately separate from mu: the sweep runs Plan.Apply (real
+	// DP work) and must not block readers, which only need mu's RLock for
+	// their snapshot.
+	patchMu sync.Mutex
+
+	plans   *servercache.Cache[*cachedPlan]
+	flights flightGroup[*cachedPlan]
+	met     *metrics
 }
 
-// registeredDB is one registered database. The database value is immutable
-// after registration, which is what makes cached plans valid for the life
-// of the registration.
+// registeredDB is one registered database. Its fields are guarded by the
+// server mutex: PATCH swaps the (immutable) db.Database value for the
+// post-delta one and bumps the monotone version; readers take a dbSnapshot
+// under the read lock and work lock-free from there.
 type registeredDB struct {
 	id          string
+	gen         uint64 // unique per registration: deleting and re-registering an id must never alias cached plans or in-flight preparations of the old content
 	fingerprint string
 	d           *db.Database
+	version     db.Version
 	created     time.Time
+}
+
+// dbSnapshot is the consistent view of a registered database a request
+// works against; the Database value is never mutated after registration or
+// patching, so holding the pointer outside the lock is safe.
+type dbSnapshot struct {
+	id          string
+	gen         uint64
+	fingerprint string
+	d           *db.Database
+	version     db.Version
+	created     time.Time
+}
+
+// cachedPlan is one plan-cache entry: the incrementally maintained plan
+// plus the database version its first plan version answered for. The
+// database version an entry currently serves is derived, not stored:
+// base + plan.Version() — the plan starts at version 1 when prepared
+// against database version base+1, and every PATCH that advances the
+// database by one delta advances the plan by exactly one Apply (entries
+// that miss a delta are dropped by the sweep). Deriving it keeps the
+// served version atomic with the compute state a PlanView pins, so
+// responses can never label one version's values with another's number.
+type cachedPlan struct {
+	plan *core.Plan
+	base db.Version
+}
+
+// servedVersion reports the database version the entry currently answers
+// for, atomically consistent with view when one is given (pass nil to
+// read the plan's current version).
+func (cp *cachedPlan) servedVersion(view *core.PlanView) db.Version {
+	if view != nil {
+		return cp.base + view.Version()
+	}
+	return cp.base + cp.plan.Version()
 }
 
 // New returns a Server ready to serve.
@@ -102,12 +165,13 @@ func New(opts Options) *Server {
 		mux:   http.NewServeMux(),
 		start: time.Now(),
 		dbs:   make(map[string]*registeredDB),
-		plans: servercache.New[*core.PreparedBatch](opts.CacheSize),
+		plans: servercache.New[*cachedPlan](opts.CacheSize),
 		met:   newMetrics(),
 	}
 	s.mux.HandleFunc("POST /v1/databases", s.handleRegister)
 	s.mux.HandleFunc("GET /v1/databases", s.handleListDatabases)
 	s.mux.HandleFunc("GET /v1/databases/{id}", s.handleGetDatabase)
+	s.mux.HandleFunc("PATCH /v1/databases/{id}", s.handlePatchDatabase)
 	s.mux.HandleFunc("DELETE /v1/databases/{id}", s.handleDeleteDatabase)
 	s.mux.HandleFunc("POST /v1/databases/{id}/shapley", s.handleShapley)
 	s.mux.HandleFunc("POST /v1/databases/{id}/classify", s.handleClassify)
@@ -146,33 +210,63 @@ func (w *statusWriter) WriteHeader(code int) {
 	w.ResponseWriter.WriteHeader(code)
 }
 
+// Flush forwards to the wrapped writer so NDJSON streaming keeps working
+// through the metrics wrapper (net/http only treats the handler's writer
+// as a Flusher if the wrapper exposes it).
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// Unwrap lets http.ResponseController reach the underlying writer.
+func (w *statusWriter) Unwrap() http.ResponseWriter { return w.ResponseWriter }
+
 // CacheStats reports the plan cache's hit/miss/eviction counters and
 // current size (exported for tests and benchmarks).
 func (s *Server) CacheStats() (hits, misses, evictions int64, entries int) {
 	return s.plans.Hits(), s.plans.Misses(), s.plans.Evictions(), s.plans.Len()
 }
 
+// PlansPrepared reports how many cold-path plan preparations have run
+// (exported for tests: the single-flight assertion pins it to exactly one
+// across N concurrent identical cold requests).
+func (s *Server) PlansPrepared() int64 { return s.met.plansPrepared.Load() }
+
 // PurgePlans empties the plan cache (benchmark cold-path support).
 func (s *Server) PurgePlans() { s.plans.Purge() }
 
-// lookup returns the registered database for an id.
-func (s *Server) lookup(id string) (*registeredDB, bool) {
+// snapshot returns a consistent view of the registered database for an id.
+func (s *Server) snapshot(id string) (dbSnapshot, bool) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	rdb, ok := s.dbs[id]
-	return rdb, ok
+	if !ok {
+		return dbSnapshot{}, false
+	}
+	return rdb.snap(), true
 }
 
-// planKey builds the cross-query cache key. The query component is the
-// canonical rendering of the parsed query, so textual variants of the same
-// query (whitespace, atom spelling) share a plan; exogenous declarations
-// and the brute-force flag change the prepared state, so they are part of
-// the key. Joining the exo list with ',' is collision-free because exoSet
-// rejects relation names containing anything but word characters.
-func planKey(fingerprint, canonicalQuery string, exo []string, brute bool) string {
+// planKey builds the cross-query cache key. It is version-independent —
+// the database component is the registration id plus its registration
+// generation, not a content hash — so PATCH can maintain the same entries
+// in place across versions; the entry itself derives the version it
+// answers for (cachedPlan.servedVersion) and is revalidated on every hit.
+// The generation makes delete-then-re-register safe: a preparation still
+// in flight for the deleted registration lands under a key (and flight
+// key) the new registration can never look up. The query component is the
+// canonical rendering of the parsed query, so textual variants of the
+// same query (whitespace, atom spelling) share a plan; exogenous
+// declarations and the brute-force flag change the prepared state, so
+// they are part of the key. Joining the exo list with ',' is
+// collision-free because exoSet rejects relation names containing
+// anything but word characters, and prefixing with the id is unambiguous
+// because registration rejects ids containing control characters (so no
+// id can embed the '\x00' separator).
+func planKey(id string, gen uint64, canonicalQuery string, exo []string, brute bool) string {
 	sorted := append([]string(nil), exo...)
 	sort.Strings(sorted)
-	return fmt.Sprintf("%s\x00%s\x00exo=%s\x00bf=%t", fingerprint, canonicalQuery, strings.Join(sorted, ","), brute)
+	return fmt.Sprintf("%s\x00g%d\x00%s\x00exo=%s\x00bf=%t", id, gen, canonicalQuery, strings.Join(sorted, ","), brute)
 }
 
 // parsedQuery is a request query parsed to its canonical form: exactly one
@@ -198,32 +292,59 @@ func parseRequestQuery(src string) (parsedQuery, error) {
 	return parsedQuery{ucq: u, canonical: u.String()}, nil
 }
 
-// preparedFor returns the PreparedBatch for (rdb, pq, exo, brute), from
-// the plan cache when warm. Concurrent misses on the same key may prepare
-// twice; the last Put wins and both handles are valid, so correctness is
-// unaffected.
-func (s *Server) preparedFor(rdb *registeredDB, pq parsedQuery, exo []string, brute bool) (*core.PreparedBatch, bool, error) {
-	exoRels, err := exoSet(exo)
+// planFor returns the cached-plan entry for (snap, pq, exo, brute), from
+// the plan cache when warm. A hit is revalidated against the snapshot's
+// version (PATCH keeps entries current, so a mismatch only arises when a
+// plan prepared against a pre-PATCH snapshot raced its way into the
+// cache); stale and cold paths coalesce through the single-flight group,
+// so N concurrent identical misses run exactly one preparation.
+func (s *Server) planFor(ctx context.Context, snap dbSnapshot, pq parsedQuery, exo []string, brute bool) (*cachedPlan, bool, error) {
+	if _, err := exoSet(exo); err != nil {
+		return nil, false, err
+	}
+	key := planKey(snap.id, snap.gen, pq.canonical, exo, brute)
+	// GetIf keeps the cache counters truthful: an entry answering for the
+	// wrong version (a preparation that raced a PATCH) counts as the miss
+	// it effectively is, and is left in place for the sweep or the
+	// flight's Put to fix.
+	if cp, ok := s.plans.GetIf(key, func(cp *cachedPlan) bool {
+		return cp.servedVersion(nil) == snap.version
+	}); ok {
+		return cp, true, nil
+	}
+	// The flight key pins the version so joiners of an in-flight prepare
+	// can never be handed state for a different snapshot than their own.
+	flightKey := fmt.Sprintf("%s\x00v=%d", key, snap.version)
+	cp, _, err := s.flights.do(flightKey, func() (*cachedPlan, error) {
+		eng := core.NewEngine(
+			core.WithExoRelations(exo...),
+			core.WithBruteForce(brute),
+			core.WithWorkers(s.opts.Workers),
+		)
+		// Detach the leader's cancellation: joiners waiting on this flight
+		// must not lose their plan because the initiating client hung up.
+		pctx := context.WithoutCancel(ctx)
+		var (
+			plan *core.Plan
+			err  error
+		)
+		if pq.cq != nil {
+			plan, err = eng.Prepare(pctx, snap.d, pq.cq)
+		} else {
+			plan, err = eng.PrepareUCQ(pctx, snap.d, pq.ucq)
+		}
+		if err != nil {
+			return nil, err
+		}
+		s.met.plansPrepared.Add(1)
+		cp := &cachedPlan{plan: plan, base: snap.version - 1}
+		s.plans.Put(key, cp)
+		return cp, nil
+	})
 	if err != nil {
 		return nil, false, err
 	}
-	key := planKey(rdb.fingerprint, pq.canonical, exo, brute)
-	if p, ok := s.plans.Get(key); ok {
-		return p, true, nil
-	}
-	solver := &core.Solver{ExoRelations: exoRels, AllowBruteForce: brute}
-	var p *core.PreparedBatch
-	if pq.cq != nil {
-		p, err = solver.PrepareAll(rdb.d, pq.cq)
-	} else {
-		p, err = solver.PrepareAllUCQ(rdb.d, pq.ucq)
-	}
-	if err != nil {
-		return nil, false, err
-	}
-	s.met.plansPrepared.Add(1)
-	s.plans.Put(key, p)
-	return p, false, nil
+	return cp, false, nil
 }
 
 // relName matches well-formed relation symbols. Rejecting anything else at

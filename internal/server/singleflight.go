@@ -1,0 +1,64 @@
+package server
+
+import (
+	"fmt"
+	"sync"
+)
+
+// flightGroup coalesces concurrent identical cold-path preparations: when
+// N requests miss the plan cache on the same key at once, exactly one of
+// them runs the preparation and the other N−1 wait for its result instead
+// of preparing N copies of the same state. (A hand-rolled miniature of
+// x/sync/singleflight — the module has no external dependencies.)
+type flightGroup[V any] struct {
+	mu    sync.Mutex
+	calls map[string]*flightCall[V]
+}
+
+type flightCall[V any] struct {
+	done chan struct{}
+	val  V
+	err  error
+}
+
+// do runs fn under key, returning the shared result if another goroutine
+// is already running fn for the same key. shared reports whether this
+// caller joined an in-flight computation instead of executing fn itself.
+func (g *flightGroup[V]) do(key string, fn func() (V, error)) (v V, shared bool, err error) {
+	g.mu.Lock()
+	if g.calls == nil {
+		g.calls = make(map[string]*flightCall[V])
+	}
+	if c, ok := g.calls[key]; ok {
+		g.mu.Unlock()
+		<-c.done
+		return c.val, true, c.err
+	}
+	c := &flightCall[V]{done: make(chan struct{})}
+	g.calls[key] = c
+	g.mu.Unlock()
+
+	// The flight must be torn down even if fn panics (net/http recovers
+	// per request, so without this the entry would pin the map forever and
+	// every future identical request would block on done). Joiners of a
+	// panicked flight get an error; the panic itself propagates to the
+	// leader's recover.
+	defer func() {
+		if r := recover(); r != nil {
+			c.err = fmt.Errorf("server: plan preparation panicked: %v", r)
+			g.finish(key, c)
+			panic(r)
+		}
+		g.finish(key, c)
+	}()
+	c.val, c.err = fn()
+	return c.val, false, c.err
+}
+
+// finish removes the flight entry and releases its waiters.
+func (g *flightGroup[V]) finish(key string, c *flightCall[V]) {
+	g.mu.Lock()
+	delete(g.calls, key)
+	g.mu.Unlock()
+	close(c.done)
+}

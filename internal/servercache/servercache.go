@@ -60,6 +60,26 @@ func (c *Cache[V]) Get(key string) (V, bool) {
 	return zero, false
 }
 
+// GetIf is Get with a usability predicate: an entry that fails valid is
+// treated as the miss it effectively is — counted as such, not promoted,
+// and left in place for maintenance paths to repair or a Put to replace.
+// It is how version-revalidating callers keep hits+misses equal to
+// lookups.
+func (c *Cache[V]) GetIf(key string, valid func(V) bool) (V, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		if v := el.Value.(*entry[V]).val; valid(v) {
+			c.ll.MoveToFront(el)
+			c.hits.Add(1)
+			return v, true
+		}
+	}
+	c.misses.Add(1)
+	var zero V
+	return zero, false
+}
+
 // Put inserts or replaces the value under key, evicting the least recently
 // used entry when the cache is full.
 func (c *Cache[V]) Put(key string, val V) {
@@ -85,6 +105,20 @@ func (c *Cache[V]) evictOldest() {
 	c.ll.Remove(el)
 	delete(c.items, el.Value.(*entry[V]).key)
 	c.evictions.Add(1)
+}
+
+// Peek returns the value cached under key without touching the LRU order
+// or the hit/miss counters. Maintenance paths (patching every plan of a
+// database in place) use it so bookkeeping traffic does not distort the
+// recency ordering or the cache metrics.
+func (c *Cache[V]) Peek(key string) (V, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		return el.Value.(*entry[V]).val, true
+	}
+	var zero V
+	return zero, false
 }
 
 // Remove drops the entry under key, reporting whether it was present.

@@ -123,3 +123,37 @@ func TestServerCacheConcurrentAccess(t *testing.T) {
 		t.Fatalf("Len = %d exceeds capacity", c.Len())
 	}
 }
+
+func TestGetIf(t *testing.T) {
+	c := New[int](4)
+	c.Put("a", 1)
+	c.Put("b", 2)
+	if v, ok := c.GetIf("a", func(v int) bool { return v == 1 }); !ok || v != 1 {
+		t.Fatalf("valid GetIf = %d, %v", v, ok)
+	}
+	// "b" is now the LRU tail; an invalid read must not promote it.
+	if _, ok := c.GetIf("b", func(v int) bool { return false }); ok {
+		t.Fatal("invalid entry must read as a miss")
+	}
+	if _, ok := c.GetIf("absent", func(int) bool { return true }); ok {
+		t.Fatal("absent key must miss")
+	}
+	// One hit, two misses: invalid and absent both count as misses.
+	if h, m := c.Hits(), c.Misses(); h != 1 || m != 2 {
+		t.Fatalf("hits=%d misses=%d, want 1/2", h, m)
+	}
+	// The invalid entry is left in place (maintenance may repair it) but
+	// stays least recently used: filling past capacity evicts it first.
+	if _, ok := c.Peek("b"); !ok {
+		t.Fatal("invalid entry must remain for maintenance paths")
+	}
+	c.Put("c", 3)
+	c.Put("d", 4)
+	c.Put("e", 5) // capacity 4: evicts the least recently used
+	if _, ok := c.Peek("b"); ok {
+		t.Fatal("invalid GetIf must not refresh LRU recency")
+	}
+	if _, ok := c.Peek("a"); !ok {
+		t.Fatal("validly read entry should have been promoted past eviction")
+	}
+}
