@@ -49,6 +49,9 @@ type (
 	Engine = core.Engine
 	// EngineOption configures NewEngine.
 	EngineOption = core.EngineOption
+	// TreeStats summarizes the DP-tree IR behind a Plan (node counts by
+	// kind, depth, memo traffic); see Plan.TreeStats.
+	TreeStats = core.TreeStats
 	// Plan is the versioned, incrementally maintainable compute handle:
 	// Shapley/ShapleyAll accept a context.Context for cancellation, and
 	// Apply evolves the plan under a Delta by recomputing only the DP

@@ -38,6 +38,7 @@ type runOptions struct {
 	fact      string
 	mode      string
 	all       bool
+	explain   bool
 	jsonOut   bool
 	workers   int
 	brute     bool
@@ -55,6 +56,7 @@ func main() {
 	flag.StringVar(&o.fact, "fact", "", "single fact to analyze (default: all endogenous facts)")
 	flag.StringVar(&o.mode, "mode", "shapley", "shapley | classify | relevance | mc | satcount | measures")
 	flag.BoolVar(&o.all, "all", false, "print a ranked attribution table over all endogenous facts (batched engine)")
+	flag.BoolVar(&o.explain, "explain", false, "with -mode shapley: print the prepared plan's DP-tree shape instead of values")
 	flag.BoolVar(&o.jsonOut, "json", false, "with -mode shapley: emit JSON in the server's result schema")
 	flag.IntVar(&o.workers, "workers", 0, "worker-pool size for the batched engine (0 = GOMAXPROCS)")
 	flag.BoolVar(&o.brute, "brute-force", false, "allow exponential brute force on intractable queries")
@@ -111,6 +113,9 @@ func run(ctx context.Context, w io.Writer, o runOptions) error {
 	if o.jsonOut && o.mode != "shapley" {
 		return fmt.Errorf("-json applies only to -mode shapley, not %q", o.mode)
 	}
+	if o.explain && o.mode != "shapley" {
+		return fmt.Errorf("-explain applies only to -mode shapley, not %q", o.mode)
+	}
 	if o.all && o.fact != "" {
 		return fmt.Errorf("-all ranks every endogenous fact; drop -fact")
 	}
@@ -153,6 +158,10 @@ func run(ctx context.Context, w io.Writer, o runOptions) error {
 		plan, err := eng.Prepare(ctx, d, q)
 		if err != nil {
 			return err
+		}
+		if o.explain {
+			printExplain(w, queryStr, plan)
+			return nil
 		}
 		if o.fact != "" {
 			f := facts[0]
@@ -258,6 +267,27 @@ func exoList(exo map[string]bool) []string {
 		out = append(out, r)
 	}
 	return out
+}
+
+// printExplain renders the prepared plan's DP-tree shape: node counts by
+// kind, depth, and the memo traffic of the preparation (on a fresh prepare
+// every node is a miss; after Plan.Apply the hit ratio shows how much of
+// the tree survived the delta).
+func printExplain(w io.Writer, queryStr string, plan *repro.Plan) {
+	ts := plan.TreeStats()
+	fmt.Fprintf(w, "query:       %s\n", queryStr)
+	fmt.Fprintf(w, "method:      %s\n", plan.Method())
+	fmt.Fprintf(w, "version:     %d\n", plan.Version())
+	fmt.Fprintf(w, "endogenous:  %d facts\n", plan.NumFacts())
+	fmt.Fprintf(w, "tree nodes:  %d (%d bucket, %d product, %d ground, %d union)\n",
+		ts.Nodes, ts.BucketNodes, ts.ProductNodes, ts.GroundNodes, ts.UnionNodes)
+	fmt.Fprintf(w, "tree depth:  %d\n", ts.Depth)
+	reuse := 0.0
+	if ts.MemoHits+ts.MemoMisses > 0 {
+		reuse = 100 * float64(ts.MemoHits) / float64(ts.MemoHits+ts.MemoMisses)
+	}
+	fmt.Fprintf(w, "memo:        %d hits, %d misses (%.1f%% reuse), %d live nodes\n",
+		ts.MemoHits, ts.MemoMisses, reuse, ts.MemoEntries)
 }
 
 // printJSON writes v as indented JSON (the schema shared with shapleyd).

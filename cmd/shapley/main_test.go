@@ -262,3 +262,37 @@ func TestRunBruteForceFallback(t *testing.T) {
 		t.Errorf("expected brute-force method:\n%s", buf.String())
 	}
 }
+
+// TestRunExplainGolden pins the -explain rendering of the DP-tree shape
+// for the university workload: node counts by kind, depth and memo
+// traffic (a fresh preparation reuses nothing, so every node is a miss).
+func TestRunExplainGolden(t *testing.T) {
+	var buf bytes.Buffer
+	o := baseOpts(q1Src)
+	o.explain = true
+	if err := run(context.Background(), &buf, o); err != nil {
+		t.Fatal(err)
+	}
+	want := `query:       q1() :- Stud(x), !TA(x), Reg(x, y)
+method:      hierarchical
+version:     1
+endogenous:  8 facts
+tree nodes:  22 (5 bucket, 4 product, 13 ground, 0 union)
+tree depth:  4
+memo:        0 hits, 22 misses (0.0% reuse), 22 live nodes
+`
+	if buf.String() != want {
+		t.Errorf("explain output:\n%s\nwant:\n%s", buf.String(), want)
+	}
+}
+
+// TestRunExplainWrongMode: -explain is a shapley-mode flag.
+func TestRunExplainWrongMode(t *testing.T) {
+	var buf bytes.Buffer
+	o := baseOpts(q1Src)
+	o.explain = true
+	o.mode = "classify"
+	if err := run(context.Background(), &buf, o); err == nil {
+		t.Fatal("expected error for -explain with -mode classify")
+	}
+}

@@ -34,28 +34,93 @@ func Factorial(n int) *big.Int {
 	return out
 }
 
+// maxCachedBinomialRow bounds the Pascal-row cache: rows are retained
+// only for n up to this limit (at most ~131k cached coefficients in
+// total), so a long-running process serving workloads of many sizes
+// cannot grow the cache without bound. Larger rows are built on demand
+// and not retained.
+const maxCachedBinomialRow = 512
+
+var (
+	binMu   sync.Mutex
+	binRows = make(map[int][]*big.Int) // n -> Pascal row [C(n,0)..C(n,n)]
+)
+
+// binomialRow returns the Pascal row for n, cached for n up to
+// maxCachedBinomialRow. Rows are built in O(n) big operations and
+// shared; callers must copy entries before mutating. The cache matters
+// because the DP engines complement count vectors against C(n, ·) on
+// every node rebuild and every per-fact toggle — recomputing each
+// coefficient from scratch dominated those paths.
+func binomialRow(n int) []*big.Int {
+	if n <= maxCachedBinomialRow {
+		binMu.Lock()
+		defer binMu.Unlock()
+		if r, ok := binRows[n]; ok {
+			return r
+		}
+		r := buildBinomialRow(n)
+		binRows[n] = r
+		return r
+	}
+	return buildBinomialRow(n)
+}
+
+func buildBinomialRow(n int) []*big.Int {
+	r := make([]*big.Int, n+1)
+	r[0] = big.NewInt(1)
+	num := new(big.Int)
+	for k := 1; k <= n; k++ {
+		// C(n,k) = C(n,k-1) · (n-k+1) / k, an exact division.
+		num.SetInt64(int64(n - k + 1))
+		v := new(big.Int).Mul(r[k-1], num)
+		num.SetInt64(int64(k))
+		v.Quo(v, num)
+		r[k] = v
+	}
+	return r
+}
+
+// BinomialRow returns the cached Pascal row [C(n,0)..C(n,n)] itself.
+// The row is shared: callers must treat it as strictly read-only.
+func BinomialRow(n int) []*big.Int {
+	if n < 0 {
+		panic("combinat: negative binomial row")
+	}
+	return binomialRow(n)
+}
+
 // Binomial returns C(n, k) as a fresh big.Int. Out-of-range k yields 0.
 func Binomial(n, k int) *big.Int {
 	if k < 0 || n < 0 || k > n {
 		return new(big.Int)
 	}
-	return new(big.Int).Binomial(int64(n), int64(k))
+	if n > maxCachedBinomialRow {
+		// A single coefficient of a row too large to cache: computing it
+		// directly beats building the whole row.
+		return new(big.Int).Binomial(int64(n), int64(k))
+	}
+	return new(big.Int).Set(binomialRow(n)[k])
 }
 
 // BinomialVector returns the vector [C(n,0), C(n,1), ..., C(n,n)].
 func BinomialVector(n int) []*big.Int {
-	out := make([]*big.Int, n+1)
+	row := binomialRow(n)
+	out := ZeroVector(n)
 	for k := 0; k <= n; k++ {
-		out[k] = Binomial(n, k)
+		out[k].Set(row[k])
 	}
 	return out
 }
 
-// ZeroVector returns a vector of n+1 zero big.Ints (indices 0..n).
+// ZeroVector returns a vector of n+1 zero big.Ints (indices 0..n). The
+// entries share one backing array (a single allocation instead of n+1);
+// each big.Int is still independently mutable.
 func ZeroVector(n int) []*big.Int {
+	backing := make([]big.Int, n+1)
 	out := make([]*big.Int, n+1)
 	for i := range out {
-		out[i] = new(big.Int)
+		out[i] = &backing[i]
 	}
 	return out
 }
@@ -102,9 +167,10 @@ func ComplementVector(v []*big.Int, n int) []*big.Int {
 	if len(v) != n+1 {
 		panic("combinat: complement vector length mismatch")
 	}
-	out := make([]*big.Int, n+1)
+	row := binomialRow(n)
+	out := ZeroVector(n)
 	for k := 0; k <= n; k++ {
-		out[k] = new(big.Int).Sub(Binomial(n, k), v[k])
+		out[k].Sub(row[k], v[k])
 		if out[k].Sign() < 0 {
 			panic("combinat: subset count exceeds binomial bound")
 		}
@@ -201,12 +267,13 @@ func Deconvolve(p, v []*big.Int) []*big.Int {
 	if n < 1 {
 		panic("combinat: Deconvolve length mismatch")
 	}
+	backing := make([]big.Int, n)
 	out := make([]*big.Int, n)
 	tmp := new(big.Int)
 	rem := new(big.Int)
 	for k := 0; k < n; k++ {
 		// p[lead+k] = Σ_j out[j]·v[lead+k-j]; solve for out[k].
-		acc := new(big.Int).Set(p[lead+k])
+		acc := backing[k].Set(p[lead+k])
 		lo := 0
 		if k+lead >= len(v) {
 			lo = k + lead - len(v) + 1

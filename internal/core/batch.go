@@ -3,8 +3,6 @@ package core
 import (
 	"fmt"
 	"math/big"
-	"sort"
-	"strings"
 
 	"repro/internal/combinat"
 	"repro/internal/db"
@@ -27,11 +25,11 @@ type BatchOptions struct {
 // ShapleyAllBatch computes the Shapley value of every endogenous fact with
 // work shared across the batch: the query is validated and classified once,
 // the ExoShap transformation (when needed) runs once instead of once per
-// fact, the parts of the CntSat dynamic program that do not depend on which
-// fact is toggled are hoisted into a reusable satCountContext, and the
-// remaining per-fact D+f / D−f computations are fanned across a worker
-// pool. Results are returned in d.EndoFacts() order and are bit-for-bit
-// identical to calling Shapley on each fact.
+// fact, the CntSat dynamic program is materialized once as a DP-tree
+// (dptree.go), and the remaining per-fact D+f / D−f toggles — each of
+// which recomputes only the tree spine containing the fact — are fanned
+// across a worker pool. Results are returned in d.EndoFacts() order and
+// are bit-for-bit identical to calling Shapley on each fact.
 //
 // It is PrepareAll followed by PreparedBatch.ShapleyAll; callers serving
 // many requests over one database should hold on to a handle instead —
@@ -49,175 +47,28 @@ func (s *Solver) ShapleyAllBatch(d *db.Database, q *query.CQ, opts BatchOptions)
 	return p.ShapleyAll(opts)
 }
 
-// satMemo carries content-keyed sub-DP vectors across plan versions: the
-// per-bucket NonSat vectors (and per-component / per-pool vectors) of a
-// satCountContext or ucqSatContext, keyed by the exact computation they are
-// the result of — the substituted query plus the unit's facts with their
-// endogeneity flags. When Plan.Apply rebuilds a context after a delta,
-// every bucket whose content is untouched finds its vector in the memo and
-// skips the recursive dynamic program entirely; only the buckets the delta
-// touches are recomputed. Stored vectors are shared across versions and
-// must never be mutated (every combinat operation allocates fresh output).
-//
-// The memo is generational: lookups read the previous version's entries
-// (prev) and promote hits into the current generation (cur), so entries for
-// buckets that no longer exist are dropped at the next rollover instead of
-// accumulating forever.
-type satMemo struct {
-	prev map[string][]*big.Int // previous version's entries (read-only)
-	cur  map[string][]*big.Int // entries used or created by this version
-}
-
-// newSatMemo returns an empty memo for a first preparation.
-func newSatMemo() *satMemo { return &satMemo{cur: make(map[string][]*big.Int)} }
-
-// next rolls the memo over for the successor version: everything the
-// current construction used becomes the lookup set.
-func (mm *satMemo) next() *satMemo {
-	if mm == nil {
-		return newSatMemo()
-	}
-	return &satMemo{prev: mm.cur, cur: make(map[string][]*big.Int)}
-}
-
-// lookup returns the vector cached under key, promoting a previous-version
-// hit into the current generation. A nil memo never hits.
-func (mm *satMemo) lookup(key string) ([]*big.Int, bool) {
-	if mm == nil {
-		return nil, false
-	}
-	if v, ok := mm.cur[key]; ok {
-		return v, true
-	}
-	if v, ok := mm.prev[key]; ok {
-		mm.cur[key] = v
-		return v, true
-	}
-	return nil, false
-}
-
-// store records a vector in the current generation (also used to keep
-// reused units alive across rollovers).
-func (mm *satMemo) store(key string, v []*big.Int) {
-	if mm != nil {
-		mm.cur[key] = v
-	}
-}
-
-// taggedFact is one fact of a sub-unit with its endogeneity flag.
-type taggedFact struct {
-	f    db.Fact
-	endo bool
-}
-
-// subUnit is one unit of the top-level DP decomposition — a root-variable
-// bucket of a connected query, a connected component of a disconnected
-// one, or a disjunct pool of a UCQ — together with its memo key and its
-// contribution vector (NonSat counts for buckets and pools, Sat counts for
-// components).
-type subUnit struct {
-	q     *query.CQ
-	key   string
-	facts []taggedFact
-	endo  int        // endogenous facts in the unit
-	vec   []*big.Int // never mutated; shared across plan versions
-	zero  bool       // vec is the zero polynomial
-}
-
-// database materializes the unit's facts (memo misses and toggles only;
-// the steady state never builds these).
-func dbOf(facts []taggedFact) *db.Database {
-	d := db.New()
-	for _, tf := range facts {
-		d.MustAdd(tf.f, tf.endo)
-	}
-	return d
-}
-
-// memoKey identifies one sub-DP exactly: kind tag ('b'ucket, 'c'omponent,
-// 'u'cq pool), the substituted or component query, and the unit's facts
-// with flags in insertion order. Equal keys denote the identical
-// computation, so reuse is trivially bit-identical; an order-only change
-// merely misses and recomputes.
-func memoKey(kind byte, q *query.CQ, facts []taggedFact) string {
-	var b strings.Builder
-	b.WriteByte(kind)
-	b.WriteByte(0)
-	b.WriteString(q.String())
-	b.WriteByte(0)
-	for _, tf := range facts {
-		if tf.endo {
-			b.WriteString("n ")
-		} else {
-			b.WriteString("x ")
-		}
-		b.WriteString(tf.f.Key())
-		b.WriteByte('\n')
-	}
-	return b.String()
-}
-
-// topoKind identifies the top-level shape of the CntSat dynamic program.
-type topoKind int
-
-const (
-	topoGround     topoKind = iota // all-ground conjunction (Lemma 3.2 base case)
-	topoComponents                 // disconnected query: independent components
-	topoBuckets                    // connected query: root-variable buckets
-)
-
-// satCountContext hoists every part of the |Sat(D, q, k)| computation that
-// is independent of which endogenous fact is toggled: the atom-of-relation
-// map, the relevance partition of D, the binomial convolution vector for
-// free fillers, and the per-bucket (or per-component) DP vectors together
-// with the convolution product over all of them. Toggling a fact f between
-// endogenous, exogenous and absent only changes the one bucket or component
-// containing f, so a per-fact query divides that unit's factor out of the
-// total product (exact polynomial division, O(n·|bucket|)) and convolves
-// the toggled unit back in, instead of running two full dynamic programs
-// over all of D.
-//
-// The same leave-one-out product is what makes Plan.Apply incremental: a
-// delta that touches one bucket divides the stale factor out, convolves the
-// recomputed one in, and reuses every other unit's vector through the
-// content-keyed satMemo.
-//
-// The context is immutable after construction and safe for concurrent use.
+// satCountContext is the compute handle for a hierarchical self-join-free
+// CQ¬ over one database snapshot: the DP-tree for the whole instance plus
+// the snapshot per-fact queries validate against. It is immutable after
+// construction and safe for concurrent use.
 type satCountContext struct {
-	q        *query.CQ
-	m        int             // |Dn| of the full database
-	relevant *db.Database    // materialized for topoGround only
-	relEndo  map[string]bool // keys of relevant endogenous facts
-	freeKeys map[string]bool // keys of endogenous facts matching no atom pattern
-	freeVec  []*big.Int      // BinomialVector(len(freeKeys)), nil when empty
-
-	kind topoKind
-	n    int // relevant endogenous count
-
-	units  []subUnit
-	unitOf map[string]int // topoBuckets: relevant endogenous fact key -> unit
-	relOf  map[string]int // topoComponents: relation -> unit
-
-	// Leave-one-out product state: prod is the convolution of every unit
-	// vector that is not identically zero; zeros counts the zero ones.
-	prod  []*big.Int
-	zeros int
-
-	// topoBuckets bookkeeping reused by incremental maintenance.
-	rootVar string
-	posOf   map[string]int         // relation -> root-variable position
-	values  []db.Const             // bucket values, sorted, aligned with units
-	subQ    map[db.Const]*query.CQ // value -> substituted query (construction-only cache)
+	q     *query.CQ
+	d     *db.Database // the snapshot (never mutated after preparation)
+	m     int          // |Dn| of the full database
+	root  *dpNode      // the cntSat(D, q) computation
+	build BuildStats   // memo traffic of this construction
 }
 
-// newSatCountContext validates q and precomputes the shared DP state for
-// batched Shapley computation over d. A non-nil memo caches the per-unit
-// vectors by content; when prev is the context of the immediately preceding
-// plan version and delta is the change between the two snapshots, the
-// bucket structure itself is maintained incrementally — only the buckets
-// the delta touches are re-partitioned and recomputed. Passing nil memo and
-// nil prev computes everything from scratch.
-func newSatCountContext(d *db.Database, q *query.CQ, memo *satMemo, prev *satCountContext, delta db.Delta, haveDelta bool) (*satCountContext, error) {
+// newSatCountContext validates q and materializes the DP-tree for q over
+// d. A non-nil memo reuses every subtree whose input content (sub-query
+// plus facts) is unchanged — it is how Plan.Apply recomputes only the
+// root-to-leaf spines a delta touches, no matter how deep below the top
+// bucket the change lands. prev, when non-nil, is the context of the
+// immediately preceding snapshot of the same plan: its tree guides child
+// matching and lets interior nodes update their convolution products by
+// exact division (combinat.Deconvolve) instead of re-convolving. Passing
+// nil for both computes everything from scratch.
+func newSatCountContext(d *db.Database, q *query.CQ, memo *satMemo, prev *satCountContext) (*satCountContext, error) {
 	if err := q.Validate(); err != nil {
 		return nil, err
 	}
@@ -227,491 +78,40 @@ func newSatCountContext(d *db.Database, q *query.CQ, memo *satMemo, prev *satCou
 	if !q.IsHierarchical() {
 		return nil, ErrNotHierarchical
 	}
-	if haveDelta && prev != nil && prev.kind == topoBuckets && prev.q == q {
-		return incrementalBucketContext(d, q, memo, prev, delta)
+	c := &satCountContext{q: q, d: d, m: d.NumEndo()}
+	var (
+		prevRoot *dpNode
+		label    string
+	)
+	if prev != nil && prev.root != nil && prev.q.String() == q.String() {
+		prevRoot, label = prev.root, prev.root.label
 	}
-	c := &satCountContext{
-		q:        q,
-		m:        d.NumEndo(),
-		relEndo:  make(map[string]bool),
-		freeKeys: make(map[string]bool),
+	b := &treeBuilder{memo: memo}
+	root, err := b.build(q, label, d.FlaggedFacts(), prevRoot, 0)
+	if err != nil {
+		return nil, err
 	}
-	atomOf := make(map[string]query.Atom)
-	for _, a := range q.Atoms {
-		atomOf[a.Rel] = a
-	}
-	var relevant []taggedFact
-	for _, f := range d.Facts() {
-		endo := d.IsEndogenous(f)
-		a, inQuery := atomOf[f.Rel]
-		if inQuery && query.MatchesAtom(a, f) {
-			relevant = append(relevant, taggedFact{f, endo})
-			if endo {
-				c.relEndo[f.Key()] = true
-			}
-		} else if endo {
-			c.freeKeys[f.Key()] = true
-		}
-	}
-	if len(c.freeKeys) > 0 {
-		c.freeVec = combinat.BinomialVector(len(c.freeKeys))
-	}
-	c.n = len(c.relEndo)
-
-	// Mirror the top-level branching of cntSatCore exactly, so that the
-	// per-fact incremental recomputation follows the same decomposition as
-	// the from-scratch dynamic program.
-	comps := q.AtomComponents()
-	switch {
-	case len(comps) > 1:
-		c.kind = topoComponents
-		c.relOf = make(map[string]int)
-		for ci, comp := range comps {
-			sub := q.SubQuery(comp)
-			rels := make(map[string]bool)
-			for _, a := range sub.Atoms {
-				rels[a.Rel] = true
-				c.relOf[a.Rel] = ci
-			}
-			var facts []taggedFact
-			endoN := 0
-			for _, tf := range relevant {
-				if rels[tf.f.Rel] {
-					facts = append(facts, tf)
-					if tf.endo {
-						endoN++
-					}
-				}
-			}
-			u := subUnit{q: sub, facts: facts, endo: endoN, key: memoKey('c', sub, facts)}
-			v, ok := memo.lookup(u.key)
-			if !ok {
-				var err error
-				if v, err = cntSat(dbOf(facts), sub); err != nil {
-					return nil, err
-				}
-				memo.store(u.key, v)
-			}
-			u.vec, u.zero = v, combinat.IsZeroVector(v)
-			c.units = append(c.units, u)
-		}
-
-	case len(q.Vars()) == 0:
-		c.kind = topoGround
-		c.relevant = dbOf(relevant)
-
-	default:
-		c.kind = topoBuckets
-		roots := q.RootVariables()
-		if len(roots) == 0 {
-			return nil, ErrNotHierarchical
-		}
-		c.rootVar = roots[0]
-		c.posOf = make(map[string]int)
-		for _, a := range q.Atoms {
-			for i, t := range a.Args {
-				if t.IsVar() && t.Var == c.rootVar {
-					c.posOf[a.Rel] = i
-					break
-				}
-			}
-		}
-		buckets := make(map[db.Const][]taggedFact)
-		for _, tf := range relevant {
-			v := tf.f.Args[c.posOf[tf.f.Rel]]
-			buckets[v] = append(buckets[v], tf)
-		}
-		c.values = make([]db.Const, 0, len(buckets))
-		for v := range buckets {
-			c.values = append(c.values, v)
-		}
-		sort.Slice(c.values, func(i, j int) bool { return c.values[i] < c.values[j] })
-		c.subQ = make(map[db.Const]*query.CQ, len(c.values))
-		c.unitOf = make(map[string]int)
-		for bi, v := range c.values {
-			u, err := c.buildBucket(v, buckets[v], memo)
-			if err != nil {
-				return nil, err
-			}
-			for _, tf := range u.facts {
-				if tf.endo {
-					c.unitOf[tf.f.Key()] = bi
-				}
-			}
-			c.units = append(c.units, u)
-		}
-	}
-	c.computeProd(prev)
+	c.root, c.build = root, b.stats
 	return c, nil
 }
 
-// buildBucket assembles one bucket unit: substituted query (cached by
-// value), memo key, and NonSat vector (from the memo when the content is
-// unchanged, recomputed otherwise).
-func (c *satCountContext) buildBucket(v db.Const, facts []taggedFact, memo *satMemo) (subUnit, error) {
-	qv, ok := c.subQ[v]
-	if !ok {
-		qv = c.q.SubstituteVar(c.rootVar, v)
-		c.subQ[v] = qv
-	}
-	endoN := 0
-	for _, tf := range facts {
-		if tf.endo {
-			endoN++
-		}
-	}
-	u := subUnit{q: qv, facts: facts, endo: endoN, key: memoKey('b', qv, facts)}
-	nonSat, hit := memo.lookup(u.key)
-	if !hit {
-		sat, err := cntSat(dbOf(facts), qv)
-		if err != nil {
-			return subUnit{}, err
-		}
-		nonSat = combinat.ComplementVector(sat, endoN)
-		memo.store(u.key, nonSat)
-	}
-	u.vec, u.zero = nonSat, combinat.IsZeroVector(nonSat)
-	return u, nil
-}
-
-// incrementalBucketContext rebuilds a topoBuckets context after a delta by
-// touching only the buckets the delta's facts fall into: the relevance
-// partition is patched fact by fact, untouched units are reused wholesale
-// (facts, key and vector), and only touched buckets are re-keyed and — on
-// a memo miss — recomputed.
-func incrementalBucketContext(d *db.Database, q *query.CQ, memo *satMemo, prev *satCountContext, delta db.Delta) (*satCountContext, error) {
-	// subQ is rebuilt per version (seeded below from the surviving
-	// buckets) rather than shared, so constants whose buckets vanished do
-	// not accumulate substituted queries for the life of the plan.
-	c := &satCountContext{
-		q:        q,
-		m:        d.NumEndo(),
-		kind:     topoBuckets,
-		relEndo:  cloneSet(prev.relEndo),
-		freeKeys: cloneSet(prev.freeKeys),
-		rootVar:  prev.rootVar,
-		posOf:    prev.posOf,
-		subQ:     make(map[db.Const]*query.CQ, len(prev.values)),
-	}
-	atomOf := make(map[string]query.Atom)
-	for _, a := range q.Atoms {
-		atomOf[a.Rel] = a
-	}
-	classify := func(f db.Fact) (db.Const, bool) {
-		if a, in := atomOf[f.Rel]; in && query.MatchesAtom(a, f) {
-			return f.Args[c.posOf[f.Rel]], true
-		}
-		return "", false
-	}
-	touched := make(map[db.Const]bool)
-	removed := make(map[string]bool)
-	for _, f := range delta.Remove {
-		if v, rel := classify(f); rel {
-			touched[v] = true
-			removed[f.Key()] = true
-			delete(c.relEndo, f.Key())
-		} else {
-			delete(c.freeKeys, f.Key())
-		}
-	}
-	added := make(map[db.Const][]taggedFact)
-	addFact := func(f db.Fact, endo bool) {
-		if v, rel := classify(f); rel {
-			touched[v] = true
-			added[v] = append(added[v], taggedFact{f, endo})
-			if endo {
-				c.relEndo[f.Key()] = true
-			}
-		} else if endo {
-			c.freeKeys[f.Key()] = true
-		}
-	}
-	for _, f := range delta.AddEndo {
-		addFact(f, true)
-	}
-	for _, f := range delta.AddExo {
-		addFact(f, false)
-	}
-	c.n = len(c.relEndo)
-	if len(c.freeKeys) > 0 {
-		c.freeVec = combinat.BinomialVector(len(c.freeKeys))
-	}
-
-	// Assemble the new bucket list: surviving facts keep their relative
-	// order and added facts append (AddEndo before AddExo), exactly
-	// matching what a fresh partition of the post-delta database yields.
-	factsOf := make(map[db.Const][]taggedFact, len(touched))
-	for v := range touched {
-		var facts []taggedFact
-		if bi, ok := indexOfValue(prev.values, v); ok {
-			for _, tf := range prev.units[bi].facts {
-				if !removed[tf.f.Key()] {
-					facts = append(facts, tf)
-				}
-			}
-		}
-		facts = append(facts, added[v]...)
-		factsOf[v] = facts
-	}
-	values := make([]db.Const, 0, len(prev.values)+len(added))
-	for _, v := range prev.values {
-		if !touched[v] || len(factsOf[v]) > 0 {
-			values = append(values, v)
-		}
-	}
-	for v := range touched {
-		if _, existed := indexOfValue(prev.values, v); !existed && len(factsOf[v]) > 0 {
-			values = append(values, v)
-		}
-	}
-	sort.Slice(values, func(i, j int) bool { return values[i] < values[j] })
-	c.values = values
-	c.unitOf = make(map[string]int, c.n)
-	for bi, v := range values {
-		var u subUnit
-		if !touched[v] {
-			pi, _ := indexOfValue(prev.values, v)
-			u = prev.units[pi]
-			memo.store(u.key, u.vec) // keep alive across rollovers
-			c.subQ[v] = u.q
-		} else {
-			if qv, ok := prev.subQ[v]; ok {
-				c.subQ[v] = qv // reuse the substitution for a rebuilt bucket
-			}
-			var err error
-			if u, err = c.buildBucket(v, factsOf[v], memo); err != nil {
-				return nil, err
-			}
-		}
-		for _, tf := range u.facts {
-			if tf.endo {
-				c.unitOf[tf.f.Key()] = bi
-			}
-		}
-		c.units = append(c.units, u)
-	}
-	c.computeProd(prev)
-	return c, nil
-}
-
-// indexOfValue finds v in the sorted bucket-value list.
-func indexOfValue(values []db.Const, v db.Const) (int, bool) {
-	i := sort.Search(len(values), func(i int) bool { return values[i] >= v })
-	if i < len(values) && values[i] == v {
-		return i, true
-	}
-	return 0, false
-}
-
-func cloneSet(m map[string]bool) map[string]bool {
-	out := make(map[string]bool, len(m))
-	for k := range m {
-		out[k] = true
-	}
-	return out
-}
-
-// computeProd fills the leave-one-out product state. When prev is a
-// context of the same shape, the product is updated by dividing out the
-// factors that disappeared and convolving in the new ones (O(n·|bucket|)
-// per changed unit); otherwise it is the full convolution chain. Both
-// routes yield the identical integer vector, since convolution of
-// subset-count vectors is commutative and exact.
-func (c *satCountContext) computeProd(prev *satCountContext) {
-	for i := range c.units {
-		if c.units[i].zero {
-			c.zeros++
-		}
-	}
-	if prev != nil && prev.kind == c.kind && prev.prod != nil {
-		c.prod = updateProd(prev.prod, prev.units, c.units)
-		return
-	}
-	vecs := make([][]*big.Int, 0, len(c.units))
-	for i := range c.units {
-		if !c.units[i].zero {
-			vecs = append(vecs, c.units[i].vec)
-		}
-	}
-	c.prod = combinat.ConvolveAll(vecs)
-}
-
-// updateProd maintains the non-zero-factor product across a unit-set
-// change, diffing by memo key (keys are unique within a context: bucket
-// keys embed the substituted constant, component and pool keys the
-// sub-query).
-func updateProd(prod []*big.Int, old, cur []subUnit) []*big.Int {
-	oldKeys := make(map[string]bool, len(old))
-	for i := range old {
-		oldKeys[old[i].key] = true
-	}
-	curKeys := make(map[string]bool, len(cur))
-	for i := range cur {
-		curKeys[cur[i].key] = true
-	}
-	for i := range old {
-		if u := &old[i]; !curKeys[u.key] && !u.zero {
-			prod = combinat.Deconvolve(prod, u.vec)
-		}
-	}
-	for i := range cur {
-		if u := &cur[i]; !oldKeys[u.key] && !u.zero {
-			prod = combinat.Convolve(prod, u.vec)
-		}
-	}
-	return prod
-}
-
-// shapley computes Shapley(D, q, f) for an endogenous fact of the context's
-// database, reusing the precomputed DP state.
+// shapley computes Shapley(D, q, f) for an endogenous fact of the
+// context's database, reusing the materialized DP-tree: only the spine of
+// nodes containing f is recomputed, with sibling subtrees combined through
+// the per-node leave-one-out products.
 func (c *satCountContext) shapley(f db.Fact) (*big.Rat, error) {
-	if !c.relEndo[f.Key()] {
-		// A fact matching no atom pattern can never change the query value:
-		// its Shapley value is identically zero (it is a free filler on both
-		// sides of the reduction, so the weighted difference cancels).
-		if c.freeKeys[f.Key()] {
-			return new(big.Rat), nil
-		}
+	if !c.d.IsEndogenous(f) {
 		return nil, fmt.Errorf("%w: %s", ErrNotEndogenous, f)
 	}
-	with, without, err := c.satPair(f)
+	// A fact matching no atom pattern can never change the query value:
+	// its Shapley value is identically zero (it is a free filler on both
+	// sides of the reduction, so the weighted difference cancels).
+	if !c.root.matchesAny(f) {
+		return new(big.Rat), nil
+	}
+	with, without, err := c.root.toggle(f)
 	if err != nil {
 		return nil, err
 	}
 	return combinat.WeightedDifference(with, without, c.m), nil
-}
-
-// othersFor returns the convolution of every unit's vector except unit
-// i's, or nil when that leave-one-out product is the zero polynomial
-// (some other unit's vector is identically zero).
-func (c *satCountContext) othersFor(i int) []*big.Int {
-	return leaveOneOut(c.prod, c.zeros, &c.units[i])
-}
-
-func leaveOneOut(prod []*big.Int, zeros int, u *subUnit) []*big.Int {
-	if u.zero {
-		if zeros == 1 {
-			return prod
-		}
-		return nil
-	}
-	if zeros > 0 {
-		return nil
-	}
-	return combinat.Deconvolve(prod, u.vec)
-}
-
-// satPair returns the vectors |Sat(D+f, q, k)| and |Sat(D−f, q, k)| for a
-// relevant endogenous fact f, recomputing only the bucket or component that
-// contains f.
-func (c *satCountContext) satPair(f db.Fact) (with, without []*big.Int, err error) {
-	var coreWith, coreWithout []*big.Int
-	switch c.kind {
-	case topoGround:
-		dw, err := c.relevant.WithExogenous(f)
-		if err != nil {
-			return nil, nil, err
-		}
-		if coreWith, err = groundBase(dw, c.q); err != nil {
-			return nil, nil, err
-		}
-		dwo, err := c.relevant.Without(f)
-		if err != nil {
-			return nil, nil, err
-		}
-		if coreWithout, err = groundBase(dwo, c.q); err != nil {
-			return nil, nil, err
-		}
-
-	case topoComponents:
-		ci, ok := c.relOf[f.Rel]
-		if !ok {
-			return nil, nil, fmt.Errorf("core: internal error: relevant fact %s outside every component", f)
-		}
-		vW, vWo, err := toggledSat(&c.units[ci], f)
-		if err != nil {
-			return nil, nil, err
-		}
-		if others := c.othersFor(ci); others == nil {
-			coreWith = combinat.ZeroVector(c.n - 1)
-			coreWithout = combinat.ZeroVector(c.n - 1)
-		} else {
-			coreWith = combinat.Convolve(others, vW)
-			coreWithout = combinat.Convolve(others, vWo)
-		}
-		if len(coreWith) != c.n || len(coreWithout) != c.n {
-			return nil, nil, fmt.Errorf("core: internal error: component convolution length %d/%d, want %d", len(coreWith), len(coreWithout), c.n)
-		}
-
-	case topoBuckets:
-		bi, ok := c.unitOf[f.Key()]
-		if !ok {
-			return nil, nil, fmt.Errorf("core: internal error: relevant fact %s outside every bucket", f)
-		}
-		u := &c.units[bi]
-		sW, sWo, err := toggledSat(u, f)
-		if err != nil {
-			return nil, nil, err
-		}
-		bn := u.endo - 1
-		nonW := combinat.ComplementVector(sW, bn)
-		nonWo := combinat.ComplementVector(sWo, bn)
-		var allW, allWo []*big.Int
-		if others := c.othersFor(bi); others == nil {
-			allW = combinat.ZeroVector(c.n - 1)
-			allWo = allW
-		} else {
-			allW = combinat.Convolve(others, nonW)
-			allWo = combinat.Convolve(others, nonWo)
-		}
-		coreWith = complementTotal(allW, c.n-1)
-		coreWithout = complementTotal(allWo, c.n-1)
-	}
-	if c.freeVec != nil {
-		return combinat.Convolve(coreWith, c.freeVec), combinat.Convolve(coreWithout, c.freeVec), nil
-	}
-	return coreWith, coreWithout, nil
-}
-
-// toggledSat recomputes one unit's sub-DP twice: once with f moved to the
-// exogenous side and once with f removed.
-func toggledSat(u *subUnit, f db.Fact) (satWith, satWithout []*big.Int, err error) {
-	key := f.Key()
-	dw, dwo := db.New(), db.New()
-	found := false
-	for _, tf := range u.facts {
-		if tf.f.Key() == key {
-			if !tf.endo {
-				return nil, nil, fmt.Errorf("db: %s is not an endogenous fact", f)
-			}
-			found = true
-			dw.MustAdd(tf.f, false)
-			continue
-		}
-		dw.MustAdd(tf.f, tf.endo)
-		dwo.MustAdd(tf.f, tf.endo)
-	}
-	if !found {
-		return nil, nil, fmt.Errorf("db: %s is not a fact of the database", f)
-	}
-	if satWith, err = cntSat(dw, u.q); err != nil {
-		return nil, nil, err
-	}
-	if satWithout, err = cntSat(dwo, u.q); err != nil {
-		return nil, nil, err
-	}
-	return satWith, satWithout, nil
-}
-
-// complementTotal turns a non-satisfying count vector over an n-element
-// endogenous set into the satisfying counts: out[k] = C(n, k) − nonSat[k].
-func complementTotal(nonSat []*big.Int, n int) []*big.Int {
-	out := make([]*big.Int, n+1)
-	for k := 0; k <= n; k++ {
-		out[k] = combinat.Binomial(n, k)
-		if k < len(nonSat) {
-			out[k].Sub(out[k], nonSat[k])
-		}
-	}
-	return out
 }

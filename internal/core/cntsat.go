@@ -16,6 +16,14 @@ import (
 // to safe negation per Lemma 3.2 (with the base case corrected for
 // endogenous negative facts; see DESIGN.md).
 //
+// This file is the reference implementation: the plain recursion, easy to
+// audit against the paper. The production engines (Plan, PreparedBatch,
+// the serving layer) run the same computation through the materialized
+// DP-tree IR of dptree.go, whose root output vector is asserted equal to
+// this function's result by the differential tests; the recursion also
+// serves as the baseline unit recompute in benchmark emulation of the
+// pre-tree engine.
+//
 // q must be a self-join-free hierarchical CQ¬.
 func SatCountVector(d *db.Database, q *query.CQ) ([]*big.Int, error) {
 	if err := q.Validate(); err != nil {

@@ -1,0 +1,880 @@
+package core
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"math/big"
+	"sort"
+
+	"repro/internal/combinat"
+	"repro/internal/db"
+	"repro/internal/query"
+)
+
+// This file materializes the CntSat recursion (cntsat.go keeps the
+// reference implementation) as an explicit DP-tree IR. Every node of the
+// tree is one cntSat invocation — identified by its *input content* (the
+// sub-query plus the facts it runs over, with their endogeneity flags) and
+// carrying its output |Sat| vector. Nodes are immutable after construction
+// and stored in a content-addressed generational memo shared by the
+// hierarchical, ExoShap-transformed and per-disjunct UCQ paths, so that:
+//
+//   - Plan.Apply dirties only the root-to-leaf spines the delta's facts
+//     fall into: an untouched subtree has an unchanged content hash, hits
+//     the memo, and is reused wholesale — no matter how deep below the top
+//     bucket the change lands;
+//   - at every interior node the convolution product over the children is
+//     maintained by exact polynomial division (combinat.Deconvolve): a
+//     changed child's stale factor is divided out and the fresh one
+//     convolved in, instead of re-convolving all siblings;
+//   - single-fact Shapley (and hence ShapleyAll) reads from the same tree:
+//     toggling a fact recomputes only the spine containing it, combining
+//     sibling subtrees through the per-node leave-one-out products.
+//
+// The four node kinds mirror the recursion's branching exactly:
+// variable-bucket nodes (connected query, partitioned on a root variable),
+// component-product nodes (disconnected query), ground-atom leaves (the
+// corrected Lemma 3.2 base case) and union nodes (the per-disjunct pool
+// decomposition of a relation-disjoint UCQ¬, which combines like a bucket
+// node: the union is violated iff every disjunct is).
+
+// nodeKind identifies the shape of one DP-tree node.
+type nodeKind uint8
+
+const (
+	nodeGround  nodeKind = iota // all-ground conjunction leaf (Lemma 3.2)
+	nodeBuckets                 // connected query: root-variable buckets
+	nodeProduct                 // disconnected query: component product
+	nodeUnion                   // UCQ¬ root: per-disjunct pools
+	nodeOpaque                  // benchmark baseline: sub-DP recomputed by the reference recursion, no structure
+)
+
+// taggedFact is one fact of a sub-instance with its endogeneity flag and
+// its cached canonical key (rendered once by the database layer, so
+// content hashing never re-renders it).
+type taggedFact = db.FlaggedFact
+
+// dbOf materializes facts as a database (ground leaves, reference
+// recomputes and toggles only; interior tree nodes never rebuild
+// databases).
+func dbOf(facts []taggedFact) *db.Database {
+	d := db.New()
+	for _, tf := range facts {
+		if err := d.AddFlagged(tf); err != nil {
+			panic(err)
+		}
+	}
+	return d
+}
+
+// dpNode is one node of the DP-tree IR: the cntSat computation for one
+// (query, fact multiset) pair. All fields are immutable after construction;
+// nodes are freely shared across plan versions, across plans (seeded
+// preparation) and across concurrently running readers.
+type dpNode struct {
+	key   string   // content address: hash over (query, facts+flags)
+	label string   // the query's canonical rendering (hash input, cached)
+	kind  nodeKind // shape of the recursion at this node
+
+	q *query.CQ  // the (sub-)query; nil for nodeUnion
+	u *query.UCQ // nodeUnion only
+
+	endo int // endogenous facts in this subtree (relN + free)
+	relN int // endogenous facts matching an atom pattern here
+	free int // endogenous free fillers folded in by binomial convolution
+
+	core   []*big.Int // |Sat| over the relN pattern-matching facts
+	sat    []*big.Int // |Sat| over all endo facts: core ⊛ C(free, ·)
+	nonSat []*big.Int // complement of sat over endo; the factor this node
+	// contributes when it is a bucket or union child
+	satZero    bool
+	nonSatZero bool
+
+	// Interior state (nodeBuckets, nodeProduct, nodeUnion).
+	children []*dpNode
+	prod     []*big.Int // convolution of the non-zero child factors
+	zeros    int        // child factors that are the zero polynomial
+
+	// Routing: which child a fact belongs to.
+	rootVar string         // nodeBuckets: the partitioning variable
+	posOf   map[string]int // nodeBuckets: relation -> root-variable position
+	values  []db.Const     // nodeBuckets: sorted x-values, aligned with children
+	relOf   map[string]int // nodeProduct/nodeUnion: relation -> child index
+
+	// Leaf state (nodeGround): the pattern-matching facts, for toggles.
+	facts []taggedFact
+}
+
+// childFactor returns child i's contribution to this node's product: the
+// satisfying counts for a component of a product node, the non-satisfying
+// counts for a bucket or disjunct pool ("every bucket/disjunct violated").
+func (n *dpNode) childFactor(i int) []*big.Int {
+	if n.kind == nodeProduct {
+		return n.children[i].sat
+	}
+	return n.children[i].nonSat
+}
+
+// childFactorZero reports whether child i's factor is the zero polynomial.
+func (n *dpNode) childFactorZero(i int) bool {
+	if n.kind == nodeProduct {
+		return n.children[i].satZero
+	}
+	return n.children[i].nonSatZero
+}
+
+// nodeKey computes the content address of one node: a hash over the
+// query's canonical rendering and the facts with their flags in insertion
+// order. Equal keys denote the identical computation, so memo reuse is
+// trivially bit-identical; an order-only change merely misses and
+// recomputes. Union roots prefix a byte no CQ rendering can start with.
+func nodeKey(label string, facts []taggedFact) string {
+	size := len(label) + 1
+	for _, tf := range facts {
+		size += len(tf.Key) + 3
+	}
+	buf := make([]byte, 0, size)
+	buf = append(buf, label...)
+	buf = append(buf, 0)
+	for _, tf := range facts {
+		if tf.Endo {
+			buf = append(buf, 'n', ' ')
+		} else {
+			buf = append(buf, 'x', ' ')
+		}
+		buf = append(buf, tf.Key...)
+		buf = append(buf, '\n')
+	}
+	sum := sha256.Sum256(buf)
+	return string(sum[:])
+}
+
+const unionLabelPrefix = "\x01u\x00"
+
+// satMemo is the content-addressed node store carried across plan
+// versions. It is generational: lookups read the previous version's
+// entries and promote hits (with their whole subtree) into the current
+// generation, so nodes that no longer occur in any live tree are dropped
+// at the next rollover instead of accumulating forever.
+//
+// The memo is only touched while a plan is being built or applied (under
+// the plan lock); readers of finished trees never see it.
+type satMemo struct {
+	prev map[string]*dpNode // previous version's entries (read-only)
+	cur  map[string]*dpNode // entries used or created by this version
+
+	// shallow replicates the pre-tree engine for benchmark baselines:
+	// reuse stops at the top decomposition level (the root's immediate
+	// buckets/components/pools), and a unit whose content changed is
+	// recomputed wholesale by the reference cntSat recursion —
+	// materializing sub-databases at every level, exactly like the old
+	// per-bucket tables — instead of rebuilding only its dirty spine.
+	shallow bool
+}
+
+// newSatMemo returns an empty memo for a first preparation.
+func newSatMemo() *satMemo {
+	return &satMemo{cur: make(map[string]*dpNode)}
+}
+
+// next rolls the memo over for the successor version: everything the
+// current generation used becomes the lookup set.
+func (mm *satMemo) next() *satMemo {
+	if mm == nil {
+		return newSatMemo()
+	}
+	return &satMemo{
+		prev:    mm.cur,
+		cur:     make(map[string]*dpNode),
+		shallow: mm.shallow,
+	}
+}
+
+// fork returns a fresh memo whose lookup set is the current generation's
+// live nodes. It is how a seeded preparation (Engine.PrepareFrom) shares
+// unchanged subtrees with an existing plan without ever mutating that
+// plan's memo; counters start at zero for the new plan.
+func (mm *satMemo) fork() *satMemo {
+	out := newSatMemo()
+	if mm == nil {
+		return out
+	}
+	out.prev = make(map[string]*dpNode, len(mm.cur))
+	for k, n := range mm.cur {
+		out.prev[k] = n
+	}
+	return out
+}
+
+// lookup returns the node cached under key, promoting a previous-version
+// hit (with its whole subtree) into the current generation.
+func (mm *satMemo) lookup(key string) (*dpNode, bool) {
+	if mm == nil {
+		return nil, false
+	}
+	if n, ok := mm.cur[key]; ok {
+		return n, true
+	}
+	if n, ok := mm.prev[key]; ok {
+		mm.promote(n)
+		return n, true
+	}
+	return nil, false
+}
+
+// promote records n and every descendant in the current generation, so a
+// surviving subtree keeps its interior nodes findable after rollover (a
+// later delta that dirties the subtree's root can then still reuse the
+// untouched nodes below it).
+func (mm *satMemo) promote(n *dpNode) {
+	if _, ok := mm.cur[n.key]; ok {
+		return
+	}
+	mm.cur[n.key] = n
+	for _, c := range n.children {
+		mm.promote(c)
+	}
+}
+
+// store records a freshly built node in the current generation.
+func (mm *satMemo) store(n *dpNode) {
+	if mm != nil {
+		mm.cur[n.key] = n
+	}
+}
+
+// entries returns the number of live nodes in the current generation.
+func (mm *satMemo) entries() int {
+	if mm == nil {
+		return 0
+	}
+	return len(mm.cur)
+}
+
+// BuildStats reports the memo traffic of one DP-tree construction
+// (a Prepare, an Apply, or a seeded preparation): Hits counts subtrees
+// reused from the content-addressed memo, Misses the nodes whose input
+// content changed (or was first seen) and had to be rebuilt.
+type BuildStats struct {
+	Hits   uint64
+	Misses uint64
+}
+
+// treeBuilder threads the memo and per-build counters through one tree
+// construction.
+type treeBuilder struct {
+	memo  *satMemo
+	stats BuildStats
+}
+
+// lookup consults the memo, honoring the shallow emulation mode.
+func (b *treeBuilder) lookup(key string, depth int) (*dpNode, bool) {
+	if b.memo == nil || (b.memo.shallow && depth > 1) {
+		return nil, false
+	}
+	n, ok := b.memo.lookup(key)
+	if ok {
+		b.stats.Hits++
+	}
+	return n, ok
+}
+
+// store records a built node, honoring the shallow emulation mode.
+func (b *treeBuilder) store(n *dpNode, depth int) {
+	if b.memo == nil || (b.memo.shallow && depth > 1) {
+		return
+	}
+	b.memo.store(n)
+}
+
+func (b *treeBuilder) miss() { b.stats.Misses++ }
+
+// build constructs (or reuses) the node for cntSat(facts, q). label is
+// q's canonical rendering when the caller already has it (pass "" to
+// render here). prev, when non-nil, must be the node of the same query
+// over the immediately preceding snapshot; it guides child matching (so
+// unchanged children are found without re-deriving substitutions) and
+// lets the combine step update prev's product by division instead of
+// re-convolving.
+func (b *treeBuilder) build(q *query.CQ, label string, facts []taggedFact, prev *dpNode, depth int) (*dpNode, error) {
+	if label == "" {
+		label = q.String()
+	}
+	key := nodeKey(label, facts)
+	if n, ok := b.lookup(key, depth); ok {
+		return n, nil
+	}
+	b.miss()
+	if b.memo != nil && b.memo.shallow && depth >= 1 {
+		return b.buildOpaque(q, label, key, facts, depth)
+	}
+
+	n := &dpNode{key: key, label: label, q: q}
+
+	// Relevance split: facts that can be the image of their relation's
+	// atom participate in the core dynamic program; other endogenous facts
+	// are free fillers folded in by binomial convolution.
+	atomOf := make(map[string]query.Atom, len(q.Atoms))
+	for _, a := range q.Atoms {
+		atomOf[a.Rel] = a
+	}
+	var relevant []taggedFact
+	for _, tf := range facts {
+		if a, in := atomOf[tf.Fact.Rel]; in && query.MatchesAtom(a, tf.Fact) {
+			relevant = append(relevant, tf)
+			if tf.Endo {
+				n.relN++
+			}
+		} else if tf.Endo {
+			n.free++
+		}
+	}
+	n.endo = n.relN + n.free
+
+	// Mirror the branching of cntSatCore exactly.
+	comps := q.AtomComponents()
+	switch {
+	case len(comps) > 1:
+		n.kind = nodeProduct
+		if prev != nil && (prev.kind != nodeProduct || len(prev.children) != len(comps)) {
+			prev = nil
+		}
+		n.relOf = make(map[string]int)
+		n.children = make([]*dpNode, len(comps))
+		for ci, comp := range comps {
+			sub := q.SubQuery(comp)
+			rels := make(map[string]bool, len(sub.Atoms))
+			for _, a := range sub.Atoms {
+				rels[a.Rel] = true
+				n.relOf[a.Rel] = ci
+			}
+			var childFacts []taggedFact
+			for _, tf := range relevant {
+				if rels[tf.Fact.Rel] {
+					childFacts = append(childFacts, tf)
+				}
+			}
+			var (
+				childPrev  *dpNode
+				childLabel string
+			)
+			if prev != nil {
+				childPrev = prev.children[ci]
+				sub, childLabel = childPrev.q, childPrev.label // identical by construction
+			}
+			child, err := b.build(sub, childLabel, childFacts, childPrev, depth+1)
+			if err != nil {
+				return nil, err
+			}
+			n.children[ci] = child
+		}
+		if err := n.combine(prev); err != nil {
+			return nil, err
+		}
+
+	case len(q.Vars()) == 0:
+		n.kind = nodeGround
+		n.facts = relevant
+		core, err := groundBase(dbOf(relevant), q)
+		if err != nil {
+			return nil, err
+		}
+		n.core = core
+
+	default:
+		n.kind = nodeBuckets
+		roots := q.RootVariables()
+		if len(roots) == 0 {
+			return nil, ErrNotHierarchical
+		}
+		if prev != nil && prev.kind != nodeBuckets {
+			prev = nil
+		}
+		n.rootVar = roots[0]
+		n.posOf = make(map[string]int)
+		for _, a := range q.Atoms {
+			for i, t := range a.Args {
+				if t.IsVar() && t.Var == n.rootVar {
+					n.posOf[a.Rel] = i
+					break
+				}
+			}
+		}
+		buckets := make(map[db.Const][]taggedFact)
+		for _, tf := range relevant {
+			v := tf.Fact.Args[n.posOf[tf.Fact.Rel]]
+			buckets[v] = append(buckets[v], tf)
+		}
+		n.values = make([]db.Const, 0, len(buckets))
+		for v := range buckets {
+			n.values = append(n.values, v)
+		}
+		sort.Slice(n.values, func(i, j int) bool { return n.values[i] < n.values[j] })
+		n.children = make([]*dpNode, len(n.values))
+		for bi, v := range n.values {
+			var (
+				childPrev  *dpNode
+				childLabel string
+				qv         *query.CQ
+			)
+			if prev != nil {
+				if pi, ok := indexOfValue(prev.values, v); ok {
+					childPrev = prev.children[pi]
+					qv, childLabel = childPrev.q, childPrev.label // the same substitution
+				}
+			}
+			if qv == nil {
+				qv = q.SubstituteVar(n.rootVar, v)
+			}
+			child, err := b.build(qv, childLabel, buckets[v], childPrev, depth+1)
+			if err != nil {
+				return nil, err
+			}
+			n.children[bi] = child
+		}
+		if err := n.combine(prev); err != nil {
+			return nil, err
+		}
+	}
+
+	n.finish()
+	b.store(n, depth)
+	return n, nil
+}
+
+// buildOpaque is the shallow-mode unit recompute: the whole sub-instance
+// is recomputed by the reference cntSat recursion (materializing
+// sub-databases at every level of its implicit tree, exactly what the
+// pre-IR engine paid for a touched bucket) and stored as a single
+// structureless node.
+func (b *treeBuilder) buildOpaque(q *query.CQ, label, key string, facts []taggedFact, depth int) (*dpNode, error) {
+	n := &dpNode{key: key, label: label, kind: nodeOpaque, q: q, facts: facts}
+	for _, tf := range facts {
+		if tf.Endo {
+			n.endo++
+		}
+	}
+	n.relN = n.endo
+	sat, err := cntSat(dbOf(facts), q)
+	if err != nil {
+		return nil, err
+	}
+	n.core = sat
+	n.finish()
+	b.store(n, depth)
+	return n, nil
+}
+
+// buildUnion constructs (or reuses) the root node of a relation-disjoint
+// UCQ¬: one child per disjunct (its pool of facts over the disjunct's
+// relations), combined exactly like a bucket node — the union is violated
+// iff every disjunct pool is. relOf must map every disjunct relation to
+// its disjunct index (validated by the caller).
+func (b *treeBuilder) buildUnion(u *query.UCQ, relOf map[string]int, facts []taggedFact, prev *dpNode) (*dpNode, error) {
+	label := unionLabelPrefix + u.String()
+	key := nodeKey(label, facts)
+	if n, ok := b.lookup(key, 0); ok {
+		return n, nil
+	}
+	b.miss()
+	if prev != nil && (prev.kind != nodeUnion || len(prev.children) != len(u.Disjuncts)) {
+		prev = nil
+	}
+
+	n := &dpNode{key: key, label: label, kind: nodeUnion, u: u, relOf: relOf}
+	pools := make([][]taggedFact, len(u.Disjuncts))
+	for _, tf := range facts {
+		if i, ok := relOf[tf.Fact.Rel]; ok {
+			pools[i] = append(pools[i], tf)
+			if tf.Endo {
+				n.relN++
+			}
+		} else if tf.Endo {
+			n.free++
+		}
+	}
+	n.endo = n.relN + n.free
+	n.children = make([]*dpNode, len(u.Disjuncts))
+	for i, q := range u.Disjuncts {
+		var (
+			childPrev  *dpNode
+			childLabel string
+		)
+		if prev != nil {
+			childPrev = prev.children[i]
+			childLabel = childPrev.label
+		}
+		child, err := b.build(q, childLabel, pools[i], childPrev, 1)
+		if err != nil {
+			return nil, err
+		}
+		n.children[i] = child
+	}
+	if err := n.combine(prev); err != nil {
+		return nil, err
+	}
+	n.finish()
+	b.store(n, 0)
+	return n, nil
+}
+
+// combine fills the interior node's product state and its core vector.
+// When prev is the same-query node over the preceding snapshot, the
+// product of child factors is updated by dividing out the factors that
+// disappeared and convolving in the new ones (diffing children by content
+// key); otherwise it is the full convolution chain. Both routes yield the
+// identical integer vector — convolution of subset-count vectors is
+// commutative and exact.
+func (n *dpNode) combine(prev *dpNode) error {
+	for i := range n.children {
+		if n.childFactorZero(i) {
+			n.zeros++
+		}
+	}
+	n.prod = n.maintainProd(prev)
+	switch n.kind {
+	case nodeProduct:
+		// The conjunction holds iff it holds componentwise; counts convolve.
+		if n.zeros > 0 {
+			n.core = combinat.ZeroVector(n.relN)
+		} else {
+			if len(n.prod) != n.relN+1 {
+				return fmt.Errorf("core: internal error: component convolution length %d, want %d", len(n.prod), n.relN+1)
+			}
+			n.core = n.prod
+		}
+	default:
+		// Buckets and unions: the query is violated iff every child is;
+		// count the all-violating subsets and complement.
+		allNonSat := n.prod
+		if n.zeros > 0 {
+			allNonSat = nil // some child is always satisfied
+		}
+		n.core = complementTotal(allNonSat, n.relN)
+	}
+	return nil
+}
+
+// finish derives the output vectors shared by all kinds: the free-filler
+// fold and the cached complement (the factor this node contributes to a
+// bucket- or union-style parent).
+func (n *dpNode) finish() {
+	if n.free > 0 {
+		n.sat = combinat.Convolve(n.core, combinat.BinomialVector(n.free))
+	} else {
+		n.sat = n.core
+	}
+	n.nonSat = combinat.ComplementVector(n.sat, n.endo)
+	n.satZero = combinat.IsZeroVector(n.sat)
+	n.nonSatZero = combinat.IsZeroVector(n.nonSat)
+}
+
+// maintainProd computes the product of the node's non-zero child
+// factors. When prev is the same-query node over the preceding snapshot
+// and only a small share of the children changed (diffed by content key
+// — keys are unique within a node: bucket children embed the
+// substituted constant in their query, component children their
+// sub-query, pool children their disjunct), the previous product is
+// maintained by dividing out the stale factors and convolving in the
+// fresh ones; otherwise — many changed children, or only a couple of
+// them in total, where each division costs as much as the whole chain —
+// the plain convolution chain is the cheaper exact route. Both routes
+// yield the identical integer vector, since convolution of subset-count
+// vectors is commutative and exact.
+func (n *dpNode) maintainProd(prev *dpNode) []*big.Int {
+	if prev != nil && prev.prod != nil {
+		oldKeys := make(map[string]bool, len(prev.children))
+		for _, c := range prev.children {
+			oldKeys[c.key] = true
+		}
+		curKeys := make(map[string]bool, len(n.children))
+		for _, c := range n.children {
+			curKeys[c.key] = true
+		}
+		changed := 0
+		for _, c := range prev.children {
+			if !curKeys[c.key] {
+				changed++
+			}
+		}
+		for _, c := range n.children {
+			if !oldKeys[c.key] {
+				changed++
+			}
+		}
+		if 2*changed < len(n.children)-n.zeros {
+			prod := prev.prod
+			for i, c := range prev.children {
+				if !curKeys[c.key] && !prev.childFactorZero(i) {
+					prod = combinat.Deconvolve(prod, prev.childFactor(i))
+				}
+			}
+			for i, c := range n.children {
+				if !oldKeys[c.key] && !n.childFactorZero(i) {
+					prod = combinat.Convolve(prod, n.childFactor(i))
+				}
+			}
+			return prod
+		}
+	}
+	vecs := make([][]*big.Int, 0, len(n.children))
+	for i := range n.children {
+		if !n.childFactorZero(i) {
+			vecs = append(vecs, n.childFactor(i))
+		}
+	}
+	return combinat.ConvolveAll(vecs)
+}
+
+// indexOfValue finds v in a sorted bucket-value list.
+func indexOfValue(values []db.Const, v db.Const) (int, bool) {
+	i := sort.Search(len(values), func(i int) bool { return values[i] >= v })
+	if i < len(values) && values[i] == v {
+		return i, true
+	}
+	return 0, false
+}
+
+// leaveOneOut returns the product of every child factor except child i's,
+// or nil when that product is the zero polynomial (some other child's
+// factor is identically zero).
+func (n *dpNode) leaveOneOut(i int) []*big.Int {
+	if n.childFactorZero(i) {
+		if n.zeros == 1 {
+			return n.prod
+		}
+		return nil
+	}
+	if n.zeros > 0 {
+		return nil
+	}
+	if len(n.children) == 2 {
+		return n.childFactor(1 - i) // the sibling is the whole product
+	}
+	return combinat.Deconvolve(n.prod, n.childFactor(i))
+}
+
+// toggle computes the subtree's |Sat| vectors with the endogenous fact f
+// moved to the exogenous side (with) and with f removed (without), both
+// over the remaining endo−1 endogenous facts — recomputing only the spine
+// containing f and combining sibling subtrees through the per-node
+// leave-one-out products. It never touches the memo, so concurrent reads
+// share the immutable tree freely.
+func (n *dpNode) toggle(f db.Fact) (with, without []*big.Int, err error) {
+	// Shallow-mode units replicate the pre-IR per-fact path: two full
+	// reference recursions over the toggled sub-instance.
+	if n.kind == nodeOpaque {
+		return n.toggleOpaque(f)
+	}
+	// Route f at this node: a fact matching no atom pattern here is a free
+	// filler — it changes no satisfaction anywhere in the subtree, so both
+	// sides just lose one filler.
+	if !n.matchesAny(f) {
+		if n.free == 0 {
+			return nil, nil, fmt.Errorf("core: internal error: %s routed into a subtree without free fillers", f)
+		}
+		fewer := n.core
+		if n.free > 1 {
+			fewer = combinat.Convolve(n.core, combinat.BinomialVector(n.free-1))
+		}
+		return fewer, fewer, nil
+	}
+
+	switch n.kind {
+	case nodeGround:
+		return n.toggleGround(f)
+	case nodeProduct:
+		i, ok := n.relOf[f.Rel]
+		if !ok {
+			return nil, nil, fmt.Errorf("core: internal error: %s outside every component", f)
+		}
+		cw, cwo, err := n.children[i].toggle(f)
+		if err != nil {
+			return nil, nil, err
+		}
+		others := n.leaveOneOut(i)
+		var coreW, coreWo []*big.Int
+		if others == nil {
+			coreW = combinat.ZeroVector(n.relN - 1)
+			coreWo = coreW
+		} else {
+			coreW = combinat.Convolve(others, cw)
+			coreWo = combinat.Convolve(others, cwo)
+		}
+		return n.foldFreeToggled(coreW), n.foldFreeToggled(coreWo), nil
+	default: // nodeBuckets, nodeUnion
+		var i int
+		if n.kind == nodeUnion {
+			i = n.relOf[f.Rel]
+		} else {
+			v := f.Args[n.posOf[f.Rel]]
+			bi, ok := indexOfValue(n.values, v)
+			if !ok {
+				return nil, nil, fmt.Errorf("core: internal error: %s outside every bucket", f)
+			}
+			i = bi
+		}
+		child := n.children[i]
+		cw, cwo, err := child.toggle(f)
+		if err != nil {
+			return nil, nil, err
+		}
+		fw := combinat.ComplementVector(cw, child.endo-1)
+		fwo := combinat.ComplementVector(cwo, child.endo-1)
+		others := n.leaveOneOut(i)
+		var allW, allWo []*big.Int
+		if others != nil {
+			allW = combinat.Convolve(others, fw)
+			allWo = combinat.Convolve(others, fwo)
+		}
+		coreW := complementTotal(allW, n.relN-1)
+		coreWo := complementTotal(allWo, n.relN-1)
+		return n.foldFreeToggled(coreW), n.foldFreeToggled(coreWo), nil
+	}
+}
+
+// matchesAny reports whether f can participate in this node's core
+// dynamic program (as opposed to being a free filler here).
+func (n *dpNode) matchesAny(f db.Fact) bool {
+	if n.kind == nodeUnion {
+		_, ok := n.relOf[f.Rel]
+		return ok
+	}
+	for _, a := range n.q.Atoms {
+		if a.Rel == f.Rel && query.MatchesAtom(a, f) {
+			return true
+		}
+	}
+	return false
+}
+
+// splitToggled materializes the node's facts as the two toggled
+// databases: one with f moved to the exogenous side and one with f
+// removed.
+func splitToggled(facts []taggedFact, f db.Fact) (dw, dwo *db.Database, err error) {
+	key := f.Key()
+	dw, dwo = db.New(), db.New()
+	found := false
+	for _, tf := range facts {
+		if tf.Key == key {
+			if !tf.Endo {
+				return nil, nil, fmt.Errorf("db: %s is not an endogenous fact", f)
+			}
+			found = true
+			dw.MustAdd(tf.Fact, false)
+			continue
+		}
+		dw.MustAdd(tf.Fact, tf.Endo)
+		dwo.MustAdd(tf.Fact, tf.Endo)
+	}
+	if !found {
+		return nil, nil, fmt.Errorf("db: %s is not a fact of the database", f)
+	}
+	return dw, dwo, nil
+}
+
+// toggleGround recomputes the Lemma 3.2 base case with f toggled; the
+// leaf's fact set is tiny (at most one fact per ground atom).
+func (n *dpNode) toggleGround(f db.Fact) (with, without []*big.Int, err error) {
+	dw, dwo, err := splitToggled(n.facts, f)
+	if err != nil {
+		return nil, nil, err
+	}
+	coreW, err := groundBase(dw, n.q)
+	if err != nil {
+		return nil, nil, err
+	}
+	coreWo, err := groundBase(dwo, n.q)
+	if err != nil {
+		return nil, nil, err
+	}
+	return n.foldFreeToggled(coreW), n.foldFreeToggled(coreWo), nil
+}
+
+// toggleOpaque recomputes a shallow-mode unit's sub-DP twice via the
+// reference recursion, mirroring the pre-IR engine's per-fact toggles.
+func (n *dpNode) toggleOpaque(f db.Fact) (with, without []*big.Int, err error) {
+	dw, dwo, err := splitToggled(n.facts, f)
+	if err != nil {
+		return nil, nil, err
+	}
+	if with, err = cntSat(dw, n.q); err != nil {
+		return nil, nil, err
+	}
+	if without, err = cntSat(dwo, n.q); err != nil {
+		return nil, nil, err
+	}
+	return with, without, nil
+}
+
+// foldFreeToggled folds the node's (unchanged) free fillers into a core
+// vector produced by a toggle below.
+func (n *dpNode) foldFreeToggled(core []*big.Int) []*big.Int {
+	if n.free == 0 {
+		return core
+	}
+	return combinat.Convolve(core, combinat.BinomialVector(n.free))
+}
+
+// complementTotal turns a non-satisfying count vector over an n-element
+// endogenous set into the satisfying counts: out[k] = C(n, k) − nonSat[k].
+// A nil nonSat is the zero polynomial.
+func complementTotal(nonSat []*big.Int, n int) []*big.Int {
+	row := combinat.BinomialRow(n)
+	out := combinat.ZeroVector(n)
+	for k := 0; k <= n; k++ {
+		if k < len(nonSat) {
+			out[k].Sub(row[k], nonSat[k])
+		} else {
+			out[k].Set(row[k])
+		}
+	}
+	return out
+}
+
+// TreeStats summarizes the DP-tree IR behind a plan: node counts by kind,
+// the tree depth, the memo traffic of the most recent construction and the
+// number of live nodes in the memo's current generation. Plans on the
+// brute-force fallback (or with no endogenous facts) have no tree and
+// report the zero value.
+type TreeStats struct {
+	GroundNodes  int
+	BucketNodes  int
+	ProductNodes int
+	UnionNodes   int
+	Nodes        int // total
+	Depth        int // levels; a lone leaf has depth 1
+
+	MemoHits    uint64 // last build (Prepare, Apply or seeded preparation)
+	MemoMisses  uint64
+	MemoEntries int // live nodes in the memo's current generation
+}
+
+// treeStats walks the tree rooted at n.
+func treeStats(n *dpNode) TreeStats {
+	var ts TreeStats
+	var walk func(n *dpNode, depth int)
+	walk = func(n *dpNode, depth int) {
+		ts.Nodes++
+		if depth > ts.Depth {
+			ts.Depth = depth
+		}
+		switch n.kind {
+		case nodeGround:
+			ts.GroundNodes++
+		case nodeBuckets:
+			ts.BucketNodes++
+		case nodeProduct:
+			ts.ProductNodes++
+		case nodeUnion:
+			ts.UnionNodes++
+		}
+		for _, c := range n.children {
+			walk(c, depth+1)
+		}
+	}
+	if n != nil {
+		walk(n, 1)
+	}
+	return ts
+}

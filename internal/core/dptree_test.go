@@ -1,0 +1,524 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/db"
+	"repro/internal/paperex"
+	"repro/internal/query"
+	"repro/internal/workload"
+)
+
+// TestDPTreeRootMatchesSatCountVector pins the defining invariant of the
+// IR: the root node's output vector is exactly |Sat(D, q, k)| as computed
+// by the reference recursion in cntsat.go, across random hierarchical
+// self-join-free queries and instances.
+func TestDPTreeRootMatchesSatCountVector(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	cfg := workload.DefaultRandomCQConfig()
+	checked := 0
+	for trial := 0; trial < 200 && checked < 60; trial++ {
+		q, _ := workload.RandomCQ(rng, cfg)
+		if q.HasSelfJoin() || !q.IsHierarchical() {
+			continue
+		}
+		d := workload.RandomForQuery(rng, q, 3, 3, nil, 0.7)
+		want, err := SatCountVector(d, q)
+		if err != nil {
+			t.Fatalf("%s: reference: %v\nDB:\n%s", q, err, d)
+		}
+		c, err := newSatCountContext(d, q, newSatMemo(), nil)
+		if err != nil {
+			t.Fatalf("%s: tree: %v\nDB:\n%s", q, err, d)
+		}
+		if len(c.root.sat) != len(want) {
+			t.Fatalf("%s: tree sat length %d, reference %d\nDB:\n%s", q, len(c.root.sat), len(want), d)
+		}
+		for k := range want {
+			if c.root.sat[k].Cmp(want[k]) != 0 {
+				t.Fatalf("%s: sat[%d] = %s, reference %s\nDB:\n%s", q, k, c.root.sat[k], want[k], d)
+			}
+		}
+		checked++
+	}
+	if checked < 40 {
+		t.Fatalf("coverage too thin: %d instances", checked)
+	}
+}
+
+// deepQuery has a four-level tree on the university-style schema: a root
+// bucket over x, a per-student component product, a y-bucket inside the
+// Reg/Drop component, and two-fact ground leaves — so deltas on Reg/Drop
+// facts land two levels below the top bucket.
+var deepQuery = query.MustParse("dq() :- Stud(x), !TA(x), Reg(x, y), !Drop(x, y)")
+
+// deepInstance builds a small database for deepQuery with nested
+// structure: students with several registrations, some dropped, some TAs,
+// plus a free-filler relation.
+func deepInstance() *db.Database {
+	d := db.New()
+	students := []string{"S1", "S2", "S3", "S4"}
+	courses := []string{"C1", "C2", "C3"}
+	for _, s := range students {
+		d.MustAddExo(db.F("Stud", s))
+	}
+	d.MustAddEndo(db.F("TA", "S1"))
+	d.MustAddEndo(db.F("TA", "S3"))
+	for i, s := range students {
+		for j, c := range courses {
+			if (i+j)%2 == 0 {
+				d.MustAddEndo(db.F("Reg", s, c))
+			}
+		}
+	}
+	d.MustAddEndo(db.F("Drop", "S1", "C1"))
+	d.MustAddExo(db.F("Drop", "S2", "C2"))
+	d.MustAddEndo(db.F("Free", "z1"))
+	return d
+}
+
+// deepDeltas returns a 24-step mixed add/remove chain whose mutations land
+// deep below the top x-bucket (single Reg/Drop facts of one student), plus
+// bucket births and deaths, endogeneity flips and free-filler churn.
+func deepDeltas() []db.Delta {
+	f := db.F
+	return []db.Delta{
+		{AddEndo: []db.Fact{f("Reg", "S1", "C2")}},
+		{Remove: []db.Fact{f("Reg", "S1", "C2")}},
+		{AddEndo: []db.Fact{f("Drop", "S1", "C3")}},
+		{AddEndo: []db.Fact{f("Reg", "S2", "C1")}},
+		{Remove: []db.Fact{f("Drop", "S1", "C1")}, AddExo: []db.Fact{f("Drop", "S1", "C1")}}, // flip endo→exo
+		{AddEndo: []db.Fact{f("Reg", "S5", "C1")}, AddExo: []db.Fact{f("Stud", "S5")}},       // new bucket
+		{AddEndo: []db.Fact{f("TA", "S5")}},
+		{Remove: []db.Fact{f("Reg", "S5", "C1"), f("TA", "S5")}}, // bucket dies (Stud stays exo)
+		{AddEndo: []db.Fact{f("Free", "z2")}},
+		{Remove: []db.Fact{f("Free", "z1")}},
+		{AddEndo: []db.Fact{f("Drop", "S4", "C2")}},
+		{Remove: []db.Fact{f("Drop", "S4", "C2")}, AddEndo: []db.Fact{f("Reg", "S4", "C3")}},
+		{Remove: []db.Fact{f("Drop", "S1", "C1")}, AddEndo: []db.Fact{f("Drop", "S1", "C1")}}, // flip exo→endo
+		{Remove: []db.Fact{f("Reg", "S3", "C3")}},
+		{AddEndo: []db.Fact{f("Reg", "S3", "C3")}},
+		{Remove: []db.Fact{f("TA", "S3")}},
+		{AddEndo: []db.Fact{f("TA", "S3")}},
+		{AddEndo: []db.Fact{f("Drop", "S2", "C1")}},
+		{Remove: []db.Fact{f("Drop", "S2", "C1")}},
+		{AddEndo: []db.Fact{f("Reg", "S2", "C3")}},
+		{Remove: []db.Fact{f("Reg", "S2", "C3")}},
+		{AddEndo: []db.Fact{f("Drop", "S4", "C3")}},
+		{Remove: []db.Fact{f("Drop", "S4", "C3")}},
+		{Remove: []db.Fact{f("Free", "z2")}},
+	}
+}
+
+// TestPlanApplyDeepDeltaDifferential chains 24 mixed deltas that land deep
+// below the top bucket through a hierarchical plan, asserting at every
+// step that the incrementally maintained plan is bit-identical to a fresh
+// preparation over the evolved snapshot — and, every fourth step, to the
+// brute-force reference.
+func TestPlanApplyDeepDeltaDifferential(t *testing.T) {
+	d := deepInstance()
+	eng := NewEngine()
+	plan, err := eng.Prepare(context.Background(), d, deepQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Method() != MethodHierarchical {
+		t.Fatalf("method %v, want hierarchical", plan.Method())
+	}
+	for i, dl := range deepDeltas() {
+		if _, err := plan.Apply(context.Background(), dl); err != nil {
+			t.Fatalf("step %d (%v): %v", i, dl, err)
+		}
+		got, err := plan.ShapleyAll(context.Background(), BatchOptions{Workers: 2})
+		if err != nil {
+			t.Fatalf("step %d: %v", i, err)
+		}
+		want := freshAll(t, eng, plan.Snapshot(), deepQuery, nil)
+		assertSameValues(t, fmt.Sprintf("deep step %d", i), got, want)
+		if i%4 == 0 {
+			snap := plan.Snapshot()
+			for _, v := range got {
+				brute, err := BruteForceShapley(snap, deepQuery, v.Fact)
+				if err != nil {
+					t.Fatalf("step %d: brute %s: %v", i, v.Fact, err)
+				}
+				if v.Value.Cmp(brute) != 0 {
+					t.Fatalf("step %d: %s = %s, brute %s", i, v.Fact, v.Value.RatString(), brute.RatString())
+				}
+			}
+		}
+	}
+	// The chain must have actually exercised deep reuse: on the last
+	// applies, most of the tree survives each delta.
+	ts := plan.TreeStats()
+	if ts.MemoHits == 0 {
+		t.Fatalf("no memo hits across the chain: %+v", ts)
+	}
+}
+
+// TestPlanApplyDeepDeltaExoShap runs a 20-step delta chain through an
+// ExoShap-transformed plan (the transformation reruns per version; the
+// content-addressed memo still reuses every subtree the transform leaves
+// unchanged), asserting bit-identity with fresh preparation throughout.
+func TestPlanApplyDeepDeltaExoShap(t *testing.T) {
+	d := paperex.RunningExample()
+	eng := NewEngine(WithExoRelations("Stud", "Course"))
+	plan, err := eng.Prepare(context.Background(), d, paperex.Q2())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Method() != MethodExoShap {
+		t.Fatalf("method %v, want exoshap", plan.Method())
+	}
+	f := db.F
+	steps := []db.Delta{
+		{AddEndo: []db.Fact{f("Reg", "Adam", "DB2")}},
+		{Remove: []db.Fact{f("Reg", "Adam", "DB2")}},
+		{AddEndo: []db.Fact{f("TA", "Caroline")}},
+		{Remove: []db.Fact{f("TA", "Caroline")}},
+		{AddEndo: []db.Fact{f("Reg", "Ben", "AI")}},
+		{AddExo: []db.Fact{f("Stud", "Dana")}},
+		{AddEndo: []db.Fact{f("Reg", "Dana", "OS")}},
+		{Remove: []db.Fact{f("Reg", "Dana", "OS")}},
+		{AddEndo: []db.Fact{f("TA", "Dana")}},
+		{Remove: []db.Fact{f("TA", "Dana")}},
+		{AddEndo: []db.Fact{f("Free", "w1")}},
+		{Remove: []db.Fact{f("Free", "w1")}},
+		{Remove: []db.Fact{f("Reg", "Ben", "AI")}},
+		{AddEndo: []db.Fact{f("Reg", "Caroline", "DB2")}},
+		{Remove: []db.Fact{f("Reg", "Caroline", "DB2")}},
+		{Remove: []db.Fact{f("TA", "Ben")}},
+		{AddEndo: []db.Fact{f("TA", "Ben")}},
+		{AddEndo: []db.Fact{f("Reg", "Adam", "PL")}},
+		{Remove: []db.Fact{f("Reg", "Adam", "PL")}},
+		{Remove: []db.Fact{f("TA", "Adam")}},
+	}
+	for i, dl := range steps {
+		if _, err := plan.Apply(context.Background(), dl); err != nil {
+			t.Fatalf("step %d (%v): %v", i, dl, err)
+		}
+		got, err := plan.ShapleyAll(context.Background(), BatchOptions{Workers: 2})
+		if err != nil {
+			t.Fatalf("step %d: %v", i, err)
+		}
+		want := freshAll(t, eng, plan.Snapshot(), paperex.Q2(), nil)
+		assertSameValues(t, fmt.Sprintf("exoshap step %d", i), got, want)
+	}
+}
+
+// TestPlanApplyDeepDeltaUCQ runs a 20-step chain through a union plan
+// whose disjuncts themselves have nested bucket structure, asserting
+// bit-identity with fresh preparation at each version.
+func TestPlanApplyDeepDeltaUCQ(t *testing.T) {
+	u := query.MustParseUCQ("a() :- R(x), S(x, y) | b() :- T(x, y), !U(x, y)")
+	d := db.MustParse(`
+endo R(a)
+endo S(a, p)
+endo S(a, q)
+exo  R(b)
+endo S(b, p)
+endo T(m, n)
+endo U(m, n)
+exo  T(m, o)
+endo Free(z)
+`)
+	eng := NewEngine()
+	plan, err := eng.PrepareUCQ(context.Background(), d, u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := db.F
+	steps := []db.Delta{
+		{AddEndo: []db.Fact{f("S", "a", "r")}},
+		{Remove: []db.Fact{f("S", "a", "r")}},
+		{AddEndo: []db.Fact{f("T", "m", "p2")}},
+		{Remove: []db.Fact{f("T", "m", "p2")}},
+		{AddEndo: []db.Fact{f("U", "m", "o")}},
+		{Remove: []db.Fact{f("U", "m", "n")}, AddExo: []db.Fact{f("U", "m", "n")}},
+		{AddEndo: []db.Fact{f("R", "c"), f("S", "c", "p")}},
+		{Remove: []db.Fact{f("S", "c", "p")}},
+		{Remove: []db.Fact{f("R", "c")}},
+		{AddEndo: []db.Fact{f("T", "w", "w")}},
+		{Remove: []db.Fact{f("T", "w", "w")}},
+		{AddEndo: []db.Fact{f("Free", "z2")}},
+		{Remove: []db.Fact{f("Free", "z")}},
+		{Remove: []db.Fact{f("U", "m", "n")}, AddEndo: []db.Fact{f("U", "m", "n")}},
+		{AddEndo: []db.Fact{f("S", "b", "q")}},
+		{Remove: []db.Fact{f("S", "b", "q")}},
+		{AddEndo: []db.Fact{f("U", "q1", "q2")}},
+		{Remove: []db.Fact{f("U", "q1", "q2")}},
+		{Remove: []db.Fact{f("U", "m", "o")}},
+		{Remove: []db.Fact{f("Free", "z2")}},
+	}
+	for i, dl := range steps {
+		if _, err := plan.Apply(context.Background(), dl); err != nil {
+			t.Fatalf("step %d (%v): %v", i, dl, err)
+		}
+		got, err := plan.ShapleyAll(context.Background(), BatchOptions{Workers: 2})
+		if err != nil {
+			t.Fatalf("step %d: %v", i, err)
+		}
+		want := freshAll(t, eng, plan.Snapshot(), nil, u)
+		assertSameValues(t, fmt.Sprintf("ucq step %d", i), got, want)
+	}
+}
+
+// TestPlanApplyDeepDeltaBruteReference chains 20 deltas through a small
+// hierarchical plan and checks every step against the brute-force
+// reference directly (independent of the recursion and the tree alike).
+func TestPlanApplyDeepDeltaBruteReference(t *testing.T) {
+	d := db.New()
+	d.MustAddExo(db.F("Stud", "S1"))
+	d.MustAddExo(db.F("Stud", "S2"))
+	d.MustAddEndo(db.F("TA", "S1"))
+	d.MustAddEndo(db.F("Reg", "S1", "C1"))
+	d.MustAddEndo(db.F("Reg", "S2", "C1"))
+	d.MustAddEndo(db.F("Drop", "S2", "C1"))
+	eng := NewEngine()
+	plan, err := eng.Prepare(context.Background(), d, deepQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := db.F
+	steps := []db.Delta{
+		{AddEndo: []db.Fact{f("Reg", "S1", "C2")}},
+		{AddEndo: []db.Fact{f("Drop", "S1", "C2")}},
+		{Remove: []db.Fact{f("Drop", "S1", "C2")}},
+		{Remove: []db.Fact{f("Reg", "S1", "C2")}},
+		{AddEndo: []db.Fact{f("TA", "S2")}},
+		{Remove: []db.Fact{f("TA", "S2")}},
+		{AddEndo: []db.Fact{f("Reg", "S2", "C2")}},
+		{AddEndo: []db.Fact{f("Drop", "S2", "C2")}},
+		{Remove: []db.Fact{f("Drop", "S2", "C2")}},
+		{Remove: []db.Fact{f("Reg", "S2", "C2")}},
+		{AddEndo: []db.Fact{f("Free", "q")}},
+		{Remove: []db.Fact{f("Free", "q")}},
+		{Remove: []db.Fact{f("Drop", "S2", "C1")}, AddExo: []db.Fact{f("Drop", "S2", "C1")}},
+		{Remove: []db.Fact{f("Drop", "S2", "C1")}, AddEndo: []db.Fact{f("Drop", "S2", "C1")}},
+		{AddEndo: []db.Fact{f("Reg", "S1", "C3")}},
+		{Remove: []db.Fact{f("Reg", "S1", "C3")}},
+		{Remove: []db.Fact{f("TA", "S1")}},
+		{AddEndo: []db.Fact{f("TA", "S1")}},
+		{AddEndo: []db.Fact{f("Drop", "S1", "C1")}},
+		{Remove: []db.Fact{f("Drop", "S1", "C1")}},
+	}
+	for i, dl := range steps {
+		if _, err := plan.Apply(context.Background(), dl); err != nil {
+			t.Fatalf("step %d (%v): %v", i, dl, err)
+		}
+		got, err := plan.ShapleyAll(context.Background(), BatchOptions{Workers: 1})
+		if err != nil {
+			t.Fatalf("step %d: %v", i, err)
+		}
+		snap := plan.Snapshot()
+		for _, v := range got {
+			brute, err := BruteForceShapley(snap, deepQuery, v.Fact)
+			if err != nil {
+				t.Fatalf("step %d: brute %s: %v", i, v.Fact, err)
+			}
+			if v.Value.Cmp(brute) != 0 {
+				t.Fatalf("step %d: %s = %s, brute %s\nDB:\n%s", i, v.Fact, v.Value.RatString(), brute.RatString(), snap)
+			}
+		}
+	}
+}
+
+// TestPlanConcurrentDeepApplyAndShapley is the race gate for the shared
+// memo: one goroutine chains deep deltas (each Apply rolls the memo over
+// and promotes surviving subtrees) while readers run single-fact and
+// batch queries plus TreeStats against whatever version they pin. Run
+// with -race this must be clean; values must match one of the versions.
+func TestPlanConcurrentDeepApplyAndShapley(t *testing.T) {
+	d := deepInstance()
+	eng := NewEngine()
+	plan, err := eng.Prepare(context.Background(), d, deepQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := plan.NumFacts()
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	errCh := make(chan error, 4)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer close(stop)
+		fNew := db.F("Drop", "S3", "C2")
+		for i := 0; i < 30; i++ {
+			if _, err := plan.Apply(context.Background(), db.Delta{AddEndo: []db.Fact{fNew}}); err != nil {
+				errCh <- err
+				return
+			}
+			if _, err := plan.Apply(context.Background(), db.Delta{Remove: []db.Fact{fNew}}); err != nil {
+				errCh <- err
+				return
+			}
+		}
+	}()
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				vals, err := plan.ShapleyAll(context.Background(), BatchOptions{Workers: 2})
+				if err != nil {
+					errCh <- err
+					return
+				}
+				if len(vals) != base && len(vals) != base+1 {
+					errCh <- fmt.Errorf("torn read: %d values", len(vals))
+					return
+				}
+				view := plan.View()
+				if _, err := view.Shapley(context.Background(), db.F("TA", "S1")); err != nil {
+					errCh <- err
+					return
+				}
+				_ = plan.TreeStats()
+			}
+		}()
+	}
+	wg.Wait()
+	select {
+	case err := <-errCh:
+		t.Fatal(err)
+	default:
+	}
+}
+
+// TestEnginePrepareFrom: a seeded preparation over an evolved snapshot
+// must be bit-identical to a cold one, reuse unchanged subtrees (memo
+// hits), and leave the seed plan untouched.
+func TestEnginePrepareFrom(t *testing.T) {
+	d := deepInstance()
+	eng := NewEngine()
+	seed, err := eng.Prepare(context.Background(), d, deepQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seedVals, err := seed.ShapleyAll(context.Background(), BatchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := d.Apply(db.Delta{AddEndo: []db.Fact{db.F("Reg", "S2", "C3")}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	derived, err := eng.PrepareFrom(context.Background(), d2, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if derived.Version() != 1 {
+		t.Fatalf("derived plan starts at version %d, want 1", derived.Version())
+	}
+	got, err := derived.ShapleyAll(context.Background(), BatchOptions{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := freshAll(t, eng, d2, deepQuery, nil)
+	assertSameValues(t, "seeded preparation", got, want)
+	ts := derived.TreeStats()
+	if ts.MemoHits == 0 {
+		t.Fatalf("seeded preparation reused nothing: %+v", ts)
+	}
+	// The seed still answers for its own snapshot.
+	again, err := seed.ShapleyAll(context.Background(), BatchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameValues(t, "seed after PrepareFrom", again, seedVals)
+
+	// Seeding a UCQ plan works the same way.
+	u := query.MustParseUCQ("a() :- R(x) | b() :- T(x, y)")
+	ud := db.MustParse("endo R(a)\nendo T(m, n)\nendo T(m, o)")
+	useed, err := eng.PrepareUCQ(context.Background(), ud, u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ud2, err := ud.Apply(db.Delta{AddEndo: []db.Fact{db.F("T", "p", "q")}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	uderived, err := eng.PrepareFrom(context.Background(), ud2, useed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ugot, err := uderived.ShapleyAll(context.Background(), BatchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	uwant := freshAll(t, eng, ud2, nil, u)
+	assertSameValues(t, "seeded ucq preparation", ugot, uwant)
+}
+
+// TestSatMemoShallowEmulation guards the benchmark's baseline: a memo in
+// shallow mode (top-level reuse only, the pre-tree engine's behavior)
+// must still produce bit-identical values through a delta chain.
+func TestSatMemoShallowEmulation(t *testing.T) {
+	d := deepInstance()
+	eng := NewEngine()
+	plan, err := eng.Prepare(context.Background(), d, deepQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan.memo.shallow = true
+	for i, dl := range deepDeltas()[:8] {
+		if _, err := plan.Apply(context.Background(), dl); err != nil {
+			t.Fatalf("step %d: %v", i, err)
+		}
+		got, err := plan.ShapleyAll(context.Background(), BatchOptions{})
+		if err != nil {
+			t.Fatalf("step %d: %v", i, err)
+		}
+		want := freshAll(t, eng, plan.Snapshot(), deepQuery, nil)
+		assertSameValues(t, fmt.Sprintf("shallow step %d", i), got, want)
+	}
+}
+
+// TestPlanTreeStats sanity-checks the IR introspection: the university
+// workload's q1 tree has one bucket level per student value, per-student
+// component products and ground leaves; a deep delta reuses most nodes.
+func TestPlanTreeStats(t *testing.T) {
+	d := paperex.RunningExample()
+	eng := NewEngine()
+	plan, err := eng.Prepare(context.Background(), d, paperex.Q1())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := plan.TreeStats()
+	if ts.Nodes == 0 || ts.BucketNodes == 0 || ts.GroundNodes == 0 || ts.Depth < 3 {
+		t.Fatalf("implausible tree stats: %+v", ts)
+	}
+	if ts.MemoHits != 0 || ts.MemoMisses != uint64(ts.Nodes) {
+		t.Fatalf("fresh build should miss exactly once per node: %+v", ts)
+	}
+	if ts.MemoEntries != ts.Nodes {
+		t.Fatalf("live entries %d, want %d", ts.MemoEntries, ts.Nodes)
+	}
+	if _, err := plan.Apply(context.Background(), db.Delta{AddEndo: []db.Fact{db.F("Reg", "Adam", "DB2")}}); err != nil {
+		t.Fatal(err)
+	}
+	ts2 := plan.TreeStats()
+	if ts2.MemoHits == 0 || ts2.MemoMisses >= uint64(ts2.Nodes) {
+		t.Fatalf("deep delta should reuse most of the tree: %+v", ts2)
+	}
+
+	// Brute-force and empty plans have no tree.
+	bruteEng := NewEngine(WithBruteForce(true))
+	bplan, err := bruteEng.Prepare(context.Background(), d, query.MustParse("q() :- Reg(x, y), !Reg(y, x)"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ts := bplan.TreeStats(); ts.Nodes != 0 {
+		t.Fatalf("brute plan reports a tree: %+v", ts)
+	}
+}

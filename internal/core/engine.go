@@ -89,11 +89,12 @@ func (e *Engine) Prepare(ctx context.Context, d *db.Database, q *query.CQ) (*Pla
 		return nil, err
 	}
 	memo := newSatMemo()
-	pb, err := prepareCQ(d, q, e.exo, e.brute, prepExtras{memo: memo})
+	snap := d.Clone() // the plan owns its snapshot; ctx retains it
+	pb, err := prepareCQ(snap, q, e.exo, e.brute, prepExtras{memo: memo})
 	if err != nil {
 		return nil, err
 	}
-	return &Plan{eng: e, cq: q, d: d.Clone(), version: 1, pb: pb, memo: memo}, nil
+	return &Plan{eng: e, cq: q, d: snap, version: 1, pb: pb, memo: memo}, nil
 }
 
 // PrepareUCQ is Prepare for a union of CQ¬s. The exact algorithm requires
@@ -105,11 +106,50 @@ func (e *Engine) PrepareUCQ(ctx context.Context, d *db.Database, u *query.UCQ) (
 		return nil, err
 	}
 	memo := newSatMemo()
-	pb, err := prepareUCQ(d, u, e.exo, e.brute, prepExtras{memo: memo})
+	snap := d.Clone()
+	pb, err := prepareUCQ(snap, u, e.exo, e.brute, prepExtras{memo: memo})
 	if err != nil {
 		return nil, err
 	}
-	return &Plan{eng: e, ucq: u, d: d.Clone(), version: 1, pb: pb, memo: memo}, nil
+	return &Plan{eng: e, ucq: u, d: snap, version: 1, pb: pb, memo: memo}, nil
+}
+
+// PrepareFrom prepares a plan for the seed plan's query over d, seeding
+// the DP-tree construction from seed's current state: every subtree whose
+// input content (sub-query plus facts with flags) is unchanged between
+// seed's snapshot and d is reused instead of recomputed — no delta between
+// the two snapshots is needed, reuse is decided per subtree by content
+// hash. The seed is read under its lock and never mutated; the returned
+// plan is independent (version 1, its own memo) and shares only immutable
+// tree nodes with the seed.
+//
+// Serving layers use it to turn a stale cache entry (a plan answering for
+// an outdated database version) into a warm start for the replacement
+// preparation instead of paying a cold rebuild.
+func (e *Engine) PrepareFrom(ctx context.Context, d *db.Database, seed *Plan) (*Plan, error) {
+	if err := ctxErr(ctx); err != nil {
+		return nil, err
+	}
+	seed.mu.RLock()
+	memo := seed.memo.fork()
+	prev := seed.pb
+	cq, ucq := seed.cq, seed.ucq
+	seed.mu.RUnlock()
+	ex := prepExtras{memo: memo, prev: prev}
+	snap := d.Clone()
+	var (
+		pb  *PreparedBatch
+		err error
+	)
+	if cq != nil {
+		pb, err = prepareCQ(snap, cq, e.exo, e.brute, ex)
+	} else {
+		pb, err = prepareUCQ(snap, ucq, e.exo, e.brute, ex)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return &Plan{eng: e, cq: cq, ucq: ucq, d: snap, version: 1, pb: pb, memo: memo}, nil
 }
 
 // ctxErr reports a context's error, treating nil as never cancelled.

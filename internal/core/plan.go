@@ -132,10 +132,13 @@ func (p *Plan) ShapleyAll(ctx context.Context, opts BatchOptions) ([]*ShapleyVal
 // cannot be served over, e.g. an endogenous fact added to a declared
 // exogenous relation) the plan is left untouched at its current version.
 //
-// Only the CntSat buckets whose content the delta changes are recomputed;
-// untouched per-bucket tables are reused via the content-keyed memo, and
-// the result is bit-identical to a fresh Engine.Prepare on the post-delta
-// database.
+// Only the root-to-leaf spines of the DP-tree the delta's facts fall into
+// are recomputed: every subtree whose input content is unchanged — no
+// matter how deep below a touched top-level bucket — is reused through the
+// content-addressed node memo, and the convolution products along the
+// recomputed spines are maintained by exact polynomial division instead of
+// re-convolving all siblings. The result is bit-identical to a fresh
+// Engine.Prepare on the post-delta database.
 func (p *Plan) Apply(ctx context.Context, delta db.Delta) (db.Version, error) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
@@ -150,7 +153,7 @@ func (p *Plan) Apply(ctx context.Context, delta db.Delta) (db.Version, error) {
 		return p.version, err
 	}
 	memo := p.memo.next()
-	ex := prepExtras{memo: memo, prev: p.pb, delta: delta, haveDelta: true}
+	ex := prepExtras{memo: memo, prev: p.pb}
 	var pb *PreparedBatch
 	if p.cq != nil {
 		pb, err = prepareCQ(newD, p.cq, p.eng.exo, p.eng.brute, ex)
@@ -163,4 +166,28 @@ func (p *Plan) Apply(ctx context.Context, delta db.Delta) (db.Version, error) {
 	p.d, p.pb, p.memo = newD, pb, memo
 	p.version++
 	return p.version, nil
+}
+
+// MemoEntries reports the live node count of the plan's content-addressed
+// memo without walking the tree (cheap enough for metrics scrapes; see
+// TreeStats for the full shape).
+func (p *Plan) MemoEntries() int {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return p.memo.entries()
+}
+
+// TreeStats summarizes the DP-tree IR behind the plan's current version:
+// node counts by kind, tree depth, the memo traffic of the most recent
+// construction (the initial Prepare or the last Apply) and the live node
+// count of the content-addressed memo. Plans on the brute-force fallback
+// (or with no endogenous facts) report the zero value.
+func (p *Plan) TreeStats() TreeStats {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	ts := treeStats(p.pb.treeRoot())
+	st := p.pb.buildStats()
+	ts.MemoHits, ts.MemoMisses = st.Hits, st.Misses
+	ts.MemoEntries = p.memo.entries()
+	return ts
 }

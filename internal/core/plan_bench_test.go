@@ -4,8 +4,10 @@ import (
 	"context"
 	"testing"
 
+	"repro/internal/combinat"
 	"repro/internal/db"
 	"repro/internal/paperex"
+	"repro/internal/query"
 	"repro/internal/workload"
 )
 
@@ -82,6 +84,140 @@ func BenchmarkPlanApplyDelta(b *testing.B) {
 			if _, err := eng.Prepare(ctx, d, q); err != nil {
 				b.Fatal(err)
 			}
+		}
+	})
+}
+
+// BenchmarkPlanApplyDeepDelta measures what the DP-tree IR buys over the
+// previous engine's top-level-only reuse: a delta confined to one
+// sub-bucket (a single registration of one student, two levels below the
+// plan's top x-bucket) on a 94-endogenous-fact university workload whose
+// weight sits inside few heavy buckets. "deep-reuse" is the normal Apply
+// (only the touched root-to-leaf spine is rebuilt; untouched course
+// leaves and the sibling student's whole subtree hit the memo);
+// "root-bucket-recompute" emulates the pre-tree engine by restricting the
+// memo to the top decomposition level, so the touched student's entire
+// bucket DP is recomputed from scratch. Values are asserted bit-identical
+// to a fresh preparation before timing.
+func BenchmarkPlanApplyDeepDelta(b *testing.B) {
+	cfg := workload.UniversityConfig{
+		Students: 2, Courses: 46, RegPerStudent: 46, TAFraction: 1, Seed: 7,
+	}
+	d := workload.University(cfg)
+	q := paperex.Q1()
+	eng := NewEngine()
+	ctx := context.Background()
+	if n := d.NumEndo(); n != 94 {
+		b.Fatalf("workload has %d endogenous facts, want 94", n)
+	}
+
+	newFact := db.F("Reg", "S0", "C-delta")
+	add := db.Delta{AddEndo: []db.Fact{newFact}}
+	remove := db.Delta{Remove: []db.Fact{newFact}}
+
+	prepare := func(shallow bool) *Plan {
+		plan, err := eng.Prepare(ctx, d, q)
+		if err != nil {
+			b.Fatal(err)
+		}
+		plan.memo.shallow = shallow
+		return plan
+	}
+
+	// Correctness gate: one add/remove round-trip must be bit-identical to
+	// fresh preparation, in both modes.
+	for _, shallow := range []bool{false, true} {
+		plan := prepare(shallow)
+		if _, err := plan.Apply(ctx, add); err != nil {
+			b.Fatal(err)
+		}
+		got, err := plan.ShapleyAll(ctx, BatchOptions{Workers: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		fresh, err := eng.Prepare(ctx, plan.Snapshot(), q)
+		if err != nil {
+			b.Fatal(err)
+		}
+		want, err := fresh.ShapleyAll(ctx, BatchOptions{Workers: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(got) != len(want) {
+			b.Fatalf("%d values, want %d", len(got), len(want))
+		}
+		for i := range want {
+			if got[i].Fact.Key() != want[i].Fact.Key() || got[i].Value.Cmp(want[i].Value) != 0 {
+				b.Fatalf("shallow=%v: deep-delta batch diverges at %s", shallow, want[i].Fact)
+			}
+		}
+	}
+
+	bench := func(shallow bool) func(*testing.B) {
+		return func(b *testing.B) {
+			plan := prepare(shallow)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := plan.Apply(ctx, add); err != nil {
+					b.Fatal(err)
+				}
+				if _, err := plan.Apply(ctx, remove); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+	b.Run("apply/deep-reuse", bench(false))
+	b.Run("apply/root-bucket-recompute", bench(true))
+
+	// The recompute of the touched bucket itself, isolated from the plan
+	// maintenance both engines share (snapshot apply, re-partition, root
+	// product): "spine-rebuild" is the tree route — every sub-bucket the
+	// delta leaves untouched hits the content-addressed memo — while
+	// "from-scratch" is the pre-tree engine's unit recompute, the full
+	// reference recursion over the bucket. This pair is the direct measure
+	// of the deep-reuse claim.
+	plan := prepare(false)
+	root := plan.pb.ctx.root
+	bi, ok := indexOfValue(root.values, "S0")
+	if !ok {
+		b.Fatal("no bucket for student S0")
+	}
+	prevChild := root.children[bi]
+	atomOf := make(map[string]query.Atom, len(q.Atoms))
+	for _, a := range q.Atoms {
+		atomOf[a.Rel] = a
+	}
+	var bucketFacts []taggedFact
+	for _, ff := range plan.d.FlaggedFacts() {
+		a, in := atomOf[ff.Fact.Rel]
+		if in && query.MatchesAtom(a, ff.Fact) && ff.Fact.Args[root.posOf[ff.Fact.Rel]] == "S0" {
+			bucketFacts = append(bucketFacts, ff)
+		}
+	}
+	bucketFacts = append(bucketFacts, taggedFact{Fact: newFact, Key: newFact.Key(), Endo: true})
+
+	b.Run("touched-bucket/spine-rebuild", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			// A fresh fork per iteration: the post-delta spine nodes are
+			// genuinely absent (the plan is pre-delta), everything below
+			// them hits.
+			bld := &treeBuilder{memo: plan.memo.fork()}
+			if _, err := bld.build(prevChild.q, prevChild.label, bucketFacts, prevChild, 1); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("touched-bucket/from-scratch", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			sat, err := cntSat(dbOf(bucketFacts), prevChild.q)
+			if err != nil {
+				b.Fatal(err)
+			}
+			combinat.ComplementVector(sat, prevChild.endo+1)
 		}
 	})
 }

@@ -138,7 +138,9 @@ func (p *PreparedBatch) shapleyAll(ctx context.Context, opts BatchOptions) ([]*S
 // maintenance under database deltas (Plan.Apply); this method is kept as a
 // thin wrapper over the same preparation path.
 func (s *Solver) PrepareAll(d *db.Database, q *query.CQ) (*PreparedBatch, error) {
-	return prepareCQ(d, q, s.ExoRelations, s.AllowBruteForce, prepExtras{})
+	// Clone: the prepared state retains the snapshot, and the handle's
+	// contract is that later mutations of d do not affect it.
+	return prepareCQ(d.Clone(), q, s.ExoRelations, s.AllowBruteForce, prepExtras{})
 }
 
 // PrepareAllUCQ is PrepareAll for a union of CQ¬s. The exact algorithm
@@ -149,18 +151,19 @@ func (s *Solver) PrepareAll(d *db.Database, q *query.CQ) (*PreparedBatch, error)
 // Deprecated-style shim: new code should use Engine.PrepareUCQ (see
 // PrepareAll).
 func (s *Solver) PrepareAllUCQ(d *db.Database, u *query.UCQ) (*PreparedBatch, error) {
-	return prepareUCQ(d, u, s.ExoRelations, s.AllowBruteForce, prepExtras{})
+	return prepareUCQ(d.Clone(), u, s.ExoRelations, s.AllowBruteForce, prepExtras{})
 }
 
 // prepExtras carries the optional incremental-maintenance inputs into the
-// preparation path: the content-keyed memo and — when rebuilding after
-// Plan.Apply — the previous version's state plus the delta between the two
-// snapshots. The zero value means a cold from-scratch preparation.
+// preparation path: the content-addressed node memo and — when rebuilding
+// after Plan.Apply or seeding from a sibling plan — the previous state
+// whose DP-tree guides the construction. No delta is needed: reuse is
+// decided per subtree by content hash, so any unchanged subtree is found
+// regardless of how the snapshots differ. The zero value means a cold
+// from-scratch preparation.
 type prepExtras struct {
-	memo      *satMemo
-	prev      *PreparedBatch
-	delta     db.Delta
-	haveDelta bool
+	memo *satMemo
+	prev *PreparedBatch
 }
 
 func (ex prepExtras) prevCtx() *satCountContext {
@@ -175,6 +178,30 @@ func (ex prepExtras) prevUCtx() *ucqSatContext {
 		return nil
 	}
 	return ex.prev.uctx
+}
+
+// buildStats reports the memo traffic of the construction that produced
+// this state (zero for brute-force and empty-snapshot handles).
+func (p *PreparedBatch) buildStats() BuildStats {
+	switch {
+	case p.ctx != nil:
+		return p.ctx.build
+	case p.uctx != nil:
+		return p.uctx.build
+	}
+	return BuildStats{}
+}
+
+// treeRoot returns the DP-tree root behind this state, or nil when the
+// handle has none (brute force, empty snapshot).
+func (p *PreparedBatch) treeRoot() *dpNode {
+	switch {
+	case p.ctx != nil:
+		return p.ctx.root
+	case p.uctx != nil:
+		return p.uctx.root
+	}
+	return nil
 }
 
 // checkExoRelations verifies that every relation declared exogenous holds
@@ -207,7 +234,7 @@ func prepareCQ(d *db.Database, q *query.CQ, exo map[string]bool, brute bool, ex 
 	}
 	switch {
 	case c.SelfJoinFree && c.Hierarchical:
-		ctx, err := newSatCountContext(d, q, ex.memo, ex.prevCtx(), ex.delta, ex.haveDelta)
+		ctx, err := newSatCountContext(d, q, ex.memo, ex.prevCtx())
 		if err != nil {
 			return nil, err
 		}
@@ -217,10 +244,11 @@ func prepareCQ(d *db.Database, q *query.CQ, exo map[string]bool, brute bool, ex 
 		if err != nil {
 			return nil, err
 		}
-		// The transformed query is rebuilt per version, so the structural
-		// fast path never engages; the content-keyed memo and the product
-		// diff still reuse every bucket the transform leaves unchanged.
-		ctx, err := newSatCountContext(d2, q2, ex.memo, ex.prevCtx(), db.Delta{}, false)
+		// The transformed query is rebuilt per version; since the rebuild
+		// is deterministic, the previous version's tree still matches by
+		// content and every subtree the transform leaves unchanged is
+		// reused through the memo.
+		ctx, err := newSatCountContext(d2, q2, ex.memo, ex.prevCtx())
 		if err != nil {
 			return nil, err
 		}

@@ -10,33 +10,21 @@ import (
 	"repro/internal/query"
 )
 
-// ucqSatContext hoists the fact-independent parts of the
-// SatCountVectorUCQ computation for batched Shapley values over a
-// relation-disjoint union of hierarchical self-join-free CQ¬s: the
-// relation→disjunct map, the per-disjunct fact pools, the per-pool
-// non-satisfying count vectors with their leave-one-out convolution
-// product, and the binomial vector for endogenous facts matching no
-// disjunct. Toggling a fact between endogenous, exogenous and absent only
-// changes the pool of its own disjunct, so a per-fact query costs two
-// single-pool Sat recomputations plus one exact polynomial division and
-// convolution instead of two full SatCountVectorUCQ runs. The same
-// structure makes Plan.Apply incremental: per-pool vectors are keyed by
-// pool content (satMemo) and the product is updated by dividing out stale
-// factors.
+// ucqSatContext is the compute handle for a relation-disjoint union of
+// hierarchical self-join-free CQ¬s: a DP-tree whose root is a union node
+// (one child per disjunct pool, combined like a bucket node: the union is
+// violated iff every disjunct is), built by the same treeBuilder — and
+// stored in the same content-addressed memo — as the CQ and ExoShap paths.
+// Per-fact queries toggle the spine containing the fact; Plan.Apply reuses
+// every subtree a delta leaves untouched.
 //
 // The context is immutable after construction and safe for concurrent use.
 type ucqSatContext struct {
-	u *query.UCQ
-	m int // |Dn| of the full database
-
-	units    []subUnit       // one per disjunct; vec = pool NonSat
-	poolOf   map[string]int  // endogenous fact key -> pool index
-	freeKeys map[string]bool // endogenous facts of relations outside every disjunct
-	freeVec  []*big.Int      // BinomialVector(len(freeKeys)), nil when empty
-
-	relN  int // endogenous facts inside the pools
-	prod  []*big.Int
-	zeros int
+	u     *query.UCQ
+	d     *db.Database // the snapshot (never mutated after preparation)
+	m     int          // |Dn| of the full database
+	root  *dpNode      // the union-node computation
+	build BuildStats   // memo traffic of this construction
 }
 
 // isUCQStructuralError reports whether err is one of the structural
@@ -48,11 +36,8 @@ func isUCQStructuralError(err error) bool {
 		errors.Is(err, ErrUCQNotDisjoint)
 }
 
-// newUCQSatContext validates u and precomputes the shared DP state for
-// batched Shapley computation over d. A non-nil memo caches the per-pool
-// NonSat vectors by content, and a prev context lets the leave-one-out
-// product update by division instead of a full re-convolution, so
-// Plan.Apply recomputes only the pools a delta touches.
+// newUCQSatContext validates u and materializes the union DP-tree over d.
+// memo and prev play the same roles as in newSatCountContext.
 func newUCQSatContext(d *db.Database, u *query.UCQ, memo *satMemo, prev *ucqSatContext) (*ucqSatContext, error) {
 	if err := u.Validate(); err != nil {
 		return nil, err
@@ -72,140 +57,47 @@ func newUCQSatContext(d *db.Database, u *query.UCQ, memo *satMemo, prev *ucqSatC
 			relOf[rel] = i
 		}
 	}
-	c := &ucqSatContext{
-		u:        u,
-		m:        d.NumEndo(),
-		poolOf:   make(map[string]int),
-		freeKeys: make(map[string]bool),
+	c := &ucqSatContext{u: u, d: d, m: d.NumEndo()}
+	var prevRoot *dpNode
+	if prev != nil && prev.root != nil && prev.u.String() == u.String() {
+		prevRoot = prev.root
 	}
-	pools := make([][]taggedFact, len(u.Disjuncts))
-	for _, f := range d.Facts() {
-		endo := d.IsEndogenous(f)
-		if i, ok := relOf[f.Rel]; ok {
-			pools[i] = append(pools[i], taggedFact{f, endo})
-			if endo {
-				c.poolOf[f.Key()] = i
-				c.relN++
-			}
-		} else if endo {
-			c.freeKeys[f.Key()] = true
-		}
+	b := &treeBuilder{memo: memo}
+	root, err := b.buildUnion(u, relOf, d.FlaggedFacts(), prevRoot)
+	if err != nil {
+		return nil, err
 	}
-	if len(c.freeKeys) > 0 {
-		c.freeVec = combinat.BinomialVector(len(c.freeKeys))
-	}
-	for i, q := range u.Disjuncts {
-		endoN := 0
-		for _, tf := range pools[i] {
-			if tf.endo {
-				endoN++
-			}
-		}
-		unit := subUnit{q: q, facts: pools[i], endo: endoN, key: memoKey('u', q, pools[i])}
-		nonSat, hit := memo.lookup(unit.key)
-		if !hit {
-			sat, err := SatCountVector(dbOf(pools[i]), q)
-			if err != nil {
-				return nil, err
-			}
-			nonSat = combinat.ComplementVector(sat, endoN)
-			memo.store(unit.key, nonSat)
-		}
-		unit.vec, unit.zero = nonSat, combinat.IsZeroVector(nonSat)
-		c.units = append(c.units, unit)
-	}
-	for i := range c.units {
-		if c.units[i].zero {
-			c.zeros++
-		}
-	}
-	if prev != nil && prev.prod != nil {
-		c.prod = updateProd(prev.prod, prev.units, c.units)
-	} else {
-		vecs := make([][]*big.Int, 0, len(c.units))
-		for i := range c.units {
-			if !c.units[i].zero {
-				vecs = append(vecs, c.units[i].vec)
-			}
-		}
-		c.prod = combinat.ConvolveAll(vecs)
-	}
+	c.root, c.build = root, b.stats
 	return c, nil
 }
 
 // shapley computes Shapley(D, u, f) for an endogenous fact of the
-// context's database, reusing the precomputed DP state. It is bit-for-bit
+// context's database, reusing the materialized DP-tree. It is bit-for-bit
 // identical to ShapleyHierarchicalUCQ(d, u, f).
 func (c *ucqSatContext) shapley(f db.Fact) (*big.Rat, error) {
-	i, ok := c.poolOf[f.Key()]
-	if !ok {
-		// A fact of a relation outside every disjunct can never change the
-		// union's value, so its Shapley value is identically zero (it is a
-		// free filler on both sides of the weighted difference).
-		if c.freeKeys[f.Key()] {
-			return new(big.Rat), nil
-		}
+	if !c.d.IsEndogenous(f) {
 		return nil, fmt.Errorf("%w: %s", ErrNotEndogenous, f)
 	}
-	with, err := c.toggledUnionSat(i, f, true)
-	if err != nil {
-		return nil, err
+	// A fact of a relation outside every disjunct can never change the
+	// union's value, so its Shapley value is identically zero (it is a
+	// free filler on both sides of the weighted difference).
+	if !c.root.matchesAny(f) {
+		return new(big.Rat), nil
 	}
-	without, err := c.toggledUnionSat(i, f, false)
+	with, without, err := c.root.toggle(f)
 	if err != nil {
 		return nil, err
 	}
 	return combinat.WeightedDifference(with, without, c.m), nil
 }
 
-// toggledUnionSat returns |Sat(D±f, u, k)| for k = 0..m−1, recomputing only
-// the pool of disjunct i: f is moved to the exogenous side when asExo is
-// true and removed otherwise.
-func (c *ucqSatContext) toggledUnionSat(i int, f db.Fact, asExo bool) ([]*big.Int, error) {
-	unit := &c.units[i]
-	key := f.Key()
-	toggled := db.New()
-	found := false
-	for _, tf := range unit.facts {
-		switch {
-		case tf.f.Key() != key:
-			toggled.MustAdd(tf.f, tf.endo)
-		case !tf.endo:
-			return nil, fmt.Errorf("db: %s is not an endogenous fact", f)
-		default:
-			found = true
-			if asExo {
-				toggled.MustAdd(tf.f, false)
-			}
-		}
-	}
-	if !found {
-		return nil, fmt.Errorf("db: %s is not a fact of the database", f)
-	}
-	sat, err := SatCountVector(toggled, unit.q)
-	if err != nil {
-		return nil, err
-	}
-	nonSat := combinat.ComplementVector(sat, unit.endo-1)
-	var all []*big.Int
-	if others := leaveOneOut(c.prod, c.zeros, unit); others == nil {
-		all = combinat.ZeroVector(c.relN - 1)
-	} else {
-		all = combinat.Convolve(others, nonSat)
-	}
-	if c.freeVec != nil {
-		all = combinat.Convolve(all, c.freeVec)
-	}
-	return complementTotal(all, c.m-1), nil
-}
-
 // ShapleyAllUCQ computes the Shapley value of every endogenous fact for a
 // union of CQ¬s, mirroring ShapleyAllBatch: the union is validated once,
-// the per-disjunct pools and NonSat tables are shared across the batch,
-// and the per-fact toggles fan across opts.Workers goroutines with
-// deterministic output order. Unions outside the exact algorithm's reach
-// (self-joins, non-hierarchical disjuncts, shared relations) fall back to
-// brute force when s.AllowBruteForce is set.
+// the per-disjunct pool DP-tree is shared across the batch, and the
+// per-fact toggles fan across opts.Workers goroutines with deterministic
+// output order. Unions outside the exact algorithm's reach (self-joins,
+// non-hierarchical disjuncts, shared relations) fall back to brute force
+// when s.AllowBruteForce is set.
 func (s *Solver) ShapleyAllUCQ(d *db.Database, u *query.UCQ, opts BatchOptions) ([]*ShapleyValue, error) {
 	p, err := s.PrepareAllUCQ(d, u)
 	if err != nil {

@@ -76,16 +76,18 @@ func (f Fact) Equal(g Fact) bool {
 
 type storedFact struct {
 	fact Fact
+	key  string // cached fact.Key(), computed once at insertion
 	endo bool
 }
 
 // Database is a finite set of facts partitioned into exogenous and
 // endogenous subsets. The zero value is not usable; call New.
 type Database struct {
-	byKey map[string]*storedFact
-	order []*storedFact            // insertion order
-	rels  map[string][]*storedFact // per-relation, insertion order
-	arity map[string]int
+	byKey   map[string]*storedFact
+	order   []*storedFact            // insertion order
+	rels    map[string][]*storedFact // per-relation, insertion order
+	arity   map[string]int
+	flagged []FlaggedFact // insertion order, maintained by Add
 }
 
 // New returns an empty database.
@@ -97,14 +99,36 @@ func New() *Database {
 	}
 }
 
+// newSized returns an empty database pre-sized for the bulk-copy paths
+// (Clone, Apply, Restrict): maps and slices are allocated at their final
+// capacity so copying a large database never rehashes.
+func newSized(facts, rels int) *Database {
+	return &Database{
+		byKey:   make(map[string]*storedFact, facts),
+		rels:    make(map[string][]*storedFact, rels),
+		arity:   make(map[string]int, rels),
+		order:   make([]*storedFact, 0, facts),
+		flagged: make([]FlaggedFact, 0, facts),
+	}
+}
+
 // Add inserts a fact with the given endogeneity. It returns an error on a
 // duplicate fact (even with the same flag) or an arity clash, so that
 // construction bugs surface early.
 func (d *Database) Add(f Fact, endogenous bool) error {
+	return d.addKeyed(f, f.Key(), endogenous)
+}
+
+// AddFlagged is Add for a fact whose canonical key is already rendered
+// (the bulk shape FlaggedFacts returns), skipping the re-render.
+func (d *Database) AddFlagged(ff FlaggedFact) error {
+	return d.addKeyed(ff.Fact, ff.Key, ff.Endo)
+}
+
+func (d *Database) addKeyed(f Fact, key string, endogenous bool) error {
 	if f.Rel == "" {
 		return fmt.Errorf("db: fact with empty relation symbol")
 	}
-	key := f.Key()
 	if _, dup := d.byKey[key]; dup {
 		return fmt.Errorf("db: duplicate fact %s", key)
 	}
@@ -115,10 +139,11 @@ func (d *Database) Add(f Fact, endogenous bool) error {
 	} else {
 		d.arity[f.Rel] = len(f.Args)
 	}
-	sf := &storedFact{fact: f, endo: endogenous}
+	sf := &storedFact{fact: f, key: key, endo: endogenous}
 	d.byKey[key] = sf
 	d.order = append(d.order, sf)
 	d.rels[f.Rel] = append(d.rels[f.Rel], sf)
+	d.flagged = append(d.flagged, FlaggedFact{Fact: f, Key: key, Endo: endogenous})
 	return nil
 }
 
@@ -188,6 +213,23 @@ func (d *Database) ExoFacts() []Fact {
 		}
 	}
 	return out
+}
+
+// FlaggedFact is one fact together with its endogeneity flag and its
+// cached canonical key. It is the bulk-iteration shape the compute layer
+// consumes: the key is rendered once at insertion, so content hashing and
+// membership bookkeeping over large databases never re-render it.
+type FlaggedFact struct {
+	Fact Fact
+	Key  string
+	Endo bool
+}
+
+// FlaggedFacts returns all facts in insertion order with their flags and
+// cached keys. The returned slice is shared with the database and must
+// not be mutated or appended to by callers.
+func (d *Database) FlaggedFacts() []FlaggedFact {
+	return d.flagged[:len(d.flagged):len(d.flagged)]
 }
 
 // RelationFacts returns the facts of one relation in insertion order.
@@ -261,9 +303,11 @@ func (d *Database) RelationEndogenous(rel string) bool {
 
 // Clone returns a deep copy of the database.
 func (d *Database) Clone() *Database {
-	out := New()
+	out := newSized(len(d.order), len(d.rels))
 	for _, sf := range d.order {
-		out.MustAdd(sf.fact, sf.endo)
+		if err := out.addKeyed(sf.fact, sf.key, sf.endo); err != nil {
+			panic(err)
+		}
 	}
 	return out
 }
@@ -274,14 +318,16 @@ func (d *Database) WithExogenous(f Fact) (*Database, error) {
 	if !d.IsEndogenous(f) {
 		return nil, fmt.Errorf("db: %s is not an endogenous fact", f)
 	}
-	out := New()
+	out := newSized(len(d.order), len(d.rels))
 	key := f.Key()
 	for _, sf := range d.order {
 		endo := sf.endo
-		if sf.fact.Key() == key {
+		if sf.key == key {
 			endo = false
 		}
-		out.MustAdd(sf.fact, endo)
+		if err := out.addKeyed(sf.fact, sf.key, endo); err != nil {
+			return nil, err
+		}
 	}
 	return out, nil
 }
@@ -292,13 +338,15 @@ func (d *Database) Without(f Fact) (*Database, error) {
 	if !d.Contains(f) {
 		return nil, fmt.Errorf("db: %s is not a fact of the database", f)
 	}
-	out := New()
+	out := newSized(len(d.order)-1, len(d.rels))
 	key := f.Key()
 	for _, sf := range d.order {
-		if sf.fact.Key() == key {
+		if sf.key == key {
 			continue
 		}
-		out.MustAdd(sf.fact, sf.endo)
+		if err := out.addKeyed(sf.fact, sf.key, sf.endo); err != nil {
+			return nil, err
+		}
 	}
 	return out, nil
 }
@@ -306,10 +354,12 @@ func (d *Database) Without(f Fact) (*Database, error) {
 // Restrict returns a copy of d containing only the facts for which keep
 // returns true.
 func (d *Database) Restrict(keep func(f Fact, endogenous bool) bool) *Database {
-	out := New()
+	out := newSized(len(d.order), len(d.rels))
 	for _, sf := range d.order {
 		if keep(sf.fact, sf.endo) {
-			out.MustAdd(sf.fact, sf.endo)
+			if err := out.addKeyed(sf.fact, sf.key, sf.endo); err != nil {
+				panic(err)
+			}
 		}
 	}
 	return out

@@ -54,12 +54,14 @@ func (d *Database) Apply(dl Delta) (*Database, error) {
 		}
 		removed[key] = true
 	}
-	out := New()
+	out := newSized(len(d.order)+len(dl.AddEndo)+len(dl.AddExo), len(d.rels))
 	for _, sf := range d.order {
-		if removed[sf.fact.Key()] {
+		if removed[sf.key] {
 			continue
 		}
-		out.MustAdd(sf.fact, sf.endo)
+		if err := out.addKeyed(sf.fact, sf.key, sf.endo); err != nil {
+			return nil, err
+		}
 	}
 	for _, f := range dl.AddEndo {
 		if err := out.Add(f, true); err != nil {

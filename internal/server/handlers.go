@@ -249,6 +249,10 @@ func (s *Server) handlePatchDatabase(w http.ResponseWriter, r *http.Request) {
 				resp.PlansDropped++
 				continue
 			}
+			// The Apply's memo traffic is what distinguishes deep reuse
+			// (hits ≫ misses: only the touched spines rebuilt) from a
+			// structural recompute on /metrics.
+			s.met.countTreeBuild(cp.plan.TreeStats())
 			resp.PlansPatched++
 		default:
 			s.plans.Remove(key)

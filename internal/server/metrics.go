@@ -8,6 +8,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/core"
 )
 
 // metrics holds the server's counters. Everything is monotonically
@@ -19,6 +21,22 @@ type metrics struct {
 	valuesComputed atomic.Int64
 	plansPrepared  atomic.Int64
 	plansPatched   atomic.Int64
+
+	// DP-tree memo traffic, accumulated over every tree construction
+	// (cold preparations, seeded preparations, PATCH maintenance): hits
+	// are subtrees reused wholesale from the content-addressed memo,
+	// misses are nodes whose input content changed and were rebuilt. A
+	// PATCH sweep whose deltas land deep below the top buckets shows up
+	// as hits ≫ misses; a full recompute as the reverse.
+	treeMemoHits   atomic.Int64
+	treeMemoMisses atomic.Int64
+}
+
+// countTreeBuild folds one tree construction's memo traffic into the
+// cumulative counters.
+func (m *metrics) countTreeBuild(ts core.TreeStats) {
+	m.treeMemoHits.Add(int64(ts.MemoHits))
+	m.treeMemoMisses.Add(int64(ts.MemoMisses))
 }
 
 func newMetrics() *metrics {
@@ -66,6 +84,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintln(w, "# HELP shapleyd_plan_cache_misses_total Plan-cache lookups that prepared fresh state.")
 	fmt.Fprintln(w, "# TYPE shapleyd_plan_cache_misses_total counter")
 	fmt.Fprintf(w, "shapleyd_plan_cache_misses_total %d\n", misses)
+	fmt.Fprintln(w, "# HELP shapleyd_plan_cache_partial_hits_total Plan-cache lookups that found a stale entry whose DP-tree nodes seeded the replacement.")
+	fmt.Fprintln(w, "# TYPE shapleyd_plan_cache_partial_hits_total counter")
+	fmt.Fprintf(w, "shapleyd_plan_cache_partial_hits_total %d\n", s.plans.Partials())
 	fmt.Fprintln(w, "# HELP shapleyd_plan_cache_evictions_total Plans displaced by LRU capacity pressure.")
 	fmt.Fprintln(w, "# TYPE shapleyd_plan_cache_evictions_total counter")
 	fmt.Fprintf(w, "shapleyd_plan_cache_evictions_total %d\n", evictions)
@@ -80,6 +101,24 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintln(w, "# HELP shapleyd_plans_patched_total Cached plans delta-maintained in place by PATCH.")
 	fmt.Fprintln(w, "# TYPE shapleyd_plans_patched_total counter")
 	fmt.Fprintf(w, "shapleyd_plans_patched_total %d\n", s.met.plansPatched.Load())
+
+	fmt.Fprintln(w, "# HELP shapleyd_tree_memo_hits_total DP-tree subtrees reused from the content-addressed memo across plan builds.")
+	fmt.Fprintln(w, "# TYPE shapleyd_tree_memo_hits_total counter")
+	fmt.Fprintf(w, "shapleyd_tree_memo_hits_total %d\n", s.met.treeMemoHits.Load())
+
+	fmt.Fprintln(w, "# HELP shapleyd_tree_memo_misses_total DP-tree nodes rebuilt because their input content changed (or was first seen).")
+	fmt.Fprintln(w, "# TYPE shapleyd_tree_memo_misses_total counter")
+	fmt.Fprintf(w, "shapleyd_tree_memo_misses_total %d\n", s.met.treeMemoMisses.Load())
+
+	nodes := 0
+	for _, key := range s.plans.Keys() {
+		if cp, ok := s.plans.Peek(key); ok {
+			nodes += cp.plan.MemoEntries()
+		}
+	}
+	fmt.Fprintln(w, "# HELP shapleyd_tree_memo_nodes Live DP-tree memo entries summed over cached plans (nodes shared between seeded plans count once per plan).")
+	fmt.Fprintln(w, "# TYPE shapleyd_tree_memo_nodes gauge")
+	fmt.Fprintf(w, "shapleyd_tree_memo_nodes %d\n", nodes)
 
 	fmt.Fprintln(w, "# HELP shapleyd_values_computed_total Shapley values computed and returned.")
 	fmt.Fprintln(w, "# TYPE shapleyd_values_computed_total counter")

@@ -9,6 +9,7 @@ import (
 	"sync"
 	"testing"
 
+	"repro/internal/db"
 	"repro/internal/paperex"
 )
 
@@ -338,5 +339,77 @@ func TestServerReRegisterDoesNotAliasPlans(t *testing.T) {
 	}
 	if len(second.Values) != 2 || second.Values[0].Fact != "TA(Zoe)" {
 		t.Fatalf("values answer for the wrong registration: %+v", second.Values)
+	}
+}
+
+// TestServerStalePlanSeedsPreparation: a cache entry that fails version
+// revalidation (in production: a preparation that raced a PATCH) counts as
+// a partial hit — not a cold miss — and its DP-tree seeds the replacement
+// preparation, so every content-unchanged node is reused. The seeded plan
+// must answer bit-identically to a from-scratch registration.
+func TestServerStalePlanSeedsPreparation(t *testing.T) {
+	s := New(Options{})
+	registerUniversity(t, s)
+
+	var cold shapleyResponse
+	if rec := do(t, s, "POST", "/v1/databases/uni/shapley", map[string]any{"query": q1Src, "mode": "all"}, &cold); rec.Code != http.StatusOK {
+		t.Fatalf("cold: %d: %s", rec.Code, rec.Body.String())
+	}
+
+	// Advance the registered database behind the maintenance sweep's back,
+	// leaving the cached plan answering for the old version.
+	delta := db.Delta{AddEndo: []db.Fact{db.F("Reg", "Adam", "DB2")}}
+	s.mu.Lock()
+	rdb := s.dbs["uni"]
+	newD, err := rdb.d.Apply(delta)
+	if err != nil {
+		s.mu.Unlock()
+		t.Fatal(err)
+	}
+	rdb.d, rdb.version, rdb.fingerprint = newD, rdb.version+1, newD.Fingerprint()
+	s.mu.Unlock()
+
+	hitsBefore := s.met.treeMemoHits.Load()
+	var resp shapleyResponse
+	if rec := do(t, s, "POST", "/v1/databases/uni/shapley", map[string]any{"query": q1Src, "mode": "all"}, &resp); rec.Code != http.StatusOK {
+		t.Fatalf("stale: %d: %s", rec.Code, rec.Body.String())
+	}
+	if resp.Cache != "miss" || resp.Version != 2 {
+		t.Fatalf("stale request: cache %q version %d, want miss/2", resp.Cache, resp.Version)
+	}
+	if p := s.plans.Partials(); p != 1 {
+		t.Fatalf("partial hits = %d, want 1 (stale entry must not count as a cold miss)", p)
+	}
+	if n := s.PlansPrepared(); n != 2 {
+		t.Fatalf("preparations = %d, want 2", n)
+	}
+	if h := s.met.treeMemoHits.Load(); h <= hitsBefore {
+		t.Fatalf("seeded preparation reused no DP-tree nodes (hits %d -> %d)", hitsBefore, h)
+	}
+
+	// Bit-identity with a cold registration of the evolved database.
+	fresh := New(Options{})
+	text := paperex.UniversityDBText + "endo Reg(Adam, DB2)\n"
+	if rec := do(t, fresh, "POST", "/v1/databases", map[string]any{"id": "uni2", "text": text}, nil); rec.Code != http.StatusCreated {
+		t.Fatalf("fresh register: %d", rec.Code)
+	}
+	var want shapleyResponse
+	if rec := do(t, fresh, "POST", "/v1/databases/uni2/shapley", map[string]any{"query": q1Src, "mode": "all"}, &want); rec.Code != http.StatusOK {
+		t.Fatalf("fresh: %d: %s", rec.Code, rec.Body.String())
+	}
+	if len(resp.Values) != len(want.Values) {
+		t.Fatalf("%d values, want %d", len(resp.Values), len(want.Values))
+	}
+	for i := range want.Values {
+		if resp.Values[i] != want.Values[i] {
+			t.Fatalf("value %d: %+v, want %+v", i, resp.Values[i], want.Values[i])
+		}
+	}
+
+	// The next request is a clean hit at the new version.
+	var warm shapleyResponse
+	do(t, s, "POST", "/v1/databases/uni/shapley", map[string]any{"query": q1Src, "mode": "all"}, &warm)
+	if warm.Cache != "hit" || warm.Version != 2 {
+		t.Fatalf("post-seed request: cache %q version %d, want hit/2", warm.Cache, warm.Version)
 	}
 }

@@ -296,21 +296,26 @@ func parseRequestQuery(src string) (parsedQuery, error) {
 // the plan cache when warm. A hit is revalidated against the snapshot's
 // version (PATCH keeps entries current, so a mismatch only arises when a
 // plan prepared against a pre-PATCH snapshot raced its way into the
-// cache); stale and cold paths coalesce through the single-flight group,
-// so N concurrent identical misses run exactly one preparation.
+// cache). A revalidation failure is a partial hit, not a cold miss: the
+// stale entry's plan seeds the replacement preparation
+// (core.Engine.PrepareFrom), so every DP-tree node whose content survived
+// the version skew is reused instead of recomputed. Stale and cold paths
+// coalesce through the single-flight group, so N concurrent identical
+// misses run exactly one preparation.
 func (s *Server) planFor(ctx context.Context, snap dbSnapshot, pq parsedQuery, exo []string, brute bool) (*cachedPlan, bool, error) {
 	if _, err := exoSet(exo); err != nil {
 		return nil, false, err
 	}
 	key := planKey(snap.id, snap.gen, pq.canonical, exo, brute)
-	// GetIf keeps the cache counters truthful: an entry answering for the
-	// wrong version (a preparation that raced a PATCH) counts as the miss
-	// it effectively is, and is left in place for the sweep or the
-	// flight's Put to fix.
-	if cp, ok := s.plans.GetIf(key, func(cp *cachedPlan) bool {
+	stale, st := s.plans.GetRevalidated(key, func(cp *cachedPlan) bool {
 		return cp.servedVersion(nil) == snap.version
-	}); ok {
-		return cp, true, nil
+	})
+	if st == servercache.LookupHit {
+		return stale, true, nil
+	}
+	var seed *core.Plan
+	if st == servercache.LookupPartial {
+		seed = stale.plan
 	}
 	// The flight key pins the version so joiners of an in-flight prepare
 	// can never be handed state for a different snapshot than their own.
@@ -328,7 +333,9 @@ func (s *Server) planFor(ctx context.Context, snap dbSnapshot, pq parsedQuery, e
 			plan *core.Plan
 			err  error
 		)
-		if pq.cq != nil {
+		if seed != nil {
+			plan, err = eng.PrepareFrom(pctx, snap.d, seed)
+		} else if pq.cq != nil {
 			plan, err = eng.Prepare(pctx, snap.d, pq.cq)
 		} else {
 			plan, err = eng.PrepareUCQ(pctx, snap.d, pq.ucq)
@@ -337,6 +344,7 @@ func (s *Server) planFor(ctx context.Context, snap dbSnapshot, pq parsedQuery, e
 			return nil, err
 		}
 		s.met.plansPrepared.Add(1)
+		s.met.countTreeBuild(plan.TreeStats())
 		cp := &cachedPlan{plan: plan, base: snap.version - 1}
 		s.plans.Put(key, cp)
 		return cp, nil

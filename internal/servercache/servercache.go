@@ -22,6 +22,7 @@ type Cache[V any] struct {
 	items    map[string]*list.Element
 
 	hits      atomic.Int64
+	partials  atomic.Int64
 	misses    atomic.Int64
 	evictions atomic.Int64
 }
@@ -60,24 +61,48 @@ func (c *Cache[V]) Get(key string) (V, bool) {
 	return zero, false
 }
 
-// GetIf is Get with a usability predicate: an entry that fails valid is
-// treated as the miss it effectively is — counted as such, not promoted,
-// and left in place for maintenance paths to repair or a Put to replace.
-// It is how version-revalidating callers keep hits+misses equal to
-// lookups.
-func (c *Cache[V]) GetIf(key string, valid func(V) bool) (V, bool) {
+// Lookup classifies the outcome of a revalidating cache read.
+type Lookup int
+
+const (
+	// LookupMiss reports that no entry exists under the key at all — a
+	// truly cold path that must build its state from nothing.
+	LookupMiss Lookup = iota
+	// LookupPartial reports an entry that exists but failed revalidation.
+	// The stale value is returned so the caller can reuse whatever of its
+	// state still applies (the serving layer seeds the replacement plan's
+	// DP-tree from it, reusing every content-unchanged node); the entry is
+	// neither promoted in the LRU order nor removed — maintenance or a Put
+	// will replace it.
+	LookupPartial
+	// LookupHit reports a valid entry, promoted to most recently used.
+	LookupHit
+)
+
+// GetRevalidated is the revalidating read (superseding the old boolean
+// GetIf): valid decides whether the cached entry may be served as-is.
+// The three outcomes are counted separately (Hits, Partials, Misses), so
+// hits+partials+misses always equals the number of lookups and a
+// revalidation failure that still reuses state — the node-sharing path
+// seeds the replacement plan from the stale entry — is distinguishable
+// from a cold miss. An entry that fails valid is not promoted and is
+// left in place for maintenance paths to repair or a Put to replace.
+func (c *Cache[V]) GetRevalidated(key string, valid func(V) bool) (V, Lookup) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.items[key]; ok {
-		if v := el.Value.(*entry[V]).val; valid(v) {
+		v := el.Value.(*entry[V]).val
+		if valid(v) {
 			c.ll.MoveToFront(el)
 			c.hits.Add(1)
-			return v, true
+			return v, LookupHit
 		}
+		c.partials.Add(1)
+		return v, LookupPartial
 	}
 	c.misses.Add(1)
 	var zero V
-	return zero, false
+	return zero, LookupMiss
 }
 
 // Put inserts or replaces the value under key, evicting the least recently
@@ -179,6 +204,11 @@ func (c *Cache[V]) Keys() []string {
 
 // Hits returns the number of Get calls that found their key.
 func (c *Cache[V]) Hits() int64 { return c.hits.Load() }
+
+// Partials returns the number of revalidating reads that found an entry
+// which failed validation (its state may still have been partially
+// reused).
+func (c *Cache[V]) Partials() int64 { return c.partials.Load() }
 
 // Misses returns the number of Get calls that missed.
 func (c *Cache[V]) Misses() int64 { return c.misses.Load() }

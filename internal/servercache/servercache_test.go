@@ -124,23 +124,25 @@ func TestServerCacheConcurrentAccess(t *testing.T) {
 	}
 }
 
-func TestGetIf(t *testing.T) {
+func TestGetRevalidated(t *testing.T) {
 	c := New[int](4)
 	c.Put("a", 1)
 	c.Put("b", 2)
-	if v, ok := c.GetIf("a", func(v int) bool { return v == 1 }); !ok || v != 1 {
-		t.Fatalf("valid GetIf = %d, %v", v, ok)
+	if v, st := c.GetRevalidated("a", func(v int) bool { return v == 1 }); st != LookupHit || v != 1 {
+		t.Fatalf("valid read = %d, %v; want 1, LookupHit", v, st)
 	}
-	// "b" is now the LRU tail; an invalid read must not promote it.
-	if _, ok := c.GetIf("b", func(v int) bool { return false }); ok {
-		t.Fatal("invalid entry must read as a miss")
+	// "b" is now the LRU tail; an invalid read must not promote it, and
+	// must surface the stale value for node-sharing callers to seed from.
+	if v, st := c.GetRevalidated("b", func(int) bool { return false }); st != LookupPartial || v != 2 {
+		t.Fatalf("stale read = %d, %v; want 2, LookupPartial", v, st)
 	}
-	if _, ok := c.GetIf("absent", func(int) bool { return true }); ok {
-		t.Fatal("absent key must miss")
+	if _, st := c.GetRevalidated("absent", func(int) bool { return true }); st != LookupMiss {
+		t.Fatalf("absent read = %v, want LookupMiss", st)
 	}
-	// One hit, two misses: invalid and absent both count as misses.
-	if h, m := c.Hits(), c.Misses(); h != 1 || m != 2 {
-		t.Fatalf("hits=%d misses=%d, want 1/2", h, m)
+	// One hit, one partial hit (present but invalid — its state is still
+	// reusable by node-sharing callers), one cold miss (absent).
+	if h, p, m := c.Hits(), c.Partials(), c.Misses(); h != 1 || p != 1 || m != 1 {
+		t.Fatalf("hits=%d partials=%d misses=%d, want 1/1/1", h, p, m)
 	}
 	// The invalid entry is left in place (maintenance may repair it) but
 	// stays least recently used: filling past capacity evicts it first.
@@ -151,7 +153,7 @@ func TestGetIf(t *testing.T) {
 	c.Put("d", 4)
 	c.Put("e", 5) // capacity 4: evicts the least recently used
 	if _, ok := c.Peek("b"); ok {
-		t.Fatal("invalid GetIf must not refresh LRU recency")
+		t.Fatal("invalid read must not refresh LRU recency")
 	}
 	if _, ok := c.Peek("a"); !ok {
 		t.Fatal("validly read entry should have been promoted past eviction")
