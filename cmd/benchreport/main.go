@@ -1,0 +1,189 @@
+// Command benchreport runs the repository's canonical benchmarks and
+// writes a machine-readable JSON report, starting the bench trajectory
+// the ROADMAP calls for: every PR can regenerate the same four numbers
+// and diff them against a committed baseline.
+//
+// The canonical benches:
+//
+//	BenchmarkShapleyAllBatch        (repro, the 94-endo-fact mode=all batch + ExoShap variant)
+//	BenchmarkPlanApplyDelta         (repro/internal/core, top-level single-fact Apply vs fresh Prepare)
+//	BenchmarkPlanApplyDeepDelta     (repro/internal/core, deep-delta spine reuse)
+//	BenchmarkServerRepeatedQuery    (repro/internal/server, cold/warm serving paths)
+//
+// Usage:
+//
+//	go run ./cmd/benchreport                      # run, print JSON to stdout
+//	go run ./cmd/benchreport -out BENCH.json      # run, write report
+//	go run ./cmd/benchreport -baseline old.json -out BENCH_PR5.json
+//	                                              # run, embed old.json as "before"
+//	go run ./cmd/benchreport -benchtime 20x       # override iteration count
+//
+// With -baseline, the report has the shape {"before": …, "after": …,
+// "speedup": {bench: before_ns/after_ns}}; without it, a flat run report.
+// The tool shells out to `go test -run ^$ -bench …` (the Go toolchain is
+// a build-time dependency of this repository anyway) and parses the
+// standard benchmark output lines.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"regexp"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// target is one benchmark invocation.
+type target struct {
+	Pkg   string
+	Bench string
+}
+
+var targets = []target{
+	{Pkg: ".", Bench: "BenchmarkShapleyAllBatch"}, // also matches the ExoShap variant
+	{Pkg: "./internal/core/", Bench: "BenchmarkPlanApplyDelta"},
+	{Pkg: "./internal/core/", Bench: "BenchmarkPlanApplyDeepDelta"},
+	{Pkg: "./internal/server/", Bench: "BenchmarkServerRepeatedQuery"},
+}
+
+// Result is the parsed measurement of one benchmark (sub)test.
+type Result struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
+	Iterations  int64   `json:"iterations"`
+}
+
+// Run is one full benchmark sweep.
+type Run struct {
+	GoVersion string            `json:"go_version"`
+	GOOS      string            `json:"goos"`
+	GOARCH    string            `json:"goarch"`
+	Benchtime string            `json:"benchtime"`
+	Date      string            `json:"date,omitempty"`
+	Benches   map[string]Result `json:"benches"`
+}
+
+// Report is the committed artifact: a plain run, or a before/after pair.
+type Report struct {
+	Before  *Run               `json:"before,omitempty"`
+	After   *Run               `json:"after,omitempty"`
+	Speedup map[string]float64 `json:"speedup,omitempty"`
+	*Run    `json:",omitempty"`
+}
+
+// benchLine matches e.g.
+// "BenchmarkPlanApplyDelta/apply-delta  100  133082 ns/op  134105 B/op  666 allocs/op"
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([\d.]+) ns/op(?:\s+([\d.]+) B/op)?(?:\s+(\d+) allocs/op)?`)
+
+func runTargets(benchtime string, verbose bool) (*Run, error) {
+	run := &Run{
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		Benchtime: benchtime,
+		Date:      time.Now().UTC().Format(time.RFC3339),
+		Benches:   map[string]Result{},
+	}
+	for _, tg := range targets {
+		args := []string{"test", "-run", "^$", "-bench", tg.Bench + "$", "-benchtime", benchtime, "-benchmem", tg.Pkg}
+		if tg.Bench == "BenchmarkShapleyAllBatch" {
+			// Prefix match on purpose: picks up the ExoShap variant too.
+			args[4] = tg.Bench
+		}
+		cmd := exec.Command("go", args...)
+		out, err := cmd.CombinedOutput()
+		if err != nil {
+			return nil, fmt.Errorf("go %s: %v\n%s", strings.Join(args, " "), err, out)
+		}
+		if verbose {
+			fmt.Fprint(os.Stderr, string(out))
+		}
+		for _, line := range strings.Split(string(out), "\n") {
+			m := benchLine.FindStringSubmatch(strings.TrimSpace(line))
+			if m == nil {
+				continue
+			}
+			iters, _ := strconv.ParseInt(m[2], 10, 64)
+			ns, _ := strconv.ParseFloat(m[3], 64)
+			r := Result{NsPerOp: ns, Iterations: iters}
+			if m[4] != "" {
+				r.BytesPerOp, _ = strconv.ParseFloat(m[4], 64)
+			}
+			if m[5] != "" {
+				r.AllocsPerOp, _ = strconv.ParseFloat(m[5], 64)
+			}
+			run.Benches[m[1]] = r
+		}
+	}
+	if len(run.Benches) == 0 {
+		return nil, fmt.Errorf("no benchmark lines parsed")
+	}
+	return run, nil
+}
+
+func main() {
+	var (
+		out       = flag.String("out", "", "write the JSON report here (default: stdout)")
+		baseline  = flag.String("baseline", "", "prior report to embed as \"before\" (a flat run or a before/after report, whose \"after\" is used)")
+		benchtime = flag.String("benchtime", "10x", "benchtime passed to go test")
+		verbose   = flag.Bool("v", false, "stream go test output to stderr")
+	)
+	flag.Parse()
+
+	cur, err := runTargets(*benchtime, *verbose)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchreport:", err)
+		os.Exit(1)
+	}
+
+	var report any = &Report{Run: cur}
+	if *baseline != "" {
+		raw, err := os.ReadFile(*baseline)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchreport:", err)
+			os.Exit(1)
+		}
+		var prior Report
+		if err := json.Unmarshal(raw, &prior); err != nil {
+			fmt.Fprintln(os.Stderr, "benchreport: parse baseline:", err)
+			os.Exit(1)
+		}
+		before := prior.Run
+		if prior.After != nil {
+			before = prior.After
+		}
+		if before == nil || before.Benches == nil {
+			fmt.Fprintln(os.Stderr, "benchreport: baseline has no benches")
+			os.Exit(1)
+		}
+		speedup := map[string]float64{}
+		for name, after := range cur.Benches {
+			if b, ok := before.Benches[name]; ok && after.NsPerOp > 0 {
+				speedup[name] = b.NsPerOp / after.NsPerOp
+			}
+		}
+		report = &Report{Before: before, After: cur, Speedup: speedup}
+	}
+
+	enc, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchreport:", err)
+		os.Exit(1)
+	}
+	enc = append(enc, '\n')
+	if *out == "" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchreport:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "benchreport: wrote %s (%d benches)\n", *out, len(cur.Benches))
+}

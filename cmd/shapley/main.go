@@ -282,6 +282,8 @@ func printExplain(w io.Writer, queryStr string, plan *repro.Plan) {
 	fmt.Fprintf(w, "tree nodes:  %d (%d bucket, %d product, %d ground, %d union)\n",
 		ts.Nodes, ts.BucketNodes, ts.ProductNodes, ts.GroundNodes, ts.UnionNodes)
 	fmt.Fprintf(w, "tree depth:  %d\n", ts.Depth)
+	fmt.Fprintf(w, "numeric:     %d u64, %d u128, %d big nodes\n",
+		ts.U64Nodes, ts.U128Nodes, ts.BigNodes)
 	reuse := 0.0
 	if ts.MemoHits+ts.MemoMisses > 0 {
 		reuse = 100 * float64(ts.MemoHits) / float64(ts.MemoHits+ts.MemoMisses)

@@ -279,6 +279,7 @@ version:     1
 endogenous:  8 facts
 tree nodes:  22 (5 bucket, 4 product, 13 ground, 0 union)
 tree depth:  4
+numeric:     22 u64, 0 u128, 0 big nodes
 memo:        0 hits, 22 misses (0.0% reuse), 22 live nodes
 `
 	if buf.String() != want {

@@ -52,8 +52,14 @@
 //   - tuple-independent probabilistic databases with exact lifted inference
 //     and the deterministic-relation extension (Theorem 4.10).
 //
-// All exact computations use math/big rationals; the paper's Example 2.3
-// values (−3/28, −2/35, 37/210, 27/140, 13/42) are reproduced bit-for-bit.
+// All values are exact rationals; the paper's Example 2.3 values (−3/28,
+// −2/35, 37/210, 27/140, 13/42) are reproduced bit-for-bit. Internally the
+// counting runs on an adaptive exact numeric kernel (internal/numeric):
+// subset counts live in the minimal of u64/u128/big.Int and promote
+// automatically on overflow, so the hot convolution loops run on flat
+// machine words while remaining bit-identical to pure math/big arithmetic
+// by construction. Only the final Shapley weighting k!(m−1−k)!/m! uses
+// big.Rat.
 //
 // # Quick start
 //

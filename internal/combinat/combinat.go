@@ -20,18 +20,31 @@ var (
 
 // Factorial returns n! as a fresh big.Int. It panics if n < 0.
 func Factorial(n int) *big.Int {
+	factMu.Lock()
+	defer factMu.Unlock()
+	return new(big.Int).Set(factorialLocked(n))
+}
+
+// FactorialRow returns the shared table [0!, 1!, ..., n!]. The slice and
+// its entries are strictly read-only: the Shapley weighting loops consume
+// m of them per fact, and sharing the cache avoids m big copies per call.
+func FactorialRow(n int) []*big.Int {
+	factMu.Lock()
+	defer factMu.Unlock()
+	factorialLocked(n)
+	return factCache[: n+1 : n+1]
+}
+
+func factorialLocked(n int) *big.Int {
 	if n < 0 {
 		panic("combinat: negative factorial")
 	}
-	factMu.Lock()
 	for len(factCache) <= n {
 		i := len(factCache)
 		next := new(big.Int).Mul(factCache[i-1], big.NewInt(int64(i)))
 		factCache = append(factCache, next)
 	}
-	out := new(big.Int).Set(factCache[n])
-	factMu.Unlock()
-	return out
+	return factCache[n]
 }
 
 // maxCachedBinomialRow bounds the Pascal-row cache: rows are retained

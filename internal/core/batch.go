@@ -4,8 +4,8 @@ import (
 	"fmt"
 	"math/big"
 
-	"repro/internal/combinat"
 	"repro/internal/db"
+	"repro/internal/numeric"
 	"repro/internal/query"
 )
 
@@ -87,7 +87,7 @@ func newSatCountContext(d *db.Database, q *query.CQ, memo *satMemo, prev *satCou
 		prevRoot, label = prev.root, prev.root.label
 	}
 	b := &treeBuilder{memo: memo}
-	root, err := b.build(q, label, d.FlaggedFacts(), prevRoot, 0)
+	root, err := b.build(q, nil, label, factPtrs(d), false, prevRoot, 0)
 	if err != nil {
 		return nil, err
 	}
@@ -113,5 +113,5 @@ func (c *satCountContext) shapley(f db.Fact) (*big.Rat, error) {
 	if err != nil {
 		return nil, err
 	}
-	return combinat.WeightedDifference(with, without, c.m), nil
+	return numeric.WeightedDifference(with, without, c.m), nil
 }

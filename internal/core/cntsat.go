@@ -3,10 +3,11 @@ package core
 import (
 	"fmt"
 	"math/big"
-	"sort"
+	"slices"
 
 	"repro/internal/combinat"
 	"repro/internal/db"
+	"repro/internal/numeric"
 	"repro/internal/query"
 )
 
@@ -24,6 +25,11 @@ import (
 // serves as the baseline unit recompute in benchmark emulation of the
 // pre-tree engine.
 //
+// The arithmetic substrate is the exact numeric kernel (internal/numeric):
+// counts live in the minimal of u64/u128/big and promote automatically, so
+// the returned values are bit-identical to pure math/big arithmetic by
+// construction (the kernel is differentially pinned against combinat).
+//
 // q must be a self-join-free hierarchical CQ¬.
 func SatCountVector(d *db.Database, q *query.CQ) ([]*big.Int, error) {
 	if err := q.Validate(); err != nil {
@@ -35,7 +41,11 @@ func SatCountVector(d *db.Database, q *query.CQ) ([]*big.Int, error) {
 	if !q.IsHierarchical() {
 		return nil, ErrNotHierarchical
 	}
-	return cntSat(d, q)
+	sat, err := cntSat(d, q)
+	if err != nil {
+		return nil, err
+	}
+	return sat.Big(), nil
 }
 
 // ShapleyHierarchical computes Shapley(D, q, f) in polynomial time for a
@@ -73,7 +83,7 @@ func ShapleyHierarchical(d *db.Database, q *query.CQ, f db.Fact) (*big.Rat, erro
 // A fact is relevant iff it can be the image of the (unique, by
 // self-join-freeness) atom over its relation; all other endogenous facts are
 // free fillers folded in by binomial convolution.
-func cntSat(d *db.Database, q *query.CQ) ([]*big.Int, error) {
+func cntSat(d *db.Database, q *query.CQ) (numeric.Vec, error) {
 	atomOf := make(map[string]query.Atom)
 	for _, a := range q.Atoms {
 		atomOf[a.Rel] = a
@@ -90,16 +100,16 @@ func cntSat(d *db.Database, q *query.CQ) ([]*big.Int, error) {
 	}
 	core, err := cntSatCore(relevant, q)
 	if err != nil {
-		return nil, err
+		return numeric.Vec{}, err
 	}
 	if freeEndo == 0 {
 		return core, nil
 	}
-	return combinat.Convolve(core, combinat.BinomialVector(freeEndo)), nil
+	return numeric.Convolve(core, numeric.Binomial(freeEndo)), nil
 }
 
 // cntSatCore assumes every fact of d matches its atom's pattern.
-func cntSatCore(d *db.Database, q *query.CQ) ([]*big.Int, error) {
+func cntSatCore(d *db.Database, q *query.CQ) (numeric.Vec, error) {
 	n := d.NumEndo()
 
 	// Disconnected query: the conjunction must hold componentwise, and the
@@ -107,7 +117,7 @@ func cntSatCore(d *db.Database, q *query.CQ) ([]*big.Int, error) {
 	// disjoint facts; satisfying counts convolve.
 	comps := q.AtomComponents()
 	if len(comps) > 1 {
-		vecs := make([][]*big.Int, 0, len(comps))
+		vecs := make([]numeric.Vec, 0, len(comps))
 		for _, comp := range comps {
 			sub := q.SubQuery(comp)
 			rels := make(map[string]bool)
@@ -117,13 +127,13 @@ func cntSatCore(d *db.Database, q *query.CQ) ([]*big.Int, error) {
 			subDB := d.Restrict(func(f db.Fact, _ bool) bool { return rels[f.Rel] })
 			v, err := cntSat(subDB, sub)
 			if err != nil {
-				return nil, err
+				return numeric.Vec{}, err
 			}
 			vecs = append(vecs, v)
 		}
-		out := combinat.ConvolveAll(vecs)
-		if len(out) != n+1 {
-			return nil, fmt.Errorf("core: internal error: component convolution length %d, want %d", len(out), n+1)
+		out := numeric.ConvolveAll(vecs)
+		if out.Len() != n+1 {
+			return numeric.Vec{}, fmt.Errorf("core: internal error: component convolution length %d, want %d", out.Len(), n+1)
 		}
 		return out, nil
 	}
@@ -138,7 +148,7 @@ func cntSatCore(d *db.Database, q *query.CQ) ([]*big.Int, error) {
 	// variable occurring in every atom.
 	roots := q.RootVariables()
 	if len(roots) == 0 {
-		return nil, ErrNotHierarchical
+		return numeric.Vec{}, ErrNotHierarchical
 	}
 	x := roots[0]
 
@@ -163,28 +173,21 @@ func cntSatCore(d *db.Database, q *query.CQ) ([]*big.Int, error) {
 		}
 		buckets[v].MustAdd(f, d.IsEndogenous(f))
 	}
-	sort.Slice(values, func(i, j int) bool { return values[i] < values[j] })
+	slices.Sort(values)
 
 	// q = ∨_v q[x→v], where q[x→v] depends only on bucket v; count the
 	// subsets violating every disjunct by convolution and complement.
-	nonSat := make([][]*big.Int, 0, len(values))
+	nonSat := make([]numeric.Vec, 0, len(values))
 	for _, v := range values {
 		bucket := buckets[v]
 		sat, err := cntSat(bucket, q.SubstituteVar(x, v))
 		if err != nil {
-			return nil, err
+			return numeric.Vec{}, err
 		}
-		nonSat = append(nonSat, combinat.ComplementVector(sat, bucket.NumEndo()))
+		nonSat = append(nonSat, numeric.Complement(sat, bucket.NumEndo()))
 	}
-	allNonSat := combinat.ConvolveAll(nonSat)
-	out := make([]*big.Int, n+1)
-	for k := 0; k <= n; k++ {
-		out[k] = combinat.Binomial(n, k)
-		if k < len(allNonSat) {
-			out[k].Sub(out[k], allNonSat[k])
-		}
-	}
-	return out, nil
+	allNonSat := numeric.ConvolveAll(nonSat)
+	return numeric.ComplementTotal(allNonSat, n), nil
 }
 
 // groundBase counts satisfying k-subsets for an all-ground conjunction of
@@ -196,9 +199,8 @@ func cntSatCore(d *db.Database, q *query.CQ) ([]*big.Int, error) {
 //
 // and the count is 0 for all k when a positive atom is missing from D or a
 // negative atom is an exogenous fact.
-func groundBase(d *db.Database, q *query.CQ) ([]*big.Int, error) {
+func groundBase(d *db.Database, q *query.CQ) (numeric.Vec, error) {
 	n := d.NumEndo()
-	zero := func() []*big.Int { return combinat.ZeroVector(n) }
 
 	mustHave := 0  // |A+|
 	mustAvoid := 0 // |A−|
@@ -206,19 +208,15 @@ func groundBase(d *db.Database, q *query.CQ) ([]*big.Int, error) {
 		f := a.GroundFact()
 		switch {
 		case !a.Negated && !d.Contains(f):
-			return zero(), nil
+			return numeric.Zero(n), nil
 		case !a.Negated && d.IsEndogenous(f):
 			mustHave++
 		case a.Negated && d.IsExogenous(f):
-			return zero(), nil
+			return numeric.Zero(n), nil
 		case a.Negated && d.IsEndogenous(f):
 			mustAvoid++
 		}
 	}
 	free := n - mustHave - mustAvoid
-	out := combinat.ZeroVector(n)
-	for k := mustHave; k <= mustHave+free && k <= n; k++ {
-		out[k] = combinat.Binomial(free, k-mustHave)
-	}
-	return out, nil
+	return numeric.ShiftedBinomial(free, mustHave, n), nil
 }

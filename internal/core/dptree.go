@@ -1,13 +1,15 @@
 package core
 
 import (
-	"crypto/sha256"
+	"encoding/binary"
 	"fmt"
-	"math/big"
+	"hash/maphash"
+	"slices"
 	"sort"
+	"strconv"
 
-	"repro/internal/combinat"
 	"repro/internal/db"
+	"repro/internal/numeric"
 	"repro/internal/query"
 )
 
@@ -24,12 +26,17 @@ import (
 //     the memo, and is reused wholesale — no matter how deep below the top
 //     bucket the change lands;
 //   - at every interior node the convolution product over the children is
-//     maintained by exact polynomial division (combinat.Deconvolve): a
+//     maintained by exact polynomial division (numeric.Deconvolve): a
 //     changed child's stale factor is divided out and the fresh one
 //     convolved in, instead of re-convolving all siblings;
 //   - single-fact Shapley (and hence ShapleyAll) reads from the same tree:
 //     toggling a fact recomputes only the spine containing it, combining
 //     sibling subtrees through the per-node leave-one-out products.
+//
+// All node vectors live on the adaptive exact numeric kernel
+// (internal/numeric): flat u64 words for scopes up to 64 endogenous facts,
+// two-word coefficients up to 128, automatic promotion to big.Int beyond —
+// bit-identical to the pure math/big reference by construction.
 //
 // The four node kinds mirror the recursion's branching exactly:
 // variable-bucket nodes (connected query, partitioned on a root variable),
@@ -50,17 +57,29 @@ const (
 )
 
 // taggedFact is one fact of a sub-instance with its endogeneity flag and
-// its cached canonical key (rendered once by the database layer, so
-// content hashing never re-renders it).
+// its cached canonical key and content digest (rendered once by the
+// database layer, so content addressing never re-renders or re-hashes it).
 type taggedFact = db.FlaggedFact
+
+// factPtrs returns pointers into the database's flagged-fact storage.
+// The storage is stable here: the compute layer only takes pointers into
+// plan snapshots, which are never mutated after preparation.
+func factPtrs(d *db.Database) []*taggedFact {
+	ff := d.FlaggedFacts()
+	out := make([]*taggedFact, len(ff))
+	for i := range ff {
+		out[i] = &ff[i]
+	}
+	return out
+}
 
 // dbOf materializes facts as a database (ground leaves, reference
 // recomputes and toggles only; interior tree nodes never rebuild
 // databases).
-func dbOf(facts []taggedFact) *db.Database {
+func dbOf(facts []*taggedFact) *db.Database {
 	d := db.New()
 	for _, tf := range facts {
-		if err := d.AddFlagged(tf); err != nil {
+		if err := d.AddFlagged(*tf); err != nil {
 			panic(err)
 		}
 	}
@@ -72,43 +91,159 @@ func dbOf(facts []taggedFact) *db.Database {
 // nodes are freely shared across plan versions, across plans (seeded
 // preparation) and across concurrently running readers.
 type dpNode struct {
-	key   string   // content address: hash over (query, facts+flags)
-	label string   // the query's canonical rendering (hash input, cached)
+	key   string   // content address: hash over (query, Σ fact digests)
+	label string   // derived query identity (hash input, cached)
 	kind  nodeKind // shape of the recursion at this node
 
-	q *query.CQ  // the (sub-)query; nil for nodeUnion
-	u *query.UCQ // nodeUnion only
+	// q is the concrete (sub-)query where one exists without cloning:
+	// the root, union disjunct roots, and shallow-mode units. Interior
+	// nodes reached purely by bucket/component descent carry q == nil —
+	// every fact routed into them participates by construction
+	// (prefiltered), so all structural questions are answered by the
+	// shared shape instead of a per-value substituted query.
+	q     *query.CQ
+	u     *query.UCQ // nodeUnion only
+	shape *dpShape   // value-independent structure; nil for nodeUnion/nodeOpaque
 
 	endo int // endogenous facts in this subtree (relN + free)
 	relN int // endogenous facts matching an atom pattern here
 	free int // endogenous free fillers folded in by binomial convolution
 
-	core   []*big.Int // |Sat| over the relN pattern-matching facts
-	sat    []*big.Int // |Sat| over all endo facts: core ⊛ C(free, ·)
-	nonSat []*big.Int // complement of sat over endo; the factor this node
+	core   numeric.Vec // |Sat| over the relN pattern-matching facts
+	sat    numeric.Vec // |Sat| over all endo facts: core ⊛ C(free, ·)
+	nonSat numeric.Vec // complement of sat over endo; the factor this node
 	// contributes when it is a bucket or union child
 	satZero    bool
 	nonSatZero bool
 
 	// Interior state (nodeBuckets, nodeProduct, nodeUnion).
 	children []*dpNode
-	prod     []*big.Int // convolution of the non-zero child factors
-	zeros    int        // child factors that are the zero polynomial
+	prod     numeric.Vec // convolution of the non-zero child factors
+	zeros    int         // child factors that are the zero polynomial
 
-	// Routing: which child a fact belongs to.
-	rootVar string         // nodeBuckets: the partitioning variable
-	posOf   map[string]int // nodeBuckets: relation -> root-variable position
-	values  []db.Const     // nodeBuckets: sorted x-values, aligned with children
-	relOf   map[string]int // nodeProduct/nodeUnion: relation -> child index
+	// Routing state that genuinely varies per node.
+	values []db.Const     // nodeBuckets: sorted x-values, aligned with children
+	relOf  map[string]int // nodeUnion: relation -> disjunct index
 
 	// Leaf state (nodeGround): the pattern-matching facts, for toggles.
-	facts []taggedFact
+	facts []*taggedFact
+}
+
+// groundLit is one literal of an all-ground conjunction, reduced to what
+// the Lemma 3.2 base case needs: its relation and polarity. Within a
+// ground leaf, a relation occurs at most once (self-join-freeness) and
+// every routed fact is its atom's exact image, so relation identity
+// replaces per-fact pattern matching.
+type groundLit struct {
+	Rel     string
+	Negated bool
+}
+
+// dpShape is the value-independent structural analysis of one query
+// derivation point: which recursion case applies, how facts route to
+// children, and the child shapes. Substituting different constants for a
+// bucket's root variable never changes any of this, so one shape is
+// shared by every sibling bucket child and across all cousins with the
+// same derivation path — the per-node AtomComponents/RootVariables/
+// SubstituteVar recomputation this replaces dominated fresh-preparation
+// profiles. Shapes are built during tree construction (under the plan
+// lock) and read-only afterwards; nodes adopted from earlier generations
+// keep their own completed shapes.
+type dpShape struct {
+	kind nodeKind
+	rels map[string]bool // relations of this sub-query's atoms
+
+	// repQ is the concrete query this shape was derived from. Deeper
+	// shapes are derived from it; its constants are representative, not
+	// authoritative, so it never answers per-value questions.
+	repQ *query.CQ
+
+	lits []groundLit // nodeGround: the literals of the conjunction
+
+	rootVar string         // nodeBuckets: the partitioning variable
+	posOf   map[string]int // nodeBuckets: relation -> root-variable position
+	child   *dpShape       // nodeBuckets: shared shape of all value children (lazy)
+
+	relOf    map[string]int    // nodeProduct: relation -> component index
+	subQs    []*query.CQ       // nodeProduct: component sub-queries (from repQ)
+	children []*dpShape        // nodeProduct: per-component shapes
+	compRels []map[string]bool // nodeProduct: relation sets per component
+}
+
+// shapeFrom analyzes q. Product components recurse eagerly (the shape
+// tree is structure-sized, not data-sized); bucket child shapes are
+// derived lazily on the first value built.
+func shapeFrom(q *query.CQ) (*dpShape, error) {
+	s := &dpShape{repQ: q, rels: make(map[string]bool, len(q.Atoms))}
+	for _, a := range q.Atoms {
+		s.rels[a.Rel] = true
+	}
+	comps := q.AtomComponents()
+	switch {
+	case len(comps) > 1:
+		s.kind = nodeProduct
+		s.relOf = make(map[string]int)
+		s.subQs = make([]*query.CQ, len(comps))
+		s.children = make([]*dpShape, len(comps))
+		s.compRels = make([]map[string]bool, len(comps))
+		for ci, comp := range comps {
+			sub := q.SubQuery(comp)
+			s.subQs[ci] = sub
+			rels := make(map[string]bool, len(sub.Atoms))
+			for _, a := range sub.Atoms {
+				rels[a.Rel] = true
+				s.relOf[a.Rel] = ci
+			}
+			s.compRels[ci] = rels
+			cs, err := shapeFrom(sub)
+			if err != nil {
+				return nil, err
+			}
+			s.children[ci] = cs
+		}
+	case len(q.Vars()) == 0:
+		s.kind = nodeGround
+		s.lits = make([]groundLit, len(q.Atoms))
+		for i, a := range q.Atoms {
+			s.lits[i] = groundLit{Rel: a.Rel, Negated: a.Negated}
+		}
+	default:
+		s.kind = nodeBuckets
+		roots := q.RootVariables()
+		if len(roots) == 0 {
+			return nil, ErrNotHierarchical
+		}
+		s.rootVar = roots[0]
+		s.posOf = make(map[string]int)
+		for _, a := range q.Atoms {
+			for i, t := range a.Args {
+				if t.IsVar() && t.Var == s.rootVar {
+					s.posOf[a.Rel] = i
+					break
+				}
+			}
+		}
+	}
+	return s, nil
+}
+
+// bucketChildShape returns the shape shared by every child of this
+// bucket level, deriving it from the first value seen.
+func (s *dpShape) bucketChildShape(v db.Const) (*dpShape, error) {
+	if s.child == nil {
+		cs, err := shapeFrom(s.repQ.SubstituteVar(s.rootVar, v))
+		if err != nil {
+			return nil, err
+		}
+		s.child = cs
+	}
+	return s.child, nil
 }
 
 // childFactor returns child i's contribution to this node's product: the
 // satisfying counts for a component of a product node, the non-satisfying
 // counts for a bucket or disjunct pool ("every bucket/disjunct violated").
-func (n *dpNode) childFactor(i int) []*big.Int {
+func (n *dpNode) childFactor(i int) numeric.Vec {
 	if n.kind == nodeProduct {
 		return n.children[i].sat
 	}
@@ -123,33 +258,81 @@ func (n *dpNode) childFactorZero(i int) bool {
 	return n.children[i].nonSatZero
 }
 
-// nodeKey computes the content address of one node: a hash over the
-// query's canonical rendering and the facts with their flags in insertion
-// order. Equal keys denote the identical computation, so memo reuse is
-// trivially bit-identical; an order-only change merely misses and
-// recomputes. Union roots prefix a byte no CQ rendering can start with.
-func nodeKey(label string, facts []taggedFact) string {
-	size := len(label) + 1
-	for _, tf := range facts {
-		size += len(tf.Key) + 3
-	}
-	buf := make([]byte, 0, size)
-	buf = append(buf, label...)
-	buf = append(buf, 0)
-	for _, tf := range facts {
-		if tf.Endo {
-			buf = append(buf, 'n', ' ')
-		} else {
-			buf = append(buf, 'x', ' ')
-		}
-		buf = append(buf, tf.Key...)
-		buf = append(buf, '\n')
-	}
-	sum := sha256.Sum256(buf)
-	return string(sum[:])
-}
+// nodeKey computes the content address of one node: a 128-bit two-lane
+// seeded hash over the node's label (the derived query identity) and the
+// *additive multiset digest* of the facts with their flags. Per-fact
+// digests are computed once at database insertion and cached
+// (db.FlaggedFact.Dig); combining them by word-wise wrapping addition
+// makes the key Merkle-cheap — re-keying a node is O(facts) word
+// additions with no per-fact rendering or hashing, so a single-fact
+// delta re-keys the whole tree's touched spine in microseconds instead
+// of re-hashing O(|D|) rendered bytes per level. The sum is
+// order-independent, which is sound: every node output is a multiset
+// aggregate, so equal (query, fact multiset) pairs denote the identical
+// computation. Keys live only in the in-process memo and inputs are not
+// adversarial; at 128 bits, accidental collision over a process lifetime
+// of even billions of nodes is negligible (~n²/2¹²⁹). Union roots prefix
+// a byte no CQ rendering can start with. (Implemented by
+// treeBuilder.key.)
+//
+// nodeKeySeeds and labelSeeds are the per-process seeds of the key and
+// label lanes (see db.Digest for the same design at the fact level).
+var (
+	nodeKeySeeds = [2]maphash.Seed{maphash.MakeSeed(), maphash.MakeSeed()}
+	labelSeeds   = [2]maphash.Seed{maphash.MakeSeed(), maphash.MakeSeed()}
+)
 
 const unionLabelPrefix = "\x01u\x00"
+
+// Child labels are *derived* instead of re-rendered: a bucket child's
+// identity is (parent label, substituted value) and a component or
+// disjunct child's is (parent label, component index). The derivation is
+// a hash chain — label_child = H(label_parent ‖ sep ‖ discriminator),
+// two seeded maphash lanes like nodeKey — so every label is a fixed 16
+// bytes no matter how deep the derivation, and no per-node query
+// rendering happens at all (the rendering that dominated
+// fresh-preparation profiles). Derivation is deterministic within a
+// process, so labels (hence content keys) agree across generations,
+// plans and seeded preparations. The separator bytes keep bucket and
+// component namespaces disjoint; root labels hash the query's canonical
+// rendering, which anchors the chain to content.
+const (
+	bucketLabelSep    = 0x02
+	componentLabelSep = 0x03
+)
+
+// hashLabel anchors a label chain at a query rendering.
+func hashLabel(s string) string {
+	var out [16]byte
+	for i, seed := range labelSeeds {
+		binary.LittleEndian.PutUint64(out[i*8:], maphash.String(seed, s))
+	}
+	return string(out[:])
+}
+
+// derivedLabel extends a label chain by one derivation step.
+func (b *treeBuilder) derivedLabel(parent string, sep byte, disc string) string {
+	var out [16]byte
+	for i, seed := range labelSeeds {
+		var h maphash.Hash
+		h.SetSeed(seed)
+		h.WriteString(parent)
+		h.WriteByte(sep)
+		h.WriteString(disc)
+		binary.LittleEndian.PutUint64(out[i*8:], h.Sum64())
+	}
+	return string(out[:])
+}
+
+// bucketChildLabel derives the label of the child for value v.
+func (b *treeBuilder) bucketChildLabel(parent string, v db.Const) string {
+	return b.derivedLabel(parent, bucketLabelSep, string(v))
+}
+
+// componentChildLabel derives the label of component (or disjunct) ci.
+func (b *treeBuilder) componentChildLabel(parent string, ci int) string {
+	return b.derivedLabel(parent, componentLabelSep, strconv.Itoa(ci))
+}
 
 // satMemo is the content-addressed node store carried across plan
 // versions. It is generational: lookups read the previous version's
@@ -162,6 +345,15 @@ const unionLabelPrefix = "\x01u\x00"
 type satMemo struct {
 	prev map[string]*dpNode // previous version's entries (read-only)
 	cur  map[string]*dpNode // entries used or created by this version
+
+	// age counts the versions served since the last generational
+	// rollover. Rolling over on every Apply made the promote sweep (one
+	// map insert per surviving node, i.e. O(tree) map traffic per
+	// single-fact delta) the dominant maintenance cost, so rollovers are
+	// amortized: up to memoRolloverAge versions share one generation —
+	// lookups hit `cur` directly with no promotion — and then a single
+	// rollover drops every node no live tree used since.
+	age int
 
 	// shallow replicates the pre-tree engine for benchmark baselines:
 	// reuse stops at the top decomposition level (the root's immediate
@@ -177,16 +369,36 @@ func newSatMemo() *satMemo {
 	return &satMemo{cur: make(map[string]*dpNode)}
 }
 
-// next rolls the memo over for the successor version: everything the
-// current generation used becomes the lookup set.
+// memoRolloverAge is the number of versions sharing one memo generation:
+// stale nodes linger for at most this many applies before the rollover
+// sweep drops them, and in exchange the per-apply promote cost vanishes.
+const memoRolloverAge = 16
+
+// next returns the memo for the successor version: usually the same
+// generation (cheap), every memoRolloverAge-th version a true rollover
+// in which everything the current generation used becomes the lookup set
+// and unused nodes are left behind. It mutates nothing — the caller
+// commits the step (see commitNext) only once the new version actually
+// installs, so a failed Apply does not advance the rollover clock.
 func (mm *satMemo) next() *satMemo {
 	if mm == nil {
 		return newSatMemo()
+	}
+	if mm.age+1 < memoRolloverAge {
+		return mm
 	}
 	return &satMemo{
 		prev:    mm.cur,
 		cur:     make(map[string]*dpNode),
 		shallow: mm.shallow,
+	}
+}
+
+// commitNext records that the memo returned by prev.next() now serves
+// one more installed version.
+func (mm *satMemo) commitNext(prev *satMemo) {
+	if mm == prev {
+		mm.age++
 	}
 }
 
@@ -267,6 +479,28 @@ type treeBuilder struct {
 	stats BuildStats
 }
 
+// key computes a node's content address (see nodeKey).
+func (b *treeBuilder) key(label string, facts []*taggedFact) string {
+	var dig db.Digest
+	for _, tf := range facts {
+		dig = dig.Add(tf.ContentDigest())
+	}
+	var w [32]byte
+	for i, x := range dig {
+		binary.LittleEndian.PutUint64(w[i*8:], x)
+	}
+	var out [16]byte
+	for i, seed := range nodeKeySeeds {
+		var h maphash.Hash
+		h.SetSeed(seed)
+		h.WriteString(label)
+		h.WriteByte(0)
+		h.Write(w[:])
+		binary.LittleEndian.PutUint64(out[i*8:], h.Sum64())
+	}
+	return string(out[:])
+}
+
 // lookup consults the memo, honoring the shallow emulation mode.
 func (b *treeBuilder) lookup(key string, depth int) (*dpNode, bool) {
 	if b.memo == nil || (b.memo.shallow && depth > 1) {
@@ -289,18 +523,27 @@ func (b *treeBuilder) store(n *dpNode, depth int) {
 
 func (b *treeBuilder) miss() { b.stats.Misses++ }
 
-// build constructs (or reuses) the node for cntSat(facts, q). label is
-// q's canonical rendering when the caller already has it (pass "" to
-// render here). prev, when non-nil, must be the node of the same query
-// over the immediately preceding snapshot; it guides child matching (so
-// unchanged children are found without re-deriving substitutions) and
-// lets the combine step update prev's product by division instead of
-// re-convolving.
-func (b *treeBuilder) build(q *query.CQ, label string, facts []taggedFact, prev *dpNode, depth int) (*dpNode, error) {
+// build constructs (or reuses) the node for cntSat(facts, q).
+//
+//   - q is the concrete query where the caller has one without cloning
+//     (the root, union disjuncts, shallow-mode children); nil for nodes
+//     reached by bucket/component descent, whose structure comes from
+//     shape.
+//   - shape is the shared structural analysis; nil means derive it from q
+//     (entry points).
+//   - prefiltered marks fact lists produced by bucket or component
+//     routing: every such fact is already known to participate in the
+//     core dynamic program, so the per-fact pattern scan is skipped and
+//     the node has no free fillers.
+//   - prev, when non-nil, must be the node of the same query over the
+//     immediately preceding snapshot; it guides child matching and lets
+//     the combine step update prev's product by division instead of
+//     re-convolving.
+func (b *treeBuilder) build(q *query.CQ, shape *dpShape, label string, facts []*taggedFact, prefiltered bool, prev *dpNode, depth int) (*dpNode, error) {
 	if label == "" {
-		label = q.String()
+		label = hashLabel(q.String())
 	}
-	key := nodeKey(label, facts)
+	key := b.key(label, facts)
 	if n, ok := b.lookup(key, depth); ok {
 		return n, nil
 	}
@@ -308,61 +551,73 @@ func (b *treeBuilder) build(q *query.CQ, label string, facts []taggedFact, prev 
 	if b.memo != nil && b.memo.shallow && depth >= 1 {
 		return b.buildOpaque(q, label, key, facts, depth)
 	}
+	if shape == nil {
+		var err error
+		if shape, err = shapeFrom(q); err != nil {
+			return nil, err
+		}
+	}
 
-	n := &dpNode{key: key, label: label, q: q}
+	n := &dpNode{key: key, label: label, kind: shape.kind, q: q, shape: shape}
 
 	// Relevance split: facts that can be the image of their relation's
 	// atom participate in the core dynamic program; other endogenous facts
-	// are free fillers folded in by binomial convolution.
-	atomOf := make(map[string]query.Atom, len(q.Atoms))
-	for _, a := range q.Atoms {
-		atomOf[a.Rel] = a
-	}
-	var relevant []taggedFact
-	for _, tf := range facts {
-		if a, in := atomOf[tf.Fact.Rel]; in && query.MatchesAtom(a, tf.Fact) {
-			relevant = append(relevant, tf)
+	// are free fillers folded in by binomial convolution. Prefiltered
+	// lists (bucket/component routing) skip the scan: substitution only
+	// pins the routing value the facts already carry.
+	var relevant []*taggedFact
+	if prefiltered {
+		relevant = facts
+		for _, tf := range facts {
 			if tf.Endo {
 				n.relN++
 			}
-		} else if tf.Endo {
-			n.free++
+		}
+	} else {
+		atomOf := make(map[string]query.Atom, len(q.Atoms))
+		for _, a := range q.Atoms {
+			atomOf[a.Rel] = a
+		}
+		for _, tf := range facts {
+			if a, in := atomOf[tf.Fact.Rel]; in && query.MatchesAtom(a, tf.Fact) {
+				relevant = append(relevant, tf)
+				if tf.Endo {
+					n.relN++
+				}
+			} else if tf.Endo {
+				n.free++
+			}
 		}
 	}
 	n.endo = n.relN + n.free
 
 	// Mirror the branching of cntSatCore exactly.
-	comps := q.AtomComponents()
-	switch {
-	case len(comps) > 1:
-		n.kind = nodeProduct
-		if prev != nil && (prev.kind != nodeProduct || len(prev.children) != len(comps)) {
+	switch shape.kind {
+	case nodeProduct:
+		if prev != nil && (prev.kind != nodeProduct || len(prev.children) != len(shape.children)) {
 			prev = nil
 		}
-		n.relOf = make(map[string]int)
-		n.children = make([]*dpNode, len(comps))
-		for ci, comp := range comps {
-			sub := q.SubQuery(comp)
-			rels := make(map[string]bool, len(sub.Atoms))
-			for _, a := range sub.Atoms {
-				rels[a.Rel] = true
-				n.relOf[a.Rel] = ci
-			}
-			var childFacts []taggedFact
+		n.children = make([]*dpNode, len(shape.children))
+		for ci := range shape.children {
+			rels := shape.compRels[ci]
+			var childFacts []*taggedFact
 			for _, tf := range relevant {
 				if rels[tf.Fact.Rel] {
 					childFacts = append(childFacts, tf)
 				}
 			}
-			var (
-				childPrev  *dpNode
-				childLabel string
-			)
+			var childPrev *dpNode
 			if prev != nil {
 				childPrev = prev.children[ci]
-				sub, childLabel = childPrev.q, childPrev.label // identical by construction
 			}
-			child, err := b.build(sub, childLabel, childFacts, childPrev, depth+1)
+			var childQ *query.CQ
+			if b.memo != nil && b.memo.shallow {
+				// Opaque units run the reference recursion and need the
+				// concrete sub-query; at the depths shallow mode reaches,
+				// the shape's representative is exactly it.
+				childQ = shape.subQs[ci]
+			}
+			child, err := b.build(childQ, shape.children[ci], b.componentChildLabel(label, ci), childFacts, true, childPrev, depth+1)
 			if err != nil {
 				return nil, err
 			}
@@ -372,61 +627,41 @@ func (b *treeBuilder) build(q *query.CQ, label string, facts []taggedFact, prev 
 			return nil, err
 		}
 
-	case len(q.Vars()) == 0:
-		n.kind = nodeGround
+	case nodeGround:
 		n.facts = relevant
-		core, err := groundBase(dbOf(relevant), q)
-		if err != nil {
-			return nil, err
-		}
-		n.core = core
+		n.core = groundBaseFacts(relevant, shape.lits)
 
-	default:
-		n.kind = nodeBuckets
-		roots := q.RootVariables()
-		if len(roots) == 0 {
-			return nil, ErrNotHierarchical
-		}
+	default: // nodeBuckets
 		if prev != nil && prev.kind != nodeBuckets {
 			prev = nil
 		}
-		n.rootVar = roots[0]
-		n.posOf = make(map[string]int)
-		for _, a := range q.Atoms {
-			for i, t := range a.Args {
-				if t.IsVar() && t.Var == n.rootVar {
-					n.posOf[a.Rel] = i
-					break
-				}
-			}
-		}
-		buckets := make(map[db.Const][]taggedFact)
+		buckets := make(map[db.Const][]*taggedFact)
 		for _, tf := range relevant {
-			v := tf.Fact.Args[n.posOf[tf.Fact.Rel]]
+			v := tf.Fact.Args[shape.posOf[tf.Fact.Rel]]
 			buckets[v] = append(buckets[v], tf)
 		}
 		n.values = make([]db.Const, 0, len(buckets))
 		for v := range buckets {
 			n.values = append(n.values, v)
 		}
-		sort.Slice(n.values, func(i, j int) bool { return n.values[i] < n.values[j] })
+		slices.Sort(n.values)
 		n.children = make([]*dpNode, len(n.values))
 		for bi, v := range n.values {
-			var (
-				childPrev  *dpNode
-				childLabel string
-				qv         *query.CQ
-			)
+			childShape, err := shape.bucketChildShape(v)
+			if err != nil {
+				return nil, err
+			}
+			var childPrev *dpNode
 			if prev != nil {
 				if pi, ok := indexOfValue(prev.values, v); ok {
 					childPrev = prev.children[pi]
-					qv, childLabel = childPrev.q, childPrev.label // the same substitution
 				}
 			}
-			if qv == nil {
-				qv = q.SubstituteVar(n.rootVar, v)
+			var childQ *query.CQ
+			if b.memo != nil && b.memo.shallow {
+				childQ = q.SubstituteVar(shape.rootVar, v)
 			}
-			child, err := b.build(qv, childLabel, buckets[v], childPrev, depth+1)
+			child, err := b.build(childQ, childShape, b.bucketChildLabel(label, v), buckets[v], true, childPrev, depth+1)
 			if err != nil {
 				return nil, err
 			}
@@ -447,7 +682,7 @@ func (b *treeBuilder) build(q *query.CQ, label string, facts []taggedFact, prev 
 // sub-databases at every level of its implicit tree, exactly what the
 // pre-IR engine paid for a touched bucket) and stored as a single
 // structureless node.
-func (b *treeBuilder) buildOpaque(q *query.CQ, label, key string, facts []taggedFact, depth int) (*dpNode, error) {
+func (b *treeBuilder) buildOpaque(q *query.CQ, label, key string, facts []*taggedFact, depth int) (*dpNode, error) {
 	n := &dpNode{key: key, label: label, kind: nodeOpaque, q: q, facts: facts}
 	for _, tf := range facts {
 		if tf.Endo {
@@ -468,11 +703,11 @@ func (b *treeBuilder) buildOpaque(q *query.CQ, label, key string, facts []tagged
 // buildUnion constructs (or reuses) the root node of a relation-disjoint
 // UCQ¬: one child per disjunct (its pool of facts over the disjunct's
 // relations), combined exactly like a bucket node — the union is violated
-// iff every disjunct pool is. relOf must map every disjunct relation to
+// iff every disjunct is. relOf must map every disjunct relation to
 // its disjunct index (validated by the caller).
-func (b *treeBuilder) buildUnion(u *query.UCQ, relOf map[string]int, facts []taggedFact, prev *dpNode) (*dpNode, error) {
-	label := unionLabelPrefix + u.String()
-	key := nodeKey(label, facts)
+func (b *treeBuilder) buildUnion(u *query.UCQ, relOf map[string]int, facts []*taggedFact, prev *dpNode) (*dpNode, error) {
+	label := hashLabel(unionLabelPrefix + u.String())
+	key := b.key(label, facts)
 	if n, ok := b.lookup(key, 0); ok {
 		return n, nil
 	}
@@ -482,7 +717,7 @@ func (b *treeBuilder) buildUnion(u *query.UCQ, relOf map[string]int, facts []tag
 	}
 
 	n := &dpNode{key: key, label: label, kind: nodeUnion, u: u, relOf: relOf}
-	pools := make([][]taggedFact, len(u.Disjuncts))
+	pools := make([][]*taggedFact, len(u.Disjuncts))
 	for _, tf := range facts {
 		if i, ok := relOf[tf.Fact.Rel]; ok {
 			pools[i] = append(pools[i], tf)
@@ -496,15 +731,13 @@ func (b *treeBuilder) buildUnion(u *query.UCQ, relOf map[string]int, facts []tag
 	n.endo = n.relN + n.free
 	n.children = make([]*dpNode, len(u.Disjuncts))
 	for i, q := range u.Disjuncts {
-		var (
-			childPrev  *dpNode
-			childLabel string
-		)
+		var childPrev *dpNode
 		if prev != nil {
 			childPrev = prev.children[i]
-			childLabel = childPrev.label
 		}
-		child, err := b.build(q, childLabel, pools[i], childPrev, 1)
+		// Disjunct pools are split by relation only, so each disjunct
+		// root runs the full relevance scan against its concrete query.
+		child, err := b.build(q, nil, b.componentChildLabel(label, i), pools[i], false, childPrev, 1)
 		if err != nil {
 			return nil, err
 		}
@@ -536,10 +769,10 @@ func (n *dpNode) combine(prev *dpNode) error {
 	case nodeProduct:
 		// The conjunction holds iff it holds componentwise; counts convolve.
 		if n.zeros > 0 {
-			n.core = combinat.ZeroVector(n.relN)
+			n.core = numeric.Zero(n.relN)
 		} else {
-			if len(n.prod) != n.relN+1 {
-				return fmt.Errorf("core: internal error: component convolution length %d, want %d", len(n.prod), n.relN+1)
+			if n.prod.Len() != n.relN+1 {
+				return fmt.Errorf("core: internal error: component convolution length %d, want %d", n.prod.Len(), n.relN+1)
 			}
 			n.core = n.prod
 		}
@@ -548,9 +781,9 @@ func (n *dpNode) combine(prev *dpNode) error {
 		// count the all-violating subsets and complement.
 		allNonSat := n.prod
 		if n.zeros > 0 {
-			allNonSat = nil // some child is always satisfied
+			allNonSat = numeric.Vec{} // some child is always satisfied
 		}
-		n.core = complementTotal(allNonSat, n.relN)
+		n.core = numeric.ComplementTotal(allNonSat, n.relN)
 	}
 	return nil
 }
@@ -560,13 +793,13 @@ func (n *dpNode) combine(prev *dpNode) error {
 // bucket- or union-style parent).
 func (n *dpNode) finish() {
 	if n.free > 0 {
-		n.sat = combinat.Convolve(n.core, combinat.BinomialVector(n.free))
+		n.sat = numeric.Convolve(n.core, numeric.Binomial(n.free))
 	} else {
 		n.sat = n.core
 	}
-	n.nonSat = combinat.ComplementVector(n.sat, n.endo)
-	n.satZero = combinat.IsZeroVector(n.sat)
-	n.nonSatZero = combinat.IsZeroVector(n.nonSat)
+	n.nonSat = numeric.Complement(n.sat, n.endo)
+	n.satZero = n.sat.IsZero()
+	n.nonSatZero = n.nonSat.IsZero()
 }
 
 // maintainProd computes the product of the node's non-zero child
@@ -581,8 +814,8 @@ func (n *dpNode) finish() {
 // the plain convolution chain is the cheaper exact route. Both routes
 // yield the identical integer vector, since convolution of subset-count
 // vectors is commutative and exact.
-func (n *dpNode) maintainProd(prev *dpNode) []*big.Int {
-	if prev != nil && prev.prod != nil {
+func (n *dpNode) maintainProd(prev *dpNode) numeric.Vec {
+	if prev != nil && !prev.prod.IsEmpty() {
 		oldKeys := make(map[string]bool, len(prev.children))
 		for _, c := range prev.children {
 			oldKeys[c.key] = true
@@ -606,24 +839,24 @@ func (n *dpNode) maintainProd(prev *dpNode) []*big.Int {
 			prod := prev.prod
 			for i, c := range prev.children {
 				if !curKeys[c.key] && !prev.childFactorZero(i) {
-					prod = combinat.Deconvolve(prod, prev.childFactor(i))
+					prod = numeric.Deconvolve(prod, prev.childFactor(i))
 				}
 			}
 			for i, c := range n.children {
 				if !oldKeys[c.key] && !n.childFactorZero(i) {
-					prod = combinat.Convolve(prod, n.childFactor(i))
+					prod = numeric.Convolve(prod, n.childFactor(i))
 				}
 			}
 			return prod
 		}
 	}
-	vecs := make([][]*big.Int, 0, len(n.children))
+	vecs := make([]numeric.Vec, 0, len(n.children))
 	for i := range n.children {
 		if !n.childFactorZero(i) {
 			vecs = append(vecs, n.childFactor(i))
 		}
 	}
-	return combinat.ConvolveAll(vecs)
+	return numeric.ConvolveAll(vecs)
 }
 
 // indexOfValue finds v in a sorted bucket-value list.
@@ -636,22 +869,22 @@ func indexOfValue(values []db.Const, v db.Const) (int, bool) {
 }
 
 // leaveOneOut returns the product of every child factor except child i's,
-// or nil when that product is the zero polynomial (some other child's
-// factor is identically zero).
-func (n *dpNode) leaveOneOut(i int) []*big.Int {
+// or the empty Vec when that product is the zero polynomial (some other
+// child's factor is identically zero).
+func (n *dpNode) leaveOneOut(i int) numeric.Vec {
 	if n.childFactorZero(i) {
 		if n.zeros == 1 {
 			return n.prod
 		}
-		return nil
+		return numeric.Vec{}
 	}
 	if n.zeros > 0 {
-		return nil
+		return numeric.Vec{}
 	}
 	if len(n.children) == 2 {
 		return n.childFactor(1 - i) // the sibling is the whole product
 	}
-	return combinat.Deconvolve(n.prod, n.childFactor(i))
+	return numeric.Deconvolve(n.prod, n.childFactor(i))
 }
 
 // toggle computes the subtree's |Sat| vectors with the endogenous fact f
@@ -660,7 +893,7 @@ func (n *dpNode) leaveOneOut(i int) []*big.Int {
 // containing f and combining sibling subtrees through the per-node
 // leave-one-out products. It never touches the memo, so concurrent reads
 // share the immutable tree freely.
-func (n *dpNode) toggle(f db.Fact) (with, without []*big.Int, err error) {
+func (n *dpNode) toggle(f db.Fact) (with, without numeric.Vec, err error) {
 	// Shallow-mode units replicate the pre-IR per-fact path: two full
 	// reference recursions over the toggled sub-instance.
 	if n.kind == nodeOpaque {
@@ -671,11 +904,11 @@ func (n *dpNode) toggle(f db.Fact) (with, without []*big.Int, err error) {
 	// sides just lose one filler.
 	if !n.matchesAny(f) {
 		if n.free == 0 {
-			return nil, nil, fmt.Errorf("core: internal error: %s routed into a subtree without free fillers", f)
+			return numeric.Vec{}, numeric.Vec{}, fmt.Errorf("core: internal error: %s routed into a subtree without free fillers", f)
 		}
 		fewer := n.core
 		if n.free > 1 {
-			fewer = combinat.Convolve(n.core, combinat.BinomialVector(n.free-1))
+			fewer = numeric.Convolve(n.core, numeric.Binomial(n.free-1))
 		}
 		return fewer, fewer, nil
 	}
@@ -684,22 +917,22 @@ func (n *dpNode) toggle(f db.Fact) (with, without []*big.Int, err error) {
 	case nodeGround:
 		return n.toggleGround(f)
 	case nodeProduct:
-		i, ok := n.relOf[f.Rel]
+		i, ok := n.shape.relOf[f.Rel]
 		if !ok {
-			return nil, nil, fmt.Errorf("core: internal error: %s outside every component", f)
+			return numeric.Vec{}, numeric.Vec{}, fmt.Errorf("core: internal error: %s outside every component", f)
 		}
 		cw, cwo, err := n.children[i].toggle(f)
 		if err != nil {
-			return nil, nil, err
+			return numeric.Vec{}, numeric.Vec{}, err
 		}
 		others := n.leaveOneOut(i)
-		var coreW, coreWo []*big.Int
-		if others == nil {
-			coreW = combinat.ZeroVector(n.relN - 1)
+		var coreW, coreWo numeric.Vec
+		if others.IsEmpty() {
+			coreW = numeric.Zero(n.relN - 1)
 			coreWo = coreW
 		} else {
-			coreW = combinat.Convolve(others, cw)
-			coreWo = combinat.Convolve(others, cwo)
+			coreW = numeric.Convolve(others, cw)
+			coreWo = numeric.Convolve(others, cwo)
 		}
 		return n.foldFreeToggled(coreW), n.foldFreeToggled(coreWo), nil
 	default: // nodeBuckets, nodeUnion
@@ -707,28 +940,28 @@ func (n *dpNode) toggle(f db.Fact) (with, without []*big.Int, err error) {
 		if n.kind == nodeUnion {
 			i = n.relOf[f.Rel]
 		} else {
-			v := f.Args[n.posOf[f.Rel]]
+			v := f.Args[n.shape.posOf[f.Rel]]
 			bi, ok := indexOfValue(n.values, v)
 			if !ok {
-				return nil, nil, fmt.Errorf("core: internal error: %s outside every bucket", f)
+				return numeric.Vec{}, numeric.Vec{}, fmt.Errorf("core: internal error: %s outside every bucket", f)
 			}
 			i = bi
 		}
 		child := n.children[i]
 		cw, cwo, err := child.toggle(f)
 		if err != nil {
-			return nil, nil, err
+			return numeric.Vec{}, numeric.Vec{}, err
 		}
-		fw := combinat.ComplementVector(cw, child.endo-1)
-		fwo := combinat.ComplementVector(cwo, child.endo-1)
+		fw := numeric.Complement(cw, child.endo-1)
+		fwo := numeric.Complement(cwo, child.endo-1)
 		others := n.leaveOneOut(i)
-		var allW, allWo []*big.Int
-		if others != nil {
-			allW = combinat.Convolve(others, fw)
-			allWo = combinat.Convolve(others, fwo)
+		var allW, allWo numeric.Vec
+		if !others.IsEmpty() {
+			allW = numeric.Convolve(others, fw)
+			allWo = numeric.Convolve(others, fwo)
 		}
-		coreW := complementTotal(allW, n.relN-1)
-		coreWo := complementTotal(allWo, n.relN-1)
+		coreW := numeric.ComplementTotal(allW, n.relN-1)
+		coreWo := numeric.ComplementTotal(allWo, n.relN-1)
 		return n.foldFreeToggled(coreW), n.foldFreeToggled(coreWo), nil
 	}
 }
@@ -739,6 +972,12 @@ func (n *dpNode) matchesAny(f db.Fact) bool {
 	if n.kind == nodeUnion {
 		_, ok := n.relOf[f.Rel]
 		return ok
+	}
+	if n.q == nil {
+		// Prefiltered node: every fact routed into this subtree matches
+		// its (substituted) atom by construction; relation membership is
+		// the whole question.
+		return n.shape.rels[f.Rel]
 	}
 	for _, a := range n.q.Atoms {
 		if a.Rel == f.Rel && query.MatchesAtom(a, f) {
@@ -751,7 +990,7 @@ func (n *dpNode) matchesAny(f db.Fact) bool {
 // splitToggled materializes the node's facts as the two toggled
 // databases: one with f moved to the exogenous side and one with f
 // removed.
-func splitToggled(facts []taggedFact, f db.Fact) (dw, dwo *db.Database, err error) {
+func splitToggled(facts []*taggedFact, f db.Fact) (dw, dwo *db.Database, err error) {
 	key := f.Key()
 	dw, dwo = db.New(), db.New()
 	found := false
@@ -774,69 +1013,102 @@ func splitToggled(facts []taggedFact, f db.Fact) (dw, dwo *db.Database, err erro
 }
 
 // toggleGround recomputes the Lemma 3.2 base case with f toggled; the
-// leaf's fact set is tiny (at most one fact per ground atom).
-func (n *dpNode) toggleGround(f db.Fact) (with, without []*big.Int, err error) {
-	dw, dwo, err := splitToggled(n.facts, f)
-	if err != nil {
-		return nil, nil, err
+// leaf's fact set is tiny (at most one fact per ground atom), so the two
+// toggled variants are plain slices — no database is materialized.
+func (n *dpNode) toggleGround(f db.Fact) (with, without numeric.Vec, err error) {
+	key := f.Key()
+	withFacts := make([]*taggedFact, 0, len(n.facts))
+	woFacts := make([]*taggedFact, 0, len(n.facts))
+	found := false
+	for _, tf := range n.facts {
+		if tf.Key == key {
+			if !tf.Endo {
+				return numeric.Vec{}, numeric.Vec{}, fmt.Errorf("db: %s is not an endogenous fact", f)
+			}
+			found = true
+			// Moved to the exogenous side in the "with" variant (the
+			// digest is irrelevant here; groundBaseFacts never hashes).
+			withFacts = append(withFacts, &taggedFact{Fact: tf.Fact, Key: tf.Key, Endo: false})
+			continue
+		}
+		withFacts = append(withFacts, tf)
+		woFacts = append(woFacts, tf)
 	}
-	coreW, err := groundBase(dw, n.q)
-	if err != nil {
-		return nil, nil, err
+	if !found {
+		return numeric.Vec{}, numeric.Vec{}, fmt.Errorf("db: %s is not a fact of the database", f)
 	}
-	coreWo, err := groundBase(dwo, n.q)
-	if err != nil {
-		return nil, nil, err
-	}
+	coreW := groundBaseFacts(withFacts, n.shape.lits)
+	coreWo := groundBaseFacts(woFacts, n.shape.lits)
 	return n.foldFreeToggled(coreW), n.foldFreeToggled(coreWo), nil
+}
+
+// groundBaseFacts is groundBase (cntsat.go) evaluated directly over a
+// leaf's fact slice: the hot construction and toggle paths build hundreds
+// of ground leaves per tree, and materializing a Database per leaf (maps,
+// hashed keys) dominated fresh preparation. The facts are the leaf's
+// relevant list, so each one is its atom's exact image and relation
+// identity suffices; a relation occurs at most once (self-join-freeness).
+func groundBaseFacts(facts []*taggedFact, lits []groundLit) numeric.Vec {
+	endo := 0
+	for _, tf := range facts {
+		if tf.Endo {
+			endo++
+		}
+	}
+	mustHave := 0  // |A+|
+	mustAvoid := 0 // |A−|
+	for _, lit := range lits {
+		var match *taggedFact
+		for _, tf := range facts {
+			if tf.Fact.Rel == lit.Rel {
+				match = tf
+				break
+			}
+		}
+		switch {
+		case !lit.Negated && match == nil:
+			return numeric.Zero(endo)
+		case !lit.Negated && match.Endo:
+			mustHave++
+		case lit.Negated && match != nil && !match.Endo:
+			return numeric.Zero(endo)
+		case lit.Negated && match != nil && match.Endo:
+			mustAvoid++
+		}
+	}
+	return numeric.ShiftedBinomial(endo-mustHave-mustAvoid, mustHave, endo)
 }
 
 // toggleOpaque recomputes a shallow-mode unit's sub-DP twice via the
 // reference recursion, mirroring the pre-IR engine's per-fact toggles.
-func (n *dpNode) toggleOpaque(f db.Fact) (with, without []*big.Int, err error) {
+func (n *dpNode) toggleOpaque(f db.Fact) (with, without numeric.Vec, err error) {
 	dw, dwo, err := splitToggled(n.facts, f)
 	if err != nil {
-		return nil, nil, err
+		return numeric.Vec{}, numeric.Vec{}, err
 	}
 	if with, err = cntSat(dw, n.q); err != nil {
-		return nil, nil, err
+		return numeric.Vec{}, numeric.Vec{}, err
 	}
 	if without, err = cntSat(dwo, n.q); err != nil {
-		return nil, nil, err
+		return numeric.Vec{}, numeric.Vec{}, err
 	}
 	return with, without, nil
 }
 
 // foldFreeToggled folds the node's (unchanged) free fillers into a core
 // vector produced by a toggle below.
-func (n *dpNode) foldFreeToggled(core []*big.Int) []*big.Int {
+func (n *dpNode) foldFreeToggled(core numeric.Vec) numeric.Vec {
 	if n.free == 0 {
 		return core
 	}
-	return combinat.Convolve(core, combinat.BinomialVector(n.free))
+	return numeric.Convolve(core, numeric.Binomial(n.free))
 }
 
-// complementTotal turns a non-satisfying count vector over an n-element
-// endogenous set into the satisfying counts: out[k] = C(n, k) − nonSat[k].
-// A nil nonSat is the zero polynomial.
-func complementTotal(nonSat []*big.Int, n int) []*big.Int {
-	row := combinat.BinomialRow(n)
-	out := combinat.ZeroVector(n)
-	for k := 0; k <= n; k++ {
-		if k < len(nonSat) {
-			out[k].Sub(row[k], nonSat[k])
-		} else {
-			out[k].Set(row[k])
-		}
-	}
-	return out
-}
-
-// TreeStats summarizes the DP-tree IR behind a plan: node counts by kind,
-// the tree depth, the memo traffic of the most recent construction and the
-// number of live nodes in the memo's current generation. Plans on the
-// brute-force fallback (or with no endogenous facts) have no tree and
-// report the zero value.
+// TreeStats summarizes the DP-tree IR behind a plan: node counts by kind
+// and by numeric representation, the tree depth, the memo traffic of the
+// most recent construction and the number of live nodes in the memo's
+// current generation. Plans on the brute-force fallback (or with no
+// endogenous facts) have no tree and report the zero value.
 type TreeStats struct {
 	GroundNodes  int
 	BucketNodes  int
@@ -844,6 +1116,14 @@ type TreeStats struct {
 	UnionNodes   int
 	Nodes        int // total
 	Depth        int // levels; a lone leaf has depth 1
+
+	// Numeric-kernel representation mix: nodes whose output |Sat| vector
+	// lives on each arithmetic path. A tree drifting from U64 toward Big
+	// is the production signal that a workload outgrew the fixed-width
+	// fast paths (see internal/numeric).
+	U64Nodes  int
+	U128Nodes int
+	BigNodes  int
 
 	MemoHits    uint64 // last build (Prepare, Apply or seeded preparation)
 	MemoMisses  uint64
@@ -868,6 +1148,14 @@ func treeStats(n *dpNode) TreeStats {
 			ts.ProductNodes++
 		case nodeUnion:
 			ts.UnionNodes++
+		}
+		switch n.sat.Rep() {
+		case numeric.RepU64:
+			ts.U64Nodes++
+		case numeric.RepU128:
+			ts.U128Nodes++
+		default:
+			ts.BigNodes++
 		}
 		for _, c := range n.children {
 			walk(c, depth+1)

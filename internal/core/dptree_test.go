@@ -35,12 +35,12 @@ func TestDPTreeRootMatchesSatCountVector(t *testing.T) {
 		if err != nil {
 			t.Fatalf("%s: tree: %v\nDB:\n%s", q, err, d)
 		}
-		if len(c.root.sat) != len(want) {
-			t.Fatalf("%s: tree sat length %d, reference %d\nDB:\n%s", q, len(c.root.sat), len(want), d)
+		if c.root.sat.Len() != len(want) {
+			t.Fatalf("%s: tree sat length %d, reference %d\nDB:\n%s", q, c.root.sat.Len(), len(want), d)
 		}
 		for k := range want {
-			if c.root.sat[k].Cmp(want[k]) != 0 {
-				t.Fatalf("%s: sat[%d] = %s, reference %s\nDB:\n%s", q, k, c.root.sat[k], want[k], d)
+			if got := c.root.sat.At(k); got.Cmp(want[k]) != 0 {
+				t.Fatalf("%s: sat[%d] = %s, reference %s\nDB:\n%s", q, k, got, want[k], d)
 			}
 		}
 		checked++

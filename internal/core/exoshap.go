@@ -287,7 +287,7 @@ func factSet(d *db.Database, rel string) map[string]bool {
 
 // dropRelation returns a copy of d without the given relation's facts.
 func dropRelation(d *db.Database, rel string) *db.Database {
-	return d.Restrict(func(f db.Fact, _ bool) bool { return f.Rel != rel })
+	return d.WithoutRelation(rel)
 }
 
 // forEachTuple enumerates dom^k in lexicographic order.

@@ -85,6 +85,11 @@ func (g *gameCache) indexOf(f db.Fact) (int, error) {
 // It works for any Boolean query (CQ¬ or UCQ¬, with or without self-joins)
 // and is the exponential-time ground truth the polynomial algorithms are
 // validated against.
+//
+// The enumeration accumulates signed per-coalition-size flip counts in
+// machine words (they are bounded by C(m−1, k) < 2^maxBruteForcePlayers)
+// and applies the rational Shapley weights once per size at the end, so
+// the 2^m inner loop performs no big-number arithmetic at all.
 func BruteForceShapley(d *db.Database, q query.BooleanQuery, f db.Fact) (*big.Rat, error) {
 	if !d.IsEndogenous(f) {
 		return nil, fmt.Errorf("%w: %s", ErrNotEndogenous, f)
@@ -93,30 +98,7 @@ func BruteForceShapley(d *db.Database, q query.BooleanQuery, f db.Fact) (*big.Ra
 	if err != nil {
 		return nil, err
 	}
-	fi, err := g.indexOf(f)
-	if err != nil {
-		return nil, err
-	}
-	m := len(g.endo)
-	fbit := uint64(1) << uint(fi)
-	total := new(big.Rat)
-	for mask := uint64(0); mask < 1<<uint(m); mask++ {
-		if mask&fbit != 0 {
-			continue
-		}
-		with, without := g.value(mask|fbit), g.value(mask)
-		if with == without {
-			continue
-		}
-		k := popcount(mask)
-		w := combinat.ShapleyWeight(k, m)
-		if with {
-			total.Add(total, w)
-		} else {
-			total.Sub(total, w)
-		}
-	}
-	return total, nil
+	return bruteForceOne(g, f)
 }
 
 // BruteForceShapleyAll computes the Shapley value of every endogenous fact,
@@ -282,28 +264,24 @@ func bruteForceShapleyAll(ctx context.Context, d *db.Database, q query.BooleanQu
 	if err := ctxErr(ctx); err != nil {
 		return nil, err
 	}
+	merged := make([]int64, m)
 	for i, f := range facts {
-		total := new(big.Rat)
-		term := new(big.Rat)
 		for k := 0; k < m; k++ {
 			var c int64
 			for w := 0; w < workers; w++ {
 				c += counts[w][i][k]
 			}
-			if c == 0 {
-				continue
-			}
-			term.SetInt64(c)
-			term.Mul(term, combinat.ShapleyWeight(k, m))
-			total.Add(total, term)
+			merged[k] = c
 		}
-		out[i] = &ShapleyValue{Fact: f, Value: total, Method: MethodBruteForce}
+		out[i] = &ShapleyValue{Fact: f, Value: weightSignedCounts(merged, m), Method: MethodBruteForce}
 	}
 	return out, nil
 }
 
 // bruteForceOne runs the subset-sum enumeration for one fact against a
-// caller-owned game cache.
+// caller-owned game cache, counting signed flips per coalition size in
+// int64 (the kernel representation of the brute-force path) and weighting
+// once per size.
 func bruteForceOne(g *gameCache, f db.Fact) (*big.Rat, error) {
 	fi, err := g.indexOf(f)
 	if err != nil {
@@ -311,7 +289,7 @@ func bruteForceOne(g *gameCache, f db.Fact) (*big.Rat, error) {
 	}
 	m := len(g.endo)
 	fbit := uint64(1) << uint(fi)
-	total := new(big.Rat)
+	counts := make([]int64, m)
 	for mask := uint64(0); mask < 1<<uint(m); mask++ {
 		if mask&fbit != 0 {
 			continue
@@ -320,14 +298,32 @@ func bruteForceOne(g *gameCache, f db.Fact) (*big.Rat, error) {
 		if with == without {
 			continue
 		}
-		w := combinat.ShapleyWeight(popcount(mask), m)
 		if with {
-			total.Add(total, w)
+			counts[popcount(mask)]++
 		} else {
-			total.Sub(total, w)
+			counts[popcount(mask)]--
 		}
 	}
-	return total, nil
+	return weightSignedCounts(counts, m), nil
+}
+
+// weightSignedCounts folds per-coalition-size signed flip counts into the
+// exact rational Shapley value Σ_k counts[k]·k!(m−1−k)!/m!, accumulating
+// the numerator over the common denominator m! and normalizing once.
+func weightSignedCounts(counts []int64, m int) *big.Rat {
+	fact := combinat.FactorialRow(m) // shared, read-only
+	num := new(big.Int)
+	term := new(big.Int)
+	c64 := new(big.Int)
+	for k, c := range counts {
+		if c == 0 {
+			continue
+		}
+		term.Mul(c64.SetInt64(c), fact[k])
+		term.Mul(term, fact[m-1-k])
+		num.Add(num, term)
+	}
+	return new(big.Rat).SetFrac(num, fact[m])
 }
 
 // maxPermutationPlayers bounds the factorial enumeration of
@@ -354,7 +350,9 @@ func PermutationShapley(d *db.Database, q query.BooleanQuery, f db.Fact) (*big.R
 	if m > maxPermutationPlayers {
 		return nil, fmt.Errorf("core: %d endogenous facts exceed the permutation-enumeration limit of %d", m, maxPermutationPlayers)
 	}
-	contributions := big.NewInt(0) // Σ over permutations of (v(σf ∪ {f}) − v(σf)) ∈ {−1,0,1}
+	// Σ over permutations of (v(σf ∪ {f}) − v(σf)) ∈ {−1,0,1}; bounded by
+	// maxPermutationPlayers! ≪ 2^63, so a machine word holds it exactly.
+	var contributions int64
 	perm := make([]int, m)
 	for i := range perm {
 		perm[i] = i
@@ -372,9 +370,9 @@ func PermutationShapley(d *db.Database, q query.BooleanQuery, f db.Fact) (*big.R
 			with, without := g.value(mask|1<<uint(fi)), g.value(mask)
 			if with != without {
 				if with {
-					contributions.Add(contributions, big.NewInt(1))
+					contributions++
 				} else {
-					contributions.Sub(contributions, big.NewInt(1))
+					contributions--
 				}
 			}
 			return
@@ -386,7 +384,7 @@ func PermutationShapley(d *db.Database, q query.BooleanQuery, f db.Fact) (*big.R
 		}
 	}
 	walk(0)
-	return new(big.Rat).SetFrac(contributions, combinat.Factorial(m)), nil
+	return new(big.Rat).SetFrac(big.NewInt(contributions), combinat.Factorial(m)), nil
 }
 
 func popcount(x uint64) int {

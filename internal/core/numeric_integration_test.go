@@ -1,0 +1,185 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"math/big"
+	"testing"
+
+	"repro/internal/db"
+	"repro/internal/numeric"
+	"repro/internal/paperex"
+	"repro/internal/query"
+	"repro/internal/workload"
+)
+
+// These tests pin the numeric kernel's behavior at the representation
+// boundaries *through the whole engine*, not just the kernel's own unit
+// tests: workloads sized to land on the u64, u128 and big tiers, with the
+// values checked against representation-independent ground truth.
+
+// TestTreeStatsRepMix: the 94-endogenous-fact university workload must
+// straddle the u64/u128 boundary — small leaves on machine words, the
+// root (whose counts reach C(94, k) > 2^64) on two-word coefficients —
+// and never fall off the fixed-width paths.
+func TestTreeStatsRepMix(t *testing.T) {
+	d := workload.University(workload.UniversityConfig{
+		Students: 40, Courses: 8, RegPerStudent: 2, TAFraction: 0.4, Seed: 7,
+	})
+	if n := d.NumEndo(); n != 94 {
+		t.Fatalf("workload has %d endogenous facts, want 94", n)
+	}
+	eng := NewEngine()
+	plan, err := eng.Prepare(context.Background(), d, paperex.Q1())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := plan.TreeStats()
+	if ts.U64Nodes == 0 || ts.U128Nodes == 0 {
+		t.Fatalf("expected a u64/u128 mix at 94 endo facts: %+v", ts)
+	}
+	if ts.BigNodes != 0 {
+		t.Fatalf("94 endo facts must not need big coefficients: %+v", ts)
+	}
+	if ts.U64Nodes+ts.U128Nodes+ts.BigNodes != ts.Nodes {
+		t.Fatalf("representation mix does not partition the nodes: %+v", ts)
+	}
+}
+
+// TestBigTierEndToEnd drives the engine onto the big path: 140 free
+// endogenous fillers push the root |Sat| coefficients to C(140, k) >
+// 2^128. The Shapley values have closed forms independent of every
+// counting path: R(a) flips the query in every permutation the moment it
+// joins (value exactly 1), and the fillers never change anything
+// (value 0).
+func TestBigTierEndToEnd(t *testing.T) {
+	d := db.New()
+	d.MustAddEndo(db.F("R", "a"))
+	for i := 0; i < 140; i++ {
+		d.MustAddEndo(db.F("Free", db.F("x", fmt.Sprint(i)).Key()))
+	}
+	q := query.MustParse("q() :- R(a)")
+	eng := NewEngine()
+	plan, err := eng.Prepare(context.Background(), d, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := plan.TreeStats()
+	if ts.BigNodes == 0 {
+		t.Fatalf("141 endo facts in one scope must exceed 128 bits: %+v", ts)
+	}
+	v, err := plan.Shapley(context.Background(), db.F("R", "a"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := big.NewRat(1, 1); v.Value.Cmp(want) != 0 {
+		t.Fatalf("Shapley(R(a)) = %s, want %s", v.Value.RatString(), want.RatString())
+	}
+	free, err := plan.Shapley(context.Background(), db.F("Free", "x(0)"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if free.Value.Sign() != 0 {
+		t.Fatalf("free filler must have Shapley value 0, got %s", free.Value.RatString())
+	}
+	// The root |Sat| vector itself must match the reference recursion
+	// (which runs on the same kernel but through an independent code
+	// path) and the closed form sat[k] = C(140, k-1).
+	sat, err := SatCountVector(d, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k <= 141; k++ {
+		want := new(big.Int).Binomial(140, int64(k-1))
+		if k == 0 {
+			want.SetInt64(0)
+		}
+		if sat[k].Cmp(want) != 0 {
+			t.Fatalf("sat[%d] = %s, want %s", k, sat[k], want)
+		}
+	}
+}
+
+// TestBigPromotionRecorded drives an *operation-level* promotion: two
+// disconnected components of ~70 endogenous facts each sit comfortably in
+// u128, but the product node convolving them spans 141 facts, so that one
+// convolution must leave the fixed-width paths — and the kernel must
+// count it. Efficiency pins the values.
+func TestBigPromotionRecorded(t *testing.T) {
+	d := db.New()
+	for i := 0; i < 70; i++ {
+		d.MustAddEndo(db.F("R", fmt.Sprintf("r%d", i)))
+	}
+	for i := 0; i < 71; i++ {
+		d.MustAddEndo(db.F("S", fmt.Sprintf("s%d", i)))
+	}
+	q := query.MustParse("q() :- R(x), S(y)")
+	before := numeric.Stats()
+	eng := NewEngine()
+	plan, err := eng.Prepare(context.Background(), d, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := numeric.Stats()
+	if after.PromotionsBig == before.PromotionsBig {
+		t.Fatal("convolving two u128 components into a 141-fact scope must promote to big")
+	}
+	ts := plan.TreeStats()
+	if ts.BigNodes == 0 || ts.U128Nodes == 0 {
+		t.Fatalf("expected u128 components under a big product root: %+v", ts)
+	}
+	vals, err := plan.ShapleyAll(context.Background(), BatchOptions{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := new(big.Rat)
+	for _, v := range vals {
+		sum.Add(sum, v.Value)
+	}
+	// q needs one R and one S: v(D) − v(∅) = 1 − 0.
+	if want := big.NewRat(1, 1); sum.Cmp(want) != 0 {
+		t.Fatalf("efficiency axiom violated: Σ = %s, want %s", sum.RatString(), want.RatString())
+	}
+}
+
+// TestU128TierEfficiencyAxiom checks the u128 tier end-to-end on a ~70
+// endogenous fact instance via the Shapley efficiency axiom: the values
+// over all endogenous facts must sum to q(D) − q(Dx), a ground truth
+// requiring no counting at all.
+func TestU128TierEfficiencyAxiom(t *testing.T) {
+	d := workload.University(workload.UniversityConfig{
+		Students: 30, Courses: 6, RegPerStudent: 2, TAFraction: 0.5, Seed: 13,
+	})
+	m := d.NumEndo()
+	if m <= 67 {
+		t.Fatalf("instance too small to exercise u128 (%d endo facts)", m)
+	}
+	q := paperex.Q1()
+	eng := NewEngine()
+	plan, err := eng.Prepare(context.Background(), d, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals, err := plan.ShapleyAll(context.Background(), BatchOptions{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := new(big.Rat)
+	for _, v := range vals {
+		sum.Add(sum, v.Value)
+	}
+	full := 0
+	if q.Eval(d) {
+		full = 1
+	}
+	exoOnly := 0
+	if q.Eval(d.Restrict(func(_ db.Fact, endo bool) bool { return !endo })) {
+		exoOnly = 1
+	}
+	if want := big.NewRat(int64(full-exoOnly), 1); sum.Cmp(want) != 0 {
+		t.Fatalf("efficiency axiom violated: Σ = %s, want %s", sum.RatString(), want.RatString())
+	}
+	if ts := plan.TreeStats(); ts.U128Nodes == 0 {
+		t.Fatalf("expected u128 nodes at %d endo facts: %+v", m, ts)
+	}
+}

@@ -161,8 +161,13 @@ func (p *Plan) Apply(ctx context.Context, delta db.Delta) (db.Version, error) {
 		pb, err = prepareUCQ(newD, p.ucq, p.eng.exo, p.eng.brute, ex)
 	}
 	if err != nil {
+		// The plan stays at its current version. Nodes the failed build
+		// may have added to the shared memo are content-addressed and
+		// semantically invisible; the rollover clock is only advanced on
+		// success below.
 		return p.version, err
 	}
+	memo.commitNext(p.memo)
 	p.d, p.pb, p.memo = newD, pb, memo
 	p.version++
 	return p.version, nil

@@ -4,8 +4,8 @@ import (
 	"context"
 	"testing"
 
-	"repro/internal/combinat"
 	"repro/internal/db"
+	"repro/internal/numeric"
 	"repro/internal/paperex"
 	"repro/internal/query"
 	"repro/internal/workload"
@@ -189,14 +189,16 @@ func BenchmarkPlanApplyDeepDelta(b *testing.B) {
 	for _, a := range q.Atoms {
 		atomOf[a.Rel] = a
 	}
-	var bucketFacts []taggedFact
-	for _, ff := range plan.d.FlaggedFacts() {
+	var bucketFacts []*taggedFact
+	for _, ff := range factPtrs(plan.d) {
 		a, in := atomOf[ff.Fact.Rel]
-		if in && query.MatchesAtom(a, ff.Fact) && ff.Fact.Args[root.posOf[ff.Fact.Rel]] == "S0" {
+		if in && query.MatchesAtom(a, ff.Fact) && ff.Fact.Args[root.shape.posOf[ff.Fact.Rel]] == "S0" {
 			bucketFacts = append(bucketFacts, ff)
 		}
 	}
-	bucketFacts = append(bucketFacts, taggedFact{Fact: newFact, Key: newFact.Key(), Endo: true})
+	newFlagged := db.MakeFlaggedFact(newFact, true)
+	bucketFacts = append(bucketFacts, &newFlagged)
+	bucketQ := q.SubstituteVar(root.shape.rootVar, "S0")
 
 	b.Run("touched-bucket/spine-rebuild", func(b *testing.B) {
 		b.ReportAllocs()
@@ -205,7 +207,7 @@ func BenchmarkPlanApplyDeepDelta(b *testing.B) {
 			// genuinely absent (the plan is pre-delta), everything below
 			// them hits.
 			bld := &treeBuilder{memo: plan.memo.fork()}
-			if _, err := bld.build(prevChild.q, prevChild.label, bucketFacts, prevChild, 1); err != nil {
+			if _, err := bld.build(nil, prevChild.shape, prevChild.label, bucketFacts, true, prevChild, 1); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -213,11 +215,11 @@ func BenchmarkPlanApplyDeepDelta(b *testing.B) {
 	b.Run("touched-bucket/from-scratch", func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
-			sat, err := cntSat(dbOf(bucketFacts), prevChild.q)
+			sat, err := cntSat(dbOf(bucketFacts), bucketQ)
 			if err != nil {
 				b.Fatal(err)
 			}
-			combinat.ComplementVector(sat, prevChild.endo+1)
+			numeric.Complement(sat, prevChild.endo+1)
 		}
 	})
 }

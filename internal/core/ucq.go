@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/combinat"
 	"repro/internal/db"
+	"repro/internal/numeric"
 	"repro/internal/query"
 )
 
@@ -61,26 +62,19 @@ func SatCountVectorUCQ(d *db.Database, u *query.UCQ) ([]*big.Int, error) {
 			freeEndo++
 		}
 	}
-	nonSat := make([][]*big.Int, 0, len(u.Disjuncts)+1)
+	nonSat := make([]numeric.Vec, 0, len(u.Disjuncts)+1)
 	for i, q := range u.Disjuncts {
-		sat, err := SatCountVector(pools[i], q)
+		sat, err := cntSat(pools[i], q)
 		if err != nil {
 			return nil, err
 		}
-		nonSat = append(nonSat, combinat.ComplementVector(sat, pools[i].NumEndo()))
+		nonSat = append(nonSat, numeric.Complement(sat, pools[i].NumEndo()))
 	}
 	if freeEndo > 0 {
-		nonSat = append(nonSat, combinat.BinomialVector(freeEndo))
+		nonSat = append(nonSat, numeric.Binomial(freeEndo))
 	}
-	allNonSat := combinat.ConvolveAll(nonSat)
-	out := make([]*big.Int, n+1)
-	for k := 0; k <= n; k++ {
-		out[k] = combinat.Binomial(n, k)
-		if k < len(allNonSat) {
-			out[k].Sub(out[k], allNonSat[k])
-		}
-	}
-	return out, nil
+	allNonSat := numeric.ConvolveAll(nonSat)
+	return numeric.ComplementTotal(allNonSat, n).Big(), nil
 }
 
 // ShapleyHierarchicalUCQ computes Shapley(D, u, f) exactly for a

@@ -5,8 +5,8 @@ import (
 	"fmt"
 	"math/big"
 
-	"repro/internal/combinat"
 	"repro/internal/db"
+	"repro/internal/numeric"
 	"repro/internal/query"
 )
 
@@ -63,7 +63,7 @@ func newUCQSatContext(d *db.Database, u *query.UCQ, memo *satMemo, prev *ucqSatC
 		prevRoot = prev.root
 	}
 	b := &treeBuilder{memo: memo}
-	root, err := b.buildUnion(u, relOf, d.FlaggedFacts(), prevRoot)
+	root, err := b.buildUnion(u, relOf, factPtrs(d), prevRoot)
 	if err != nil {
 		return nil, err
 	}
@@ -88,7 +88,7 @@ func (c *ucqSatContext) shapley(f db.Fact) (*big.Rat, error) {
 	if err != nil {
 		return nil, err
 	}
-	return combinat.WeightedDifference(with, without, c.m), nil
+	return numeric.WeightedDifference(with, without, c.m), nil
 }
 
 // ShapleyAllUCQ computes the Shapley value of every endogenous fact for a

@@ -13,6 +13,9 @@ import (
 	"crypto/sha256"
 	"encoding/hex"
 	"fmt"
+	"hash/maphash"
+	"maps"
+	"slices"
 	"sort"
 	"strings"
 )
@@ -74,9 +77,57 @@ func (f Fact) Equal(g Fact) bool {
 	return true
 }
 
+// Digest is a 256-bit per-fact content digest over (endogeneity flag,
+// canonical key), stored as four little-endian words so that digests of
+// disjoint fact sets combine by plain word-wise wrapping addition (an
+// additive multiset hash in the LtHash style). The compute layer derives
+// DP-node content addresses from these sums, which is what makes
+// re-keying a large sub-instance O(facts) word additions instead of
+// re-rendering and re-hashing every fact: the SHA-256 per fact is paid
+// once, at insertion.
+type Digest [4]uint64
+
+// zero digests mark "not yet computed"; SHA-256 emitting the all-zero
+// digest is beyond astronomically unlikely, so the sentinel is safe.
+var zeroDigest Digest
+
+// Add combines two digests word-wise (wrapping), the multiset union.
+func (d Digest) Add(o Digest) Digest {
+	return Digest{d[0] + o[0], d[1] + o[1], d[2] + o[2], d[3] + o[3]}
+}
+
+// digestSeeds are the four independent lanes of the per-fact digest: one
+// maphash (SipHash-family) seed per word. Seeds are drawn once per
+// process; digests are only ever compared within a process (they feed
+// the in-memory DP-node memo), so cross-process stability is not needed.
+var digestSeeds = [4]maphash.Seed{maphash.MakeSeed(), maphash.MakeSeed(), maphash.MakeSeed(), maphash.MakeSeed()}
+
+// digestOf computes the content digest of one (key, flag) pair: four
+// independently seeded 64-bit strong hashes. This runs once per fact
+// insertion (including the transient databases the ExoShap transform
+// builds), so it uses maphash rather than a cryptographic hash — a
+// multiset-sum collision across lanes would need 256 bits of
+// simultaneous coincidence on non-adversarial input.
+func digestOf(key string, endo bool) Digest {
+	flag := "x "
+	if endo {
+		flag = "n "
+	}
+	var d Digest
+	for i := range d {
+		var h maphash.Hash
+		h.SetSeed(digestSeeds[i])
+		h.WriteString(flag)
+		h.WriteString(key)
+		d[i] = h.Sum64()
+	}
+	return d
+}
+
 type storedFact struct {
 	fact Fact
 	key  string // cached fact.Key(), computed once at insertion
+	dig  Digest // cached digestOf(key, endo), computed once at insertion
 	endo bool
 }
 
@@ -116,16 +167,17 @@ func newSized(facts, rels int) *Database {
 // duplicate fact (even with the same flag) or an arity clash, so that
 // construction bugs surface early.
 func (d *Database) Add(f Fact, endogenous bool) error {
-	return d.addKeyed(f, f.Key(), endogenous)
+	return d.addKeyed(f, f.Key(), zeroDigest, endogenous)
 }
 
-// AddFlagged is Add for a fact whose canonical key is already rendered
-// (the bulk shape FlaggedFacts returns), skipping the re-render.
+// AddFlagged is Add for a fact whose canonical key (and content digest)
+// is already rendered — the bulk shape FlaggedFacts returns — skipping
+// the re-render and the re-hash.
 func (d *Database) AddFlagged(ff FlaggedFact) error {
-	return d.addKeyed(ff.Fact, ff.Key, ff.Endo)
+	return d.addKeyed(ff.Fact, ff.Key, ff.Dig, ff.Endo)
 }
 
-func (d *Database) addKeyed(f Fact, key string, endogenous bool) error {
+func (d *Database) addKeyed(f Fact, key string, dig Digest, endogenous bool) error {
 	if f.Rel == "" {
 		return fmt.Errorf("db: fact with empty relation symbol")
 	}
@@ -139,11 +191,14 @@ func (d *Database) addKeyed(f Fact, key string, endogenous bool) error {
 	} else {
 		d.arity[f.Rel] = len(f.Args)
 	}
-	sf := &storedFact{fact: f, key: key, endo: endogenous}
+	if dig == zeroDigest {
+		dig = digestOf(key, endogenous)
+	}
+	sf := &storedFact{fact: f, key: key, dig: dig, endo: endogenous}
 	d.byKey[key] = sf
 	d.order = append(d.order, sf)
 	d.rels[f.Rel] = append(d.rels[f.Rel], sf)
-	d.flagged = append(d.flagged, FlaggedFact{Fact: f, Key: key, Endo: endogenous})
+	d.flagged = append(d.flagged, FlaggedFact{Fact: f, Key: key, Dig: dig, Endo: endogenous})
 	return nil
 }
 
@@ -215,14 +270,34 @@ func (d *Database) ExoFacts() []Fact {
 	return out
 }
 
-// FlaggedFact is one fact together with its endogeneity flag and its
-// cached canonical key. It is the bulk-iteration shape the compute layer
-// consumes: the key is rendered once at insertion, so content hashing and
-// membership bookkeeping over large databases never re-render it.
+// FlaggedFact is one fact together with its endogeneity flag, its cached
+// canonical key and its cached content digest. It is the bulk-iteration
+// shape the compute layer consumes: key and digest are rendered once at
+// insertion, so content addressing and membership bookkeeping over large
+// databases never re-render or re-hash a fact.
 type FlaggedFact struct {
 	Fact Fact
 	Key  string
+	Dig  Digest
 	Endo bool
+}
+
+// MakeFlaggedFact builds the bulk shape for a fact outside any database
+// (tests, ad-hoc tree construction), rendering key and digest once.
+func MakeFlaggedFact(f Fact, endo bool) FlaggedFact {
+	key := f.Key()
+	return FlaggedFact{Fact: f, Key: key, Dig: digestOf(key, endo), Endo: endo}
+}
+
+// ContentDigest returns the fact's (flag, key) digest, computing it when
+// the cached field is absent (hand-built literals). Pointer receiver: the
+// hot content-addressing loops call this per fact, and the struct is
+// several cache lines wide.
+func (ff *FlaggedFact) ContentDigest() Digest {
+	if ff.Dig != zeroDigest {
+		return ff.Dig
+	}
+	return digestOf(ff.Key, ff.Endo)
 }
 
 // FlaggedFacts returns all facts in insertion order with their flags and
@@ -301,15 +376,22 @@ func (d *Database) RelationEndogenous(rel string) bool {
 	return false
 }
 
-// Clone returns a deep copy of the database.
+// Clone returns an independent copy of the database. Stored facts are
+// immutable after insertion (every mutating operation — WithExogenous,
+// Without, Apply — builds new entries), so the copy shares them and only
+// the indexes are duplicated: O(n) word copies instead of n re-insertions.
 func (d *Database) Clone() *Database {
-	out := newSized(len(d.order), len(d.rels))
-	for _, sf := range d.order {
-		if err := out.addKeyed(sf.fact, sf.key, sf.endo); err != nil {
-			panic(err)
-		}
+	rels := make(map[string][]*storedFact, len(d.rels))
+	for r, sfs := range d.rels {
+		rels[r] = slices.Clone(sfs)
 	}
-	return out
+	return &Database{
+		byKey:   maps.Clone(d.byKey),
+		order:   slices.Clone(d.order),
+		rels:    rels,
+		arity:   maps.Clone(d.arity),
+		flagged: slices.Clone(d.flagged),
+	}
 }
 
 // WithExogenous returns a copy of d in which f (which must be an endogenous
@@ -321,11 +403,11 @@ func (d *Database) WithExogenous(f Fact) (*Database, error) {
 	out := newSized(len(d.order), len(d.rels))
 	key := f.Key()
 	for _, sf := range d.order {
-		endo := sf.endo
+		endo, dig := sf.endo, sf.dig
 		if sf.key == key {
-			endo = false
+			endo, dig = false, zeroDigest // the flag flips; re-derive the digest
 		}
-		if err := out.addKeyed(sf.fact, sf.key, endo); err != nil {
+		if err := out.addKeyed(sf.fact, sf.key, dig, endo); err != nil {
 			return nil, err
 		}
 	}
@@ -344,11 +426,45 @@ func (d *Database) Without(f Fact) (*Database, error) {
 		if sf.key == key {
 			continue
 		}
-		if err := out.addKeyed(sf.fact, sf.key, sf.endo); err != nil {
+		if err := out.addKeyed(sf.fact, sf.key, sf.dig, sf.endo); err != nil {
 			return nil, err
 		}
 	}
 	return out, nil
+}
+
+// WithoutRelation returns a copy of d with every fact of rel removed.
+// Unlike Restrict it never re-inserts the surviving facts: indexes are
+// cloned and filtered (the ExoShap transform drops relations repeatedly
+// while rewriting a database, which made per-fact re-insertion its
+// dominant cost).
+func (d *Database) WithoutRelation(rel string) *Database {
+	drop := d.rels[rel]
+	if len(drop) == 0 {
+		return d.Clone()
+	}
+	byKey := maps.Clone(d.byKey)
+	for _, sf := range drop {
+		delete(byKey, sf.key)
+	}
+	rels := make(map[string][]*storedFact, len(d.rels))
+	for r, sfs := range d.rels {
+		if r != rel {
+			rels[r] = slices.Clone(sfs)
+		}
+	}
+	arity := maps.Clone(d.arity)
+	delete(arity, rel)
+	order := make([]*storedFact, 0, len(d.order)-len(drop))
+	flagged := make([]FlaggedFact, 0, len(d.flagged)-len(drop))
+	for i, sf := range d.order {
+		if sf.fact.Rel == rel {
+			continue
+		}
+		order = append(order, sf)
+		flagged = append(flagged, d.flagged[i])
+	}
+	return &Database{byKey: byKey, order: order, rels: rels, arity: arity, flagged: flagged}
 }
 
 // Restrict returns a copy of d containing only the facts for which keep
@@ -357,7 +473,7 @@ func (d *Database) Restrict(keep func(f Fact, endogenous bool) bool) *Database {
 	out := newSized(len(d.order), len(d.rels))
 	for _, sf := range d.order {
 		if keep(sf.fact, sf.endo) {
-			if err := out.addKeyed(sf.fact, sf.key, sf.endo); err != nil {
+			if err := out.addKeyed(sf.fact, sf.key, sf.dig, sf.endo); err != nil {
 				panic(err)
 			}
 		}

@@ -59,7 +59,7 @@ func (d *Database) Apply(dl Delta) (*Database, error) {
 		if removed[sf.key] {
 			continue
 		}
-		if err := out.addKeyed(sf.fact, sf.key, sf.endo); err != nil {
+		if err := out.addKeyed(sf.fact, sf.key, sf.dig, sf.endo); err != nil {
 			return nil, err
 		}
 	}

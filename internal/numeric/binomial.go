@@ -1,0 +1,71 @@
+package numeric
+
+import (
+	"sync"
+
+	"repro/internal/combinat"
+)
+
+// maxCachedBinomialRow mirrors combinat's cache bound: rows are retained
+// for n up to this limit, so a long-running process serving workloads of
+// many sizes cannot grow the cache without bound.
+const maxCachedBinomialRow = 512
+
+var (
+	binMu   sync.RWMutex
+	binRows = make(map[int]Vec) // n -> [C(n,0)..C(n,n)] in minimal rep
+)
+
+// Binomial returns the Pascal row [C(n,0), ..., C(n,n)] in its minimal
+// kernel representation. The returned Vec is shared and cached (for n up
+// to maxCachedBinomialRow); Vec's immutability makes concurrent use by
+// independent plans safe — no kernel operation ever writes through an
+// input vector. Rows up to n = 64 are single-word, rows up to n = 128 are
+// two-word (C(n,k) ≤ 2^n), larger rows fall back to big.
+func Binomial(n int) Vec {
+	if n < 0 {
+		panic("numeric: negative binomial row")
+	}
+	if n > maxCachedBinomialRow {
+		return FromBig(combinat.BinomialRow(n))
+	}
+	binMu.RLock()
+	row, ok := binRows[n]
+	binMu.RUnlock()
+	if ok {
+		return row
+	}
+	row = FromBig(combinat.BinomialRow(n))
+	binMu.Lock()
+	binRows[n] = row
+	binMu.Unlock()
+	return row
+}
+
+// ShiftedBinomial returns the length-(n+1) vector with out[k] =
+// C(free, k−shift) (zero elsewhere): the ground base case of the CntSat
+// recursion, where `shift` endogenous facts are forced into every
+// satisfying subset and `free` choose freely. shift+free must not exceed
+// n.
+func ShiftedBinomial(free, shift, n int) Vec {
+	if free < 0 || shift < 0 || shift+free > n {
+		panic("numeric: ShiftedBinomial out of range")
+	}
+	row := Binomial(free)
+	switch row.rep {
+	case RepU64:
+		u := make([]uint64, n+1)
+		copy(u[shift:], row.u)
+		return Vec{rep: RepU64, u: u}
+	case RepU128:
+		w := make([]Uint128, n+1)
+		copy(w[shift:], row.w)
+		return Vec{rep: RepU128, w: w}
+	default:
+		b := Zero(n).Big()
+		for k := 0; k <= free; k++ {
+			b[shift+k].Set(row.b[k])
+		}
+		return Vec{rep: RepBig, b: b}
+	}
+}

@@ -1,0 +1,103 @@
+package numeric
+
+import (
+	"encoding/binary"
+	"math/big"
+	"testing"
+)
+
+// decodeVecs turns fuzz bytes into two small count vectors whose entries
+// deliberately straddle the u64/u128/big boundaries: each entry is 1–3
+// words drawn from the input, so single-word, two-word and three-word
+// coefficients all occur.
+func decodeVecs(data []byte) (a, b []*big.Int) {
+	la := 1
+	lb := 1
+	if len(data) > 0 {
+		la = 1 + int(data[0]%6)
+	}
+	if len(data) > 1 {
+		lb = 1 + int(data[1]%6)
+	}
+	data = data[min(len(data), 2):]
+	next := func() *big.Int {
+		words := 1
+		if len(data) > 0 {
+			words = 1 + int(data[0]%3)
+			data = data[1:]
+		}
+		out := new(big.Int)
+		t := new(big.Int)
+		for w := 0; w < words; w++ {
+			var buf [8]byte
+			copy(buf[:], data)
+			data = data[min(len(data), 8):]
+			out.Lsh(out, 64)
+			out.Or(out, t.SetUint64(binary.LittleEndian.Uint64(buf[:])))
+		}
+		return out
+	}
+	a = make([]*big.Int, la)
+	for i := range a {
+		a[i] = next()
+	}
+	b = make([]*big.Int, lb)
+	for i := range b {
+		b[i] = next()
+	}
+	return a, b
+}
+
+// FuzzConvolve checks Convolve against the pure-big reference for
+// arbitrary vectors across all representation mixes, and that
+// Deconvolve inverts it whenever the divisor is non-zero.
+func FuzzConvolve(f *testing.F) {
+	f.Add([]byte{3, 2, 1, 1, 2, 3})
+	f.Add([]byte{6, 6, 2, 255, 255, 255, 255, 255, 255, 255, 255, 3, 7})
+	f.Add(make([]byte, 64))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		a, b := decodeVecs(data)
+		av, bv := FromBig(a), FromBig(b)
+		got := Convolve(av, bv)
+		want := refConvolve(a, b)
+		if !eqBig(got.Big(), want) {
+			t.Fatalf("Convolve mismatch:\na=%v\nb=%v\ngot=%v\nwant=%v", a, b, got.Big(), want)
+		}
+		if !bv.IsZero() {
+			back := Deconvolve(got, bv)
+			if !eqBig(back.Big(), a) {
+				t.Fatalf("Deconvolve did not invert:\na=%v\nb=%v\nback=%v", a, b, back.Big())
+			}
+		}
+	})
+}
+
+// FuzzComplement checks the complement pair against the reference for
+// arbitrary valid subset counts (entries are reduced modulo C(n,k)+1 so
+// the binomial bound holds by construction).
+func FuzzComplement(f *testing.F) {
+	f.Add([]byte{70, 1, 2, 3, 4})
+	f.Add([]byte{140, 9, 9, 9, 9, 9, 9, 9, 9, 9})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		n := 1
+		if len(data) > 0 {
+			n = 1 + int(data[0])%150
+			data = data[1:]
+		}
+		raw, _ := decodeVecs(append([]byte{byte(min(n, 5)), 1}, data...))
+		v := make([]*big.Int, min(len(raw), n+1))
+		bound := new(big.Int)
+		for k := range v {
+			bound.Add(binomialBig(n, k), big.NewInt(1))
+			v[k] = new(big.Int).Mod(raw[k], bound)
+		}
+		got := ComplementTotal(FromBig(v), n)
+		if !eqBig(got.Big(), refComplement(v, n)) {
+			t.Fatalf("complement mismatch at n=%d, v=%v", n, v)
+		}
+	})
+}
+
+func binomialBig(n, k int) *big.Int {
+	return new(big.Int).Binomial(int64(n), int64(k))
+}

@@ -1,0 +1,310 @@
+// Package numeric is the exact count-vector kernel of the repository: the
+// arithmetic substrate the production DP engines (the DP-tree IR, the
+// CntSat recursion, the UCQ¬ union path and the batched per-fact toggles)
+// run on.
+//
+// Every quantity these engines manipulate is a subset count |Sat(D, q, k)|
+// bounded by C(m, k) ≤ 2^m for the m endogenous facts in scope, so the
+// counts of any workload with at most 64 facts in a scope fit a machine
+// word and anything up to 128 facts fits two. Package combinat keeps the
+// audited math/big implementation (the reference the kernel is
+// differentially tested against, and the substrate of the final rational
+// Shapley weighting); this package provides the same operations over a
+// tagged representation lattice
+//
+//	u64  ⊂  u128  ⊂  big
+//
+// with automatic promotion on overflow and demotion to the minimal
+// representation on every operation, so results are bit-identical to the
+// pure-big computation by construction while the common case runs on flat
+// machine-word slices with no per-coefficient heap allocation.
+//
+// Exactness is structural, not probabilistic: fixed-width paths accumulate
+// convolutions in wider carry-chained accumulators (192 bits over u64
+// inputs, 320 bits over u128 inputs) that cannot overflow for any vector
+// length below 2^64, and the final representation is chosen after the
+// exact result is known. No operation ever rounds, saturates or wraps.
+//
+// Vectors are immutable values: no exported operation mutates an input,
+// and accessors hand out fresh big.Ints, so vectors — including the shared
+// cached binomial rows — may be read concurrently without synchronization.
+package numeric
+
+import (
+	"fmt"
+	"math/big"
+	"math/bits"
+)
+
+// Rep identifies one level of the kernel's representation lattice.
+type Rep uint8
+
+const (
+	// RepU64 stores one machine word per coefficient.
+	RepU64 Rep = iota
+	// RepU128 stores a two-word (hi, lo) pair per coefficient.
+	RepU128
+	// RepBig stores arbitrary-precision integers; the fallback that makes
+	// the kernel total.
+	RepBig
+)
+
+// String renders the representation tag for stats and -explain output.
+func (r Rep) String() string {
+	switch r {
+	case RepU64:
+		return "u64"
+	case RepU128:
+		return "u128"
+	default:
+		return "big"
+	}
+}
+
+// Vec is an immutable vector of non-negative exact integers indexed by
+// subset size, held in its minimal representation: RepU64 iff every entry
+// fits one word, RepU128 iff every entry fits two, RepBig otherwise. The
+// zero Vec has length 0 and doubles as the "no vector" sentinel (the zero
+// polynomial in contexts like leave-one-out products).
+type Vec struct {
+	rep Rep
+	u   []uint64
+	w   []Uint128
+	b   []*big.Int
+}
+
+// Zero returns the all-zero vector of length n+1 (indices 0..n).
+func Zero(n int) Vec {
+	return Vec{rep: RepU64, u: make([]uint64, n+1)}
+}
+
+// oneVec is the shared convolution identity; immutability makes sharing
+// safe (no kernel operation writes through an input vector).
+var oneVec = Vec{rep: RepU64, u: []uint64{1}}
+
+// One returns the length-1 vector [1], the convolution identity (the
+// unique 0-subset of the empty set).
+func One() Vec { return oneVec }
+
+// isOne reports whether v is the convolution identity [1].
+func (v Vec) isOne() bool {
+	return v.rep == RepU64 && len(v.u) == 1 && v.u[0] == 1
+}
+
+// FromUint64s builds a vector from word-sized entries (copied).
+func FromUint64s(ws []uint64) Vec {
+	if len(ws) == 0 {
+		return Vec{}
+	}
+	return Vec{rep: RepU64, u: append([]uint64(nil), ws...)}
+}
+
+// FromBig builds a vector from big.Int entries (copied, minimal
+// representation). Negative entries panic: the kernel holds counts. A nil
+// or empty slice yields the empty Vec.
+func FromBig(v []*big.Int) Vec {
+	if len(v) == 0 {
+		return Vec{}
+	}
+	rep := RepU64
+	for _, x := range v {
+		if x.Sign() < 0 {
+			panic("numeric: negative count")
+		}
+		switch bl := x.BitLen(); {
+		case bl > 128:
+			rep = RepBig
+		case bl > 64 && rep != RepBig:
+			rep = RepU128
+		}
+		if rep == RepBig {
+			break
+		}
+	}
+	switch rep {
+	case RepU64:
+		u := make([]uint64, len(v))
+		for i, x := range v {
+			u[i] = x.Uint64()
+		}
+		return Vec{rep: RepU64, u: u}
+	case RepU128:
+		w := make([]Uint128, len(v))
+		for i, x := range v {
+			w[i] = bigToU128(x)
+		}
+		return Vec{rep: RepU128, w: w}
+	default:
+		b := make([]*big.Int, len(v))
+		for i, x := range v {
+			b[i] = new(big.Int).Set(x)
+		}
+		return Vec{rep: RepBig, b: b}
+	}
+}
+
+// Len returns the number of entries (degree + 1); 0 for the empty Vec.
+func (v Vec) Len() int {
+	switch v.rep {
+	case RepU64:
+		return len(v.u)
+	case RepU128:
+		return len(v.w)
+	default:
+		return len(v.b)
+	}
+}
+
+// IsEmpty reports whether v is the zero-length sentinel.
+func (v Vec) IsEmpty() bool { return v.Len() == 0 }
+
+// Rep returns the vector's (minimal) representation tag.
+func (v Vec) Rep() Rep { return v.rep }
+
+// IsZero reports whether every entry is zero (vacuously true for the
+// empty Vec) — the zero polynomial.
+func (v Vec) IsZero() bool {
+	switch v.rep {
+	case RepU64:
+		for _, x := range v.u {
+			if x != 0 {
+				return false
+			}
+		}
+	case RepU128:
+		for _, x := range v.w {
+			if x.Hi != 0 || x.Lo != 0 {
+				return false
+			}
+		}
+	default:
+		for _, x := range v.b {
+			if x.Sign() != 0 {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// AtInto sets out to entry k and returns it; an out-of-range k yields 0
+// (count vectors are zero beyond their length).
+func (v Vec) AtInto(k int, out *big.Int) *big.Int {
+	if k < 0 || k >= v.Len() {
+		return out.SetUint64(0)
+	}
+	switch v.rep {
+	case RepU64:
+		return out.SetUint64(v.u[k])
+	case RepU128:
+		return u128ToBig(v.w[k], out)
+	default:
+		return out.Set(v.b[k])
+	}
+}
+
+// At returns entry k as a fresh big.Int (0 when out of range).
+func (v Vec) At(k int) *big.Int { return v.AtInto(k, new(big.Int)) }
+
+// Big converts the vector to a fresh []*big.Int (nil for the empty Vec).
+// It is the bridge to the math/big reference substrate and to callers of
+// the stable []*big.Int APIs.
+func (v Vec) Big() []*big.Int {
+	n := v.Len()
+	if n == 0 {
+		return nil
+	}
+	backing := make([]big.Int, n)
+	out := make([]*big.Int, n)
+	for i := range out {
+		out[i] = v.AtInto(i, &backing[i])
+	}
+	return out
+}
+
+// Sum returns the sum of all entries as a fresh big.Int.
+func (v Vec) Sum() *big.Int {
+	out := new(big.Int)
+	switch v.rep {
+	case RepU64:
+		var lo, hi, c uint64
+		for _, x := range v.u {
+			lo, c = bits.Add64(lo, x, 0)
+			hi += c
+		}
+		return u128ToBig(Uint128{Hi: hi, Lo: lo}, out)
+	case RepU128:
+		var acc [3]uint64
+		for _, x := range v.w {
+			var c uint64
+			acc[0], c = bits.Add64(acc[0], x.Lo, 0)
+			acc[1], c = bits.Add64(acc[1], x.Hi, c)
+			acc[2] += c
+		}
+		return wordsToBig(acc[:], out)
+	default:
+		for _, x := range v.b {
+			out.Add(out, x)
+		}
+		return out
+	}
+}
+
+// Equal reports entry-wise equality, independent of representation (two
+// vectors holding the same values always have the same rep by the minimal-
+// representation invariant, but Equal does not rely on it).
+func (v Vec) Equal(o Vec) bool {
+	if v.Len() != o.Len() {
+		return false
+	}
+	x, y := new(big.Int), new(big.Int)
+	for k := 0; k < v.Len(); k++ {
+		if v.AtInto(k, x).Cmp(o.AtInto(k, y)) != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the vector for error messages and debugging.
+func (v Vec) String() string {
+	return fmt.Sprintf("numeric.Vec(%s)%v", v.rep, v.Big())
+}
+
+// --- internal representation views ---
+
+// asU128 returns the vector's entries as Uint128 pairs; for a RepU64
+// vector this materializes a widened copy (the caller treats it as
+// read-only either way). Panics on RepBig.
+func (v Vec) asU128() []Uint128 {
+	switch v.rep {
+	case RepU128:
+		return v.w
+	case RepU64:
+		out := make([]Uint128, len(v.u))
+		for i, x := range v.u {
+			out[i].Lo = x
+		}
+		return out
+	default:
+		panic("numeric: asU128 on a big vector")
+	}
+}
+
+// asBig returns the entries as []*big.Int, materializing a copy for the
+// fixed-width representations. The result of a RepBig vector aliases the
+// vector's storage and must not be mutated.
+func (v Vec) asBig() []*big.Int {
+	if v.rep == RepBig {
+		return v.b
+	}
+	return v.Big()
+}
+
+// maxRep returns the wider of two representation tags.
+func maxRep(a, b Rep) Rep {
+	if a > b {
+		return a
+	}
+	return b
+}

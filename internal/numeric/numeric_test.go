@@ -1,0 +1,374 @@
+package numeric
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+
+	"repro/internal/combinat"
+)
+
+// --- pure-big.Int reference implementations ---
+//
+// The kernel's contract is bit-identity with arbitrary-precision
+// arithmetic. These references are deliberately independent of the kernel
+// code paths (plain math/big loops, mirroring combinat's audited
+// algorithms), so every randomized test below is a true differential.
+
+func refConvolve(a, b []*big.Int) []*big.Int {
+	if len(a) == 0 || len(b) == 0 {
+		return nil
+	}
+	out := make([]*big.Int, len(a)+len(b)-1)
+	for i := range out {
+		out[i] = new(big.Int)
+	}
+	tmp := new(big.Int)
+	for i, ai := range a {
+		for j, bj := range b {
+			tmp.Mul(ai, bj)
+			out[i+j].Add(out[i+j], tmp)
+		}
+	}
+	return out
+}
+
+func refComplement(v []*big.Int, n int) []*big.Int {
+	out := make([]*big.Int, n+1)
+	for k := 0; k <= n; k++ {
+		out[k] = combinat.Binomial(n, k)
+		if k < len(v) {
+			out[k].Sub(out[k], v[k])
+		}
+	}
+	return out
+}
+
+// randBig returns a uniformly random integer with the given bit length
+// (exactly: the top bit is set), or zero for bits == 0.
+func randBig(rng *rand.Rand, bitlen int) *big.Int {
+	if bitlen <= 0 {
+		return new(big.Int)
+	}
+	out := new(big.Int).SetBit(new(big.Int), bitlen-1, 1)
+	for i := 0; i < bitlen-1; i++ {
+		if rng.Intn(2) == 1 {
+			out.SetBit(out, i, 1)
+		}
+	}
+	return out
+}
+
+// randVec draws a vector whose entries straddle the representation
+// thresholds: bit lengths cluster around 0, 64 and 128 so u64→u128→big
+// promotions happen constantly.
+func randVec(rng *rand.Rand, n int) []*big.Int {
+	out := make([]*big.Int, n)
+	for i := range out {
+		var bl int
+		switch rng.Intn(6) {
+		case 0:
+			bl = 0
+		case 1:
+			bl = rng.Intn(64)
+		case 2:
+			bl = 60 + rng.Intn(9) // straddles the u64 boundary
+		case 3:
+			bl = 64 + rng.Intn(60)
+		case 4:
+			bl = 124 + rng.Intn(9) // straddles the u128 boundary
+		default:
+			bl = 128 + rng.Intn(60)
+		}
+		out[i] = randBig(rng, bl)
+	}
+	return out
+}
+
+func eqBig(a, b []*big.Int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].Cmp(b[i]) != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func TestFromBigRoundTripAndMinimalRep(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 300; trial++ {
+		in := randVec(rng, 1+rng.Intn(12))
+		v := FromBig(in)
+		if !eqBig(v.Big(), in) {
+			t.Fatalf("round trip broke: %v vs %v", v.Big(), in)
+		}
+		// The stored representation must be minimal for the content.
+		maxBits := 0
+		for _, x := range in {
+			if bl := x.BitLen(); bl > maxBits {
+				maxBits = bl
+			}
+		}
+		want := RepU64
+		if maxBits > 128 {
+			want = RepBig
+		} else if maxBits > 64 {
+			want = RepU128
+		}
+		if v.Rep() != want {
+			t.Fatalf("rep %v for max bit length %d, want %v", v.Rep(), maxBits, want)
+		}
+	}
+}
+
+func TestConvolveDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 400; trial++ {
+		a := randVec(rng, 1+rng.Intn(10))
+		b := randVec(rng, 1+rng.Intn(10))
+		got := Convolve(FromBig(a), FromBig(b))
+		want := refConvolve(a, b)
+		if !eqBig(got.Big(), want) {
+			t.Fatalf("Convolve(%v, %v) = %v, want %v", a, b, got.Big(), want)
+		}
+	}
+}
+
+// TestConvolveThresholds pins the exact promotion boundaries: products and
+// sums landing one unit below, at, and above 2^64 and 2^128.
+func TestConvolveThresholds(t *testing.T) {
+	maxU64 := new(big.Int).SetUint64(^uint64(0))
+	one := big.NewInt(1)
+	cases := [][2][]*big.Int{
+		// (2^64-1)·1: stays u64.
+		{{maxU64}, {one}},
+		// (2^64-1)+1 via convolution of [1, max] and [1, 1] at index 1.
+		{{one, maxU64}, {one, one}},
+		// (2^64-1)^2: needs u128.
+		{{maxU64}, {maxU64}},
+		// (2^128-1)·(2^128-1): needs big.
+		{{new(big.Int).Lsh(one, 128)}, {new(big.Int).Lsh(one, 128)}},
+		// max u128 times 1: stays u128.
+		{{new(big.Int).Sub(new(big.Int).Lsh(one, 128), one)}, {one}},
+	}
+	for i, c := range cases {
+		got := Convolve(FromBig(c[0]), FromBig(c[1]))
+		want := refConvolve(c[0], c[1])
+		if !eqBig(got.Big(), want) {
+			t.Fatalf("case %d: %v, want %v", i, got.Big(), want)
+		}
+	}
+	// Accumulation overflow past 128 bits inside the u64 path: many
+	// maximal products summed at one index.
+	a := make([]*big.Int, 8)
+	b := make([]*big.Int, 8)
+	for i := range a {
+		a[i] = new(big.Int).Set(maxU64)
+		b[i] = new(big.Int).Set(maxU64)
+	}
+	got := Convolve(FromBig(a), FromBig(b))
+	if !eqBig(got.Big(), refConvolve(a, b)) {
+		t.Fatal("u64 accumulator overflow mishandled")
+	}
+}
+
+func TestDeconvolveDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 400; trial++ {
+		q := randVec(rng, 1+rng.Intn(8))
+		v := randVec(rng, 1+rng.Intn(8))
+		// v must not be identically zero.
+		nonzero := false
+		for _, x := range v {
+			if x.Sign() != 0 {
+				nonzero = true
+			}
+		}
+		if !nonzero {
+			v[rng.Intn(len(v))] = big.NewInt(1 + int64(rng.Intn(100)))
+		}
+		qv, vv := FromBig(q), FromBig(v)
+		p := Convolve(qv, vv)
+		got := Deconvolve(p, vv)
+		if !eqBig(got.Big(), q) {
+			t.Fatalf("Deconvolve(Convolve(q, v), v) != q:\nq=%v\nv=%v\ngot=%v", q, v, got.Big())
+		}
+		// Cross-check against the audited combinat implementation.
+		want := combinat.Deconvolve(p.Big(), v)
+		if !eqBig(got.Big(), want) {
+			t.Fatalf("kernel and combinat deconvolution disagree: %v vs %v", got.Big(), want)
+		}
+	}
+}
+
+func TestDeconvolveNonMultiplePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected a panic for a non-multiple")
+		}
+	}()
+	Deconvolve(FromUint64s([]uint64{1, 3, 1}), FromUint64s([]uint64{2, 1}))
+}
+
+func TestComplementDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 200; trial++ {
+		// n crosses both thresholds: C(n, n/2) needs u128 past n = 67 and
+		// big past n = 134.
+		n := 1 + rng.Intn(150)
+		v := make([]*big.Int, n+1)
+		for k := 0; k <= n; k++ {
+			// A valid subset count: uniform in [0, C(n,k)].
+			bound := combinat.Binomial(n, k)
+			v[k] = new(big.Int).Rand(rng, new(big.Int).Add(bound, big.NewInt(1)))
+		}
+		got := Complement(FromBig(v), n)
+		if !eqBig(got.Big(), refComplement(v, n)) {
+			t.Fatalf("n=%d: complement mismatch", n)
+		}
+		// ComplementTotal with a truncated vector.
+		cut := rng.Intn(n + 2)
+		got2 := ComplementTotal(FromBig(v[:cut]), n)
+		if !eqBig(got2.Big(), refComplement(v[:cut], n)) {
+			t.Fatalf("n=%d cut=%d: complement-total mismatch", n, cut)
+		}
+	}
+	// Empty vector: the complement of the zero polynomial is the full row.
+	n := 70
+	if !eqBig(ComplementTotal(Vec{}, n).Big(), refComplement(nil, n)) {
+		t.Fatal("complement-total of the empty vector is not the binomial row")
+	}
+}
+
+func TestComplementOverflowPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected a panic for a count above its binomial bound")
+		}
+	}()
+	Complement(FromUint64s([]uint64{2, 1}), 1) // 2 > C(1,0)
+}
+
+func TestWeightedDifferenceMatchesCombinat(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 200; trial++ {
+		m := 1 + rng.Intn(20)
+		with := randVec(rng, 1+rng.Intn(m+2))
+		without := randVec(rng, 1+rng.Intn(m+2))
+		got := WeightedDifference(FromBig(with), FromBig(without), m)
+		want := combinat.WeightedDifference(with, without, m)
+		if got.Cmp(want) != 0 {
+			t.Fatalf("m=%d: %s, want %s", m, got.RatString(), want.RatString())
+		}
+	}
+	if WeightedDifference(One(), One(), 0).Sign() != 0 {
+		t.Fatal("m=0 must yield 0")
+	}
+}
+
+func TestBinomialRowsAndShifted(t *testing.T) {
+	for _, n := range []int{0, 1, 5, 64, 65, 67, 68, 128, 129, 140} {
+		row := Binomial(n)
+		want := combinat.BinomialRow(n)
+		if !eqBig(row.Big(), want) {
+			t.Fatalf("Binomial(%d) mismatch", n)
+		}
+	}
+	// Representation boundaries: C(67, 33) is the largest central
+	// coefficient under 2^64; C(128, 64) still fits 128 bits.
+	if got := Binomial(67).Rep(); got != RepU64 {
+		t.Fatalf("Binomial(67) rep %v, want u64", got)
+	}
+	if got := Binomial(68).Rep(); got != RepU128 {
+		t.Fatalf("Binomial(68) rep %v, want u128", got)
+	}
+	if got := Binomial(128).Rep(); got != RepU128 {
+		t.Fatalf("Binomial(128) rep %v, want u128", got)
+	}
+	rng := rand.New(rand.NewSource(6))
+	for trial := 0; trial < 100; trial++ {
+		n := rng.Intn(140)
+		free := rng.Intn(n + 1)
+		shift := rng.Intn(n - free + 1)
+		got := ShiftedBinomial(free, shift, n)
+		x := new(big.Int)
+		for k := 0; k <= n; k++ {
+			want := combinat.Binomial(free, k-shift)
+			if got.AtInto(k, x).Cmp(want) != 0 {
+				t.Fatalf("ShiftedBinomial(%d, %d, %d)[%d] = %s, want %s", free, shift, n, k, x, want)
+			}
+		}
+	}
+}
+
+func TestSumEqualAndAccessors(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		in := randVec(rng, 1+rng.Intn(10))
+		v := FromBig(in)
+		want := new(big.Int)
+		for _, x := range in {
+			want.Add(want, x)
+		}
+		if v.Sum().Cmp(want) != 0 {
+			t.Fatalf("Sum %s, want %s", v.Sum(), want)
+		}
+		if !v.Equal(FromBig(in)) {
+			t.Fatal("Equal(self) is false")
+		}
+		if v.At(v.Len()).Sign() != 0 || v.At(-1).Sign() != 0 {
+			t.Fatal("out-of-range At must be 0")
+		}
+		if v.IsZero() != combinat.IsZeroVector(in) {
+			t.Fatal("IsZero disagrees with combinat")
+		}
+	}
+	if !(Vec{}).IsZero() || !(Vec{}).IsEmpty() || Zero(3).IsEmpty() {
+		t.Fatal("empty-vector semantics broken")
+	}
+}
+
+func TestU128Division(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	nb, db := new(big.Int), new(big.Int)
+	for trial := 0; trial < 2000; trial++ {
+		n := Uint128{Hi: rng.Uint64() >> uint(rng.Intn(64)), Lo: rng.Uint64()}
+		d := Uint128{Hi: rng.Uint64() >> uint(rng.Intn(70)), Lo: rng.Uint64()}
+		if d.isZero() {
+			continue
+		}
+		q, r := div128(n, d)
+		u128ToBig(n, nb)
+		u128ToBig(d, db)
+		wantQ, wantR := new(big.Int).QuoRem(nb, db, new(big.Int))
+		if u128ToBig(q, new(big.Int)).Cmp(wantQ) != 0 || u128ToBig(r, new(big.Int)).Cmp(wantR) != 0 {
+			t.Fatalf("div128(%v, %v): q=%v r=%v, want %s %s", n, d, q, r, wantQ, wantR)
+		}
+	}
+}
+
+// TestPromotionCounters pins that crossing a representation boundary is
+// recorded exactly once per promoting operation.
+func TestPromotionCounters(t *testing.T) {
+	before := Stats()
+	maxU64 := FromBig([]*big.Int{new(big.Int).SetUint64(^uint64(0))})
+	_ = Convolve(maxU64, maxU64) // u64 inputs, u128 result
+	mid := Stats()
+	if mid.PromotionsU128 != before.PromotionsU128+1 {
+		t.Fatalf("u128 promotions %d, want %d", mid.PromotionsU128, before.PromotionsU128+1)
+	}
+	big128 := FromBig([]*big.Int{new(big.Int).Lsh(big.NewInt(1), 127)})
+	_ = Convolve(big128, big128) // u128 inputs, big result
+	after := Stats()
+	if after.PromotionsBig != mid.PromotionsBig+1 {
+		t.Fatalf("big promotions %d, want %d", after.PromotionsBig, mid.PromotionsBig+1)
+	}
+	// A non-promoting op must not move the counters.
+	_ = Convolve(One(), One())
+	if s := Stats(); s != after {
+		t.Fatalf("identity convolution moved the counters: %+v vs %+v", s, after)
+	}
+}

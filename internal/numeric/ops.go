@@ -1,0 +1,531 @@
+package numeric
+
+import (
+	"math/big"
+	"math/bits"
+
+	"repro/internal/combinat"
+)
+
+// This file implements the kernel operations the DP engines convolve,
+// complement and divide count vectors with. Every operation:
+//
+//   - is exact by construction (fixed-width paths accumulate in wider
+//     carry-chained accumulators that cannot overflow, and the big path is
+//     the arbitrary-precision reference itself);
+//   - never mutates an input vector (vectors, including the shared cached
+//     binomial rows, are immutable values);
+//   - returns its result in the minimal representation, recording a
+//     promotion when that representation is wider than both inputs'.
+
+// Convolve returns c[k] = Σ_j a[j]·b[k-j]. If a counts j-subsets of a
+// ground set A with some property and b counts j-subsets of a disjoint
+// ground set B, the result counts k-subsets of A ∪ B whose A-part and
+// B-part both have the property. An empty operand yields the empty Vec.
+func Convolve(a, b Vec) Vec {
+	if a.IsEmpty() || b.IsEmpty() {
+		return Vec{}
+	}
+	// Identity shortcuts: convolving with [1] is the other operand. The
+	// result aliases it, which immutability makes safe.
+	if a.isOne() {
+		return b
+	}
+	if b.isOne() {
+		return a
+	}
+	in := maxRep(a.rep, b.rep)
+	switch in {
+	case RepU64:
+		return convolveU64(a.u, b.u)
+	case RepU128:
+		return convolveU128(a.asU128(), b.asU128())
+	default:
+		return convolveBig(a.asBig(), b.asBig())
+	}
+}
+
+// ConvolveAll folds Convolve over a list of vectors. An empty list yields
+// the identity vector [1]; a singleton list yields its (shared) element.
+func ConvolveAll(vs []Vec) Vec {
+	if len(vs) == 0 {
+		return One()
+	}
+	acc := vs[0]
+	for _, v := range vs[1:] {
+		acc = Convolve(acc, v)
+	}
+	return acc
+}
+
+// acc192 is a 192-bit accumulator: wide enough for any sum of fewer than
+// 2^64 products of word-sized coefficients.
+type acc192 struct {
+	w0, w1, w2 uint64
+}
+
+// convolveU64 first attempts the common case — the result also fits
+// machine words — in a single pass with one output allocation and
+// per-step overflow checks; any overflow restarts on the wide
+// accumulator path (rare: it happens once per promotion, and promoted
+// vectors never come back through this path).
+func convolveU64(a, b []uint64) Vec {
+	out := make([]uint64, len(a)+len(b)-1)
+	for i, ai := range a {
+		if ai == 0 {
+			continue
+		}
+		for j, bj := range b {
+			if bj == 0 {
+				continue
+			}
+			hi, lo := bits.Mul64(ai, bj)
+			if hi != 0 {
+				return convolveU64Wide(a, b)
+			}
+			s, c := bits.Add64(out[i+j], lo, 0)
+			if c != 0 {
+				return convolveU64Wide(a, b)
+			}
+			out[i+j] = s
+		}
+	}
+	return Vec{rep: RepU64, u: out}
+}
+
+func convolveU64Wide(a, b []uint64) Vec {
+	acc := make([]acc192, len(a)+len(b)-1)
+	for i, ai := range a {
+		if ai == 0 {
+			continue
+		}
+		for j, bj := range b {
+			if bj == 0 {
+				continue
+			}
+			hi, lo := bits.Mul64(ai, bj)
+			p := &acc[i+j]
+			var c uint64
+			p.w0, c = bits.Add64(p.w0, lo, 0)
+			p.w1, c = bits.Add64(p.w1, hi, c)
+			p.w2 += c
+		}
+	}
+	out := RepU64
+	for i := range acc {
+		if acc[i].w2 != 0 {
+			out = RepBig
+			break
+		}
+		if acc[i].w1 != 0 {
+			out = RepU128
+		}
+	}
+	switch out {
+	case RepU64:
+		u := make([]uint64, len(acc))
+		for i := range acc {
+			u[i] = acc[i].w0
+		}
+		return Vec{rep: RepU64, u: u}
+	case RepU128:
+		notePromotion(RepU128, RepU64)
+		w := make([]Uint128, len(acc))
+		for i := range acc {
+			w[i] = Uint128{Hi: acc[i].w1, Lo: acc[i].w0}
+		}
+		return Vec{rep: RepU128, w: w}
+	default:
+		notePromotion(RepBig, RepU64)
+		b := make([]*big.Int, len(acc))
+		for i := range acc {
+			b[i] = wordsToBig([]uint64{acc[i].w0, acc[i].w1, acc[i].w2}, new(big.Int))
+		}
+		return Vec{rep: RepBig, b: b}
+	}
+}
+
+// acc320 is a 320-bit accumulator: wide enough for any sum of fewer than
+// 2^64 products of 128-bit coefficients.
+type acc320 struct {
+	w [5]uint64
+}
+
+func convolveU128(a, b []Uint128) Vec {
+	acc := make([]acc320, len(a)+len(b)-1)
+	for i := range a {
+		ai := a[i]
+		if ai.isZero() {
+			continue
+		}
+		for j := range b {
+			bj := b[j]
+			if bj.isZero() {
+				continue
+			}
+			p := mul128(ai, bj)
+			t := &acc[i+j]
+			var c uint64
+			t.w[0], c = bits.Add64(t.w[0], p[0], 0)
+			t.w[1], c = bits.Add64(t.w[1], p[1], c)
+			t.w[2], c = bits.Add64(t.w[2], p[2], c)
+			t.w[3], c = bits.Add64(t.w[3], p[3], c)
+			t.w[4] += c
+		}
+	}
+	return vecFromAcc320(acc, RepU128)
+}
+
+// vecFromAcc320 picks the minimal representation for a 320-bit
+// accumulator array, noting a promotion past the input representation.
+func vecFromAcc320(acc []acc320, in Rep) Vec {
+	out := RepU64
+	for i := range acc {
+		if acc[i].w[2] != 0 || acc[i].w[3] != 0 || acc[i].w[4] != 0 {
+			out = RepBig
+			break
+		}
+		if acc[i].w[1] != 0 {
+			out = RepU128
+		}
+	}
+	notePromotion(out, in)
+	switch out {
+	case RepU64:
+		u := make([]uint64, len(acc))
+		for i := range acc {
+			u[i] = acc[i].w[0]
+		}
+		return Vec{rep: RepU64, u: u}
+	case RepU128:
+		w := make([]Uint128, len(acc))
+		for i := range acc {
+			w[i] = Uint128{Hi: acc[i].w[1], Lo: acc[i].w[0]}
+		}
+		return Vec{rep: RepU128, w: w}
+	default:
+		b := make([]*big.Int, len(acc))
+		for i := range acc {
+			b[i] = wordsToBig(acc[i].w[:], new(big.Int))
+		}
+		return Vec{rep: RepBig, b: b}
+	}
+}
+
+func convolveBig(a, b []*big.Int) Vec {
+	backing := make([]big.Int, len(a)+len(b)-1)
+	out := make([]*big.Int, len(backing))
+	for i := range out {
+		out[i] = &backing[i]
+	}
+	tmp := new(big.Int)
+	for i, ai := range a {
+		if ai.Sign() == 0 {
+			continue
+		}
+		for j, bj := range b {
+			if bj.Sign() == 0 {
+				continue
+			}
+			tmp.Mul(ai, bj)
+			out[i+j].Add(out[i+j], tmp)
+		}
+	}
+	return fromBigMin(out, RepBig)
+}
+
+// fromBigMin wraps a freshly computed (never aliased) []*big.Int in its
+// minimal representation, noting a promotion past the input rep.
+func fromBigMin(v []*big.Int, in Rep) Vec {
+	rep := RepU64
+	for _, x := range v {
+		switch bl := x.BitLen(); {
+		case bl > 128:
+			rep = RepBig
+		case bl > 64 && rep == RepU64:
+			rep = RepU128
+		}
+		if rep == RepBig {
+			break
+		}
+	}
+	notePromotion(rep, in)
+	switch rep {
+	case RepU64:
+		u := make([]uint64, len(v))
+		for i, x := range v {
+			u[i] = x.Uint64()
+		}
+		return Vec{rep: RepU64, u: u}
+	case RepU128:
+		w := make([]Uint128, len(v))
+		for i, x := range v {
+			w[i] = bigToU128(x)
+		}
+		return Vec{rep: RepU128, w: w}
+	default:
+		return Vec{rep: RepBig, b: v}
+	}
+}
+
+// Complement returns [C(n,k) − v[k]] for k = 0..n: if v counts the
+// k-subsets of an n-element set with some property, the result counts
+// those without it. It panics if v.Len() != n+1 or an entry exceeds its
+// binomial bound.
+func Complement(v Vec, n int) Vec {
+	if v.Len() != n+1 {
+		panic("numeric: complement vector length mismatch")
+	}
+	return complementRow(v, n)
+}
+
+// ComplementTotal is Complement for a v that may be shorter than n+1 (or
+// empty): missing entries are zero, so out[k] = C(n,k) for k ≥ v.Len().
+// It is the "total minus violating" step of the bucket recursion, where
+// the violating-count product may be the zero polynomial.
+func ComplementTotal(v Vec, n int) Vec {
+	return complementRow(v, n)
+}
+
+func complementRow(v Vec, n int) Vec {
+	row := Binomial(n)
+	in := maxRep(row.rep, v.rep)
+	switch in {
+	case RepU64:
+		u := make([]uint64, n+1)
+		for k := 0; k <= n; k++ {
+			var x uint64
+			if k < len(v.u) {
+				x = v.u[k]
+			}
+			if x > row.u[k] {
+				panic("numeric: subset count exceeds binomial bound")
+			}
+			u[k] = row.u[k] - x
+		}
+		return Vec{rep: RepU64, u: u}
+	case RepU128:
+		rw := row.asU128()
+		var vw []Uint128
+		if !v.IsEmpty() {
+			vw = v.asU128()
+		}
+		w := make([]Uint128, n+1)
+		demote := true
+		for k := 0; k <= n; k++ {
+			var x Uint128
+			if k < len(vw) {
+				x = vw[k]
+			}
+			d, borrow := sub128(rw[k], x)
+			if borrow != 0 {
+				panic("numeric: subset count exceeds binomial bound")
+			}
+			w[k] = d
+			if d.Hi != 0 {
+				demote = false
+			}
+		}
+		if demote {
+			u := make([]uint64, n+1)
+			for k := range w {
+				u[k] = w[k].Lo
+			}
+			return Vec{rep: RepU64, u: u}
+		}
+		return Vec{rep: RepU128, w: w}
+	default:
+		rb := row.asBig()
+		backing := make([]big.Int, n+1)
+		out := make([]*big.Int, n+1)
+		x := new(big.Int)
+		for k := 0; k <= n; k++ {
+			out[k] = backing[k].Sub(rb[k], v.AtInto(k, x))
+			if out[k].Sign() < 0 {
+				panic("numeric: subset count exceeds binomial bound")
+			}
+		}
+		return fromBigMin(out, in)
+	}
+}
+
+// Deconvolve is the exact inverse of Convolve in its first argument:
+// given p = Convolve(q, v) for some count vector q and a not-identically-
+// zero v, it recovers q by synthetic division anchored at v's lowest
+// non-zero coefficient, in O(p.Len()·v.Len()) words. The division must be
+// exact (p really has v as a convolution factor); a non-exact input
+// panics, since it can only arise from an internal invariant violation,
+// never from user data. The quotient's entries are bounded by p's (each
+// q[k]·v[anchor] is one term of a p entry), so the computation never
+// leaves p's representation.
+func Deconvolve(p, v Vec) Vec {
+	switch maxRep(p.rep, v.rep) {
+	case RepU64:
+		return deconvolveU64(p.u, v.u)
+	case RepU128:
+		return deconvolveU128(p.asU128(), v.asU128())
+	default:
+		return deconvolveBig(p.asBig(), v.asBig())
+	}
+}
+
+func deconvolveU64(p, v []uint64) Vec {
+	lead := -1
+	for i, x := range v {
+		if x != 0 {
+			lead = i
+			break
+		}
+	}
+	if lead < 0 {
+		panic("numeric: Deconvolve by the zero vector")
+	}
+	n := len(p) - len(v) + 1
+	if n < 1 {
+		panic("numeric: Deconvolve length mismatch")
+	}
+	d := v[lead]
+	out := make([]uint64, n)
+	for k := 0; k < n; k++ {
+		// p[lead+k] = Σ_j out[j]·v[lead+k-j]; solve for out[k]. Every
+		// partial remainder is a tail of that non-negative sum, so the
+		// subtraction chain can never underflow on exact input.
+		acc := p[lead+k]
+		lo := 0
+		if k+lead >= len(v) {
+			lo = k + lead - len(v) + 1
+		}
+		for j := lo; j < k; j++ {
+			hi, t := bits.Mul64(out[j], v[lead+k-j])
+			if hi != 0 || t > acc {
+				panic("numeric: Deconvolve of a non-multiple")
+			}
+			acc -= t
+		}
+		if acc%d != 0 {
+			panic("numeric: Deconvolve of a non-multiple")
+		}
+		out[k] = acc / d
+	}
+	return Vec{rep: RepU64, u: out}
+}
+
+func deconvolveU128(p, v []Uint128) Vec {
+	lead := -1
+	for i := range v {
+		if !v[i].isZero() {
+			lead = i
+			break
+		}
+	}
+	if lead < 0 {
+		panic("numeric: Deconvolve by the zero vector")
+	}
+	n := len(p) - len(v) + 1
+	if n < 1 {
+		panic("numeric: Deconvolve length mismatch")
+	}
+	d := v[lead]
+	out := make([]Uint128, n)
+	demote := true
+	for k := 0; k < n; k++ {
+		acc := p[lead+k]
+		lo := 0
+		if k+lead >= len(v) {
+			lo = k + lead - len(v) + 1
+		}
+		for j := lo; j < k; j++ {
+			t := mul128(out[j], v[lead+k-j])
+			if t[2] != 0 || t[3] != 0 {
+				panic("numeric: Deconvolve of a non-multiple")
+			}
+			next, borrow := sub128(acc, Uint128{Hi: t[1], Lo: t[0]})
+			if borrow != 0 {
+				panic("numeric: Deconvolve of a non-multiple")
+			}
+			acc = next
+		}
+		q, r := div128(acc, d)
+		if !r.isZero() {
+			panic("numeric: Deconvolve of a non-multiple")
+		}
+		out[k] = q
+		if q.Hi != 0 {
+			demote = false
+		}
+	}
+	if demote {
+		u := make([]uint64, n)
+		for i := range out {
+			u[i] = out[i].Lo
+		}
+		return Vec{rep: RepU64, u: u}
+	}
+	return Vec{rep: RepU128, w: out}
+}
+
+func deconvolveBig(p, v []*big.Int) Vec {
+	lead := -1
+	for i, x := range v {
+		if x.Sign() != 0 {
+			lead = i
+			break
+		}
+	}
+	if lead < 0 {
+		panic("numeric: Deconvolve by the zero vector")
+	}
+	n := len(p) - len(v) + 1
+	if n < 1 {
+		panic("numeric: Deconvolve length mismatch")
+	}
+	backing := make([]big.Int, n)
+	out := make([]*big.Int, n)
+	tmp := new(big.Int)
+	rem := new(big.Int)
+	for k := 0; k < n; k++ {
+		acc := backing[k].Set(p[lead+k])
+		lo := 0
+		if k+lead >= len(v) {
+			lo = k + lead - len(v) + 1
+		}
+		for j := lo; j < k; j++ {
+			acc.Sub(acc, tmp.Mul(out[j], v[lead+k-j]))
+		}
+		out[k], rem = acc.QuoRem(acc, v[lead], rem)
+		if rem.Sign() != 0 {
+			panic("numeric: Deconvolve of a non-multiple")
+		}
+	}
+	return fromBigMin(out, RepBig)
+}
+
+// WeightedDifference returns Σ_k ShapleyWeight(k, m)·(with[k] −
+// without[k]): the Shapley value reconstruction from |Sat| count vectors.
+// This is the one place exact rationals enter — an O(m) epilogue after all
+// counting ran on the kernel representations. All m weights share the
+// denominator m!, so the sum is accumulated as the integer numerator
+// Σ_k (with[k]−without[k])·k!·(m−1−k)! and normalized by a single GCD at
+// the end — identical to the term-by-term big.Rat sum (rationals have a
+// canonical form), but without m intermediate GCD normalizations over
+// factorial-sized operands, which dominated whole-batch profiles.
+func WeightedDifference(with, without Vec, m int) *big.Rat {
+	if m == 0 {
+		return new(big.Rat)
+	}
+	fact := combinat.FactorialRow(m) // shared, read-only
+	num := new(big.Int)
+	w, wo := new(big.Int), new(big.Int)
+	diff := new(big.Int)
+	term := new(big.Int)
+	for k := 0; k < m; k++ {
+		diff.Sub(with.AtInto(k, w), without.AtInto(k, wo))
+		if diff.Sign() == 0 {
+			continue
+		}
+		term.Mul(diff, fact[k])
+		term.Mul(term, fact[m-1-k])
+		num.Add(num, term)
+	}
+	return new(big.Rat).SetFrac(num, fact[m])
+}

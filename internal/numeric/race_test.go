@@ -1,0 +1,56 @@
+package numeric
+
+import (
+	"math/big"
+	"sync"
+	"testing"
+
+	"repro/internal/combinat"
+)
+
+// TestSharedRowsConcurrentUse is the race gate for the kernel's sharing
+// contract: cached binomial rows (and vectors derived from them) are
+// handed to every plan in the process, so concurrent convolutions,
+// complements and divisions over the same rows must never write through
+// them. Run under -race (CI does) this fails on any mutation; the value
+// checks additionally catch torn reuse on non-race runs.
+func TestSharedRowsConcurrentUse(t *testing.T) {
+	ns := []int{8, 64, 67, 68, 90, 128, 140}
+	// Snapshot expected row contents before spawning workers.
+	want := make(map[int][]*big.Int, len(ns))
+	for _, n := range ns {
+		want[n] = combinat.BinomialRow(n)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for iter := 0; iter < 40; iter++ {
+				n := ns[(w+iter)%len(ns)]
+				row := Binomial(n)
+				// Ops that read the shared row from every code path.
+				half := ComplementTotal(Vec{}, n) // materializes the row
+				if !half.Equal(row) {
+					t.Errorf("complement of zero is not the row for n=%d", n)
+					return
+				}
+				prod := Convolve(row, row)
+				back := Deconvolve(prod, row)
+				if !back.Equal(row) {
+					t.Errorf("deconvolve did not invert over the shared row, n=%d", n)
+					return
+				}
+				_ = ShiftedBinomial(n/2, n/4, n)
+				_ = WeightedDifference(row, half, n+1)
+			}
+		}(w)
+	}
+	wg.Wait()
+	// The shared rows must be bit-identical to the pre-spawn snapshot.
+	for _, n := range ns {
+		if !eqBig(Binomial(n).Big(), want[n]) {
+			t.Fatalf("shared binomial row %d was mutated", n)
+		}
+	}
+}

@@ -1,0 +1,47 @@
+package numeric
+
+import "sync/atomic"
+
+// Promotion counters: one event per kernel operation whose exact result
+// needed a wider representation than every input had. A steady stream of
+// promotions to big on a workload that should fit 128 bits is the
+// regression signal the serving layer's /metrics and -explain surface.
+var (
+	promotionsU128 atomic.Uint64
+	promotionsBig  atomic.Uint64
+)
+
+// notePromotion records that an operation over `in`-representation inputs
+// produced an `out`-representation result.
+func notePromotion(out, in Rep) {
+	if out <= in {
+		return
+	}
+	switch out {
+	case RepU128:
+		promotionsU128.Add(1)
+	case RepBig:
+		promotionsBig.Add(1)
+	}
+}
+
+// KernelStats is a snapshot of the kernel's process-wide promotion
+// counters.
+type KernelStats struct {
+	// PromotionsU128 counts operations whose result left the single-word
+	// path and needed 128-bit coefficients.
+	PromotionsU128 uint64
+	// PromotionsBig counts operations whose result left the fixed-width
+	// paths entirely and fell back to arbitrary precision.
+	PromotionsBig uint64
+}
+
+// Stats returns the current promotion counters. They are cumulative for
+// the process (the kernel is shared by all plans and engines), monotone,
+// and safe to read concurrently.
+func Stats() KernelStats {
+	return KernelStats{
+		PromotionsU128: promotionsU128.Load(),
+		PromotionsBig:  promotionsBig.Load(),
+	}
+}

@@ -1,0 +1,138 @@
+package numeric
+
+import (
+	"math/big"
+	"math/bits"
+)
+
+// Uint128 is an unsigned 128-bit integer in (hi, lo) word form. It is the
+// coefficient type of the RepU128 representation: wide enough for every
+// subset count over up to 128 endogenous facts (C(n, k) ≤ 2^n).
+type Uint128 struct {
+	Hi, Lo uint64
+}
+
+// isZero reports whether x == 0.
+func (x Uint128) isZero() bool { return x.Hi == 0 && x.Lo == 0 }
+
+// cmp128 returns -1, 0 or 1 as a < b, a == b or a > b.
+func cmp128(a, b Uint128) int {
+	switch {
+	case a.Hi < b.Hi:
+		return -1
+	case a.Hi > b.Hi:
+		return 1
+	case a.Lo < b.Lo:
+		return -1
+	case a.Lo > b.Lo:
+		return 1
+	}
+	return 0
+}
+
+// sub128 returns a - b and the borrow out (1 when b > a).
+func sub128(a, b Uint128) (Uint128, uint64) {
+	lo, borrow := bits.Sub64(a.Lo, b.Lo, 0)
+	hi, borrow := bits.Sub64(a.Hi, b.Hi, borrow)
+	return Uint128{Hi: hi, Lo: lo}, borrow
+}
+
+// mul128 returns the full 256-bit product of a and b as four little-endian
+// words, built from math/bits.Mul64 carry chains.
+func mul128(a, b Uint128) (p [4]uint64) {
+	hi, lo := bits.Mul64(a.Lo, b.Lo)
+	p[0] = lo
+	p[1] = hi
+
+	hi, lo = bits.Mul64(a.Lo, b.Hi)
+	var c uint64
+	p[1], c = bits.Add64(p[1], lo, 0)
+	p[2], c = bits.Add64(p[2], hi, c)
+	p[3] += c
+
+	hi, lo = bits.Mul64(a.Hi, b.Lo)
+	p[1], c = bits.Add64(p[1], lo, 0)
+	p[2], c = bits.Add64(p[2], hi, c)
+	p[3] += c
+
+	hi, lo = bits.Mul64(a.Hi, b.Hi)
+	p[2], c = bits.Add64(p[2], lo, 0)
+	p[3] = p[3] + hi + c
+	return p
+}
+
+// div128 returns the quotient and remainder of n / d. It panics on d == 0.
+func div128(n, d Uint128) (q, r Uint128) {
+	if d.isZero() {
+		panic("numeric: division by zero")
+	}
+	if d.Hi == 0 {
+		// Two-word by one-word division via bits.Div64.
+		qHi := n.Hi / d.Lo
+		rem := n.Hi % d.Lo
+		qLo, rLo := bits.Div64(rem, n.Lo, d.Lo)
+		return Uint128{Hi: qHi, Lo: qLo}, Uint128{Lo: rLo}
+	}
+	// d ≥ 2^64, so the quotient fits one word; plain binary long division
+	// over the 128 bits of n. This path is rare (it needs a convolution
+	// factor whose anchor coefficient exceeds 64 bits), so simplicity wins
+	// over a normalized two-word algorithm.
+	r = Uint128{}
+	for i := 127; i >= 0; i-- {
+		r.Hi = r.Hi<<1 | r.Lo>>63
+		r.Lo <<= 1
+		if i >= 64 {
+			r.Lo |= n.Hi >> uint(i-64) & 1
+		} else {
+			r.Lo |= n.Lo >> uint(i) & 1
+		}
+		if cmp128(r, d) >= 0 {
+			r, _ = sub128(r, d)
+			if i >= 64 {
+				q.Hi |= 1 << uint(i-64)
+			} else {
+				q.Lo |= 1 << uint(i)
+			}
+		}
+	}
+	return q, r
+}
+
+// u128ToBig sets out to the value of x and returns it.
+func u128ToBig(x Uint128, out *big.Int) *big.Int {
+	if x.Hi == 0 {
+		return out.SetUint64(x.Lo)
+	}
+	out.SetUint64(x.Hi)
+	out.Lsh(out, 64)
+	var lo big.Int
+	return out.Or(out, lo.SetUint64(x.Lo))
+}
+
+// bigToU128 converts a big.Int known to fit 128 bits. Word-size agnostic:
+// it walks x's words, which never straddle the 64-bit boundary on either
+// 32- or 64-bit platforms.
+func bigToU128(x *big.Int) Uint128 {
+	var r Uint128
+	for i, w := range x.Bits() {
+		v := uint64(w)
+		s := uint(i) * uint(bits.UintSize)
+		if s < 64 {
+			r.Lo |= v << s
+		} else {
+			r.Hi |= v << (s - 64)
+		}
+	}
+	return r
+}
+
+// wordsToBig sets out to the value of the little-endian word slice ws.
+func wordsToBig(ws []uint64, out *big.Int) *big.Int {
+	out.SetUint64(0)
+	var t big.Int
+	for i := len(ws) - 1; i >= 0; i-- {
+		out.Lsh(out, 64)
+		out.Or(out, t.SetUint64(ws[i]))
+	}
+	return out
+}

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/numeric"
 )
 
 // metrics holds the server's counters. Everything is monotonically
@@ -111,14 +112,31 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "shapleyd_tree_memo_misses_total %d\n", s.met.treeMemoMisses.Load())
 
 	nodes := 0
+	var reps struct{ u64, u128, big int }
 	for _, key := range s.plans.Keys() {
 		if cp, ok := s.plans.Peek(key); ok {
-			nodes += cp.plan.MemoEntries()
+			ts := cp.plan.TreeStats()
+			nodes += ts.MemoEntries
+			reps.u64 += ts.U64Nodes
+			reps.u128 += ts.U128Nodes
+			reps.big += ts.BigNodes
 		}
 	}
 	fmt.Fprintln(w, "# HELP shapleyd_tree_memo_nodes Live DP-tree memo entries summed over cached plans (nodes shared between seeded plans count once per plan).")
 	fmt.Fprintln(w, "# TYPE shapleyd_tree_memo_nodes gauge")
 	fmt.Fprintf(w, "shapleyd_tree_memo_nodes %d\n", nodes)
+
+	fmt.Fprintln(w, "# HELP shapleyd_tree_nodes_by_rep DP-tree nodes of cached plans by numeric-kernel representation of their output vector. Drift from u64 toward big means workloads are outgrowing the fixed-width fast paths.")
+	fmt.Fprintln(w, "# TYPE shapleyd_tree_nodes_by_rep gauge")
+	fmt.Fprintf(w, "shapleyd_tree_nodes_by_rep{rep=\"u64\"} %d\n", reps.u64)
+	fmt.Fprintf(w, "shapleyd_tree_nodes_by_rep{rep=\"u128\"} %d\n", reps.u128)
+	fmt.Fprintf(w, "shapleyd_tree_nodes_by_rep{rep=\"big\"} %d\n", reps.big)
+
+	ks := numeric.Stats()
+	fmt.Fprintln(w, "# HELP shapleyd_numeric_promotions_total Numeric-kernel operations whose exact result needed a wider representation than every input (process-wide).")
+	fmt.Fprintln(w, "# TYPE shapleyd_numeric_promotions_total counter")
+	fmt.Fprintf(w, "shapleyd_numeric_promotions_total{to=\"u128\"} %d\n", ks.PromotionsU128)
+	fmt.Fprintf(w, "shapleyd_numeric_promotions_total{to=\"big\"} %d\n", ks.PromotionsBig)
 
 	fmt.Fprintln(w, "# HELP shapleyd_values_computed_total Shapley values computed and returned.")
 	fmt.Fprintln(w, "# TYPE shapleyd_values_computed_total counter")

@@ -388,6 +388,9 @@ func TestServerHealthzAndMetrics(t *testing.T) {
 		"shapleyd_databases_registered 1",
 		"shapleyd_values_computed_total 16",
 		`shapleyd_requests_total{route="POST /v1/databases/{id}/shapley",status="200"} 2`,
+		`shapleyd_tree_nodes_by_rep{rep="u64"}`,
+		`shapleyd_numeric_promotions_total{to="u128"}`,
+		`shapleyd_numeric_promotions_total{to="big"}`,
 	} {
 		if !strings.Contains(body, want) {
 			t.Fatalf("metrics missing %q:\n%s", want, body)
