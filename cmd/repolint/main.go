@@ -1,0 +1,261 @@
+// Command repolint runs the repo-specific static-analysis suite
+// (internal/analysis) that mechanically enforces the reproduction's
+// kernel, DP-tree and concurrency invariants. See docs/analysis.md for
+// the catalogue.
+//
+// Standalone (the CI lint job runs exactly this):
+//
+//	go run ./cmd/repolint ./...
+//	go run ./cmd/repolint -only numericpurity,ctxflow ./internal/core/...
+//
+// As a vet tool (unitchecker protocol: cmd/go hands each package a
+// .cfg file and export data for its dependencies):
+//
+//	go build -o /tmp/repolint ./cmd/repolint
+//	go vet -vettool=/tmp/repolint ./...
+//
+// Exit status is 2 when any diagnostic is reported, 1 on operational
+// errors, 0 on a clean tree.
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	versionFlag := flag.String("V", "", "print version (go vet handshake: -V=full)")
+	flagsFlag := flag.Bool("flags", false, "print the tool's flag definitions as JSON (go vet handshake)")
+	only := flag.String("only", "", "comma-separated analyzer names to run (default: all)")
+	list := flag.Bool("list", false, "list analyzers and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: repolint [-only names] packages...\n       go vet -vettool=$(which repolint) ./...\n\nAnalyzers:\n")
+		for _, a := range analysis.All() {
+			fmt.Fprintf(os.Stderr, "  %-16s %s\n", a.Name, a.Doc)
+		}
+	}
+	flag.Parse()
+
+	if *versionFlag != "" {
+		// cmd/go's vettool handshake: print a stable identity line; the
+		// content only needs to change when the tool's behavior does, so
+		// hash the executable.
+		name := filepath.Base(os.Args[0])
+		self, err := os.Executable()
+		sum := []byte("unknown")
+		if err == nil {
+			if data, err := os.ReadFile(self); err == nil {
+				h := sha256.Sum256(data)
+				sum = h[:8]
+			}
+		}
+		fmt.Printf("%s version devel buildID=%x\n", name, sum)
+		return 0
+	}
+	if *flagsFlag {
+		// cmd/go asks which per-analyzer flags the tool exposes so it can
+		// pass them through; repolint exposes none on the vet path.
+		fmt.Println("[]")
+		return 0
+	}
+	if *list {
+		for _, a := range analysis.All() {
+			fmt.Printf("%s: %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+
+	analyzers := analysis.All()
+	if *only != "" {
+		analyzers = nil
+		for _, name := range strings.Split(*only, ",") {
+			a := analysis.ByName(strings.TrimSpace(name))
+			if a == nil {
+				fmt.Fprintf(os.Stderr, "repolint: unknown analyzer %q\n", name)
+				return 1
+			}
+			analyzers = append(analyzers, a)
+		}
+	}
+
+	args := flag.Args()
+	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		return runVetUnit(analyzers, args[0])
+	}
+	if len(args) == 0 {
+		args = []string{"./..."}
+	}
+
+	pkgs, err := analysis.Load(".", args...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "repolint:", err)
+		return 1
+	}
+	diags, err := analysis.Run(analyzers, pkgs)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "repolint:", err)
+		return 1
+	}
+	for _, d := range diags {
+		fmt.Fprintln(os.Stderr, d)
+	}
+	if len(diags) > 0 {
+		return 2
+	}
+	return 0
+}
+
+// vetConfig is the subset of cmd/go's vet config file the unit mode
+// needs (the same wire format x/tools' unitchecker consumes).
+type vetConfig struct {
+	ID                        string
+	Dir                       string
+	ImportPath                string
+	GoFiles                   []string
+	NonGoFiles                []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// runVetUnit analyzes one package under the go vet unitchecker protocol:
+// sources are parsed from the cfg's file list and dependencies are
+// imported from the export data cmd/go already built.
+func runVetUnit(analyzers []*analysis.Analyzer, cfgPath string) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "repolint:", err)
+		return 1
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "repolint: parsing %s: %v\n", cfgPath, err)
+		return 1
+	}
+	if cfg.VetxOnly {
+		// cmd/go only wants this package's facts (it is a dependency of
+		// the packages under vet, not itself under vet); repolint's
+		// analyzers exchange no facts, so there is nothing to compute.
+		return writeVetx(cfg.VetxOutput)
+	}
+	if isTestVariant(cfg.ImportPath, cfg.GoFiles) {
+		// Test-augmented packages ("p [p.test]", "p_test [p.test]", the
+		// generated test main) include _test.go files, which the suite
+		// deliberately exempts: the invariants bind production code, and
+		// tests legitimately mint contexts and do reference arithmetic.
+		// This matches the standalone driver, which loads GoFiles only.
+		return writeVetx(cfg.VetxOutput)
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return writeVetx(cfg.VetxOutput)
+			}
+			fmt.Fprintln(os.Stderr, "repolint:", err)
+			return 1
+		}
+		files = append(files, f)
+	}
+
+	lookup := func(path string) (io.ReadCloser, error) {
+		if canonical, ok := cfg.ImportMap[path]; ok {
+			path = canonical
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	conf := types.Config{Importer: importer.ForCompiler(fset, "gc", lookup)}
+	tpkg, err := conf.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return writeVetx(cfg.VetxOutput)
+		}
+		fmt.Fprintln(os.Stderr, "repolint:", err)
+		return 1
+	}
+
+	pkg := &analysis.Package{
+		Path: cfg.ImportPath, Dir: cfg.Dir, Fset: fset,
+		Files: files, Types: tpkg, Info: info, Target: true,
+	}
+	diags, err := analysis.Run(analyzers, []*analysis.Package{pkg})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "repolint:", err)
+		return 1
+	}
+	if rc := writeVetx(cfg.VetxOutput); rc != 0 {
+		return rc
+	}
+	for _, d := range diags {
+		fmt.Fprintln(os.Stderr, d)
+	}
+	if len(diags) > 0 {
+		return 2
+	}
+	return 0
+}
+
+// isTestVariant recognizes the units cmd/go builds for tests: the
+// test-augmented package, the external _test package and the generated
+// test main. The file list is the reliable signal — a unit carrying any
+// _test.go (or the generated _testmain.go) is a test build.
+func isTestVariant(path string, goFiles []string) bool {
+	if strings.Contains(path, " [") || strings.HasSuffix(path, ".test") ||
+		strings.HasSuffix(path, "_test") {
+		return true
+	}
+	for _, f := range goFiles {
+		if strings.HasSuffix(f, "_test.go") || strings.HasSuffix(f, "_testmain.go") {
+			return true
+		}
+	}
+	return false
+}
+
+// writeVetx emits the (empty) facts file the go command expects every
+// vet tool to produce; repolint's analyzers exchange no facts.
+func writeVetx(path string) int {
+	if path == "" {
+		return 0
+	}
+	if err := os.WriteFile(path, []byte{}, 0o666); err != nil {
+		fmt.Fprintln(os.Stderr, "repolint:", err)
+		return 1
+	}
+	return 0
+}

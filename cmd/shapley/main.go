@@ -22,6 +22,7 @@ import (
 	"math/rand"
 	"os"
 	"os/signal"
+	"sort"
 	"strings"
 	"syscall"
 
@@ -260,12 +261,14 @@ func run(ctx context.Context, w io.Writer, o runOptions) error {
 	return fmt.Errorf("unknown mode %q", o.mode)
 }
 
-// exoList flattens the -exo set for the engine option.
+// exoList flattens the -exo set for the engine option, sorted so the
+// engine sees the declarations in a stable order.
 func exoList(exo map[string]bool) []string {
 	out := make([]string, 0, len(exo))
 	for r := range exo {
 		out = append(out, r)
 	}
+	sort.Strings(out)
 	return out
 }
 

@@ -34,9 +34,9 @@
 //     fresh preparation and roughly an order of magnitude cheaper for
 //     single-fact deltas; see docs/api.md for the migration table from
 //     the deprecated PreparedBatch surface,
-//   - a batched UCQ engine (Solver.ShapleyAllUCQ) and a parallel
-//     brute-force oracle (BruteForceShapleyAllWorkers) that splits the
-//     2^m subset scan by mask range across workers,
+//   - a batched UCQ engine (Solver.ShapleyAllUCQ) and a parallel,
+//     context-cancellable brute-force oracle (BruteForceShapleyAllWorkers)
+//     that splits the 2^m subset scan by mask range across workers,
 //   - a serving layer (internal/server + cmd/shapleyd): an HTTP/JSON
 //     attribution server with mutable, versioned registered databases
 //     (PATCH applies deltas and patches cached plans in place), a
@@ -60,6 +60,13 @@
 // machine words while remaining bit-identical to pure math/big arithmetic
 // by construction. Only the final Shapley weighting k!(m−1−k)!/m! uses
 // big.Rat.
+//
+// These invariants — count arithmetic confined to the kernel, DP-tree
+// nodes immutable after interning, context threading on every blocking
+// path, no ordered output from map iteration, no blocking work under a
+// held server mutex — are enforced mechanically by a repo-specific
+// static-analysis suite (internal/analysis, run via `go run
+// ./cmd/repolint ./...` or as a `go vet -vettool`); see docs/analysis.md.
 //
 // # Quick start
 //

@@ -4,6 +4,8 @@
 // from zero with polynomially many samples.
 package main
 
+//repolint:allow-file numericpurity: pedagogical closed-form n!·n!/(2n+1)! computation mirroring the §5.1 text — example code outside the kernel's domain
+
 import (
 	"fmt"
 	"log"

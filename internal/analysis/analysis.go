@@ -1,0 +1,269 @@
+// Package analysis implements repolint, a repo-specific static-analysis
+// suite that mechanically enforces the invariants this reproduction's
+// correctness rests on but the compiler cannot see: exact counting stays
+// bit-identical to the paper's CntSat recursion only while DP-tree nodes
+// are immutable after interning (content addressing), while all count
+// arithmetic flows through the audited internal/numeric kernel (the
+// promotion lattice), while context.Context threads through every
+// blocking path (cancellation), and while no ordered or encoded output
+// derives from Go's randomized map iteration (determinism).
+//
+// The framework is a deliberately small, dependency-free re-creation of
+// the golang.org/x/tools go/analysis shape (the container vendors no
+// modules, so x/tools is unavailable): an Analyzer holds a Run function
+// over a type-checked Pass, the driver loads packages with `go list` plus
+// go/types, and analysistest-style fixture tests assert diagnostics
+// against // want comments. See docs/analysis.md for the catalogue of
+// analyzers and the invariant each one guards.
+//
+// # Suppressing a finding
+//
+// A diagnostic is suppressed by an allow directive with a mandatory
+// reason:
+//
+//	//repolint:allow <analyzer>: <reason>       (line or function doc)
+//	//repolint:allow-file <analyzer>: <reason>  (whole file)
+//
+// A line directive covers its own line and the line below it (so it can
+// sit above the flagged statement); a directive in a function's doc
+// comment covers the whole function. Directives without a reason, and
+// directives that suppress nothing, are themselves reported — the
+// allowlist is audited, not a silencer.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// An Analyzer describes one analysis pass: a named checker with a Run
+// function executed once per loaded package.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //repolint:allow directives. Lowercase letters only.
+	Name string
+	// Doc is the one-paragraph description shown by `repolint help`.
+	Doc string
+	// Run inspects the pass and reports findings via Pass.Reportf.
+	Run func(*Pass) error
+}
+
+// A Pass is the single-package unit of work handed to an Analyzer: the
+// parsed files and full type information of one package.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	diags []Diagnostic
+}
+
+// A Diagnostic is one finding at a source position.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s: %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.diags = append(p.diags, Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// PathHasSuffix reports whether the slash-separated import path ends with
+// the given suffix on a path-segment boundary ("repro/internal/numeric"
+// has suffix "internal/numeric" but not "ternal/numeric"). Analyzers
+// match their target and allowed packages this way so that fixture
+// packages under testdata/src can mimic any real package's position in
+// the tree.
+func PathHasSuffix(path, suffix string) bool {
+	return path == suffix || strings.HasSuffix(path, "/"+suffix)
+}
+
+// directiveKind distinguishes the two allow scopes.
+type directiveKind int
+
+const (
+	directiveLine directiveKind = iota // this line and the next
+	directiveFunc                      // the enclosing function declaration
+	directiveFile                      // the whole file
+)
+
+// directive is one parsed //repolint:allow comment.
+type directive struct {
+	kind     directiveKind
+	analyzer string
+	reason   string
+	pos      token.Position
+	fromLine int // inclusive line range covered (same file as pos)
+	toLine   int
+	used     bool
+	bad      string // non-empty: malformed, with the problem text
+}
+
+const (
+	allowPrefix     = "//repolint:allow "
+	allowFilePrefix = "//repolint:allow-file "
+	markerPrefix    = "//repolint:" // any repolint: comment must parse
+)
+
+// parseDirectives extracts every repolint directive of one file.
+// Function-doc directives are widened to the function's line range.
+func parseDirectives(fset *token.FileSet, f *ast.File) []*directive {
+	// Map from comment position to the function whose doc it belongs to.
+	funcDoc := make(map[*ast.Comment]*ast.FuncDecl)
+	for _, decl := range f.Decls {
+		fd, ok := decl.(*ast.FuncDecl)
+		if ok && fd.Doc != nil {
+			for _, c := range fd.Doc.List {
+				funcDoc[c] = fd
+			}
+		}
+	}
+	var out []*directive
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			text := strings.TrimRight(c.Text, " \t")
+			if !strings.HasPrefix(text, markerPrefix) {
+				continue
+			}
+			if text == "//repolint:immutable" || strings.HasPrefix(text, "//repolint:immutable ") {
+				continue // nodeimmut marker, not an allow directive
+			}
+			d := &directive{pos: fset.Position(c.Pos())}
+			var rest string
+			switch {
+			case strings.HasPrefix(text, allowFilePrefix):
+				d.kind = directiveFile
+				rest = strings.TrimPrefix(text, allowFilePrefix)
+			case strings.HasPrefix(text, allowPrefix):
+				d.kind = directiveLine
+				rest = strings.TrimPrefix(text, allowPrefix)
+			default:
+				d.bad = fmt.Sprintf("unknown repolint directive %q (want //repolint:allow, //repolint:allow-file or //repolint:immutable)", text)
+				out = append(out, d)
+				continue
+			}
+			name, reason, ok := strings.Cut(rest, ":")
+			d.analyzer = strings.TrimSpace(name)
+			d.reason = strings.TrimSpace(reason)
+			switch {
+			case !ok || d.reason == "":
+				d.bad = fmt.Sprintf("repolint:allow directive for %q is missing its mandatory reason (want //repolint:allow %s: <reason>)", d.analyzer, d.analyzer)
+			case d.analyzer == "":
+				d.bad = "repolint:allow directive names no analyzer"
+			}
+			if d.bad != "" {
+				out = append(out, d)
+				continue
+			}
+			switch d.kind {
+			case directiveFile:
+				d.fromLine = 1
+				d.toLine = 1 << 30
+			default:
+				if fd, isDoc := funcDoc[c]; isDoc {
+					d.kind = directiveFunc
+					d.fromLine = fset.Position(fd.Pos()).Line
+					d.toLine = fset.Position(fd.End()).Line
+				} else {
+					d.fromLine = d.pos.Line
+					d.toLine = d.pos.Line + 1
+				}
+			}
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// covers reports whether the directive suppresses a diagnostic of the
+// named analyzer at position p.
+func (d *directive) covers(analyzer string, p token.Position) bool {
+	return d.bad == "" &&
+		d.analyzer == analyzer &&
+		d.pos.Filename == p.Filename &&
+		d.fromLine <= p.Line && p.Line <= d.toLine
+}
+
+// Run executes the analyzers over the loaded packages whose Target flag
+// is set, applies the allow directives, and returns the surviving
+// diagnostics sorted by position. Directive hygiene (malformed or unused
+// directives) is reported under the pseudo-analyzer name "repolint".
+func Run(analyzers []*Analyzer, pkgs []*Package) ([]Diagnostic, error) {
+	ran := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		ran[a.Name] = true
+	}
+	var all []Diagnostic
+	for _, pkg := range pkgs {
+		if !pkg.Target {
+			continue
+		}
+		var dirs []*directive
+		for _, f := range pkg.Files {
+			dirs = append(dirs, parseDirectives(pkg.Fset, f)...)
+		}
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.Info,
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.Path, err)
+			}
+		diags:
+			for _, d := range pass.diags {
+				for _, dir := range dirs {
+					if dir.covers(a.Name, d.Pos) {
+						dir.used = true
+						continue diags
+					}
+				}
+				all = append(all, d)
+			}
+		}
+		for _, dir := range dirs {
+			switch {
+			case dir.bad != "":
+				all = append(all, Diagnostic{Pos: dir.pos, Analyzer: "repolint", Message: dir.bad})
+			case !dir.used && ran[dir.analyzer]:
+				all = append(all, Diagnostic{
+					Pos: dir.pos, Analyzer: "repolint",
+					Message: fmt.Sprintf("unused //repolint:allow directive: no %s finding here to suppress", dir.analyzer),
+				})
+			}
+		}
+	}
+	sort.Slice(all, func(i, j int) bool {
+		a, b := all[i].Pos, all[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Column != b.Column {
+			return a.Column < b.Column
+		}
+		return all[i].Analyzer < all[j].Analyzer
+	})
+	return all, nil
+}

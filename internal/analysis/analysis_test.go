@@ -1,0 +1,106 @@
+package analysis
+
+import (
+	"go/token"
+	"testing"
+)
+
+func TestNumericPurityFixtures(t *testing.T) {
+	RunFixtures(t, NumericPurity, "numericpurity/a", "numericpurity/internal/numeric")
+}
+
+func TestNodeImmutFixtures(t *testing.T) {
+	RunFixtures(t, NodeImmut, "nodeimmut/a")
+}
+
+func TestCtxFlowFixtures(t *testing.T) {
+	RunFixtures(t, CtxFlow, "ctxflow/internal/core", "ctxflow/util")
+}
+
+func TestMapDeterminismFixtures(t *testing.T) {
+	RunFixtures(t, MapDeterminism, "mapdeterminism/a")
+}
+
+func TestLockScopeFixtures(t *testing.T) {
+	RunFixtures(t, LockScope, "lockscope/internal/server")
+}
+
+// TestDirectiveHygiene pins the pseudo-analyzer "repolint" findings:
+// unknown directives, missing reasons and unused allows are themselves
+// diagnostics, so the allowlist stays audited and self-cleaning.
+func TestDirectiveHygiene(t *testing.T) {
+	RunFixtures(t, NumericPurity, "directives/a")
+}
+
+func TestRegistry(t *testing.T) {
+	names := []string{"numericpurity", "nodeimmut", "ctxflow", "mapdeterminism", "lockscope"}
+	all := All()
+	if len(all) != len(names) {
+		t.Fatalf("All() returned %d analyzers, want %d", len(all), len(names))
+	}
+	for i, want := range names {
+		if all[i].Name != want {
+			t.Errorf("All()[%d].Name = %q, want %q", i, all[i].Name, want)
+		}
+		if ByName(want) != all[i] {
+			t.Errorf("ByName(%q) did not return the registered analyzer", want)
+		}
+		if all[i].Doc == "" || all[i].Run == nil {
+			t.Errorf("analyzer %q is missing Doc or Run", want)
+		}
+	}
+	if ByName("nosuch") != nil {
+		t.Error("ByName returned an analyzer for an unknown name")
+	}
+}
+
+func TestPathHasSuffix(t *testing.T) {
+	cases := []struct {
+		path, suffix string
+		want         bool
+	}{
+		{"repro/internal/numeric", "internal/numeric", true},
+		{"internal/numeric", "internal/numeric", true},
+		{"fixture/internal/numeric", "internal/numeric", true},
+		{"repro/internal/xnumeric", "internal/numeric", false},
+		{"repro/ternal/numeric", "internal/numeric", false},
+		{"repro/internal/numeric/sub", "internal/numeric", false},
+	}
+	for _, c := range cases {
+		if got := PathHasSuffix(c.path, c.suffix); got != c.want {
+			t.Errorf("PathHasSuffix(%q, %q) = %v, want %v", c.path, c.suffix, got, c.want)
+		}
+	}
+}
+
+// TestLoadRepo loads this repository's own analysis package through the
+// go list driver and checks that type information arrived intact — the
+// shared-importer setup is what keeps stdlib type identity consistent
+// across packages.
+func TestLoadRepo(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shells out to go list")
+	}
+	pkgs, err := Load(".", ".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var target *Package
+	for _, p := range pkgs {
+		if p.Target {
+			target = p
+		}
+	}
+	if target == nil {
+		t.Fatal("no target package loaded")
+	}
+	if !PathHasSuffix(target.Path, "internal/analysis") {
+		t.Fatalf("target package is %q, want internal/analysis", target.Path)
+	}
+	if target.Types == nil || target.Info == nil || len(target.Files) == 0 {
+		t.Fatal("target package loaded without type information")
+	}
+	if target.Fset.Position(token.Pos(1)).Filename == "" {
+		t.Fatal("file set is empty")
+	}
+}

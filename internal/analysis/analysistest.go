@@ -1,0 +1,239 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// This file is the suite's miniature of golang.org/x/tools'
+// go/analysis/analysistest: fixture packages live under
+// testdata/src/<importpath>, diagnostics are asserted with // want
+// comments on the offending line, and the allow-directive machinery runs
+// exactly as in production (so fixtures can pin the escape hatch and the
+// directive-hygiene diagnostics too).
+//
+//	x := bad() // want `regexp matching the message`
+//
+// Multiple backquoted (or double-quoted) patterns on one line expect
+// multiple diagnostics. Every diagnostic must be wanted and every want
+// must fire; mismatches fail the test with a positioned report.
+
+// RunFixtures loads each fixture package (path relative to
+// testdata/src) with full type information, runs the analyzer plus
+// directive filtering over all of them together, and matches the
+// resulting diagnostics against the fixtures' want comments.
+func RunFixtures(t *testing.T, a *Analyzer, fixtures ...string) {
+	t.Helper()
+	root, err := filepath.Abs(filepath.Join("testdata", "src"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ld := &fixtureLoader{
+		root: root,
+		fset: token.NewFileSet(),
+		pkgs: make(map[string]*Package),
+		std:  importer.Default(),
+	}
+	var pkgs []*Package
+	for _, fix := range fixtures {
+		pkg, err := ld.load(fix)
+		if err != nil {
+			t.Fatalf("loading fixture %s: %v", fix, err)
+		}
+		pkg.Target = true
+		pkgs = append(pkgs, pkg)
+	}
+	diags, err := Run([]*Analyzer{a}, pkgs)
+	if err != nil {
+		t.Fatalf("running %s: %v", a.Name, err)
+	}
+	wants := collectWants(t, ld.fset, pkgs)
+	matchDiagnostics(t, diags, wants)
+}
+
+// fixtureLoader resolves fixture import paths to testdata/src
+// directories, falling back to the compiler's export data for the
+// standard library.
+type fixtureLoader struct {
+	root string
+	fset *token.FileSet
+	pkgs map[string]*Package
+	std  types.Importer // shared: preserves type identity across fixtures
+}
+
+func (ld *fixtureLoader) load(path string) (*Package, error) {
+	if pkg, ok := ld.pkgs[path]; ok {
+		return pkg, nil
+	}
+	dir := filepath.Join(ld.root, filepath.FromSlash(path))
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") || strings.HasSuffix(e.Name(), "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(ld.fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("fixture %s has no Go files", path)
+	}
+	pkg := &Package{Path: path, Dir: dir, Fset: ld.fset, Files: files}
+	ld.pkgs[path] = pkg // pre-register: fixtures must not import cyclically
+	pkg.Info = &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	conf := types.Config{Importer: fixtureImporter{ld}}
+	tp, err := conf.Check(path, ld.fset, files, pkg.Info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking fixture %s: %w", path, err)
+	}
+	pkg.Types = tp
+	return pkg, nil
+}
+
+type fixtureImporter struct{ ld *fixtureLoader }
+
+func (fi fixtureImporter) Import(path string) (*types.Package, error) {
+	if _, err := os.Stat(filepath.Join(fi.ld.root, filepath.FromSlash(path))); err == nil {
+		pkg, err := fi.ld.load(path)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	return fi.ld.std.Import(path)
+}
+
+// want is one expected diagnostic.
+type want struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	raw     string
+	matched bool
+}
+
+var wantRE = regexp.MustCompile("// want (.*)$")
+
+// collectWants scans fixture comments for want expectations.
+func collectWants(t *testing.T, fset *token.FileSet, pkgs []*Package) []*want {
+	t.Helper()
+	var out []*want
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					m := wantRE.FindStringSubmatch(c.Text)
+					if m == nil {
+						continue
+					}
+					pos := fset.Position(c.Pos())
+					for _, pat := range splitPatterns(t, pos, m[1]) {
+						re, err := regexp.Compile(pat)
+						if err != nil {
+							t.Fatalf("%s: bad want pattern %q: %v", pos, pat, err)
+						}
+						out = append(out, &want{file: pos.Filename, line: pos.Line, re: re, raw: pat})
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// splitPatterns parses the sequence of backquoted or double-quoted
+// patterns after "// want".
+func splitPatterns(t *testing.T, pos token.Position, s string) []string {
+	t.Helper()
+	var out []string
+	s = strings.TrimSpace(s)
+	for s != "" {
+		switch s[0] {
+		case '`':
+			end := strings.IndexByte(s[1:], '`')
+			if end < 0 {
+				t.Fatalf("%s: unterminated backquoted want pattern", pos)
+			}
+			out = append(out, s[1:1+end])
+			s = strings.TrimSpace(s[end+2:])
+		case '"':
+			rest := s[1:]
+			end := -1
+			for i := 0; i < len(rest); i++ {
+				if rest[i] == '\\' {
+					i++
+					continue
+				}
+				if rest[i] == '"' {
+					end = i
+					break
+				}
+			}
+			if end < 0 {
+				t.Fatalf("%s: unterminated quoted want pattern", pos)
+			}
+			unq, err := strconv.Unquote(s[:end+2])
+			if err != nil {
+				t.Fatalf("%s: bad quoted want pattern: %v", pos, err)
+			}
+			out = append(out, unq)
+			s = strings.TrimSpace(s[end+2:])
+		default:
+			t.Fatalf("%s: want patterns must be backquoted or quoted, got %q", pos, s)
+		}
+	}
+	return out
+}
+
+// matchDiagnostics pairs diagnostics with wants one-to-one by line.
+func matchDiagnostics(t *testing.T, diags []Diagnostic, wants []*want) {
+	t.Helper()
+	for _, d := range diags {
+		found := false
+		for _, w := range wants {
+			if !w.matched && w.file == d.Pos.Filename && w.line == d.Pos.Line && w.re.MatchString(d.Message) {
+				w.matched = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("unexpected diagnostic:\n  %s", d)
+		}
+	}
+	sort.Slice(wants, func(i, j int) bool {
+		if wants[i].file != wants[j].file {
+			return wants[i].file < wants[j].file
+		}
+		return wants[i].line < wants[j].line
+	})
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.raw)
+		}
+	}
+}

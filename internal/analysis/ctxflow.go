@@ -1,0 +1,101 @@
+package analysis
+
+import (
+	"go/ast"
+)
+
+// CtxFlow enforces the cancellation invariant: context.Context threads
+// through every blocking path. Since PR 3 the whole compute stack
+// (Prepare/Apply/ShapleyAll/brute force) and every server handler is
+// context-aware, so a request disconnect or daemon drain aborts
+// in-flight work; one dropped context anywhere in the chain quietly
+// detaches everything below it. The repo's convention — relied on by
+// lockscope too — is that "takes a context.Context" is the marker for
+// "can block".
+//
+// Flagged:
+//   - context.Background() / context.TODO() in library code (any
+//     non-main package): a library must accept its caller's context,
+//     not mint an unrooted one. Detaching deliberately is what
+//     context.WithoutCancel is for, and compatibility shims carry a
+//     //repolint:allow ctxflow: <reason> directive;
+//   - a call that could forward the enclosing function's context
+//     parameter but passes Background()/TODO() instead;
+//   - an exported function in internal/core or internal/server that
+//     has no context parameter yet directly calls a context-taking
+//     (blocking) callee — the API hides a blocking path it cannot
+//     cancel.
+var CtxFlow = &Analyzer{
+	Name: "ctxflow",
+	Doc:  "blocking paths must accept and forward context.Context; no context.Background()/TODO() in library code",
+	Run:  runCtxFlow,
+}
+
+// ctxTargetPkgs are the packages whose *exported* API surface must be
+// context-threaded (the compute stack and the serving layer).
+var ctxTargetPkgs = []string{"internal/core", "internal/server"}
+
+func runCtxFlow(pass *Pass) error {
+	if pass.Pkg.Name() == "main" {
+		return nil // binaries own their root context
+	}
+	target := false
+	for _, p := range ctxTargetPkgs {
+		if PathHasSuffix(pass.Pkg.Path(), p) {
+			target = true
+		}
+	}
+
+	isBackgroundCall := func(n ast.Node) (string, bool) {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return "", false
+		}
+		obj := calleeObj(pass.TypesInfo, call)
+		if obj == nil || objPkgPath(obj) != "context" {
+			return "", false
+		}
+		if name := obj.Name(); name == "Background" || name == "TODO" {
+			return name, true
+		}
+		return "", false
+	}
+
+	for _, fd := range funcDecls(pass.Files) {
+		fnHasCtx := false
+		if fd.Type.Params != nil {
+			for _, field := range fd.Type.Params.List {
+				if tv, ok := pass.TypesInfo.Types[field.Type]; ok && isContextType(tv.Type) {
+					fnHasCtx = true
+				}
+			}
+		}
+
+		reportedMissing := false
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			if name, ok := isBackgroundCall(n); ok {
+				if fnHasCtx {
+					pass.Reportf(n.Pos(), "context.%s() inside a function that has a context parameter: forward the caller's context (or detach explicitly with context.WithoutCancel)", name)
+				} else {
+					pass.Reportf(n.Pos(), "context.%s() in library code: accept a context.Context from the caller and forward it down the blocking path", name)
+				}
+				return true
+			}
+			// Exported, context-less API in a target package calling a
+			// blocking (context-taking) callee directly.
+			if target && !fnHasCtx && !reportedMissing && fd.Name.IsExported() {
+				if call, ok := n.(*ast.CallExpr); ok {
+					callee := calleeObj(pass.TypesInfo, call)
+					if callee != nil && objPkgPath(callee) != "context" && objPkgPath(callee) != "" {
+						if sig := calleeSignature(pass.TypesInfo, call); takesContext(sig) {
+							reportedMissing = true
+							pass.Reportf(fd.Name.Pos(), "exported %s calls context-taking (blocking) %s but has no context.Context parameter: the API cannot be cancelled — accept and forward a context", fd.Name.Name, callee.Name())
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,135 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os/exec"
+	"path/filepath"
+)
+
+// Package is one loaded, parsed and fully type-checked package.
+type Package struct {
+	Path  string // import path
+	Dir   string
+	Fset  *token.FileSet // shared across the whole load
+	Files []*ast.File    // non-test files, in GoFiles order
+	Types *types.Package
+	Info  *types.Info
+	// Target marks packages matched by the load patterns (as opposed to
+	// dependencies pulled in only for type information). Analyzers run on
+	// target packages only.
+	Target bool
+}
+
+// listedPackage is the subset of `go list -json` output the loader needs.
+type listedPackage struct {
+	ImportPath string
+	Dir        string
+	Name       string
+	GoFiles    []string
+	Standard   bool
+	DepOnly    bool
+	Error      *struct{ Err string }
+}
+
+// Load enumerates the packages matching patterns (relative to dir, which
+// must lie inside a module), parses their non-test sources and
+// type-checks them together with their in-module dependencies. Standard
+// library imports resolve through the compiler's export data
+// (importer.Default), so only repo code is parsed. Deps come back from
+// `go list -deps` in dependency order, which is exactly the order
+// type-checking needs.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	args := append([]string{"list", "-e", "-deps", "-json=ImportPath,Dir,Name,GoFiles,Standard,DepOnly,Error"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go list %v: %v\n%s", patterns, err, stderr.String())
+	}
+
+	fset := token.NewFileSet()
+	byPath := make(map[string]*Package)
+	// One shared stdlib importer for the whole load: per-package importers
+	// would each materialize their own math/big etc., breaking type
+	// identity across repo packages.
+	std := importer.Default()
+	var pkgs []*Package
+	dec := json.NewDecoder(&stdout)
+	for dec.More() {
+		var lp listedPackage
+		if err := dec.Decode(&lp); err != nil {
+			return nil, fmt.Errorf("decoding go list output: %w", err)
+		}
+		if lp.Standard {
+			continue
+		}
+		if lp.Error != nil {
+			return nil, fmt.Errorf("go list: package %s: %s", lp.ImportPath, lp.Error.Err)
+		}
+		var files []*ast.File
+		for _, name := range lp.GoFiles {
+			f, err := parser.ParseFile(fset, filepath.Join(lp.Dir, name), nil, parser.ParseComments)
+			if err != nil {
+				return nil, err
+			}
+			files = append(files, f)
+		}
+		pkg := &Package{
+			Path:   lp.ImportPath,
+			Dir:    lp.Dir,
+			Fset:   fset,
+			Files:  files,
+			Target: !lp.DepOnly,
+		}
+		if err := pkg.typeCheck(byPath, std); err != nil {
+			return nil, err
+		}
+		byPath[pkg.Path] = pkg
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// chainImporter resolves repo-internal imports from the already-checked
+// package map and everything else (the standard library) from export data.
+type chainImporter struct {
+	loaded map[string]*Package
+	std    types.Importer
+}
+
+func (ci chainImporter) Import(path string) (*types.Package, error) {
+	if p, ok := ci.loaded[path]; ok {
+		return p.Types, nil
+	}
+	return ci.std.Import(path)
+}
+
+// typeCheck type-checks the package against the packages loaded so far.
+func (pkg *Package) typeCheck(loaded map[string]*Package, std types.Importer) error {
+	pkg.Info = &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	conf := types.Config{
+		Importer: chainImporter{loaded: loaded, std: std},
+	}
+	tp, err := conf.Check(pkg.Path, pkg.Fset, pkg.Files, pkg.Info)
+	if err != nil {
+		return fmt.Errorf("type-checking %s: %w", pkg.Path, err)
+	}
+	pkg.Types = tp
+	return nil
+}

@@ -1,0 +1,320 @@
+package analysis
+
+import (
+	"bytes"
+	"go/ast"
+	"go/printer"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// LockScope polices the serving layer's locking discipline (ROADMAP
+// direction 1, sharded serving, multiplies this surface): no blocking
+// work while a mutex is held, and no mutex copied by value. The server
+// deliberately splits its locks so that real DP work never runs under
+// the lock readers contend on; a blocking call that creeps under a
+// mutex serializes the whole request plane behind one preparation.
+//
+// "Blocking" reuses the repo's context convention (see ctxflow): any
+// callee that takes a context.Context is a blocking path, plus the
+// obvious externals (time.Sleep, net and net/http calls). The scan is
+// linear per block: a statement between x.Lock() and the matching
+// x.Unlock() — or after a deferred unlock — is "under the lock".
+// Deliberate holds (the PATCH maintenance sweep serializing on its
+// dedicated patchMu) carry //repolint:allow lockscope: <reason>.
+//
+// Copy-by-value: a parameter, range value or plain assignment that
+// copies a value whose type (transitively) contains a sync.Mutex or
+// sync.RWMutex duplicates lock state — the copy guards nothing.
+var LockScope = &Analyzer{
+	Name: "lockscope",
+	Doc:  "no blocking (context-taking, sleeping, network) calls while a mutex is held; no mutex copied by value",
+	Run:  runLockScope,
+}
+
+// lockTargetPkgs scope the held-lock rule to the serving layer, where
+// lock contention is the latency story. The copy-by-value rule runs
+// everywhere (a copied mutex is a bug in any package).
+var lockTargetPkgs = []string{"internal/server", "internal/servercache"}
+
+// lockMethod classifies a call as mutex acquisition/release via the
+// method's defining package (catches embedded mutexes too).
+func lockMethod(info *types.Info, call *ast.CallExpr) (recv string, name string, ok bool) {
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	s, isMethod := info.Selections[sel]
+	if !isMethod || s.Kind() != types.MethodVal {
+		return "", "", false
+	}
+	obj := s.Obj()
+	if objPkgPath(obj) != "sync" {
+		return "", "", false
+	}
+	switch obj.Name() {
+	case "Lock", "RLock", "Unlock", "RUnlock":
+		// Lock/Unlock via an embedded mutex also resolves to the sync
+		// method; the rendered receiver names the outer expression,
+		// which is the granularity the held-set matching needs.
+		return exprString(sel.X), obj.Name(), true
+	}
+	return "", "", false
+}
+
+// exprString renders an expression for lock-identity matching
+// ("s.mu", "c.mu"). Syntactic identity is the right granularity here:
+// within one function the same lock is spelled the same way.
+func exprString(e ast.Expr) string {
+	var buf bytes.Buffer
+	_ = printer.Fprint(&buf, token.NewFileSet(), e)
+	return buf.String()
+}
+
+// blockingCall explains why a call is considered blocking, or "".
+func blockingCall(info *types.Info, call *ast.CallExpr) string {
+	obj := calleeObj(info, call)
+	if obj != nil {
+		switch objPkgPath(obj) {
+		case "sync", "sync/atomic", "context":
+			return ""
+		case "time":
+			if obj.Name() == "Sleep" {
+				return "time.Sleep"
+			}
+			return ""
+		case "net/http", "net":
+			// Pure accessors on request/response values do no I/O.
+			switch obj.Name() {
+			case "Context", "Header", "URL", "UserAgent", "Referer":
+				return ""
+			}
+			return objPkgPath(obj) + "." + obj.Name()
+		}
+	}
+	if sig := calleeSignature(info, call); takesContext(sig) {
+		name := "function value"
+		if obj != nil {
+			name = obj.Name()
+		}
+		return "context-taking call " + name
+	}
+	return ""
+}
+
+// containsLock reports whether a value of type t embeds lock state.
+// Pointers never do: copying a pointer shares the pointee's lock instead
+// of duplicating it.
+func containsLock(t types.Type, seen map[types.Type]bool) bool {
+	if seen[t] {
+		return false
+	}
+	seen[t] = true
+	if _, isPtr := t.Underlying().(*types.Pointer); isPtr {
+		return false
+	}
+	if isNamedType(t, "sync", "Mutex") || isNamedType(t, "sync", "RWMutex") {
+		return true
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if containsLock(u.Field(i).Type(), seen) {
+				return true
+			}
+		}
+	case *types.Array:
+		return containsLock(u.Elem(), seen)
+	}
+	return false
+}
+
+func runLockScope(pass *Pass) error {
+	target := false
+	for _, p := range lockTargetPkgs {
+		if PathHasSuffix(pass.Pkg.Path(), p) {
+			target = true
+		}
+	}
+	info := pass.TypesInfo
+	hasLock := func(e ast.Expr) bool {
+		tv, ok := info.Types[e]
+		return ok && containsLock(tv.Type, map[types.Type]bool{})
+	}
+
+	for _, fd := range funcDecls(pass.Files) {
+		// Copy-by-value: parameters (and receivers) of lock-containing
+		// value types.
+		fields := []*ast.FieldList{fd.Recv, fd.Type.Params}
+		for _, fl := range fields {
+			if fl == nil {
+				continue
+			}
+			for _, field := range fl.List {
+				tv, ok := info.Types[field.Type]
+				if ok && containsLock(tv.Type, map[types.Type]bool{}) {
+					pass.Reportf(field.Pos(), "%s receives a value containing a sync mutex by value: the copy's lock guards nothing — pass a pointer", fd.Name.Name)
+				}
+			}
+		}
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				for _, rhs := range n.Rhs {
+					switch ast.Unparen(rhs).(type) {
+					case *ast.Ident, *ast.SelectorExpr, *ast.StarExpr, *ast.IndexExpr:
+						if hasLock(rhs) {
+							pass.Reportf(n.Pos(), "assignment copies a value containing a sync mutex: the copy's lock state is duplicated — use a pointer")
+						}
+					}
+				}
+			case *ast.RangeStmt:
+				// The range value is usually a defining ident, so its type
+				// lives in Defs/Uses rather than the expression Types map.
+				var vt types.Type
+				if id, ok := n.Value.(*ast.Ident); ok {
+					if obj := info.Defs[id]; obj != nil {
+						vt = obj.Type()
+					} else if obj := info.Uses[id]; obj != nil {
+						vt = obj.Type()
+					}
+				} else if n.Value != nil {
+					if tv, ok := info.Types[n.Value]; ok {
+						vt = tv.Type
+					}
+				}
+				if vt != nil && containsLock(vt, map[types.Type]bool{}) {
+					pass.Reportf(n.Value.Pos(), "range copies elements containing a sync mutex by value — iterate by index or store pointers")
+				}
+			}
+			return true
+		})
+		if target {
+			checkHeldLocks(pass, fd.Body, map[string]bool{})
+		}
+	}
+	return nil
+}
+
+// checkHeldLocks scans a block linearly, tracking which locks are held
+// at each statement; nested blocks inherit (a copy of) the current held
+// set. A deferred unlock keeps the lock in the held set to the end of
+// the block — which is exactly the window the code holds it for.
+func checkHeldLocks(pass *Pass, block *ast.BlockStmt, heldAtEntry map[string]bool) {
+	held := make(map[string]bool, len(heldAtEntry))
+	for k := range heldAtEntry {
+		held[k] = true
+	}
+	reportBlocking := func(n ast.Node) {
+		if n == nil || len(held) == 0 {
+			return
+		}
+		ast.Inspect(n, func(m ast.Node) bool {
+			call, ok := m.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if _, _, isLockOp := lockMethod(pass.TypesInfo, call); isLockOp {
+				return true
+			}
+			if why := blockingCall(pass.TypesInfo, call); why != "" {
+				pass.Reportf(call.Pos(), "blocking call (%s) while holding %s: move the work outside the critical section or split the lock", why, sortJoin(held))
+				return false
+			}
+			return true
+		})
+	}
+	for _, stmt := range block.List {
+		switch s := stmt.(type) {
+		case *ast.ExprStmt:
+			if call, ok := s.X.(*ast.CallExpr); ok {
+				if recv, name, ok := lockMethod(pass.TypesInfo, call); ok {
+					switch name {
+					case "Lock", "RLock":
+						held[recv] = true
+					case "Unlock", "RUnlock":
+						delete(held, recv)
+					}
+					continue
+				}
+			}
+			reportBlocking(s)
+		case *ast.DeferStmt:
+			// defer mu.Unlock() does not release for the rest of the
+			// block; anything else deferred is checked as a call made
+			// at exit, under whatever is then held.
+			if _, name, ok := lockMethod(pass.TypesInfo, s.Call); ok && (name == "Unlock" || name == "RUnlock") {
+				continue
+			}
+			reportBlocking(s)
+		case *ast.BlockStmt:
+			checkHeldLocks(pass, s, held)
+		case *ast.IfStmt:
+			if s.Init != nil {
+				reportBlocking(s.Init)
+			}
+			reportBlocking(s.Cond)
+			checkHeldLocks(pass, s.Body, held)
+			switch els := s.Else.(type) {
+			case *ast.BlockStmt:
+				checkHeldLocks(pass, els, held)
+			case *ast.IfStmt:
+				checkHeldLocks(pass, &ast.BlockStmt{List: []ast.Stmt{els}}, held)
+			}
+		case *ast.ForStmt:
+			if s.Init != nil {
+				reportBlocking(s.Init)
+			}
+			reportBlocking(s.Cond)
+			checkHeldLocks(pass, s.Body, held)
+		case *ast.RangeStmt:
+			reportBlocking(s.X)
+			checkHeldLocks(pass, s.Body, held)
+		case *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+			// Init statements and tag expressions run under the lock; case
+			// bodies inherit the current held set.
+			switch sw := s.(type) {
+			case *ast.SwitchStmt:
+				if sw.Init != nil {
+					reportBlocking(sw.Init)
+				}
+				if sw.Tag != nil {
+					reportBlocking(sw.Tag)
+				}
+			case *ast.TypeSwitchStmt:
+				if sw.Init != nil {
+					reportBlocking(sw.Init)
+				}
+			}
+			ast.Inspect(s, func(m ast.Node) bool {
+				if cc, ok := m.(*ast.CaseClause); ok {
+					for _, st := range cc.Body {
+						checkHeldLocks(pass, &ast.BlockStmt{List: []ast.Stmt{st}}, held)
+					}
+					return false
+				}
+				if cc, ok := m.(*ast.CommClause); ok {
+					for _, st := range cc.Body {
+						checkHeldLocks(pass, &ast.BlockStmt{List: []ast.Stmt{st}}, held)
+					}
+					return false
+				}
+				return true
+			})
+		default:
+			reportBlocking(stmt)
+		}
+	}
+}
+
+// sortJoin renders a held-lock set deterministically.
+func sortJoin(set map[string]bool) string {
+	keys := make([]string, 0, len(set))
+	for k := range set {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return strings.Join(keys, ", ")
+}

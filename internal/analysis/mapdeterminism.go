@@ -1,0 +1,171 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// MapDeterminism enforces the ordering invariant: nothing ordered,
+// encoded or hashed may derive from Go's randomized map iteration. The
+// engine's output contracts (Facts()-ordered batch results, sorted
+// bucket values, canonical query renderings, the Prometheus exposition)
+// are all deterministic, and the PR 5 digest/label paths are safe under
+// map iteration only because they combine by order-independent addition
+// — a pattern this analyzer deliberately does not flag.
+//
+// Flagged inside a `for ... range m` over a map:
+//   - writes to ordered sinks: fmt printing, io/hash/builder Write*,
+//     json Encode — the iteration order leaks straight into output or
+//     into an order-dependent hash state;
+//   - appends to a slice declared outside the loop that is never sorted
+//     later in the same function — the slice's order is the iteration
+//     order, and it escapes unsorted.
+//
+// Order-independent folds (counter increments, additive digests, map
+// inserts) are not flagged. False positives (e.g. a caller that sorts)
+// take //repolint:allow mapdeterminism: <reason>.
+var MapDeterminism = &Analyzer{
+	Name: "mapdeterminism",
+	Doc:  "no ordered output, hashing or encoding may derive from map iteration order; collected slices must be sorted",
+	Run:  runMapDeterminism,
+}
+
+// orderedSinkCall classifies calls whose argument order becomes output
+// order (or order-dependent hash state).
+func orderedSinkCall(info *types.Info, call *ast.CallExpr) (string, bool) {
+	obj := calleeObj(info, call)
+	if obj == nil {
+		return "", false
+	}
+	name := obj.Name()
+	switch objPkgPath(obj) {
+	case "fmt":
+		switch name {
+		case "Fprint", "Fprintf", "Fprintln", "Print", "Printf", "Println":
+			return "fmt." + name, true
+		}
+	}
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		if s, ok := info.Selections[sel]; ok && s.Kind() == types.MethodVal {
+			recv := namedFrom(s.Recv())
+			switch name {
+			case "Write", "WriteString", "WriteByte", "WriteRune", "WriteTo":
+				return "Write on " + types.TypeString(s.Recv(), types.RelativeTo(nil)), true
+			case "Encode":
+				if recv != nil && recv.Obj().Name() == "Encoder" {
+					return "Encoder.Encode", true
+				}
+			}
+		}
+	}
+	return "", false
+}
+
+// sortCalls are the functions recognized as establishing a deterministic
+// order over a collected slice.
+func isSortCall(info *types.Info, call *ast.CallExpr) bool {
+	obj := calleeObj(info, call)
+	if obj == nil {
+		return false
+	}
+	switch objPkgPath(obj) {
+	case "sort":
+		return true // sort.Strings/Ints/Slice/Sort/Stable/...
+	case "slices":
+		switch obj.Name() {
+		case "Sort", "SortFunc", "SortStableFunc":
+			return true
+		}
+	}
+	return false
+}
+
+func runMapDeterminism(pass *Pass) error {
+	for _, fd := range funcDecls(pass.Files) {
+		fd := fd
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			rng, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			tv, ok := pass.TypesInfo.Types[rng.X]
+			if !ok {
+				return true
+			}
+			if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			checkMapRange(pass, fd, rng)
+			return true
+		})
+	}
+	return nil
+}
+
+// checkMapRange inspects one map-range loop for ordered sinks.
+func checkMapRange(pass *Pass, fd *ast.FuncDecl, rng *ast.RangeStmt) {
+	info := pass.TypesInfo
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if sink, ok := orderedSinkCall(info, n); ok {
+				pass.Reportf(n.Pos(), "map iteration order leaks into ordered output (%s): iterate a sorted key slice instead", sink)
+			}
+		case *ast.AssignStmt:
+			// s = append(s, ...) where s outlives the loop.
+			for i, rhs := range n.Rhs {
+				call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+				if !ok || len(n.Lhs) <= i {
+					continue
+				}
+				if id, ok := ast.Unparen(call.Fun).(*ast.Ident); !ok || id.Name != "append" {
+					continue
+				}
+				target, ok := ast.Unparen(n.Lhs[i]).(*ast.Ident)
+				if !ok {
+					continue
+				}
+				obj := info.Defs[target]
+				if obj == nil {
+					obj = info.Uses[target]
+				}
+				if obj == nil || obj.Parent() == nil {
+					continue
+				}
+				// Declared inside the loop body: dies with the iteration.
+				if rng.Body.Pos() <= obj.Pos() && obj.Pos() <= rng.Body.End() {
+					continue
+				}
+				if !sortedAfter(pass, fd, rng, obj) {
+					pass.Reportf(n.Pos(), "slice %s collects map keys/values in iteration order and is never sorted in %s: sort it before it escapes, or sort the keys and iterate those", target.Name, fd.Name.Name)
+				}
+			}
+		}
+		return true
+	})
+}
+
+// sortedAfter reports whether obj (the collected slice) is passed to a
+// recognized sort call somewhere after the range loop in the same
+// function.
+func sortedAfter(pass *Pass, fd *ast.FuncDecl, rng *ast.RangeStmt, obj types.Object) bool {
+	found := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rng.End() || !isSortCall(pass.TypesInfo, call) {
+			return !found
+		}
+		for _, arg := range call.Args {
+			ast.Inspect(arg, func(m ast.Node) bool {
+				if id, ok := m.(*ast.Ident); ok {
+					if u := pass.TypesInfo.Uses[id]; u == obj {
+						found = true
+					}
+				}
+				return !found
+			})
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,125 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// NodeImmut enforces post-intern immutability of content-addressed
+// structures: a DP-tree node is identified by the hash of its input
+// content, interned in the generational memo, and shared freely across
+// plan versions, seeded plans and concurrent readers. A field write
+// after interning silently corrupts the content addressing — the node's
+// stored output no longer matches its key, and every later memo hit
+// resurrects the corruption (no test that compares against a fresh
+// recompute of the same tree can see it).
+//
+// A struct type opts in with a //repolint:immutable marker on its type
+// declaration. Every write to a field of a marked type (including
+// writes through a field's slice or map, n.children[i] = x) is flagged
+// unless the enclosing function carries //repolint:allow nodeimmut:
+// <reason> — which is how the constructor/interning path in dptree.go
+// declares itself, keeping the full set of mutating functions greppable.
+var NodeImmut = &Analyzer{
+	Name: "nodeimmut",
+	Doc:  "no writes to fields of //repolint:immutable structs outside their annotated constructor/interning path",
+	Run:  runNodeImmut,
+}
+
+const immutableMarker = "//repolint:immutable"
+
+// immutableTypes collects the named struct types of this package whose
+// declarations carry the marker (in the GenDecl doc, the TypeSpec doc,
+// or a trailing line comment).
+func immutableTypes(pass *Pass) map[*types.TypeName]bool {
+	marked := func(groups ...*ast.CommentGroup) bool {
+		for _, g := range groups {
+			if g == nil {
+				continue
+			}
+			for _, c := range g.List {
+				t := strings.TrimRight(c.Text, " \t")
+				if t == immutableMarker || strings.HasPrefix(t, immutableMarker+" ") {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	out := make(map[*types.TypeName]bool)
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				if !marked(gd.Doc, ts.Doc, ts.Comment) {
+					continue
+				}
+				if tn, ok := pass.TypesInfo.Defs[ts.Name].(*types.TypeName); ok {
+					out[tn] = true
+				}
+			}
+		}
+	}
+	return out
+}
+
+func runNodeImmut(pass *Pass) error {
+	marked := immutableTypes(pass)
+	if len(marked) == 0 {
+		return nil
+	}
+	// fieldOfMarked peels index/star/paren layers off an assignment
+	// target down to a selector, and reports the marked type and field
+	// name if the selector reads a field of a marked struct. Peeling
+	// means writes *through* a field (n.children[i] = c, n.relOf[k] = v)
+	// count as writes to the node: they mutate state the content hash
+	// stands for.
+	var fieldOfMarked func(e ast.Expr) (string, string, bool)
+	fieldOfMarked = func(e ast.Expr) (string, string, bool) {
+		switch e := ast.Unparen(e).(type) {
+		case *ast.IndexExpr:
+			return fieldOfMarked(e.X)
+		case *ast.StarExpr:
+			return fieldOfMarked(e.X)
+		case *ast.SelectorExpr:
+			sel, ok := pass.TypesInfo.Selections[e]
+			if !ok || sel.Kind() != types.FieldVal {
+				return "", "", false
+			}
+			if n := namedFrom(sel.Recv()); n != nil && marked[n.Obj()] {
+				return n.Obj().Name(), e.Sel.Name, true
+			}
+			// A selector chain like n.shape.child checks the innermost
+			// receiver too via the recursive field lookup on e.X.
+			return fieldOfMarked(e.X)
+		}
+		return "", "", false
+	}
+	check := func(target ast.Expr) {
+		if typeName, field, ok := fieldOfMarked(target); ok {
+			pass.Reportf(target.Pos(), "write to field %s.%s of immutable (content-addressed) type outside its constructor path: a post-intern mutation desynchronizes the node from its content hash", typeName, field)
+		}
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				for _, lhs := range n.Lhs {
+					check(lhs)
+				}
+			case *ast.IncDecStmt:
+				check(n.X)
+			}
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,108 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// NumericPurity enforces the numeric-boundary invariant: all count
+// arithmetic flows through the adaptive exact kernel (internal/numeric)
+// or the audited big.Int reference combinatorics differentially pinned
+// against it (internal/combinat). A raw math/big arithmetic path, a
+// hand-rolled []uint64 convolution loop, or ad-hoc count-vector
+// construction anywhere else can silently diverge from the kernel's
+// promotion lattice — exactly the class of bug the representation-
+// boundary fuzzers exist to catch, except outside their reach.
+//
+// Flagged outside the allowed packages (escape hatch: //repolint:allow
+// numericpurity: <reason>):
+//   - calls to big.Int arithmetic methods (Add, Mul, Quo, Lsh, ...);
+//   - make([]*big.Int, ...) count-vector construction;
+//   - multiply-accumulate loops over []uint64 words (the shape of a
+//     convolution inner loop re-implemented outside the kernel's
+//     overflow-checked paths).
+//
+// big.Rat is deliberately out of scope: rationals are the probability
+// and final Shapley-weighting domain, which never enters the promotion
+// lattice (the kernel hands off to big.Rat exactly once, at the output
+// boundary).
+var NumericPurity = &Analyzer{
+	Name: "numericpurity",
+	Doc:  "count arithmetic must flow through internal/numeric (or the audited internal/combinat reference), never raw math/big or []uint64 loops",
+	Run:  runNumericPurity,
+}
+
+// numericAllowedPkgs are the packages whose whole point is big.Int/u64
+// arithmetic: the kernel itself and the reference combinatorics it is
+// differentially pinned against.
+var numericAllowedPkgs = []string{"internal/numeric", "internal/combinat"}
+
+// bigIntArith is the set of big.Int methods that compute (as opposed to
+// construct, convert, compare or render). Calling one outside the kernel
+// is a parallel arithmetic path.
+var bigIntArith = map[string]bool{
+	"Add": true, "Sub": true, "Mul": true, "MulRange": true,
+	"Quo": true, "Rem": true, "QuoRem": true, "Div": true, "Mod": true,
+	"DivMod": true, "Exp": true, "GCD": true, "Binomial": true,
+	"Lsh": true, "Rsh": true, "Neg": true, "Abs": true, "Sqrt": true,
+	"ModInverse": true, "ModSqrt": true,
+	"And": true, "Or": true, "Xor": true, "AndNot": true, "Not": true,
+}
+
+func runNumericPurity(pass *Pass) error {
+	for _, allowed := range numericAllowedPkgs {
+		if PathHasSuffix(pass.Pkg.Path(), allowed) {
+			return nil
+		}
+	}
+	isU64Slice := func(e ast.Expr) bool {
+		tv, ok := pass.TypesInfo.Types[e]
+		return ok && sliceOf(tv.Type, isUint64)
+	}
+	// u64 multiply-accumulate: lhs[i] += a[j] * b[k] (or lhs[i] = lhs[i] +
+	// a[j]*b[k]) over uint64 words — the convolution inner-loop shape.
+	isU64Index := func(e ast.Expr) bool {
+		ix, ok := ast.Unparen(e).(*ast.IndexExpr)
+		return ok && isU64Slice(ix.X)
+	}
+	hasU64Mul := func(e ast.Expr) bool {
+		found := false
+		ast.Inspect(e, func(n ast.Node) bool {
+			if b, ok := n.(*ast.BinaryExpr); ok && b.Op == token.MUL && isU64Index(b.X) && isU64Index(b.Y) {
+				found = true
+			}
+			return !found
+		})
+		return found
+	}
+
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				if sel, ok := n.Fun.(*ast.SelectorExpr); ok {
+					if s, ok := pass.TypesInfo.Selections[sel]; ok && bigIntArith[sel.Sel.Name] && isNamedType(s.Recv(), "math/big", "Int") {
+						pass.Reportf(n.Pos(), "big.Int arithmetic (%s) outside internal/numeric: count arithmetic must go through the exact kernel so it cannot diverge from the promotion lattice", sel.Sel.Name)
+					}
+				}
+				if id, ok := n.Fun.(*ast.Ident); ok && id.Name == "make" && len(n.Args) > 0 {
+					if tv, ok := pass.TypesInfo.Types[n.Args[0]]; ok && tv.IsType() && sliceOf(tv.Type, func(e types.Type) bool {
+						return isNamedType(e, "math/big", "Int")
+					}) {
+						pass.Reportf(n.Pos(), "count-vector construction (make []*big.Int) outside internal/numeric: build vectors on numeric.Vec (or combinat.ZeroVector at the reference boundary)")
+					}
+				}
+			case *ast.AssignStmt:
+				if n.Tok == token.ADD_ASSIGN && len(n.Lhs) == 1 && isU64Index(n.Lhs[0]) && hasU64Mul(n.Rhs[0]) {
+					pass.Reportf(n.Pos(), "raw []uint64 multiply-accumulate loop outside internal/numeric: this is a convolution path without the kernel's overflow promotion")
+				}
+				if n.Tok == token.ASSIGN && len(n.Lhs) == 1 && isU64Index(n.Lhs[0]) && hasU64Mul(n.Rhs[0]) {
+					pass.Reportf(n.Pos(), "raw []uint64 multiply-accumulate loop outside internal/numeric: this is a convolution path without the kernel's overflow promotion")
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}

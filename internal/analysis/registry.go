@@ -1,0 +1,22 @@
+package analysis
+
+// All returns the full repolint suite in its canonical order.
+func All() []*Analyzer {
+	return []*Analyzer{
+		NumericPurity,
+		NodeImmut,
+		CtxFlow,
+		MapDeterminism,
+		LockScope,
+	}
+}
+
+// ByName returns the named analyzer, or nil.
+func ByName(name string) *Analyzer {
+	for _, a := range All() {
+		if a.Name == name {
+			return a
+		}
+	}
+	return nil
+}

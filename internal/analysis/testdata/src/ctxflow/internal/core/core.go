@@ -1,0 +1,33 @@
+// Package core mirrors the real compute package's position in the import
+// tree: its exported API surface must thread context.Context through
+// every blocking path.
+package core
+
+import "context"
+
+// blockingWork takes a context: by repo convention that marks it as a
+// blocking path.
+func blockingWork(ctx context.Context) error {
+	return ctx.Err()
+}
+
+func Run(d string) error { // want `exported Run calls context-taking .blocking. blockingWork but has no context.Context parameter`
+	return blockingWork(context.Background()) // want `context.Background.. in library code`
+}
+
+// RunCtx forwards its caller's context: the shape the rule wants.
+func RunCtx(ctx context.Context, d string) error {
+	return blockingWork(ctx)
+}
+
+func Detached(ctx context.Context) error {
+	return blockingWork(context.Background()) // want `context.Background.. inside a function that has a context parameter`
+}
+
+// RunLegacy is a deliberate compatibility shim: the function-doc
+// directive covers both the missing-parameter and the Background finding.
+//
+//repolint:allow ctxflow: fixture compatibility shim kept deliberately uncancellable
+func RunLegacy(d string) error {
+	return blockingWork(context.Background())
+}

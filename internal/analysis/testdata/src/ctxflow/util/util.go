@@ -1,0 +1,12 @@
+// Package util sits outside the ctxflow target packages: the
+// exported-API rule does not apply here, but minting an unrooted context
+// in library code is still flagged.
+package util
+
+import "context"
+
+func work(ctx context.Context) error { return ctx.Err() }
+
+func Fire() error {
+	return work(context.Background()) // want `context.Background.. in library code`
+}

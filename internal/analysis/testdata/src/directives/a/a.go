@@ -1,0 +1,19 @@
+// Package a exercises the directive hygiene reported under the
+// pseudo-analyzer "repolint": unknown directives, directives without the
+// mandatory reason, and allow directives that suppress nothing.
+package a
+
+import "math/big"
+
+//repolint:frobnicate // want `unknown repolint directive`
+
+//repolint:allow numericpurity // want `missing its mandatory reason`
+
+//repolint:allow numericpurity: nothing on the next line needs suppressing // want `unused //repolint:allow directive`
+
+// used has a real finding; its directive is consumed, so no hygiene
+// diagnostic fires for it.
+func used(x, y *big.Int) *big.Int {
+	//repolint:allow numericpurity: fixture — directive consumed by the finding below
+	return new(big.Int).Add(x, y)
+}

@@ -1,0 +1,68 @@
+// Package server mirrors the real serving layer's position in the import
+// tree: the held-lock rule applies here (the copy-by-value rules apply in
+// every package).
+package server
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+type cache struct {
+	mu sync.Mutex
+	m  map[string]int
+}
+
+// prepare takes a context: by repo convention that marks it as blocking.
+func prepare(ctx context.Context) error { return ctx.Err() }
+
+func (c *cache) slowUnderLock(ctx context.Context) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	time.Sleep(time.Millisecond) // want `blocking call .time.Sleep. while holding c.mu`
+	return prepare(ctx)          // want `blocking call .context-taking call prepare. while holding c.mu`
+}
+
+// Releasing before the blocking work is the shape the rule wants.
+func (c *cache) fast(ctx context.Context) error {
+	c.mu.Lock()
+	c.m["k"] = 1
+	c.mu.Unlock()
+	return prepare(ctx)
+}
+
+func (c *cache) allowedHold(ctx context.Context) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	//repolint:allow lockscope: fixture — deliberate hold serializing on a dedicated mutex
+	return prepare(ctx)
+}
+
+func byValue(c cache) int { // want `byValue receives a value containing a sync mutex by value`
+	return len(c.m)
+}
+
+func copyAssign(c *cache) int {
+	snapshot := *c // want `assignment copies a value containing a sync mutex`
+	return len(snapshot.m)
+}
+
+func rangeCopy(cs []cache) int {
+	n := 0
+	for _, c := range cs { // want `range copies elements containing a sync mutex`
+		n += len(c.m)
+	}
+	return n
+}
+
+// Pointers carry no lock state of their own: all of this is legal.
+func rangePtr(cs []*cache) int {
+	n := 0
+	for _, c := range cs {
+		c.mu.Lock()
+		n += len(c.m)
+		c.mu.Unlock()
+	}
+	return n
+}

@@ -1,0 +1,67 @@
+// Package a exercises mapdeterminism: ordered sinks and escaping
+// unsorted collects inside map-range loops are flagged; sorted collects,
+// additive folds and loop-local slices are legal.
+package a
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+func leaky(w io.Writer, m map[string]int) {
+	for k, v := range m {
+		fmt.Fprintf(w, "%s=%d\n", k, v) // want `map iteration order leaks into ordered output .fmt.Fprintf.`
+	}
+}
+
+func hashLeak(m map[string]bool, h io.Writer) {
+	for k := range m {
+		h.Write([]byte(k)) // want `map iteration order leaks into ordered output .Write on`
+	}
+}
+
+func collectUnsorted(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k) // want `slice out collects map keys/values in iteration order and is never sorted in collectUnsorted`
+	}
+	return out
+}
+
+// Sorting after the loop makes the collect deterministic.
+func collectSorted(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Order-independent folds are the digest pattern and stay legal.
+func additive(m map[string]uint64) uint64 {
+	var sum uint64
+	for _, v := range m {
+		sum += v
+	}
+	return sum
+}
+
+// A slice that lives and dies inside the loop body leaks no order.
+func loopLocal(m map[string][]int) int {
+	n := 0
+	for _, vs := range m {
+		var local []int
+		local = append(local, vs...)
+		n += len(local)
+	}
+	return n
+}
+
+func allowedLeak(w io.Writer, m map[string]int) {
+	for k := range m {
+		//repolint:allow mapdeterminism: fixture — output order deliberately irrelevant here
+		fmt.Fprintln(w, k)
+	}
+}

@@ -1,0 +1,47 @@
+// Package a exercises nodeimmut: writes to fields of a marked
+// (content-addressed) struct are flagged everywhere except functions that
+// carry the constructor allow directive; unmarked types stay writable.
+package a
+
+// node is a content-addressed tree node: its fields stand for the hash it
+// is interned under.
+//
+//repolint:immutable
+type node struct {
+	key      string
+	endo     int
+	children []*node
+	relOf    map[string]int
+}
+
+// plain is not marked: writes to it are nobody's business.
+type plain struct{ n int }
+
+// newNode is the constructor/interning path.
+//
+//repolint:allow nodeimmut: fixture constructor — fields are written before the node is interned
+func newNode(key string) *node {
+	n := &node{}
+	n.key = key
+	n.relOf = make(map[string]int)
+	return n
+}
+
+func mutate(n, c *node) {
+	n.key = "changed"                  // want `write to field node.key of immutable`
+	n.endo++                           // want `write to field node.endo of immutable`
+	n.children[0] = c                  // want `write to field node.children of immutable`
+	n.relOf["R"] = 1                   // want `write to field node.relOf of immutable`
+	n.children = append(n.children, c) // want `write to field node.children of immutable`
+}
+
+// Writes through a chain still mutate a marked node.
+func mutateDeep(n *node) {
+	n.children[0].key = "x" // want `write to field node.key of immutable`
+}
+
+// Reads are free, and unmarked structs stay writable.
+func clean(n *node, p *plain) int {
+	p.n++
+	return len(n.children) + p.n
+}

@@ -1,0 +1,54 @@
+// Package a exercises numericpurity: raw math/big arithmetic, ad-hoc
+// count-vector construction and []uint64 convolution loops are flagged;
+// construction, comparison, rendering and big.Rat stay legal.
+package a
+
+import "math/big"
+
+func addCounts(x, y *big.Int) *big.Int {
+	sum := new(big.Int).Add(x, y) // want `big.Int arithmetic .Add. outside internal/numeric`
+	return sum
+}
+
+func shiftCount(x *big.Int) *big.Int {
+	return new(big.Int).Lsh(x, 3) // want `big.Int arithmetic .Lsh. outside internal/numeric`
+}
+
+func newVector(n int) []*big.Int {
+	return make([]*big.Int, n) // want `count-vector construction .make ...big.Int. outside internal/numeric`
+}
+
+func convolve(a, b []uint64) []uint64 {
+	out := make([]uint64, len(a)+len(b)-1)
+	for i := range a {
+		for j := range b {
+			out[i+j] += a[i] * b[j] // want `raw ..uint64 multiply-accumulate loop outside internal/numeric`
+		}
+	}
+	return out
+}
+
+// Construction, conversion, comparison and rendering are not arithmetic.
+func clean(x, y *big.Int) bool {
+	z := new(big.Int).Set(x)
+	return z.Cmp(y) == 0 && z.String() != ""
+}
+
+// Rationals are the probability/final-weighting domain, out of scope.
+func cleanRat(p, q *big.Rat) *big.Rat {
+	return new(big.Rat).Mul(p, q)
+}
+
+// Plain uint64 sums (no multiply of indexed words) are not convolutions.
+func cleanSum(a []uint64) uint64 {
+	var s uint64
+	for _, w := range a {
+		s += w
+	}
+	return s
+}
+
+func allowed(x, y *big.Int) *big.Int {
+	//repolint:allow numericpurity: fixture exercising the audited escape hatch
+	return new(big.Int).Mul(x, y)
+}

@@ -1,0 +1,22 @@
+// Package numeric mirrors the real kernel's position in the import tree
+// (the import path ends in internal/numeric), so the allowlist exempts it
+// wholesale: this is where big.Int arithmetic is supposed to live.
+package numeric
+
+import "math/big"
+
+// Mul is kernel-side arithmetic: never flagged here.
+func Mul(x, y *big.Int) *big.Int {
+	return new(big.Int).Mul(x, y)
+}
+
+// Convolve is a kernel-side u64 convolution loop: never flagged here.
+func Convolve(a, b []uint64) []uint64 {
+	out := make([]uint64, len(a)+len(b)-1)
+	for i := range a {
+		for j := range b {
+			out[i+j] += a[i] * b[j]
+		}
+	}
+	return out
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"math/rand"
 	"testing"
@@ -54,7 +55,7 @@ func assertBatchMatchesPerFact(t *testing.T, s *Solver, d *db.Database, q *query
 // assertMatchesBruteAll checks batch output against the brute-force oracle.
 func assertMatchesBruteAll(t *testing.T, vals []*ShapleyValue, d *db.Database, q query.BooleanQuery) {
 	t.Helper()
-	brute, err := BruteForceShapleyAll(d, q)
+	brute, err := BruteForceShapleyAll(context.Background(), d, q)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -42,12 +42,12 @@ func TestBruteForceMaskRangeDifferential(t *testing.T) {
 		if d.NumEndo() == 0 || d.NumEndo() > 10 {
 			continue
 		}
-		want, err := BruteForceShapleyAll(d, q)
+		want, err := BruteForceShapleyAll(context.Background(), d, q)
 		if err != nil {
 			t.Fatalf("sequential: %v\nDB:\n%s", err, d)
 		}
 		for _, workers := range []int{2, 3, 16} {
-			got, err := BruteForceShapleyAllWorkers(d, q, workers)
+			got, err := BruteForceShapleyAllWorkers(context.Background(), d, q, workers)
 			if err != nil {
 				t.Fatalf("workers=%d: %v\nDB:\n%s", workers, err, d)
 			}
@@ -85,7 +85,7 @@ func TestBruteForceMaskRangeLimit(t *testing.T) {
 	for i := 0; i < maxBruteForcePlayers+1; i++ {
 		d.MustAddEndo(db.F("R", string(rune('a'+i))))
 	}
-	if _, err := BruteForceShapleyAllWorkers(d, query.MustParse("q() :- R(x)"), 4); err == nil {
+	if _, err := BruteForceShapleyAllWorkers(context.Background(), d, query.MustParse("q() :- R(x)"), 4); err == nil {
 		t.Fatal("want player-limit error")
 	}
 }

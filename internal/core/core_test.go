@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"math/big"
 	"math/rand"
@@ -79,7 +80,7 @@ func TestExample23HierarchicalExact(t *testing.T) {
 
 func TestExample23BruteForceAgrees(t *testing.T) {
 	d := runningExample()
-	vals, err := BruteForceShapleyAll(d, q1)
+	vals, err := BruteForceShapleyAll(context.Background(), d, q1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -458,5 +459,37 @@ func TestClassificationMethodString(t *testing.T) {
 		MethodBruteForce.String() != "brute-force" ||
 		Method(99).String() != "?" {
 		t.Fatal("Method.String mismatch")
+	}
+}
+
+// TestExoRelationsSorted pins the deterministic-order contract on the
+// engine accessor: the declared set is stored as a map, so the accessor
+// must sort rather than leak map iteration order.
+func TestExoRelationsSorted(t *testing.T) {
+	eng := NewEngine(WithExoRelations("Stud", "Course", "Adv", "Zeta", "Course"))
+	got := eng.ExoRelations()
+	want := []string{"Adv", "Course", "Stud", "Zeta"}
+	if len(got) != len(want) {
+		t.Fatalf("ExoRelations() = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ExoRelations() = %v, want %v", got, want)
+		}
+	}
+}
+
+// TestBruteForceShapleyAllCancel pins the context plumbing on the newly
+// context-aware exported brute-force API: a pre-cancelled context must
+// surface context.Canceled instead of enumerating 2^n permutations.
+func TestBruteForceShapleyAllCancel(t *testing.T) {
+	d := runningExample()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := BruteForceShapleyAll(ctx, d, q1); !errors.Is(err, context.Canceled) {
+		t.Fatalf("BruteForceShapleyAll with cancelled ctx: err = %v, want context.Canceled", err)
+	}
+	if _, err := BruteForceShapleyAllWorkers(ctx, d, q1, 4); !errors.Is(err, context.Canceled) {
+		t.Fatalf("BruteForceShapleyAllWorkers with cancelled ctx: err = %v, want context.Canceled", err)
 	}
 }

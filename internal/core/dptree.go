@@ -89,7 +89,12 @@ func dbOf(facts []*taggedFact) *db.Database {
 // dpNode is one node of the DP-tree IR: the cntSat computation for one
 // (query, fact multiset) pair. All fields are immutable after construction;
 // nodes are freely shared across plan versions, across plans (seeded
-// preparation) and across concurrently running readers.
+// preparation) and across concurrently running readers. The marker below
+// makes repolint's nodeimmut analyzer enforce that: only functions
+// carrying an explicit allow directive (the construction path) may write
+// fields.
+//
+//repolint:immutable
 type dpNode struct {
 	key   string   // content address: hash over (query, Σ fact digests)
 	label string   // derived query identity (hash input, cached)
@@ -149,6 +154,8 @@ type groundLit struct {
 // profiles. Shapes are built during tree construction (under the plan
 // lock) and read-only afterwards; nodes adopted from earlier generations
 // keep their own completed shapes.
+//
+//repolint:immutable
 type dpShape struct {
 	kind nodeKind
 	rels map[string]bool // relations of this sub-query's atoms
@@ -173,6 +180,8 @@ type dpShape struct {
 // shapeFrom analyzes q. Product components recurse eagerly (the shape
 // tree is structure-sized, not data-sized); bucket child shapes are
 // derived lazily on the first value built.
+//
+//repolint:allow nodeimmut: shape construction — shapes are built single-threaded during preparation and read-only afterwards
 func shapeFrom(q *query.CQ) (*dpShape, error) {
 	s := &dpShape{repQ: q, rels: make(map[string]bool, len(q.Atoms))}
 	for _, a := range q.Atoms {
@@ -229,6 +238,8 @@ func shapeFrom(q *query.CQ) (*dpShape, error) {
 
 // bucketChildShape returns the shape shared by every child of this
 // bucket level, deriving it from the first value seen.
+//
+//repolint:allow nodeimmut: lazy one-shot derivation of the shared child shape, performed under the plan lock before any reader sees it
 func (s *dpShape) bucketChildShape(v db.Const) (*dpShape, error) {
 	if s.child == nil {
 		cs, err := shapeFrom(s.repQ.SubstituteVar(s.rootVar, v))
@@ -539,6 +550,8 @@ func (b *treeBuilder) miss() { b.stats.Misses++ }
 //     immediately preceding snapshot; it guides child matching and lets
 //     the combine step update prev's product by division instead of
 //     re-convolving.
+//
+//repolint:allow nodeimmut: node construction — fields are written before the node is interned and published
 func (b *treeBuilder) build(q *query.CQ, shape *dpShape, label string, facts []*taggedFact, prefiltered bool, prev *dpNode, depth int) (*dpNode, error) {
 	if label == "" {
 		label = hashLabel(q.String())
@@ -682,6 +695,8 @@ func (b *treeBuilder) build(q *query.CQ, shape *dpShape, label string, facts []*
 // sub-databases at every level of its implicit tree, exactly what the
 // pre-IR engine paid for a touched bucket) and stored as a single
 // structureless node.
+//
+//repolint:allow nodeimmut: node construction — fields are written before the node is interned and published
 func (b *treeBuilder) buildOpaque(q *query.CQ, label, key string, facts []*taggedFact, depth int) (*dpNode, error) {
 	n := &dpNode{key: key, label: label, kind: nodeOpaque, q: q, facts: facts}
 	for _, tf := range facts {
@@ -705,6 +720,8 @@ func (b *treeBuilder) buildOpaque(q *query.CQ, label, key string, facts []*tagge
 // relations), combined exactly like a bucket node — the union is violated
 // iff every disjunct is. relOf must map every disjunct relation to
 // its disjunct index (validated by the caller).
+//
+//repolint:allow nodeimmut: node construction — fields are written before the node is interned and published
 func (b *treeBuilder) buildUnion(u *query.UCQ, relOf map[string]int, facts []*taggedFact, prev *dpNode) (*dpNode, error) {
 	label := hashLabel(unionLabelPrefix + u.String())
 	key := b.key(label, facts)
@@ -758,6 +775,8 @@ func (b *treeBuilder) buildUnion(u *query.UCQ, relOf map[string]int, facts []*ta
 // key); otherwise it is the full convolution chain. Both routes yield the
 // identical integer vector — convolution of subset-count vectors is
 // commutative and exact.
+//
+//repolint:allow nodeimmut: construction epilogue — runs on the not-yet-interned node being built
 func (n *dpNode) combine(prev *dpNode) error {
 	for i := range n.children {
 		if n.childFactorZero(i) {
@@ -791,6 +810,8 @@ func (n *dpNode) combine(prev *dpNode) error {
 // finish derives the output vectors shared by all kinds: the free-filler
 // fold and the cached complement (the factor this node contributes to a
 // bucket- or union-style parent).
+//
+//repolint:allow nodeimmut: construction epilogue — runs on the not-yet-interned node being built
 func (n *dpNode) finish() {
 	if n.free > 0 {
 		n.sat = numeric.Convolve(n.core, numeric.Binomial(n.free))

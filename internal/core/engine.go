@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"sort"
 
 	"repro/internal/db"
 	"repro/internal/query"
@@ -70,12 +71,13 @@ func (e *Engine) Workers() int { return e.workers }
 // BruteForceAllowed reports whether the exponential fallback is enabled.
 func (e *Engine) BruteForceAllowed() bool { return e.brute }
 
-// ExoRelations returns a copy of the declared exogenous relations.
+// ExoRelations returns a sorted copy of the declared exogenous relations.
 func (e *Engine) ExoRelations() []string {
 	out := make([]string, 0, len(e.exo))
 	for r := range e.exo {
 		out = append(out, r)
 	}
+	sort.Strings(out)
 	return out
 }
 

@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/combinat"
 	"repro/internal/db"
+	"repro/internal/numeric"
 	"repro/internal/query"
 )
 
@@ -103,9 +104,10 @@ func BruteForceShapley(d *db.Database, q query.BooleanQuery, f db.Fact) (*big.Ra
 
 // BruteForceShapleyAll computes the Shapley value of every endogenous fact,
 // sharing one evaluation cache across all facts (the sequential scan:
-// every subset of the 2^m space is evaluated exactly once).
-func BruteForceShapleyAll(d *db.Database, q query.BooleanQuery) ([]*ShapleyValue, error) {
-	return bruteForceShapleyAll(context.Background(), d, q, 1)
+// every subset of the 2^m space is evaluated exactly once). The context
+// cancels the (exponential) enumeration between chunks.
+func BruteForceShapleyAll(ctx context.Context, d *db.Database, q query.BooleanQuery) ([]*ShapleyValue, error) {
+	return bruteForceShapleyAll(ctx, d, q, 1)
 }
 
 // BruteForceShapleyAllWorkers is BruteForceShapleyAll with an explicit
@@ -120,8 +122,8 @@ func BruteForceShapleyAll(d *db.Database, q query.BooleanQuery) ([]*ShapleyValue
 // scan per worker cache as the by-fact split did. Output order is
 // d.EndoFacts() order regardless of scheduling, and the values are
 // identical to the sequential scan.
-func BruteForceShapleyAllWorkers(d *db.Database, q query.BooleanQuery, workers int) ([]*ShapleyValue, error) {
-	return bruteForceShapleyAll(context.Background(), d, q, workers)
+func BruteForceShapleyAllWorkers(ctx context.Context, d *db.Database, q query.BooleanQuery, workers int) ([]*ShapleyValue, error) {
+	return bruteForceShapleyAll(ctx, d, q, workers)
 }
 
 // bruteChunkBits sizes the mask-range work units: workers claim chunks of
@@ -134,6 +136,7 @@ const bruteChunkBits = 12
 // brute-force batch entry points and the brute path of Plan / PreparedBatch.
 func bruteForceShapleyAll(ctx context.Context, d *db.Database, q query.BooleanQuery, workers int) ([]*ShapleyValue, error) {
 	if ctx == nil {
+		//repolint:allow ctxflow: defensive nil-context hardening at the internal boundary, not a detached blocking path
 		ctx = context.Background()
 	}
 	facts := d.EndoFacts()
@@ -273,7 +276,7 @@ func bruteForceShapleyAll(ctx context.Context, d *db.Database, q query.BooleanQu
 			}
 			merged[k] = c
 		}
-		out[i] = &ShapleyValue{Fact: f, Value: weightSignedCounts(merged, m), Method: MethodBruteForce}
+		out[i] = &ShapleyValue{Fact: f, Value: numeric.WeightSignedCounts(merged, m), Method: MethodBruteForce}
 	}
 	return out, nil
 }
@@ -304,26 +307,7 @@ func bruteForceOne(g *gameCache, f db.Fact) (*big.Rat, error) {
 			counts[popcount(mask)]--
 		}
 	}
-	return weightSignedCounts(counts, m), nil
-}
-
-// weightSignedCounts folds per-coalition-size signed flip counts into the
-// exact rational Shapley value Σ_k counts[k]·k!(m−1−k)!/m!, accumulating
-// the numerator over the common denominator m! and normalizing once.
-func weightSignedCounts(counts []int64, m int) *big.Rat {
-	fact := combinat.FactorialRow(m) // shared, read-only
-	num := new(big.Int)
-	term := new(big.Int)
-	c64 := new(big.Int)
-	for k, c := range counts {
-		if c == 0 {
-			continue
-		}
-		term.Mul(c64.SetInt64(c), fact[k])
-		term.Mul(term, fact[m-1-k])
-		num.Add(num, term)
-	}
-	return new(big.Rat).SetFrac(num, fact[m])
+	return numeric.WeightSignedCounts(counts, m), nil
 }
 
 // maxPermutationPlayers bounds the factorial enumeration of

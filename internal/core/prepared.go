@@ -98,6 +98,8 @@ func (p *PreparedBatch) Shapley(f db.Fact) (*ShapleyValue, error) {
 // Deprecated-style shim: new code should hold a Plan (Engine.Prepare) and
 // call Plan.ShapleyAll, which additionally accepts a context for
 // cancellation; this method runs uncancellably.
+//
+//repolint:allow ctxflow: documented uncancellable compatibility shim, kept until PreparedBatch callers migrate to Plan
 func (p *PreparedBatch) ShapleyAll(opts BatchOptions) ([]*ShapleyValue, error) {
 	return p.shapleyAll(context.Background(), opts)
 }

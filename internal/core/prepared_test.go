@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"math/rand"
 	"testing"
@@ -167,7 +168,7 @@ func TestBruteForceShapleyAllWorkers(t *testing.T) {
 		q := paperex.Example53Query()
 		facts := d.EndoFacts()
 		for _, workers := range []int{1, 3, 16} {
-			got, err := BruteForceShapleyAllWorkers(d, q, workers)
+			got, err := BruteForceShapleyAllWorkers(context.Background(), d, q, workers)
 			if err != nil {
 				t.Fatal(err)
 			}

@@ -1,5 +1,7 @@
 package experiments
 
+//repolint:allow-file numericpurity: §5 gap-construction arithmetic on closed-form factorials, not CntSat count vectors — the kernel's promotion lattice is not in play
+
 import (
 	"fmt"
 	"io"

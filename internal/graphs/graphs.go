@@ -4,6 +4,8 @@
 // graphs with 3-colorability (the problem behind Lemma D.1).
 package graphs
 
+//repolint:allow-file numericpurity: independent-set and coloring counters for the hardness reductions — combinatorial reference arithmetic, not Shapley count vectors
+
 import (
 	"fmt"
 	"math/big"

@@ -269,6 +269,35 @@ func TestWeightedDifferenceMatchesCombinat(t *testing.T) {
 	}
 }
 
+// TestWeightSignedCountsMatchesTermByTerm pins the single-normalization
+// fold against the definitional term-by-term rational sum
+// Σ_k counts[k]·ShapleyWeight(k, m). This is the brute-force epilogue
+// that used to live (as raw big.Int arithmetic) in internal/core; the
+// numericpurity analyzer now keeps it here.
+func TestWeightSignedCountsMatchesTermByTerm(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for trial := 0; trial < 200; trial++ {
+		m := 1 + rng.Intn(20)
+		counts := make([]int64, m)
+		for k := range counts {
+			counts[k] = rng.Int63n(1<<40) - (1 << 39) // signed, both signs
+		}
+		got := WeightSignedCounts(counts, m)
+		want := new(big.Rat)
+		for k, c := range counts {
+			term := combinat.ShapleyWeight(k, m)
+			term.Mul(term, new(big.Rat).SetInt64(c))
+			want.Add(want, term)
+		}
+		if got.Cmp(want) != 0 {
+			t.Fatalf("m=%d counts=%v: got %s, want %s", m, counts, got.RatString(), want.RatString())
+		}
+	}
+	if WeightSignedCounts(nil, 0).Sign() != 0 {
+		t.Fatal("m=0 must yield 0")
+	}
+}
+
 func TestBinomialRowsAndShifted(t *testing.T) {
 	for _, n := range []int{0, 1, 5, 64, 65, 67, 68, 128, 129, 140} {
 		row := Binomial(n)

@@ -529,3 +529,29 @@ func WeightedDifference(with, without Vec, m int) *big.Rat {
 	}
 	return new(big.Rat).SetFrac(num, fact[m])
 }
+
+// WeightSignedCounts folds per-coalition-size signed flip counts into the
+// exact rational Shapley value Σ_k counts[k]·k!(m−1−k)!/m!. It is the
+// brute-force sibling of WeightedDifference: the subset enumeration has
+// already collapsed with/without satisfaction into machine-word signed
+// counts per size, so only the factorial weighting remains. The same
+// single-normalization scheme applies — one numerator over the common
+// denominator m!, one GCD at the end.
+func WeightSignedCounts(counts []int64, m int) *big.Rat {
+	if m == 0 {
+		return new(big.Rat)
+	}
+	fact := combinat.FactorialRow(m) // shared, read-only
+	num := new(big.Int)
+	term := new(big.Int)
+	c64 := new(big.Int)
+	for k, c := range counts {
+		if c == 0 {
+			continue
+		}
+		term.Mul(c64.SetInt64(c), fact[k])
+		term.Mul(term, fact[m-1-k])
+		num.Add(num, term)
+	}
+	return new(big.Rat).SetFrac(num, fact[m])
+}

@@ -455,19 +455,16 @@ func (q *CQ) ExoAtomComponents(exo map[string]bool) [][]int {
 		groups[r] = append(groups[r], i)
 	}
 	var roots []int
+	byRoot := make(map[int][]int, len(groups))
 	for r := range groups {
 		sort.Ints(groups[r])
+		byRoot[groups[r][0]] = groups[r]
 		roots = append(roots, groups[r][0])
 	}
 	sort.Ints(roots)
-	var out [][]int
+	out := make([][]int, 0, len(groups))
 	for _, first := range roots {
-		for _, grp := range groups {
-			if grp[0] == first {
-				out = append(out, grp)
-				break
-			}
-		}
+		out = append(out, byRoot[first])
 	}
 	return out
 }
@@ -528,19 +525,16 @@ func (q *CQ) AtomComponents() [][]int {
 		groups[find(i)] = append(groups[find(i)], i)
 	}
 	var roots []int
+	byRoot := make(map[int][]int, len(groups))
 	for r := range groups {
 		sort.Ints(groups[r])
+		byRoot[groups[r][0]] = groups[r]
 		roots = append(roots, groups[r][0])
 	}
 	sort.Ints(roots)
 	out := make([][]int, 0, len(groups))
 	for _, first := range roots {
-		for _, grp := range groups {
-			if grp[0] == first {
-				out = append(out, grp)
-				break
-			}
-		}
+		out = append(out, byRoot[first])
 	}
 	return out
 }

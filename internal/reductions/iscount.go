@@ -1,5 +1,7 @@
 package reductions
 
+//repolint:allow-file numericpurity: Lemma B.3 oracle-recovery arithmetic (solving for #IS from Shapley values) — reduction bookkeeping, not kernel count vectors
+
 import (
 	"fmt"
 	"math/big"
