@@ -27,6 +27,7 @@ import (
 	"syscall"
 
 	"repro"
+	"repro/internal/obs"
 	"repro/internal/server"
 )
 
@@ -40,6 +41,7 @@ type runOptions struct {
 	mode      string
 	all       bool
 	explain   bool
+	trace     bool
 	jsonOut   bool
 	workers   int
 	brute     bool
@@ -58,6 +60,7 @@ func main() {
 	flag.StringVar(&o.mode, "mode", "shapley", "shapley | classify | relevance | mc | satcount | measures")
 	flag.BoolVar(&o.all, "all", false, "print a ranked attribution table over all endogenous facts (batched engine)")
 	flag.BoolVar(&o.explain, "explain", false, "with -mode shapley: print the prepared plan's DP-tree shape instead of values")
+	flag.BoolVar(&o.trace, "trace", false, "with -mode shapley: print the phase-level span tree (preparation, worker batches, tree toggles) to stderr")
 	flag.BoolVar(&o.jsonOut, "json", false, "with -mode shapley: emit JSON in the server's result schema")
 	flag.IntVar(&o.workers, "workers", 0, "worker-pool size for the batched engine (0 = GOMAXPROCS)")
 	flag.BoolVar(&o.brute, "brute-force", false, "allow exponential brute force on intractable queries")
@@ -117,6 +120,9 @@ func run(ctx context.Context, w io.Writer, o runOptions) error {
 	if o.explain && o.mode != "shapley" {
 		return fmt.Errorf("-explain applies only to -mode shapley, not %q", o.mode)
 	}
+	if o.trace && o.mode != "shapley" {
+		return fmt.Errorf("-trace applies only to -mode shapley, not %q", o.mode)
+	}
 	if o.all && o.fact != "" {
 		return fmt.Errorf("-all ranks every endogenous fact; drop -fact")
 	}
@@ -151,6 +157,11 @@ func run(ctx context.Context, w io.Writer, o runOptions) error {
 		// The Engine/Plan API: prepared once (validation, classification,
 		// ExoShap, shared CntSat tables), then any number of single-fact or
 		// all-facts queries, cancellable via the signal context.
+		if o.trace {
+			rec := obs.NewRecorder(obs.NewTraceID(), "shapley")
+			ctx = obs.WithRecorder(ctx, rec)
+			defer func() { obs.WriteText(os.Stderr, rec.Finish()) }()
+		}
 		eng := repro.NewEngine(
 			repro.WithExoRelations(exoList(exo)...),
 			repro.WithBruteForce(o.brute),

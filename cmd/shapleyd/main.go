@@ -16,6 +16,18 @@
 //	curl -s -X POST localhost:8080/v1/databases/uni/shapley \
 //	    -d '{"query":"q() :- Stud(x), !TA(x), Reg(x, y)","mode":"all"}'
 //
+// Observability (see docs/observability.md):
+//
+//   - Logs are structured JSON on stderr (log/slog); -log-level selects
+//     the floor (debug enables per-request access logs). Requests slower
+//     than -slow-query are logged at warn and counted on /metrics.
+//   - Every response carries an X-Trace-Id header (inbound X-Trace-Id is
+//     honored); appending ?trace=1 to a request echoes the request's span
+//     tree — plan lookup, preparation, per-worker batch work, tree
+//     toggles — in the response body.
+//   - -pprof-addr serves net/http/pprof on a separate listener, kept off
+//     the public mux so profiling is never exposed with the API.
+//
 // The daemon shuts down gracefully on SIGINT/SIGTERM, draining in-flight
 // requests for up to -drain; when the drain window expires, the base
 // request context is cancelled, which aborts in-flight mode=all batches
@@ -27,9 +39,10 @@ import (
 	"context"
 	"errors"
 	"flag"
-	"log"
+	"log/slog"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -38,16 +51,60 @@ import (
 	"repro/internal/server"
 )
 
+// parseLevel maps the -log-level flag to a slog level.
+func parseLevel(s string) (slog.Level, bool) {
+	switch s {
+	case "debug":
+		return slog.LevelDebug, true
+	case "info":
+		return slog.LevelInfo, true
+	case "warn":
+		return slog.LevelWarn, true
+	case "error":
+		return slog.LevelError, true
+	}
+	return 0, false
+}
+
+// pprofMux builds the profiling handler explicitly (instead of importing
+// net/http/pprof for its DefaultServeMux side effect) so the profile
+// endpoints exist only on the dedicated -pprof-addr listener.
+func pprofMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
 func main() {
 	var (
 		addr      = flag.String("addr", ":8080", "listen address")
 		workers   = flag.Int("workers", 0, "default worker-pool size for mode=all requests (0 = GOMAXPROCS)")
 		cacheSize = flag.Int("cache-size", server.DefaultCacheSize, "plan-cache capacity in entries")
 		drain     = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain timeout")
+		logLevel  = flag.String("log-level", "info", "log level: debug, info, warn or error (debug enables per-request access logs)")
+		pprofAddr = flag.String("pprof-addr", "", "serve net/http/pprof on this address (empty = disabled)")
+		slowQuery = flag.Duration("slow-query", server.DefaultSlowRequestThreshold, "log requests at least this slow at warn level and count them on /metrics (negative = disabled)")
 	)
 	flag.Parse()
 
-	srv := server.New(server.Options{Workers: *workers, CacheSize: *cacheSize})
+	level, ok := parseLevel(*logLevel)
+	if !ok {
+		slog.Error("invalid -log-level", "value", *logLevel, "want", "debug|info|warn|error")
+		os.Exit(2)
+	}
+	logger := slog.New(slog.NewJSONHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
+	slog.SetDefault(logger)
+
+	srv := server.New(server.Options{
+		Workers:              *workers,
+		CacheSize:            *cacheSize,
+		Logger:               logger,
+		SlowRequestThreshold: *slowQuery,
+	})
 	// Every request context derives from baseCtx, so cancelling it aborts
 	// all in-flight Shapley batches at once when the drain window expires.
 	baseCtx, cancelRequests := context.WithCancel(context.Background())
@@ -59,9 +116,30 @@ func main() {
 		BaseContext:       func(net.Listener) context.Context { return baseCtx },
 	}
 
+	if *pprofAddr != "" {
+		pprofSrv := &http.Server{
+			Addr:              *pprofAddr,
+			Handler:           pprofMux(),
+			ReadHeaderTimeout: 10 * time.Second,
+		}
+		go func() {
+			logger.Info("pprof listening", "addr", *pprofAddr)
+			if err := pprofSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				logger.Error("pprof server failed", "error", err)
+			}
+		}()
+		defer pprofSrv.Close()
+	}
+
 	errCh := make(chan error, 1)
 	go func() {
-		log.Printf("shapleyd: listening on %s (workers=%d cache-size=%d)", *addr, *workers, *cacheSize)
+		logger.Info("listening",
+			"addr", *addr,
+			"workers", *workers,
+			"cache_size", *cacheSize,
+			"log_level", *logLevel,
+			"slow_query", slowQuery.String(),
+		)
 		errCh <- httpSrv.ListenAndServe()
 	}()
 
@@ -71,21 +149,22 @@ func main() {
 	select {
 	case err := <-errCh:
 		if err != nil && !errors.Is(err, http.ErrServerClosed) {
-			log.Fatalf("shapleyd: %v", err)
+			logger.Error("serve failed", "error", err)
+			os.Exit(1)
 		}
 	case <-ctx.Done():
-		log.Printf("shapleyd: shutting down (draining up to %s)", *drain)
+		logger.Info("shutting down", "drain", drain.String())
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
 		defer cancel()
 		if err := httpSrv.Shutdown(shutdownCtx); err != nil {
 			// Drain expired: cancel every in-flight request context so
 			// running batches abort, then close the remaining connections.
-			log.Printf("shapleyd: drain expired, aborting in-flight batches: %v", err)
+			logger.Warn("drain expired, aborting in-flight batches", "error", err)
 			cancelRequests()
 			if err := httpSrv.Close(); err != nil {
-				log.Printf("shapleyd: forced close: %v", err)
+				logger.Error("forced close failed", "error", err)
 			}
 		}
 	}
-	log.Printf("shapleyd: bye")
+	logger.Info("bye")
 }

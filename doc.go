@@ -43,6 +43,14 @@
 //     cross-query LRU plan cache (internal/servercache) with single-flight
 //     cold paths, and chunked NDJSON streaming of mode=all batches — see
 //     docs/server.md,
+//   - an always-on observability layer (internal/obs, docs/observability.md):
+//     context-carried phase spans across the whole compute stack (prepare,
+//     apply, per-worker batch work, DP-tree toggles, weighting) that
+//     allocate only when a request opts in with ?trace=1 (or the CLI's
+//     -trace), trace-id propagation via X-Trace-Id, per-route and
+//     per-phase atomic latency histograms on /metrics, structured
+//     log/slog JSON logs with slow-query warnings, and an isolated
+//     net/http/pprof listener behind -pprof-addr,
 //   - the additive Monte-Carlo FPRAS of §5.1 and the machinery showing why
 //     no multiplicative FPRAS exists in general (gap-property witnesses,
 //     relevance hardness reductions),
@@ -64,7 +72,8 @@
 // These invariants — count arithmetic confined to the kernel, DP-tree
 // nodes immutable after interning, context threading on every blocking
 // path, no ordered output from map iteration, no blocking work under a
-// held server mutex — are enforced mechanically by a repo-specific
+// held server mutex, every obs.Start span ended on all paths — are
+// enforced mechanically by a repo-specific
 // static-analysis suite (internal/analysis, run via `go run
 // ./cmd/repolint ./...` or as a `go vet -vettool`); see docs/analysis.md.
 //

@@ -25,6 +25,13 @@ func TestLockScopeFixtures(t *testing.T) {
 	RunFixtures(t, LockScope, "lockscope/internal/server")
 }
 
+// TestSpanEndFixtures also loads the fixture obs package itself: it
+// deliberately discards a Start result and carries no want comments, so
+// the run doubles as a check that internal/obs is exempt.
+func TestSpanEndFixtures(t *testing.T) {
+	RunFixtures(t, SpanEnd, "spanend/internal/core", "spanend/internal/obs")
+}
+
 // TestDirectiveHygiene pins the pseudo-analyzer "repolint" findings:
 // unknown directives, missing reasons and unused allows are themselves
 // diagnostics, so the allowlist stays audited and self-cleaning.
@@ -33,7 +40,7 @@ func TestDirectiveHygiene(t *testing.T) {
 }
 
 func TestRegistry(t *testing.T) {
-	names := []string{"numericpurity", "nodeimmut", "ctxflow", "mapdeterminism", "lockscope"}
+	names := []string{"numericpurity", "nodeimmut", "ctxflow", "mapdeterminism", "lockscope", "spanend"}
 	all := All()
 	if len(all) != len(names) {
 		t.Fatalf("All() returned %d analyzers, want %d", len(all), len(names))

@@ -8,6 +8,7 @@ func All() []*Analyzer {
 		CtxFlow,
 		MapDeterminism,
 		LockScope,
+		SpanEnd,
 	}
 }
 

@@ -1,0 +1,336 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// SpanEnd enforces the tracing invariant introduced with internal/obs:
+// every span returned by obs.Start must be ended on every path out of the
+// scope that started it. A span only attaches to its parent (and so to
+// the ?trace=1 output) when End runs; a path that returns without ending
+// the span silently drops the subtree it recorded — the trace stays
+// well-formed and nobody notices the hole. The analyzer accepts the two
+// idioms the repo uses: `defer sp.End()` (or a deferred closure that
+// calls it) immediately after Start, and an explicit sp.End() on every
+// return path. Spans handed to a closure (a worker goroutine ending its
+// own span) or returned to the caller transfer ownership and are not
+// flagged in the starting scope.
+//
+// The walk is per-function and lexical: nested blocks are analyzed with a
+// copy of the open-span set, so a span ended inside only one branch of an
+// if/switch is still open on the fallthrough path and gets reported at
+// the return that leaks it. Deliberate transfers the analyzer cannot see
+// (a span stored in a struct and ended elsewhere) carry a
+// //repolint:allow spanend: <reason> directive.
+var SpanEnd = &Analyzer{
+	Name: "spanend",
+	Doc:  "every obs.Start span must be ended on all paths (defer sp.End() or an explicit End per return)",
+	Run:  runSpanEnd,
+}
+
+// obsPkgSuffix is the span package itself, which is exempt (it implements
+// the lifecycle the rule enforces).
+const obsPkgSuffix = "internal/obs"
+
+func runSpanEnd(pass *Pass) error {
+	if PathHasSuffix(pass.Pkg.Path(), obsPkgSuffix) {
+		return nil
+	}
+	w := &spanWalker{pass: pass}
+	for _, fd := range funcDecls(pass.Files) {
+		w.scope(fd.Body)
+	}
+	return nil
+}
+
+type spanWalker struct {
+	pass *Pass
+}
+
+// openSpan tracks one started, not-yet-ended span variable.
+type openSpan struct {
+	obj  types.Object // the span variable
+	name string       // its source name, for diagnostics
+}
+
+// isObsStart reports whether call invokes obs.Start.
+func (w *spanWalker) isObsStart(call *ast.CallExpr) bool {
+	obj := calleeObj(w.pass.TypesInfo, call)
+	return obj != nil && obj.Name() == "Start" && PathHasSuffix(objPkgPath(obj), obsPkgSuffix)
+}
+
+// spanEndTarget returns the object whose End method the statement-level
+// call invokes (sp.End()), or nil.
+func (w *spanWalker) spanEndTarget(call *ast.CallExpr) types.Object {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "End" {
+		return nil
+	}
+	id, ok := ast.Unparen(sel.X).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	return w.pass.TypesInfo.Uses[id]
+}
+
+// scope analyzes one function body (a FuncDecl's or a FuncLit's) as an
+// independent span scope.
+func (w *spanWalker) scope(body *ast.BlockStmt) {
+	if body == nil {
+		return
+	}
+	open := make(map[types.Object]*openSpan)
+	terminated := w.block(body.List, open, nil)
+	if !terminated {
+		for _, sp := range open {
+			w.pass.Reportf(sp.obj.Pos(), "span %s is not ended before the function falls off the end: defer %s.End() after obs.Start, or call it on every path", sp.name, sp.name)
+		}
+	}
+}
+
+// block walks a statement list sequentially, mutating open, and reports
+// spans still open at each return. openedHere collects the spans this
+// block opened (nil for the outermost call, whose leaks scope() reports).
+// It returns true when the list ends in a statement that leaves the
+// enclosing function (return, panic) or the block (break/continue/goto),
+// meaning the fall-off-the-end leak check does not apply.
+func (w *spanWalker) block(stmts []ast.Stmt, open map[types.Object]*openSpan, openedHere *[]types.Object) bool {
+	for _, stmt := range stmts {
+		// Closures: a FuncLit anywhere in the statement is (a) its own
+		// scope for spans it starts, and (b) an ownership transfer for any
+		// currently-open span it ends (worker goroutines, deferred
+		// cleanup closures).
+		w.visitFuncLits(stmt, open)
+
+		switch st := stmt.(type) {
+		case *ast.AssignStmt:
+			w.recordStarts(st, open, openedHere)
+		case *ast.DeclStmt:
+			if gd, ok := st.Decl.(*ast.GenDecl); ok {
+				for _, spec := range gd.Specs {
+					if vs, ok := spec.(*ast.ValueSpec); ok {
+						w.recordDeclStarts(vs, open, openedHere)
+					}
+				}
+			}
+		case *ast.ExprStmt:
+			if call, ok := ast.Unparen(st.X).(*ast.CallExpr); ok {
+				if w.isObsStart(call) {
+					w.pass.Reportf(call.Pos(), "result of obs.Start is discarded: the returned span can never be ended")
+					continue
+				}
+				if obj := w.spanEndTarget(call); obj != nil {
+					delete(open, obj)
+				}
+				if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "panic" {
+					return true
+				}
+			}
+		case *ast.DeferStmt:
+			// defer sp.End() — or a deferred closure calling it — covers
+			// every path from here on; visitFuncLits already handled the
+			// closure form, so only the direct form remains.
+			if obj := w.spanEndTarget(st.Call); obj != nil {
+				delete(open, obj)
+			}
+		case *ast.ReturnStmt:
+			w.reportAtReturn(st, open)
+			return true
+		case *ast.BranchStmt:
+			// break/continue/goto leave the block; the paths they reach
+			// are beyond this lexical walk, so stay silent rather than
+			// guess.
+			return true
+		case *ast.BlockStmt:
+			if w.nested(st.List, open) {
+				return true
+			}
+		case *ast.IfStmt:
+			// An if whose branches all terminate makes the rest of this
+			// block dead — the End-per-case idiom (every branch does
+			// sp.End(); return ...) must not trip the fall-off check.
+			bodyTerm := w.nested(st.Body.List, open)
+			elseTerm := false
+			if st.Else != nil {
+				elseTerm = w.nested([]ast.Stmt{st.Else}, open)
+			}
+			if bodyTerm && elseTerm {
+				return true
+			}
+		case *ast.ForStmt:
+			w.nested(st.Body.List, open)
+		case *ast.RangeStmt:
+			w.nested(st.Body.List, open)
+		case *ast.SwitchStmt:
+			if w.caseClauses(st.Body, open) {
+				return true
+			}
+		case *ast.TypeSwitchStmt:
+			if w.caseClauses(st.Body, open) {
+				return true
+			}
+		case *ast.SelectStmt:
+			allTerm := len(st.Body.List) > 0
+			for _, c := range st.Body.List {
+				if cc, ok := c.(*ast.CommClause); ok {
+					if !w.nested(cc.Body, open) {
+						allTerm = false
+					}
+				}
+			}
+			if allTerm {
+				return true
+			}
+		case *ast.LabeledStmt:
+			if w.block([]ast.Stmt{st.Stmt}, open, openedHere) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// caseClauses analyzes each case body of a switch and reports whether the
+// switch as a whole terminates: a default clause exists and every clause
+// terminates, so no path falls through to the statements after it.
+func (w *spanWalker) caseClauses(body *ast.BlockStmt, open map[types.Object]*openSpan) bool {
+	allTerm := len(body.List) > 0
+	hasDefault := false
+	for _, c := range body.List {
+		cc, ok := c.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		if cc.List == nil {
+			hasDefault = true
+		}
+		if !w.nested(cc.Body, open) {
+			allTerm = false
+		}
+	}
+	return allTerm && hasDefault
+}
+
+// nested analyzes a subordinate block with a copy of the open set (ending
+// a span inside one branch does not end it on the others) and reports
+// spans the branch itself opened and leaked. It returns true when the
+// branch terminates (its leaks were already handled at its return).
+func (w *spanWalker) nested(stmts []ast.Stmt, outer map[types.Object]*openSpan) bool {
+	open := make(map[types.Object]*openSpan, len(outer))
+	for k, v := range outer {
+		open[k] = v
+	}
+	var openedHere []types.Object
+	terminated := w.block(stmts, open, &openedHere)
+	if !terminated {
+		for _, obj := range openedHere {
+			if sp, still := open[obj]; still {
+				w.pass.Reportf(sp.obj.Pos(), "span %s started in this block is not ended before the block ends", sp.name)
+			}
+		}
+	}
+	return terminated
+}
+
+// recordStarts tracks the span variable of `_, sp := obs.Start(...)`.
+func (w *spanWalker) recordStarts(st *ast.AssignStmt, open map[types.Object]*openSpan, openedHere *[]types.Object) {
+	if len(st.Rhs) != 1 {
+		return
+	}
+	call, ok := ast.Unparen(st.Rhs[0]).(*ast.CallExpr)
+	if !ok || !w.isObsStart(call) {
+		return
+	}
+	if len(st.Lhs) != 2 {
+		return
+	}
+	id, ok := ast.Unparen(st.Lhs[1]).(*ast.Ident)
+	if !ok {
+		return
+	}
+	if id.Name == "_" {
+		w.pass.Reportf(id.Pos(), "span returned by obs.Start is assigned to _: the span can never be ended")
+		return
+	}
+	obj := w.pass.TypesInfo.Defs[id]
+	if obj == nil {
+		obj = w.pass.TypesInfo.Uses[id] // plain `=` re-assignment
+	}
+	if obj == nil {
+		return
+	}
+	open[obj] = &openSpan{obj: obj, name: id.Name}
+	if openedHere != nil {
+		*openedHere = append(*openedHere, obj)
+	}
+}
+
+// recordDeclStarts is recordStarts for `var ctx, sp = obs.Start(...)`.
+func (w *spanWalker) recordDeclStarts(vs *ast.ValueSpec, open map[types.Object]*openSpan, openedHere *[]types.Object) {
+	if len(vs.Values) != 1 || len(vs.Names) != 2 {
+		return
+	}
+	call, ok := ast.Unparen(vs.Values[0]).(*ast.CallExpr)
+	if !ok || !w.isObsStart(call) {
+		return
+	}
+	id := vs.Names[1]
+	if id.Name == "_" {
+		w.pass.Reportf(id.Pos(), "span returned by obs.Start is assigned to _: the span can never be ended")
+		return
+	}
+	obj := w.pass.TypesInfo.Defs[id]
+	if obj == nil {
+		return
+	}
+	open[obj] = &openSpan{obj: obj, name: id.Name}
+	if openedHere != nil {
+		*openedHere = append(*openedHere, obj)
+	}
+}
+
+// reportAtReturn flags every span still open at a return, except spans
+// the return hands to the caller (ownership transfer, the wrapper-helper
+// shape).
+func (w *spanWalker) reportAtReturn(ret *ast.ReturnStmt, open map[types.Object]*openSpan) {
+	returned := make(map[types.Object]bool)
+	for _, res := range ret.Results {
+		ast.Inspect(res, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok {
+				if obj := w.pass.TypesInfo.Uses[id]; obj != nil {
+					returned[obj] = true
+				}
+			}
+			return true
+		})
+	}
+	for _, sp := range open {
+		if returned[sp.obj] {
+			continue
+		}
+		w.pass.Reportf(ret.Pos(), "return without ending span %s (started at obs.Start): call %s.End() before returning or defer it", sp.name, sp.name)
+	}
+}
+
+// visitFuncLits finds every function literal in the statement, treats the
+// spans it ends as transferred out of the current scope, and analyzes its
+// body as an independent scope.
+func (w *spanWalker) visitFuncLits(stmt ast.Stmt, open map[types.Object]*openSpan) {
+	ast.Inspect(stmt, func(n ast.Node) bool {
+		fl, ok := n.(*ast.FuncLit)
+		if !ok {
+			return true
+		}
+		ast.Inspect(fl.Body, func(m ast.Node) bool {
+			if call, ok := m.(*ast.CallExpr); ok {
+				if obj := w.spanEndTarget(call); obj != nil {
+					delete(open, obj)
+				}
+			}
+			return true
+		})
+		w.scope(fl.Body)
+		return false // the literal's own spans were handled by scope()
+	})
+}

@@ -1,0 +1,141 @@
+// Package core exercises the spanend analyzer: every span returned by
+// obs.Start must be ended on all paths out of the scope that opened it.
+package core
+
+import (
+	"context"
+	"errors"
+
+	"spanend/internal/obs"
+)
+
+var cond bool
+
+func work(ctx context.Context) error { return ctx.Err() }
+
+// DeferOK is the canonical shape: End deferred immediately after Start.
+func DeferOK(ctx context.Context) error {
+	ctx, sp := obs.Start(ctx, "defer-ok")
+	defer sp.End()
+	if cond {
+		return errors.New("early")
+	}
+	return work(ctx)
+}
+
+// PerReturnOK ends the span explicitly on every path.
+func PerReturnOK(ctx context.Context) error {
+	ctx, sp := obs.Start(ctx, "per-return")
+	if err := work(ctx); err != nil {
+		sp.End()
+		return err
+	}
+	sp.SetAttrs(obs.Int("facts", 1))
+	sp.End()
+	return nil
+}
+
+// LeakOnErrorPath ends the span on the happy path only: the early return
+// inside the if block escapes with the span still open.
+func LeakOnErrorPath(ctx context.Context) error {
+	ctx, sp := obs.Start(ctx, "leaky")
+	if err := work(ctx); err != nil {
+		return err // want `return without ending span sp`
+	}
+	sp.End()
+	return nil
+}
+
+// Discarded throws the span away at the call site.
+func Discarded(ctx context.Context) {
+	obs.Start(ctx, "discarded") // want `result of obs.Start is discarded`
+}
+
+// Blanked binds the span to the blank identifier.
+func Blanked(ctx context.Context) context.Context {
+	ctx, _ = obs.Start(ctx, "blanked") // want `span returned by obs.Start is assigned to _`
+	return ctx
+}
+
+// FallsOffEnd never returns explicitly and never ends the span.
+func FallsOffEnd(ctx context.Context) {
+	_, sp := obs.Start(ctx, "fall-off") // want `span sp is not ended before the function falls off the end`
+	sp.SetAttrs(obs.Int("facts", 2))
+}
+
+// FallOffOK ends the span before control falls off the end.
+func FallOffOK(ctx context.Context) {
+	_, sp := obs.Start(ctx, "fall-off-ok")
+	sp.End()
+}
+
+// TransferByReturn hands the open span to its caller: the wrapper-helper
+// shape. The caller owns the End; no diagnostic here.
+func TransferByReturn(ctx context.Context) (context.Context, *obs.Span) {
+	ctx, sp := obs.Start(ctx, "transfer")
+	return ctx, sp
+}
+
+// TransferToClosure ends the span inside a deferred closure (the
+// worker-goroutine idiom): ownership moves into the literal.
+func TransferToClosure(ctx context.Context) error {
+	ctx, sp := obs.Start(ctx, "closure")
+	processed := 0
+	defer func() {
+		if sp.Recording() {
+			sp.SetAttrs(obs.Int("facts", processed))
+		}
+		sp.End()
+	}()
+	processed++
+	return work(ctx)
+}
+
+// ClosureScope checks that a function literal is its own scope: the span
+// started inside it must be ended inside it.
+func ClosureScope(ctx context.Context) {
+	run := func() {
+		_, inner := obs.Start(ctx, "inner") // want `span inner is not ended before the function falls off the end`
+		inner.SetAttrs(obs.Int("facts", 3))
+	}
+	run()
+}
+
+// BranchLeak starts a span inside a block and lets the block end without
+// closing it: the span is unreachable afterwards.
+func BranchLeak(ctx context.Context) {
+	if cond {
+		_, sp := obs.Start(ctx, "branch") // want `span sp started in this block is not ended before the block ends`
+		sp.SetAttrs(obs.Int("facts", 4))
+	}
+}
+
+// BranchOK starts and ends a span within the same block.
+func BranchOK(ctx context.Context) {
+	if cond {
+		_, sp := obs.Start(ctx, "branch-ok")
+		sp.End()
+	}
+}
+
+// SwitchPerCaseOK ends the span in every switch case that returns.
+func SwitchPerCaseOK(ctx context.Context, mode string) error {
+	ctx, sp := obs.Start(ctx, "switch")
+	switch mode {
+	case "all":
+		sp.End()
+		return work(ctx)
+	default:
+		sp.End()
+		return nil
+	}
+}
+
+// StoredForLater stashes the span in a struct ended by another component;
+// the lexical analyzer cannot see that, so the leak is acknowledged.
+//
+//repolint:allow spanend: span ownership moves into the sink struct, which ends it on Close
+func StoredForLater(ctx context.Context, sink *struct{ Sp *obs.Span }) {
+	_, sp := obs.Start(ctx, "stored")
+	sink.Sp = sp
+}

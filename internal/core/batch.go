@@ -1,11 +1,13 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math/big"
 
 	"repro/internal/db"
 	"repro/internal/numeric"
+	"repro/internal/obs"
 	"repro/internal/query"
 )
 
@@ -98,8 +100,11 @@ func newSatCountContext(d *db.Database, q *query.CQ, memo *satMemo, prev *satCou
 // shapley computes Shapley(D, q, f) for an endogenous fact of the
 // context's database, reusing the materialized DP-tree: only the spine of
 // nodes containing f is recomputed, with sibling subtrees combined through
-// the per-node leave-one-out products.
-func (c *satCountContext) shapley(f db.Fact) (*big.Rat, error) {
+// the per-node leave-one-out products. The context carries the request's
+// obs recorder (when tracing is on) so the tree work and the weighting
+// epilogue surface as distinct merged spans; it is not consulted for
+// cancellation — a single toggle is far below cancellation granularity.
+func (c *satCountContext) shapley(ctx context.Context, f db.Fact) (*big.Rat, error) {
 	if !c.d.IsEndogenous(f) {
 		return nil, fmt.Errorf("%w: %s", ErrNotEndogenous, f)
 	}
@@ -109,9 +114,14 @@ func (c *satCountContext) shapley(f db.Fact) (*big.Rat, error) {
 	if !c.root.matchesAny(f) {
 		return new(big.Rat), nil
 	}
+	_, tsp := obs.Start(ctx, "tree.toggle")
 	with, without, err := c.root.toggle(f)
+	tsp.End()
 	if err != nil {
 		return nil, err
 	}
-	return numeric.WeightedDifference(with, without, c.m), nil
+	_, wsp := obs.Start(ctx, "weight")
+	v := numeric.WeightedDifference(with, without, c.m)
+	wsp.End()
+	return v, nil
 }

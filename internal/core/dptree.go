@@ -478,9 +478,15 @@ func (mm *satMemo) entries() int {
 // (a Prepare, an Apply, or a seeded preparation): Hits counts subtrees
 // reused from the content-addressed memo, Misses the nodes whose input
 // content changed (or was first seen) and had to be rebuilt.
+// ProdMaintained and ProdRebuilt split the rebuilt interior nodes by the
+// route maintainProd took: the previous product updated by exact division
+// (deconvolve stale factors, convolve fresh ones) versus the full
+// convolution chain over all children.
 type BuildStats struct {
-	Hits   uint64
-	Misses uint64
+	Hits           uint64
+	Misses         uint64
+	ProdMaintained uint64
+	ProdRebuilt    uint64
 }
 
 // treeBuilder threads the memo and per-build counters through one tree
@@ -636,7 +642,7 @@ func (b *treeBuilder) build(q *query.CQ, shape *dpShape, label string, facts []*
 			}
 			n.children[ci] = child
 		}
-		if err := n.combine(prev); err != nil {
+		if err := n.combine(prev, &b.stats); err != nil {
 			return nil, err
 		}
 
@@ -680,7 +686,7 @@ func (b *treeBuilder) build(q *query.CQ, shape *dpShape, label string, facts []*
 			}
 			n.children[bi] = child
 		}
-		if err := n.combine(prev); err != nil {
+		if err := n.combine(prev, &b.stats); err != nil {
 			return nil, err
 		}
 	}
@@ -760,7 +766,7 @@ func (b *treeBuilder) buildUnion(u *query.UCQ, relOf map[string]int, facts []*ta
 		}
 		n.children[i] = child
 	}
-	if err := n.combine(prev); err != nil {
+	if err := n.combine(prev, &b.stats); err != nil {
 		return nil, err
 	}
 	n.finish()
@@ -777,13 +783,13 @@ func (b *treeBuilder) buildUnion(u *query.UCQ, relOf map[string]int, facts []*ta
 // commutative and exact.
 //
 //repolint:allow nodeimmut: construction epilogue — runs on the not-yet-interned node being built
-func (n *dpNode) combine(prev *dpNode) error {
+func (n *dpNode) combine(prev *dpNode, st *BuildStats) error {
 	for i := range n.children {
 		if n.childFactorZero(i) {
 			n.zeros++
 		}
 	}
-	n.prod = n.maintainProd(prev)
+	n.prod = n.maintainProd(prev, st)
 	switch n.kind {
 	case nodeProduct:
 		// The conjunction holds iff it holds componentwise; counts convolve.
@@ -835,7 +841,7 @@ func (n *dpNode) finish() {
 // the plain convolution chain is the cheaper exact route. Both routes
 // yield the identical integer vector, since convolution of subset-count
 // vectors is commutative and exact.
-func (n *dpNode) maintainProd(prev *dpNode) numeric.Vec {
+func (n *dpNode) maintainProd(prev *dpNode, st *BuildStats) numeric.Vec {
 	if prev != nil && !prev.prod.IsEmpty() {
 		oldKeys := make(map[string]bool, len(prev.children))
 		for _, c := range prev.children {
@@ -857,6 +863,9 @@ func (n *dpNode) maintainProd(prev *dpNode) numeric.Vec {
 			}
 		}
 		if 2*changed < len(n.children)-n.zeros {
+			if st != nil {
+				st.ProdMaintained++
+			}
 			prod := prev.prod
 			for i, c := range prev.children {
 				if !curKeys[c.key] && !prev.childFactorZero(i) {
@@ -870,6 +879,9 @@ func (n *dpNode) maintainProd(prev *dpNode) numeric.Vec {
 			}
 			return prod
 		}
+	}
+	if st != nil {
+		st.ProdRebuilt++
 	}
 	vecs := make([]numeric.Vec, 0, len(n.children))
 	for i := range n.children {
@@ -1149,6 +1161,12 @@ type TreeStats struct {
 	MemoHits    uint64 // last build (Prepare, Apply or seeded preparation)
 	MemoMisses  uint64
 	MemoEntries int // live nodes in the memo's current generation
+
+	// Product-maintenance route mix of the last build: interior nodes whose
+	// convolution product was updated by exact division against the
+	// previous snapshot versus rebuilt by the full convolution chain.
+	ProdMaintained uint64
+	ProdRebuilt    uint64
 }
 
 // treeStats walks the tree rooted at n.

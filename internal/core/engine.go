@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"repro/internal/db"
+	"repro/internal/obs"
 	"repro/internal/query"
 )
 
@@ -90,12 +91,15 @@ func (e *Engine) Prepare(ctx context.Context, d *db.Database, q *query.CQ) (*Pla
 	if err := ctxErr(ctx); err != nil {
 		return nil, err
 	}
+	_, sp := obs.Start(ctx, "engine.prepare")
+	defer sp.End()
 	memo := newSatMemo()
 	snap := d.Clone() // the plan owns its snapshot; ctx retains it
 	pb, err := prepareCQ(snap, q, e.exo, e.brute, prepExtras{memo: memo})
 	if err != nil {
 		return nil, err
 	}
+	annotatePrepare(sp, pb)
 	return &Plan{eng: e, cq: q, d: snap, version: 1, pb: pb, memo: memo}, nil
 }
 
@@ -107,12 +111,15 @@ func (e *Engine) PrepareUCQ(ctx context.Context, d *db.Database, u *query.UCQ) (
 	if err := ctxErr(ctx); err != nil {
 		return nil, err
 	}
+	_, sp := obs.Start(ctx, "engine.prepare")
+	defer sp.End()
 	memo := newSatMemo()
 	snap := d.Clone()
 	pb, err := prepareUCQ(snap, u, e.exo, e.brute, prepExtras{memo: memo})
 	if err != nil {
 		return nil, err
 	}
+	annotatePrepare(sp, pb)
 	return &Plan{eng: e, ucq: u, d: snap, version: 1, pb: pb, memo: memo}, nil
 }
 
@@ -132,6 +139,8 @@ func (e *Engine) PrepareFrom(ctx context.Context, d *db.Database, seed *Plan) (*
 	if err := ctxErr(ctx); err != nil {
 		return nil, err
 	}
+	_, sp := obs.Start(ctx, "engine.prepare_from")
+	defer sp.End()
 	seed.mu.RLock()
 	memo := seed.memo.fork()
 	prev := seed.pb
@@ -151,7 +160,52 @@ func (e *Engine) PrepareFrom(ctx context.Context, d *db.Database, seed *Plan) (*
 	if err != nil {
 		return nil, err
 	}
+	annotatePrepare(sp, pb)
 	return &Plan{eng: e, cq: cq, ucq: ucq, d: snap, version: 1, pb: pb, memo: memo}, nil
+}
+
+// annotatePrepare attaches the preparation's outcome to its span: the
+// algorithm chosen by the dichotomy (with the structural reason when it is
+// the brute-force fallback), the tree shape and the memo traffic of the
+// construction. The TreeStats walk runs only when a recorder is attached.
+func annotatePrepare(sp *obs.Span, pb *PreparedBatch) {
+	if !sp.Recording() {
+		return
+	}
+	st := pb.buildStats()
+	attrs := []obs.Attr{
+		obs.String("method", pb.Method().String()),
+		obs.Int("facts", pb.NumFacts()),
+		obs.Int64("memo_hits", int64(st.Hits)),
+		obs.Int64("memo_misses", int64(st.Misses)),
+	}
+	if ts := treeStats(pb.treeRoot()); ts.Nodes > 0 {
+		attrs = append(attrs,
+			obs.Int("tree_nodes", ts.Nodes),
+			obs.Int("tree_depth", ts.Depth),
+		)
+	}
+	if pb.Method() == MethodBruteForce {
+		attrs = append(attrs, obs.String("fallback_reason", fallbackReason(pb.Classification())))
+	}
+	sp.SetAttrs(attrs...)
+}
+
+// fallbackReason names the structural property that pushed a prepared
+// query onto the brute-force side of the dichotomy.
+func fallbackReason(c Classification) string {
+	switch {
+	case !c.SelfJoinFree:
+		return "self-join"
+	case !c.Hierarchical:
+		return "non-hierarchical"
+	case c.HasNonHierPath:
+		return "non-hierarchical-endo-path"
+	default:
+		// Structurally fine disjuncts that share a relation (the UCQ
+		// disjointness precondition) are the remaining way in.
+		return "union-not-relation-disjoint"
+	}
 }
 
 // ctxErr reports a context's error, treating nil as never cancelled.

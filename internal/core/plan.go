@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"repro/internal/db"
+	"repro/internal/obs"
 	"repro/internal/query"
 )
 
@@ -98,7 +99,7 @@ func (v *PlanView) Shapley(ctx context.Context, f db.Fact) (*ShapleyValue, error
 	if err := ctxErr(ctx); err != nil {
 		return nil, err
 	}
-	return v.pb.Shapley(f)
+	return v.pb.shapleyOne(ctx, f)
 }
 
 // ShapleyAll computes the value of every endogenous fact of the pinned
@@ -148,6 +149,8 @@ func (p *Plan) Apply(ctx context.Context, delta db.Delta) (db.Version, error) {
 	if err := ctxErr(ctx); err != nil {
 		return p.version, err
 	}
+	_, sp := obs.Start(ctx, "plan.apply")
+	defer sp.End()
 	newD, err := p.d.Apply(delta)
 	if err != nil {
 		return p.version, err
@@ -170,6 +173,16 @@ func (p *Plan) Apply(ctx context.Context, delta db.Delta) (db.Version, error) {
 	memo.commitNext(p.memo)
 	p.d, p.pb, p.memo = newD, pb, memo
 	p.version++
+	if sp.Recording() {
+		st := pb.buildStats()
+		sp.SetAttrs(
+			obs.Int64("version", int64(p.version)),
+			obs.Int64("memo_hits", int64(st.Hits)),
+			obs.Int64("memo_misses", int64(st.Misses)),
+			obs.Int64("prod_maintained", int64(st.ProdMaintained)),
+			obs.Int64("prod_rebuilt", int64(st.ProdRebuilt)),
+		)
+	}
 	return p.version, nil
 }
 
@@ -193,6 +206,7 @@ func (p *Plan) TreeStats() TreeStats {
 	ts := treeStats(p.pb.treeRoot())
 	st := p.pb.buildStats()
 	ts.MemoHits, ts.MemoMisses = st.Hits, st.Misses
+	ts.ProdMaintained, ts.ProdRebuilt = st.ProdMaintained, st.ProdRebuilt
 	ts.MemoEntries = p.memo.entries()
 	return ts
 }

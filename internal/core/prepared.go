@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/db"
+	"repro/internal/obs"
 	"repro/internal/query"
 )
 
@@ -66,24 +67,38 @@ func (p *PreparedBatch) NumFacts() int { return len(p.facts) }
 // Shapley computes the value of a single endogenous fact, reusing the
 // prepared tables. It is bit-for-bit identical to Solver.Shapley on the
 // prepared database and query.
+//
+// Deprecated-style shim: new code should hold a Plan and call
+// Plan.Shapley (or PlanView.Shapley), which additionally accepts a
+// context for cancellation and tracing; this method runs untraced.
+//
+//repolint:allow ctxflow: documented uncancellable compatibility shim, kept until PreparedBatch callers migrate to Plan
 func (p *PreparedBatch) Shapley(f db.Fact) (*ShapleyValue, error) {
+	return p.shapleyOne(context.Background(), f)
+}
+
+// shapleyOne is the context-aware single-fact engine shared by the
+// deprecated PreparedBatch.Shapley shim and PlanView.Shapley.
+func (p *PreparedBatch) shapleyOne(ctx context.Context, f db.Fact) (*ShapleyValue, error) {
 	switch {
 	case p.empty:
 		return nil, fmt.Errorf("%w: %s", ErrNotEndogenous, f)
 	case p.ctx != nil:
-		v, err := p.ctx.shapley(f)
+		v, err := p.ctx.shapley(ctx, f)
 		if err != nil {
 			return nil, err
 		}
 		return &ShapleyValue{Fact: f, Value: v, Method: p.method}, nil
 	case p.uctx != nil:
-		v, err := p.uctx.shapley(f)
+		v, err := p.uctx.shapley(ctx, f)
 		if err != nil {
 			return nil, err
 		}
 		return &ShapleyValue{Fact: f, Value: v, Method: p.method}, nil
 	default:
+		_, sp := obs.Start(ctx, "brute.force")
 		v, err := BruteForceShapley(p.bruteDB, p.bruteQ, f)
+		sp.End()
 		if err != nil {
 			return nil, err
 		}
@@ -115,7 +130,9 @@ func (p *PreparedBatch) shapleyAll(ctx context.Context, opts BatchOptions) ([]*S
 	case p.uctx != nil:
 		return runFactPool(ctx, p.facts, opts, p.method, p.uctx.shapley)
 	default:
-		vals, err := bruteForceShapleyAll(ctx, p.bruteDB, p.bruteQ, opts.Workers)
+		bctx, sp := obs.Start(ctx, "brute.force")
+		vals, err := bruteForceShapleyAll(bctx, p.bruteDB, p.bruteQ, opts.Workers)
+		sp.End()
 		if err != nil {
 			return nil, err
 		}
@@ -326,7 +343,7 @@ func classifyUCQ(u *query.UCQ) Classification {
 // cancellation. On cancellation the partial results are discarded and
 // ctx.Err() is returned (a compute error observed first takes precedence);
 // OnResult callbacks already delivered are not unwound.
-func runFactPool(ctx context.Context, facts []db.Fact, opts BatchOptions, method Method, compute func(db.Fact) (*big.Rat, error)) ([]*ShapleyValue, error) {
+func runFactPool(ctx context.Context, facts []db.Fact, opts BatchOptions, method Method, compute func(context.Context, db.Fact) (*big.Rat, error)) ([]*ShapleyValue, error) {
 	out := make([]*ShapleyValue, len(facts))
 	if len(facts) == 0 {
 		return out, nil
@@ -359,6 +376,17 @@ func runFactPool(ctx context.Context, facts []db.Fact, opts BatchOptions, method
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			// Each worker is one span; the per-fact spans the compute
+			// functions open underneath merge into occurrence-counted
+			// leaves, keeping traces small for arbitrarily large batches.
+			wctx, wsp := obs.Start(ctx, "batch.worker")
+			processed := 0
+			defer func() {
+				if wsp.Recording() {
+					wsp.SetAttrs(obs.Int("facts", processed))
+				}
+				wsp.End()
+			}()
 			for {
 				i := int(atomic.AddInt64(&next, 1))
 				if i >= len(facts) {
@@ -376,7 +404,8 @@ func runFactPool(ctx context.Context, facts []db.Fact, opts BatchOptions, method
 					default:
 					}
 				}
-				v, err := compute(facts[i])
+				v, err := compute(wctx, facts[i])
+				processed++
 				mu.Lock()
 				if err != nil {
 					if firstIdx == -1 || i < firstIdx {

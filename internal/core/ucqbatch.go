@@ -1,12 +1,14 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/big"
 
 	"repro/internal/db"
 	"repro/internal/numeric"
+	"repro/internal/obs"
 	"repro/internal/query"
 )
 
@@ -74,7 +76,7 @@ func newUCQSatContext(d *db.Database, u *query.UCQ, memo *satMemo, prev *ucqSatC
 // shapley computes Shapley(D, u, f) for an endogenous fact of the
 // context's database, reusing the materialized DP-tree. It is bit-for-bit
 // identical to ShapleyHierarchicalUCQ(d, u, f).
-func (c *ucqSatContext) shapley(f db.Fact) (*big.Rat, error) {
+func (c *ucqSatContext) shapley(ctx context.Context, f db.Fact) (*big.Rat, error) {
 	if !c.d.IsEndogenous(f) {
 		return nil, fmt.Errorf("%w: %s", ErrNotEndogenous, f)
 	}
@@ -84,11 +86,16 @@ func (c *ucqSatContext) shapley(f db.Fact) (*big.Rat, error) {
 	if !c.root.matchesAny(f) {
 		return new(big.Rat), nil
 	}
+	_, tsp := obs.Start(ctx, "tree.toggle")
 	with, without, err := c.root.toggle(f)
+	tsp.End()
 	if err != nil {
 		return nil, err
 	}
-	return numeric.WeightedDifference(with, without, c.m), nil
+	_, wsp := obs.Start(ctx, "weight")
+	v := numeric.WeightedDifference(with, without, c.m)
+	wsp.End()
+	return v, nil
 }
 
 // ShapleyAllUCQ computes the Shapley value of every endogenous fact for a

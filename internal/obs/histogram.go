@@ -1,0 +1,161 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// DefaultDurationBuckets are the fixed latency boundaries (seconds)
+// shared by every duration histogram of the repo: 100µs to 10s in a
+// 1-2.5-5 progression. Fixed boundaries keep bucket counters plain
+// atomics and make scrapes from different processes comparable.
+var DefaultDurationBuckets = []float64{
+	0.0001, 0.00025, 0.0005,
+	0.001, 0.0025, 0.005,
+	0.01, 0.025, 0.05,
+	0.1, 0.25, 0.5,
+	1, 2.5, 5, 10,
+}
+
+// Histogram is a fixed-boundary latency histogram: one atomic counter
+// per bucket plus an atomic nanosecond sum. Observe is lock-free and
+// allocation-free, so histograms sit directly on request hot paths.
+// Boundaries are upper bounds in seconds, strictly increasing; an
+// implicit +Inf bucket catches the tail.
+type Histogram struct {
+	name   string
+	labels string // pre-rendered `k="v",...` block, possibly empty
+	help   string
+	bounds []float64
+	counts []atomic.Uint64 // len(bounds)+1; the last is the +Inf bucket
+	sum    atomic.Int64    // nanoseconds
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	if h == nil {
+		return
+	}
+	ns := d.Nanoseconds()
+	secs := float64(ns) / 1e9
+	i := sort.SearchFloat64s(h.bounds, secs)
+	h.counts[i].Add(1)
+	h.sum.Add(ns)
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() uint64 {
+	var n uint64
+	for i := range h.counts {
+		n += h.counts[i].Load()
+	}
+	return n
+}
+
+// Sum returns the sum of observed durations.
+func (h *Histogram) Sum() time.Duration { return time.Duration(h.sum.Load()) }
+
+// Registry holds the histograms a server exposes on /metrics.
+// Registration locks; scrapes read registered histograms lock-free.
+type Registry struct {
+	mu    sync.Mutex
+	hists []*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry { return &Registry{} }
+
+// Histogram registers (and returns) a histogram under name with a
+// pre-rendered label block (see Labels; empty for none) and the given
+// bucket boundaries. Histograms sharing a name must share boundaries
+// and help text — they expose as one metric family with different
+// label sets.
+func (r *Registry) Histogram(name, help, labels string, bounds []float64) *Histogram {
+	h := &Histogram{
+		name:   name,
+		labels: labels,
+		help:   help,
+		bounds: bounds,
+		counts: make([]atomic.Uint64, len(bounds)+1),
+	}
+	r.mu.Lock()
+	r.hists = append(r.hists, h)
+	r.mu.Unlock()
+	return h
+}
+
+// Labels renders key/value pairs as a Prometheus label block body
+// (`k1="v1",k2="v2"`), escaping values. Pairs must alternate key,
+// value.
+func Labels(pairs ...string) string {
+	var b strings.Builder
+	for i := 0; i+1 < len(pairs); i += 2 {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%s", pairs[i], strconv.Quote(pairs[i+1]))
+	}
+	return b.String()
+}
+
+// Expose writes every registered histogram in the Prometheus text
+// exposition format: HELP/TYPE once per metric family, then per label
+// set the cumulative `_bucket` series ending at le="+Inf", `_sum`
+// (seconds) and `_count`. Families appear in registration order and
+// label sets sort within a family, so the output is deterministic.
+func (r *Registry) Expose(w io.Writer) {
+	r.mu.Lock()
+	hists := append([]*Histogram(nil), r.hists...)
+	r.mu.Unlock()
+
+	// Group into families preserving first-registration order.
+	order := make([]string, 0, len(hists))
+	families := make(map[string][]*Histogram, len(hists))
+	for _, h := range hists {
+		if _, ok := families[h.name]; !ok {
+			order = append(order, h.name)
+		}
+		families[h.name] = append(families[h.name], h)
+	}
+	for _, name := range order {
+		fam := families[name]
+		sort.Slice(fam, func(i, j int) bool { return fam[i].labels < fam[j].labels })
+		fmt.Fprintf(w, "# HELP %s %s\n", name, fam[0].help)
+		fmt.Fprintf(w, "# TYPE %s histogram\n", name)
+		for _, h := range fam {
+			h.expose(w)
+		}
+	}
+}
+
+// expose writes one histogram's series. Buckets are cumulative per the
+// exposition format; counters load in ascending bucket order, so a
+// concurrent Observe can at worst make a later cumulative count larger,
+// never smaller — the output stays well-formed under load.
+func (h *Histogram) expose(w io.Writer) {
+	sep := ""
+	if h.labels != "" {
+		sep = ","
+	}
+	var cum uint64
+	for i, b := range h.bounds {
+		cum += h.counts[i].Load()
+		fmt.Fprintf(w, "%s_bucket{%s%sle=%q} %d\n", h.name, h.labels, sep,
+			strconv.FormatFloat(b, 'g', -1, 64), cum)
+	}
+	cum += h.counts[len(h.bounds)].Load()
+	fmt.Fprintf(w, "%s_bucket{%s%sle=\"+Inf\"} %d\n", h.name, h.labels, sep, cum)
+	if h.labels == "" {
+		fmt.Fprintf(w, "%s_sum %g\n", h.name, float64(h.sum.Load())/1e9)
+		fmt.Fprintf(w, "%s_count %d\n", h.name, cum)
+	} else {
+		fmt.Fprintf(w, "%s_sum{%s} %g\n", h.name, h.labels, float64(h.sum.Load())/1e9)
+		fmt.Fprintf(w, "%s_count{%s} %d\n", h.name, h.labels, cum)
+	}
+}

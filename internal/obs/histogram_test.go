@@ -1,0 +1,100 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("test_seconds", "help.", "", []float64{0.001, 0.01, 0.1})
+	h.Observe(500 * time.Microsecond) // ≤ 0.001
+	h.Observe(time.Millisecond)       // boundary: still ≤ 0.001
+	h.Observe(5 * time.Millisecond)   // ≤ 0.01
+	h.Observe(time.Second)            // +Inf
+	if got := h.Count(); got != 4 {
+		t.Errorf("Count = %d, want 4", got)
+	}
+	if got := h.Sum(); got != time.Second+6*time.Millisecond+500*time.Microsecond {
+		t.Errorf("Sum = %v", got)
+	}
+	var b strings.Builder
+	r.Expose(&b)
+	out := b.String()
+	for _, want := range []string{
+		"# HELP test_seconds help.",
+		"# TYPE test_seconds histogram",
+		`test_seconds_bucket{le="0.001"} 2`,
+		`test_seconds_bucket{le="0.01"} 3`,
+		`test_seconds_bucket{le="0.1"} 3`,
+		`test_seconds_bucket{le="+Inf"} 4`,
+		"test_seconds_count 4",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestHistogramLabelsAndFamilies(t *testing.T) {
+	r := NewRegistry()
+	hb := r.Histogram("dur_seconds", "durations.", Labels("route", "b"), []float64{1})
+	ha := r.Histogram("dur_seconds", "durations.", Labels("route", "a"), []float64{1})
+	other := r.Histogram("other_seconds", "other.", "", []float64{1})
+	ha.Observe(time.Millisecond)
+	hb.Observe(2 * time.Second)
+	other.Observe(time.Millisecond)
+	var b strings.Builder
+	r.Expose(&b)
+	out := b.String()
+
+	// One HELP/TYPE pair per family, label sets sorted within it.
+	if strings.Count(out, "# TYPE dur_seconds histogram") != 1 {
+		t.Errorf("family TYPE emitted more than once:\n%s", out)
+	}
+	ia := strings.Index(out, `dur_seconds_bucket{route="a",le="1"} 1`)
+	ib := strings.Index(out, `dur_seconds_bucket{route="b",le="1"} 0`)
+	if ia < 0 || ib < 0 || ia > ib {
+		t.Errorf("label sets missing or unsorted (a@%d, b@%d):\n%s", ia, ib, out)
+	}
+	if !strings.Contains(out, `dur_seconds_bucket{route="b",le="+Inf"} 1`) {
+		t.Errorf("labeled +Inf bucket missing:\n%s", out)
+	}
+	if !strings.Contains(out, `dur_seconds_sum{route="b"} 2`) {
+		t.Errorf("labeled sum missing:\n%s", out)
+	}
+}
+
+func TestLabelsEscaping(t *testing.T) {
+	got := Labels("route", `POST "x"\y`, "status", "200")
+	want := `route="POST \"x\"\\y",status="200"`
+	if got != want {
+		t.Errorf("Labels = %s, want %s", got, want)
+	}
+}
+
+func TestHistogramConcurrentObserve(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("c_seconds", "c.", "", DefaultDurationBuckets)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				h.Observe(time.Duration(i) * time.Microsecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := h.Count(); got != 8000 {
+		t.Errorf("Count = %d, want 8000", got)
+	}
+}
+
+func TestNilHistogramObserve(t *testing.T) {
+	var h *Histogram
+	h.Observe(time.Second) // must not panic
+}

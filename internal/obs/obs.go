@@ -1,0 +1,364 @@
+// Package obs is the stdlib-only observability layer of the repo: a
+// context-carried tracing facility (per-request span trees with wall
+// durations and typed attributes) and fixed-boundary latency histograms
+// with a scrape registry, shared by the compute stack (internal/core),
+// the serving layer (internal/server + cmd/shapleyd) and the CLI
+// (cmd/shapley -trace).
+//
+// The design constraint is that instrumentation stays always-on: a span
+// is allocated only when a Recorder is attached to the context, so the
+// uninstrumented fast path of Start is one context value lookup and a
+// nil return, and every Span method is safe (and free) on a nil
+// receiver. Histograms are arrays of atomic buckets — no locks, no
+// allocation per observation — so they sit directly on request hot
+// paths.
+//
+// Tracing model: Start(ctx, name) opens a span as a child of the
+// context's current span (or of the recorder's root) and returns a
+// derived context carrying the new span; End closes it and attaches it
+// to its parent. Repeated leaf spans of the same name under one parent
+// (per-fact "tree.toggle"/"weight" spans of a batch, for example) merge
+// into a single child with a summed duration and an occurrence count,
+// so a 10⁶-fact batch serializes as a handful of nodes, not 2·10⁶.
+//
+// Trace identifiers travel independently of recorders: WithTraceID /
+// TraceIDFrom tag every request (for access logs and response headers)
+// whether or not a span tree is being recorded.
+package obs
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"math/rand/v2"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// ctxKey is the private context key space of the package.
+type ctxKey int
+
+const (
+	recorderKey ctxKey = iota
+	spanKey
+	traceIDKey
+)
+
+// attrKind discriminates the typed attribute payload.
+type attrKind uint8
+
+const (
+	attrString attrKind = iota
+	attrInt
+	attrBool
+)
+
+// Attr is one typed key/value annotation on a span: tree depth, memo
+// hits, numeric promotions, fallback reason, cache disposition.
+type Attr struct {
+	Key  string
+	kind attrKind
+	str  string
+	num  int64
+}
+
+// String makes a string attribute.
+func String(key, value string) Attr { return Attr{Key: key, kind: attrString, str: value} }
+
+// Int makes an integer attribute.
+func Int(key string, value int) Attr { return Attr{Key: key, kind: attrInt, num: int64(value)} }
+
+// Int64 makes an integer attribute from an int64.
+func Int64(key string, value int64) Attr { return Attr{Key: key, kind: attrInt, num: value} }
+
+// Bool makes a boolean attribute.
+func Bool(key string, value bool) Attr {
+	a := Attr{Key: key, kind: attrBool}
+	if value {
+		a.num = 1
+	}
+	return a
+}
+
+// Value returns the attribute's payload as the natural dynamic type
+// (string, int64 or bool).
+func (a Attr) Value() any {
+	switch a.kind {
+	case attrInt:
+		return a.num
+	case attrBool:
+		return a.num != 0
+	default:
+		return a.str
+	}
+}
+
+// Span is one timed region of a request. Spans are created by Start and
+// closed by End; between the two, SetAttrs annotates. A nil *Span (what
+// Start returns when no recorder is attached) accepts every method as a
+// no-op, so instrumented code never branches on whether tracing is on.
+type Span struct {
+	name   string
+	start  time.Time
+	parent *Span
+
+	mu       sync.Mutex
+	ended    bool
+	dur      time.Duration
+	count    int64 // merged occurrences (1 for an unmerged span)
+	attrs    []Attr
+	children []*Span
+}
+
+// Recording reports whether the span is live (non-nil), so callers can
+// gate attribute computations that are themselves expensive (tree
+// walks, stats snapshots) on tracing being active.
+func (s *Span) Recording() bool { return s != nil }
+
+// SetAttrs appends typed attributes to the span. Call before End: a
+// leaf span that carries attributes is excluded from merging, and
+// attributes set after End may not surface if the span was merged.
+func (s *Span) SetAttrs(attrs ...Attr) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.attrs = append(s.attrs, attrs...)
+	s.mu.Unlock()
+}
+
+// End closes the span, fixing its wall duration, and attaches it to its
+// parent. End is idempotent; a second call is ignored.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.ended {
+		s.mu.Unlock()
+		return
+	}
+	s.ended = true
+	s.dur = time.Since(s.start)
+	s.mu.Unlock()
+	if s.parent != nil {
+		s.parent.adopt(s)
+	}
+}
+
+// adopt attaches an ended child, merging repeated leaf spans of the
+// same name (no children, no attributes) into one occurrence-counted
+// entry so hot per-fact spans do not bloat the serialized tree.
+func (p *Span) adopt(c *Span) {
+	c.mu.Lock()
+	mergeable := len(c.children) == 0 && len(c.attrs) == 0
+	cdur, ccount := c.dur, c.count
+	c.mu.Unlock()
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if mergeable {
+		for _, prev := range p.children {
+			if prev.name == c.name && prev.mergeableLocked() {
+				prev.mu.Lock()
+				prev.dur += cdur
+				prev.count += ccount
+				prev.mu.Unlock()
+				return
+			}
+		}
+	}
+	p.children = append(p.children, c)
+}
+
+// mergeableLocked reports whether the (already adopted, hence ended and
+// no longer written concurrently except under its parent's lock) span
+// is a bare leaf.
+func (s *Span) mergeableLocked() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.children) == 0 && len(s.attrs) == 0
+}
+
+// Start opens a span named name under the context's current span (or
+// under the recorder's root when the context carries none) and returns
+// a context with the new span as current. When the context carries no
+// Recorder — the always-on production fast path — it allocates nothing
+// and returns (ctx, nil); all Span methods no-op on the nil span. A nil
+// context is tolerated and behaves like an unrecorded one.
+func Start(ctx context.Context, name string) (context.Context, *Span) {
+	if ctx == nil {
+		return ctx, nil
+	}
+	rec, _ := ctx.Value(recorderKey).(*Recorder)
+	if rec == nil {
+		return ctx, nil
+	}
+	parent, _ := ctx.Value(spanKey).(*Span)
+	if parent == nil {
+		parent = rec.root
+	}
+	s := &Span{name: name, start: time.Now(), parent: parent, count: 1}
+	return context.WithValue(ctx, spanKey, s), s
+}
+
+// Recorder collects one request's span tree. Create with NewRecorder,
+// attach with WithRecorder, and serialize with Finish once the traced
+// region is over.
+type Recorder struct {
+	// TraceID labels the trace; it is carried into the serialized tree.
+	TraceID string
+
+	root *Span
+}
+
+// NewRecorder returns a recorder whose root span (named name, typically
+// "request" or "cli") starts now.
+func NewRecorder(traceID, name string) *Recorder {
+	return &Recorder{
+		TraceID: traceID,
+		root:    &Span{name: name, start: time.Now(), count: 1},
+	}
+}
+
+// WithRecorder attaches the recorder to the context: spans Started
+// under the returned context are recorded into r's tree.
+func WithRecorder(ctx context.Context, r *Recorder) context.Context {
+	return context.WithValue(ctx, recorderKey, r)
+}
+
+// RecorderFrom returns the context's recorder, or nil.
+func RecorderFrom(ctx context.Context) *Recorder {
+	if ctx == nil {
+		return nil
+	}
+	rec, _ := ctx.Value(recorderKey).(*Recorder)
+	return rec
+}
+
+// Trace is the serialized form of a recorded request: the trace id plus
+// the root of the span tree.
+type Trace struct {
+	TraceID string    `json:"trace_id"`
+	Root    *SpanJSON `json:"root"`
+}
+
+// SpanJSON is the wire form of one span. Durations are nanoseconds of
+// wall time; Count is the number of merged occurrences when > 1.
+type SpanJSON struct {
+	Name       string         `json:"name"`
+	DurationNS int64          `json:"duration_ns"`
+	Count      int64          `json:"count,omitempty"`
+	Attrs      map[string]any `json:"attrs,omitempty"`
+	Children   []*SpanJSON    `json:"children,omitempty"`
+}
+
+// Finish ends the recorder's root span (fixing the trace's wall
+// duration; spans still open elsewhere are simply absent from the tree)
+// and returns the serialized trace. It may be called more than once;
+// the root duration is fixed by the first call.
+func (r *Recorder) Finish() *Trace {
+	r.root.mu.Lock()
+	if !r.root.ended {
+		r.root.ended = true
+		r.root.dur = time.Since(r.root.start)
+	}
+	r.root.mu.Unlock()
+	return &Trace{TraceID: r.TraceID, Root: r.root.snapshot()}
+}
+
+// snapshot renders the subtree under lock.
+func (s *Span) snapshot() *SpanJSON {
+	s.mu.Lock()
+	out := &SpanJSON{Name: s.name, DurationNS: int64(s.dur)}
+	if s.count > 1 {
+		out.Count = s.count
+	}
+	if len(s.attrs) > 0 {
+		out.Attrs = make(map[string]any, len(s.attrs))
+		for _, a := range s.attrs {
+			out.Attrs[a.Key] = a.Value()
+		}
+	}
+	children := append([]*Span(nil), s.children...)
+	s.mu.Unlock()
+	for _, c := range children {
+		out.Children = append(out.Children, c.snapshot())
+	}
+	return out
+}
+
+// WriteText renders the trace as an indented tree for terminals (the
+// CLI's -trace output):
+//
+//	trace 4bf92f3577b34da6 (12.4ms)
+//	└─ engine.prepare 10.1ms {method=hierarchical}
+func WriteText(w io.Writer, t *Trace) {
+	fmt.Fprintf(w, "trace %s (%s)\n", t.TraceID, time.Duration(t.Root.DurationNS))
+	var walk func(s *SpanJSON, prefix string, last bool)
+	walk = func(s *SpanJSON, prefix string, last bool) {
+		branch, childPrefix := "├─ ", prefix+"│  "
+		if last {
+			branch, childPrefix = "└─ ", prefix+"   "
+		}
+		fmt.Fprintf(w, "%s%s%s %s%s%s\n", prefix, branch, s.Name,
+			time.Duration(s.DurationNS), countSuffix(s.Count), attrSuffix(s.Attrs))
+		for i, c := range s.Children {
+			walk(c, childPrefix, i == len(s.Children)-1)
+		}
+	}
+	for i, c := range t.Root.Children {
+		walk(c, "", i == len(t.Root.Children)-1)
+	}
+}
+
+func countSuffix(n int64) string {
+	if n <= 1 {
+		return ""
+	}
+	return fmt.Sprintf(" ×%d", n)
+}
+
+func attrSuffix(attrs map[string]any) string {
+	if len(attrs) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(attrs))
+	for k := range attrs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteString(" {")
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteString(" ")
+		}
+		fmt.Fprintf(&b, "%s=%v", k, attrs[k])
+	}
+	b.WriteString("}")
+	return b.String()
+}
+
+// NewTraceID returns a 16-hex-character request identifier. It is not
+// cryptographic: ids only need to be unique enough to correlate log
+// lines, response headers and traces.
+func NewTraceID() string {
+	return fmt.Sprintf("%016x", rand.Uint64())
+}
+
+// WithTraceID tags the context with a request trace id; unlike a
+// Recorder this is attached to every request, recorded or not.
+func WithTraceID(ctx context.Context, id string) context.Context {
+	return context.WithValue(ctx, traceIDKey, id)
+}
+
+// TraceIDFrom returns the context's trace id, or "".
+func TraceIDFrom(ctx context.Context) string {
+	if ctx == nil {
+		return ""
+	}
+	id, _ := ctx.Value(traceIDKey).(string)
+	return id
+}

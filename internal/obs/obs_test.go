@@ -1,0 +1,239 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestStartWithoutRecorderAllocatesNothing(t *testing.T) {
+	ctx := context.Background()
+	got, sp := Start(ctx, "x")
+	if sp != nil {
+		t.Fatal("Start without a recorder returned a live span")
+	}
+	if got != ctx {
+		t.Error("Start without a recorder derived a new context")
+	}
+	// The nil span accepts the full API.
+	sp.SetAttrs(String("k", "v"), Int("n", 1), Bool("b", true))
+	sp.End()
+	if sp.Recording() {
+		t.Error("nil span reports Recording")
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		_, s := Start(ctx, "x")
+		s.End()
+	})
+	if allocs != 0 {
+		t.Errorf("unrecorded Start/End allocates %v times per call, want 0", allocs)
+	}
+}
+
+func TestNilContext(t *testing.T) {
+	//nolint — deliberately nil: Start must tolerate it.
+	if _, sp := Start(nil, "x"); sp != nil { //lint:ignore SA1012 nil-tolerance is part of the contract under test
+		t.Fatal("Start(nil) returned a live span")
+	}
+	if RecorderFrom(nil) != nil {
+		t.Error("RecorderFrom(nil) != nil")
+	}
+	if TraceIDFrom(nil) != "" {
+		t.Error("TraceIDFrom(nil) != \"\"")
+	}
+}
+
+func TestSpanTreeShape(t *testing.T) {
+	rec := NewRecorder("tid-1", "request")
+	ctx := WithRecorder(context.Background(), rec)
+
+	pctx, parent := Start(ctx, "parent")
+	parent.SetAttrs(String("cache", "hit"), Int("facts", 3))
+	_, child := Start(pctx, "child")
+	child.End()
+	parent.End()
+	_, sib := Start(ctx, "sibling")
+	sib.End()
+
+	tr := rec.Finish()
+	if tr.TraceID != "tid-1" {
+		t.Errorf("TraceID = %q", tr.TraceID)
+	}
+	root := tr.Root
+	if root.Name != "request" || len(root.Children) != 2 {
+		t.Fatalf("root = %+v", root)
+	}
+	p := root.Children[0]
+	if p.Name != "parent" || len(p.Children) != 1 || p.Children[0].Name != "child" {
+		t.Fatalf("parent subtree = %+v", p)
+	}
+	if p.Attrs["cache"] != "hit" || p.Attrs["facts"] != int64(3) {
+		t.Errorf("parent attrs = %v", p.Attrs)
+	}
+	if root.Children[1].Name != "sibling" {
+		t.Errorf("second child = %q", root.Children[1].Name)
+	}
+	if root.DurationNS <= 0 || p.DurationNS <= 0 {
+		t.Error("durations not recorded")
+	}
+	// The tree serializes as JSON (the ?trace=1 response body payload).
+	if _, err := json.Marshal(tr); err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+}
+
+func TestLeafSpansMerge(t *testing.T) {
+	rec := NewRecorder("tid", "request")
+	ctx := WithRecorder(context.Background(), rec)
+	wctx, w := Start(ctx, "worker")
+	for i := 0; i < 5; i++ {
+		_, sp := Start(wctx, "tree.toggle")
+		sp.End()
+		_, sp = Start(wctx, "weight")
+		sp.End()
+	}
+	w.End()
+	got := rec.Finish().Root.Children[0]
+	if len(got.Children) != 2 {
+		t.Fatalf("merged children = %d, want 2 (%+v)", len(got.Children), got.Children)
+	}
+	for _, c := range got.Children {
+		if c.Count != 5 {
+			t.Errorf("%s merged count = %d, want 5", c.Name, c.Count)
+		}
+	}
+	// Attributed leaves must NOT merge: each occurrence is distinct.
+	_, a := Start(ctx, "attr-leaf")
+	a.SetAttrs(Int("i", 0))
+	a.End()
+	_, b := Start(ctx, "attr-leaf")
+	b.SetAttrs(Int("i", 1))
+	b.End()
+	root := rec.Finish().Root
+	n := 0
+	for _, c := range root.Children {
+		if c.Name == "attr-leaf" {
+			n++
+		}
+	}
+	if n != 2 {
+		t.Errorf("attributed leaves merged: %d children, want 2", n)
+	}
+}
+
+func TestConcurrentSpans(t *testing.T) {
+	rec := NewRecorder("tid", "request")
+	ctx := WithRecorder(context.Background(), rec)
+	pctx, parent := Start(ctx, "batch")
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			wctx, ws := Start(pctx, "worker")
+			for i := 0; i < 50; i++ {
+				_, sp := Start(wctx, "leaf")
+				sp.End()
+			}
+			ws.End()
+		}()
+	}
+	wg.Wait()
+	parent.End()
+	tr := rec.Finish()
+	var workers, leaves int64
+	var walk func(s *SpanJSON)
+	walk = func(s *SpanJSON) {
+		if s.Name == "worker" {
+			workers++
+		}
+		if s.Name == "leaf" {
+			n := s.Count
+			if n == 0 {
+				n = 1
+			}
+			leaves += n
+		}
+		for _, c := range s.Children {
+			walk(c)
+		}
+	}
+	walk(tr.Root)
+	if workers != 8 || leaves != 400 {
+		t.Errorf("workers=%d leaves=%d, want 8 and 400", workers, leaves)
+	}
+}
+
+func TestEndIdempotent(t *testing.T) {
+	rec := NewRecorder("tid", "request")
+	ctx := WithRecorder(context.Background(), rec)
+	_, sp := Start(ctx, "x")
+	sp.End()
+	sp.End()
+	if n := len(rec.Finish().Root.Children); n != 1 {
+		t.Errorf("double End adopted the span %d times", n)
+	}
+}
+
+func TestTraceID(t *testing.T) {
+	a, b := NewTraceID(), NewTraceID()
+	if len(a) != 16 || len(b) != 16 {
+		t.Errorf("trace id lengths: %q %q", a, b)
+	}
+	if a == b {
+		t.Errorf("consecutive trace ids collide: %q", a)
+	}
+	ctx := WithTraceID(context.Background(), a)
+	if got := TraceIDFrom(ctx); got != a {
+		t.Errorf("TraceIDFrom = %q, want %q", got, a)
+	}
+	if TraceIDFrom(context.Background()) != "" {
+		t.Error("TraceIDFrom on a bare context is non-empty")
+	}
+}
+
+func TestWriteText(t *testing.T) {
+	tr := &Trace{
+		TraceID: "deadbeef00000000",
+		Root: &SpanJSON{
+			Name: "request", DurationNS: int64(12 * time.Millisecond),
+			Children: []*SpanJSON{
+				{Name: "plan.lookup", DurationNS: int64(time.Millisecond),
+					Attrs: map[string]any{"cache": "hit"}},
+				{Name: "shapley.all", DurationNS: int64(10 * time.Millisecond),
+					Children: []*SpanJSON{
+						{Name: "tree.toggle", DurationNS: int64(8 * time.Millisecond), Count: 94},
+					}},
+			},
+		},
+	}
+	var b strings.Builder
+	WriteText(&b, tr)
+	out := b.String()
+	for _, want := range []string{"trace deadbeef00000000", "plan.lookup", "{cache=hit}", "shapley.all", "tree.toggle", "×94", "└─", "├─"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("WriteText output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestAttrValues(t *testing.T) {
+	cases := []struct {
+		attr Attr
+		want any
+	}{
+		{String("s", "v"), "v"},
+		{Int("i", 7), int64(7)},
+		{Int64("i64", -9), int64(-9)},
+		{Bool("t", true), true},
+		{Bool("f", false), false},
+	}
+	for _, c := range cases {
+		if got := c.attr.Value(); got != c.want {
+			t.Errorf("%s.Value() = %v (%T), want %v", c.attr.Key, got, got, c.want)
+		}
+	}
+}

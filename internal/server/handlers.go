@@ -12,9 +12,22 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/db"
+	"repro/internal/obs"
 	"repro/internal/query"
 	"repro/internal/relevance"
 )
+
+// traceFor finishes and returns the request's span recording, or nil when
+// the request did not opt in with ?trace=1 (the nil is omitted from JSON
+// bodies). Handlers call it once, immediately before encoding the
+// response, so the root span covers everything but the final encode.
+func traceFor(ctx context.Context) *obs.Trace {
+	rec := obs.RecorderFrom(ctx)
+	if rec == nil {
+		return nil
+	}
+	return rec.Finish()
+}
 
 // registerRequest is the body of POST /v1/databases.
 type registerRequest struct {
@@ -151,6 +164,9 @@ type patchResponse struct {
 	databaseInfo
 	PlansPatched int `json:"plans_patched"`
 	PlansDropped int `json:"plans_dropped"`
+	// Trace is the request's span tree (one plan.apply span per patched
+	// plan), present only with ?trace=1.
+	Trace *obs.Trace `json:"trace,omitempty"`
 }
 
 func (s *Server) handlePatchDatabase(w http.ResponseWriter, r *http.Request) {
@@ -244,8 +260,11 @@ func (s *Server) handlePatchDatabase(w http.ResponseWriter, r *http.Request) {
 		case newVersion:
 			continue
 		case oldVersion:
+			t0 := time.Now()
 			//repolint:allow lockscope: deliberate hold — the sweep serializes with other PATCHes on its dedicated patchMu, never with the read path's server lock (see the comment above)
-			if _, err := cp.plan.Apply(applyCtx, delta); err != nil {
+			_, err := cp.plan.Apply(applyCtx, delta)
+			s.met.phaseApply.Observe(time.Since(t0))
+			if err != nil {
 				s.plans.Remove(key)
 				resp.PlansDropped++
 				continue
@@ -262,6 +281,7 @@ func (s *Server) handlePatchDatabase(w http.ResponseWriter, r *http.Request) {
 	}
 	s.patchMu.Unlock()
 	s.met.plansPatched.Add(int64(resp.PlansPatched))
+	resp.Trace = traceFor(r.Context())
 	writeJSON(w, http.StatusOK, resp)
 }
 
@@ -316,6 +336,8 @@ type shapleyResponse struct {
 	// endogenous facts must serialize as "values": [], while single-fact
 	// responses (nil slice) omit the key.
 	Values []ValueJSON `json:"values,omitzero"`
+	// Trace is the request's span tree, present only with ?trace=1.
+	Trace *obs.Trace `json:"trace,omitempty"`
 }
 
 // ndjsonContentType selects the streaming mode=all response.
@@ -370,19 +392,25 @@ func (s *Server) handleShapley(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	cp, hit, err := s.planFor(ctx, snap, pq, req.Exo, req.BruteForce)
+	lctx, lsp := obs.Start(ctx, "plan.lookup")
+	cp, hit, err := s.planFor(lctx, snap, pq, req.Exo, req.BruteForce)
 	if err != nil {
+		lsp.End()
 		writeSolverError(w, err)
 		return
 	}
-	// Pin one plan version for the whole response: the reported version,
-	// method and every value come from the same immutable state even if a
-	// PATCH advances the plan mid-request.
-	view := cp.plan.View()
 	cache := "miss"
 	if hit {
 		cache = "hit"
 	}
+	if lsp.Recording() {
+		lsp.SetAttrs(obs.String("cache", cache))
+	}
+	lsp.End()
+	// Pin one plan version for the whole response: the reported version,
+	// method and every value come from the same immutable state even if a
+	// PATCH advances the plan mid-request.
+	view := cp.plan.View()
 	w.Header().Set("X-Cache", cache)
 	resp := shapleyResponse{
 		Database: snap.id,
@@ -401,7 +429,14 @@ func (s *Server) handleShapley(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if req.Mode == "all" {
-		vals, err := view.ShapleyAll(ctx, core.BatchOptions{Workers: workers})
+		cctx, csp := obs.Start(ctx, "shapley.all")
+		t0 := time.Now()
+		vals, err := view.ShapleyAll(cctx, core.BatchOptions{Workers: workers})
+		s.met.phaseAll.Observe(time.Since(t0))
+		if csp.Recording() {
+			csp.SetAttrs(obs.Int("facts", len(vals)), obs.Int("workers", workers))
+		}
+		csp.End()
 		if err != nil {
 			writeComputeError(w, ctx, err)
 			return
@@ -412,11 +447,16 @@ func (s *Server) handleShapley(w http.ResponseWriter, r *http.Request) {
 		} else {
 			resp.Values = EncodeValues(vals)
 		}
+		resp.Trace = traceFor(ctx)
 		writeJSON(w, http.StatusOK, resp)
 		return
 	}
 
-	v, err := view.Shapley(ctx, f)
+	cctx, csp := obs.Start(ctx, "shapley.single")
+	t0 := time.Now()
+	v, err := view.Shapley(cctx, f)
+	s.met.phaseSingle.Observe(time.Since(t0))
+	csp.End()
 	if err != nil {
 		writeComputeError(w, ctx, err)
 		return
@@ -424,6 +464,7 @@ func (s *Server) handleShapley(w http.ResponseWriter, r *http.Request) {
 	s.met.valuesComputed.Add(1)
 	ev := EncodeValue(v)
 	resp.Value = &ev
+	resp.Trace = traceFor(ctx)
 	writeJSON(w, http.StatusOK, resp)
 }
 
@@ -447,7 +488,9 @@ func (s *Server) streamShapleyAll(w http.ResponseWriter, r *http.Request, view *
 	_ = enc.Encode(head)
 	flush()
 	n := 0
-	_, err := view.ShapleyAll(r.Context(), core.BatchOptions{
+	cctx, csp := obs.Start(r.Context(), "shapley.all")
+	t0 := time.Now()
+	_, err := view.ShapleyAll(cctx, core.BatchOptions{
 		Workers: workers,
 		OnResult: func(v *core.ShapleyValue) {
 			_ = enc.Encode(EncodeValue(v))
@@ -455,13 +498,22 @@ func (s *Server) streamShapleyAll(w http.ResponseWriter, r *http.Request, view *
 			flush()
 		},
 	})
+	s.met.phaseAll.Observe(time.Since(t0))
+	if csp.Recording() {
+		csp.SetAttrs(obs.Int("facts", n), obs.Int("workers", workers))
+	}
+	csp.End()
 	s.met.valuesComputed.Add(int64(n))
 	if err != nil {
 		_ = enc.Encode(errorBody{Error: err.Error(), Kind: errKind(err)})
 		flush()
 		return
 	}
-	_ = enc.Encode(map[string]any{"done": true, "count": n})
+	trailer := map[string]any{"done": true, "count": n}
+	if tr := traceFor(r.Context()); tr != nil {
+		trailer["trace"] = tr
+	}
+	_ = enc.Encode(trailer)
 	flush()
 }
 

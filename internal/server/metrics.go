@@ -4,20 +4,47 @@ import (
 	"fmt"
 	"net/http"
 	"sort"
-	"strings"
-	"sync"
+	"strconv"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/numeric"
+	"repro/internal/obs"
 )
+
+// unmatchedRoute is the metrics slot for requests no mux pattern matched.
+const unmatchedRoute = "unmatched"
+
+// routeMetrics is the per-route slot of the request instrumentation: one
+// atomic counter per HTTP status code, the latency histogram and the
+// slow-request counter. Slots exist for every registered route pattern
+// (plus unmatchedRoute) and are created once in newMetrics; the map is
+// never written afterwards, so the per-request hot path reads an immutable
+// map and touches only atomics — no lock, no formatting, no allocation.
+type routeMetrics struct {
+	statuses [600]atomic.Int64 // indexed by status code; [0] collects out-of-range codes
+	dur      *obs.Histogram
+	slow     atomic.Int64
+}
 
 // metrics holds the server's counters. Everything is monotonically
 // increasing except the gauges derived at scrape time.
 type metrics struct {
-	mu       sync.Mutex
-	requests map[string]int64 // by "route|status"
+	// routes is immutable after newMetrics (see routeMetrics); routeNames
+	// is its sorted key list, the deterministic exposition order.
+	routes     map[string]*routeMetrics
+	routeNames []string
+
+	reg           *obs.Registry
+	slowThreshold time.Duration
+
+	// Engine-phase latency histograms: plan preparation (cold and seeded),
+	// PATCH-driven incremental maintenance, and the two compute shapes.
+	phasePrepare *obs.Histogram
+	phaseApply   *obs.Histogram
+	phaseAll     *obs.Histogram
+	phaseSingle  *obs.Histogram
 
 	valuesComputed atomic.Int64
 	plansPrepared  atomic.Int64
@@ -31,6 +58,12 @@ type metrics struct {
 	// as hits ≫ misses; a full recompute as the reverse.
 	treeMemoHits   atomic.Int64
 	treeMemoMisses atomic.Int64
+
+	// Product-maintenance route mix across the same constructions: interior
+	// nodes whose convolution product was updated by exact division versus
+	// rebuilt by the full convolution chain (see core.BuildStats).
+	prodMaintained atomic.Int64
+	prodRebuilt    atomic.Int64
 }
 
 // countTreeBuild folds one tree construction's memo traffic into the
@@ -38,44 +71,85 @@ type metrics struct {
 func (m *metrics) countTreeBuild(ts core.TreeStats) {
 	m.treeMemoHits.Add(int64(ts.MemoHits))
 	m.treeMemoMisses.Add(int64(ts.MemoMisses))
+	m.prodMaintained.Add(int64(ts.ProdMaintained))
+	m.prodRebuilt.Add(int64(ts.ProdRebuilt))
 }
 
-func newMetrics() *metrics {
-	return &metrics{requests: make(map[string]int64)}
+// newMetrics builds the fixed per-route slots for the given route patterns
+// (unmatchedRoute is added unconditionally) and the phase histograms.
+func newMetrics(routePatterns []string, slowThreshold time.Duration) *metrics {
+	reg := obs.NewRegistry()
+	m := &metrics{
+		routes:        make(map[string]*routeMetrics, len(routePatterns)+1),
+		reg:           reg,
+		slowThreshold: slowThreshold,
+	}
+	names := append([]string(nil), routePatterns...)
+	names = append(names, unmatchedRoute)
+	sort.Strings(names)
+	for _, p := range names {
+		m.routes[p] = &routeMetrics{
+			dur: reg.Histogram("shapleyd_request_duration_seconds",
+				"Wall time of HTTP requests in seconds, by route pattern.",
+				obs.Labels("route", p), obs.DefaultDurationBuckets),
+		}
+	}
+	m.routeNames = names
+	phase := func(name string) *obs.Histogram {
+		return reg.Histogram("shapleyd_phase_duration_seconds",
+			"Wall time of engine phases in seconds: plan preparation, incremental PATCH maintenance, and the two compute shapes.",
+			obs.Labels("phase", name), obs.DefaultDurationBuckets)
+	}
+	m.phasePrepare = phase("prepare")
+	m.phaseApply = phase("apply")
+	m.phaseAll = phase("shapley_all")
+	m.phaseSingle = phase("shapley_single")
+	return m
 }
 
-func (m *metrics) countRequest(route string, status int) {
-	key := fmt.Sprintf("%s|%d", route, status)
-	m.mu.Lock()
-	m.requests[key]++
-	m.mu.Unlock()
+// countRequest records one served request. It runs on every request with
+// tracing on or off, so it must stay allocation-free: an immutable map
+// lookup plus three atomic updates.
+func (m *metrics) countRequest(route string, status int, dur time.Duration) {
+	rm := m.routes[route]
+	if rm == nil {
+		rm = m.routes[unmatchedRoute]
+	}
+	if status < 100 || status >= len(rm.statuses) {
+		status = 0
+	}
+	rm.statuses[status].Add(1)
+	rm.dur.Observe(dur)
+	if m.slowThreshold > 0 && dur >= m.slowThreshold {
+		rm.slow.Add(1)
+	}
 }
 
 // handleMetrics renders the counters in the Prometheus text exposition
-// format (hand-rolled: the container has no client library, and counters
-// plus gauges need nothing more).
+// format (hand-rolled: the container has no client library, and counters,
+// gauges and fixed-boundary histograms need nothing more). Iteration is
+// over the sorted routeNames slice, never the map, so consecutive scrapes
+// list identical series in identical order.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 
 	fmt.Fprintln(w, "# HELP shapleyd_requests_total HTTP requests served, by route pattern and status.")
 	fmt.Fprintln(w, "# TYPE shapleyd_requests_total counter")
-	s.met.mu.Lock()
-	keys := make([]string, 0, len(s.met.requests))
-	for k := range s.met.requests {
-		keys = append(keys, k)
-	}
-	sort.Strings(keys)
-	lines := make([]string, 0, len(keys))
-	for _, k := range keys {
-		route, status := k, ""
-		if i := strings.LastIndexByte(k, '|'); i >= 0 {
-			route, status = k[:i], k[i+1:]
+	for _, route := range s.met.routeNames {
+		rm := s.met.routes[route]
+		for code := range rm.statuses {
+			if n := rm.statuses[code].Load(); n > 0 {
+				fmt.Fprintf(w, "shapleyd_requests_total{route=%q,status=%q} %d\n", route, strconv.Itoa(code), n)
+			}
 		}
-		lines = append(lines, fmt.Sprintf("shapleyd_requests_total{route=%q,status=%q} %d", route, status, s.met.requests[k]))
 	}
-	s.met.mu.Unlock()
-	for _, l := range lines {
-		fmt.Fprintln(w, l)
+
+	fmt.Fprintln(w, "# HELP shapleyd_slow_requests_total Requests slower than the -slow-query threshold, by route pattern.")
+	fmt.Fprintln(w, "# TYPE shapleyd_slow_requests_total counter")
+	for _, route := range s.met.routeNames {
+		if n := s.met.routes[route].slow.Load(); n > 0 {
+			fmt.Fprintf(w, "shapleyd_slow_requests_total{route=%q} %d\n", route, n)
+		}
 	}
 
 	hits, misses, evictions, entries := s.CacheStats()
@@ -110,6 +184,14 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintln(w, "# HELP shapleyd_tree_memo_misses_total DP-tree nodes rebuilt because their input content changed (or was first seen).")
 	fmt.Fprintln(w, "# TYPE shapleyd_tree_memo_misses_total counter")
 	fmt.Fprintf(w, "shapleyd_tree_memo_misses_total %d\n", s.met.treeMemoMisses.Load())
+
+	fmt.Fprintln(w, "# HELP shapleyd_tree_prod_maintained_total Interior DP-tree nodes whose convolution product was updated by exact division against the previous snapshot.")
+	fmt.Fprintln(w, "# TYPE shapleyd_tree_prod_maintained_total counter")
+	fmt.Fprintf(w, "shapleyd_tree_prod_maintained_total %d\n", s.met.prodMaintained.Load())
+
+	fmt.Fprintln(w, "# HELP shapleyd_tree_prod_rebuilt_total Interior DP-tree nodes whose convolution product was rebuilt by the full convolution chain.")
+	fmt.Fprintln(w, "# TYPE shapleyd_tree_prod_rebuilt_total counter")
+	fmt.Fprintf(w, "shapleyd_tree_prod_rebuilt_total %d\n", s.met.prodRebuilt.Load())
 
 	nodes := 0
 	var reps struct{ u64, u128, big int }
@@ -152,4 +234,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintln(w, "# HELP shapleyd_uptime_seconds Seconds since the server started.")
 	fmt.Fprintln(w, "# TYPE shapleyd_uptime_seconds gauge")
 	fmt.Fprintf(w, "shapleyd_uptime_seconds %.3f\n", time.Since(s.start).Seconds())
+
+	// The request- and phase-duration histograms registered in newMetrics.
+	s.met.reg.Expose(w)
 }

@@ -1,0 +1,537 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// ---------------------------------------------------------------------------
+// Prometheus text exposition parser. Deliberately strict: /metrics is the
+// scrape surface, so the test fails on anything a real scraper would
+// reject — missing HELP/TYPE, malformed labels, non-cumulative buckets.
+// ---------------------------------------------------------------------------
+
+var (
+	metricNameRe = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+	labelNameRe  = regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*$`)
+)
+
+// promSample is one parsed sample line.
+type promSample struct {
+	name   string            // full series name, e.g. foo_bucket
+	labels map[string]string // parsed label block
+	value  float64
+	line   int
+}
+
+// promScrape is one parsed exposition.
+type promScrape struct {
+	types   map[string]string // family -> counter|gauge|histogram
+	help    map[string]bool
+	samples []promSample
+}
+
+// parseProm parses a text exposition, failing the test on any
+// malformation: HELP/TYPE must precede the family's first sample and
+// appear exactly once, names and labels must be well-formed.
+func parseProm(t *testing.T, text string) *promScrape {
+	t.Helper()
+	sc := &promScrape{types: make(map[string]string), help: make(map[string]bool)}
+	seenSample := make(map[string]bool) // family -> sample already emitted
+	for i, line := range strings.Split(text, "\n") {
+		ln := i + 1
+		if line == "" {
+			continue
+		}
+		if rest, ok := strings.CutPrefix(line, "# HELP "); ok {
+			name, help, ok := strings.Cut(rest, " ")
+			if !ok || help == "" || !metricNameRe.MatchString(name) {
+				t.Fatalf("line %d: malformed HELP: %q", ln, line)
+			}
+			if sc.help[name] {
+				t.Fatalf("line %d: duplicate HELP for %s", ln, name)
+			}
+			if seenSample[name] {
+				t.Fatalf("line %d: HELP for %s after its samples", ln, name)
+			}
+			sc.help[name] = true
+			continue
+		}
+		if rest, ok := strings.CutPrefix(line, "# TYPE "); ok {
+			name, typ, ok := strings.Cut(rest, " ")
+			if !ok || !metricNameRe.MatchString(name) {
+				t.Fatalf("line %d: malformed TYPE: %q", ln, line)
+			}
+			if typ != "counter" && typ != "gauge" && typ != "histogram" {
+				t.Fatalf("line %d: unknown TYPE %q for %s", ln, typ, name)
+			}
+			if _, dup := sc.types[name]; dup {
+				t.Fatalf("line %d: duplicate TYPE for %s", ln, name)
+			}
+			if seenSample[name] {
+				t.Fatalf("line %d: TYPE for %s after its samples", ln, name)
+			}
+			sc.types[name] = typ
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue // comment
+		}
+		s := parsePromSample(t, ln, line)
+		fam := familyOf(sc, s.name)
+		if fam == "" {
+			t.Fatalf("line %d: sample %s has no preceding # TYPE", ln, s.name)
+		}
+		if !sc.help[fam] {
+			t.Fatalf("line %d: sample %s has no preceding # HELP", ln, s.name)
+		}
+		seenSample[fam] = true
+		sc.samples = append(sc.samples, s)
+	}
+	return sc
+}
+
+// familyOf maps a series name to its declared family: exact for plain
+// metrics, suffix-stripped for histogram series.
+func familyOf(sc *promScrape, series string) string {
+	if _, ok := sc.types[series]; ok {
+		return series
+	}
+	for _, suf := range []string{"_bucket", "_sum", "_count"} {
+		if base, ok := strings.CutSuffix(series, suf); ok {
+			if sc.types[base] == "histogram" {
+				return base
+			}
+		}
+	}
+	return ""
+}
+
+// parsePromSample parses `name{labels} value` / `name value`.
+func parsePromSample(t *testing.T, ln int, line string) promSample {
+	t.Helper()
+	s := promSample{labels: make(map[string]string), line: ln}
+	rest := line
+	if i := strings.IndexByte(line, '{'); i >= 0 {
+		s.name = line[:i]
+		end := strings.LastIndexByte(line, '}')
+		if end < i {
+			t.Fatalf("line %d: unterminated label block: %q", ln, line)
+		}
+		parsePromLabels(t, ln, line[i+1:end], s.labels)
+		rest = strings.TrimPrefix(line[end+1:], " ")
+	} else {
+		var ok bool
+		s.name, rest, ok = strings.Cut(line, " ")
+		if !ok {
+			t.Fatalf("line %d: sample without value: %q", ln, line)
+		}
+	}
+	if !metricNameRe.MatchString(s.name) {
+		t.Fatalf("line %d: bad metric name %q", ln, s.name)
+	}
+	v, err := strconv.ParseFloat(strings.TrimSpace(rest), 64)
+	if err != nil {
+		t.Fatalf("line %d: bad sample value %q: %v", ln, rest, err)
+	}
+	s.value = v
+	return s
+}
+
+// parsePromLabels parses a `k1="v1",k2="v2"` block, honoring \" and \\
+// escapes inside values.
+func parsePromLabels(t *testing.T, ln int, block string, out map[string]string) {
+	t.Helper()
+	for i := 0; i < len(block); {
+		eq := strings.IndexByte(block[i:], '=')
+		if eq < 0 {
+			t.Fatalf("line %d: label block %q: missing '='", ln, block)
+		}
+		key := block[i : i+eq]
+		if !labelNameRe.MatchString(key) {
+			t.Fatalf("line %d: bad label name %q", ln, key)
+		}
+		i += eq + 1
+		if i >= len(block) || block[i] != '"' {
+			t.Fatalf("line %d: label %s: unquoted value", ln, key)
+		}
+		i++
+		var val strings.Builder
+		closed := false
+		for i < len(block) {
+			c := block[i]
+			if c == '\\' && i+1 < len(block) {
+				val.WriteByte(block[i+1])
+				i += 2
+				continue
+			}
+			if c == '"' {
+				closed = true
+				i++
+				break
+			}
+			val.WriteByte(c)
+			i++
+		}
+		if !closed {
+			t.Fatalf("line %d: label %s: unterminated value", ln, key)
+		}
+		if _, dup := out[key]; dup {
+			t.Fatalf("line %d: duplicate label %s", ln, key)
+		}
+		out[key] = val.String()
+		if i < len(block) {
+			if block[i] != ',' {
+				t.Fatalf("line %d: expected ',' after label %s, got %q", ln, key, block[i:])
+			}
+			i++
+		}
+	}
+}
+
+// seriesKey identifies one series across scrapes: name plus its sorted
+// label pairs (drop is excluded, for grouping histogram buckets by
+// everything but le).
+func seriesKey(s promSample, drop string) string {
+	keys := make([]string, 0, len(s.labels))
+	for k := range s.labels {
+		if k != drop {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteString(s.name)
+	for _, k := range keys {
+		fmt.Fprintf(&b, ",%s=%s", k, s.labels[k])
+	}
+	return b.String()
+}
+
+// checkHistograms verifies every histogram family: per label set the
+// buckets are cumulative with strictly increasing le boundaries, the
+// series ends at le="+Inf", and _count equals the +Inf bucket.
+func checkHistograms(t *testing.T, sc *promScrape) {
+	t.Helper()
+	type series struct {
+		les    []float64
+		counts []float64
+	}
+	buckets := make(map[string]*series)
+	counts := make(map[string]float64)
+	sums := make(map[string]bool)
+	var order []string
+	for _, s := range sc.samples {
+		if familyOf(sc, s.name) == s.name {
+			continue // not a histogram series
+		}
+		switch {
+		case strings.HasSuffix(s.name, "_bucket"):
+			le, ok := s.labels["le"]
+			if !ok {
+				t.Fatalf("line %d: %s bucket without le label", s.line, s.name)
+			}
+			var bound float64
+			if le == "+Inf" {
+				bound = float64(1<<63 - 1)
+			} else {
+				var err error
+				bound, err = strconv.ParseFloat(le, 64)
+				if err != nil {
+					t.Fatalf("line %d: bad le %q: %v", s.line, le, err)
+				}
+			}
+			base := s
+			base.name = strings.TrimSuffix(s.name, "_bucket")
+			key := seriesKey(base, "le")
+			sr := buckets[key]
+			if sr == nil {
+				sr = &series{}
+				buckets[key] = sr
+				order = append(order, key)
+			}
+			sr.les = append(sr.les, bound)
+			sr.counts = append(sr.counts, s.value)
+		case strings.HasSuffix(s.name, "_count"):
+			base := s
+			base.name = strings.TrimSuffix(s.name, "_count")
+			counts[seriesKey(base, "")] = s.value
+		case strings.HasSuffix(s.name, "_sum"):
+			base := s
+			base.name = strings.TrimSuffix(s.name, "_sum")
+			sums[seriesKey(base, "")] = true
+		}
+	}
+	if len(order) == 0 {
+		t.Fatal("no histogram series found on /metrics")
+	}
+	for _, key := range order {
+		sr := buckets[key]
+		base := key
+		for i := 1; i < len(sr.les); i++ {
+			if sr.les[i] <= sr.les[i-1] {
+				t.Errorf("%s: le boundaries not increasing: %v", key, sr.les)
+			}
+			if sr.counts[i] < sr.counts[i-1] {
+				t.Errorf("%s: buckets not cumulative: %v", key, sr.counts)
+			}
+		}
+		if sr.les[len(sr.les)-1] != float64(1<<63-1) {
+			t.Errorf("%s: bucket series does not end at le=\"+Inf\"", key)
+		}
+		cnt, ok := counts[base]
+		if !ok {
+			t.Errorf("%s: missing _count series", base)
+		} else if inf := sr.counts[len(sr.counts)-1]; cnt != inf {
+			t.Errorf("%s: _count %v != +Inf bucket %v", base, cnt, inf)
+		}
+		if !sums[base] {
+			t.Errorf("%s: missing _sum series", base)
+		}
+	}
+}
+
+// scrapeMetrics fetches and parses /metrics.
+func scrapeMetrics(t *testing.T, s *Server) *promScrape {
+	t.Helper()
+	req := httptest.NewRequest("GET", "/metrics", nil)
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("/metrics: status %d", rec.Code)
+	}
+	return parseProm(t, rec.Body.String())
+}
+
+func TestMetricsExpositionFormat(t *testing.T) {
+	s := New(Options{})
+	registerUniversity(t, s)
+
+	ask := func() {
+		var resp map[string]any
+		rec := do(t, s, "POST", "/v1/databases/uni/shapley",
+			map[string]any{"query": q1Src, "mode": "all"}, &resp)
+		if rec.Code != http.StatusOK {
+			t.Fatalf("shapley: status %d: %s", rec.Code, rec.Body.String())
+		}
+	}
+	ask()
+	// An unmatched route must land in the catch-all counter, not break
+	// the exposition.
+	do(t, s, "GET", "/no/such/route", nil, nil)
+
+	first := scrapeMetrics(t, s)
+	checkHistograms(t, first)
+
+	// The request histogram family must exist with per-route label sets.
+	if first.types["shapleyd_request_duration_seconds"] != "histogram" {
+		t.Fatal("shapleyd_request_duration_seconds is not exposed as a histogram")
+	}
+	if first.types["shapleyd_phase_duration_seconds"] != "histogram" {
+		t.Fatal("shapleyd_phase_duration_seconds is not exposed as a histogram")
+	}
+	foundRoute := false
+	for _, smp := range first.samples {
+		if smp.name == "shapleyd_request_duration_seconds_count" &&
+			smp.labels["route"] == "POST /v1/databases/{id}/shapley" && smp.value >= 1 {
+			foundRoute = true
+		}
+	}
+	if !foundRoute {
+		t.Error("no shapleyd_request_duration_seconds_count sample for the shapley route")
+	}
+
+	// Counters must be monotonic across scrapes with traffic in between.
+	ask()
+	second := scrapeMetrics(t, s)
+	checkHistograms(t, second)
+	prev := make(map[string]float64)
+	for _, smp := range first.samples {
+		if first.types[familyOf(first, smp.name)] == "counter" || strings.HasSuffix(smp.name, "_count") {
+			prev[seriesKey(smp, "")] = smp.value
+		}
+	}
+	for _, smp := range second.samples {
+		key := seriesKey(smp, "")
+		was, ok := prev[key]
+		if !ok {
+			continue
+		}
+		if second.types[familyOf(second, smp.name)] == "counter" || strings.HasSuffix(smp.name, "_count") {
+			if smp.value < was {
+				t.Errorf("counter %s went backwards: %v -> %v", key, was, smp.value)
+			}
+		}
+	}
+	// The shapley route counter specifically must have advanced.
+	key := `shapleyd_requests_total,route=POST /v1/databases/{id}/shapley,status=200`
+	var got float64
+	for _, smp := range second.samples {
+		if seriesKey(smp, "") == key {
+			got = smp.value
+		}
+	}
+	if got < 2 {
+		t.Errorf("shapleyd_requests_total for the shapley route = %v, want >= 2", got)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Trace echo (?trace=1) and trace-id propagation.
+// ---------------------------------------------------------------------------
+
+// bigDBText builds a university-shaped database large enough that the
+// traced phases dominate request wall time.
+func bigDBText(students int) string {
+	var b strings.Builder
+	for i := 0; i < students; i++ {
+		fmt.Fprintf(&b, "exo Stud(s%d)\n", i)
+		fmt.Fprintf(&b, "endo TA(s%d)\n", i)
+		fmt.Fprintf(&b, "endo Reg(s%d, c1)\n", i)
+		fmt.Fprintf(&b, "endo Reg(s%d, c2)\n", i)
+	}
+	return b.String()
+}
+
+// spanNames flattens a span tree into name -> total duration_ns.
+func spanNames(root *obs.SpanJSON, out map[string]int64) {
+	if root == nil {
+		return
+	}
+	out[root.Name] += root.DurationNS
+	for _, c := range root.Children {
+		spanNames(c, out)
+	}
+}
+
+func TestServerTraceEcho(t *testing.T) {
+	s := New(Options{})
+	var info map[string]any
+	rec := do(t, s, "POST", "/v1/databases", map[string]any{"id": "big", "text": bigDBText(120)}, &info)
+	if rec.Code != http.StatusCreated {
+		t.Fatalf("register: status %d: %s", rec.Code, rec.Body.String())
+	}
+
+	type traced struct {
+		Cache string     `json:"cache"`
+		Trace *obs.Trace `json:"trace"`
+	}
+
+	// Cold request, untraced: the response must NOT carry a trace key.
+	var plain map[string]any
+	rec = do(t, s, "POST", "/v1/databases/big/shapley", map[string]any{"query": q1Src, "mode": "all"}, &plain)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("warmup: status %d: %s", rec.Code, rec.Body.String())
+	}
+	if _, ok := plain["trace"]; ok {
+		t.Error("untraced response carries a trace field")
+	}
+	if rec.Header().Get("X-Trace-Id") == "" {
+		t.Error("untraced response is missing the X-Trace-Id header")
+	}
+
+	// Warm request with ?trace=1: plan lookup hits the cache and the span
+	// tree covers the compute phases.
+	var resp traced
+	rec = do(t, s, "POST", "/v1/databases/big/shapley?trace=1", map[string]any{"query": q1Src, "mode": "all"}, &resp)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("traced: status %d: %s", rec.Code, rec.Body.String())
+	}
+	if resp.Cache != "hit" {
+		t.Fatalf("traced request cache = %q, want hit", resp.Cache)
+	}
+	if resp.Trace == nil || resp.Trace.Root == nil {
+		t.Fatal("traced response has no span tree")
+	}
+	hdr := rec.Header().Get("X-Trace-Id")
+	if resp.Trace.TraceID == "" || resp.Trace.TraceID != hdr {
+		t.Errorf("trace id %q does not match X-Trace-Id header %q", resp.Trace.TraceID, hdr)
+	}
+
+	root := resp.Trace.Root
+	if root.Name != "request" {
+		t.Errorf("root span = %q, want request", root.Name)
+	}
+	names := make(map[string]int64)
+	spanNames(root, names)
+	// Distinct phases: plan lookup, batch orchestration, per-worker tree
+	// work and weighting must all be present as separate spans.
+	for _, want := range []string{"plan.lookup", "shapley.all", "batch.worker", "tree.toggle", "weight"} {
+		if _, ok := names[want]; !ok {
+			t.Errorf("span %q missing from trace (got %v)", want, names)
+		}
+	}
+
+	// Phase coverage: the root's direct children must account for (almost
+	// all of) the request wall time — the instrumented phases are where
+	// the time actually goes.
+	var childSum int64
+	for _, c := range root.Children {
+		childSum += c.DurationNS
+	}
+	if root.DurationNS <= 0 {
+		t.Fatalf("root span duration = %d", root.DurationNS)
+	}
+	if childSum > root.DurationNS {
+		t.Errorf("children (%dns) exceed root wall time (%dns)", childSum, root.DurationNS)
+	}
+	if frac := float64(childSum) / float64(root.DurationNS); frac < 0.9 {
+		t.Errorf("phase spans cover %.1f%% of request wall time, want >= 90%%", frac*100)
+	}
+
+	// PATCH with ?trace=1 reports the plan.apply phase.
+	var pr traced
+	rec = do(t, s, "PATCH", "/v1/databases/big?trace=1", map[string]any{"add_endo": []string{"TA(extra)"}}, &pr)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("patch: status %d: %s", rec.Code, rec.Body.String())
+	}
+	if pr.Trace == nil || pr.Trace.Root == nil {
+		t.Fatal("traced PATCH response has no span tree")
+	}
+	pn := make(map[string]int64)
+	spanNames(pr.Trace.Root, pn)
+	if _, ok := pn["plan.apply"]; !ok {
+		t.Errorf("PATCH trace is missing plan.apply (got %v)", pn)
+	}
+}
+
+func TestServerTraceIDHeader(t *testing.T) {
+	s := New(Options{})
+
+	send := func(inbound string) string {
+		req := httptest.NewRequest("GET", "/healthz", nil)
+		if inbound != "" {
+			req.Header.Set("X-Trace-Id", inbound)
+		}
+		rec := httptest.NewRecorder()
+		s.ServeHTTP(rec, req)
+		if rec.Code != http.StatusOK {
+			t.Fatalf("healthz: status %d", rec.Code)
+		}
+		return rec.Header().Get("X-Trace-Id")
+	}
+
+	if got := send("req-42-abc"); got != "req-42-abc" {
+		t.Errorf("well-formed inbound trace id not honored: got %q", got)
+	}
+	if got := send(""); got == "" {
+		t.Error("no trace id generated for an id-less request")
+	}
+	if got := send("has space"); got == "has space" || got == "" {
+		t.Errorf("trace id with whitespace was honored: %q", got)
+	}
+	if long := strings.Repeat("a", 65); send(long) == long {
+		t.Error("oversized trace id was honored")
+	}
+	if got := send("ümläut"); got == "ümläut" || got == "" {
+		t.Errorf("non-ASCII trace id was honored: %q", got)
+	}
+}

@@ -48,6 +48,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"regexp"
 	"sort"
@@ -57,6 +58,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/db"
+	"repro/internal/obs"
 	"repro/internal/query"
 	"repro/internal/relevance"
 	"repro/internal/servercache"
@@ -72,6 +74,14 @@ type Options struct {
 	CacheSize int
 	// MaxBodyBytes bounds request bodies; zero means DefaultMaxBodyBytes.
 	MaxBodyBytes int64
+	// Logger, when non-nil, receives structured access logs (one record per
+	// request at debug level, with trace id, route, status and duration),
+	// slow-request warnings and lifecycle events. Nil disables logging.
+	Logger *slog.Logger
+	// SlowRequestThreshold marks requests at least this slow in the
+	// shapleyd_slow_requests_total counter and logs them at warn level.
+	// Zero means DefaultSlowRequestThreshold; negative disables.
+	SlowRequestThreshold time.Duration
 }
 
 // DefaultCacheSize is the plan-cache capacity when Options.CacheSize is 0.
@@ -80,6 +90,10 @@ const DefaultCacheSize = 128
 // DefaultMaxBodyBytes is the request-body bound when Options.MaxBodyBytes
 // is 0 (databases register as text, so bodies can be sizable).
 const DefaultMaxBodyBytes = 32 << 20
+
+// DefaultSlowRequestThreshold is the slow-request mark when
+// Options.SlowRequestThreshold is 0.
+const DefaultSlowRequestThreshold = time.Second
 
 // Server is the HTTP handler. Create with New; the zero value is unusable.
 type Server struct {
@@ -160,43 +174,108 @@ func New(opts Options) *Server {
 	if opts.MaxBodyBytes <= 0 {
 		opts.MaxBodyBytes = DefaultMaxBodyBytes
 	}
+	if opts.SlowRequestThreshold == 0 {
+		opts.SlowRequestThreshold = DefaultSlowRequestThreshold
+	}
 	s := &Server{
 		opts:  opts,
 		mux:   http.NewServeMux(),
 		start: time.Now(),
 		dbs:   make(map[string]*registeredDB),
 		plans: servercache.New[*cachedPlan](opts.CacheSize),
-		met:   newMetrics(),
 	}
-	s.mux.HandleFunc("POST /v1/databases", s.handleRegister)
-	s.mux.HandleFunc("GET /v1/databases", s.handleListDatabases)
-	s.mux.HandleFunc("GET /v1/databases/{id}", s.handleGetDatabase)
-	s.mux.HandleFunc("PATCH /v1/databases/{id}", s.handlePatchDatabase)
-	s.mux.HandleFunc("DELETE /v1/databases/{id}", s.handleDeleteDatabase)
-	s.mux.HandleFunc("POST /v1/databases/{id}/shapley", s.handleShapley)
-	s.mux.HandleFunc("POST /v1/databases/{id}/classify", s.handleClassify)
-	s.mux.HandleFunc("POST /v1/databases/{id}/relevance", s.handleRelevance)
-	s.mux.HandleFunc("POST /v1/databases/{id}/approx", s.handleApprox)
-	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
-	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	// The route table drives both mux registration and the per-route
+	// metrics slots: every pattern a request can resolve to has its slot
+	// pre-built here, which is what lets countRequest run without a lock.
+	routes := []struct {
+		pattern string
+		h       http.HandlerFunc
+	}{
+		{"POST /v1/databases", s.handleRegister},
+		{"GET /v1/databases", s.handleListDatabases},
+		{"GET /v1/databases/{id}", s.handleGetDatabase},
+		{"PATCH /v1/databases/{id}", s.handlePatchDatabase},
+		{"DELETE /v1/databases/{id}", s.handleDeleteDatabase},
+		{"POST /v1/databases/{id}/shapley", s.handleShapley},
+		{"POST /v1/databases/{id}/classify", s.handleClassify},
+		{"POST /v1/databases/{id}/relevance", s.handleRelevance},
+		{"POST /v1/databases/{id}/approx", s.handleApprox},
+		{"GET /healthz", s.handleHealthz},
+		{"GET /metrics", s.handleMetrics},
+	}
+	patterns := make([]string, 0, len(routes))
+	for _, rt := range routes {
+		s.mux.HandleFunc(rt.pattern, rt.h)
+		patterns = append(patterns, rt.pattern)
+	}
+	s.met = newMetrics(patterns, opts.SlowRequestThreshold)
 	return s
 }
 
-// ServeHTTP implements http.Handler, recording per-route counters around
-// the mux dispatch.
+// traceQueryParam opts a request into span recording: ?trace=1 attaches an
+// obs.Recorder to the request context, and handlers that report traces
+// echo the finished span tree in their response body.
+const traceQueryParam = "trace"
+
+// ServeHTTP implements http.Handler: it assigns the request's trace id
+// (honoring an inbound X-Trace-Id and echoing the id on the response),
+// attaches a span recorder when the request asks for one with ?trace=1,
+// dispatches, and records the per-route status counters and latency
+// histograms around the dispatch. The always-on portion is deliberately
+// cheap — a header read, one small id allocation and a few atomics — and
+// spans are only materialized for requests that carry a recorder.
+//
+//repolint:allow ctxflow: ServeHTTP is the fixed http.Handler signature; its context arrives via r.Context()
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
 	if s.opts.MaxBodyBytes > 0 && r.Body != nil {
 		r.Body = http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes)
+	}
+	// Honor a well-formed inbound trace id (so callers can correlate
+	// across services); anything empty, oversized or non-printable gets a
+	// fresh id instead.
+	tid := r.Header.Get("X-Trace-Id")
+	if tid == "" || len(tid) > 64 ||
+		strings.ContainsFunc(tid, func(c rune) bool { return c < 0x21 || c > 0x7e }) {
+		tid = obs.NewTraceID()
+	}
+	w.Header().Set("X-Trace-Id", tid)
+	// Untraced requests keep their original context: nothing downstream
+	// reads the trace id from it (obs.Start is a no-op without a
+	// recorder), so skipping the context derivation and request clone
+	// keeps the always-on path allocation-lean. RawQuery is checked first
+	// so untraced requests skip query parsing too.
+	if r.URL.RawQuery != "" && r.URL.Query().Get(traceQueryParam) == "1" {
+		rec := obs.NewRecorder(tid, "request")
+		r = r.WithContext(obs.WithRecorder(obs.WithTraceID(r.Context(), tid), rec))
 	}
 	sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
 	s.mux.ServeHTTP(sw, r)
 	// r.Pattern is set by the mux on a match; unmatched requests group
-	// under "unmatched".
+	// under unmatchedRoute.
 	route := r.Pattern
 	if route == "" {
-		route = "unmatched"
+		route = unmatchedRoute
 	}
-	s.met.countRequest(route, sw.status)
+	dur := time.Since(start)
+	s.met.countRequest(route, sw.status, dur)
+	if log := s.opts.Logger; log != nil {
+		if s.opts.SlowRequestThreshold > 0 && dur >= s.opts.SlowRequestThreshold {
+			log.LogAttrs(r.Context(), slog.LevelWarn, "slow request",
+				slog.String("trace_id", tid),
+				slog.String("route", route),
+				slog.Int("status", sw.status),
+				slog.Duration("duration", dur),
+				slog.String("threshold", s.opts.SlowRequestThreshold.String()),
+			)
+		}
+		log.LogAttrs(r.Context(), slog.LevelDebug, "request",
+			slog.String("trace_id", tid),
+			slog.String("route", route),
+			slog.Int("status", sw.status),
+			slog.Duration("duration", dur),
+		)
+	}
 }
 
 // statusWriter captures the response status for metrics.
@@ -328,11 +407,14 @@ func (s *Server) planFor(ctx context.Context, snap dbSnapshot, pq parsedQuery, e
 		)
 		// Detach the leader's cancellation: joiners waiting on this flight
 		// must not lose their plan because the initiating client hung up.
+		// WithoutCancel keeps the context values, so the leader's recorder
+		// (when tracing) still captures the engine.prepare span.
 		pctx := context.WithoutCancel(ctx)
 		var (
 			plan *core.Plan
 			err  error
 		)
+		t0 := time.Now()
 		if seed != nil {
 			plan, err = eng.PrepareFrom(pctx, snap.d, seed)
 		} else if pq.cq != nil {
@@ -340,6 +422,7 @@ func (s *Server) planFor(ctx context.Context, snap dbSnapshot, pq parsedQuery, e
 		} else {
 			plan, err = eng.PrepareUCQ(pctx, snap.d, pq.ucq)
 		}
+		s.met.phasePrepare.Observe(time.Since(t0))
 		if err != nil {
 			return nil, err
 		}
