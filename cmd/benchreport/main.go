@@ -1,6 +1,6 @@
 // Command benchreport runs the repository's canonical benchmarks and
 // writes a machine-readable JSON report, starting the bench trajectory
-// the ROADMAP calls for: every PR can regenerate the same four numbers
+// the ROADMAP calls for: every PR can regenerate the same numbers
 // and diff them against a committed baseline.
 //
 // The canonical benches:
@@ -9,6 +9,7 @@
 //	BenchmarkPlanApplyDelta         (repro/internal/core, top-level single-fact Apply vs fresh Prepare)
 //	BenchmarkPlanApplyDeepDelta     (repro/internal/core, deep-delta spine reuse)
 //	BenchmarkServerRepeatedQuery    (repro/internal/server, cold/warm serving paths)
+//	BenchmarkClusterSingleFact      (repro/internal/cluster, router-coalesced vs direct single-fact throughput)
 //
 // Usage:
 //
@@ -49,6 +50,7 @@ var targets = []target{
 	{Pkg: "./internal/core/", Bench: "BenchmarkPlanApplyDelta"},
 	{Pkg: "./internal/core/", Bench: "BenchmarkPlanApplyDeepDelta"},
 	{Pkg: "./internal/server/", Bench: "BenchmarkServerRepeatedQuery"},
+	{Pkg: "./internal/cluster/", Bench: "BenchmarkClusterSingleFact"},
 }
 
 // Result is the parsed measurement of one benchmark (sub)test.

@@ -16,6 +16,23 @@
 //	curl -s -X POST localhost:8080/v1/databases/uni/shapley \
 //	    -d '{"query":"q() :- Stud(x), !TA(x), Reg(x, y)","mode":"all"}'
 //
+// Cluster mode (see docs/cluster.md): the same binary also runs as the
+// cluster router in front of a worker fleet,
+//
+//	shapleyd -addr :8081 &
+//	shapleyd -addr :8082 &
+//	shapleyd -mode=router -addr :8080 \
+//	    -shard-workers 'w1=http://localhost:8081,w2=http://localhost:8082' \
+//	    -replication 2
+//
+// which shards database ids onto the workers by consistent hashing,
+// replicates every database onto -replication workers, coalesces
+// concurrent identical single-fact requests and PATCH bursts within
+// -coalesce-window, scatters mode=all batches across replicas, and fails
+// over automatically when a worker dies (recovered workers are re-warmed
+// from a peer's plan snapshot). -shards points at a JSON shard config
+// file instead of the inline list.
+//
 // Observability (see docs/observability.md):
 //
 //   - Logs are structured JSON on stderr (log/slog); -log-level selects
@@ -24,15 +41,19 @@
 //   - Every response carries an X-Trace-Id header (inbound X-Trace-Id is
 //     honored); appending ?trace=1 to a request echoes the request's span
 //     tree — plan lookup, preparation, per-worker batch work, tree
-//     toggles — in the response body.
+//     toggles — in the response body. Through the router, the trace id
+//     propagates to the worker and the worker's spans appear as a remote
+//     subtree under the router's worker.call span.
 //   - -pprof-addr serves net/http/pprof on a separate listener, kept off
 //     the public mux so profiling is never exposed with the API.
 //
-// The daemon shuts down gracefully on SIGINT/SIGTERM, draining in-flight
-// requests for up to -drain; when the drain window expires, the base
-// request context is cancelled, which aborts in-flight mode=all batches
-// (the compute stack is context-aware end to end) before the listener is
-// forcibly closed.
+// The daemon shuts down gracefully on SIGINT/SIGTERM: /readyz flips to
+// 503 (so cluster routers and load balancers stop sending new work — the
+// liveness probe /healthz stays 200), then in-flight requests drain for
+// up to -drain; when the drain window expires, the base request context
+// is cancelled, which aborts in-flight mode=all batches (the compute
+// stack is context-aware end to end) before the listener is forcibly
+// closed.
 package main
 
 import (
@@ -48,6 +69,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/server"
 )
 
@@ -82,12 +104,22 @@ func pprofMux() *http.ServeMux {
 func main() {
 	var (
 		addr      = flag.String("addr", ":8080", "listen address")
+		mode      = flag.String("mode", "worker", "process role: worker (serve databases) or router (shard requests across a worker fleet)")
 		workers   = flag.Int("workers", 0, "default worker-pool size for mode=all requests (0 = GOMAXPROCS)")
 		cacheSize = flag.Int("cache-size", server.DefaultCacheSize, "plan-cache capacity in entries")
 		drain     = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain timeout")
 		logLevel  = flag.String("log-level", "info", "log level: debug, info, warn or error (debug enables per-request access logs)")
 		pprofAddr = flag.String("pprof-addr", "", "serve net/http/pprof on this address (empty = disabled)")
 		slowQuery = flag.Duration("slow-query", server.DefaultSlowRequestThreshold, "log requests at least this slow at warn level and count them on /metrics (negative = disabled)")
+
+		// Router-mode flags (ignored as a worker).
+		shardFile    = flag.String("shards", "", "router: JSON shard config file ({\"workers\":[{\"name\":...,\"url\":...}],\"replication\":N})")
+		shardWorkers = flag.String("shard-workers", "", "router: inline worker fleet as name=url,name=url (alternative to -shards)")
+		replication  = flag.Int("replication", 0, "router: replicas per database id (0 = config value or default)")
+		virtualNodes = flag.Int("virtual-nodes", 0, "router: hash-ring points per worker (0 = config value or default)")
+		coalesce     = flag.Duration("coalesce-window", cluster.DefaultCoalesceWindow, "router: merge window for concurrent identical single-fact requests and PATCH bursts (negative = disabled)")
+		probeEvery   = flag.Duration("probe-interval", cluster.DefaultProbeInterval, "router: worker health-probe interval (negative = disabled)")
+		probeTimeout = flag.Duration("probe-timeout", cluster.DefaultProbeTimeout, "router: per-probe timeout")
 	)
 	flag.Parse()
 
@@ -99,19 +131,81 @@ func main() {
 	logger := slog.New(slog.NewJSONHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
 	slog.SetDefault(logger)
 
-	srv := server.New(server.Options{
-		Workers:              *workers,
-		CacheSize:            *cacheSize,
-		Logger:               logger,
-		SlowRequestThreshold: *slowQuery,
-	})
+	// Build the role's handler plus the hooks the drain sequence needs:
+	// flip readiness first so routers stop routing here, then drain.
+	var (
+		handler     http.Handler
+		setDraining func(bool)
+		closeRole   func()
+	)
+	switch *mode {
+	case "worker":
+		srv := server.New(server.Options{
+			Workers:              *workers,
+			CacheSize:            *cacheSize,
+			Logger:               logger,
+			SlowRequestThreshold: *slowQuery,
+		})
+		handler, setDraining, closeRole = srv, srv.SetDraining, func() {}
+	case "router":
+		var cfg *cluster.Config
+		var err error
+		switch {
+		case *shardFile != "" && *shardWorkers != "":
+			logger.Error("use -shards or -shard-workers, not both")
+			os.Exit(2)
+		case *shardFile != "":
+			cfg, err = cluster.LoadConfig(*shardFile)
+		case *shardWorkers != "":
+			var ws []cluster.Worker
+			ws, err = cluster.ParseWorkerList(*shardWorkers)
+			cfg = &cluster.Config{Workers: ws}
+		default:
+			logger.Error("router mode needs -shards or -shard-workers")
+			os.Exit(2)
+		}
+		if err != nil {
+			logger.Error("bad shard config", "error", err)
+			os.Exit(2)
+		}
+		if *replication != 0 {
+			cfg.Replication = *replication
+		}
+		if *virtualNodes != 0 {
+			cfg.VirtualNodes = *virtualNodes
+		}
+		rt, err := cluster.NewRouter(cluster.RouterOptions{
+			Config:         cfg,
+			CoalesceWindow: *coalesce,
+			ProbeInterval:  *probeEvery,
+			ProbeTimeout:   *probeTimeout,
+			Logger:         logger,
+		})
+		if err != nil {
+			logger.Error("router init failed", "error", err)
+			os.Exit(2)
+		}
+		rt.Start()
+		handler, setDraining, closeRole = rt, rt.SetDraining, rt.Close
+		logger.Info("router fleet",
+			"workers", len(cfg.Workers),
+			"replication", cfg.Replication,
+			"virtual_nodes", cfg.VirtualNodes,
+			"coalesce_window", coalesce.String(),
+		)
+	default:
+		slog.Error("invalid -mode", "value", *mode, "want", "worker|router")
+		os.Exit(2)
+	}
+	defer closeRole()
+
 	// Every request context derives from baseCtx, so cancelling it aborts
 	// all in-flight Shapley batches at once when the drain window expires.
 	baseCtx, cancelRequests := context.WithCancel(context.Background())
 	defer cancelRequests()
 	httpSrv := &http.Server{
 		Addr:              *addr,
-		Handler:           srv,
+		Handler:           handler,
 		ReadHeaderTimeout: 10 * time.Second,
 		BaseContext:       func(net.Listener) context.Context { return baseCtx },
 	}
@@ -135,6 +229,7 @@ func main() {
 	go func() {
 		logger.Info("listening",
 			"addr", *addr,
+			"mode", *mode,
 			"workers", *workers,
 			"cache_size", *cacheSize,
 			"log_level", *logLevel,
@@ -154,6 +249,7 @@ func main() {
 		}
 	case <-ctx.Done():
 		logger.Info("shutting down", "drain", drain.String())
+		setDraining(true)
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
 		defer cancel()
 		if err := httpSrv.Shutdown(shutdownCtx); err != nil {

@@ -43,6 +43,17 @@
 //     cross-query LRU plan cache (internal/servercache) with single-flight
 //     cold paths, and chunked NDJSON streaming of mode=all batches — see
 //     docs/server.md,
+//   - a cluster layer (internal/cluster, `shapleyd -mode=router`,
+//     docs/cluster.md): a stateless router sharding database ids onto a
+//     replicated consistent-hash ring of stock shapleyd workers, with
+//     PATCH fan-out in per-database total order, scatter-gathered and
+//     re-streamed mode=all (range splitting rides the per-fact
+//     independence of the batch engine), a bounded coalescing window
+//     merging concurrent single-fact requests into one sweep and PATCH
+//     bursts into one delta, health-probed automatic failover (including
+//     mid-stream re-request of the undelivered suffix), and snapshot
+//     warm-up that ships a live replica's plan memos to a rejoining
+//     worker — routed answers are bit-identical to a single process,
 //   - an always-on observability layer (internal/obs, docs/observability.md):
 //     context-carried phase spans across the whole compute stack (prepare,
 //     apply, per-worker batch work, DP-tree toggles, weighting) that

@@ -1,0 +1,782 @@
+// End-to-end cluster tests: real shapleyd workers behind real HTTP
+// listeners, fronted by a Router exercised in-process. The core
+// obligation is differential: any answer obtained through the router
+// must be byte-identical to the same request against a single-process
+// server — across plan families, after PATCH deltas, and after a forced
+// replica failover.
+package cluster_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/paperex"
+	"repro/internal/server"
+)
+
+// workerProxy fronts one worker server so tests can simulate crashes
+// (dead: the TCP connection is severed, which the router sees as a
+// transport error) and mid-stream failures (truncate: NDJSON shapley
+// streams stop after two value lines, no trailer).
+type workerProxy struct {
+	inner    http.Handler
+	dead     atomic.Bool
+	truncate atomic.Bool
+}
+
+func (p *workerProxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if p.dead.Load() {
+		hj, ok := w.(http.Hijacker)
+		if !ok {
+			panic("workerProxy: response writer is not a Hijacker")
+		}
+		conn, _, err := hj.Hijack()
+		if err == nil {
+			conn.Close()
+		}
+		return
+	}
+	if p.truncate.Load() && r.Method == http.MethodPost &&
+		strings.HasSuffix(r.URL.Path, "/shapley") &&
+		strings.Contains(r.Header.Get("Accept"), "ndjson") {
+		rec := httptest.NewRecorder()
+		p.inner.ServeHTTP(rec, r)
+		lines := bytes.Split(bytes.TrimSpace(rec.Body.Bytes()), []byte("\n"))
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		w.WriteHeader(rec.Code)
+		for i, ln := range lines {
+			if i >= 3 { // head + two values, then vanish without a trailer
+				return
+			}
+			_, _ = w.Write(ln)
+			_, _ = w.Write([]byte("\n"))
+		}
+		return
+	}
+	p.inner.ServeHTTP(w, r)
+}
+
+type testWorker struct {
+	name  string
+	srv   *server.Server
+	proxy *workerProxy
+	hs    *httptest.Server
+}
+
+type testCluster struct {
+	rt      *cluster.Router
+	workers map[string]*testWorker
+}
+
+// newCluster starts n workers and a router over them. Probing is off by
+// default (ProbeInterval < 0) so tests control health transitions via
+// request outcomes; pass probe > 0 to exercise the prober.
+func newCluster(t *testing.T, n, replication int, window, probe time.Duration) *testCluster {
+	t.Helper()
+	cfg := &cluster.Config{Replication: replication}
+	tc := &testCluster{workers: map[string]*testWorker{}}
+	for i := 0; i < n; i++ {
+		name := fmt.Sprintf("w%d", i+1)
+		srv := server.New(server.Options{})
+		proxy := &workerProxy{inner: srv}
+		hs := httptest.NewServer(proxy)
+		t.Cleanup(hs.Close)
+		tc.workers[name] = &testWorker{name: name, srv: srv, proxy: proxy, hs: hs}
+		cfg.Workers = append(cfg.Workers, cluster.Worker{Name: name, URL: hs.URL})
+	}
+	rt, err := cluster.NewRouter(cluster.RouterOptions{
+		Config:         cfg,
+		CoalesceWindow: window,
+		ProbeInterval:  probe,
+		ProbeTimeout:   time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt.Start()
+	t.Cleanup(rt.Close)
+	tc.rt = rt
+	return tc
+}
+
+// doRaw issues one request against a handler and returns the raw
+// recorder — bodies are compared byte-for-byte, so nothing re-decodes
+// them on the way out.
+func doRaw(t *testing.T, h http.Handler, method, path string, body []byte, hdr map[string]string) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest(method, path, bytes.NewReader(body))
+	for k, v := range hdr {
+		req.Header.Set(k, v)
+	}
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	return rec
+}
+
+func mustMarshal(t *testing.T, v any) []byte {
+	t.Helper()
+	b, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+const uniQ1 = "q1() :- Stud(x), !TA(x), Reg(x, y)"
+
+func registerUni(t *testing.T, h http.Handler) {
+	t.Helper()
+	body := mustMarshal(t, map[string]any{"id": "uni", "text": paperex.UniversityDBText})
+	rec := doRaw(t, h, "POST", "/v1/databases", body, nil)
+	if rec.Code != http.StatusCreated {
+		t.Fatalf("register: status %d: %s", rec.Code, rec.Body.String())
+	}
+}
+
+// normalizeCache rewrites the "cache" report in a response body so
+// post-failover comparisons ignore it: whether the surviving replica's
+// plan cache was warm is per-process state, not part of the answer.
+func normalizeCache(b []byte) []byte {
+	b = bytes.ReplaceAll(b, []byte(`"cache": "hit"`), []byte(`"cache": "?"`))
+	b = bytes.ReplaceAll(b, []byte(`"cache": "miss"`), []byte(`"cache": "?"`))
+	b = bytes.ReplaceAll(b, []byte(`"cache":"hit"`), []byte(`"cache":"?"`))
+	return bytes.ReplaceAll(b, []byte(`"cache":"miss"`), []byte(`"cache":"?"`))
+}
+
+// TestRoutedBitIdentical is the differential harness: one direct
+// single-process server and a 3-worker replication-2 cluster receive the
+// same request sequence, and every response body must match byte for
+// byte — across the hierarchical, ExoShap, UCQ¬ and brute-force plan
+// families, for single facts, fact batches, buffered and streamed
+// mode=all, and ranked batches; then again after a PATCH delta; then
+// (cache report aside) after the primary replica is killed mid-fleet.
+func TestRoutedBitIdentical(t *testing.T) {
+	direct := server.New(server.Options{})
+	tc := newCluster(t, 3, 2, time.Millisecond, -1)
+	registerUni(t, direct)
+	registerUni(t, tc.rt)
+
+	type step struct {
+		name string
+		body map[string]any
+		ndj  bool
+	}
+	steps := []step{
+		{"hier-single", map[string]any{"query": uniQ1, "fact": "TA(Adam)"}, false},
+		{"hier-all", map[string]any{"query": uniQ1, "mode": "all"}, false},
+		{"hier-stream", map[string]any{"query": uniQ1, "mode": "all"}, true},
+		{"hier-rank", map[string]any{"query": uniQ1, "mode": "all", "rank": true}, false},
+		{"hier-batch", map[string]any{"query": uniQ1, "facts": []string{"TA(Adam)", "Reg(Adam,OS)"}}, false},
+		{"exo-single", map[string]any{"query": uniQ1, "fact": "TA(Adam)", "exo": []string{"Reg"}}, false},
+		{"exo-all", map[string]any{"query": uniQ1, "mode": "all", "exo": []string{"Reg"}}, false},
+		{"ucq-single", map[string]any{"query": "q() :- Stud(x), !TA(x), Reg(x, y) | q() :- TA(x), Reg(x, y)", "fact": "TA(Adam)"}, false},
+		{"ucq-all", map[string]any{"query": "q() :- Stud(x), !TA(x), Reg(x, y) | q() :- TA(x), Reg(x, y)", "mode": "all"}, false},
+		{"brute-single", map[string]any{"query": uniQ1, "fact": "TA(Adam)", "brute_force": true}, false},
+		{"brute-all", map[string]any{"query": uniQ1, "mode": "all", "brute_force": true}, false},
+		{"bad-mode", map[string]any{"query": uniQ1, "mode": "nope"}, false},
+		{"bad-fact", map[string]any{"query": uniQ1, "fact": "NoSuch(zz)"}, false},
+	}
+	runSteps := func(phase string, normalize bool) {
+		t.Helper()
+		for _, st := range steps {
+			body := mustMarshal(t, st.body)
+			var hdr map[string]string
+			if st.ndj {
+				hdr = map[string]string{"Accept": "application/x-ndjson"}
+			}
+			want := doRaw(t, direct, "POST", "/v1/databases/uni/shapley", body, hdr)
+			got := doRaw(t, tc.rt, "POST", "/v1/databases/uni/shapley", body, hdr)
+			if got.Code != want.Code {
+				t.Fatalf("%s/%s: status %d via router, %d direct (%s vs %s)",
+					phase, st.name, got.Code, want.Code, got.Body.String(), want.Body.String())
+			}
+			wb, gb := want.Body.Bytes(), got.Body.Bytes()
+			if normalize {
+				wb, gb = normalizeCache(wb), normalizeCache(gb)
+			}
+			if !bytes.Equal(wb, gb) {
+				t.Fatalf("%s/%s: routed response differs from direct:\nrouter: %s\ndirect: %s",
+					phase, st.name, gb, wb)
+			}
+		}
+	}
+
+	runSteps("v1", false)
+
+	patch := mustMarshal(t, map[string]any{"remove": []string{"Reg(Adam,OS)"}, "add_endo": []string{"Reg(Bob, DB)"}})
+	wantP := doRaw(t, direct, "PATCH", "/v1/databases/uni", patch, nil)
+	gotP := doRaw(t, tc.rt, "PATCH", "/v1/databases/uni", patch, nil)
+	if wantP.Code != http.StatusOK || gotP.Code != http.StatusOK {
+		t.Fatalf("patch: direct %d, routed %d", wantP.Code, gotP.Code)
+	}
+	runSteps("v2-after-patch", false)
+
+	// Kill the primary replica of "uni": the next requests must fail over
+	// to the surviving owner and still produce the same answers (the
+	// surviving replica's cache-temperature report is its own business).
+	primary := tc.rt.Ring().Owners("uni")[0]
+	tc.workers[primary].proxy.dead.Store(true)
+	runSteps("v2-after-failover", true)
+	if tc.rt.Failovers() == 0 {
+		t.Fatal("failovers counter never moved though the primary replica is dead")
+	}
+}
+
+// TestCoalescingWindowSingleSweep pins the tentpole economics: K
+// concurrent identical single-fact requests inside one window must cost
+// the worker exactly one value computation (one plan lookup, one toggle
+// sweep), with every caller receiving an identical, correct response.
+func TestCoalescingWindowSingleSweep(t *testing.T) {
+	tc := newCluster(t, 1, 1, 300*time.Millisecond, -1)
+	registerUni(t, tc.rt)
+
+	const K = 8
+	body := mustMarshal(t, map[string]any{"query": uniQ1, "fact": "TA(Adam)"})
+	bodies := make([][]byte, K)
+	var wg sync.WaitGroup
+	for i := 0; i < K; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			rec := doRaw(t, tc.rt, "POST", "/v1/databases/uni/shapley", body, nil)
+			if rec.Code == http.StatusOK {
+				bodies[i] = rec.Body.Bytes()
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	w1 := tc.workers["w1"]
+	if got := w1.srv.ValuesComputed(); got != 1 {
+		t.Fatalf("worker computed %d values for %d coalesced identical requests, want 1", got, K)
+	}
+	if got := tc.rt.CoalescedWindow(); got != K-1 {
+		t.Fatalf("CoalescedWindow = %d, want %d", got, K-1)
+	}
+	for i := 0; i < K; i++ {
+		if bodies[i] == nil {
+			t.Fatalf("request %d failed", i)
+		}
+		if !bytes.Equal(bodies[i], bodies[0]) {
+			t.Fatalf("caller %d saw a different body:\n%s\nvs\n%s", i, bodies[i], bodies[0])
+		}
+	}
+	var resp struct {
+		Value struct {
+			Shapley string `json:"shapley"`
+		} `json:"value"`
+	}
+	if err := json.Unmarshal(bodies[0], &resp); err != nil {
+		t.Fatal(err)
+	}
+	if want := paperex.Example23Values["TA(Adam)"]; resp.Value.Shapley != want {
+		t.Fatalf("coalesced Shapley(TA(Adam)) = %s, want %s", resp.Value.Shapley, want)
+	}
+}
+
+// TestCoalescingWindowDistinctFacts: distinct facts in one window merge
+// into one batched sweep — still one plan preparation, one sweep of
+// exactly the requested facts — and each caller gets its own fact's value.
+func TestCoalescingWindowDistinctFacts(t *testing.T) {
+	tc := newCluster(t, 1, 1, 300*time.Millisecond, -1)
+	registerUni(t, tc.rt)
+
+	facts := []string{"TA(Adam)", "Reg(Adam,OS)", "TA(Ben)", "Reg(Ben,OS)"}
+	type result struct {
+		fact string
+		body []byte
+	}
+	results := make([]result, len(facts))
+	var wg sync.WaitGroup
+	for i, f := range facts {
+		wg.Add(1)
+		go func(i int, f string) {
+			defer wg.Done()
+			body := mustMarshal(t, map[string]any{"query": uniQ1, "fact": f})
+			rec := doRaw(t, tc.rt, "POST", "/v1/databases/uni/shapley", body, nil)
+			if rec.Code == http.StatusOK {
+				results[i] = result{fact: f, body: rec.Body.Bytes()}
+			}
+		}(i, f)
+	}
+	wg.Wait()
+
+	for i, res := range results {
+		if res.body == nil {
+			t.Fatalf("request %d failed", i)
+		}
+		var resp struct {
+			Value struct {
+				Fact    string `json:"fact"`
+				Shapley string `json:"shapley"`
+			} `json:"value"`
+		}
+		if err := json.Unmarshal(res.body, &resp); err != nil {
+			t.Fatal(err)
+		}
+		if resp.Value.Fact != res.fact {
+			t.Fatalf("caller for %s received value for %s", res.fact, resp.Value.Fact)
+		}
+		if want := paperex.Example23Values[res.fact]; resp.Value.Shapley != want {
+			t.Fatalf("Shapley(%s) = %s, want %s", res.fact, resp.Value.Shapley, want)
+		}
+	}
+	if got := tc.rt.CoalescedWindow(); got != int64(len(facts))-1 {
+		t.Fatalf("CoalescedWindow = %d, want %d", got, len(facts)-1)
+	}
+}
+
+// TestPatchCoalescingAndReplayOrdering: a burst of concurrent PATCH
+// deltas must leave every replica with an identical database — same
+// fingerprint, same version — regardless of how the burst was merged
+// into windows, and a subsequent routed mode=all must agree with a
+// direct server that applied the same net delta.
+func TestPatchCoalescingAndReplayOrdering(t *testing.T) {
+	tc := newCluster(t, 3, 3, 50*time.Millisecond, -1)
+	registerUni(t, tc.rt)
+
+	// Disjoint deltas: any merge or serialization of these yields the
+	// same database, so every request must succeed.
+	deltas := []map[string]any{
+		{"add_endo": []string{"Reg(Bob, DB)"}},
+		{"add_endo": []string{"Reg(Esra, DB)"}},
+		{"remove": []string{"Reg(Adam,OS)"}},
+		{"add_exo": []string{"Stud(Dan)"}},
+		{"add_endo": []string{"TA(Dan)"}},
+	}
+	var wg sync.WaitGroup
+	for _, d := range deltas {
+		wg.Add(1)
+		go func(d map[string]any) {
+			defer wg.Done()
+			rec := doRaw(t, tc.rt, "PATCH", "/v1/databases/uni", mustMarshal(t, d), nil)
+			if rec.Code != http.StatusOK {
+				t.Errorf("patch %v: status %d: %s", d, rec.Code, rec.Body.String())
+			}
+		}(d)
+	}
+	wg.Wait()
+
+	// Every replica converged to the same database.
+	type info struct {
+		Version     int    `json:"version"`
+		Fingerprint string `json:"fingerprint"`
+		Facts       int    `json:"facts"`
+	}
+	replicasAgree := func() info {
+		t.Helper()
+		var ref *info
+		for name, w := range tc.workers {
+			rec := doRaw(t, w.srv, "GET", "/v1/databases/uni", nil, nil)
+			if rec.Code != http.StatusOK {
+				t.Fatalf("worker %s: GET uni: %d", name, rec.Code)
+			}
+			var in info
+			if err := json.Unmarshal(rec.Body.Bytes(), &in); err != nil {
+				t.Fatal(err)
+			}
+			if ref == nil {
+				ref = &in
+				continue
+			}
+			if in != *ref {
+				t.Fatalf("replica %s diverged: %+v vs %+v", name, in, *ref)
+			}
+		}
+		return *ref
+	}
+	replicasAgree()
+
+	// The converged state equals a direct server that applied the same
+	// net delta (order of the disjoint deltas is immaterial).
+	direct := server.New(server.Options{})
+	registerUni(t, direct)
+	net := mustMarshal(t, map[string]any{
+		"add_endo": []string{"Reg(Bob, DB)", "Reg(Esra, DB)", "TA(Dan)"},
+		"add_exo":  []string{"Stud(Dan)"},
+		"remove":   []string{"Reg(Adam,OS)"},
+	})
+	if rec := doRaw(t, direct, "PATCH", "/v1/databases/uni", net, nil); rec.Code != http.StatusOK {
+		t.Fatalf("direct patch: %d: %s", rec.Code, rec.Body.String())
+	}
+	q := mustMarshal(t, map[string]any{"query": uniQ1, "mode": "all"})
+	want := doRaw(t, direct, "POST", "/v1/databases/uni/shapley", q, nil)
+	got := doRaw(t, tc.rt, "POST", "/v1/databases/uni/shapley", q, nil)
+	type vals struct {
+		Values []struct {
+			Fact    string `json:"fact"`
+			Shapley string `json:"shapley"`
+		} `json:"values"`
+	}
+	var wv, gv vals
+	if err := json.Unmarshal(want.Body.Bytes(), &wv); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(got.Body.Bytes(), &gv); err != nil {
+		t.Fatal(err)
+	}
+	if len(wv.Values) == 0 || len(wv.Values) != len(gv.Values) {
+		t.Fatalf("value count: direct %d, routed %d", len(wv.Values), len(gv.Values))
+	}
+	// Fact enumeration order is insertion order, which differs between
+	// one merged delta and a sequence of windows — compare by fact.
+	wantBy := map[string]string{}
+	for _, v := range wv.Values {
+		wantBy[v.Fact] = v.Shapley
+	}
+	for _, v := range gv.Values {
+		if want, ok := wantBy[v.Fact]; !ok || want != v.Shapley {
+			t.Fatalf("Shapley(%s) = %s routed, %s direct", v.Fact, v.Shapley, want)
+		}
+	}
+
+	// Conflicting pair: two concurrent deltas touching the same fact must
+	// never merge — whichever serialization wins, one may be rejected, but
+	// every replica must still apply the identical sequence and converge.
+	var cg sync.WaitGroup
+	for _, d := range []map[string]any{
+		{"remove": []string{"TA(Dan)"}},
+		{"add_endo": []string{"TA(Eve)"}},
+		{"remove": []string{"TA(Eve)"}}, // conflicts with the add
+	} {
+		cg.Add(1)
+		go func(d map[string]any) {
+			defer cg.Done()
+			doRaw(t, tc.rt, "PATCH", "/v1/databases/uni", mustMarshal(t, d), nil)
+		}(d)
+	}
+	cg.Wait()
+	replicasAgree()
+}
+
+// TestFailoverMidStream: a replica dying partway through a mode=all
+// NDJSON stream must be invisible to the client — the router resumes the
+// interrupted fact range on a peer at the exact offset reached, so the
+// client sees every value exactly once, in order, with a clean trailer.
+func TestFailoverMidStream(t *testing.T) {
+	tc := newCluster(t, 2, 2, time.Millisecond, -1)
+	registerUni(t, tc.rt)
+
+	primary := tc.rt.Ring().Owners("uni")[0]
+	tc.workers[primary].proxy.truncate.Store(true)
+
+	body := mustMarshal(t, map[string]any{"query": uniQ1, "mode": "all"})
+	rec := doRaw(t, tc.rt, "POST", "/v1/databases/uni/shapley", body,
+		map[string]string{"Accept": "application/x-ndjson"})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("stream: status %d: %s", rec.Code, rec.Body.String())
+	}
+	lines := bytes.Split(bytes.TrimSpace(rec.Body.Bytes()), []byte("\n"))
+	if len(lines) < 3 {
+		t.Fatalf("stream too short: %s", rec.Body.String())
+	}
+	var head struct {
+		Database string `json:"database"`
+		Method   string `json:"method"`
+	}
+	if err := json.Unmarshal(lines[0], &head); err != nil || head.Database != "uni" {
+		t.Fatalf("bad head line %s (%v)", lines[0], err)
+	}
+	seen := map[string]string{}
+	for _, ln := range lines[1 : len(lines)-1] {
+		var v struct {
+			Fact    string `json:"fact"`
+			Shapley string `json:"shapley"`
+		}
+		if err := json.Unmarshal(ln, &v); err != nil || v.Fact == "" {
+			t.Fatalf("bad value line %s (%v)", ln, err)
+		}
+		if _, dup := seen[v.Fact]; dup {
+			t.Fatalf("fact %s streamed twice across the failover", v.Fact)
+		}
+		seen[v.Fact] = v.Shapley
+	}
+	var trailer struct {
+		Done  bool `json:"done"`
+		Count int  `json:"count"`
+	}
+	if err := json.Unmarshal(lines[len(lines)-1], &trailer); err != nil || !trailer.Done {
+		t.Fatalf("missing trailer, last line: %s", lines[len(lines)-1])
+	}
+	if trailer.Count != 8 || len(seen) != 8 {
+		t.Fatalf("streamed %d values (trailer says %d), want all 8", len(seen), trailer.Count)
+	}
+	for fact, want := range paperex.Example23Values {
+		if seen[fact] != want {
+			t.Fatalf("Shapley(%s) = %s, want %s", fact, seen[fact], want)
+		}
+	}
+	if tc.rt.Failovers() == 0 {
+		t.Fatal("stream completed without recording the mid-stream failover")
+	}
+}
+
+// TestTracePropagation: ?trace=1 through the router must show the
+// cross-process path — the router's worker.call span with the worker's
+// own span tree grafted beneath it — under one shared trace id.
+func TestTracePropagation(t *testing.T) {
+	tc := newCluster(t, 1, 1, time.Millisecond, -1)
+	registerUni(t, tc.rt)
+
+	body := mustMarshal(t, map[string]any{"query": uniQ1, "fact": "TA(Adam)"})
+	rec := doRaw(t, tc.rt, "POST", "/v1/databases/uni/shapley?trace=1", body,
+		map[string]string{"X-Trace-Id": "trace-cluster-0001"})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("traced request: status %d: %s", rec.Code, rec.Body.String())
+	}
+	if got := rec.Header().Get("X-Trace-Id"); got != "trace-cluster-0001" {
+		t.Fatalf("router did not honor inbound trace id: %q", got)
+	}
+	var resp struct {
+		Trace struct {
+			TraceID string          `json:"trace_id"`
+			Root    json.RawMessage `json:"root"`
+		} `json:"trace"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Trace.TraceID != "trace-cluster-0001" {
+		t.Fatalf("trace id in body = %q", resp.Trace.TraceID)
+	}
+	tree := string(resp.Trace.Root)
+	if !strings.Contains(tree, "worker.call") {
+		t.Fatalf("trace lacks the router's worker.call hop: %s", tree)
+	}
+	// The worker's own spans (plan lookup/preparation, the single-fact
+	// compute) must appear as the remote subtree.
+	if !strings.Contains(tree, "shapley.single") {
+		t.Fatalf("trace lacks the worker-side remote subtree: %s", tree)
+	}
+}
+
+// TestWorkerRecoveryWarmsReplica: a worker that was down while the fleet
+// took writes must, on recovery, be warmed from a peer snapshot — same
+// version, same fingerprint, and able to serve correct answers when its
+// peer later dies — without recomputing plans from scratch.
+func TestWorkerRecoveryWarmsReplica(t *testing.T) {
+	tc := newCluster(t, 2, 2, time.Millisecond, 25*time.Millisecond)
+	w1, w2 := tc.workers["w1"], tc.workers["w2"]
+
+	// w2 crashes before the database exists anywhere.
+	w2.proxy.dead.Store(true)
+	registerUni(t, tc.rt)
+	patch := mustMarshal(t, map[string]any{"add_endo": []string{"Reg(Bob, DB)"}})
+	if rec := doRaw(t, tc.rt, "PATCH", "/v1/databases/uni", patch, nil); rec.Code != http.StatusOK {
+		t.Fatalf("patch with one replica down: %d: %s", rec.Code, rec.Body.String())
+	}
+	// Prepare a plan on w1 so the warm-up ships it, not just the facts.
+	q := mustMarshal(t, map[string]any{"query": uniQ1, "mode": "all"})
+	if rec := doRaw(t, tc.rt, "POST", "/v1/databases/uni/shapley", q, nil); rec.Code != http.StatusOK {
+		t.Fatalf("mode=all with one replica down: %d", rec.Code)
+	}
+
+	// w2 comes back; the prober should mark it up and warm it from w1.
+	w2.proxy.dead.Store(false)
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		rec := doRaw(t, w2.srv, "GET", "/v1/databases/uni", nil, nil)
+		if rec.Code == http.StatusOK {
+			var in struct {
+				Version int `json:"version"`
+			}
+			if json.Unmarshal(rec.Body.Bytes(), &in) == nil && in.Version == 2 {
+				break
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("w2 was never warmed (last: %d %s)", rec.Code, rec.Body.String())
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	// Both replicas agree on the database identity.
+	f1 := doRaw(t, w1.srv, "GET", "/v1/databases/uni", nil, nil).Body.String()
+	f2 := doRaw(t, w2.srv, "GET", "/v1/databases/uni", nil, nil).Body.String()
+	var i1, i2 struct {
+		Version     int    `json:"version"`
+		Fingerprint string `json:"fingerprint"`
+	}
+	if err := json.Unmarshal([]byte(f1), &i1); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal([]byte(f2), &i2); err != nil {
+		t.Fatal(err)
+	}
+	if i1 != i2 {
+		t.Fatalf("replicas disagree after warm-up: %+v vs %+v", i1, i2)
+	}
+	// The snapshot carried the prepared plan: w2 answers from cache.
+	rec := doRaw(t, w2.srv, "POST", "/v1/databases/uni/shapley", q, nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("w2 after warm-up: %d: %s", rec.Code, rec.Body.String())
+	}
+	if !strings.Contains(rec.Body.String(), `"cache": "hit"`) {
+		t.Fatalf("warmed replica should answer from the imported plan, got: %s", rec.Body.String())
+	}
+
+	// Now w1 dies; the warmed replica carries the database alone.
+	w1.proxy.dead.Store(true)
+	single := mustMarshal(t, map[string]any{"query": uniQ1, "fact": "TA(Adam)"})
+	rec = doRaw(t, tc.rt, "POST", "/v1/databases/uni/shapley", single, nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("routed request after losing w1: %d: %s", rec.Code, rec.Body.String())
+	}
+	if !strings.Contains(rec.Body.String(), `"version": 2`) {
+		t.Fatalf("surviving replica served a stale version: %s", rec.Body.String())
+	}
+}
+
+// TestRouterHealthReadyMetrics covers the router's own operational
+// surface plus the worker-side readiness split.
+func TestRouterHealthReadyMetrics(t *testing.T) {
+	tc := newCluster(t, 2, 2, time.Millisecond, -1)
+
+	rec := doRaw(t, tc.rt, "GET", "/healthz", nil, nil)
+	if rec.Code != http.StatusOK || !strings.Contains(rec.Body.String(), `"role": "router"`) {
+		t.Fatalf("healthz: %d %s", rec.Code, rec.Body.String())
+	}
+	if rec = doRaw(t, tc.rt, "GET", "/readyz", nil, nil); rec.Code != http.StatusOK {
+		t.Fatalf("readyz: %d %s", rec.Code, rec.Body.String())
+	}
+	tc.rt.SetDraining(true)
+	if rec = doRaw(t, tc.rt, "GET", "/readyz", nil, nil); rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("draining readyz: %d, want 503", rec.Code)
+	}
+	if rec = doRaw(t, tc.rt, "GET", "/healthz", nil, nil); rec.Code != http.StatusOK {
+		t.Fatalf("healthz while draining: %d, want 200 (liveness is not readiness)", rec.Code)
+	}
+	tc.rt.SetDraining(false)
+
+	rec = doRaw(t, tc.rt, "GET", "/metrics", nil, nil)
+	for _, want := range []string{
+		`shapleyd_coalesced_requests_total{kind="singleflight"}`,
+		`shapleyd_coalesced_requests_total{kind="window"}`,
+		`shapleyd_coalesced_requests_total{kind="patch"}`,
+		`shapleyd_router_failovers_total`,
+		`shapleyd_router_worker_up{worker="w1"} 1`,
+		`shapleyd_router_worker_up{worker="w2"} 1`,
+	} {
+		if !strings.Contains(rec.Body.String(), want) {
+			t.Fatalf("router /metrics lacks %q:\n%s", want, rec.Body.String())
+		}
+	}
+
+	// Worker side: same family present (zeros included), and the
+	// liveness/readiness split behaves identically.
+	w1 := tc.workers["w1"]
+	rec = doRaw(t, w1.srv, "GET", "/metrics", nil, nil)
+	for _, want := range []string{
+		`shapleyd_coalesced_requests_total{kind="singleflight"} 0`,
+		`shapleyd_coalesced_requests_total{kind="window"} 0`,
+		`shapleyd_coalesced_requests_total{kind="patch"} 0`,
+	} {
+		if !strings.Contains(rec.Body.String(), want) {
+			t.Fatalf("worker /metrics lacks %q", want)
+		}
+	}
+	if rec = doRaw(t, w1.srv, "GET", "/readyz", nil, nil); rec.Code != http.StatusOK {
+		t.Fatalf("worker readyz: %d", rec.Code)
+	}
+	w1.srv.SetDraining(true)
+	if rec = doRaw(t, w1.srv, "GET", "/readyz", nil, nil); rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("worker draining readyz: %d, want 503", rec.Code)
+	}
+	if rec = doRaw(t, w1.srv, "GET", "/healthz", nil, nil); rec.Code != http.StatusOK {
+		t.Fatalf("worker healthz while draining: %d, want 200", rec.Code)
+	}
+}
+
+// TestRouterRegisterListDelete covers the database lifecycle through the
+// router: ids pin to ring owners, listings merge replicas, deletes reach
+// every owner.
+func TestRouterRegisterListDelete(t *testing.T) {
+	tc := newCluster(t, 3, 2, time.Millisecond, -1)
+	registerUni(t, tc.rt)
+
+	// Duplicate id refused at the router.
+	body := mustMarshal(t, map[string]any{"id": "uni", "text": paperex.UniversityDBText})
+	if rec := doRaw(t, tc.rt, "POST", "/v1/databases", body, nil); rec.Code != http.StatusConflict {
+		t.Fatalf("duplicate register: %d", rec.Code)
+	}
+
+	// The database landed on exactly its ring owners.
+	owners := map[string]bool{}
+	for _, o := range tc.rt.Ring().Owners("uni") {
+		owners[o] = true
+	}
+	if len(owners) != 2 {
+		t.Fatalf("owners: %v", owners)
+	}
+	for name, w := range tc.workers {
+		rec := doRaw(t, w.srv, "GET", "/v1/databases/uni", nil, nil)
+		if hasIt := rec.Code == http.StatusOK; hasIt != owners[name] {
+			t.Fatalf("worker %s has uni=%v, ring owner=%v", name, hasIt, owners[name])
+		}
+	}
+
+	// Listing shows the database once despite two replicas.
+	rec := doRaw(t, tc.rt, "GET", "/v1/databases", nil, nil)
+	if n := strings.Count(rec.Body.String(), `"id": "uni"`); n != 1 {
+		t.Fatalf("listing shows uni %d times: %s", n, rec.Body.String())
+	}
+
+	if rec := doRaw(t, tc.rt, "DELETE", "/v1/databases/uni", nil, nil); rec.Code != http.StatusNoContent {
+		t.Fatalf("delete: %d", rec.Code)
+	}
+	for name, w := range tc.workers {
+		if rec := doRaw(t, w.srv, "GET", "/v1/databases/uni", nil, nil); rec.Code != http.StatusNotFound {
+			t.Fatalf("worker %s still has uni after delete: %d", name, rec.Code)
+		}
+	}
+	if rec := doRaw(t, tc.rt, "POST", "/v1/databases/uni/shapley",
+		mustMarshal(t, map[string]any{"query": uniQ1, "fact": "TA(Adam)"}), nil); rec.Code != http.StatusNotFound {
+		t.Fatalf("shapley after delete: %d", rec.Code)
+	}
+}
+
+// TestRouterSnapshotRoundTrip moves a database between fleets via the
+// snapshot wire format: export through the router, import into a fresh
+// cluster, and get identical answers with warm plan caches.
+func TestRouterSnapshotRoundTrip(t *testing.T) {
+	src := newCluster(t, 2, 2, time.Millisecond, -1)
+	registerUni(t, src.rt)
+	q := mustMarshal(t, map[string]any{"query": uniQ1, "mode": "all"})
+	want := doRaw(t, src.rt, "POST", "/v1/databases/uni/shapley", q, nil)
+	if want.Code != http.StatusOK {
+		t.Fatalf("source mode=all: %d", want.Code)
+	}
+
+	rec := doRaw(t, src.rt, "GET", "/v1/databases/uni/snapshot", nil, nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("export: %d: %s", rec.Code, rec.Body.String())
+	}
+	raw, err := io.ReadAll(rec.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dst := newCluster(t, 2, 2, time.Millisecond, -1)
+	if rec := doRaw(t, dst.rt, "PUT", "/v1/databases/uni/snapshot", raw, nil); rec.Code != http.StatusOK {
+		t.Fatalf("import: %d: %s", rec.Code, rec.Body.String())
+	}
+	got := doRaw(t, dst.rt, "POST", "/v1/databases/uni/shapley", q, nil)
+	if got.Code != http.StatusOK {
+		t.Fatalf("destination mode=all: %d: %s", got.Code, got.Body.String())
+	}
+	// The imported plans serve from cache, so modulo the cache-state
+	// report the answers are byte-identical.
+	if !bytes.Equal(normalizeCache(want.Body.Bytes()), normalizeCache(got.Body.Bytes())) {
+		t.Fatalf("migrated fleet answers differently:\nsrc: %s\ndst: %s", want.Body.String(), got.Body.String())
+	}
+}

@@ -1,0 +1,119 @@
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/url"
+	"os"
+	"strings"
+)
+
+// Worker names one shapleyd worker process and where to reach it.
+type Worker struct {
+	Name string `json:"name"`
+	URL  string `json:"url"`
+}
+
+// Config is the shard layout the router serves: the worker fleet plus
+// the ring parameters. It loads from a JSON file (shapleyd -shards) or
+// an inline name=url list (shapleyd -shard-workers).
+type Config struct {
+	Workers []Worker `json:"workers"`
+	// Replication is how many distinct workers own each database id;
+	// zero means DefaultReplication (clamped to the fleet size).
+	Replication int `json:"replication,omitempty"`
+	// VirtualNodes is the per-worker point count on the hash ring; zero
+	// means DefaultVirtualNodes.
+	VirtualNodes int `json:"virtual_nodes,omitempty"`
+}
+
+// DefaultReplication is the replica count when Config.Replication is 0.
+const DefaultReplication = 2
+
+// DefaultVirtualNodes is the per-worker ring point count when
+// Config.VirtualNodes is 0.
+const DefaultVirtualNodes = 64
+
+// Validate checks the fleet and fills defaults in place.
+func (c *Config) Validate() error {
+	if len(c.Workers) == 0 {
+		return fmt.Errorf("cluster: config has no workers")
+	}
+	seen := make(map[string]bool, len(c.Workers))
+	for i, w := range c.Workers {
+		if w.Name == "" {
+			return fmt.Errorf("cluster: worker %d has no name", i)
+		}
+		if seen[w.Name] {
+			return fmt.Errorf("cluster: duplicate worker name %q", w.Name)
+		}
+		seen[w.Name] = true
+		u, err := url.Parse(w.URL)
+		if err != nil || u.Scheme == "" || u.Host == "" {
+			return fmt.Errorf("cluster: worker %q has invalid URL %q (want e.g. http://host:port)", w.Name, w.URL)
+		}
+	}
+	if c.Replication == 0 {
+		c.Replication = DefaultReplication
+	}
+	if c.Replication < 1 {
+		return fmt.Errorf("cluster: replication %d is invalid", c.Replication)
+	}
+	if c.VirtualNodes == 0 {
+		c.VirtualNodes = DefaultVirtualNodes
+	}
+	if c.VirtualNodes < 1 {
+		return fmt.Errorf("cluster: virtual_nodes %d is invalid", c.VirtualNodes)
+	}
+	return nil
+}
+
+// ParseConfig decodes and validates a JSON shard config.
+func ParseConfig(data []byte) (*Config, error) {
+	var c Config
+	if err := json.Unmarshal(data, &c); err != nil {
+		return nil, fmt.Errorf("cluster: invalid shard config: %w", err)
+	}
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	return &c, nil
+}
+
+// LoadConfig reads a shard config file.
+func LoadConfig(path string) (*Config, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: read shard config: %w", err)
+	}
+	return ParseConfig(data)
+}
+
+// ParseWorkerList parses the inline "name=url,name=url" flag form.
+func ParseWorkerList(s string) ([]Worker, error) {
+	var out []Worker
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, u, ok := strings.Cut(part, "=")
+		if !ok || name == "" || u == "" {
+			return nil, fmt.Errorf("cluster: invalid worker entry %q (want name=url)", part)
+		}
+		out = append(out, Worker{Name: name, URL: u})
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("cluster: empty worker list")
+	}
+	return out, nil
+}
+
+// ringFrom builds the ring for a validated config.
+func ringFrom(c *Config) (*Ring, error) {
+	names := make([]string, len(c.Workers))
+	for i, w := range c.Workers {
+		names[i] = w.Name
+	}
+	return NewRing(names, c.VirtualNodes, c.Replication)
+}

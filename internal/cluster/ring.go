@@ -1,0 +1,117 @@
+package cluster
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// Ring is a consistent-hash ring assigning keys (database ids) to
+// replicated worker shards. Each worker contributes virtualNodes points
+// hashed from "name#i"; a key's owners are the first `replication`
+// distinct workers clockwise from the key's hash. The hash is FNV-1a 64
+// — deterministic across processes and builds, so every router (and
+// every test) derives the identical placement from the same worker list.
+//
+// The virtual-node construction gives the two properties the cluster
+// leans on: load spreads evenly at realistic worker counts, and adding
+// or removing one worker moves only the keys whose nearest points
+// belonged to it (about 1/n of the keyspace), never reshuffling the
+// rest — the rebalance test pins this.
+//
+// A Ring is immutable after New; membership changes build a new Ring.
+type Ring struct {
+	points      []ringPoint
+	workers     []string
+	replication int
+}
+
+type ringPoint struct {
+	hash   uint64
+	worker string
+}
+
+func hash64(s string) uint64 {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(s))
+	return h.Sum64()
+}
+
+// NewRing builds the ring. Replication is clamped to [1, len(workers)];
+// virtualNodes to at least 1. Worker names must be unique and non-empty.
+func NewRing(workers []string, virtualNodes, replication int) (*Ring, error) {
+	if len(workers) == 0 {
+		return nil, fmt.Errorf("cluster: ring needs at least one worker")
+	}
+	if virtualNodes < 1 {
+		virtualNodes = 1
+	}
+	if replication < 1 {
+		replication = 1
+	}
+	if replication > len(workers) {
+		replication = len(workers)
+	}
+	seen := make(map[string]bool, len(workers))
+	r := &Ring{
+		points:      make([]ringPoint, 0, len(workers)*virtualNodes),
+		workers:     append([]string(nil), workers...),
+		replication: replication,
+	}
+	sort.Strings(r.workers)
+	for _, w := range r.workers {
+		if w == "" {
+			return nil, fmt.Errorf("cluster: empty worker name")
+		}
+		if seen[w] {
+			return nil, fmt.Errorf("cluster: duplicate worker name %q", w)
+		}
+		seen[w] = true
+		for i := 0; i < virtualNodes; i++ {
+			r.points = append(r.points, ringPoint{hash: hash64(fmt.Sprintf("%s#%d", w, i)), worker: w})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		// Hash ties (astronomically rare) break by name so placement
+		// stays deterministic regardless of input order.
+		return r.points[i].worker < r.points[j].worker
+	})
+	return r, nil
+}
+
+// Replication reports the effective (clamped) replication factor.
+func (r *Ring) Replication() int { return r.replication }
+
+// Workers returns the sorted member names.
+func (r *Ring) Workers() []string { return append([]string(nil), r.workers...) }
+
+// Owners returns the replication-many distinct workers owning key, in
+// ring (priority) order: Owners(key)[0] is the primary replica, the rest
+// are the failover order.
+func (r *Ring) Owners(key string) []string {
+	h := hash64(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	owners := make([]string, 0, r.replication)
+	seen := make(map[string]bool, r.replication)
+	for n := 0; n < len(r.points) && len(owners) < r.replication; n++ {
+		p := r.points[(i+n)%len(r.points)]
+		if !seen[p.worker] {
+			seen[p.worker] = true
+			owners = append(owners, p.worker)
+		}
+	}
+	return owners
+}
+
+// Owns reports whether worker is one of key's owners.
+func (r *Ring) Owns(key, worker string) bool {
+	for _, o := range r.Owners(key) {
+		if o == worker {
+			return true
+		}
+	}
+	return false
+}

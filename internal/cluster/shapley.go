@@ -1,0 +1,733 @@
+package cluster
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/db"
+	"repro/internal/obs"
+	"repro/internal/query"
+)
+
+// routerShapleyRequest mirrors the worker's shapley request body — the
+// router must understand it to coalesce and scatter; bodies it cannot
+// decode forward verbatim so the worker owns the error message.
+type routerShapleyRequest struct {
+	Query      string   `json:"query"`
+	Fact       string   `json:"fact,omitempty"`
+	Facts      []string `json:"facts,omitempty"`
+	Mode       string   `json:"mode,omitempty"`
+	Offset     int      `json:"offset,omitempty"`
+	Limit      int      `json:"limit,omitempty"`
+	Workers    int      `json:"workers,omitempty"`
+	Exo        []string `json:"exo,omitempty"`
+	BruteForce bool     `json:"brute_force,omitempty"`
+	Rank       bool     `json:"rank,omitempty"`
+}
+
+// workerShapleyResponse is the worker's response schema with payloads
+// held raw: the router re-assembles responses from these fields in the
+// worker's exact field order and encoder settings, so a routed answer is
+// byte-identical to a direct one.
+type workerShapleyResponse struct {
+	Database string            `json:"database"`
+	Version  json.RawMessage   `json:"version"`
+	Query    string            `json:"query"`
+	Method   string            `json:"method"`
+	Cache    string            `json:"cache"`
+	Value    json.RawMessage   `json:"value,omitempty"`
+	Values   []json.RawMessage `json:"values,omitzero"`
+	Trace    json.RawMessage   `json:"trace,omitempty"`
+}
+
+// canonicalQuery renders the request query exactly like the worker's
+// parse (a one-disjunct union is a CQ), so coalescing keys — and the
+// batched request the window sends — agree with what the worker answers.
+func canonicalQuery(src string) (string, error) {
+	u, err := query.ParseUCQ(src)
+	if err != nil {
+		return "", err
+	}
+	if len(u.Disjuncts) == 1 {
+		return u.Disjuncts[0].String(), nil
+	}
+	return u.String(), nil
+}
+
+func (rt *Router) handleShapley(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	ds, ok := rt.lookupDB(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, "not_found", fmt.Sprintf("no database %q", id))
+		return
+	}
+	body, err := io.ReadAll(r.Body)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad_request", err.Error())
+		return
+	}
+	var req routerShapleyRequest
+	if err := decodeJSONBody(body, &req); err != nil {
+		// Not a body the router understands: let the worker reject it so
+		// error text matches the single-process server exactly.
+		rt.relayToOwner(w, r, http.MethodPost, body)
+		return
+	}
+	if req.Mode == "all" {
+		if wantsNDJSON(r) {
+			rt.scatterStream(w, r, ds, &req)
+			return
+		}
+		rt.scatterAll(w, r, ds, &req, body)
+		return
+	}
+	canonical, cerr := canonicalQuery(req.Query)
+	if req.Mode != "" || cerr != nil || req.Fact == "" || len(req.Facts) > 0 ||
+		req.Offset != 0 || req.Limit != 0 {
+		// Validation errors, explicit fact batches, and anything else the
+		// window cannot merge: one owning replica handles it whole.
+		rt.relayToOwner(w, r, http.MethodPost, body)
+		return
+	}
+	f, ferr := db.ParseFact(req.Fact)
+	if ferr != nil {
+		rt.relayToOwner(w, r, http.MethodPost, body)
+		return
+	}
+	if obs.RecorderFrom(r.Context()) != nil {
+		// Traced requests bypass the window: coalescing would attribute
+		// one worker trace to several callers. The direct path still
+		// grafts the remote hop under worker.call.
+		rt.tracedSingleFact(w, r, ds, body)
+		return
+	}
+	if rt.opts.CoalesceWindow < 0 {
+		rt.relayToOwner(w, r, http.MethodPost, body)
+		return
+	}
+	rt.coalesceSingleFact(w, r, ds, &req, canonical, f.Key())
+}
+
+func wantsNDJSON(r *http.Request) bool {
+	return strings.Contains(r.Header.Get("Accept"), "application/x-ndjson")
+}
+
+// tracedSingleFact forwards one single-fact request directly (with
+// failover), then rewrites the response trace: the worker's span tree is
+// grafted under this request's worker.call span and the router's own
+// trace replaces it in the body — ?trace=1 through the router shows the
+// full path, remote hop included.
+func (rt *Router) tracedSingleFact(w http.ResponseWriter, r *http.Request, ds *routedDB, body []byte) {
+	for i, ws := range rt.liveOwners(ds) {
+		if i > 0 {
+			rt.failovers.Add(1)
+		}
+		status, respBody, err := rt.workerJSON(r.Context(), ws, http.MethodPost, r.URL.Path, nil, body)
+		if err != nil || status >= 500 {
+			continue
+		}
+		var resp workerShapleyResponse
+		if status == http.StatusOK && json.Unmarshal(respBody, &resp) == nil {
+			if rec := obs.RecorderFrom(r.Context()); rec != nil {
+				if tb, err := json.Marshal(rec.Finish()); err == nil {
+					resp.Trace = tb
+				}
+			}
+			writeJSON(w, status, resp)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(status)
+		_, _ = w.Write(respBody)
+		return
+	}
+	writeError(w, http.StatusBadGateway, "no_replicas", fmt.Sprintf("no replica of %q is reachable", ds.id))
+}
+
+// factResult is the complete per-caller response of a coalesced
+// single-fact request.
+type factResult struct {
+	status int
+	body   []byte
+}
+
+// factBatch is one open single-fact merge window: concurrent requests
+// for the same (database, version, query, exo, brute, workers) that
+// arrive within the window merge into one batched "facts" request — one
+// plan lookup and one toggle sweep on the worker regardless of how many
+// clients asked.
+type factBatch struct {
+	ds        *routedDB
+	path      string
+	canonical string
+	exo       []string
+	brute     bool
+	workers   int
+
+	timer   *time.Timer
+	facts   []string // unique normalized fact keys, arrival order
+	waiters map[string][]chan factResult
+	n       int
+}
+
+// coalesceSingleFact parks the request in the window batch for its key
+// (opening one if none is pending) and waits for the merged result.
+func (rt *Router) coalesceSingleFact(w http.ResponseWriter, r *http.Request, ds *routedDB, req *routerShapleyRequest, canonical, factKey string) {
+	exo := append([]string(nil), req.Exo...)
+	sort.Strings(exo)
+	ds.mu.RLock()
+	version := ds.version
+	ds.mu.RUnlock()
+	key := fmt.Sprintf("%s\x00v%d\x00%s\x00%s\x00%t\x00%d",
+		ds.id, version, canonical, strings.Join(exo, ","), req.BruteForce, req.Workers)
+
+	ch := make(chan factResult, 1)
+	rt.fmu.Lock()
+	b, open := rt.factBatches[key]
+	if !open {
+		b = &factBatch{
+			ds:        ds,
+			path:      dbPath(ds.id) + "/shapley",
+			canonical: canonical,
+			exo:       req.Exo,
+			brute:     req.BruteForce,
+			workers:   req.Workers,
+			waiters:   map[string][]chan factResult{},
+		}
+		rt.factBatches[key] = b
+		b.timer = time.AfterFunc(rt.opts.CoalesceWindow, func() {
+			rt.fmu.Lock()
+			if rt.factBatches[key] == b {
+				delete(rt.factBatches, key)
+			}
+			rt.fmu.Unlock()
+			rt.runFactBatch(b)
+		})
+	}
+	if _, dup := b.waiters[factKey]; !dup {
+		b.facts = append(b.facts, factKey)
+	}
+	b.waiters[factKey] = append(b.waiters[factKey], ch)
+	b.n++
+	rt.fmu.Unlock()
+
+	res := <-ch
+	if res.body == nil {
+		writeError(w, http.StatusBadGateway, "no_replicas", fmt.Sprintf("no replica of %q is reachable", ds.id))
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(res.status)
+	_, _ = w.Write(res.body)
+}
+
+// runFactBatch executes one flushed window: a single batched request to
+// one owning replica (failing over down the owner list), whose values
+// split back into per-caller single-fact responses.
+func (rt *Router) runFactBatch(b *factBatch) {
+	if n := int64(b.n) - 1; n > 0 {
+		rt.coalescedWindow.Add(n)
+	}
+	reqBody, _ := json.Marshal(routerShapleyRequest{
+		Query:      b.canonical,
+		Facts:      b.facts,
+		Workers:    b.workers,
+		Exo:        b.exo,
+		BruteForce: b.brute,
+	})
+	//repolint:allow ctxflow: the merged batch serves many callers at once — it must not die with whichever caller's context happens to cancel first
+	ctx := context.Background()
+	for i, ws := range rt.liveOwners(b.ds) {
+		if i > 0 {
+			rt.failovers.Add(1)
+		}
+		status, respBody, err := rt.workerJSON(ctx, ws, http.MethodPost, b.path, nil, reqBody)
+		if err != nil || status >= 500 {
+			continue
+		}
+		if status != http.StatusOK {
+			// One caller's bad fact must not fail the innocent rest of the
+			// window — and the worker's batch errors are fact-prefixed,
+			// unlike its single-fact ones. Degrade to uncoalesced per-fact
+			// forwards so each caller gets exactly the response a direct
+			// single-fact request would produce.
+			rt.perFactFallback(ctx, b)
+			return
+		}
+		var resp workerShapleyResponse
+		if json.Unmarshal(respBody, &resp) != nil || len(resp.Values) != len(b.facts) {
+			continue
+		}
+		for i, fk := range b.facts {
+			var v struct {
+				Fact string `json:"fact"`
+			}
+			_ = json.Unmarshal(resp.Values[i], &v)
+			if v.Fact != fk {
+				// Order disagreement would misattribute values; fall back
+				// hard rather than guess.
+				rt.perFactFallback(ctx, b)
+				return
+			}
+			single := workerShapleyResponse{
+				Database: resp.Database,
+				Version:  resp.Version,
+				Query:    resp.Query,
+				Method:   resp.Method,
+				Cache:    resp.Cache,
+				Value:    resp.Values[i],
+			}
+			body, err := encodeIndented(single)
+			res := factResult{status: http.StatusOK, body: body}
+			if err != nil {
+				res = factResult{}
+			}
+			for _, ch := range b.waiters[fk] {
+				ch <- res
+			}
+		}
+		return
+	}
+	b.deliverAll(factResult{})
+}
+
+// perFactFallback answers each distinct fact of a poisoned batch with
+// its own uncoalesced request.
+func (rt *Router) perFactFallback(ctx context.Context, b *factBatch) {
+	for _, fk := range b.facts {
+		reqBody, _ := json.Marshal(routerShapleyRequest{
+			Query:      b.canonical,
+			Fact:       fk,
+			Workers:    b.workers,
+			Exo:        b.exo,
+			BruteForce: b.brute,
+		})
+		res := factResult{}
+		for i, ws := range rt.liveOwners(b.ds) {
+			if i > 0 {
+				rt.failovers.Add(1)
+			}
+			status, respBody, err := rt.workerJSON(ctx, ws, http.MethodPost, b.path, nil, reqBody)
+			if err != nil || status >= 500 {
+				continue
+			}
+			res = factResult{status: status, body: respBody}
+			break
+		}
+		for _, ch := range b.waiters[fk] {
+			ch <- res
+		}
+	}
+}
+
+func (b *factBatch) deliverAll(res factResult) {
+	for _, chans := range b.waiters {
+		for _, ch := range chans {
+			ch <- res
+		}
+	}
+}
+
+// encodeIndented matches the worker's writeJSON encoder byte for byte.
+func encodeIndented(v any) ([]byte, error) {
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// endoCount asks a replica how many endogenous facts the database has
+// (the scatter denominator).
+func (rt *Router) endoCount(ctx context.Context, ds *routedDB, ws *workerState) (int, error) {
+	status, body, err := rt.workerJSON(ctx, ws, http.MethodGet, dbPath(ds.id), nil, nil)
+	if err != nil {
+		return 0, err
+	}
+	if status != http.StatusOK {
+		return 0, fmt.Errorf("status %d", status)
+	}
+	var info struct {
+		Endogenous int `json:"endogenous"`
+	}
+	if err := json.Unmarshal(body, &info); err != nil {
+		return 0, err
+	}
+	return info.Endogenous, nil
+}
+
+// factRange is one scatter unit of a mode=all batch.
+type factRange struct {
+	offset, limit int
+	primary       int // index into the live-owner list
+}
+
+// splitRanges cuts [0, n) into one contiguous range per replica.
+func splitRanges(n, replicas int) []factRange {
+	if replicas > n {
+		replicas = n
+	}
+	out := make([]factRange, 0, replicas)
+	base, rem := n/replicas, n%replicas
+	off := 0
+	for i := 0; i < replicas; i++ {
+		size := base
+		if i < rem {
+			size++
+		}
+		out = append(out, factRange{offset: off, limit: size, primary: i})
+		off += size
+	}
+	return out
+}
+
+// scatterAll serves buffered mode=all by fanning disjoint fact ranges
+// across the database's live replicas and concatenating the gathered
+// values in database order — the response body is byte-identical to one
+// worker computing the whole batch, but the sweep runs replication-wide.
+// The db read lock holds for the whole gather so no coalesced PATCH can
+// land between ranges.
+func (rt *Router) scatterAll(w http.ResponseWriter, r *http.Request, ds *routedDB, req *routerShapleyRequest, body []byte) {
+	ds.mu.RLock()
+	defer ds.mu.RUnlock()
+	live := rt.liveOwners(ds)
+	if len(live) == 0 {
+		writeError(w, http.StatusBadGateway, "no_replicas", fmt.Sprintf("no replica of %q is reachable", ds.id))
+		return
+	}
+	endo := 0
+	var cerr error
+	if len(live) > 1 && !req.Rank && req.Offset == 0 && req.Limit == 0 {
+		endo, cerr = rt.endoCount(r.Context(), ds, live[0])
+	}
+	if len(live) == 1 || req.Rank || req.Offset != 0 || req.Limit != 0 || cerr != nil || endo < 2 {
+		// Nothing to scatter (or ranking, which needs the whole batch in
+		// one place): one replica computes it all, relayed verbatim.
+		rt.relayToOwner(w, r, http.MethodPost, body)
+		return
+	}
+
+	ranges := splitRanges(endo, len(live))
+	type rangeResult struct {
+		resp       workerShapleyResponse
+		rejectCode int    // non-zero: a worker 4xx to relay verbatim
+		rejectBody []byte
+		err        error
+	}
+	results := make([]rangeResult, len(ranges))
+	var wg sync.WaitGroup
+	for i, rg := range ranges {
+		wg.Add(1)
+		go func(i int, rg factRange) {
+			defer wg.Done()
+			sub := *req
+			sub.Offset, sub.Limit = rg.offset, rg.limit
+			subBody, _ := json.Marshal(sub)
+			var lastErr error = fmt.Errorf("no replica reachable")
+			for n := 0; n < len(live); n++ {
+				if n > 0 {
+					rt.failovers.Add(1)
+				}
+				ws := live[(rg.primary+n)%len(live)]
+				status, respBody, err := rt.workerJSON(r.Context(), ws, http.MethodPost, b64path(ds), nil, subBody)
+				if err != nil {
+					lastErr = err
+					continue
+				}
+				if status >= 500 {
+					lastErr = fmt.Errorf("range [%d,+%d) status %d: %s", rg.offset, rg.limit, status, respBody)
+					continue
+				}
+				if status != http.StatusOK {
+					// A request-level rejection (bad exo set, unservable
+					// query) repeats on every replica: relay the worker's
+					// own error so the routed response matches a direct one.
+					results[i] = rangeResult{rejectCode: status, rejectBody: respBody}
+					return
+				}
+				var resp workerShapleyResponse
+				if err := json.Unmarshal(respBody, &resp); err != nil {
+					lastErr = err
+					continue
+				}
+				results[i] = rangeResult{resp: resp}
+				return
+			}
+			results[i] = rangeResult{err: lastErr}
+		}(i, rg)
+	}
+	wg.Wait()
+
+	for _, res := range results {
+		if res.rejectCode != 0 {
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(res.rejectCode)
+			_, _ = w.Write(res.rejectBody)
+			return
+		}
+	}
+	for _, res := range results {
+		if res.err != nil {
+			writeError(w, http.StatusBadGateway, "scatter_failed", res.err.Error())
+			return
+		}
+	}
+	head := results[0].resp
+	merged := workerShapleyResponse{
+		Database: head.Database,
+		Version:  head.Version,
+		Query:    head.Query,
+		Method:   head.Method,
+		Cache:    head.Cache,
+		Values:   []json.RawMessage{},
+	}
+	for _, res := range results {
+		if string(res.resp.Version) != string(head.Version) {
+			// The ranges answered for different versions: someone wrote to
+			// a replica behind the router's back. Refuse rather than splice
+			// inconsistent values.
+			writeError(w, http.StatusBadGateway, "version_skew",
+				fmt.Sprintf("replicas answered for versions %s and %s", head.Version, res.resp.Version))
+			return
+		}
+		merged.Values = append(merged.Values, res.resp.Values...)
+	}
+	if rec := obs.RecorderFrom(r.Context()); rec != nil {
+		if tb, err := json.Marshal(rec.Finish()); err == nil {
+			merged.Trace = tb
+		}
+	}
+	writeJSON(w, http.StatusOK, merged)
+}
+
+func b64path(ds *routedDB) string { return dbPath(ds.id) + "/shapley" }
+
+// ndjsonLine classifies one worker stream line.
+type ndjsonLine struct {
+	Done   bool            `json:"done"`
+	Count  int             `json:"count"`
+	Error  string          `json:"error"`
+	Fact   string          `json:"fact"`
+	Method string          `json:"method"`
+	Trace  json.RawMessage `json:"trace"`
+}
+
+// rangeEvent is what a range streamer emits: a value line, or the
+// range's terminal state.
+type rangeEvent struct {
+	value   []byte // one NDJSON value line (without newline), when non-nil
+	head    []byte // the worker head line, emitted first
+	version string
+	done    bool
+	err     error
+}
+
+// scatterStream serves streaming mode=all: every live replica computes
+// its disjoint fact range concurrently, and the router re-streams the
+// ranges' value lines in database order — head first, then range 0's
+// values as they arrive, then range 1's, ..., then one merged trailer. A
+// replica dying mid-range fails over to a peer, resuming at the exact
+// offset the stream had reached, so the client sees an uninterrupted
+// stream (the failover is visible only in the router's metrics).
+func (rt *Router) scatterStream(w http.ResponseWriter, r *http.Request, ds *routedDB, req *routerShapleyRequest) {
+	ds.mu.RLock()
+	defer ds.mu.RUnlock()
+	live := rt.liveOwners(ds)
+	if len(live) == 0 {
+		writeError(w, http.StatusBadGateway, "no_replicas", fmt.Sprintf("no replica of %q is reachable", ds.id))
+		return
+	}
+	endo, err := rt.endoCount(r.Context(), ds, live[0])
+	if err != nil {
+		writeError(w, http.StatusBadGateway, "no_replicas", err.Error())
+		return
+	}
+	var ranges []factRange
+	if req.Offset != 0 || req.Limit != 0 {
+		// A pre-sliced request (another router?) streams as one range.
+		ranges = []factRange{{offset: req.Offset, limit: req.Limit, primary: 0}}
+	} else if endo == 0 {
+		ranges = []factRange{{offset: 0, limit: 0, primary: 0}}
+	} else {
+		ranges = splitRanges(endo, len(live))
+	}
+
+	chans := make([]chan rangeEvent, len(ranges))
+	ctx, cancel := context.WithCancel(r.Context())
+	defer cancel()
+	for i, rg := range ranges {
+		chans[i] = make(chan rangeEvent, 64)
+		go rt.streamRange(ctx, ds, req, rg, live, chans[i])
+	}
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	flush := func() {
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+	writeLine := func(line []byte) {
+		_, _ = w.Write(line)
+		_, _ = w.Write([]byte("\n"))
+		flush()
+	}
+
+	headWritten := false
+	headVersion := ""
+	total := 0
+	for i := range chans {
+		for ev := range chans[i] {
+			switch {
+			case ev.head != nil:
+				if !headWritten {
+					headWritten = true
+					headVersion = ev.version
+					writeLine(ev.head)
+				} else if ev.version != headVersion {
+					writeLine(mustJSON(errorBody{Error: fmt.Sprintf(
+						"version skew mid-stream: %s then %s", headVersion, ev.version), Kind: "version_skew"}))
+					return
+				}
+			case ev.value != nil:
+				writeLine(ev.value)
+				total++
+			case ev.err != nil:
+				if !headWritten {
+					writeLine(mustJSON(errorBody{Error: ev.err.Error(), Kind: "scatter_failed"}))
+					return
+				}
+				// No trailer: its absence tells the client the batch did
+				// not finish, exactly like a single worker's mid-stream
+				// failure.
+				writeLine(mustJSON(errorBody{Error: ev.err.Error(), Kind: "scatter_failed"}))
+				return
+			}
+		}
+	}
+	trailer := map[string]any{"done": true, "count": total}
+	if rec := obs.RecorderFrom(r.Context()); rec != nil {
+		trailer["trace"] = rec.Finish()
+	}
+	writeLine(mustJSON(trailer))
+}
+
+func mustJSON(v any) []byte {
+	b, _ := json.Marshal(v)
+	return b
+}
+
+// streamRange pumps one fact range's NDJSON lines into out, failing over
+// to peer replicas on mid-stream errors: each retry re-requests only the
+// not-yet-delivered suffix (offset advanced by the values already
+// emitted), so a failover never duplicates or drops a value.
+func (rt *Router) streamRange(ctx context.Context, ds *routedDB, req *routerShapleyRequest, rg factRange, live []*workerState, out chan<- rangeEvent) {
+	defer close(out)
+	consumed := 0
+	var lastErr error = fmt.Errorf("no replica reachable")
+	for attempt := 0; attempt < len(live); attempt++ {
+		if attempt > 0 {
+			rt.failovers.Add(1)
+		}
+		ws := live[(rg.primary+attempt)%len(live)]
+		sub := *req
+		sub.Offset = rg.offset + consumed
+		sub.Limit = rg.limit - consumed
+		if rg.limit == 0 && rg.offset == 0 && consumed > 0 {
+			// Full-batch range resumed mid-way: express the suffix.
+			sub.Offset = consumed
+			sub.Limit = 0
+		}
+		if sub.Limit < 0 {
+			break
+		}
+		subBody, _ := json.Marshal(sub)
+		resp, sp, err := rt.callWorker(ctx, ws, http.MethodPost, b64path(ds), nil, subBody,
+			"application/json", http.Header{"Accept": []string{"application/x-ndjson"}})
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		if resp.StatusCode != http.StatusOK || !strings.Contains(resp.Header.Get("Content-Type"), "ndjson") {
+			body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+			resp.Body.Close()
+			sp.End()
+			lastErr = fmt.Errorf("range [%d,+%d) status %d: %s", rg.offset, rg.limit, resp.StatusCode, bytes.TrimSpace(body))
+			if resp.StatusCode >= 400 && resp.StatusCode < 500 {
+				break
+			}
+			continue
+		}
+		finished, n, err := rt.pumpRange(resp.Body, sp, consumed == 0, out)
+		resp.Body.Close()
+		sp.End()
+		consumed += n
+		if finished {
+			return
+		}
+		lastErr = err
+		if lastErr == nil {
+			lastErr = fmt.Errorf("worker %s ended the stream without a trailer", ws.name)
+		}
+	}
+	out <- rangeEvent{err: lastErr}
+}
+
+// pumpRange relays one worker NDJSON response: the head line (only for
+// the first attempt of a range — resumed attempts re-emit values, not
+// heads), then value lines, until the trailer (finished) or a break.
+// It returns how many value lines it forwarded.
+func (rt *Router) pumpRange(body io.Reader, sp *obs.Span, wantHead bool, out chan<- rangeEvent) (finished bool, values int, err error) {
+	sc := bufio.NewScanner(body)
+	sc.Buffer(make([]byte, 64*1024), 16*1024*1024)
+	first := true
+	for sc.Scan() {
+		line := append([]byte(nil), bytes.TrimSpace(sc.Bytes())...)
+		if len(line) == 0 {
+			continue
+		}
+		var probe ndjsonLine
+		if err := json.Unmarshal(line, &probe); err != nil {
+			return false, values, fmt.Errorf("undecodable stream line: %w", err)
+		}
+		switch {
+		case first && probe.Fact == "" && !probe.Done && probe.Error == "":
+			// The head line.
+			first = false
+			if wantHead {
+				var head struct {
+					Version json.RawMessage `json:"version"`
+				}
+				_ = json.Unmarshal(line, &head)
+				out <- rangeEvent{head: line, version: string(head.Version)}
+			}
+		case probe.Error != "":
+			return false, values, fmt.Errorf("worker stream error: %s", probe.Error)
+		case probe.Done:
+			if sp.Recording() && probe.Trace != nil {
+				var tr obs.Trace
+				if json.Unmarshal(probe.Trace, &tr) == nil {
+					sp.AdoptRemote(tr.Root)
+				}
+			}
+			return true, values, nil
+		default:
+			first = false
+			out <- rangeEvent{value: line}
+			values++
+		}
+	}
+	return false, values, sc.Err()
+}

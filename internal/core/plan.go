@@ -93,6 +93,13 @@ func (v *PlanView) Version() db.Version { return v.version }
 // Method reports which algorithm the pinned state uses.
 func (v *PlanView) Method() Method { return v.pb.Method() }
 
+// Facts returns the endogenous facts of the pinned snapshot, in the
+// deterministic order ShapleyAll results follow.
+func (v *PlanView) Facts() []db.Fact { return v.pb.Facts() }
+
+// NumFacts returns the number of endogenous facts of the pinned snapshot.
+func (v *PlanView) NumFacts() int { return v.pb.NumFacts() }
+
 // Shapley computes the value of a single endogenous fact of the pinned
 // snapshot.
 func (v *PlanView) Shapley(ctx context.Context, f db.Fact) (*ShapleyValue, error) {
@@ -109,6 +116,23 @@ func (v *PlanView) ShapleyAll(ctx context.Context, opts BatchOptions) ([]*Shaple
 		opts.Workers = v.eng.workers
 	}
 	return v.pb.shapleyAll(ctx, opts)
+}
+
+// ShapleySubset computes the values of an explicit list of endogenous
+// facts of the pinned snapshot, in the given order, fanning the per-fact
+// work across the worker pool exactly like ShapleyAll. It exists for
+// serving layers that batch concurrent single-fact requests (or scatter
+// fact ranges across replicas): the per-fact toggles share the prepared
+// DP-tree, so K coalesced facts cost one sweep of K toggles, not K
+// preparations. Each value is bit-identical to Shapley on that fact.
+func (v *PlanView) ShapleySubset(ctx context.Context, facts []db.Fact, opts BatchOptions) ([]*ShapleyValue, error) {
+	if err := ctxErr(ctx); err != nil {
+		return nil, err
+	}
+	if opts.Workers <= 0 {
+		opts.Workers = v.eng.workers
+	}
+	return v.pb.shapleySubset(ctx, facts, opts)
 }
 
 // Shapley computes the value of a single endogenous fact of the current

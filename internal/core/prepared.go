@@ -145,6 +145,30 @@ func (p *PreparedBatch) shapleyAll(ctx context.Context, opts BatchOptions) ([]*S
 	}
 }
 
+// shapleySubset computes the values of an explicit fact list, in order,
+// through the same worker pool as shapleyAll. Facts that are not
+// endogenous in the prepared snapshot fail with ErrNotEndogenous, exactly
+// as in shapleyOne.
+func (p *PreparedBatch) shapleySubset(ctx context.Context, facts []db.Fact, opts BatchOptions) ([]*ShapleyValue, error) {
+	switch {
+	case p.empty:
+		if len(facts) == 0 {
+			return []*ShapleyValue{}, nil
+		}
+		return nil, fmt.Errorf("%s: %w: %s", facts[0], ErrNotEndogenous, facts[0])
+	case p.ctx != nil:
+		return runFactPool(ctx, facts, opts, p.method, p.ctx.shapley)
+	case p.uctx != nil:
+		return runFactPool(ctx, facts, opts, p.method, p.uctx.shapley)
+	default:
+		return runFactPool(ctx, facts, opts, MethodBruteForce, func(ctx context.Context, f db.Fact) (*big.Rat, error) {
+			_, sp := obs.Start(ctx, "brute.force")
+			defer sp.End()
+			return BruteForceShapley(p.bruteDB, p.bruteQ, f)
+		})
+	}
+}
+
 // PrepareAll validates, classifies and precomputes the shared state for
 // Shapley computation of q over d, returning a reusable handle. The
 // returned PreparedBatch serves any number of Shapley / ShapleyAll calls

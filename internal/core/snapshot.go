@@ -1,0 +1,571 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/big"
+	"slices"
+	"sort"
+
+	"repro/internal/db"
+	"repro/internal/numeric"
+	"repro/internal/obs"
+	"repro/internal/query"
+)
+
+// This file implements memo snapshots: a structured, process-independent
+// export of a Plan's DP-tree that lets another shapleyd replica warm up
+// without repeating the preparation's convolution work. The subtlety is
+// that nothing address-like survives a process boundary — node keys,
+// derived labels and fact digests are all built on per-process maphash
+// seeds (see nodeKey / db.Digest) — so a snapshot cannot ship the memo
+// itself. Instead it ships the database, the query and the *numeric
+// payload* of every node in deterministic tree order, and the importer
+// replays the exact structural descent of treeBuilder.build (relevance
+// split, bucket partition by sorted value, component split) over its own
+// parse of the database: the replay re-derives local labels, keys and
+// digests, while the expensive outputs — the core/sat/nonSat vectors and
+// the interior convolution products — are injected from the snapshot
+// instead of recomputed. Ground leaves are recomputed from the Lemma 3.2
+// base case (they are cheap, and doing so cross-validates the routing).
+//
+// The imported plan is a first-class Plan: its nodes live in a fresh
+// content-addressed memo under local keys, so Plan.Apply and
+// Engine.PrepareFrom work on it exactly as on a locally prepared plan.
+
+// ErrSnapshotMismatch reports that a PlanSnapshot does not structurally
+// agree with the tree the importer derives from the snapshot's own
+// database and query — a corrupted or version-skewed snapshot. Importers
+// should fall back to a cold preparation.
+var ErrSnapshotMismatch = errors.New("core: snapshot does not match the replayed tree structure")
+
+// PlanSnapshot is the wire-encodable export of one Plan: everything a
+// peer process needs to rebuild an equivalent plan without redoing the
+// numeric work. It is deliberately free of process-local state (keys,
+// labels, digests); see the file comment.
+type PlanSnapshot struct {
+	// Query is the canonical rendering of the plan's query (CQ¬, or a
+	// UCQ¬ with '|' between disjuncts when IsUCQ is set).
+	Query string
+	IsUCQ bool
+	// Exo and Brute are the engine policy the plan was prepared under;
+	// the importing engine must match.
+	Exo   []string
+	Brute bool
+	// DBText is the plan's database snapshot in the textual format
+	// (db.Database.String(), which round-trips through db.Parse in
+	// insertion order — order matters: it fixes EndoFacts order and hence
+	// result order).
+	DBText string
+	// Root is the DP-tree payload in deterministic structural order; nil
+	// for brute-force and empty-snapshot plans (whose preparation is a
+	// clone, not a DP build).
+	Root *NodeSnapshot
+}
+
+// NodeSnapshot is one DP-tree node's portable payload. Routing state
+// (bucket values, relation maps, fact lists) is not shipped: the importer
+// recomputes it from the database, and the child order is pinned by the
+// same determinism that pins it locally (sorted bucket values, component
+// index, disjunct index).
+type NodeSnapshot struct {
+	Kind uint8
+	RelN int
+	Free int
+	// Core, Sat, NonSat are the node's output vectors and Prod the
+	// interior convolution product, one big-endian magnitude per
+	// coefficient; nil means the empty (identically zero) vector. Ground
+	// leaves ship nothing (all four nil) and are recomputed on import.
+	Core   [][]byte
+	Sat    [][]byte
+	NonSat [][]byte
+	Prod   [][]byte
+	Children []*NodeSnapshot
+}
+
+// vecToBytes serializes a numeric vector; nil means the empty vector.
+func vecToBytes(v numeric.Vec) [][]byte {
+	if v.IsEmpty() {
+		return nil
+	}
+	big := v.Big()
+	out := make([][]byte, len(big))
+	for i, c := range big {
+		out[i] = c.Bytes()
+	}
+	return out
+}
+
+// vecFromBytes deserializes a vector written by vecToBytes.
+func vecFromBytes(bs [][]byte) numeric.Vec {
+	if len(bs) == 0 {
+		return numeric.Vec{}
+	}
+	//repolint:allow numericpurity: wire-deserialization boundary — the bytes decode into a []*big.Int only to enter the numeric kernel via FromBig, which re-runs representation selection
+	coeffs := make([]*big.Int, len(bs))
+	for i, b := range bs {
+		coeffs[i] = new(big.Int).SetBytes(b)
+	}
+	return numeric.FromBig(coeffs)
+}
+
+// Export serializes the plan's current version as a PlanSnapshot. Plans
+// whose tree contains opaque benchmark-emulation nodes cannot be
+// exported.
+func (p *Plan) Export() (*PlanSnapshot, error) {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	snap := &PlanSnapshot{
+		Exo:    p.eng.ExoRelations(),
+		Brute:  p.eng.brute,
+		DBText: p.d.String(),
+	}
+	if p.cq != nil {
+		snap.Query = p.cq.String()
+	} else {
+		snap.Query, snap.IsUCQ = p.ucq.String(), true
+	}
+	if root := p.pb.treeRoot(); root != nil {
+		ns, err := exportNode(root)
+		if err != nil {
+			return nil, err
+		}
+		snap.Root = ns
+	}
+	return snap, nil
+}
+
+// exportNode walks the immutable tree, capturing the numeric payload in
+// structural order.
+func exportNode(n *dpNode) (*NodeSnapshot, error) {
+	if n.kind == nodeOpaque {
+		return nil, fmt.Errorf("core: cannot export a plan with opaque (shallow-emulation) nodes")
+	}
+	ns := &NodeSnapshot{Kind: uint8(n.kind), RelN: n.relN, Free: n.free}
+	if n.kind != nodeGround {
+		ns.Core = vecToBytes(n.core)
+		ns.Sat = vecToBytes(n.sat)
+		ns.NonSat = vecToBytes(n.nonSat)
+		ns.Prod = vecToBytes(n.prod)
+		ns.Children = make([]*NodeSnapshot, len(n.children))
+		for i, c := range n.children {
+			cs, err := exportNode(c)
+			if err != nil {
+				return nil, err
+			}
+			ns.Children[i] = cs
+		}
+	}
+	return ns, nil
+}
+
+// ImportPlan rebuilds a Plan from a snapshot exported by Plan.Export in
+// another process (or this one). The engine's policy must match the
+// snapshot's (exogenous declarations and brute-force flag); the import
+// replays the preparation's structural descent over the snapshot's
+// database — re-deriving local content addresses — and injects the
+// snapshot's vectors instead of re-running the convolutions. On any
+// structural disagreement it fails with ErrSnapshotMismatch and the
+// caller should prepare cold.
+func (e *Engine) ImportPlan(ctx context.Context, snap *PlanSnapshot) (*Plan, error) {
+	if err := ctxErr(ctx); err != nil {
+		return nil, err
+	}
+	_, sp := obs.Start(ctx, "engine.import")
+	defer sp.End()
+	if err := e.matchesPolicy(snap); err != nil {
+		return nil, err
+	}
+	d, err := db.Parse(snap.DBText)
+	if err != nil {
+		return nil, fmt.Errorf("%w: database: %v", ErrSnapshotMismatch, err)
+	}
+	u, err := query.ParseUCQ(snap.Query)
+	if err != nil {
+		return nil, fmt.Errorf("%w: query: %v", ErrSnapshotMismatch, err)
+	}
+	var (
+		cq  *query.CQ
+		ucq *query.UCQ
+	)
+	if snap.IsUCQ {
+		ucq = u
+	} else {
+		if len(u.Disjuncts) != 1 {
+			return nil, fmt.Errorf("%w: query %q is a union but IsUCQ is unset", ErrSnapshotMismatch, snap.Query)
+		}
+		cq = u.Disjuncts[0]
+	}
+	memo := newSatMemo()
+	var pb *PreparedBatch
+	if cq != nil {
+		pb, err = importCQ(d, cq, e.exo, e.brute, snap.Root, memo)
+	} else {
+		pb, err = importUCQ(d, ucq, e.exo, e.brute, snap.Root, memo)
+	}
+	if err != nil {
+		return nil, err
+	}
+	annotatePrepare(sp, pb)
+	return &Plan{eng: e, cq: cq, ucq: ucq, d: d, version: 1, pb: pb, memo: memo}, nil
+}
+
+// matchesPolicy verifies the engine was constructed for this snapshot.
+func (e *Engine) matchesPolicy(snap *PlanSnapshot) error {
+	want := append([]string(nil), snap.Exo...)
+	sort.Strings(want)
+	got := e.ExoRelations()
+	mismatch := len(got) != len(want) || e.brute != snap.Brute
+	if !mismatch {
+		for i := range got {
+			if got[i] != want[i] {
+				mismatch = true
+				break
+			}
+		}
+	}
+	if mismatch {
+		return fmt.Errorf("%w: engine policy (exo=%v brute=%t) does not match snapshot (exo=%v brute=%t)",
+			ErrSnapshotMismatch, got, e.brute, want, snap.Brute)
+	}
+	return nil
+}
+
+// importCQ mirrors prepareCQ's dichotomy dispatch for a snapshot import.
+func importCQ(d *db.Database, q *query.CQ, exo map[string]bool, brute bool, root *NodeSnapshot, memo *satMemo) (*PreparedBatch, error) {
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	if err := checkExoRelations(d, exo); err != nil {
+		return nil, err
+	}
+	c := Classify(q, exo)
+	p := &PreparedBatch{class: c, facts: d.EndoFacts()}
+	if len(p.facts) == 0 {
+		p.empty, p.method = true, MethodHierarchical
+		return p, nil
+	}
+	switch {
+	case c.SelfJoinFree && c.Hierarchical:
+		ctx, err := importSatCountContext(d, q, root, memo)
+		if err != nil {
+			return nil, err
+		}
+		p.ctx, p.method = ctx, MethodHierarchical
+	case c.SelfJoinFree && !c.HasNonHierPath:
+		// The DP-tree was built over the ExoShap-transformed instance;
+		// the transformation is deterministic, so replaying it yields the
+		// same tree the exporter walked.
+		d2, q2, _, err := ExoShapTransform(d, q, exo)
+		if err != nil {
+			return nil, err
+		}
+		ctx, err := importSatCountContext(d2, q2, root, memo)
+		if err != nil {
+			return nil, err
+		}
+		p.ctx, p.method = ctx, MethodExoShap
+	case brute:
+		if root != nil {
+			return nil, fmt.Errorf("%w: brute-force plan carries a DP-tree payload", ErrSnapshotMismatch)
+		}
+		p.bruteDB, p.bruteQ, p.method = d.Clone(), q, MethodBruteForce
+	default:
+		return nil, ErrIntractable
+	}
+	return p, nil
+}
+
+// importUCQ mirrors prepareUCQ for a snapshot import.
+func importUCQ(d *db.Database, u *query.UCQ, exo map[string]bool, brute bool, root *NodeSnapshot, memo *satMemo) (*PreparedBatch, error) {
+	if err := u.Validate(); err != nil {
+		return nil, err
+	}
+	if err := checkExoRelations(d, exo); err != nil {
+		return nil, err
+	}
+	p := &PreparedBatch{facts: d.EndoFacts(), class: classifyUCQ(u)}
+	if len(p.facts) == 0 {
+		p.empty, p.method = true, MethodHierarchical
+		return p, nil
+	}
+	uctx, err := importUCQSatContext(d, u, root, memo)
+	if err != nil {
+		if isUCQStructuralError(err) && brute {
+			if root != nil {
+				return nil, fmt.Errorf("%w: brute-force union plan carries a DP-tree payload", ErrSnapshotMismatch)
+			}
+			p.bruteDB, p.bruteQ, p.method = d.Clone(), u, MethodBruteForce
+			return p, nil
+		}
+		return nil, err
+	}
+	p.uctx, p.method = uctx, MethodHierarchical
+	return p, nil
+}
+
+// importSatCountContext mirrors newSatCountContext with the snapshot
+// replay in place of the builder.
+func importSatCountContext(d *db.Database, q *query.CQ, root *NodeSnapshot, memo *satMemo) (*satCountContext, error) {
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	if q.HasSelfJoin() {
+		return nil, ErrNotSelfJoinFree
+	}
+	if !q.IsHierarchical() {
+		return nil, ErrNotHierarchical
+	}
+	if root == nil {
+		return nil, fmt.Errorf("%w: tractable plan without a DP-tree payload", ErrSnapshotMismatch)
+	}
+	im := &treeImporter{b: &treeBuilder{memo: memo}}
+	node, err := im.node(q, nil, "", factPtrs(d), false, root)
+	if err != nil {
+		return nil, err
+	}
+	return &satCountContext{q: q, d: d, m: d.NumEndo(), root: node, build: im.b.stats}, nil
+}
+
+// importUCQSatContext mirrors newUCQSatContext with the snapshot replay.
+func importUCQSatContext(d *db.Database, u *query.UCQ, root *NodeSnapshot, memo *satMemo) (*ucqSatContext, error) {
+	if err := u.Validate(); err != nil {
+		return nil, err
+	}
+	relOf := make(map[string]int)
+	for i, q := range u.Disjuncts {
+		if q.HasSelfJoin() {
+			return nil, fmt.Errorf("%w (disjunct %s)", ErrNotSelfJoinFree, q.Name())
+		}
+		if !q.IsHierarchical() {
+			return nil, fmt.Errorf("%w (disjunct %s)", ErrNotHierarchical, q.Name())
+		}
+		for _, rel := range q.Relations() {
+			if j, dup := relOf[rel]; dup && j != i {
+				return nil, fmt.Errorf("%w: %s", ErrUCQNotDisjoint, rel)
+			}
+			relOf[rel] = i
+		}
+	}
+	if root == nil {
+		return nil, fmt.Errorf("%w: tractable union plan without a DP-tree payload", ErrSnapshotMismatch)
+	}
+	im := &treeImporter{b: &treeBuilder{memo: memo}}
+	node, err := im.union(u, relOf, factPtrs(d), root)
+	if err != nil {
+		return nil, err
+	}
+	return &ucqSatContext{u: u, d: d, m: d.NumEndo(), root: node, build: im.b.stats}, nil
+}
+
+// treeImporter replays treeBuilder.build's structural descent, injecting
+// snapshot vectors.
+type treeImporter struct {
+	b *treeBuilder
+}
+
+// node rebuilds the dpNode for (q/shape, facts), mirroring
+// treeBuilder.build's routing decisions line for line (so that the
+// resulting tree — child order included — is exactly what a local
+// preparation would construct) while validating each step against sn.
+//
+//repolint:allow nodeimmut: node construction — fields are written before the node is interned and published
+func (im *treeImporter) node(q *query.CQ, shape *dpShape, label string, facts []*taggedFact, prefiltered bool, sn *NodeSnapshot) (*dpNode, error) {
+	if sn == nil {
+		return nil, fmt.Errorf("%w: missing node payload", ErrSnapshotMismatch)
+	}
+	b := im.b
+	if label == "" {
+		label = hashLabel(q.String())
+	}
+	key := b.key(label, facts)
+	if n, ok := b.lookup(key, 0); ok {
+		return n, nil
+	}
+	b.miss()
+	if shape == nil {
+		var err error
+		if shape, err = shapeFrom(q); err != nil {
+			return nil, err
+		}
+	}
+	if uint8(shape.kind) != sn.Kind {
+		return nil, fmt.Errorf("%w: node kind %d, snapshot has %d", ErrSnapshotMismatch, shape.kind, sn.Kind)
+	}
+
+	n := &dpNode{key: key, label: label, kind: shape.kind, q: q, shape: shape}
+
+	// Relevance split, exactly as in build.
+	var relevant []*taggedFact
+	if prefiltered {
+		relevant = facts
+		for _, tf := range facts {
+			if tf.Endo {
+				n.relN++
+			}
+		}
+	} else {
+		atomOf := make(map[string]query.Atom, len(q.Atoms))
+		for _, a := range q.Atoms {
+			atomOf[a.Rel] = a
+		}
+		for _, tf := range facts {
+			if a, in := atomOf[tf.Fact.Rel]; in && query.MatchesAtom(a, tf.Fact) {
+				relevant = append(relevant, tf)
+				if tf.Endo {
+					n.relN++
+				}
+			} else if tf.Endo {
+				n.free++
+			}
+		}
+	}
+	n.endo = n.relN + n.free
+	if n.relN != sn.RelN || n.free != sn.Free {
+		return nil, fmt.Errorf("%w: node has relN=%d free=%d, snapshot has relN=%d free=%d",
+			ErrSnapshotMismatch, n.relN, n.free, sn.RelN, sn.Free)
+	}
+
+	switch shape.kind {
+	case nodeProduct:
+		if len(sn.Children) != len(shape.children) {
+			return nil, fmt.Errorf("%w: product node with %d components, snapshot has %d",
+				ErrSnapshotMismatch, len(shape.children), len(sn.Children))
+		}
+		n.children = make([]*dpNode, len(shape.children))
+		for ci := range shape.children {
+			rels := shape.compRels[ci]
+			var childFacts []*taggedFact
+			for _, tf := range relevant {
+				if rels[tf.Fact.Rel] {
+					childFacts = append(childFacts, tf)
+				}
+			}
+			child, err := im.node(nil, shape.children[ci], b.componentChildLabel(label, ci), childFacts, true, sn.Children[ci])
+			if err != nil {
+				return nil, err
+			}
+			n.children[ci] = child
+		}
+		if err := n.inject(sn); err != nil {
+			return nil, err
+		}
+
+	case nodeGround:
+		// Leaves are recomputed from the base case: cheap, and the
+		// recomputation cross-validates that fact routing agreed with the
+		// exporter all the way down.
+		n.facts = relevant
+		n.core = groundBaseFacts(relevant, shape.lits)
+		n.finish()
+
+	default: // nodeBuckets
+		buckets := make(map[db.Const][]*taggedFact)
+		for _, tf := range relevant {
+			v := tf.Fact.Args[shape.posOf[tf.Fact.Rel]]
+			buckets[v] = append(buckets[v], tf)
+		}
+		if len(sn.Children) != len(buckets) {
+			return nil, fmt.Errorf("%w: bucket node with %d values, snapshot has %d children",
+				ErrSnapshotMismatch, len(buckets), len(sn.Children))
+		}
+		n.values = make([]db.Const, 0, len(buckets))
+		for v := range buckets {
+			n.values = append(n.values, v)
+		}
+		slices.Sort(n.values)
+		n.children = make([]*dpNode, len(n.values))
+		for bi, v := range n.values {
+			childShape, err := shape.bucketChildShape(v)
+			if err != nil {
+				return nil, err
+			}
+			child, err := im.node(nil, childShape, b.bucketChildLabel(label, v), buckets[v], true, sn.Children[bi])
+			if err != nil {
+				return nil, err
+			}
+			n.children[bi] = child
+		}
+		if err := n.inject(sn); err != nil {
+			return nil, err
+		}
+	}
+	b.store(n, 0)
+	return n, nil
+}
+
+// union rebuilds a UCQ¬ root, mirroring treeBuilder.buildUnion.
+//
+//repolint:allow nodeimmut: node construction — fields are written before the node is interned and published
+func (im *treeImporter) union(u *query.UCQ, relOf map[string]int, facts []*taggedFact, sn *NodeSnapshot) (*dpNode, error) {
+	b := im.b
+	label := hashLabel(unionLabelPrefix + u.String())
+	key := b.key(label, facts)
+	if n, ok := b.lookup(key, 0); ok {
+		return n, nil
+	}
+	b.miss()
+	if uint8(nodeUnion) != sn.Kind {
+		return nil, fmt.Errorf("%w: union root, snapshot has kind %d", ErrSnapshotMismatch, sn.Kind)
+	}
+	if len(sn.Children) != len(u.Disjuncts) {
+		return nil, fmt.Errorf("%w: union with %d disjuncts, snapshot has %d",
+			ErrSnapshotMismatch, len(u.Disjuncts), len(sn.Children))
+	}
+	n := &dpNode{key: key, label: label, kind: nodeUnion, u: u, relOf: relOf}
+	pools := make([][]*taggedFact, len(u.Disjuncts))
+	for _, tf := range facts {
+		if i, ok := relOf[tf.Fact.Rel]; ok {
+			pools[i] = append(pools[i], tf)
+			if tf.Endo {
+				n.relN++
+			}
+		} else if tf.Endo {
+			n.free++
+		}
+	}
+	n.endo = n.relN + n.free
+	if n.relN != sn.RelN || n.free != sn.Free {
+		return nil, fmt.Errorf("%w: union has relN=%d free=%d, snapshot has relN=%d free=%d",
+			ErrSnapshotMismatch, n.relN, n.free, sn.RelN, sn.Free)
+	}
+	n.children = make([]*dpNode, len(u.Disjuncts))
+	for i, q := range u.Disjuncts {
+		child, err := im.node(q, nil, b.componentChildLabel(label, i), pools[i], false, sn.Children[i])
+		if err != nil {
+			return nil, err
+		}
+		n.children[i] = child
+	}
+	if err := n.inject(sn); err != nil {
+		return nil, err
+	}
+	b.store(n, 0)
+	return n, nil
+}
+
+// inject installs the snapshot's vectors on an interior node and derives
+// the cheap flags (zero markers, zero-factor count) locally — the
+// counterpart of combine+finish without the convolution work.
+//
+//repolint:allow nodeimmut: construction epilogue — runs on the not-yet-interned node being built
+func (n *dpNode) inject(sn *NodeSnapshot) error {
+	n.core = vecFromBytes(sn.Core)
+	n.sat = vecFromBytes(sn.Sat)
+	n.nonSat = vecFromBytes(sn.NonSat)
+	n.prod = vecFromBytes(sn.Prod)
+	n.satZero = n.sat.IsZero()
+	n.nonSatZero = n.nonSat.IsZero()
+	for i := range n.children {
+		if n.childFactorZero(i) {
+			n.zeros++
+		}
+	}
+	// The sat vector spans the node's endogenous facts; a length clash
+	// means the payload belongs to a different tree.
+	if !n.sat.IsEmpty() && n.sat.Len() != n.endo+1 {
+		return fmt.Errorf("%w: sat vector length %d over %d endogenous facts", ErrSnapshotMismatch, n.sat.Len(), n.endo)
+	}
+	return nil
+}

@@ -10,6 +10,7 @@ func TestRegistryComplete(t *testing.T) {
 	want := []string{
 		"E01", "E02", "E03", "E04", "E05", "E06", "E07", "E08", "E09",
 		"E10", "E11", "E12", "E13", "E14", "E15", "E16", "E17", "E18", "E19",
+		"E20",
 	}
 	all := All()
 	if len(all) != len(want) {

@@ -237,6 +237,72 @@ func RecorderFrom(ctx context.Context) *Recorder {
 	return rec
 }
 
+// AdoptRemote grafts a serialized span tree — a Trace root returned by
+// another process, typically a shapleyd worker answering a routed
+// request — under this span as an already-ended child. It is how the
+// cluster router links cross-process hops into one trace: the router's
+// "worker.call" span adopts the worker's own "request" tree, so ?trace=1
+// at the router shows the remote preparation and toggle spans inline.
+// Durations are preserved as reported by the remote process (they are
+// wall time there; no clock alignment is attempted). A nil receiver or
+// nil remote is a no-op.
+func (s *Span) AdoptRemote(remote *SpanJSON) {
+	if s == nil || remote == nil {
+		return
+	}
+	s.adopt(spanFromJSON(remote))
+}
+
+// spanFromJSON rebuilds an ended Span subtree from its wire form.
+func spanFromJSON(sj *SpanJSON) *Span {
+	s := &Span{
+		name:  sj.Name,
+		ended: true,
+		dur:   time.Duration(sj.DurationNS),
+		count: max(sj.Count, 1),
+	}
+	if len(sj.Attrs) > 0 {
+		// Deterministic attr order: JSON object keys come back unordered.
+		keys := make([]string, 0, len(sj.Attrs))
+		for k := range sj.Attrs {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			switch v := sj.Attrs[k].(type) {
+			case bool:
+				s.attrs = append(s.attrs, Bool(k, v))
+			case float64:
+				// encoding/json decodes every number as float64; integral
+				// values (the only kind this package emits) round-trip.
+				if v == float64(int64(v)) {
+					s.attrs = append(s.attrs, Int64(k, int64(v)))
+				} else {
+					s.attrs = append(s.attrs, String(k, fmt.Sprintf("%v", v)))
+				}
+			case int64:
+				s.attrs = append(s.attrs, Int64(k, v))
+			default:
+				s.attrs = append(s.attrs, String(k, fmt.Sprintf("%v", v)))
+			}
+		}
+	}
+	for _, c := range sj.Children {
+		s.children = append(s.children, spanFromJSON(c))
+	}
+	return s
+}
+
+// Root exposes the recorder's root span, letting serving layers attach
+// work (or adopt remote trees) directly under the request root when no
+// narrower span is current.
+func (r *Recorder) Root() *Span {
+	if r == nil {
+		return nil
+	}
+	return r.root
+}
+
 // Trace is the serialized form of a recorded request: the trace id plus
 // the root of the span tree.
 type Trace struct {

@@ -88,13 +88,8 @@ func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "bad_request", "missing database text")
 		return
 	}
-	// "." and ".." survive registration but are unreachable afterwards:
-	// ServeMux path-cleaning redirects /v1/databases/../... away before
-	// route matching ever sees the id. Control characters are rejected so
-	// ids can never embed the '\x00' separator of plan-cache keys.
-	if strings.ContainsAny(req.ID, "/ \t\n") || req.ID == "." || req.ID == ".." ||
-		strings.ContainsFunc(req.ID, func(r rune) bool { return r < 0x20 || r == 0x7f }) {
-		writeError(w, http.StatusBadRequest, "bad_request", "database id must not contain slashes, whitespace, control characters or be a dot segment")
+	if err := validateDatabaseID(req.ID); err != nil {
+		writeError(w, http.StatusBadRequest, "bad_request", err.Error())
 		return
 	}
 	d, err := db.Parse(req.Text)
@@ -310,8 +305,21 @@ type shapleyRequest struct {
 	Query string `json:"query"`
 	// Fact selects single-fact mode, e.g. "TA(Adam)".
 	Fact string `json:"fact,omitempty"`
+	// Facts selects batched single-fact mode: the values of exactly these
+	// endogenous facts, answered in request order. The per-fact toggles
+	// share one prepared plan, so K facts cost one sweep of K toggles —
+	// this is the request shape the cluster router's coalescing window
+	// merges concurrent single-fact requests into. Mutually exclusive
+	// with fact and with mode=all.
+	Facts []string `json:"facts,omitempty"`
 	// Mode "all" computes every endogenous fact; default is single-fact.
 	Mode string `json:"mode,omitempty"`
+	// Offset/Limit restrict mode=all to the fact range [offset, offset+limit)
+	// of the database-order batch (limit 0 means "to the end"). This is the
+	// cluster router's scatter unit: each replica computes a disjoint range
+	// and the router re-streams the concatenation.
+	Offset int `json:"offset,omitempty"`
+	Limit  int `json:"limit,omitempty"`
 	// Workers overrides the server's worker-pool size for this request.
 	Workers int `json:"workers,omitempty"`
 	// Exo declares schema-level exogenous relations (the set X of §4).
@@ -368,26 +376,55 @@ func (s *Server) handleShapley(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "bad_request", fmt.Sprintf("unknown mode %q (want \"\" or \"all\")", req.Mode))
 		return
 	}
-	if req.Mode == "" && req.Fact == "" {
-		writeError(w, http.StatusBadRequest, "bad_request", "single-fact mode needs \"fact\"; pass \"mode\": \"all\" for every endogenous fact")
+	if req.Mode == "" && req.Fact == "" && len(req.Facts) == 0 {
+		writeError(w, http.StatusBadRequest, "bad_request", "single-fact mode needs \"fact\" (or \"facts\"); pass \"mode\": \"all\" for every endogenous fact")
 		return
 	}
-	if req.Mode == "all" && req.Fact != "" {
-		// Mirror the CLI's "-all ranks every endogenous fact; drop -fact".
-		writeError(w, http.StatusBadRequest, "bad_request", "mode \"all\" computes every endogenous fact; drop \"fact\"")
+	if req.Fact != "" && len(req.Facts) > 0 {
+		writeError(w, http.StatusBadRequest, "bad_request", "pass \"fact\" or \"facts\", not both")
 		return
+	}
+	if req.Mode == "all" && (req.Fact != "" || len(req.Facts) > 0) {
+		// Mirror the CLI's "-all ranks every endogenous fact; drop -fact".
+		writeError(w, http.StatusBadRequest, "bad_request", "mode \"all\" computes every endogenous fact; drop \"fact\"/\"facts\"")
+		return
+	}
+	if req.Offset != 0 || req.Limit != 0 {
+		if req.Mode != "all" {
+			writeError(w, http.StatusBadRequest, "bad_request", "offset/limit apply only to mode \"all\"")
+			return
+		}
+		if req.Offset < 0 || req.Limit < 0 {
+			writeError(w, http.StatusBadRequest, "bad_request", "offset and limit must be non-negative")
+			return
+		}
+		if req.Rank {
+			writeError(w, http.StatusBadRequest, "bad_request", "rank is not supported with offset/limit (a ranked range is ambiguous)")
+			return
+		}
 	}
 	stream := req.Mode == "all" && wantsNDJSON(r)
 	if stream && req.Rank {
 		writeError(w, http.StatusBadRequest, "bad_request", "rank is not supported with NDJSON streaming (values stream in database order)")
 		return
 	}
-	// Parse the fact before preparing: a malformed fact must not cost (or
+	// Parse facts before preparing: a malformed fact must not cost (or
 	// cache) a full plan preparation.
-	var f db.Fact
+	var (
+		f          db.Fact
+		batchFacts []db.Fact
+	)
 	if req.Mode == "" {
 		var err error
-		if f, err = db.ParseFact(req.Fact); err != nil {
+		if len(req.Facts) > 0 {
+			batchFacts = make([]db.Fact, len(req.Facts))
+			for i, fs := range req.Facts {
+				if batchFacts[i], err = db.ParseFact(fs); err != nil {
+					writeError(w, http.StatusBadRequest, "bad_request", err.Error())
+					return
+				}
+			}
+		} else if f, err = db.ParseFact(req.Fact); err != nil {
 			writeError(w, http.StatusBadRequest, "bad_request", err.Error())
 			return
 		}
@@ -424,14 +461,37 @@ func (s *Server) handleShapley(w http.ResponseWriter, r *http.Request) {
 	if workers <= 0 {
 		workers = s.opts.Workers
 	}
+	// rangeFacts restricts mode=all to the requested [offset, offset+limit)
+	// slice of the pinned version's database-order batch; nil means the
+	// full batch. Clamping (not erroring) past-the-end ranges keeps the
+	// scatter contract simple for routers racing a PATCH: a shrunken batch
+	// yields fewer values, never a 4xx.
+	var rangeFacts []db.Fact
+	if req.Mode == "all" && (req.Offset != 0 || req.Limit != 0) {
+		all := view.Facts()
+		lo := min(req.Offset, len(all))
+		hi := len(all)
+		if req.Limit > 0 {
+			hi = min(lo+req.Limit, len(all))
+		}
+		rangeFacts = all[lo:hi]
+	}
 	if stream {
-		s.streamShapleyAll(w, r, view, resp, workers)
+		s.streamShapleyAll(w, r, view, resp, rangeFacts, workers)
 		return
 	}
 	if req.Mode == "all" {
 		cctx, csp := obs.Start(ctx, "shapley.all")
 		t0 := time.Now()
-		vals, err := view.ShapleyAll(cctx, core.BatchOptions{Workers: workers})
+		var (
+			vals []*core.ShapleyValue
+			err  error
+		)
+		if rangeFacts != nil {
+			vals, err = view.ShapleySubset(cctx, rangeFacts, core.BatchOptions{Workers: workers})
+		} else {
+			vals, err = view.ShapleyAll(cctx, core.BatchOptions{Workers: workers})
+		}
 		s.met.phaseAll.Observe(time.Since(t0))
 		if csp.Recording() {
 			csp.SetAttrs(obs.Int("facts", len(vals)), obs.Int("workers", workers))
@@ -447,6 +507,25 @@ func (s *Server) handleShapley(w http.ResponseWriter, r *http.Request) {
 		} else {
 			resp.Values = EncodeValues(vals)
 		}
+		resp.Trace = traceFor(ctx)
+		writeJSON(w, http.StatusOK, resp)
+		return
+	}
+	if batchFacts != nil {
+		cctx, csp := obs.Start(ctx, "shapley.batch")
+		t0 := time.Now()
+		vals, err := view.ShapleySubset(cctx, batchFacts, core.BatchOptions{Workers: workers})
+		s.met.phaseAll.Observe(time.Since(t0))
+		if csp.Recording() {
+			csp.SetAttrs(obs.Int("facts", len(vals)), obs.Int("workers", workers))
+		}
+		csp.End()
+		if err != nil {
+			writeComputeError(w, ctx, err)
+			return
+		}
+		s.met.valuesComputed.Add(int64(len(vals)))
+		resp.Values = EncodeValues(vals)
 		resp.Trace = traceFor(ctx)
 		writeJSON(w, http.StatusOK, resp)
 		return
@@ -472,10 +551,11 @@ func (s *Server) handleShapley(w http.ResponseWriter, r *http.Request) {
 // object, one line per fact as soon as it (and every earlier fact)
 // completes, and a {"done":true} trailer — so clients over large databases
 // consume values incrementally instead of waiting for the full batch. A
+// non-nil rangeFacts restricts the stream to that slice of the batch. A
 // mid-stream failure (including client-disconnect cancellation) ends the
 // stream with an error line instead of the trailer; the absent trailer is
 // what tells consumers the batch did not finish.
-func (s *Server) streamShapleyAll(w http.ResponseWriter, r *http.Request, view *core.PlanView, head shapleyResponse, workers int) {
+func (s *Server) streamShapleyAll(w http.ResponseWriter, r *http.Request, view *core.PlanView, head shapleyResponse, rangeFacts []db.Fact, workers int) {
 	w.Header().Set("Content-Type", ndjsonContentType)
 	w.WriteHeader(http.StatusOK)
 	enc := json.NewEncoder(w)
@@ -490,14 +570,20 @@ func (s *Server) streamShapleyAll(w http.ResponseWriter, r *http.Request, view *
 	n := 0
 	cctx, csp := obs.Start(r.Context(), "shapley.all")
 	t0 := time.Now()
-	_, err := view.ShapleyAll(cctx, core.BatchOptions{
+	opts := core.BatchOptions{
 		Workers: workers,
 		OnResult: func(v *core.ShapleyValue) {
 			_ = enc.Encode(EncodeValue(v))
 			n++
 			flush()
 		},
-	})
+	}
+	var err error
+	if rangeFacts != nil {
+		_, err = view.ShapleySubset(cctx, rangeFacts, opts)
+	} else {
+		_, err = view.ShapleyAll(cctx, opts)
+	}
 	s.met.phaseAll.Observe(time.Since(t0))
 	if csp.Recording() {
 		csp.SetAttrs(obs.Int("facts", n), obs.Int("workers", workers))
@@ -729,6 +815,9 @@ func boolQuery(pq parsedQuery) query.BooleanQuery {
 	return pq.ucq
 }
 
+// handleHealthz is liveness: 200 whenever the process can serve HTTP at
+// all, draining or not. Keeping it unconditional means an orchestrator
+// never kills a process for the crime of shutting down gracefully.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	s.mu.RLock()
 	n := len(s.dbs)
@@ -737,5 +826,26 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		"status":         "ok",
 		"databases":      n,
 		"uptime_seconds": time.Since(s.start).Seconds(),
+	})
+}
+
+// handleReadyz is readiness: 200 while the server accepts new work, 503
+// once SetDraining flips for graceful shutdown. Load balancers and the
+// cluster router's health prober poll this, not /healthz, to decide
+// routing.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	s.mu.RLock()
+	n := len(s.dbs)
+	s.mu.RUnlock()
+	if s.draining.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{
+			"status":    "draining",
+			"databases": n,
+		})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":    "ready",
+		"databases": n,
 	})
 }

@@ -50,6 +50,17 @@ type metrics struct {
 	plansPrepared  atomic.Int64
 	plansPatched   atomic.Int64
 
+	// Coalesced requests, by mechanism. A worker only ever increments
+	// "singleflight" (requests that joined another request's in-flight
+	// plan preparation instead of preparing their own); "window" and
+	// "patch" are the cluster router's merges and are incremented by its
+	// metrics (the router exposes the same family). All three series are
+	// emitted on every process, zeros included, so dashboards can sum the
+	// family fleet-wide without per-role relabeling.
+	coalescedSingleflight atomic.Int64
+	coalescedWindow       atomic.Int64
+	coalescedPatch        atomic.Int64
+
 	// DP-tree memo traffic, accumulated over every tree construction
 	// (cold preparations, seeded preparations, PATCH maintenance): hits
 	// are subtrees reused wholesale from the content-addressed memo,
@@ -176,6 +187,12 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintln(w, "# HELP shapleyd_plans_patched_total Cached plans delta-maintained in place by PATCH.")
 	fmt.Fprintln(w, "# TYPE shapleyd_plans_patched_total counter")
 	fmt.Fprintf(w, "shapleyd_plans_patched_total %d\n", s.met.plansPatched.Load())
+
+	fmt.Fprintln(w, "# HELP shapleyd_coalesced_requests_total Requests answered by merging into another request's work instead of doing their own: singleflight joins an in-flight plan preparation; window and patch are the cluster router's bounded-window merges of single-fact requests and PATCH deltas.")
+	fmt.Fprintln(w, "# TYPE shapleyd_coalesced_requests_total counter")
+	fmt.Fprintf(w, "shapleyd_coalesced_requests_total{kind=\"singleflight\"} %d\n", s.met.coalescedSingleflight.Load())
+	fmt.Fprintf(w, "shapleyd_coalesced_requests_total{kind=\"window\"} %d\n", s.met.coalescedWindow.Load())
+	fmt.Fprintf(w, "shapleyd_coalesced_requests_total{kind=\"patch\"} %d\n", s.met.coalescedPatch.Load())
 
 	fmt.Fprintln(w, "# HELP shapleyd_tree_memo_hits_total DP-tree subtrees reused from the content-addressed memo across plan builds.")
 	fmt.Fprintln(w, "# TYPE shapleyd_tree_memo_hits_total counter")

@@ -31,11 +31,14 @@
 //	GET    /v1/databases/{id}             inspect one database
 //	PATCH  /v1/databases/{id}             apply a fact delta (add/remove facts)
 //	DELETE /v1/databases/{id}             deregister (drops its cached plans)
-//	POST   /v1/databases/{id}/shapley     exact Shapley: one fact, or mode=all
+//	POST   /v1/databases/{id}/shapley     exact Shapley: one fact, a fact batch, or mode=all
 //	POST   /v1/databases/{id}/classify    dichotomy classification (Thms 3.1/4.3)
 //	POST   /v1/databases/{id}/relevance   relevance decision (Def. 5.2)
 //	POST   /v1/databases/{id}/approx      Monte-Carlo (ε, δ) estimate (§5.1)
+//	GET    /v1/databases/{id}/snapshot    export database + plan memos (cluster warm-up)
+//	PUT    /v1/databases/{id}/snapshot    import a snapshot (replaces the registration)
 //	GET    /healthz                       liveness
+//	GET    /readyz                        readiness (503 while draining)
 //	GET    /metrics                       Prometheus-format counters
 //
 // Queries on the FP#P-hard side of the dichotomies map to 422 (unless the
@@ -54,6 +57,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
@@ -115,7 +119,16 @@ type Server struct {
 	plans   *servercache.Cache[*cachedPlan]
 	flights flightGroup[*cachedPlan]
 	met     *metrics
+
+	// draining flips when the daemon begins graceful shutdown: /readyz
+	// turns 503 so load balancers and the cluster router's health prober
+	// stop routing new work here, while /healthz (liveness) stays 200 —
+	// the process is healthy, just leaving.
+	draining atomic.Bool
 }
+
+// SetDraining marks the server as (not) draining; see /readyz.
+func (s *Server) SetDraining(v bool) { s.draining.Store(v) }
 
 // registeredDB is one registered database. Its fields are guarded by the
 // server mutex: PATCH swaps the (immutable) db.Database value for the
@@ -200,7 +213,10 @@ func New(opts Options) *Server {
 		{"POST /v1/databases/{id}/classify", s.handleClassify},
 		{"POST /v1/databases/{id}/relevance", s.handleRelevance},
 		{"POST /v1/databases/{id}/approx", s.handleApprox},
+		{"GET /v1/databases/{id}/snapshot", s.handleExportSnapshot},
+		{"PUT /v1/databases/{id}/snapshot", s.handleImportSnapshot},
 		{"GET /healthz", s.handleHealthz},
+		{"GET /readyz", s.handleReadyz},
 		{"GET /metrics", s.handleMetrics},
 	}
 	patterns := make([]string, 0, len(routes))
@@ -312,6 +328,15 @@ func (s *Server) CacheStats() (hits, misses, evictions int64, entries int) {
 // across N concurrent identical cold requests).
 func (s *Server) PlansPrepared() int64 { return s.met.plansPrepared.Load() }
 
+// ValuesComputed reports how many Shapley values this server has computed
+// and returned (exported for tests: the cluster coalescing assertion pins
+// the worker to one toggle sweep across K merged single-fact requests).
+func (s *Server) ValuesComputed() int64 { return s.met.valuesComputed.Load() }
+
+// CoalescedSingleflight reports requests that joined another request's
+// in-flight plan preparation.
+func (s *Server) CoalescedSingleflight() int64 { return s.met.coalescedSingleflight.Load() }
+
 // PurgePlans empties the plan cache (benchmark cold-path support).
 func (s *Server) PurgePlans() { s.plans.Purge() }
 
@@ -399,7 +424,7 @@ func (s *Server) planFor(ctx context.Context, snap dbSnapshot, pq parsedQuery, e
 	// The flight key pins the version so joiners of an in-flight prepare
 	// can never be handed state for a different snapshot than their own.
 	flightKey := fmt.Sprintf("%s\x00v=%d", key, snap.version)
-	cp, _, err := s.flights.do(flightKey, func() (*cachedPlan, error) {
+	cp, shared, err := s.flights.do(flightKey, func() (*cachedPlan, error) {
 		eng := core.NewEngine(
 			core.WithExoRelations(exo...),
 			core.WithBruteForce(brute),
@@ -434,6 +459,11 @@ func (s *Server) planFor(ctx context.Context, snap dbSnapshot, pq parsedQuery, e
 	})
 	if err != nil {
 		return nil, false, err
+	}
+	if shared {
+		// A joiner rode another request's preparation: the single-flight
+		// lane of the coalesced-requests counter.
+		s.met.coalescedSingleflight.Add(1)
 	}
 	return cp, false, nil
 }

@@ -1,0 +1,207 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/db"
+)
+
+// This file is the cluster warm-up surface: exporting a registered
+// database (text, version, and the memo snapshots of its cached plans)
+// as one portable blob, and importing such a blob to stand up a replica
+// whose plans are warm on arrival — no DP-tree is ever recomputed from
+// scratch for state another replica already holds. The wire format lives
+// in internal/cluster; the semantic validation (does each snapshot match
+// the replayed tree build?) lives in core's ImportPlan.
+
+// validateDatabaseID enforces the registration id rules. "." and ".."
+// survive registration but are unreachable afterwards: ServeMux
+// path-cleaning redirects /v1/databases/../... away before route matching
+// ever sees the id. Control characters are rejected so ids can never
+// embed the '\x00' separator of plan-cache keys.
+func validateDatabaseID(id string) error {
+	if strings.ContainsAny(id, "/ \t\n") || id == "." || id == ".." ||
+		strings.ContainsFunc(id, func(r rune) bool { return r < 0x20 || r == 0x7f }) {
+		return fmt.Errorf("database id must not contain slashes, whitespace, control characters or be a dot segment")
+	}
+	return nil
+}
+
+// ExportState captures database id as a warm-up snapshot: its current
+// text and version, plus the exported plan snapshots of every cached plan
+// answering for exactly that version (entries mid-PATCH or stale are
+// skipped — a snapshot must never mix versions). The ok result is false
+// when no such database is registered.
+func (s *Server) ExportState(id string) (*cluster.Snapshot, bool) {
+	snap, ok := s.snapshot(id)
+	if !ok {
+		return nil, false
+	}
+	dbText := snap.d.String()
+	var plans []*core.PlanSnapshot
+	prefix := fmt.Sprintf("%s\x00g%d\x00", id, snap.gen)
+	for _, key := range s.plans.Keys() {
+		if !strings.HasPrefix(key, prefix) {
+			continue
+		}
+		cp, ok := s.plans.Peek(key)
+		if !ok || cp.servedVersion(nil) != snap.version {
+			continue
+		}
+		ps, err := cp.plan.Export()
+		if err != nil {
+			// A plan that cannot be exported (e.g. an opaque tree) is an
+			// optimization the importer will simply rebuild cold.
+			continue
+		}
+		plans = append(plans, ps)
+	}
+	// SnapshotOf drops any plan whose text raced past snap.version.
+	return cluster.SnapshotOf(id, snap.version, dbText, plans), true
+}
+
+// ImportState installs a warm-up snapshot, replacing any existing
+// registration of the same id (under a fresh generation, so plans and
+// in-flight preparations of the displaced registration can never serve
+// the new one). Each plan snapshot is imported through the structural
+// replay of core's ImportPlan and seeded into the plan cache at the
+// snapshot's version; a plan that fails to import is dropped and counted,
+// never fatal — the database itself is what must install.
+func (s *Server) ImportState(ctx context.Context, snap *cluster.Snapshot) (imported, dropped int, err error) {
+	if snap.ID == "" {
+		return 0, 0, fmt.Errorf("snapshot has no database id")
+	}
+	if err := validateDatabaseID(snap.ID); err != nil {
+		return 0, 0, err
+	}
+	if snap.Version < 1 {
+		return 0, 0, fmt.Errorf("snapshot version %d is invalid (versions start at 1)", snap.Version)
+	}
+	d, err := db.Parse(snap.DBText)
+	if err != nil {
+		return 0, 0, fmt.Errorf("snapshot database text: %w", err)
+	}
+
+	s.mu.Lock()
+	s.gens++
+	rdb := &registeredDB{
+		id:          snap.ID,
+		gen:         s.gens,
+		fingerprint: d.Fingerprint(),
+		d:           d,
+		version:     snap.Version,
+		created:     time.Now(),
+	}
+	s.dbs[snap.ID] = rdb
+	gen := rdb.gen
+	s.mu.Unlock()
+	// The displaced registration's cache entries are unreachable (their
+	// keys carry the old generation); drop them rather than waiting for
+	// LRU pressure.
+	oldPrefix := snap.ID + "\x00"
+	newPrefix := fmt.Sprintf("%s\x00g%d\x00", snap.ID, gen)
+	s.plans.RemoveIf(func(key string) bool {
+		return strings.HasPrefix(key, oldPrefix) && !strings.HasPrefix(key, newPrefix)
+	})
+
+	// Warm the plan cache. The import is detached from the caller's
+	// cancellation like any plan preparation: once the registration is
+	// installed, a disconnecting uploader must not leave half the plans
+	// cold.
+	ictx := context.WithoutCancel(ctx)
+	for _, ps := range snap.PlanSnapshots() {
+		pq, perr := parseRequestQuery(ps.Query)
+		if perr != nil {
+			dropped++
+			continue
+		}
+		if _, perr := exoSet(ps.Exo); perr != nil {
+			// planKey's comma-joined exo component relies on exoSet's
+			// name validation for collision freedom.
+			dropped++
+			continue
+		}
+		eng := core.NewEngine(
+			core.WithExoRelations(ps.Exo...),
+			core.WithBruteForce(ps.Brute),
+			core.WithWorkers(s.opts.Workers),
+		)
+		t0 := time.Now()
+		plan, perr := eng.ImportPlan(ictx, ps)
+		s.met.phasePrepare.Observe(time.Since(t0))
+		if perr != nil {
+			dropped++
+			continue
+		}
+		s.met.countTreeBuild(plan.TreeStats())
+		key := planKey(snap.ID, gen, pq.canonical, ps.Exo, ps.Brute)
+		s.plans.Put(key, &cachedPlan{plan: plan, base: snap.Version - 1})
+		imported++
+	}
+	return imported, dropped, nil
+}
+
+// handleExportSnapshot serves GET /v1/databases/{id}/snapshot: the
+// database and its warm plans in the cluster wire format.
+func (s *Server) handleExportSnapshot(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	snap, ok := s.ExportState(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, "not_found", fmt.Sprintf("no database %q", id))
+		return
+	}
+	body := cluster.EncodeSnapshot(snap)
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("X-Snapshot-Version", fmt.Sprintf("%d", snap.Version))
+	w.Header().Set("X-Snapshot-Plans", fmt.Sprintf("%d", len(snap.Plans)))
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(body)
+}
+
+// snapshotImportResponse reports what a PUT snapshot installed.
+type snapshotImportResponse struct {
+	databaseInfo
+	PlansImported int `json:"plans_imported"`
+	PlansDropped  int `json:"plans_dropped"`
+}
+
+// handleImportSnapshot serves PUT /v1/databases/{id}/snapshot: install
+// the uploaded snapshot under the path id (which must match the id
+// recorded in the body — a snapshot is the state of one database, not a
+// template).
+func (s *Server) handleImportSnapshot(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	body, err := io.ReadAll(r.Body)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad_request", err.Error())
+		return
+	}
+	snap, err := cluster.DecodeSnapshot(body)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad_snapshot", err.Error())
+		return
+	}
+	if snap.ID != id {
+		writeError(w, http.StatusBadRequest, "bad_snapshot",
+			fmt.Sprintf("snapshot is of database %q, not %q", snap.ID, id))
+		return
+	}
+	imported, dropped, err := s.ImportState(r.Context(), snap)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad_snapshot", err.Error())
+		return
+	}
+	dsnap, _ := s.snapshot(id)
+	writeJSON(w, http.StatusOK, snapshotImportResponse{
+		databaseInfo:  dsnap.info(),
+		PlansImported: imported,
+		PlansDropped:  dropped,
+	})
+}
