@@ -13,6 +13,7 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"runtime"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -32,9 +33,13 @@ type workerProxy struct {
 	inner    http.Handler
 	dead     atomic.Bool
 	truncate atomic.Bool
+	patches  atomic.Int64 // PATCH requests that reached this worker
 }
 
 func (p *workerProxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.Method == http.MethodPatch {
+		p.patches.Add(1)
+	}
 	if p.dead.Load() {
 		hj, ok := w.(http.Hijacker)
 		if !ok {
@@ -778,5 +783,169 @@ func TestRouterSnapshotRoundTrip(t *testing.T) {
 	// report the answers are byte-identical.
 	if !bytes.Equal(normalizeCache(want.Body.Bytes()), normalizeCache(got.Body.Bytes())) {
 		t.Fatalf("migrated fleet answers differently:\nsrc: %s\ndst: %s", want.Body.String(), got.Body.String())
+	}
+}
+
+// TestRegisterRejectedEverywhereLeavesNoPhantom: when every replica
+// rejects a registration with a 4xx (unparsable database text), the
+// router must relay the worker's rejection AND forget the id — no worker
+// holds the database, so a corrected retry with the same id must succeed
+// instead of bouncing off a phantom 409.
+func TestRegisterRejectedEverywhereLeavesNoPhantom(t *testing.T) {
+	tc := newCluster(t, 2, 2, time.Millisecond, -1)
+	bad := mustMarshal(t, map[string]any{"id": "uni", "text": "this is not a database @@@"})
+	rec := doRaw(t, tc.rt, "POST", "/v1/databases", bad, nil)
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("rejected register: status %d, want 400: %s", rec.Code, rec.Body.String())
+	}
+	// The corrected retry reuses the id; with a phantom entry this 409s.
+	registerUni(t, tc.rt)
+	if rec := doRaw(t, tc.rt, "GET", "/v1/databases/uni", nil, nil); rec.Code != http.StatusOK {
+		t.Fatalf("retried database is not routable: %d: %s", rec.Code, rec.Body.String())
+	}
+}
+
+// TestDeleteKeepsRoutingEntryWhenNoReplicaAcks: a DELETE that no worker
+// acknowledged (whole fleet transiently down) must not drop the routing
+// entry — the data still lives on the workers, so the id must stay
+// routable for a retry rather than stranding worker state behind a
+// forgotten entry.
+func TestDeleteKeepsRoutingEntryWhenNoReplicaAcks(t *testing.T) {
+	tc := newCluster(t, 2, 2, time.Millisecond, -1)
+	registerUni(t, tc.rt)
+	for _, w := range tc.workers {
+		w.proxy.dead.Store(true)
+	}
+	if rec := doRaw(t, tc.rt, "DELETE", "/v1/databases/uni", nil, nil); rec.Code != http.StatusBadGateway {
+		t.Fatalf("delete with fleet down: status %d, want 502: %s", rec.Code, rec.Body.String())
+	}
+	for _, w := range tc.workers {
+		w.proxy.dead.Store(false)
+	}
+	// The entry survived the failed delete: the retry reaches the workers
+	// and completes. Had the router dropped it, this would 404.
+	if rec := doRaw(t, tc.rt, "DELETE", "/v1/databases/uni", nil, nil); rec.Code != http.StatusNoContent {
+		t.Fatalf("delete retry: status %d, want 204: %s", rec.Code, rec.Body.String())
+	}
+}
+
+// TestPatchWindowFlushRunsOnce pins the run-once contract of the PATCH
+// window: a batch claimed by a conflict flush while its timer callback
+// is already firing must be applied exactly once. A nanosecond window
+// plus concurrent conflicting deltas makes the timer-vs-flush race
+// constant; double-applied batches show up as more PATCH forwards per
+// worker than there were router-level requests.
+func TestPatchWindowFlushRunsOnce(t *testing.T) {
+	tc := newCluster(t, 2, 2, time.Nanosecond, -1)
+	registerUni(t, tc.rt)
+
+	const rounds = 40
+	for i := 0; i < rounds; i++ {
+		fact := fmt.Sprintf("Stud(R%d)", i)
+		var wg sync.WaitGroup
+		for j := 0; j < 2; j++ {
+			wg.Add(1)
+			go func(j int) {
+				defer wg.Done()
+				// The pair shares a fact key, so the two deltas conflict and
+				// the second forces a flush of the first's open window.
+				d := map[string]any{"add_exo": []string{fact}}
+				if j == 1 {
+					d = map[string]any{"remove": []string{fact}}
+				}
+				doRaw(t, tc.rt, "PATCH", "/v1/databases/uni", mustMarshal(t, d), nil)
+			}(j)
+		}
+		wg.Wait()
+	}
+
+	// Every request is at most its own batch, and each batch forwards one
+	// PATCH per replica — so each worker sees at most 2*rounds forwards;
+	// any excess means some batch ran twice.
+	for name, w := range tc.workers {
+		if got := w.proxy.patches.Load(); got > 2*rounds {
+			t.Fatalf("worker %s saw %d PATCH forwards for %d requests: a window batch ran more than once", name, got, 2*rounds)
+		}
+	}
+}
+
+// bigDBText builds a database whose mode=all fact ranges are larger than
+// the range channel buffer (64), so an aborted scatter leaves producers
+// with pending lines — the regression surface for the goroutine leak.
+func bigDBText() string {
+	var sb strings.Builder
+	sb.WriteString("endo TA(S000)\n")
+	for i := 0; i < 200; i++ {
+		fmt.Fprintf(&sb, "exo  Stud(S%03d)\n", i)
+		fmt.Fprintf(&sb, "endo Reg(S%03d, C1)\n", i)
+	}
+	return sb.String()
+}
+
+// TestStreamResumeVersionSkew: a mid-stream failover that resumes on a
+// replica answering for a different version must abort the stream with a
+// version_skew error (never splice cross-version values), and the abort
+// must not leak the other ranges' producer goroutines even though their
+// channels are full and nobody drains them.
+func TestStreamResumeVersionSkew(t *testing.T) {
+	tc := newCluster(t, 2, 2, time.Millisecond, -1)
+	body := mustMarshal(t, map[string]any{"id": "big", "text": bigDBText()})
+	if rec := doRaw(t, tc.rt, "POST", "/v1/databases", body, nil); rec.Code != http.StatusCreated {
+		t.Fatalf("register: %d: %s", rec.Code, rec.Body.String())
+	}
+	owners := tc.rt.Ring().Owners("big")
+	primary, secondary := owners[0], owners[1]
+	// Write to the secondary behind the router's back: its version moves
+	// to 2 while the primary — and the router — stay at 1.
+	patch := mustMarshal(t, map[string]any{"add_exo": []string{"Stud(Z999)"}})
+	if rec := doRaw(t, tc.workers[secondary].srv, "PATCH", "/v1/databases/big", patch, nil); rec.Code != http.StatusOK {
+		t.Fatalf("direct patch: %d: %s", rec.Code, rec.Body.String())
+	}
+	tc.workers[primary].proxy.truncate.Store(true)
+
+	streamOnce := func() {
+		t.Helper()
+		rec := doRaw(t, tc.rt, "POST", "/v1/databases/big/shapley",
+			mustMarshal(t, map[string]any{"query": uniQ1, "mode": "all"}),
+			map[string]string{"Accept": "application/x-ndjson"})
+		lines := bytes.Split(bytes.TrimSpace(rec.Body.Bytes()), []byte("\n"))
+		// head + the two values delivered before the truncation + the error.
+		if len(lines) != 4 {
+			t.Fatalf("stream has %d lines, want 4: %s", len(lines), rec.Body.String())
+		}
+		var last struct {
+			Done  bool   `json:"done"`
+			Error string `json:"error"`
+			Kind  string `json:"kind"`
+		}
+		if err := json.Unmarshal(lines[len(lines)-1], &last); err != nil {
+			t.Fatalf("bad terminal line %s (%v)", lines[len(lines)-1], err)
+		}
+		if last.Done || last.Kind != "version_skew" || !strings.Contains(last.Error, "failover resume") {
+			t.Fatalf("stream must abort with a resume version_skew error, got: %s", lines[len(lines)-1])
+		}
+	}
+
+	// Warm transports and take a goroutine baseline off one aborted stream.
+	streamOnce()
+	time.Sleep(200 * time.Millisecond)
+	baseline := runtime.NumGoroutine()
+
+	const repeats = 6
+	for i := 0; i < repeats; i++ {
+		streamOnce()
+	}
+	// Un-drained ranges hold >64 pending lines; without ctx-aware channel
+	// sends each aborted stream would pin its producer forever, so the
+	// count would sit at least `repeats` above baseline.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if runtime.NumGoroutine() <= baseline+4 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines never settled: baseline %d, now %d — range producers leaked", baseline, runtime.NumGoroutine())
+		}
+		time.Sleep(50 * time.Millisecond)
 	}
 }

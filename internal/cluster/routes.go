@@ -77,13 +77,22 @@ func (rt *Router) handleRegister(w http.ResponseWriter, r *http.Request) {
 	var (
 		relayStatus int
 		relayBody   []byte
+		rejStatus   int
+		rejBody     []byte
 	)
-	failed := 0
 	for _, name := range ds.owners {
 		ws := rt.workerFor(name)
 		status, respBody, err := rt.workerJSON(r.Context(), ws, http.MethodPost, "/v1/databases", nil, fwd)
 		if err != nil || status >= 500 {
-			failed++
+			continue
+		}
+		if status >= 400 {
+			// The worker rejected the database itself (e.g. unparsable
+			// text); remember the rejection but keep looking for a replica
+			// that accepted.
+			if rejBody == nil {
+				rejStatus, rejBody = status, respBody
+			}
 			continue
 		}
 		if relayBody == nil {
@@ -91,9 +100,18 @@ func (rt *Router) handleRegister(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	if relayBody == nil {
+		// No worker actually registered the database: drop the routing
+		// entry, or a corrected retry with the same id would bounce off a
+		// phantom 409 forever.
 		rt.mu.Lock()
 		delete(rt.dbs, id)
 		rt.mu.Unlock()
+		if rejBody != nil {
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(rejStatus)
+			_, _ = w.Write(rejBody)
+			return
+		}
 		writeError(w, http.StatusBadGateway, "no_replicas", fmt.Sprintf("no replica of %v accepted the registration", ds.owners))
 		return
 	}
@@ -273,13 +291,17 @@ func (rt *Router) handleDelete(w http.ResponseWriter, r *http.Request) {
 			succeeded = true
 		}
 	}
-	rt.mu.Lock()
-	delete(rt.dbs, id)
-	rt.mu.Unlock()
 	if !succeeded {
+		// Keep the routing entry: the data still lives on the workers, so
+		// dropping it would strand the database — unroutable, yet a later
+		// re-register of the id would start a fresh version sequence that
+		// conflicts with surviving worker state. The caller retries.
 		writeError(w, http.StatusBadGateway, "no_replicas", fmt.Sprintf("no replica of %q acknowledged the delete", id))
 		return
 	}
+	rt.mu.Lock()
+	delete(rt.dbs, id)
+	rt.mu.Unlock()
 	w.WriteHeader(http.StatusNoContent)
 }
 
@@ -407,10 +429,18 @@ func (rt *Router) handlePatch(w http.ResponseWriter, r *http.Request) {
 	ds.pending = b
 	b.timer = time.AfterFunc(rt.opts.CoalesceWindow, func() {
 		ds.pmu.Lock()
-		if ds.pending == b {
+		won := ds.pending == b
+		if won {
 			ds.pending = nil
 		}
 		ds.pmu.Unlock()
+		if !won {
+			// A conflict flush or standalone enqueue already claimed this
+			// batch (its timer.Stop lost the race with this callback firing);
+			// running it again would apply the merged delta to every replica
+			// twice.
+			return
+		}
 		//repolint:allow ctxflow: timer-driven window flush — the merged batch outlives every caller's request context by design; cancellation would drop other callers' acknowledged deltas
 		rt.runPatchBatch(context.Background(), ds, b)
 	})

@@ -5,6 +5,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -533,6 +534,30 @@ type rangeEvent struct {
 	err     error
 }
 
+// versionSkewError marks a failover resume that reached a replica
+// answering for a different version than the range started at: splicing
+// its values into the stream would silently mix versions, so the range
+// aborts instead of retrying further peers.
+type versionSkewError struct{ want, got string }
+
+func (e *versionSkewError) Error() string {
+	return fmt.Sprintf("version skew on failover resume: stream at %s, replica answered for %s", e.want, e.got)
+}
+
+// sendEvent delivers ev unless the scatter has been cancelled. The
+// consumer stops draining when it aborts the response early (version
+// skew, range error), so an unconditional send on a full channel would
+// park this producer — and its open worker response body — forever; the
+// scatter's defer cancel() is what unblocks it.
+func sendEvent(ctx context.Context, out chan<- rangeEvent, ev rangeEvent) bool {
+	select {
+	case out <- ev:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}
+
 // scatterStream serves streaming mode=all: every live replica computes
 // its disjoint fact range concurrently, and the router re-streams the
 // ranges' value lines in database order — head first, then range 0's
@@ -605,14 +630,15 @@ func (rt *Router) scatterStream(w http.ResponseWriter, r *http.Request, ds *rout
 				writeLine(ev.value)
 				total++
 			case ev.err != nil:
-				if !headWritten {
-					writeLine(mustJSON(errorBody{Error: ev.err.Error(), Kind: "scatter_failed"}))
-					return
+				kind := "scatter_failed"
+				var skew *versionSkewError
+				if errors.As(ev.err, &skew) {
+					kind = "version_skew"
 				}
 				// No trailer: its absence tells the client the batch did
 				// not finish, exactly like a single worker's mid-stream
 				// failure.
-				writeLine(mustJSON(errorBody{Error: ev.err.Error(), Kind: "scatter_failed"}))
+				writeLine(mustJSON(errorBody{Error: ev.err.Error(), Kind: kind}))
 				return
 			}
 		}
@@ -636,8 +662,12 @@ func mustJSON(v any) []byte {
 func (rt *Router) streamRange(ctx context.Context, ds *routedDB, req *routerShapleyRequest, rg factRange, live []*workerState, out chan<- rangeEvent) {
 	defer close(out)
 	consumed := 0
+	version := ""
 	var lastErr error = fmt.Errorf("no replica reachable")
 	for attempt := 0; attempt < len(live); attempt++ {
+		if ctx.Err() != nil {
+			return // the scatter aborted; nobody is draining events
+		}
 		if attempt > 0 {
 			rt.failovers.Add(1)
 		}
@@ -670,26 +700,38 @@ func (rt *Router) streamRange(ctx context.Context, ds *routedDB, req *routerShap
 			}
 			continue
 		}
-		finished, n, err := rt.pumpRange(resp.Body, sp, consumed == 0, out)
+		finished, n, err := rt.pumpRange(ctx, resp.Body, sp, consumed == 0, &version, out)
 		resp.Body.Close()
 		sp.End()
 		consumed += n
 		if finished {
 			return
 		}
+		if ctx.Err() != nil {
+			return
+		}
 		lastErr = err
 		if lastErr == nil {
 			lastErr = fmt.Errorf("worker %s ended the stream without a trailer", ws.name)
 		}
+		var skew *versionSkewError
+		if errors.As(lastErr, &skew) {
+			// Not transient: any peer either agrees with the skewed replica
+			// (and skews again) or with the values already delivered at the
+			// old version — a resume can no longer be consistent.
+			break
+		}
 	}
-	out <- rangeEvent{err: lastErr}
+	sendEvent(ctx, out, rangeEvent{err: lastErr})
 }
 
-// pumpRange relays one worker NDJSON response: the head line (only for
-// the first attempt of a range — resumed attempts re-emit values, not
-// heads), then value lines, until the trailer (finished) or a break.
-// It returns how many value lines it forwarded.
-func (rt *Router) pumpRange(body io.Reader, sp *obs.Span, wantHead bool, out chan<- rangeEvent) (finished bool, values int, err error) {
+// pumpRange relays one worker NDJSON response: the head line (forwarded
+// only for the first attempt of a range — resumed attempts re-emit
+// values, not heads, but every attempt's head is still version-checked
+// against the range's first so a failover never splices values computed
+// at another version), then value lines, until the trailer (finished)
+// or a break. It returns how many value lines it forwarded.
+func (rt *Router) pumpRange(ctx context.Context, body io.Reader, sp *obs.Span, wantHead bool, version *string, out chan<- rangeEvent) (finished bool, values int, err error) {
 	sc := bufio.NewScanner(body)
 	sc.Buffer(make([]byte, 64*1024), 16*1024*1024)
 	first := true
@@ -706,12 +748,19 @@ func (rt *Router) pumpRange(body io.Reader, sp *obs.Span, wantHead bool, out cha
 		case first && probe.Fact == "" && !probe.Done && probe.Error == "":
 			// The head line.
 			first = false
+			var head struct {
+				Version json.RawMessage `json:"version"`
+			}
+			_ = json.Unmarshal(line, &head)
+			if *version == "" {
+				*version = string(head.Version)
+			} else if got := string(head.Version); got != *version {
+				return false, values, &versionSkewError{want: *version, got: got}
+			}
 			if wantHead {
-				var head struct {
-					Version json.RawMessage `json:"version"`
+				if !sendEvent(ctx, out, rangeEvent{head: line, version: *version}) {
+					return false, values, ctx.Err()
 				}
-				_ = json.Unmarshal(line, &head)
-				out <- rangeEvent{head: line, version: string(head.Version)}
 			}
 		case probe.Error != "":
 			return false, values, fmt.Errorf("worker stream error: %s", probe.Error)
@@ -725,7 +774,9 @@ func (rt *Router) pumpRange(body io.Reader, sp *obs.Span, wantHead bool, out cha
 			return true, values, nil
 		default:
 			first = false
-			out <- rangeEvent{value: line}
+			if !sendEvent(ctx, out, rangeEvent{value: line}) {
+				return false, values, ctx.Err()
+			}
 			values++
 		}
 	}
