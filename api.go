@@ -43,9 +43,10 @@ type (
 	// streaming callback.
 	BatchOptions = core.BatchOptions
 	// Engine is the v2 compute entry point: an immutable policy bundle
-	// (workers, brute force, exogenous relations) built with functional
-	// options (WithWorkers, WithBruteForce, WithExoRelations) whose
-	// Prepare/PrepareUCQ return versioned Plans.
+	// (workers, brute force, exogenous relations, builder parallelism)
+	// built with functional options (WithWorkers, WithBruteForce,
+	// WithExoRelations, WithPrepareParallelism) whose Prepare/PrepareUCQ
+	// return versioned Plans.
 	Engine = core.Engine
 	// EngineOption configures NewEngine.
 	EngineOption = core.EngineOption
@@ -106,7 +107,8 @@ var (
 )
 
 // NewEngine returns an Engine with the given options applied; see
-// WithWorkers, WithBruteForce and WithExoRelations.
+// WithWorkers, WithBruteForce, WithExoRelations and
+// WithPrepareParallelism.
 func NewEngine(opts ...EngineOption) *Engine { return core.NewEngine(opts...) }
 
 // WithWorkers sets the engine's default worker-pool size for
@@ -120,6 +122,12 @@ func WithBruteForce(allow bool) EngineOption { return core.WithBruteForce(allow)
 // WithExoRelations declares schema-level exogenous relations (the set X of
 // §4, widening tractability per Theorem 4.3).
 func WithExoRelations(rels ...string) EngineOption { return core.WithExoRelations(rels...) }
+
+// WithPrepareParallelism sets the DP-tree builder concurrency used by
+// Prepare, PrepareUCQ, PrepareFrom and the spine rebuilds of Plan.Apply
+// (0 or 1 = sequential, the default; negative = GOMAXPROCS). Every
+// setting produces bit-identical plans — only wall-clock time changes.
+func WithPrepareParallelism(n int) EngineOption { return core.WithPrepareParallelism(n) }
 
 // NewDatabase returns an empty database.
 func NewDatabase() *Database { return db.New() }

@@ -8,6 +8,8 @@
 //	BenchmarkShapleyAllBatch        (repro, the 94-endo-fact mode=all batch + ExoShap variant)
 //	BenchmarkPlanApplyDelta         (repro/internal/core, top-level single-fact Apply vs fresh Prepare)
 //	BenchmarkPlanApplyDeepDelta     (repro/internal/core, deep-delta spine reuse)
+//	BenchmarkPrepareWorkload        (repro/internal/core, fresh Prepare on generator-scaled instances)
+//	BenchmarkShapleyAllWorkload     (repro/internal/core, mode=all on generator-scaled instances)
 //	BenchmarkServerRepeatedQuery    (repro/internal/server, cold/warm serving paths)
 //	BenchmarkClusterSingleFact      (repro/internal/cluster, router-coalesced vs direct single-fact throughput)
 //
@@ -18,9 +20,16 @@
 //	go run ./cmd/benchreport -baseline old.json -out BENCH_PR5.json
 //	                                              # run, embed old.json as "before"
 //	go run ./cmd/benchreport -benchtime 20x       # override iteration count
+//	go run ./cmd/benchreport -cpu 1,2,4,8         # additionally record scaling curves
 //
 // With -baseline, the report has the shape {"before": …, "after": …,
 // "speedup": {bench: before_ns/after_ns}}; without it, a flat run report.
+// With -cpu, the workload benchmarks (the scaling subset) are re-run once
+// per GOMAXPROCS value and the per-cpu results land in "scaling":
+// {bench: {"4": {…, "cpus": 4}}}; scaling entries diff against a baseline
+// under "speedup" keys of the form "bench@4". Every result records the
+// GOMAXPROCS suffix go test printed ("cpus"), so a regression that only
+// shows at one parallelism level is visible in the artifact.
 // The tool shells out to `go test -run ^$ -bench …` (the Go toolchain is
 // a build-time dependency of this repository anyway) and parses the
 // standard benchmark output lines.
@@ -49,8 +58,18 @@ var targets = []target{
 	{Pkg: ".", Bench: "BenchmarkShapleyAllBatch"}, // also matches the ExoShap variant
 	{Pkg: "./internal/core/", Bench: "BenchmarkPlanApplyDelta"},
 	{Pkg: "./internal/core/", Bench: "BenchmarkPlanApplyDeepDelta"},
+	{Pkg: "./internal/core/", Bench: "BenchmarkPrepareWorkload"},
+	{Pkg: "./internal/core/", Bench: "BenchmarkShapleyAllWorkload"},
 	{Pkg: "./internal/server/", Bench: "BenchmarkServerRepeatedQuery"},
 	{Pkg: "./internal/cluster/", Bench: "BenchmarkClusterSingleFact"},
+}
+
+// scalingTargets is the -cpu subset: benchmarks whose parallelism follows
+// GOMAXPROCS (builder fan-out via WithPrepareParallelism(-1), worker
+// pools via Workers: 0), so varying -cpu traces a real scaling curve.
+var scalingTargets = []target{
+	{Pkg: "./internal/core/", Bench: "BenchmarkPrepareWorkload"},
+	{Pkg: "./internal/core/", Bench: "BenchmarkShapleyAllWorkload"},
 }
 
 // Result is the parsed measurement of one benchmark (sub)test.
@@ -59,6 +78,9 @@ type Result struct {
 	BytesPerOp  float64 `json:"bytes_per_op,omitempty"`
 	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
 	Iterations  int64   `json:"iterations"`
+	// Cpus is the GOMAXPROCS the benchmark ran at — the "-N" name suffix
+	// go test prints (absent when N was 1, recorded as 1).
+	Cpus int `json:"cpus,omitempty"`
 }
 
 // Run is one full benchmark sweep.
@@ -66,9 +88,13 @@ type Run struct {
 	GoVersion string            `json:"go_version"`
 	GOOS      string            `json:"goos"`
 	GOARCH    string            `json:"goarch"`
+	NumCPU    int               `json:"num_cpu"`
 	Benchtime string            `json:"benchtime"`
 	Date      string            `json:"date,omitempty"`
 	Benches   map[string]Result `json:"benches"`
+	// Scaling holds the -cpu sweep: bench name -> GOMAXPROCS (as a
+	// string, for JSON-map stability) -> measurement at that width.
+	Scaling map[string]map[string]Result `json:"scaling,omitempty"`
 }
 
 // Report is the committed artifact: a plain run, or a before/after pair.
@@ -80,53 +106,129 @@ type Report struct {
 }
 
 // benchLine matches e.g.
-// "BenchmarkPlanApplyDelta/apply-delta  100  133082 ns/op  134105 B/op  666 allocs/op"
-var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([\d.]+) ns/op(?:\s+([\d.]+) B/op)?(?:\s+(\d+) allocs/op)?`)
+// "BenchmarkPlanApplyDelta/apply-delta-8  100  133082 ns/op  134105 B/op  666 allocs/op"
+// capturing the GOMAXPROCS suffix ("-8") that older revisions discarded.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-(\d+))?\s+(\d+)\s+([\d.]+) ns/op(?:\s+([\d.]+) B/op)?(?:\s+(\d+) allocs/op)?`)
 
-func runTargets(benchtime string, verbose bool) (*Run, error) {
+// parsedBench is one parsed output line. A -cpu sweep emits the same
+// benchmark name several times with different GOMAXPROCS suffixes, so
+// lines must stay distinct until the caller decides the map key.
+type parsedBench struct {
+	Name string
+	R    Result
+}
+
+// parseBenchLines extracts the benchmark lines from go test -bench output.
+func parseBenchLines(out string) []parsedBench {
+	var res []parsedBench
+	for _, line := range strings.Split(out, "\n") {
+		m := benchLine.FindStringSubmatch(strings.TrimSpace(line))
+		if m == nil {
+			continue
+		}
+		cpus := 1
+		if m[2] != "" {
+			cpus, _ = strconv.Atoi(m[2])
+		}
+		iters, _ := strconv.ParseInt(m[3], 10, 64)
+		ns, _ := strconv.ParseFloat(m[4], 64)
+		r := Result{NsPerOp: ns, Iterations: iters, Cpus: cpus}
+		if m[5] != "" {
+			r.BytesPerOp, _ = strconv.ParseFloat(m[5], 64)
+		}
+		if m[6] != "" {
+			r.AllocsPerOp, _ = strconv.ParseFloat(m[6], 64)
+		}
+		res = append(res, parsedBench{Name: m[1], R: r})
+	}
+	return res
+}
+
+// benchOut runs one go test -bench invocation and returns its output.
+func benchOut(tg target, benchtime, cpu string, verbose bool) (string, error) {
+	pattern := tg.Bench + "$"
+	if tg.Bench == "BenchmarkShapleyAllBatch" {
+		// Prefix match on purpose: picks up the ExoShap variant too.
+		pattern = tg.Bench
+	}
+	args := []string{"test", "-run", "^$", "-bench", pattern, "-benchtime", benchtime, "-benchmem"}
+	if cpu != "" {
+		args = append(args, "-cpu", cpu)
+	}
+	args = append(args, tg.Pkg)
+	cmd := exec.Command("go", args...)
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		return "", fmt.Errorf("go %s: %v\n%s", strings.Join(args, " "), err, out)
+	}
+	if verbose {
+		fmt.Fprint(os.Stderr, string(out))
+	}
+	return string(out), nil
+}
+
+func runTargets(benchtime, cpus string, verbose bool) (*Run, error) {
 	run := &Run{
 		GoVersion: runtime.Version(),
 		GOOS:      runtime.GOOS,
 		GOARCH:    runtime.GOARCH,
+		NumCPU:    runtime.NumCPU(),
 		Benchtime: benchtime,
 		Date:      time.Now().UTC().Format(time.RFC3339),
 		Benches:   map[string]Result{},
 	}
 	for _, tg := range targets {
-		args := []string{"test", "-run", "^$", "-bench", tg.Bench + "$", "-benchtime", benchtime, "-benchmem", tg.Pkg}
-		if tg.Bench == "BenchmarkShapleyAllBatch" {
-			// Prefix match on purpose: picks up the ExoShap variant too.
-			args[4] = tg.Bench
-		}
-		cmd := exec.Command("go", args...)
-		out, err := cmd.CombinedOutput()
+		out, err := benchOut(tg, benchtime, "", verbose)
 		if err != nil {
-			return nil, fmt.Errorf("go %s: %v\n%s", strings.Join(args, " "), err, out)
+			return nil, err
 		}
-		if verbose {
-			fmt.Fprint(os.Stderr, string(out))
-		}
-		for _, line := range strings.Split(string(out), "\n") {
-			m := benchLine.FindStringSubmatch(strings.TrimSpace(line))
-			if m == nil {
-				continue
-			}
-			iters, _ := strconv.ParseInt(m[2], 10, 64)
-			ns, _ := strconv.ParseFloat(m[3], 64)
-			r := Result{NsPerOp: ns, Iterations: iters}
-			if m[4] != "" {
-				r.BytesPerOp, _ = strconv.ParseFloat(m[4], 64)
-			}
-			if m[5] != "" {
-				r.AllocsPerOp, _ = strconv.ParseFloat(m[5], 64)
-			}
-			run.Benches[m[1]] = r
+		for _, p := range parseBenchLines(out) {
+			run.Benches[p.Name] = p.R
 		}
 	}
 	if len(run.Benches) == 0 {
 		return nil, fmt.Errorf("no benchmark lines parsed")
 	}
+	if cpus == "" {
+		return run, nil
+	}
+	run.Scaling = map[string]map[string]Result{}
+	for _, tg := range scalingTargets {
+		out, err := benchOut(tg, benchtime, cpus, verbose)
+		if err != nil {
+			return nil, err
+		}
+		for _, p := range parseBenchLines(out) {
+			if run.Scaling[p.Name] == nil {
+				run.Scaling[p.Name] = map[string]Result{}
+			}
+			run.Scaling[p.Name][strconv.Itoa(p.R.Cpus)] = p.R
+		}
+	}
 	return run, nil
+}
+
+// speedups diffs the current run against a baseline: canonical benches
+// under their names, scaling entries under "name@cpus".
+func speedups(before, cur *Run) map[string]float64 {
+	out := map[string]float64{}
+	for name, after := range cur.Benches {
+		if b, ok := before.Benches[name]; ok && after.NsPerOp > 0 {
+			out[name] = b.NsPerOp / after.NsPerOp
+		}
+	}
+	for name, curve := range cur.Scaling {
+		base, ok := before.Scaling[name]
+		if !ok {
+			continue
+		}
+		for cpus, after := range curve {
+			if b, ok := base[cpus]; ok && after.NsPerOp > 0 {
+				out[name+"@"+cpus] = b.NsPerOp / after.NsPerOp
+			}
+		}
+	}
+	return out
 }
 
 func main() {
@@ -134,11 +236,12 @@ func main() {
 		out       = flag.String("out", "", "write the JSON report here (default: stdout)")
 		baseline  = flag.String("baseline", "", "prior report to embed as \"before\" (a flat run or a before/after report, whose \"after\" is used)")
 		benchtime = flag.String("benchtime", "10x", "benchtime passed to go test")
+		cpu       = flag.String("cpu", "", "comma-separated GOMAXPROCS values (e.g. 1,2,4,8); when set, the workload benchmarks are re-run per value and recorded under \"scaling\"")
 		verbose   = flag.Bool("v", false, "stream go test output to stderr")
 	)
 	flag.Parse()
 
-	cur, err := runTargets(*benchtime, *verbose)
+	cur, err := runTargets(*benchtime, *cpu, *verbose)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchreport:", err)
 		os.Exit(1)
@@ -164,13 +267,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, "benchreport: baseline has no benches")
 			os.Exit(1)
 		}
-		speedup := map[string]float64{}
-		for name, after := range cur.Benches {
-			if b, ok := before.Benches[name]; ok && after.NsPerOp > 0 {
-				speedup[name] = b.NsPerOp / after.NsPerOp
-			}
-		}
-		report = &Report{Before: before, After: cur, Speedup: speedup}
+		report = &Report{Before: before, After: cur, Speedup: speedups(before, cur)}
 	}
 
 	enc, err := json.MarshalIndent(report, "", "  ")

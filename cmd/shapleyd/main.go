@@ -106,6 +106,7 @@ func main() {
 		addr      = flag.String("addr", ":8080", "listen address")
 		mode      = flag.String("mode", "worker", "process role: worker (serve databases) or router (shard requests across a worker fleet)")
 		workers   = flag.Int("workers", 0, "default worker-pool size for mode=all requests (0 = GOMAXPROCS)")
+		prepPar   = flag.Int("prepare-parallelism", 0, "DP-tree builder concurrency for plan preparation and PATCH rebuilds (0/1 = sequential, negative = GOMAXPROCS)")
 		cacheSize = flag.Int("cache-size", server.DefaultCacheSize, "plan-cache capacity in entries")
 		drain     = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain timeout")
 		logLevel  = flag.String("log-level", "info", "log level: debug, info, warn or error (debug enables per-request access logs)")
@@ -142,6 +143,7 @@ func main() {
 	case "worker":
 		srv := server.New(server.Options{
 			Workers:              *workers,
+			PrepareParallelism:   *prepPar,
 			CacheSize:            *cacheSize,
 			Logger:               logger,
 			SlowRequestThreshold: *slowQuery,

@@ -25,15 +25,19 @@
 //     product) are shared, and per-fact work fans across a worker pool
 //     with deterministic output order — Solver.ShapleyAll delegates to it,
 //   - the Engine/Plan API v2 (NewEngine with WithWorkers / WithBruteForce
-//     / WithExoRelations → Engine.Prepare / PrepareUCQ → Plan): a
-//     versioned, incrementally maintainable compute handle whose
-//     Shapley/ShapleyAll accept a context.Context for cancellation, and
-//     whose Apply evolves the snapshot under a Delta by recomputing only
-//     the DP buckets the delta touches (content-keyed memoization + exact
-//     polynomial division of the bucket product) — bit-identical to a
-//     fresh preparation and roughly an order of magnitude cheaper for
-//     single-fact deltas; see docs/api.md for the migration table from
-//     the deprecated PreparedBatch surface,
+//     / WithExoRelations / WithPrepareParallelism → Engine.Prepare /
+//     PrepareUCQ → Plan): a versioned, incrementally maintainable compute
+//     handle whose Shapley/ShapleyAll accept a context.Context for
+//     cancellation, and whose Apply evolves the snapshot under a Delta by
+//     recomputing only the DP buckets the delta touches (content-keyed
+//     memoization + exact polynomial division of the bucket product) —
+//     bit-identical to a fresh preparation and roughly an order of
+//     magnitude cheaper for single-fact deltas. WithPrepareParallelism
+//     fans tree construction (and Apply's spine rebuilds) across builder
+//     goroutines over a sharded node store, again bit-identical at every
+//     setting; cmd/benchreport's -cpu flag records the resulting scaling
+//     curves in its JSON artifact under "scaling". See docs/api.md for
+//     the migration table from the deprecated PreparedBatch surface,
 //   - a batched UCQ engine (Solver.ShapleyAllUCQ) and a parallel,
 //     context-cancellable brute-force oracle (BruteForceShapleyAllWorkers)
 //     that splits the 2^m subset scan by mask range across workers,

@@ -1,0 +1,75 @@
+package server
+
+import (
+	"context"
+	"sync"
+)
+
+// Sharded-store shapes from the parallel DP-tree builder: many small
+// mutexes, each held only for its own map operations. The held-lock rule
+// wants every blocking call pushed outside the shard critical section,
+// and the copy rules keep shard arrays from being passed around by
+// value (a copied shard's mutex guards nothing).
+
+type memoShard struct {
+	mu  sync.Mutex
+	cur map[string]int
+}
+
+type shardedMemo struct {
+	shards [8]memoShard
+}
+
+// lookupThenPromote is the correct shape: the shard lock covers only the
+// map read; the follow-up blocking work runs after the unlock.
+func (m *shardedMemo) lookupThenPromote(ctx context.Context, key string) (int, error) {
+	sh := &m.shards[len(key)%8]
+	sh.mu.Lock()
+	v, ok := sh.cur[key]
+	sh.mu.Unlock()
+	if !ok {
+		return 0, prepare(ctx)
+	}
+	return v, nil
+}
+
+// buildUnderShardLock serializes every sibling builder behind one shard:
+// the blocking construction must happen before taking the lock.
+func (m *shardedMemo) buildUnderShardLock(ctx context.Context, key string) error {
+	sh := &m.shards[len(key)%8]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if err := prepare(ctx); err != nil { // want `blocking call .context-taking call prepare. while holding sh.mu`
+		return err
+	}
+	sh.cur[key] = 1
+	return nil
+}
+
+// shardByValue copies the mutex out of the store: flagged everywhere,
+// not just in serving packages.
+func shardByValue(sh memoShard) int { // want `shardByValue receives a value containing a sync mutex by value`
+	return len(sh.cur)
+}
+
+// sweepShards must range by index: ranging over the array copies each
+// shard's mutex.
+func (m *shardedMemo) sweepShards() int {
+	n := 0
+	for _, sh := range m.shards { // want `range copies elements containing a sync mutex`
+		n += len(sh.cur)
+	}
+	return n
+}
+
+// sweepShardsByIndex is the legal sweep.
+func (m *shardedMemo) sweepShardsByIndex() int {
+	n := 0
+	for i := range m.shards {
+		sh := &m.shards[i]
+		sh.mu.Lock()
+		n += len(sh.cur)
+		sh.mu.Unlock()
+	}
+	return n
+}

@@ -1,0 +1,69 @@
+package a
+
+import "sync"
+
+// Concurrent interning, the parallel-builder pattern: a sharded
+// content-addressed store whose store operation returns the canonical
+// node (first-store-wins). Construction writes stay confined to
+// constructor-allowed functions; anything a goroutine writes after a
+// node came back from the store is a mutation of published state and
+// must be flagged.
+
+type shard struct {
+	mu  sync.Mutex
+	cur map[string]*node
+}
+
+type store struct {
+	shards [4]shard
+}
+
+// intern is the canonical-copy store: under the shard lock it only
+// touches the map, never the node's fields.
+func (s *store) intern(n *node) *node {
+	sh := &s.shards[len(n.key)%4]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if prior, ok := sh.cur[n.key]; ok {
+		return prior
+	}
+	sh.cur[n.key] = n
+	return n
+}
+
+// buildConcurrent is the builder-goroutine shape: each worker constructs
+// its node through the allowed constructor, interns it, and treats the
+// returned canonical node as read-only.
+func buildConcurrent(s *store, keys []string) []*node {
+	out := make([]*node, len(keys))
+	var wg sync.WaitGroup
+	for i, k := range keys {
+		wg.Add(1)
+		go func(i int, k string) {
+			defer wg.Done()
+			out[i] = s.intern(newNode(k))
+		}(i, k)
+	}
+	wg.Wait()
+	return out
+}
+
+// patchAfterIntern races a write against every reader of the canonical
+// node: flagged even though it happens under the shard lock — the lock
+// guards the map, not the published node.
+func (s *store) patchAfterIntern(n *node) {
+	sh := &s.shards[len(n.key)%4]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	canonical := sh.cur[n.key]
+	canonical.endo++ // want `write to field node.endo of immutable`
+}
+
+// fixupInGoroutine: publishing first and repairing concurrently is the
+// exact bug class the marker exists for.
+func fixupInGoroutine(s *store, n *node) {
+	canonical := s.intern(n)
+	go func() {
+		canonical.key = "late" // want `write to field node.key of immutable`
+	}()
+}

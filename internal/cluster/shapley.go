@@ -422,7 +422,7 @@ func (rt *Router) scatterAll(w http.ResponseWriter, r *http.Request, ds *routedD
 	ranges := splitRanges(endo, len(live))
 	type rangeResult struct {
 		resp       workerShapleyResponse
-		rejectCode int    // non-zero: a worker 4xx to relay verbatim
+		rejectCode int // non-zero: a worker 4xx to relay verbatim
 		rejectBody []byte
 		err        error
 	}

@@ -69,8 +69,9 @@ type satCountContext struct {
 // immediately preceding snapshot of the same plan: its tree guides child
 // matching and lets interior nodes update their convolution products by
 // exact division (combinat.Deconvolve) instead of re-convolving. Passing
-// nil for both computes everything from scratch.
-func newSatCountContext(d *db.Database, q *query.CQ, memo *satMemo, prev *satCountContext) (*satCountContext, error) {
+// nil for both computes everything from scratch. par is the builder
+// concurrency (see WithPrepareParallelism); ≤ 1 builds sequentially.
+func newSatCountContext(d *db.Database, q *query.CQ, memo *satMemo, prev *satCountContext, par int) (*satCountContext, error) {
 	if err := q.Validate(); err != nil {
 		return nil, err
 	}
@@ -88,7 +89,7 @@ func newSatCountContext(d *db.Database, q *query.CQ, memo *satMemo, prev *satCou
 	if prev != nil && prev.root != nil && prev.q.String() == q.String() {
 		prevRoot, label = prev.root, prev.root.label
 	}
-	b := &treeBuilder{memo: memo}
+	b := newTreeBuilder(memo, par)
 	root, err := b.build(q, nil, label, factPtrs(d), false, prevRoot, 0)
 	if err != nil {
 		return nil, err

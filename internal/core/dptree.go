@@ -7,6 +7,8 @@ import (
 	"slices"
 	"sort"
 	"strconv"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/db"
 	"repro/internal/numeric"
@@ -169,7 +171,13 @@ type dpShape struct {
 
 	rootVar string         // nodeBuckets: the partitioning variable
 	posOf   map[string]int // nodeBuckets: relation -> root-variable position
-	child   *dpShape       // nodeBuckets: shared shape of all value children (lazy)
+
+	// nodeBuckets: shared shape of all value children, derived lazily
+	// from the first value seen. The Once makes the derivation safe when
+	// cousin buckets sharing this shape are built by parallel builders.
+	childOnce sync.Once
+	child     *dpShape
+	childErr  error
 
 	relOf    map[string]int    // nodeProduct: relation -> component index
 	subQs    []*query.CQ       // nodeProduct: component sub-queries (from repQ)
@@ -237,18 +245,17 @@ func shapeFrom(q *query.CQ) (*dpShape, error) {
 }
 
 // bucketChildShape returns the shape shared by every child of this
-// bucket level, deriving it from the first value seen.
+// bucket level, deriving it from the first value seen. The sync.Once
+// publication makes the shared shape safe for concurrent builders: the
+// derived shape is value-independent, so whichever value wins the race
+// yields the same structure.
 //
-//repolint:allow nodeimmut: lazy one-shot derivation of the shared child shape, performed under the plan lock before any reader sees it
+//repolint:allow nodeimmut: lazy one-shot derivation of the shared child shape, published through sync.Once before any reader sees it
 func (s *dpShape) bucketChildShape(v db.Const) (*dpShape, error) {
-	if s.child == nil {
-		cs, err := shapeFrom(s.repQ.SubstituteVar(s.rootVar, v))
-		if err != nil {
-			return nil, err
-		}
-		s.child = cs
-	}
-	return s.child, nil
+	s.childOnce.Do(func() {
+		s.child, s.childErr = shapeFrom(s.repQ.SubstituteVar(s.rootVar, v))
+	})
+	return s.child, s.childErr
 }
 
 // childFactor returns child i's contribution to this node's product: the
@@ -352,10 +359,20 @@ func (b *treeBuilder) componentChildLabel(parent string, ci int) string {
 // at the next rollover instead of accumulating forever.
 //
 // The memo is only touched while a plan is being built or applied (under
-// the plan lock); readers of finished trees never see it.
+// the plan lock); readers of finished trees never see it. Within one
+// build, however, parallel tree construction (treeBuilder.par > 1) has
+// several builder goroutines looking up and interning nodes
+// concurrently, so the store is sharded memoShards ways by the first key
+// byte — keys are seeded maphash output, so shards balance — with each
+// shard's generation maps behind its own mutex. The hot operations take
+// a conc flag: sequential builds (a single builder goroutine, the only
+// toucher under the plan lock) pass false and skip the locks entirely,
+// so the pre-parallelism cost model is preserved exactly. Lock
+// discipline: every memo operation holds at most one shard lock at a
+// time (promote walks a subtree re-locking per node), so shard locks
+// never nest and cannot deadlock.
 type satMemo struct {
-	prev map[string]*dpNode // previous version's entries (read-only)
-	cur  map[string]*dpNode // entries used or created by this version
+	shards [memoShards]memoShard
 
 	// age counts the versions served since the last generational
 	// rollover. Rolling over on every Apply made the promote sweep (one
@@ -363,7 +380,8 @@ type satMemo struct {
 	// single-fact delta) the dominant maintenance cost, so rollovers are
 	// amortized: up to memoRolloverAge versions share one generation —
 	// lookups hit `cur` directly with no promotion — and then a single
-	// rollover drops every node no live tree used since.
+	// rollover drops every node no live tree used since. Written only
+	// between builds (commitNext, under the plan lock).
 	age int
 
 	// shallow replicates the pre-tree engine for benchmark baselines:
@@ -372,12 +390,36 @@ type satMemo struct {
 	// recomputed wholesale by the reference cntSat recursion —
 	// materializing sub-databases at every level, exactly like the old
 	// per-bucket tables — instead of rebuilding only its dirty spine.
+	// Shallow builds are always sequential (see newTreeBuilder); the
+	// field is set before any build and read-only afterwards.
 	shallow bool
+}
+
+// memoShards is the shard count of the content-addressed store. 64
+// shards keep the chance of two of a handful of parallel builders
+// colliding on a shard low, at 64 mutexes + map headers per plan.
+const memoShards = 64
+
+// memoShard is one shard of the generational store: its slice of the
+// previous (read-only between rollovers) and current generation maps.
+type memoShard struct {
+	mu   sync.Mutex
+	prev map[string]*dpNode
+	cur  map[string]*dpNode
+}
+
+// shard routes a content key to its shard.
+func (mm *satMemo) shard(key string) *memoShard {
+	return &mm.shards[key[0]&(memoShards-1)]
 }
 
 // newSatMemo returns an empty memo for a first preparation.
 func newSatMemo() *satMemo {
-	return &satMemo{cur: make(map[string]*dpNode)}
+	mm := &satMemo{}
+	for i := range mm.shards {
+		mm.shards[i].cur = make(map[string]*dpNode)
+	}
+	return mm
 }
 
 // memoRolloverAge is the number of versions sharing one memo generation:
@@ -398,11 +440,12 @@ func (mm *satMemo) next() *satMemo {
 	if mm.age+1 < memoRolloverAge {
 		return mm
 	}
-	return &satMemo{
-		prev:    mm.cur,
-		cur:     make(map[string]*dpNode),
-		shallow: mm.shallow,
+	out := &satMemo{shallow: mm.shallow}
+	for i := range out.shards {
+		out.shards[i].prev = mm.shards[i].cur
+		out.shards[i].cur = make(map[string]*dpNode)
 	}
+	return out
 }
 
 // commitNext records that the memo returned by prev.next() now serves
@@ -416,30 +459,50 @@ func (mm *satMemo) commitNext(prev *satMemo) {
 // fork returns a fresh memo whose lookup set is the current generation's
 // live nodes. It is how a seeded preparation (Engine.PrepareFrom) shares
 // unchanged subtrees with an existing plan without ever mutating that
-// plan's memo; counters start at zero for the new plan.
+// plan's memo; counters start at zero for the new plan. Callers hold the
+// source plan's lock, so the per-shard copies see a quiescent store.
 func (mm *satMemo) fork() *satMemo {
 	out := newSatMemo()
 	if mm == nil {
 		return out
 	}
-	out.prev = make(map[string]*dpNode, len(mm.cur))
-	for k, n := range mm.cur {
-		out.prev[k] = n
+	for i := range mm.shards {
+		src := &mm.shards[i]
+		dst := make(map[string]*dpNode, len(src.cur))
+		for k, n := range src.cur {
+			dst[k] = n
+		}
+		out.shards[i].prev = dst
 	}
 	return out
 }
 
 // lookup returns the node cached under key, promoting a previous-version
-// hit (with its whole subtree) into the current generation.
-func (mm *satMemo) lookup(key string) (*dpNode, bool) {
+// hit (with its whole subtree) into the current generation. conc says
+// whether other builder goroutines may touch the memo concurrently;
+// sequential callers pass false and skip the shard locks.
+func (mm *satMemo) lookup(key string, conc bool) (*dpNode, bool) {
 	if mm == nil {
 		return nil, false
 	}
-	if n, ok := mm.cur[key]; ok {
+	s := mm.shard(key)
+	if conc {
+		s.mu.Lock()
+	}
+	if n, ok := s.cur[key]; ok {
+		if conc {
+			s.mu.Unlock()
+		}
 		return n, true
 	}
-	if n, ok := mm.prev[key]; ok {
-		mm.promote(n)
+	n, ok := s.prev[key]
+	if conc {
+		s.mu.Unlock()
+	}
+	if ok {
+		// Promote outside the hit's shard lock: the walk re-locks one
+		// shard per descendant, never holding two locks at once.
+		mm.promote(n, conc)
 		return n, true
 	}
 	return nil, false
@@ -448,22 +511,56 @@ func (mm *satMemo) lookup(key string) (*dpNode, bool) {
 // promote records n and every descendant in the current generation, so a
 // surviving subtree keeps its interior nodes findable after rollover (a
 // later delta that dirties the subtree's root can then still reuse the
-// untouched nodes below it).
-func (mm *satMemo) promote(n *dpNode) {
-	if _, ok := mm.cur[n.key]; ok {
+// untouched nodes below it). Concurrent promotions of overlapping
+// subtrees are benign: insertion is idempotent (same key, same immutable
+// node), and a node found already promoted has had its whole subtree
+// promoted by whoever inserted it — or is about to, by a racing walk that
+// is past this node — so skipping the descent stays correct because every
+// racing walk inserts descendants before its caller observes completion.
+func (mm *satMemo) promote(n *dpNode, conc bool) {
+	s := mm.shard(n.key)
+	if conc {
+		s.mu.Lock()
+	}
+	_, seen := s.cur[n.key]
+	if !seen {
+		s.cur[n.key] = n
+	}
+	if conc {
+		s.mu.Unlock()
+	}
+	if seen {
 		return
 	}
-	mm.cur[n.key] = n
 	for _, c := range n.children {
-		mm.promote(c)
+		mm.promote(c, conc)
 	}
 }
 
-// store records a freshly built node in the current generation.
-func (mm *satMemo) store(n *dpNode) {
-	if mm != nil {
-		mm.cur[n.key] = n
+// store interns a freshly built node in the current generation and
+// returns the canonical copy: with parallel builders, two goroutines can
+// race to build the same content-addressed node (both results are
+// bit-identical immutable values), and first-store-wins keeps the store
+// and every parent pointing at one canonical *dpNode.
+func (mm *satMemo) store(n *dpNode, conc bool) *dpNode {
+	if mm == nil {
+		return n
 	}
+	s := mm.shard(n.key)
+	if conc {
+		s.mu.Lock()
+	}
+	if prior, ok := s.cur[n.key]; ok {
+		if conc {
+			s.mu.Unlock()
+		}
+		return prior
+	}
+	s.cur[n.key] = n
+	if conc {
+		s.mu.Unlock()
+	}
+	return n
 }
 
 // entries returns the number of live nodes in the current generation.
@@ -471,7 +568,14 @@ func (mm *satMemo) entries() int {
 	if mm == nil {
 		return 0
 	}
-	return len(mm.cur)
+	total := 0
+	for i := range mm.shards {
+		s := &mm.shards[i]
+		s.mu.Lock()
+		total += len(s.cur)
+		s.mu.Unlock()
+	}
+	return total
 }
 
 // BuildStats reports the memo traffic of one DP-tree construction
@@ -481,7 +585,9 @@ func (mm *satMemo) entries() int {
 // ProdMaintained and ProdRebuilt split the rebuilt interior nodes by the
 // route maintainProd took: the previous product updated by exact division
 // (deconvolve stale factors, convolve fresh ones) versus the full
-// convolution chain over all children.
+// convolution chain over all children. During a parallel build the
+// counters are updated atomically; readers see them only after the build
+// joins.
 type BuildStats struct {
 	Hits           uint64
 	Misses         uint64
@@ -489,11 +595,44 @@ type BuildStats struct {
 	ProdRebuilt    uint64
 }
 
+func (st *BuildStats) add(c *uint64) {
+	if st != nil {
+		atomic.AddUint64(c, 1)
+	}
+}
+
 // treeBuilder threads the memo and per-build counters through one tree
-// construction.
+// construction. The zero value (and par ≤ 1) builds sequentially; see
+// newTreeBuilder for the parallel configuration.
 type treeBuilder struct {
 	memo  *satMemo
 	stats BuildStats
+
+	// par is the requested builder concurrency; tokens holds par−1
+	// spawn permits. A child build that secures a token runs on its own
+	// goroutine (returning the token on completion); otherwise it runs
+	// inline on the requesting goroutine, so the build never blocks
+	// waiting for a permit and degenerates to plain recursion at par ≤ 1.
+	par    int
+	tokens chan struct{}
+}
+
+// newTreeBuilder sizes a builder for par-way construction. Shallow
+// emulation stays sequential — it exists to reproduce the pre-IR
+// engine's sequential cost model, and its unit recompute path reads the
+// concrete query off the parent mid-build.
+func newTreeBuilder(memo *satMemo, par int) *treeBuilder {
+	if memo != nil && memo.shallow {
+		par = 1
+	}
+	b := &treeBuilder{memo: memo, par: par}
+	if par > 1 {
+		b.tokens = make(chan struct{}, par-1)
+		for i := 0; i < par-1; i++ {
+			b.tokens <- struct{}{}
+		}
+	}
+	return b
 }
 
 // key computes a node's content address (see nodeKey).
@@ -523,22 +662,118 @@ func (b *treeBuilder) lookup(key string, depth int) (*dpNode, bool) {
 	if b.memo == nil || (b.memo.shallow && depth > 1) {
 		return nil, false
 	}
-	n, ok := b.memo.lookup(key)
+	n, ok := b.memo.lookup(key, b.par > 1)
 	if ok {
-		b.stats.Hits++
+		b.stats.add(&b.stats.Hits)
 	}
 	return n, ok
 }
 
-// store records a built node, honoring the shallow emulation mode.
-func (b *treeBuilder) store(n *dpNode, depth int) {
+// store interns a built node, honoring the shallow emulation mode, and
+// returns the canonical copy (the argument, unless a concurrent builder
+// interned the same content first).
+func (b *treeBuilder) store(n *dpNode, depth int) *dpNode {
 	if b.memo == nil || (b.memo.shallow && depth > 1) {
-		return
+		return n
 	}
-	b.memo.store(n)
+	return b.memo.store(n, b.par > 1)
 }
 
-func (b *treeBuilder) miss() { b.stats.Misses++ }
+func (b *treeBuilder) miss() { b.stats.add(&b.stats.Misses) }
+
+// buildChild describes one independent child construction for
+// buildChildren: the inputs of a build call other than the shared depth.
+type buildChild struct {
+	q           *query.CQ
+	shape       *dpShape
+	label       string
+	facts       []*taggedFact
+	prefiltered bool
+	prev        *dpNode
+}
+
+// parallelGrain is the smallest fact list worth handing to another
+// goroutine; tinier children are cheaper to build inline than to fan out.
+const parallelGrain = 4
+
+// buildChildren constructs independent sibling subtrees — bucket values,
+// product components, or union disjuncts. With par ≤ 1 it is plain
+// in-order recursion. With parallelism enabled, each child big enough to
+// be worth it is offered to a spare builder goroutine via a non-blocking
+// token acquire and built inline otherwise, so construction never stalls
+// waiting for a permit and total goroutines stay bounded by par across
+// the whole recursion (spawned children re-enter this fan-out with the
+// remaining tokens).
+//
+// Results land at the child's own index, so the assembled slice is
+// identical to the sequential order. On failure the error of the
+// lowest-index failing child is reported — the same one the sequential
+// build returns, because children are issued in index order: issuing
+// only stops after an inline failure at some index at or past the lowest
+// failing one, so that child was issued and its error recorded.
+func (b *treeBuilder) buildChildren(kids []buildChild, depth int) ([]*dpNode, error) {
+	out := make([]*dpNode, len(kids))
+	if b.par <= 1 || len(kids) < 2 {
+		for i := range kids {
+			k := &kids[i]
+			child, err := b.build(k.q, k.shape, k.label, k.facts, k.prefiltered, k.prev, depth)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = child
+		}
+		return out, nil
+	}
+
+	var (
+		wg       sync.WaitGroup
+		errMu    sync.Mutex
+		errIdx   = -1
+		firstErr error
+	)
+	record := func(i int, err error) {
+		errMu.Lock()
+		if errIdx < 0 || i < errIdx {
+			errIdx, firstErr = i, err
+		}
+		errMu.Unlock()
+	}
+	for i := range kids {
+		k := &kids[i]
+		spawned := false
+		if len(k.facts) >= parallelGrain {
+			select {
+			case tok := <-b.tokens:
+				spawned = true
+				wg.Add(1)
+				go func(i int, k *buildChild) {
+					defer wg.Done()
+					defer func() { b.tokens <- tok }()
+					child, err := b.build(k.q, k.shape, k.label, k.facts, k.prefiltered, k.prev, depth)
+					if err != nil {
+						record(i, err)
+						return
+					}
+					out[i] = child
+				}(i, k)
+			default:
+			}
+		}
+		if !spawned {
+			child, err := b.build(k.q, k.shape, k.label, k.facts, k.prefiltered, k.prev, depth)
+			if err != nil {
+				record(i, err)
+				break
+			}
+			out[i] = child
+		}
+	}
+	wg.Wait()
+	if errIdx >= 0 {
+		return nil, firstErr
+	}
+	return out, nil
+}
 
 // build constructs (or reuses) the node for cntSat(facts, q).
 //
@@ -616,7 +851,7 @@ func (b *treeBuilder) build(q *query.CQ, shape *dpShape, label string, facts []*
 		if prev != nil && (prev.kind != nodeProduct || len(prev.children) != len(shape.children)) {
 			prev = nil
 		}
-		n.children = make([]*dpNode, len(shape.children))
+		kids := make([]buildChild, len(shape.children))
 		for ci := range shape.children {
 			rels := shape.compRels[ci]
 			var childFacts []*taggedFact
@@ -636,11 +871,15 @@ func (b *treeBuilder) build(q *query.CQ, shape *dpShape, label string, facts []*
 				// the shape's representative is exactly it.
 				childQ = shape.subQs[ci]
 			}
-			child, err := b.build(childQ, shape.children[ci], b.componentChildLabel(label, ci), childFacts, true, childPrev, depth+1)
-			if err != nil {
-				return nil, err
+			kids[ci] = buildChild{
+				q: childQ, shape: shape.children[ci],
+				label: b.componentChildLabel(label, ci),
+				facts: childFacts, prefiltered: true, prev: childPrev,
 			}
-			n.children[ci] = child
+		}
+		var err error
+		if n.children, err = b.buildChildren(kids, depth+1); err != nil {
+			return nil, err
 		}
 		if err := n.combine(prev, &b.stats); err != nil {
 			return nil, err
@@ -664,7 +903,7 @@ func (b *treeBuilder) build(q *query.CQ, shape *dpShape, label string, facts []*
 			n.values = append(n.values, v)
 		}
 		slices.Sort(n.values)
-		n.children = make([]*dpNode, len(n.values))
+		kids := make([]buildChild, len(n.values))
 		for bi, v := range n.values {
 			childShape, err := shape.bucketChildShape(v)
 			if err != nil {
@@ -680,11 +919,15 @@ func (b *treeBuilder) build(q *query.CQ, shape *dpShape, label string, facts []*
 			if b.memo != nil && b.memo.shallow {
 				childQ = q.SubstituteVar(shape.rootVar, v)
 			}
-			child, err := b.build(childQ, childShape, b.bucketChildLabel(label, v), buckets[v], true, childPrev, depth+1)
-			if err != nil {
-				return nil, err
+			kids[bi] = buildChild{
+				q: childQ, shape: childShape,
+				label: b.bucketChildLabel(label, v),
+				facts: buckets[v], prefiltered: true, prev: childPrev,
 			}
-			n.children[bi] = child
+		}
+		var err error
+		if n.children, err = b.buildChildren(kids, depth+1); err != nil {
+			return nil, err
 		}
 		if err := n.combine(prev, &b.stats); err != nil {
 			return nil, err
@@ -692,8 +935,7 @@ func (b *treeBuilder) build(q *query.CQ, shape *dpShape, label string, facts []*
 	}
 
 	n.finish()
-	b.store(n, depth)
-	return n, nil
+	return b.store(n, depth), nil
 }
 
 // buildOpaque is the shallow-mode unit recompute: the whole sub-instance
@@ -717,8 +959,7 @@ func (b *treeBuilder) buildOpaque(q *query.CQ, label, key string, facts []*tagge
 	}
 	n.core = sat
 	n.finish()
-	b.store(n, depth)
-	return n, nil
+	return b.store(n, depth), nil
 }
 
 // buildUnion constructs (or reuses) the root node of a relation-disjoint
@@ -752,7 +993,7 @@ func (b *treeBuilder) buildUnion(u *query.UCQ, relOf map[string]int, facts []*ta
 		}
 	}
 	n.endo = n.relN + n.free
-	n.children = make([]*dpNode, len(u.Disjuncts))
+	kids := make([]buildChild, len(u.Disjuncts))
 	for i, q := range u.Disjuncts {
 		var childPrev *dpNode
 		if prev != nil {
@@ -760,18 +1001,20 @@ func (b *treeBuilder) buildUnion(u *query.UCQ, relOf map[string]int, facts []*ta
 		}
 		// Disjunct pools are split by relation only, so each disjunct
 		// root runs the full relevance scan against its concrete query.
-		child, err := b.build(q, nil, b.componentChildLabel(label, i), pools[i], false, childPrev, 1)
-		if err != nil {
-			return nil, err
+		kids[i] = buildChild{
+			q: q, label: b.componentChildLabel(label, i),
+			facts: pools[i], prev: childPrev,
 		}
-		n.children[i] = child
+	}
+	var err error
+	if n.children, err = b.buildChildren(kids, 1); err != nil {
+		return nil, err
 	}
 	if err := n.combine(prev, &b.stats); err != nil {
 		return nil, err
 	}
 	n.finish()
-	b.store(n, 0)
-	return n, nil
+	return b.store(n, 0), nil
 }
 
 // combine fills the interior node's product state and its core vector.
@@ -863,9 +1106,7 @@ func (n *dpNode) maintainProd(prev *dpNode, st *BuildStats) numeric.Vec {
 			}
 		}
 		if 2*changed < len(n.children)-n.zeros {
-			if st != nil {
-				st.ProdMaintained++
-			}
+			st.add(&st.ProdMaintained)
 			prod := prev.prod
 			for i, c := range prev.children {
 				if !curKeys[c.key] && !prev.childFactorZero(i) {
@@ -880,9 +1121,7 @@ func (n *dpNode) maintainProd(prev *dpNode, st *BuildStats) numeric.Vec {
 			return prod
 		}
 	}
-	if st != nil {
-		st.ProdRebuilt++
-	}
+	st.add(&st.ProdRebuilt)
 	vecs := make([]numeric.Vec, 0, len(n.children))
 	for i := range n.children {
 		if !n.childFactorZero(i) {

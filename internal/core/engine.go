@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"runtime"
 	"sort"
 
 	"repro/internal/db"
@@ -20,6 +21,7 @@ import (
 // An Engine is safe for concurrent use.
 type Engine struct {
 	workers int
+	prepPar int
 	brute   bool
 	exo     map[string]bool
 }
@@ -32,6 +34,16 @@ type EngineOption func(*Engine)
 // runtime.GOMAXPROCS(0).
 func WithWorkers(n int) EngineOption {
 	return func(e *Engine) { e.workers = n }
+}
+
+// WithPrepareParallelism sets the number of goroutines DP-tree
+// construction fans independent subtrees over — fresh Prepare,
+// PrepareFrom seeding and the spine rebuilds of Plan.Apply alike. The
+// result is bit-identical to the sequential build at any setting; only
+// wall-clock changes. 0 or 1 builds sequentially (the default); n > 1
+// uses up to n concurrent builders; negative means runtime.GOMAXPROCS(0).
+func WithPrepareParallelism(n int) EngineOption {
+	return func(e *Engine) { e.prepPar = n }
 }
 
 // WithBruteForce enables the exponential subset-enumeration fallback for
@@ -69,6 +81,19 @@ func NewEngine(opts ...EngineOption) *Engine {
 // Workers returns the engine's default worker-pool size (0 = GOMAXPROCS).
 func (e *Engine) Workers() int { return e.workers }
 
+// PrepareParallelism returns the resolved DP-tree builder concurrency:
+// the WithPrepareParallelism setting with negative mapped to
+// runtime.GOMAXPROCS(0) and zero to 1.
+func (e *Engine) PrepareParallelism() int {
+	switch {
+	case e.prepPar < 0:
+		return runtime.GOMAXPROCS(0)
+	case e.prepPar == 0:
+		return 1
+	}
+	return e.prepPar
+}
+
 // BruteForceAllowed reports whether the exponential fallback is enabled.
 func (e *Engine) BruteForceAllowed() bool { return e.brute }
 
@@ -95,7 +120,7 @@ func (e *Engine) Prepare(ctx context.Context, d *db.Database, q *query.CQ) (*Pla
 	defer sp.End()
 	memo := newSatMemo()
 	snap := d.Clone() // the plan owns its snapshot; ctx retains it
-	pb, err := prepareCQ(snap, q, e.exo, e.brute, prepExtras{memo: memo})
+	pb, err := prepareCQ(snap, q, e.exo, e.brute, prepExtras{memo: memo, par: e.PrepareParallelism()})
 	if err != nil {
 		return nil, err
 	}
@@ -115,7 +140,7 @@ func (e *Engine) PrepareUCQ(ctx context.Context, d *db.Database, u *query.UCQ) (
 	defer sp.End()
 	memo := newSatMemo()
 	snap := d.Clone()
-	pb, err := prepareUCQ(snap, u, e.exo, e.brute, prepExtras{memo: memo})
+	pb, err := prepareUCQ(snap, u, e.exo, e.brute, prepExtras{memo: memo, par: e.PrepareParallelism()})
 	if err != nil {
 		return nil, err
 	}
@@ -146,7 +171,7 @@ func (e *Engine) PrepareFrom(ctx context.Context, d *db.Database, seed *Plan) (*
 	prev := seed.pb
 	cq, ucq := seed.cq, seed.ucq
 	seed.mu.RUnlock()
-	ex := prepExtras{memo: memo, prev: prev}
+	ex := prepExtras{memo: memo, prev: prev, par: e.PrepareParallelism()}
 	snap := d.Clone()
 	var (
 		pb  *PreparedBatch

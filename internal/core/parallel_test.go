@@ -1,0 +1,260 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/db"
+	"repro/internal/paperex"
+	"repro/internal/query"
+	"repro/internal/workload"
+)
+
+// These tests pin the defining contract of WithPrepareParallelism: the
+// parallel build is an execution strategy, not a semantic knob. Trees,
+// build statistics and Shapley values must be bit-identical to the
+// sequential build at every worker count, and the whole surface must be
+// clean under -race (the CI test job runs with -race enabled).
+
+// assertPlansIdentical compares two plans structurally (tree root content
+// key — equality means the entire trees are content-identical) and
+// behaviorally (memo-traffic counters and every Shapley value).
+func assertPlansIdentical(t *testing.T, label string, seqPlan, parPlan *Plan) {
+	t.Helper()
+	sr, pr := seqPlan.pb.treeRoot(), parPlan.pb.treeRoot()
+	if (sr == nil) != (pr == nil) {
+		t.Fatalf("%s: tree presence differs: sequential %v, parallel %v", label, sr != nil, pr != nil)
+	}
+	if sr != nil && sr.key != pr.key {
+		t.Fatalf("%s: tree root content keys differ between sequential and parallel build", label)
+	}
+	if ss, ps := seqPlan.pb.buildStats(), parPlan.pb.buildStats(); ss != ps {
+		t.Fatalf("%s: build stats differ: sequential %+v, parallel %+v", label, ss, ps)
+	}
+	got, err := parPlan.ShapleyAll(context.Background(), BatchOptions{Workers: 2})
+	if err != nil {
+		t.Fatalf("%s: parallel plan ShapleyAll: %v", label, err)
+	}
+	want, err := seqPlan.ShapleyAll(context.Background(), BatchOptions{Workers: 2})
+	if err != nil {
+		t.Fatalf("%s: sequential plan ShapleyAll: %v", label, err)
+	}
+	assertSameValues(t, label, got, want)
+}
+
+// TestParallelPrepareRandomDifferential sweeps random hierarchical
+// CQ¬s/instances and checks parallel Prepare against sequential.
+func TestParallelPrepareRandomDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(417))
+	cfg := workload.DefaultRandomCQConfig()
+	seq := NewEngine(WithPrepareParallelism(1))
+	par := NewEngine(WithPrepareParallelism(4))
+	checked := 0
+	for trial := 0; trial < 200 && checked < 50; trial++ {
+		q, exo := workload.RandomCQ(rng, cfg)
+		if q.HasSelfJoin() || !q.IsHierarchical() {
+			continue
+		}
+		d := workload.RandomForQuery(rng, q, 4, 6, exo, 0.7)
+		if d.NumEndo() == 0 {
+			continue
+		}
+		sp, err := seq.Prepare(context.Background(), d, q)
+		if err != nil {
+			continue // e.g. declared-exogenous relation with endo facts
+		}
+		pp, err := par.Prepare(context.Background(), d, q)
+		if err != nil {
+			t.Fatalf("%s: parallel Prepare failed where sequential succeeded: %v", q, err)
+		}
+		assertPlansIdentical(t, fmt.Sprintf("trial %d (%s)", trial, q), sp, pp)
+		checked++
+	}
+	if checked < 30 {
+		t.Fatalf("coverage too thin: %d instances", checked)
+	}
+}
+
+// TestParallelPrepareModes pins the three planner modes the parallel
+// builder serves — hierarchical, ExoShap and relation-disjoint UCQ¬ — on
+// the paper's university example, across worker counts.
+func TestParallelPrepareModes(t *testing.T) {
+	d := workload.University(workload.UniversityConfig{
+		Students: 30, Courses: 8, RegPerStudent: 3, TAFraction: 0.4, Seed: 11,
+	})
+	u := query.MustParseUCQ("a() :- Stud(x), !TA(x) | b() :- Reg(x, y), !Course(y, CS)")
+	for _, workers := range []int{2, 4, -1} {
+		seq := NewEngine(WithPrepareParallelism(1))
+		par := NewEngine(WithPrepareParallelism(workers))
+		sp, err := seq.Prepare(context.Background(), d, paperex.Q1())
+		if err != nil {
+			t.Fatal(err)
+		}
+		pp, err := par.Prepare(context.Background(), d, paperex.Q1())
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertPlansIdentical(t, fmt.Sprintf("hierarchical workers=%d", workers), sp, pp)
+
+		seqX := NewEngine(WithPrepareParallelism(1), WithExoRelations("Stud", "Course"))
+		parX := NewEngine(WithPrepareParallelism(workers), WithExoRelations("Stud", "Course"))
+		sp, err = seqX.Prepare(context.Background(), d, paperex.Q2())
+		if err != nil {
+			t.Fatal(err)
+		}
+		pp, err = parX.Prepare(context.Background(), d, paperex.Q2())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sp.Method() != MethodExoShap {
+			t.Fatalf("expected ExoShap plan, got %v", sp.Method())
+		}
+		assertPlansIdentical(t, fmt.Sprintf("exoshap workers=%d", workers), sp, pp)
+
+		sp, err = seq.PrepareUCQ(context.Background(), d, u)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pp, err = par.PrepareUCQ(context.Background(), d, u)
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertPlansIdentical(t, fmt.Sprintf("ucq workers=%d", workers), sp, pp)
+	}
+}
+
+// TestParallelApplyDifferential drives sequential and parallel plans
+// through the same deep-delta chain (bucket births/deaths, endogeneity
+// flips, sub-bucket mutations) and demands identical trees, stats and
+// values at every version — the concurrent-spine Apply contract.
+func TestParallelApplyDifferential(t *testing.T) {
+	d := deepInstance()
+	seq := NewEngine(WithPrepareParallelism(1))
+	par := NewEngine(WithPrepareParallelism(4))
+	sp, err := seq.Prepare(context.Background(), d, deepQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pp, err := par.Prepare(context.Background(), d, deepQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, dl := range deepDeltas() {
+		if _, err := sp.Apply(context.Background(), dl); err != nil {
+			t.Fatalf("step %d: sequential Apply: %v", i, err)
+		}
+		if _, err := pp.Apply(context.Background(), dl); err != nil {
+			t.Fatalf("step %d: parallel Apply: %v", i, err)
+		}
+		assertPlansIdentical(t, fmt.Sprintf("apply step %d", i), sp, pp)
+	}
+}
+
+// TestParallelPrepareFromDifferential seeds a parallel preparation from a
+// sequential plan (and vice versa) across a snapshot gap, pinning the
+// PrepareFrom path's fan-out.
+func TestParallelPrepareFromDifferential(t *testing.T) {
+	d := workload.University(workload.UniversityConfig{
+		Students: 25, Courses: 6, RegPerStudent: 3, TAFraction: 0.5, Seed: 3,
+	})
+	d2, err := d.Apply(db.Delta{
+		AddEndo: []db.Fact{db.F("Reg", "S1", "C-new"), db.F("TA", "S2")},
+		Remove:  []db.Fact{db.F("Reg", "S3", "C1")},
+	})
+	if err != nil {
+		// The removed fact may not exist under this seed; fall back to adds only.
+		d2, err = d.Apply(db.Delta{AddEndo: []db.Fact{db.F("Reg", "S1", "C-new"), db.F("TA", "S2")}})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	seq := NewEngine(WithPrepareParallelism(1))
+	par := NewEngine(WithPrepareParallelism(4))
+	seed, err := seq.Prepare(context.Background(), d, paperex.Q1())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp, err := seq.PrepareFrom(context.Background(), d2, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pp, err := par.PrepareFrom(context.Background(), d2, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertPlansIdentical(t, "prepare-from", sp, pp)
+}
+
+// TestConcurrentPrepareApplyShapleyStress exercises the full concurrent
+// surface at once: a parallel-build plan serving ShapleyAll readers on
+// pinned views while Apply (itself fanning spine rebuilds over builder
+// goroutines) and seeded parallel Prepares run alongside. Run with -race
+// this is the data-race gate for the sharded memo and token fan-out.
+func TestConcurrentPrepareApplyShapleyStress(t *testing.T) {
+	d := workload.University(workload.UniversityConfig{
+		Students: 20, Courses: 6, RegPerStudent: 3, TAFraction: 0.5, Seed: 5,
+	})
+	eng := NewEngine(WithPrepareParallelism(4))
+	plan, err := eng.Prepare(context.Background(), d, paperex.Q1())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rounds := 6
+	if testing.Short() {
+		rounds = 2
+	}
+	var wg sync.WaitGroup
+	errc := make(chan error, 16)
+	for r := 0; r < 3; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				if _, err := plan.ShapleyAll(context.Background(), BatchOptions{Workers: 2}); err != nil {
+					errc <- fmt.Errorf("reader: %w", err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < rounds; i++ {
+			f := db.F("Reg", "S0", fmt.Sprintf("C-stress-%d", i))
+			if _, err := plan.Apply(context.Background(), db.Delta{AddEndo: []db.Fact{f}}); err != nil {
+				errc <- fmt.Errorf("apply add: %w", err)
+				return
+			}
+			if _, err := plan.Apply(context.Background(), db.Delta{Remove: []db.Fact{f}}); err != nil {
+				errc <- fmt.Errorf("apply remove: %w", err)
+				return
+			}
+		}
+	}()
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < rounds; i++ {
+			if _, err := eng.PrepareFrom(context.Background(), plan.Snapshot(), plan); err != nil {
+				errc <- fmt.Errorf("prepare-from: %w", err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Error(err)
+	}
+	// The plan must still be bit-identical to a fresh preparation.
+	got, err := plan.ShapleyAll(context.Background(), BatchOptions{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := freshAll(t, eng, plan.Snapshot(), paperex.Q1(), nil)
+	assertSameValues(t, "post-stress", got, want)
+}

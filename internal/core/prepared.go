@@ -207,6 +207,10 @@ func (s *Solver) PrepareAllUCQ(d *db.Database, u *query.UCQ) (*PreparedBatch, er
 type prepExtras struct {
 	memo *satMemo
 	prev *PreparedBatch
+
+	// par is the resolved DP-tree builder concurrency (see
+	// WithPrepareParallelism); 0 or 1 builds sequentially.
+	par int
 }
 
 func (ex prepExtras) prevCtx() *satCountContext {
@@ -277,7 +281,7 @@ func prepareCQ(d *db.Database, q *query.CQ, exo map[string]bool, brute bool, ex 
 	}
 	switch {
 	case c.SelfJoinFree && c.Hierarchical:
-		ctx, err := newSatCountContext(d, q, ex.memo, ex.prevCtx())
+		ctx, err := newSatCountContext(d, q, ex.memo, ex.prevCtx(), ex.par)
 		if err != nil {
 			return nil, err
 		}
@@ -291,7 +295,7 @@ func prepareCQ(d *db.Database, q *query.CQ, exo map[string]bool, brute bool, ex 
 		// is deterministic, the previous version's tree still matches by
 		// content and every subtree the transform leaves unchanged is
 		// reused through the memo.
-		ctx, err := newSatCountContext(d2, q2, ex.memo, ex.prevCtx())
+		ctx, err := newSatCountContext(d2, q2, ex.memo, ex.prevCtx(), ex.par)
 		if err != nil {
 			return nil, err
 		}
@@ -317,7 +321,7 @@ func prepareUCQ(d *db.Database, u *query.UCQ, exo map[string]bool, brute bool, e
 		p.empty, p.method = true, MethodHierarchical
 		return p, nil
 	}
-	ctx, err := newUCQSatContext(d, u, ex.memo, ex.prevUCtx())
+	ctx, err := newUCQSatContext(d, u, ex.memo, ex.prevUCtx(), ex.par)
 	if err != nil {
 		if isUCQStructuralError(err) && brute {
 			p.bruteDB, p.bruteQ, p.method = d.Clone(), u, MethodBruteForce

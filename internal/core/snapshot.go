@@ -77,10 +77,10 @@ type NodeSnapshot struct {
 	// interior convolution product, one big-endian magnitude per
 	// coefficient; nil means the empty (identically zero) vector. Ground
 	// leaves ship nothing (all four nil) and are recomputed on import.
-	Core   [][]byte
-	Sat    [][]byte
-	NonSat [][]byte
-	Prod   [][]byte
+	Core     [][]byte
+	Sat      [][]byte
+	NonSat   [][]byte
+	Prod     [][]byte
 	Children []*NodeSnapshot
 }
 

@@ -39,8 +39,8 @@ func isUCQStructuralError(err error) bool {
 }
 
 // newUCQSatContext validates u and materializes the union DP-tree over d.
-// memo and prev play the same roles as in newSatCountContext.
-func newUCQSatContext(d *db.Database, u *query.UCQ, memo *satMemo, prev *ucqSatContext) (*ucqSatContext, error) {
+// memo, prev and par play the same roles as in newSatCountContext.
+func newUCQSatContext(d *db.Database, u *query.UCQ, memo *satMemo, prev *ucqSatContext, par int) (*ucqSatContext, error) {
 	if err := u.Validate(); err != nil {
 		return nil, err
 	}
@@ -64,7 +64,7 @@ func newUCQSatContext(d *db.Database, u *query.UCQ, memo *satMemo, prev *ucqSatC
 	if prev != nil && prev.root != nil && prev.u.String() == u.String() {
 		prevRoot = prev.root
 	}
-	b := &treeBuilder{memo: memo}
+	b := newTreeBuilder(memo, par)
 	root, err := b.buildUnion(u, relOf, factPtrs(d), prevRoot)
 	if err != nil {
 		return nil, err

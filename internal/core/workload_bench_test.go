@@ -1,0 +1,143 @@
+package core
+
+import (
+	"context"
+	"sync"
+	"testing"
+
+	"repro/internal/db"
+	"repro/internal/paperex"
+	"repro/internal/workload"
+)
+
+// This file is the large-workload slice of the bench trajectory: where
+// plan_bench_test.go measures maintenance latency on the paper's
+// 94-endo-fact running example, these benchmarks measure fresh Prepare
+// and mode=all throughput on generator-scaled instances, with the
+// engine's builder parallelism tied to GOMAXPROCS so `go test -cpu
+// 1,2,4,8` produces parallel-scaling curves (see cmd/benchreport -cpu).
+
+// benchWorkloadCfg is the ~50k-fact hierarchical trajectory instance:
+// big enough that Prepare is dominated by tree construction over many
+// independent buckets (what parallel builders attack), while
+// ExoRegFraction keeps the endogenous count near 500 so the
+// coefficient-vector arithmetic stays at a realistic length instead of
+// drowning the measurement in big-integer convolutions.
+var benchWorkloadCfg = workload.UniversityConfig{
+	Students: 4500, Courses: 120, RegPerStudent: 9, TAFraction: 0.06,
+	ExoRegFraction: 0.995, Seed: 29,
+}
+
+// benchExoShapCfg is the ExoShap trajectory instance. The ExoShap
+// transform materializes complement relations over the active domain, so
+// its preparation cost is domain-quadratic — this stays deliberately
+// smaller than the hierarchical instance to keep one iteration under a
+// second on one core.
+var benchExoShapCfg = workload.UniversityConfig{
+	Students: 200, Courses: 24, RegPerStudent: 5, TAFraction: 0.25,
+	ExoRegFraction: 0.9, Seed: 31,
+}
+
+var (
+	workloadDBOnce sync.Once
+	workloadDBHier *db.Database
+	workloadDBExo  *db.Database
+)
+
+// benchWorkloadDBs generates both instances once per test process.
+func benchWorkloadDBs() (hier, exoShap *db.Database) {
+	workloadDBOnce.Do(func() {
+		workloadDBHier = workload.University(benchWorkloadCfg)
+		workloadDBExo = workload.University(benchExoShapCfg)
+	})
+	return workloadDBHier, workloadDBExo
+}
+
+// BenchmarkPrepareWorkload measures fresh Prepare on the workload
+// instances with builder parallelism following GOMAXPROCS; run with -cpu
+// 1,2,4,8 the sub-benchmarks trace the construction scaling curves. The
+// parallel build is asserted bit-identical to the sequential one before
+// timing.
+func BenchmarkPrepareWorkload(b *testing.B) {
+	hier, exoShap := benchWorkloadDBs()
+	ctx := context.Background()
+
+	check := func(b *testing.B, eng, seqEng *Engine, d *db.Database, q1 bool) {
+		b.Helper()
+		q := paperex.Q1()
+		if !q1 {
+			q = paperex.Q2()
+		}
+		pp, err := eng.Prepare(ctx, d, q)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sp, err := seqEng.Prepare(ctx, d, q)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if pr, sr := pp.pb.treeRoot(), sp.pb.treeRoot(); pr == nil || sr == nil || pr.key != sr.key {
+			b.Fatal("parallel Prepare is not bit-identical to sequential")
+		}
+	}
+
+	b.Run("hierarchical-50k", func(b *testing.B) {
+		eng := NewEngine(WithPrepareParallelism(-1))
+		check(b, eng, NewEngine(WithPrepareParallelism(1)), hier, true)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := eng.Prepare(ctx, hier, paperex.Q1()); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("exoshap-1.5k", func(b *testing.B) {
+		eng := NewEngine(WithPrepareParallelism(-1), WithExoRelations("Stud", "Course"))
+		check(b, eng, NewEngine(WithPrepareParallelism(1), WithExoRelations("Stud", "Course")), exoShap, false)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := eng.Prepare(ctx, exoShap, paperex.Q2()); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkShapleyAllWorkload measures mode=all on the prepared workload
+// plans, worker pool following GOMAXPROCS — the serving-side scaling
+// curve that rides the same -cpu axis as the Prepare curve above.
+func BenchmarkShapleyAllWorkload(b *testing.B) {
+	hier, exoShap := benchWorkloadDBs()
+	ctx := context.Background()
+
+	b.Run("hierarchical-50k", func(b *testing.B) {
+		eng := NewEngine(WithPrepareParallelism(-1))
+		plan, err := eng.Prepare(ctx, hier, paperex.Q1())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := plan.ShapleyAll(ctx, BatchOptions{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("exoshap-1.5k", func(b *testing.B) {
+		eng := NewEngine(WithPrepareParallelism(-1), WithExoRelations("Stud", "Course"))
+		plan, err := eng.Prepare(ctx, exoShap, paperex.Q2())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := plan.ShapleyAll(ctx, BatchOptions{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

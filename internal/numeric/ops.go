@@ -65,50 +65,85 @@ type acc192 struct {
 }
 
 // convolveU64 first attempts the common case — the result also fits
-// machine words — in a single pass with one output allocation and
-// per-step overflow checks; any overflow restarts on the wide
-// accumulator path (rare: it happens once per promotion, and promoted
-// vectors never come back through this path).
+// machine words — in a single pass with one output allocation; any
+// overflow restarts on the wide accumulator path (rare: it happens once
+// per promotion, and promoted vectors never come back through this
+// path). The inner loop is unrolled 4-wide: four independent multiplies
+// and adds per step, with the per-step branch on overflow replaced by an
+// OR-accumulated flag checked once per row — the result is garbage past
+// the first overflow, but the whole output is discarded and recomputed
+// wide in that case, so only exact rows are ever returned. Bit-identical
+// to convolveU64Scalar (ops_scalar.go) by the differential tests.
 func convolveU64(a, b []uint64) Vec {
 	out := make([]uint64, len(a)+len(b)-1)
 	for i, ai := range a {
 		if ai == 0 {
 			continue
 		}
-		for j, bj := range b {
-			if bj == 0 {
-				continue
-			}
-			hi, lo := bits.Mul64(ai, bj)
-			if hi != 0 {
-				return convolveU64Wide(a, b)
-			}
-			s, c := bits.Add64(out[i+j], lo, 0)
-			if c != 0 {
-				return convolveU64Wide(a, b)
-			}
-			out[i+j] = s
+		row := out[i : i+len(b)]
+		var bad uint64
+		j := 0
+		for ; j+4 <= len(b); j += 4 {
+			bq := b[j : j+4 : j+4] // one slice check instead of four load checks
+			rq := row[j : j+4 : j+4]
+			hi0, lo0 := bits.Mul64(ai, bq[0])
+			hi1, lo1 := bits.Mul64(ai, bq[1])
+			hi2, lo2 := bits.Mul64(ai, bq[2])
+			hi3, lo3 := bits.Mul64(ai, bq[3])
+			s0, c0 := bits.Add64(rq[0], lo0, 0)
+			s1, c1 := bits.Add64(rq[1], lo1, 0)
+			s2, c2 := bits.Add64(rq[2], lo2, 0)
+			s3, c3 := bits.Add64(rq[3], lo3, 0)
+			rq[0], rq[1], rq[2], rq[3] = s0, s1, s2, s3
+			bad |= hi0 | hi1 | hi2 | hi3 | c0 | c1 | c2 | c3
+		}
+		for ; j < len(b); j++ {
+			hi, lo := bits.Mul64(ai, b[j])
+			var c uint64
+			row[j], c = bits.Add64(row[j], lo, 0)
+			bad |= hi | c
+		}
+		if bad != 0 {
+			return convolveU64Wide(a, b)
 		}
 	}
 	return Vec{rep: RepU64, u: out}
 }
 
+// add192 accumulates one 128-bit product into a 192-bit slot.
+func add192(p *acc192, hi, lo uint64) {
+	var c uint64
+	p.w0, c = bits.Add64(p.w0, lo, 0)
+	p.w1, c = bits.Add64(p.w1, hi, c)
+	p.w2 += c
+}
+
+// convolveU64Wide is the 192-bit accumulator path, unrolled 4-wide like
+// convolveU64 (the four accumulation slots per step are distinct, so the
+// carry chains are independent).
 func convolveU64Wide(a, b []uint64) Vec {
 	acc := make([]acc192, len(a)+len(b)-1)
 	for i, ai := range a {
 		if ai == 0 {
 			continue
 		}
-		for j, bj := range b {
-			if bj == 0 {
-				continue
-			}
-			hi, lo := bits.Mul64(ai, bj)
-			p := &acc[i+j]
-			var c uint64
-			p.w0, c = bits.Add64(p.w0, lo, 0)
-			p.w1, c = bits.Add64(p.w1, hi, c)
-			p.w2 += c
+		row := acc[i : i+len(b)]
+		j := 0
+		for ; j+4 <= len(b); j += 4 {
+			bq := b[j : j+4 : j+4]
+			rq := row[j : j+4 : j+4]
+			hi0, lo0 := bits.Mul64(ai, bq[0])
+			hi1, lo1 := bits.Mul64(ai, bq[1])
+			hi2, lo2 := bits.Mul64(ai, bq[2])
+			hi3, lo3 := bits.Mul64(ai, bq[3])
+			add192(&rq[0], hi0, lo0)
+			add192(&rq[1], hi1, lo1)
+			add192(&rq[2], hi2, lo2)
+			add192(&rq[3], hi3, lo3)
+		}
+		for ; j < len(b); j++ {
+			hi, lo := bits.Mul64(ai, b[j])
+			add192(&row[j], hi, lo)
 		}
 	}
 	out := RepU64
@@ -151,6 +186,14 @@ type acc320 struct {
 	w [5]uint64
 }
 
+// convolveU128 keeps one product in flight (a 256-bit product plus its
+// five-word accumulator chain is all the registers hold — wider unrolls
+// spill and measured slower than scalar) but fuses the mul128 carry
+// chains into the loop body: mul128 is not inlinable, so the scalar
+// reference pays a call and a [4]uint64 memory round-trip per product
+// that the fused chain avoids. Bit-identical to convolveU128Scalar: both
+// accumulate the exact 256-bit products into exact 320-bit slots, and
+// exact sums do not depend on accumulation order.
 func convolveU128(a, b []Uint128) Vec {
 	acc := make([]acc320, len(a)+len(b)-1)
 	for i := range a {
@@ -158,18 +201,29 @@ func convolveU128(a, b []Uint128) Vec {
 		if ai.isZero() {
 			continue
 		}
+		row := acc[i : i+len(b)]
 		for j := range b {
 			bj := b[j]
-			if bj.isZero() {
-				continue
-			}
-			p := mul128(ai, bj)
-			t := &acc[i+j]
-			var c uint64
-			t.w[0], c = bits.Add64(t.w[0], p[0], 0)
-			t.w[1], c = bits.Add64(t.w[1], p[1], c)
-			t.w[2], c = bits.Add64(t.w[2], p[2], c)
-			t.w[3], c = bits.Add64(t.w[3], p[3], c)
+			// p3:p2:p1:p0 = ai·bj, the mul128 chains inlined.
+			ph, p0 := bits.Mul64(ai.Lo, bj.Lo)
+			p1 := ph
+			var p2, p3, pl, c uint64
+			ph, pl = bits.Mul64(ai.Lo, bj.Hi)
+			p1, c = bits.Add64(p1, pl, 0)
+			p2, c = bits.Add64(p2, ph, c)
+			p3 += c
+			ph, pl = bits.Mul64(ai.Hi, bj.Lo)
+			p1, c = bits.Add64(p1, pl, 0)
+			p2, c = bits.Add64(p2, ph, c)
+			p3 += c
+			ph, pl = bits.Mul64(ai.Hi, bj.Hi)
+			p2, c = bits.Add64(p2, pl, 0)
+			p3 = p3 + ph + c
+			t := &row[j]
+			t.w[0], c = bits.Add64(t.w[0], p0, 0)
+			t.w[1], c = bits.Add64(t.w[1], p1, c)
+			t.w[2], c = bits.Add64(t.w[2], p2, c)
+			t.w[3], c = bits.Add64(t.w[3], p3, c)
 			t.w[4] += c
 		}
 	}
@@ -389,13 +443,36 @@ func deconvolveU64(p, v []uint64) Vec {
 	for k := 0; k < n; k++ {
 		// p[lead+k] = Σ_j out[j]·v[lead+k-j]; solve for out[k]. Every
 		// partial remainder is a tail of that non-negative sum, so the
-		// subtraction chain can never underflow on exact input.
+		// subtraction chain can never underflow on exact input. The loop
+		// is unrolled 4-wide: a group of four products is summed and
+		// subtracted at once. On exact input the group sum is itself a
+		// partial tail of the entry, so it fits a word and stays ≤ acc
+		// and the check never fires; on corrupt input the group check
+		// fires iff some scalar step in the group would (a group sum
+		// exceeding acc means some prefix step exceeded its remainder).
+		// Panic-equivalent and bit-identical to deconvolveU64Scalar.
 		acc := p[lead+k]
 		lo := 0
 		if k+lead >= len(v) {
 			lo = k + lead - len(v) + 1
 		}
-		for j := lo; j < k; j++ {
+		j := lo
+		for ; j+4 <= k; j += 4 {
+			oq := out[j : j+4 : j+4]
+			vq := v[lead+k-j-3 : lead+k-j+1] // v window, reversed order
+			hi0, t0 := bits.Mul64(oq[0], vq[3])
+			hi1, t1 := bits.Mul64(oq[1], vq[2])
+			hi2, t2 := bits.Mul64(oq[2], vq[1])
+			hi3, t3 := bits.Mul64(oq[3], vq[0])
+			s01, c0 := bits.Add64(t0, t1, 0)
+			s23, c1 := bits.Add64(t2, t3, 0)
+			s, c2 := bits.Add64(s01, s23, 0)
+			if hi0|hi1|hi2|hi3|c0|c1|c2 != 0 || s > acc {
+				panic("numeric: Deconvolve of a non-multiple")
+			}
+			acc -= s
+		}
+		for ; j < k; j++ {
 			hi, t := bits.Mul64(out[j], v[lead+k-j])
 			if hi != 0 || t > acc {
 				panic("numeric: Deconvolve of a non-multiple")
@@ -408,6 +485,13 @@ func deconvolveU64(p, v []uint64) Vec {
 		out[k] = acc / d
 	}
 	return Vec{rep: RepU64, u: out}
+}
+
+// add128 adds two 128-bit values, returning the sum and the carry out.
+func add128(a, b Uint128) (Uint128, uint64) {
+	lo, c := bits.Add64(a.Lo, b.Lo, 0)
+	hi, c := bits.Add64(a.Hi, b.Hi, c)
+	return Uint128{Hi: hi, Lo: lo}, c
 }
 
 func deconvolveU128(p, v []Uint128) Vec {
@@ -434,7 +518,31 @@ func deconvolveU128(p, v []Uint128) Vec {
 		if k+lead >= len(v) {
 			lo = k + lead - len(v) + 1
 		}
-		for j := lo; j < k; j++ {
+		// Unrolled 4-wide like deconvolveU64: a group of four 256-bit
+		// products is range-checked, summed in 128 bits and subtracted
+		// at once. The same tail-of-a-sum argument makes the group
+		// checks panic-equivalent to the scalar per-step checks.
+		j := lo
+		for ; j+4 <= k; j += 4 {
+			oq := out[j : j+4 : j+4]
+			vq := v[lead+k-j-3 : lead+k-j+1] // v window, reversed order
+			t0 := mul128(oq[0], vq[3])
+			t1 := mul128(oq[1], vq[2])
+			t2 := mul128(oq[2], vq[1])
+			t3 := mul128(oq[3], vq[0])
+			if t0[2]|t0[3]|t1[2]|t1[3]|t2[2]|t2[3]|t3[2]|t3[3] != 0 {
+				panic("numeric: Deconvolve of a non-multiple")
+			}
+			s01, c0 := add128(Uint128{Hi: t0[1], Lo: t0[0]}, Uint128{Hi: t1[1], Lo: t1[0]})
+			s23, c1 := add128(Uint128{Hi: t2[1], Lo: t2[0]}, Uint128{Hi: t3[1], Lo: t3[0]})
+			s, c2 := add128(s01, s23)
+			next, borrow := sub128(acc, s)
+			if c0|c1|c2|borrow != 0 {
+				panic("numeric: Deconvolve of a non-multiple")
+			}
+			acc = next
+		}
+		for ; j < k; j++ {
 			t := mul128(out[j], v[lead+k-j])
 			if t[2] != 0 || t[3] != 0 {
 				panic("numeric: Deconvolve of a non-multiple")

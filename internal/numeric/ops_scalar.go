@@ -1,0 +1,220 @@
+package numeric
+
+import (
+	"math/big"
+	"math/bits"
+)
+
+// This file keeps the original scalar inner loops of the fixed-width
+// kernel operations, verbatim, as the audited differential references for
+// the 4-wide unrolled production variants in ops.go. The unrolled loops
+// must be bit-identical to these on every input (and panic exactly when
+// these panic); the pinning lives in ops_unroll_test.go and the kernel
+// fuzz targets. They are reachable only from tests and benchmarks — the
+// dispatchers (Convolve, Deconvolve) call the unrolled variants.
+
+// convolveU64Scalar is the pre-unroll convolveU64: one multiply, one
+// overflow-checked add per step, restarting on the wide accumulator path
+// at the first overflow.
+func convolveU64Scalar(a, b []uint64) Vec {
+	out := make([]uint64, len(a)+len(b)-1)
+	for i, ai := range a {
+		if ai == 0 {
+			continue
+		}
+		for j, bj := range b {
+			if bj == 0 {
+				continue
+			}
+			hi, lo := bits.Mul64(ai, bj)
+			if hi != 0 {
+				return convolveU64WideScalar(a, b)
+			}
+			s, c := bits.Add64(out[i+j], lo, 0)
+			if c != 0 {
+				return convolveU64WideScalar(a, b)
+			}
+			out[i+j] = s
+		}
+	}
+	return Vec{rep: RepU64, u: out}
+}
+
+// convolveU64WideScalar is the pre-unroll convolveU64Wide: a scalar
+// 192-bit accumulation chain per product.
+func convolveU64WideScalar(a, b []uint64) Vec {
+	acc := make([]acc192, len(a)+len(b)-1)
+	for i, ai := range a {
+		if ai == 0 {
+			continue
+		}
+		for j, bj := range b {
+			if bj == 0 {
+				continue
+			}
+			hi, lo := bits.Mul64(ai, bj)
+			p := &acc[i+j]
+			var c uint64
+			p.w0, c = bits.Add64(p.w0, lo, 0)
+			p.w1, c = bits.Add64(p.w1, hi, c)
+			p.w2 += c
+		}
+	}
+	out := RepU64
+	for i := range acc {
+		if acc[i].w2 != 0 {
+			out = RepBig
+			break
+		}
+		if acc[i].w1 != 0 {
+			out = RepU128
+		}
+	}
+	switch out {
+	case RepU64:
+		u := make([]uint64, len(acc))
+		for i := range acc {
+			u[i] = acc[i].w0
+		}
+		return Vec{rep: RepU64, u: u}
+	case RepU128:
+		notePromotion(RepU128, RepU64)
+		w := make([]Uint128, len(acc))
+		for i := range acc {
+			w[i] = Uint128{Hi: acc[i].w1, Lo: acc[i].w0}
+		}
+		return Vec{rep: RepU128, w: w}
+	default:
+		notePromotion(RepBig, RepU64)
+		b := make([]*big.Int, len(acc))
+		for i := range acc {
+			b[i] = wordsToBig([]uint64{acc[i].w0, acc[i].w1, acc[i].w2}, new(big.Int))
+		}
+		return Vec{rep: RepBig, b: b}
+	}
+}
+
+// convolveU128Scalar is the pre-unroll convolveU128: a scalar 320-bit
+// accumulation chain per 256-bit product.
+func convolveU128Scalar(a, b []Uint128) Vec {
+	acc := make([]acc320, len(a)+len(b)-1)
+	for i := range a {
+		ai := a[i]
+		if ai.isZero() {
+			continue
+		}
+		for j := range b {
+			bj := b[j]
+			if bj.isZero() {
+				continue
+			}
+			p := mul128(ai, bj)
+			t := &acc[i+j]
+			var c uint64
+			t.w[0], c = bits.Add64(t.w[0], p[0], 0)
+			t.w[1], c = bits.Add64(t.w[1], p[1], c)
+			t.w[2], c = bits.Add64(t.w[2], p[2], c)
+			t.w[3], c = bits.Add64(t.w[3], p[3], c)
+			t.w[4] += c
+		}
+	}
+	return vecFromAcc320(acc, RepU128)
+}
+
+// deconvolveU64Scalar is the pre-unroll deconvolveU64: one product, one
+// bound check, one subtraction per back-substitution step.
+func deconvolveU64Scalar(p, v []uint64) Vec {
+	lead := -1
+	for i, x := range v {
+		if x != 0 {
+			lead = i
+			break
+		}
+	}
+	if lead < 0 {
+		panic("numeric: Deconvolve by the zero vector")
+	}
+	n := len(p) - len(v) + 1
+	if n < 1 {
+		panic("numeric: Deconvolve length mismatch")
+	}
+	d := v[lead]
+	out := make([]uint64, n)
+	for k := 0; k < n; k++ {
+		// p[lead+k] = Σ_j out[j]·v[lead+k-j]; solve for out[k]. Every
+		// partial remainder is a tail of that non-negative sum, so the
+		// subtraction chain can never underflow on exact input.
+		acc := p[lead+k]
+		lo := 0
+		if k+lead >= len(v) {
+			lo = k + lead - len(v) + 1
+		}
+		for j := lo; j < k; j++ {
+			hi, t := bits.Mul64(out[j], v[lead+k-j])
+			if hi != 0 || t > acc {
+				panic("numeric: Deconvolve of a non-multiple")
+			}
+			acc -= t
+		}
+		if acc%d != 0 {
+			panic("numeric: Deconvolve of a non-multiple")
+		}
+		out[k] = acc / d
+	}
+	return Vec{rep: RepU64, u: out}
+}
+
+// deconvolveU128Scalar is the pre-unroll deconvolveU128.
+func deconvolveU128Scalar(p, v []Uint128) Vec {
+	lead := -1
+	for i := range v {
+		if !v[i].isZero() {
+			lead = i
+			break
+		}
+	}
+	if lead < 0 {
+		panic("numeric: Deconvolve by the zero vector")
+	}
+	n := len(p) - len(v) + 1
+	if n < 1 {
+		panic("numeric: Deconvolve length mismatch")
+	}
+	d := v[lead]
+	out := make([]Uint128, n)
+	demote := true
+	for k := 0; k < n; k++ {
+		acc := p[lead+k]
+		lo := 0
+		if k+lead >= len(v) {
+			lo = k + lead - len(v) + 1
+		}
+		for j := lo; j < k; j++ {
+			t := mul128(out[j], v[lead+k-j])
+			if t[2] != 0 || t[3] != 0 {
+				panic("numeric: Deconvolve of a non-multiple")
+			}
+			next, borrow := sub128(acc, Uint128{Hi: t[1], Lo: t[0]})
+			if borrow != 0 {
+				panic("numeric: Deconvolve of a non-multiple")
+			}
+			acc = next
+		}
+		q, r := div128(acc, d)
+		if !r.isZero() {
+			panic("numeric: Deconvolve of a non-multiple")
+		}
+		out[k] = q
+		if q.Hi != 0 {
+			demote = false
+		}
+	}
+	if demote {
+		u := make([]uint64, n)
+		for i := range out {
+			u[i] = out[i].Lo
+		}
+		return Vec{rep: RepU64, u: u}
+	}
+	return Vec{rep: RepU128, w: out}
+}

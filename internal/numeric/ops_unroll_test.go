@@ -1,0 +1,243 @@
+package numeric
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Differential pinning of the 4-wide unrolled kernel loops in ops.go
+// against their verbatim scalar references in ops_scalar.go. "Pinned"
+// means bit-identical: same representation, same entries, and — for
+// Deconvolve on corrupt input — a panic exactly when the scalar panics.
+
+// randU64s draws word slices whose entries straddle the overflow
+// boundary of the fast convolveU64 path: mostly small, sometimes huge so
+// the wide restart triggers, sometimes zero so the zero-skip asymmetry
+// between scalar and unrolled code is exercised.
+func randU64s(rng *rand.Rand, n int) []uint64 {
+	out := make([]uint64, n)
+	for i := range out {
+		switch rng.Intn(5) {
+		case 0:
+			// zero: the scalar loops skip these, the unrolled loops don't
+		case 1:
+			out[i] = rng.Uint64() >> 40
+		case 2:
+			out[i] = rng.Uint64() >> 2
+		default:
+			out[i] = rng.Uint64()
+		}
+	}
+	return out
+}
+
+func randU128s(rng *rand.Rand, n int, maxShift uint) []Uint128 {
+	out := make([]Uint128, n)
+	for i := range out {
+		switch rng.Intn(4) {
+		case 0:
+			// zero
+		case 1:
+			out[i] = Uint128{Lo: rng.Uint64() >> (maxShift % 64)}
+		default:
+			out[i] = Uint128{Hi: rng.Uint64() >> maxShift, Lo: rng.Uint64()}
+		}
+	}
+	return out
+}
+
+func sameVec(t *testing.T, got, want Vec, what string) {
+	t.Helper()
+	if got.Rep() != want.Rep() {
+		t.Fatalf("%s: rep %v, scalar reference has %v", what, got.Rep(), want.Rep())
+	}
+	if !got.Equal(want) {
+		t.Fatalf("%s: %v != scalar reference %v", what, got.Big(), want.Big())
+	}
+}
+
+func TestUnrolledConvolveU64MatchesScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(91))
+	for trial := 0; trial < 2000; trial++ {
+		// Lengths cover every tail residue of the 4-wide loop, including
+		// the all-tail lengths 1..3.
+		a := randU64s(rng, 1+rng.Intn(13))
+		b := randU64s(rng, 1+rng.Intn(13))
+		sameVec(t, convolveU64(a, b), convolveU64Scalar(a, b), "convolveU64")
+		sameVec(t, convolveU64Wide(a, b), convolveU64WideScalar(a, b), "convolveU64Wide")
+	}
+}
+
+func TestUnrolledConvolveU128MatchesScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(92))
+	for trial := 0; trial < 1500; trial++ {
+		a := randU128s(rng, 1+rng.Intn(11), uint(rng.Intn(64)))
+		b := randU128s(rng, 1+rng.Intn(11), uint(rng.Intn(64)))
+		sameVec(t, convolveU128(a, b), convolveU128Scalar(a, b), "convolveU128")
+	}
+}
+
+func panics(f func()) (panicked bool) {
+	defer func() {
+		if recover() != nil {
+			panicked = true
+		}
+	}()
+	f()
+	return false
+}
+
+func TestUnrolledDeconvolveU64MatchesScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(93))
+	for trial := 0; trial < 2000; trial++ {
+		// Exact inputs: p = q * v with entries small enough that the
+		// product provably fits words (≤ 13 products of < 2^29 values).
+		q := make([]uint64, 1+rng.Intn(13))
+		v := make([]uint64, 1+rng.Intn(13))
+		for i := range q {
+			q[i] = uint64(rng.Intn(1 << 29))
+		}
+		for i := range v {
+			v[i] = uint64(rng.Intn(1 << 29))
+		}
+		allZero := true
+		for _, x := range v {
+			allZero = allZero && x == 0
+		}
+		if allZero {
+			v[rng.Intn(len(v))] = 1 + uint64(rng.Intn(100))
+		}
+		p := convolveU64Scalar(q, v)
+		if p.Rep() != RepU64 {
+			t.Fatalf("test setup overflowed u64")
+		}
+		pu := append([]uint64(nil), p.u...)
+		sameVec(t, deconvolveU64(pu, v), deconvolveU64Scalar(pu, v), "deconvolveU64")
+
+		// Corrupt inputs: the unrolled group checks must panic exactly
+		// when the scalar per-step checks do.
+		pu[rng.Intn(len(pu))] = rng.Uint64()
+		var got, want Vec
+		gp := panics(func() { got = deconvolveU64(pu, v) })
+		wp := panics(func() { want = deconvolveU64Scalar(pu, v) })
+		if gp != wp {
+			t.Fatalf("deconvolveU64 corrupt input: unrolled panic=%v, scalar panic=%v (p=%v v=%v)", gp, wp, pu, v)
+		}
+		if !gp {
+			sameVec(t, got, want, "deconvolveU64 (corrupt, non-panicking)")
+		}
+	}
+}
+
+func TestUnrolledDeconvolveU128MatchesScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(94))
+	for trial := 0; trial < 1500; trial++ {
+		// Entries < 2^60: products < 2^120 and ≤ 13-term sums < 2^124,
+		// so the exact product provably fits 128 bits.
+		q := randU128s(rng, 1+rng.Intn(13), 64)
+		v := randU128s(rng, 1+rng.Intn(13), 64)
+		for i := range q {
+			q[i].Lo >>= 4
+		}
+		for i := range v {
+			v[i].Lo >>= 4
+		}
+		allZero := true
+		for i := range v {
+			allZero = allZero && v[i].isZero()
+		}
+		if allZero {
+			v[rng.Intn(len(v))] = Uint128{Lo: 1 + uint64(rng.Intn(100))}
+		}
+		p := convolveU128Scalar(q, v)
+		if p.Rep() == RepBig {
+			t.Fatalf("test setup overflowed u128")
+		}
+		pw := p.asU128()
+		sameVec(t, deconvolveU128(pw, v), deconvolveU128Scalar(pw, v), "deconvolveU128")
+
+		pw[rng.Intn(len(pw))] = Uint128{Hi: rng.Uint64(), Lo: rng.Uint64()}
+		var got, want Vec
+		gp := panics(func() { got = deconvolveU128(pw, v) })
+		wp := panics(func() { want = deconvolveU128Scalar(pw, v) })
+		if gp != wp {
+			t.Fatalf("deconvolveU128 corrupt input: unrolled panic=%v, scalar panic=%v", gp, wp)
+		}
+		if !gp {
+			sameVec(t, got, want, "deconvolveU128 (corrupt, non-panicking)")
+		}
+	}
+}
+
+// BenchmarkConvolve compares the unrolled production kernels against the
+// scalar references on 94-length vectors — the university example's endo
+// fact count, i.e. the vector length the engine actually convolves at.
+func BenchmarkConvolve(b *testing.B) {
+	rng := rand.New(rand.NewSource(95))
+	const n = 94
+	u := make([]uint64, n)
+	for i := range u {
+		u[i] = uint64(rng.Intn(1 << 25)) // never overflows: fast path end to end
+	}
+	w := make([]Uint128, n)
+	for i := range w {
+		w[i] = Uint128{Hi: rng.Uint64() >> 16, Lo: rng.Uint64()}
+	}
+	b.Run("u64-94/unrolled", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			convolveU64(u, u)
+		}
+	})
+	b.Run("u64-94/scalar", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			convolveU64Scalar(u, u)
+		}
+	})
+	b.Run("u64wide-94/unrolled", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			convolveU64Wide(u, u)
+		}
+	})
+	b.Run("u64wide-94/scalar", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			convolveU64WideScalar(u, u)
+		}
+	})
+	b.Run("u128-94/unrolled", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			convolveU128(w, w)
+		}
+	})
+	b.Run("u128-94/scalar", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			convolveU128Scalar(w, w)
+		}
+	})
+}
+
+// BenchmarkDeconvolve divides a 94-length product by a 47-length factor —
+// the shape of a spine rebuild peeling one bucket's vector out of the
+// root product.
+func BenchmarkDeconvolve(b *testing.B) {
+	rng := rand.New(rand.NewSource(96))
+	q := make([]uint64, 48)
+	for i := range q {
+		q[i] = uint64(rng.Intn(1 << 25))
+	}
+	v := make([]uint64, 47)
+	for i := range v {
+		v[i] = uint64(rng.Intn(1 << 25))
+	}
+	v[0] |= 1
+	p := convolveU64Scalar(q, v)
+	b.Run("u64-94/unrolled", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			deconvolveU64(p.u, v)
+		}
+	})
+	b.Run("u64-94/scalar", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			deconvolveU64Scalar(p.u, v)
+		}
+	})
+}

@@ -73,6 +73,10 @@ type Options struct {
 	// Workers is the default worker-pool size for mode=all requests that do
 	// not set their own (zero means runtime.GOMAXPROCS(0)).
 	Workers int
+	// PrepareParallelism is the DP-tree builder concurrency for plan
+	// preparation and PATCH spine rebuilds (core.WithPrepareParallelism):
+	// zero or one builds sequentially, negative means GOMAXPROCS.
+	PrepareParallelism int
 	// CacheSize is the plan-cache capacity in entries; zero means
 	// DefaultCacheSize.
 	CacheSize int
@@ -429,6 +433,7 @@ func (s *Server) planFor(ctx context.Context, snap dbSnapshot, pq parsedQuery, e
 			core.WithExoRelations(exo...),
 			core.WithBruteForce(brute),
 			core.WithWorkers(s.opts.Workers),
+			core.WithPrepareParallelism(s.opts.PrepareParallelism),
 		)
 		// Detach the leader's cancellation: joiners waiting on this flight
 		// must not lose their plan because the initiating client hung up.

@@ -132,6 +132,7 @@ func (s *Server) ImportState(ctx context.Context, snap *cluster.Snapshot) (impor
 			core.WithExoRelations(ps.Exo...),
 			core.WithBruteForce(ps.Brute),
 			core.WithWorkers(s.opts.Workers),
+			core.WithPrepareParallelism(s.opts.PrepareParallelism),
 		)
 		t0 := time.Now()
 		plan, perr := eng.ImportPlan(ictx, ps)

@@ -49,7 +49,19 @@ type UniversityConfig struct {
 	Courses       int
 	RegPerStudent int     // registrations per student (capped by Courses)
 	TAFraction    float64 // fraction of students that are TAs
-	Seed          int64
+
+	// ExoRegFraction makes this share of registrations exogenous. The
+	// large bench workloads use it to scale total facts (tree size, and
+	// so Prepare cost) independently of the endogenous count that sets
+	// the Shapley coefficient-vector length: 50k facts with every Reg
+	// endogenous would put five-digit-length big-integer vectors in
+	// every convolution, which measures bignum arithmetic rather than
+	// tree construction. Zero (the default) keeps the original
+	// all-endogenous behavior — and the original random stream, so
+	// seeded instances from earlier baselines are unchanged.
+	ExoRegFraction float64
+
+	Seed int64
 }
 
 // University builds a scaled instance of the Figure 1 schema: exogenous
@@ -77,7 +89,12 @@ func University(cfg UniversityConfig) *db.Database {
 			regs = cfg.Courses
 		}
 		for _, c := range rng.Perm(cfg.Courses)[:regs] {
-			d.MustAddEndo(db.NewFact("Reg", student(s), course(c)))
+			f := db.NewFact("Reg", student(s), course(c))
+			if cfg.ExoRegFraction > 0 && rng.Float64() < cfg.ExoRegFraction {
+				d.MustAddExo(f)
+			} else {
+				d.MustAddEndo(f)
+			}
 		}
 	}
 	return d
