@@ -21,15 +21,27 @@
 //	                                              # run, embed old.json as "before"
 //	go run ./cmd/benchreport -benchtime 20x       # override iteration count
 //	go run ./cmd/benchreport -cpu 1,2,4,8         # additionally record scaling curves
+//	go run ./cmd/benchreport -baseline BENCH.json -gate 'BenchmarkPrepareWorkload/exoshap=0.85'
+//	                                              # exit 1 on a >15% latency regression
 //
 // With -baseline, the report has the shape {"before": …, "after": …,
 // "speedup": {bench: before_ns/after_ns}}; without it, a flat run report.
+// Benches measured with -benchmem on both sides additionally get a
+// "bench#allocs" speedup key (before_allocs/after_allocs), so allocation
+// regressions on the pooled hot paths are visible in the same artifact
+// as the latency ones.
 // With -cpu, the workload benchmarks (the scaling subset) are re-run once
 // per GOMAXPROCS value and the per-cpu results land in "scaling":
 // {bench: {"4": {…, "cpus": 4}}}; scaling entries diff against a baseline
 // under "speedup" keys of the form "bench@4". Every result records the
 // GOMAXPROCS suffix go test printed ("cpus"), so a regression that only
 // shows at one parallelism level is visible in the artifact.
+// With -gate (requires -baseline), the tool becomes a CI regression
+// guard: each comma-separated prefix=min entry asserts that every
+// ns-based speedup key starting with the prefix stays at or above min
+// (allocation "#…" keys are informational and never gated); a prefix
+// that matches no key fails too, so a renamed benchmark cannot silently
+// disable its gate.
 // The tool shells out to `go test -run ^$ -bench …` (the Go toolchain is
 // a build-time dependency of this repository anyway) and parses the
 // standard benchmark output lines.
@@ -43,6 +55,7 @@ import (
 	"os/exec"
 	"regexp"
 	"runtime"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
@@ -209,12 +222,22 @@ func runTargets(benchtime, cpus string, verbose bool) (*Run, error) {
 }
 
 // speedups diffs the current run against a baseline: canonical benches
-// under their names, scaling entries under "name@cpus".
+// under their names, scaling entries under "name@cpus", and allocation
+// ratios under "name#allocs" / "name@cpus#allocs" when both runs carried
+// -benchmem counts.
 func speedups(before, cur *Run) map[string]float64 {
 	out := map[string]float64{}
+	diff := func(key string, b, after Result) {
+		if after.NsPerOp > 0 {
+			out[key] = b.NsPerOp / after.NsPerOp
+		}
+		if after.AllocsPerOp > 0 && b.AllocsPerOp > 0 {
+			out[key+"#allocs"] = b.AllocsPerOp / after.AllocsPerOp
+		}
+	}
 	for name, after := range cur.Benches {
-		if b, ok := before.Benches[name]; ok && after.NsPerOp > 0 {
-			out[name] = b.NsPerOp / after.NsPerOp
+		if b, ok := before.Benches[name]; ok {
+			diff(name, b, after)
 		}
 	}
 	for name, curve := range cur.Scaling {
@@ -223,12 +246,66 @@ func speedups(before, cur *Run) map[string]float64 {
 			continue
 		}
 		for cpus, after := range curve {
-			if b, ok := base[cpus]; ok && after.NsPerOp > 0 {
-				out[name+"@"+cpus] = b.NsPerOp / after.NsPerOp
+			if b, ok := base[cpus]; ok {
+				diff(name+"@"+cpus, b, after)
 			}
 		}
 	}
 	return out
+}
+
+// gateEntry is one parsed -gate requirement.
+type gateEntry struct {
+	Prefix string
+	Min    float64
+}
+
+// parseGates parses the -gate flag: comma-separated prefix=min entries.
+func parseGates(spec string) ([]gateEntry, error) {
+	var gates []gateEntry
+	for _, part := range strings.Split(spec, ",") {
+		prefix, minStr, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok || prefix == "" {
+			return nil, fmt.Errorf("bad -gate entry %q (want prefix=min)", part)
+		}
+		min, err := strconv.ParseFloat(minStr, 64)
+		if err != nil || min <= 0 {
+			return nil, fmt.Errorf("bad -gate minimum in %q (want a positive speedup ratio)", part)
+		}
+		gates = append(gates, gateEntry{Prefix: prefix, Min: min})
+	}
+	return gates, nil
+}
+
+// checkGates returns one violation message per failed gate, in sorted
+// key order. Only ns-based keys are gated: allocation "#…" keys stay
+// informational.
+func checkGates(gates []gateEntry, speedup map[string]float64) []string {
+	keys := make([]string, 0, len(speedup))
+	for key := range speedup {
+		keys = append(keys, key)
+	}
+	sort.Strings(keys)
+	var violations []string
+	for _, g := range gates {
+		matched := false
+		for _, key := range keys {
+			if strings.Contains(key, "#") || !strings.HasPrefix(key, g.Prefix) {
+				continue
+			}
+			matched = true
+			if v := speedup[key]; v < g.Min {
+				violations = append(violations,
+					fmt.Sprintf("%s: speedup %.3f below gate %.3f (a %.0f%% regression fails)",
+						key, v, g.Min, (1-g.Min)*100))
+			}
+		}
+		if !matched {
+			violations = append(violations,
+				fmt.Sprintf("gate %q matched no benchmark (renamed or missing from the baseline?)", g.Prefix))
+		}
+	}
+	return violations
 }
 
 func main() {
@@ -237,9 +314,23 @@ func main() {
 		baseline  = flag.String("baseline", "", "prior report to embed as \"before\" (a flat run or a before/after report, whose \"after\" is used)")
 		benchtime = flag.String("benchtime", "10x", "benchtime passed to go test")
 		cpu       = flag.String("cpu", "", "comma-separated GOMAXPROCS values (e.g. 1,2,4,8); when set, the workload benchmarks are re-run per value and recorded under \"scaling\"")
+		gate      = flag.String("gate", "", "regression gates as prefix=min,…: fail (exit 1) when any ns-based speedup key starting with prefix is below min; requires -baseline")
 		verbose   = flag.Bool("v", false, "stream go test output to stderr")
 	)
 	flag.Parse()
+
+	var gates []gateEntry
+	if *gate != "" {
+		var err error
+		if gates, err = parseGates(*gate); err != nil {
+			fmt.Fprintln(os.Stderr, "benchreport:", err)
+			os.Exit(2)
+		}
+		if *baseline == "" {
+			fmt.Fprintln(os.Stderr, "benchreport: -gate requires -baseline")
+			os.Exit(2)
+		}
+	}
 
 	cur, err := runTargets(*benchtime, *cpu, *verbose)
 	if err != nil {
@@ -248,6 +339,7 @@ func main() {
 	}
 
 	var report any = &Report{Run: cur}
+	var speedup map[string]float64
 	if *baseline != "" {
 		raw, err := os.ReadFile(*baseline)
 		if err != nil {
@@ -267,7 +359,8 @@ func main() {
 			fmt.Fprintln(os.Stderr, "benchreport: baseline has no benches")
 			os.Exit(1)
 		}
-		report = &Report{Before: before, After: cur, Speedup: speedups(before, cur)}
+		speedup = speedups(before, cur)
+		report = &Report{Before: before, After: cur, Speedup: speedup}
 	}
 
 	enc, err := json.MarshalIndent(report, "", "  ")
@@ -278,11 +371,20 @@ func main() {
 	enc = append(enc, '\n')
 	if *out == "" {
 		os.Stdout.Write(enc)
-		return
+	} else {
+		if err := os.WriteFile(*out, enc, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "benchreport:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "benchreport: wrote %s (%d benches)\n", *out, len(cur.Benches))
 	}
-	if err := os.WriteFile(*out, enc, 0o644); err != nil {
-		fmt.Fprintln(os.Stderr, "benchreport:", err)
+
+	// Gates run after the report is written, so a failing CI job still
+	// uploads the artifact that explains the failure.
+	if violations := checkGates(gates, speedup); len(violations) > 0 {
+		for _, v := range violations {
+			fmt.Fprintln(os.Stderr, "benchreport: gate:", v)
+		}
 		os.Exit(1)
 	}
-	fmt.Fprintf(os.Stderr, "benchreport: wrote %s (%d benches)\n", *out, len(cur.Benches))
 }

@@ -1,0 +1,103 @@
+package main
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestParseBenchLines(t *testing.T) {
+	out := `
+goos: linux
+BenchmarkPrepareWorkload/exoshap-1.5k-8     	     100	   9125719 ns/op	 5120000 B/op	   37742 allocs/op
+BenchmarkPrepareWorkload/hierarchical-50k   	      10	 163815351 ns/op
+PASS
+`
+	got := parseBenchLines(out)
+	want := []parsedBench{
+		{Name: "BenchmarkPrepareWorkload/exoshap-1.5k", R: Result{
+			NsPerOp: 9125719, BytesPerOp: 5120000, AllocsPerOp: 37742, Iterations: 100, Cpus: 8}},
+		{Name: "BenchmarkPrepareWorkload/hierarchical-50k", R: Result{
+			NsPerOp: 163815351, Iterations: 10, Cpus: 1}},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("parseBenchLines:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+func TestSpeedupsIncludesAllocRatios(t *testing.T) {
+	before := &Run{
+		Benches: map[string]Result{
+			"B/x": {NsPerOp: 100, AllocsPerOp: 50},
+			"B/y": {NsPerOp: 200}, // no -benchmem count: no #allocs key
+		},
+		Scaling: map[string]map[string]Result{
+			"B/x": {"4": {NsPerOp: 40, AllocsPerOp: 50, Cpus: 4}},
+		},
+	}
+	cur := &Run{
+		Benches: map[string]Result{
+			"B/x": {NsPerOp: 10, AllocsPerOp: 5},
+			"B/y": {NsPerOp: 100, AllocsPerOp: 7},
+			"B/z": {NsPerOp: 1}, // new bench: no baseline, no keys
+		},
+		Scaling: map[string]map[string]Result{
+			"B/x": {"4": {NsPerOp: 10, AllocsPerOp: 10, Cpus: 4}},
+		},
+	}
+	got := speedups(before, cur)
+	want := map[string]float64{
+		"B/x": 10, "B/x#allocs": 10,
+		"B/y":   2,
+		"B/x@4": 4, "B/x@4#allocs": 5,
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("speedups:\n got %v\nwant %v", got, want)
+	}
+}
+
+func TestParseGates(t *testing.T) {
+	gates, err := parseGates("BenchmarkPrepareWorkload/exoshap=0.85, B=1.5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []gateEntry{
+		{Prefix: "BenchmarkPrepareWorkload/exoshap", Min: 0.85},
+		{Prefix: "B", Min: 1.5},
+	}
+	if !reflect.DeepEqual(gates, want) {
+		t.Fatalf("parseGates: got %+v, want %+v", gates, want)
+	}
+	for _, bad := range []string{"", "noequals", "=0.5", "p=", "p=zero", "p=-1"} {
+		if _, err := parseGates(bad); err == nil {
+			t.Errorf("parseGates(%q): expected error", bad)
+		}
+	}
+}
+
+func TestCheckGates(t *testing.T) {
+	speedup := map[string]float64{
+		"BenchmarkPrepareWorkload/exoshap-1.5k":       0.90,
+		"BenchmarkPrepareWorkload/exoshap-50k":        0.80,
+		"BenchmarkPrepareWorkload/exoshap-50k#allocs": 0.10, // informational, never gated
+		"BenchmarkPrepareWorkload/hierarchical-50k":   0.50, // outside the prefix
+	}
+	gate := []gateEntry{{Prefix: "BenchmarkPrepareWorkload/exoshap", Min: 0.85}}
+
+	violations := checkGates(gate, speedup)
+	if len(violations) != 1 || !strings.Contains(violations[0], "exoshap-50k") {
+		t.Fatalf("want exactly the exoshap-50k violation, got %v", violations)
+	}
+
+	// All above the bar: clean.
+	speedup["BenchmarkPrepareWorkload/exoshap-50k"] = 0.86
+	if v := checkGates(gate, speedup); len(v) != 0 {
+		t.Fatalf("want no violations, got %v", v)
+	}
+
+	// A prefix matching nothing must fail rather than silently pass.
+	ghost := []gateEntry{{Prefix: "BenchmarkRenamed", Min: 0.85}}
+	if v := checkGates(ghost, speedup); len(v) != 1 || !strings.Contains(v[0], "matched no benchmark") {
+		t.Fatalf("want the no-match violation, got %v", v)
+	}
+}

@@ -107,6 +107,7 @@ func main() {
 		mode      = flag.String("mode", "worker", "process role: worker (serve databases) or router (shard requests across a worker fleet)")
 		workers   = flag.Int("workers", 0, "default worker-pool size for mode=all requests (0 = GOMAXPROCS)")
 		prepPar   = flag.Int("prepare-parallelism", 0, "DP-tree builder concurrency for plan preparation and PATCH rebuilds (0/1 = sequential, negative = GOMAXPROCS)")
+		spawnCost = flag.Int("prepare-spawn-cost", 0, "cost threshold below which the parallel DP-tree builder keeps a subtree inline instead of spawning it (0 = calibrated default; unit ≈ one u64-representation fact)")
 		cacheSize = flag.Int("cache-size", server.DefaultCacheSize, "plan-cache capacity in entries")
 		drain     = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain timeout")
 		logLevel  = flag.String("log-level", "info", "log level: debug, info, warn or error (debug enables per-request access logs)")
@@ -144,6 +145,7 @@ func main() {
 		srv := server.New(server.Options{
 			Workers:              *workers,
 			PrepareParallelism:   *prepPar,
+			PrepareSpawnCost:     *spawnCost,
 			CacheSize:            *cacheSize,
 			Logger:               logger,
 			SlowRequestThreshold: *slowQuery,

@@ -69,9 +69,12 @@ type satCountContext struct {
 // immediately preceding snapshot of the same plan: its tree guides child
 // matching and lets interior nodes update their convolution products by
 // exact division (combinat.Deconvolve) instead of re-convolving. Passing
-// nil for both computes everything from scratch. par is the builder
-// concurrency (see WithPrepareParallelism); ≤ 1 builds sequentially.
-func newSatCountContext(d *db.Database, q *query.CQ, memo *satMemo, prev *satCountContext, par int) (*satCountContext, error) {
+// nil for both computes everything from scratch. cfg carries the builder
+// concurrency, spawn-cost threshold and scratch pool (see buildConfig).
+// padded names the relations the indexed ExoShap transform emitted at
+// projected arity: their rows are split into lazily expanded pad groups
+// before construction (see dppad.go); nil everywhere else.
+func newSatCountContext(d *db.Database, q *query.CQ, padded map[string]bool, memo *satMemo, prev *satCountContext, cfg buildConfig) (*satCountContext, error) {
 	if err := q.Validate(); err != nil {
 		return nil, err
 	}
@@ -89,8 +92,9 @@ func newSatCountContext(d *db.Database, q *query.CQ, memo *satMemo, prev *satCou
 	if prev != nil && prev.root != nil && prev.q.String() == q.String() {
 		prevRoot, label = prev.root, prev.root.label
 	}
-	b := newTreeBuilder(memo, par)
-	root, err := b.build(q, nil, label, factPtrs(d), false, prevRoot, 0)
+	b := newTreeBuilder(memo, cfg)
+	facts, pads := splitPadGroups(factPtrs(d), padded)
+	root, err := b.build(q, nil, label, facts, pads, false, prevRoot, 0)
 	if err != nil {
 		return nil, err
 	}

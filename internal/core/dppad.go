@@ -1,0 +1,180 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/db"
+)
+
+// This file implements lazy Step-3 padding for the indexed ExoShap
+// transform (exoshap_indexed.go). A padded relation holds one row per
+// *projected* component-join answer (arity = the kept variables), but the
+// transformed query's atom for it carries extra pad variables — the dense
+// transform materializes dom^pad copies of every row to make the atom
+// unconstraining on those positions. Instead, the rows travel through the
+// DP-tree construction as padGroups beside the ordinary fact lists and
+// behave as if every pad extension existed:
+//
+//   - at a bucket level whose root variable sits at a kept position, the
+//     group subdivides by hash lookup on that position (rows with other
+//     values cannot be the atom's image in that bucket);
+//   - at a bucket level whose root variable sits at a pad position, every
+//     value child receives the group unchanged (the dense padding has every
+//     value there);
+//   - bucket values that only dense pad tuples would create are omitted
+//     entirely: the transform guarantees a positive covering atom with
+//     exactly the padded atom's variable set, so such a bucket has no fact
+//     of that (or any) relation, its subtree satisfies nothing, and its
+//     non-satisfying factor is the convolution identity [1] — omission is
+//     value-identical (and the padded rows are exogenous, so no Shapley
+//     value is lost);
+//   - at a ground leaf, all kept positions have been pinned by the descent,
+//     so a group carries at most one row, which joins the leaf's fact list
+//     and is matched by relation identity in groundBaseFacts like any other
+//     exogenous fact.
+//
+// Content keys stay consistent because nodeKey is an additive multiset
+// digest: a node's key folds in Σ row digests of its attached groups, so
+// it equals the key the same rows would produce inside the fact list, and
+// subdividing a group never changes the digest sum of what a child sees.
+
+// padGroup is a shared, immutable view of (a subdivision of) one padded
+// relation's rows. The rows slice and dig never change after the group is
+// published; byPos is a lazily built cache of per-position subdivisions,
+// guarded by mu because sibling subtrees built by parallel builders share
+// the group. Whichever builder wins the race constructs the subgroups from
+// the immutable rows, so the cache content is deterministic.
+type padGroup struct {
+	rel  string        // the padded relation
+	keep int           // stored row arity (= kept variables of the atom)
+	rows []*taggedFact // shared, exogenous, insertion order
+	dig  db.Digest     // Σ row content digests (see nodeKey)
+
+	mu    sync.Mutex
+	byPos map[int]map[db.Const]*padGroup
+}
+
+// at returns the subgroup of rows whose argument at pos equals v, or nil
+// when no row has that value (the caller then simply does not attach the
+// group to that child). pos must be a kept position (< keep).
+func (g *padGroup) at(pos int, v db.Const) *padGroup {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	sub, ok := g.byPos[pos]
+	if !ok {
+		sub = make(map[db.Const]*padGroup)
+		for _, tf := range g.rows {
+			val := tf.Fact.Args[pos]
+			s := sub[val]
+			if s == nil {
+				s = &padGroup{rel: g.rel, keep: g.keep}
+				sub[val] = s
+			}
+			s.rows = append(s.rows, tf)
+			s.dig = s.dig.Add(tf.ContentDigest())
+		}
+		if g.byPos == nil {
+			g.byPos = make(map[int]map[db.Const]*padGroup)
+		}
+		g.byPos[pos] = sub
+	}
+	return sub[v]
+}
+
+// splitPadGroups separates the rows of lazily padded relations (marked by
+// the indexed ExoShap transform) out of a fact list into shared padGroups,
+// in first-occurrence order. With no padded relations the input list is
+// returned as is — the hierarchical, UCQ and dense-ExoShap paths pay one
+// nil check and nothing else.
+func splitPadGroups(facts []*taggedFact, padded map[string]bool) ([]*taggedFact, []*padGroup) {
+	if len(padded) == 0 {
+		return facts, nil
+	}
+	groupOf := make(map[string]*padGroup, len(padded))
+	var groups []*padGroup
+	rest := make([]*taggedFact, 0, len(facts))
+	for _, tf := range facts {
+		if !padded[tf.Fact.Rel] {
+			rest = append(rest, tf)
+			continue
+		}
+		g := groupOf[tf.Fact.Rel]
+		if g == nil {
+			g = &padGroup{rel: tf.Fact.Rel, keep: len(tf.Fact.Args)}
+			groupOf[tf.Fact.Rel] = g
+			groups = append(groups, g)
+		}
+		g.rows = append(g.rows, tf)
+		g.dig = g.dig.Add(tf.ContentDigest())
+	}
+	return rest, groups
+}
+
+// routePadsBuckets distributes a bucket node's pad groups over its value
+// children: a group whose relation carries the root variable at a kept
+// position subdivides per value, one carrying it at a pad position is
+// universal there and every child receives it whole. A nil result (no
+// groups, or no surviving subgroups) adds nothing to any child.
+func routePadsBuckets(shape *dpShape, values []db.Const, pads []*padGroup) ([][]*padGroup, error) {
+	if len(pads) == 0 {
+		return nil, nil
+	}
+	out := make([][]*padGroup, len(values))
+	for _, g := range pads {
+		pos, ok := shape.posOf[g.rel]
+		if !ok {
+			return nil, fmt.Errorf("core: internal error: padded relation %s missing from bucket shape", g.rel)
+		}
+		if pos >= g.keep {
+			for bi := range values {
+				out[bi] = append(out[bi], g)
+			}
+			continue
+		}
+		for bi, v := range values {
+			if sub := g.at(pos, v); sub != nil {
+				out[bi] = append(out[bi], sub)
+			}
+		}
+	}
+	return out, nil
+}
+
+// routePadsProduct distributes a product node's pad groups to the
+// component owning each padded relation.
+func routePadsProduct(shape *dpShape, ncomp int, pads []*padGroup) ([][]*padGroup, error) {
+	if len(pads) == 0 {
+		return nil, nil
+	}
+	out := make([][]*padGroup, ncomp)
+	for _, g := range pads {
+		ci, ok := shape.relOf[g.rel]
+		if !ok {
+			return nil, fmt.Errorf("core: internal error: padded relation %s outside every component", g.rel)
+		}
+		out[ci] = append(out[ci], g)
+	}
+	return out, nil
+}
+
+// groundPadRows materializes a ground leaf's fact list with its pad rows
+// appended. Every kept position of a group reaching ground depth has been
+// pinned by the bucket descent (each of the padded atom's variables occurs
+// exactly once, kept ones at positions < keep), so a group holds at most
+// one row here. relevant is copied before appending: child fact slices
+// share backing arrays with their siblings.
+func groundPadRows(relevant []*taggedFact, pads []*padGroup) ([]*taggedFact, error) {
+	if len(pads) == 0 {
+		return relevant, nil
+	}
+	out := make([]*taggedFact, len(relevant), len(relevant)+len(pads))
+	copy(out, relevant)
+	for _, g := range pads {
+		if len(g.rows) > 1 {
+			return nil, fmt.Errorf("core: internal error: pad group %s reached a ground leaf with %d rows", g.rel, len(g.rows))
+		}
+		out = append(out, g.rows...)
+	}
+	return out, nil
+}

@@ -615,17 +615,40 @@ type treeBuilder struct {
 	// waiting for a permit and degenerates to plain recursion at par ≤ 1.
 	par    int
 	tokens chan struct{}
+
+	// spawnCost is the fan-out threshold in cost units (see buildChild.
+	// cost); children estimated below it always build inline. scratch,
+	// when non-nil, recycles work lists and diff sets across builds.
+	spawnCost int
+	scratch   *scratchPool
 }
 
-// newTreeBuilder sizes a builder for par-way construction. Shallow
+// buildConfig bundles the knobs a treeBuilder is sized with: the builder
+// concurrency (see WithPrepareParallelism), the spawn threshold of the
+// fan-out cost model (see WithSpawnCost; ≤ 0 means spawnCostDefault) and
+// the engine's scratch pool (nil allocates per use). The zero value is a
+// sequential, unpooled build with default thresholds — what the
+// deprecated Solver shims use.
+type buildConfig struct {
+	par       int
+	spawnCost int
+	scratch   *scratchPool
+}
+
+// newTreeBuilder sizes a builder for cfg-way construction. Shallow
 // emulation stays sequential — it exists to reproduce the pre-IR
 // engine's sequential cost model, and its unit recompute path reads the
 // concrete query off the parent mid-build.
-func newTreeBuilder(memo *satMemo, par int) *treeBuilder {
+func newTreeBuilder(memo *satMemo, cfg buildConfig) *treeBuilder {
+	par := cfg.par
 	if memo != nil && memo.shallow {
 		par = 1
 	}
-	b := &treeBuilder{memo: memo, par: par}
+	sc := cfg.spawnCost
+	if sc <= 0 {
+		sc = spawnCostDefault
+	}
+	b := &treeBuilder{memo: memo, par: par, spawnCost: sc, scratch: cfg.scratch}
 	if par > 1 {
 		b.tokens = make(chan struct{}, par-1)
 		for i := 0; i < par-1; i++ {
@@ -635,11 +658,17 @@ func newTreeBuilder(memo *satMemo, par int) *treeBuilder {
 	return b
 }
 
-// key computes a node's content address (see nodeKey).
-func (b *treeBuilder) key(label string, facts []*taggedFact) string {
+// key computes a node's content address (see nodeKey). Attached pad
+// groups fold in their row-digest sums: the additive multiset digest makes
+// the key identical to what the same rows inside the fact list would
+// yield, and independent of how the groups happen to be subdivided.
+func (b *treeBuilder) key(label string, facts []*taggedFact, pads []*padGroup) string {
 	var dig db.Digest
 	for _, tf := range facts {
 		dig = dig.Add(tf.ContentDigest())
+	}
+	for _, g := range pads {
+		dig = dig.Add(g.dig)
 	}
 	var w [32]byte
 	for i, x := range dig {
@@ -688,13 +717,57 @@ type buildChild struct {
 	shape       *dpShape
 	label       string
 	facts       []*taggedFact
+	pads        []*padGroup
 	prefiltered bool
 	prev        *dpNode
 }
 
-// parallelGrain is the smallest fact list worth handing to another
-// goroutine; tinier children are cheaper to build inline than to fan out.
-const parallelGrain = 4
+// spawnCostDefault is the smallest estimated child cost worth handing to
+// another goroutine; cheaper children build inline rather than pay the
+// handoff. In cost units, one unit ≈ building one u64-representation fact
+// (the unit the old fixed parallelGrain=4 fact threshold was implicitly
+// calibrated in). Tunable per engine via WithSpawnCost.
+const spawnCostDefault = 4
+
+// repWeight scales a child's size by the numeric representation its
+// subtree convolves on, which follows from its endogenous fact count
+// (vectors span endo+1 coefficients; see internal/numeric). The weights
+// come from the convolution kernel benchmarks (BenchmarkConvolve):
+// per-coefficient cost of the two-word u128 kernel is ≈3× the u64 kernel's
+// and the big.Int path ≈16×, so a wide-representation child of the same
+// fact count is worth spawning much earlier.
+func repWeight(endo int) int {
+	switch {
+	case endo > 128:
+		return 16
+	case endo > 64:
+		return 3
+	default:
+		return 1
+	}
+}
+
+// cost estimates a child subtree's build cost for the fan-out decision:
+// routed size (facts plus lazily padded rows) scaled by the numeric
+// representation weight. Ground leaves are free — a leaf is one
+// ShiftedBinomial evaluation no matter how its facts count, and spawning
+// it costs more than building it.
+func (k *buildChild) cost() int {
+	if k.shape != nil && k.shape.kind == nodeGround {
+		return 0
+	}
+	n := len(k.facts)
+	endo := 0
+	for _, tf := range k.facts {
+		if tf.Endo {
+			endo++
+		}
+	}
+	for _, g := range k.pads {
+		n += len(g.rows)
+	}
+	return n * repWeight(endo)
+}
 
 // buildChildren constructs independent sibling subtrees — bucket values,
 // product components, or union disjuncts. With par ≤ 1 it is plain
@@ -716,7 +789,7 @@ func (b *treeBuilder) buildChildren(kids []buildChild, depth int) ([]*dpNode, er
 	if b.par <= 1 || len(kids) < 2 {
 		for i := range kids {
 			k := &kids[i]
-			child, err := b.build(k.q, k.shape, k.label, k.facts, k.prefiltered, k.prev, depth)
+			child, err := b.build(k.q, k.shape, k.label, k.facts, k.pads, k.prefiltered, k.prev, depth)
 			if err != nil {
 				return nil, err
 			}
@@ -741,7 +814,7 @@ func (b *treeBuilder) buildChildren(kids []buildChild, depth int) ([]*dpNode, er
 	for i := range kids {
 		k := &kids[i]
 		spawned := false
-		if len(k.facts) >= parallelGrain {
+		if k.cost() >= b.spawnCost {
 			select {
 			case tok := <-b.tokens:
 				spawned = true
@@ -749,7 +822,7 @@ func (b *treeBuilder) buildChildren(kids []buildChild, depth int) ([]*dpNode, er
 				go func(i int, k *buildChild) {
 					defer wg.Done()
 					defer func() { b.tokens <- tok }()
-					child, err := b.build(k.q, k.shape, k.label, k.facts, k.prefiltered, k.prev, depth)
+					child, err := b.build(k.q, k.shape, k.label, k.facts, k.pads, k.prefiltered, k.prev, depth)
 					if err != nil {
 						record(i, err)
 						return
@@ -760,7 +833,7 @@ func (b *treeBuilder) buildChildren(kids []buildChild, depth int) ([]*dpNode, er
 			}
 		}
 		if !spawned {
-			child, err := b.build(k.q, k.shape, k.label, k.facts, k.prefiltered, k.prev, depth)
+			child, err := b.build(k.q, k.shape, k.label, k.facts, k.pads, k.prefiltered, k.prev, depth)
 			if err != nil {
 				record(i, err)
 				break
@@ -783,6 +856,10 @@ func (b *treeBuilder) buildChildren(kids []buildChild, depth int) ([]*dpNode, er
 //     shape.
 //   - shape is the shared structural analysis; nil means derive it from q
 //     (entry points).
+//   - pads carries the lazily padded ExoShap rows routed into this
+//     subtree (see dppad.go); nil everywhere outside the indexed-ExoShap
+//     path. Pad rows are exogenous and bypass the relevance scan (their
+//     stored arity is the projected one, not the atom's).
 //   - prefiltered marks fact lists produced by bucket or component
 //     routing: every such fact is already known to participate in the
 //     core dynamic program, so the per-fact pattern scan is skipped and
@@ -793,16 +870,20 @@ func (b *treeBuilder) buildChildren(kids []buildChild, depth int) ([]*dpNode, er
 //     re-convolving.
 //
 //repolint:allow nodeimmut: node construction — fields are written before the node is interned and published
-func (b *treeBuilder) build(q *query.CQ, shape *dpShape, label string, facts []*taggedFact, prefiltered bool, prev *dpNode, depth int) (*dpNode, error) {
+func (b *treeBuilder) build(q *query.CQ, shape *dpShape, label string, facts []*taggedFact, pads []*padGroup, prefiltered bool, prev *dpNode, depth int) (*dpNode, error) {
 	if label == "" {
 		label = hashLabel(q.String())
 	}
-	key := b.key(label, facts)
+	key := b.key(label, facts, pads)
 	if n, ok := b.lookup(key, depth); ok {
 		return n, nil
 	}
 	b.miss()
 	if b.memo != nil && b.memo.shallow && depth >= 1 {
+		// Shallow emulation never sees pads: the prepare path dispatches
+		// the dense transform under a shallow memo, because opaque units
+		// recompute materialized sub-instances with the reference
+		// recursion, which cannot expand lazy padding.
 		return b.buildOpaque(q, label, key, facts, depth)
 	}
 	if shape == nil {
@@ -851,7 +932,11 @@ func (b *treeBuilder) build(q *query.CQ, shape *dpShape, label string, facts []*
 		if prev != nil && (prev.kind != nodeProduct || len(prev.children) != len(shape.children)) {
 			prev = nil
 		}
-		kids := make([]buildChild, len(shape.children))
+		childPads, err := routePadsProduct(shape, len(shape.children), pads)
+		if err != nil {
+			return nil, err
+		}
+		kids := b.scratch.getKids(len(shape.children))
 		for ci := range shape.children {
 			rels := shape.compRels[ci]
 			var childFacts []*taggedFact
@@ -871,23 +956,33 @@ func (b *treeBuilder) build(q *query.CQ, shape *dpShape, label string, facts []*
 				// the shape's representative is exactly it.
 				childQ = shape.subQs[ci]
 			}
+			var kp []*padGroup
+			if childPads != nil {
+				kp = childPads[ci]
+			}
 			kids[ci] = buildChild{
 				q: childQ, shape: shape.children[ci],
 				label: b.componentChildLabel(label, ci),
-				facts: childFacts, prefiltered: true, prev: childPrev,
+				facts: childFacts, pads: kp, prefiltered: true, prev: childPrev,
 			}
 		}
-		var err error
-		if n.children, err = b.buildChildren(kids, depth+1); err != nil {
+		children, err := b.buildChildren(kids, depth+1)
+		b.scratch.putKids(kids)
+		if err != nil {
 			return nil, err
 		}
-		if err := n.combine(prev, &b.stats); err != nil {
+		n.children = children
+		if err := n.combine(prev, &b.stats, b.scratch); err != nil {
 			return nil, err
 		}
 
 	case nodeGround:
-		n.facts = relevant
-		n.core = groundBaseFacts(relevant, shape.lits)
+		leafFacts, err := groundPadRows(relevant, pads)
+		if err != nil {
+			return nil, err
+		}
+		n.facts = leafFacts
+		n.core = groundBaseFacts(leafFacts, shape.lits)
 
 	default: // nodeBuckets
 		if prev != nil && prev.kind != nodeBuckets {
@@ -903,10 +998,19 @@ func (b *treeBuilder) build(q *query.CQ, shape *dpShape, label string, facts []*
 			n.values = append(n.values, v)
 		}
 		slices.Sort(n.values)
-		kids := make([]buildChild, len(n.values))
+		// Pad groups never create bucket values of their own: a value only
+		// dense pad tuples would carry has no covering-atom facts, so its
+		// subtree's non-satisfying factor is the identity and omitting it
+		// is value-identical (see dppad.go).
+		childPads, err := routePadsBuckets(shape, n.values, pads)
+		if err != nil {
+			return nil, err
+		}
+		kids := b.scratch.getKids(len(n.values))
 		for bi, v := range n.values {
 			childShape, err := shape.bucketChildShape(v)
 			if err != nil {
+				b.scratch.putKids(kids)
 				return nil, err
 			}
 			var childPrev *dpNode
@@ -919,17 +1023,23 @@ func (b *treeBuilder) build(q *query.CQ, shape *dpShape, label string, facts []*
 			if b.memo != nil && b.memo.shallow {
 				childQ = q.SubstituteVar(shape.rootVar, v)
 			}
+			var kp []*padGroup
+			if childPads != nil {
+				kp = childPads[bi]
+			}
 			kids[bi] = buildChild{
 				q: childQ, shape: childShape,
 				label: b.bucketChildLabel(label, v),
-				facts: buckets[v], prefiltered: true, prev: childPrev,
+				facts: buckets[v], pads: kp, prefiltered: true, prev: childPrev,
 			}
 		}
-		var err error
-		if n.children, err = b.buildChildren(kids, depth+1); err != nil {
+		children, err := b.buildChildren(kids, depth+1)
+		b.scratch.putKids(kids)
+		if err != nil {
 			return nil, err
 		}
-		if err := n.combine(prev, &b.stats); err != nil {
+		n.children = children
+		if err := n.combine(prev, &b.stats, b.scratch); err != nil {
 			return nil, err
 		}
 	}
@@ -971,7 +1081,7 @@ func (b *treeBuilder) buildOpaque(q *query.CQ, label, key string, facts []*tagge
 //repolint:allow nodeimmut: node construction — fields are written before the node is interned and published
 func (b *treeBuilder) buildUnion(u *query.UCQ, relOf map[string]int, facts []*taggedFact, prev *dpNode) (*dpNode, error) {
 	label := hashLabel(unionLabelPrefix + u.String())
-	key := b.key(label, facts)
+	key := b.key(label, facts, nil)
 	if n, ok := b.lookup(key, 0); ok {
 		return n, nil
 	}
@@ -1010,7 +1120,7 @@ func (b *treeBuilder) buildUnion(u *query.UCQ, relOf map[string]int, facts []*ta
 	if n.children, err = b.buildChildren(kids, 1); err != nil {
 		return nil, err
 	}
-	if err := n.combine(prev, &b.stats); err != nil {
+	if err := n.combine(prev, &b.stats, b.scratch); err != nil {
 		return nil, err
 	}
 	n.finish()
@@ -1026,13 +1136,13 @@ func (b *treeBuilder) buildUnion(u *query.UCQ, relOf map[string]int, facts []*ta
 // commutative and exact.
 //
 //repolint:allow nodeimmut: construction epilogue — runs on the not-yet-interned node being built
-func (n *dpNode) combine(prev *dpNode, st *BuildStats) error {
+func (n *dpNode) combine(prev *dpNode, st *BuildStats, pool *scratchPool) error {
 	for i := range n.children {
 		if n.childFactorZero(i) {
 			n.zeros++
 		}
 	}
-	n.prod = n.maintainProd(prev, st)
+	n.prod = n.maintainProd(prev, st, pool)
 	switch n.kind {
 	case nodeProduct:
 		// The conjunction holds iff it holds componentwise; counts convolve.
@@ -1084,13 +1194,15 @@ func (n *dpNode) finish() {
 // the plain convolution chain is the cheaper exact route. Both routes
 // yield the identical integer vector, since convolution of subset-count
 // vectors is commutative and exact.
-func (n *dpNode) maintainProd(prev *dpNode, st *BuildStats) numeric.Vec {
+func (n *dpNode) maintainProd(prev *dpNode, st *BuildStats, pool *scratchPool) numeric.Vec {
 	if prev != nil && !prev.prod.IsEmpty() {
-		oldKeys := make(map[string]bool, len(prev.children))
+		oldKeys := pool.getKeys()
+		defer pool.putKeys(oldKeys)
 		for _, c := range prev.children {
 			oldKeys[c.key] = true
 		}
-		curKeys := make(map[string]bool, len(n.children))
+		curKeys := pool.getKeys()
+		defer pool.putKeys(curKeys)
 		for _, c := range n.children {
 			curKeys[c.key] = true
 		}
@@ -1284,13 +1396,42 @@ func splitToggled(facts []*taggedFact, f db.Fact) (dw, dwo *db.Database, err err
 	return dw, dwo, nil
 }
 
+// toggleScratch recycles the two tiny toggled-variant slices of
+// toggleGround: ShapleyAll calls it once per (fact, spine leaf) pair, which
+// on warm serving paths made it the single largest allocation site.
+// Package-level (not per-engine) because toggle runs on immutable shared
+// trees with no engine in reach; sync.Pool keeps it race-safe.
+type toggleScratch struct {
+	with, wo []*taggedFact
+}
+
+var toggleScratchPool = sync.Pool{New: func() any { return &toggleScratch{} }}
+
+func (ts *toggleScratch) release() {
+	for i := range ts.with {
+		ts.with[i] = nil
+	}
+	for i := range ts.wo {
+		ts.wo[i] = nil
+	}
+	ts.with, ts.wo = ts.with[:0], ts.wo[:0]
+	toggleScratchPool.Put(ts)
+}
+
 // toggleGround recomputes the Lemma 3.2 base case with f toggled; the
 // leaf's fact set is tiny (at most one fact per ground atom), so the two
 // toggled variants are plain slices — no database is materialized.
 func (n *dpNode) toggleGround(f db.Fact) (with, without numeric.Vec, err error) {
 	key := f.Key()
-	withFacts := make([]*taggedFact, 0, len(n.facts))
-	woFacts := make([]*taggedFact, 0, len(n.facts))
+	ts := toggleScratchPool.Get().(*toggleScratch)
+	withFacts := ts.with[:0]
+	woFacts := ts.wo[:0]
+	defer func() {
+		// Hand the (possibly grown) backing arrays back before recycling;
+		// groundBaseFacts has consumed them by the time we return.
+		ts.with, ts.wo = withFacts, woFacts
+		ts.release()
+	}()
 	found := false
 	for _, tf := range n.facts {
 		if tf.Key == key {

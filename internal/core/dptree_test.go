@@ -31,7 +31,7 @@ func TestDPTreeRootMatchesSatCountVector(t *testing.T) {
 		if err != nil {
 			t.Fatalf("%s: reference: %v\nDB:\n%s", q, err, d)
 		}
-		c, err := newSatCountContext(d, q, newSatMemo(), nil, 1)
+		c, err := newSatCountContext(d, q, nil, newSatMemo(), nil, buildConfig{par: 1})
 		if err != nil {
 			t.Fatalf("%s: tree: %v\nDB:\n%s", q, err, d)
 		}

@@ -20,10 +20,16 @@ import (
 //
 // An Engine is safe for concurrent use.
 type Engine struct {
-	workers int
-	prepPar int
-	brute   bool
-	exo     map[string]bool
+	workers   int
+	prepPar   int
+	spawnCost int
+	brute     bool
+	exo       map[string]bool
+
+	// scratch recycles DP-tree construction scratch (see scratchPool)
+	// across every build this engine runs — fresh Prepare, PrepareFrom
+	// seeding and Plan.Apply spine rebuilds alike.
+	scratch *scratchPool
 }
 
 // EngineOption configures an Engine at construction.
@@ -44,6 +50,18 @@ func WithWorkers(n int) EngineOption {
 // uses up to n concurrent builders; negative means runtime.GOMAXPROCS(0).
 func WithPrepareParallelism(n int) EngineOption {
 	return func(e *Engine) { e.prepPar = n }
+}
+
+// WithSpawnCost sets the cost threshold below which parallel DP-tree
+// construction builds a child inline instead of handing it to another
+// builder goroutine. A child's cost estimate is its fact count weighted by
+// the numeric representation its endogenous count implies (see
+// buildChild.cost); one unit is roughly one u64-vector fact. Zero or
+// negative keeps the calibrated default. Higher values spawn less (cheaper
+// coordination, less overlap), lower values spawn more. The result is
+// bit-identical at any setting; only wall-clock changes.
+func WithSpawnCost(n int) EngineOption {
+	return func(e *Engine) { e.spawnCost = n }
 }
 
 // WithBruteForce enables the exponential subset-enumeration fallback for
@@ -71,11 +89,21 @@ func WithExoRelations(rels ...string) EngineOption {
 // option set matches the zero Solver: no exogenous relations, no
 // brute-force fallback, GOMAXPROCS workers.
 func NewEngine(opts ...EngineOption) *Engine {
-	e := &Engine{}
+	e := &Engine{scratch: &scratchPool{}}
 	for _, o := range opts {
 		o(e)
 	}
 	return e
+}
+
+// buildConfig resolves the engine's DP-tree builder tuning for one
+// construction.
+func (e *Engine) buildConfig() buildConfig {
+	return buildConfig{
+		par:       e.PrepareParallelism(),
+		spawnCost: e.spawnCost,
+		scratch:   e.scratch,
+	}
 }
 
 // Workers returns the engine's default worker-pool size (0 = GOMAXPROCS).
@@ -120,7 +148,7 @@ func (e *Engine) Prepare(ctx context.Context, d *db.Database, q *query.CQ) (*Pla
 	defer sp.End()
 	memo := newSatMemo()
 	snap := d.Clone() // the plan owns its snapshot; ctx retains it
-	pb, err := prepareCQ(snap, q, e.exo, e.brute, prepExtras{memo: memo, par: e.PrepareParallelism()})
+	pb, err := prepareCQ(snap, q, e.exo, e.brute, prepExtras{memo: memo, cfg: e.buildConfig()})
 	if err != nil {
 		return nil, err
 	}
@@ -140,7 +168,7 @@ func (e *Engine) PrepareUCQ(ctx context.Context, d *db.Database, u *query.UCQ) (
 	defer sp.End()
 	memo := newSatMemo()
 	snap := d.Clone()
-	pb, err := prepareUCQ(snap, u, e.exo, e.brute, prepExtras{memo: memo, par: e.PrepareParallelism()})
+	pb, err := prepareUCQ(snap, u, e.exo, e.brute, prepExtras{memo: memo, cfg: e.buildConfig()})
 	if err != nil {
 		return nil, err
 	}
@@ -171,7 +199,7 @@ func (e *Engine) PrepareFrom(ctx context.Context, d *db.Database, seed *Plan) (*
 	prev := seed.pb
 	cq, ucq := seed.cq, seed.ucq
 	seed.mu.RUnlock()
-	ex := prepExtras{memo: memo, prev: prev, par: e.PrepareParallelism()}
+	ex := prepExtras{memo: memo, prev: prev, cfg: e.buildConfig()}
 	snap := d.Clone()
 	var (
 		pb  *PreparedBatch

@@ -32,7 +32,21 @@ type ExoShapStage struct {
 //     a covering non-exogenous atom, which exists by Lemma 4.4.
 //
 // The endogenous facts of D are carried over untouched.
+//
+// This public entry point materializes the transform densely: (D', q') is a
+// self-contained instance any algorithm — including the brute-force
+// reference — can evaluate directly, which is what the API, experiment and
+// differential-test callers rely on. The prepare path uses exoShapIndexed
+// (exoshap_indexed.go) instead, which represents complements implicitly and
+// defers Step-3 padding to the DP-tree builder; exoShapDense below is kept
+// verbatim as its differential reference.
 func ExoShapTransform(d *db.Database, q *query.CQ, exo map[string]bool) (*db.Database, *query.CQ, []ExoShapStage, error) {
+	return exoShapDense(d, q, exo)
+}
+
+// exoShapDense is the dense materialization of Algorithm 1 (see
+// ExoShapTransform for the contract).
+func exoShapDense(d *db.Database, q *query.CQ, exo map[string]bool) (*db.Database, *query.CQ, []ExoShapStage, error) {
 	if err := q.Validate(); err != nil {
 		return nil, nil, nil, err
 	}
@@ -98,11 +112,10 @@ func ExoShapTransform(d *db.Database, q *query.CQ, exo map[string]bool) (*db.Dat
 			continue
 		}
 		fresh := freshRel(work, cur, a.Rel+"_c")
-		old := factSet(work, a.Rel)
 		var compFacts []db.Fact
 		forEachTuple(dom, len(a.Args), func(tuple []db.Const) {
 			f := db.Fact{Rel: a.Rel, Args: append([]db.Const(nil), tuple...)}
-			if !old[f.Key()] {
+			if !work.Contains(f) {
 				compFacts = append(compFacts, db.Fact{Rel: fresh, Args: f.Args})
 			}
 		})
@@ -256,33 +269,30 @@ func coveringAtom(q *query.CQ, exo map[string]bool, vars []string) (query.Atom, 
 }
 
 // freshRel derives a relation name not used by the database or the query.
+// Database membership is an O(1) arity-map probe (the transform calls this
+// once per rewritten atom over progressively rebuilt databases, so the old
+// sorted-Relations sweep was O(relations²) across one transform).
 func freshRel(d *db.Database, q *query.CQ, base string) string {
 	base = strings.ReplaceAll(base, " ", "_")
-	used := make(map[string]bool)
-	for _, r := range d.Relations() {
-		used[r] = true
+	inQ := make(map[string]bool, len(q.Atoms))
+	for _, a := range q.Atoms {
+		inQ[a.Rel] = true
 	}
-	for _, r := range q.Relations() {
-		used[r] = true
+	used := func(name string) bool {
+		if inQ[name] {
+			return true
+		}
+		_, ok := d.Arity(name)
+		return ok
 	}
-	if !used[base] {
+	if !used(base) {
 		return base
 	}
 	for i := 2; ; i++ {
-		cand := fmt.Sprintf("%s%d", base, i)
-		if !used[cand] {
+		if cand := fmt.Sprintf("%s%d", base, i); !used(cand) {
 			return cand
 		}
 	}
-}
-
-// factSet returns the key set of one relation's facts.
-func factSet(d *db.Database, rel string) map[string]bool {
-	out := make(map[string]bool)
-	for _, f := range d.RelationFacts(rel) {
-		out[f.Key()] = true
-	}
-	return out
 }
 
 // dropRelation returns a copy of d without the given relation's facts.

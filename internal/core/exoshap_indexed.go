@@ -1,0 +1,298 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/db"
+	"repro/internal/query"
+)
+
+// This file is the indexed, near-linear variant of the ExoShap transform
+// (Algorithm 1). The dense variant (exoShapDense) materializes Step-1
+// complements and Step-3 padding as dom^k Cartesian products and evaluates
+// Step-2 component joins by scanning relations per join level, which caps
+// the ExoShap workloads around a thousand facts while the hierarchical path
+// runs fifty times larger. The indexed variant produces a value-equivalent
+// instance from three changes:
+//
+//  1. Implicit complements. A negated exogenous atom is never complemented
+//     into a dom^k relation. The component join keeps the atom negated and
+//     checks candidate tuples against the original relation's hash index —
+//     the complement is probed, not materialized. A component variable with
+//     no positive occurrence inside the component ranges over an explicit
+//     unary domain relation, which restores safety and is exactly the set
+//     the dense complement would have bound it to.
+//
+//  2. Fused component evaluation. Steps 1–3 touch each component of the
+//     exogenous atom graph independently, so the per-component join, the
+//     projection onto its non-exogenous variables and the complementing all
+//     run as one indexed query evaluation (query.Answers over the db hash
+//     indexes) that only ever emits the distinct projected rows Step 3
+//     would have kept.
+//
+//  3. Lazy padding. Step 3 pads each projected row with dom^pad copies so
+//     the padded atom never constrains the covering atom's extra variables.
+//     Instead, the transformed relation stores only the projected rows
+//     (arity = kept variables) and is marked padded; the DP-tree builder
+//     routes those rows as shared padGroups (dptree.go) that behave as
+//     universal on the pad positions — subdivided by hash lookup when a
+//     bucket level pins a kept variable, passed through unchanged when it
+//     pins a pad variable. Bucket values only pad rows would create are
+//     omitted: the covering atom (positive, with exactly the padded atom's
+//     variable set) has no facts there, so that bucket's subtree satisfies
+//     nothing and contributes the identity factor to the parent product.
+//
+// The output plan is answer-identical at the value level; node content keys
+// legitimately differ from the dense tree's (the instances differ), which
+// is why the differential suite pins Shapley values, not tree structure.
+
+// errDenseFallback reports that the indexed transform cannot represent an
+// instance lazily: a component needs padding but no *positive* covering
+// atom exists (the identity-factor argument above needs one). The prepare
+// path catches it and falls back to the dense transform wholesale.
+var errDenseFallback = errors.New("core: indexed ExoShap needs a positive covering atom; falling back to the dense transform")
+
+// exoShapIndexed is the indexed ExoShap transform: same contract as
+// ExoShapTransform, but complements are implicit and padded relations are
+// emitted at projected arity with their names in padded (relation name →
+// true); the DP-tree builder expands them lazily (see splitPadGroups).
+// Callers that evaluate (d2, q2) directly — reference algorithms,
+// brute-force differentials — must use the dense transform instead.
+func exoShapIndexed(d *db.Database, q *query.CQ, exo map[string]bool) (*db.Database, *query.CQ, map[string]bool, error) {
+	if err := q.Validate(); err != nil {
+		return nil, nil, nil, err
+	}
+	if q.HasSelfJoin() {
+		return nil, nil, nil, ErrNotSelfJoinFree
+	}
+	if q.HasNonHierarchicalPath(exo) {
+		return nil, nil, nil, ErrIntractable
+	}
+	for rel := range exo {
+		if d.RelationEndogenous(rel) {
+			return nil, nil, nil, fmt.Errorf("%w: %s", ErrExoViolated, rel)
+		}
+	}
+
+	// Working domain: active domain of D plus the query's constants, sorted
+	// (see exoShapDense for why the extension matters).
+	dom := d.Domain()
+	seenC := make(map[db.Const]bool, len(dom))
+	for _, c := range dom {
+		seenC[c] = true
+	}
+	for _, a := range q.Atoms {
+		for _, tm := range a.Args {
+			if !tm.IsVar() && !seenC[tm.Const] {
+				seenC[tm.Const] = true
+				dom = append(dom, tm.Const)
+			}
+		}
+	}
+	sort.Slice(dom, func(i, j int) bool { return dom[i] < dom[j] })
+
+	nonExoCount := 0
+	qExoRels := make(map[string]bool)
+	for _, a := range q.Atoms {
+		if exo[a.Rel] {
+			qExoRels[a.Rel] = true
+		} else {
+			nonExoCount++
+		}
+	}
+	if nonExoCount == 0 {
+		return nil, nil, nil, fmt.Errorf("core: every atom of %s is over an exogenous relation; all Shapley values are trivially 0", q.Name())
+	}
+
+	// The exogenous atom graph is untouched by Step 1 (complementing keeps
+	// every atom's argument list), so components are computed directly on
+	// the input. Likewise a variable is exogenous after Steps 1–2 iff it
+	// occurs only in exogenous atoms of the input.
+	comps := q.ExoAtomComponents(exo)
+	exoVars := make(map[string]bool)
+	for _, x := range q.ExogenousVars(exo) {
+		exoVars[x] = true
+	}
+
+	// Evaluation database for the component joins: the exogenous facts the
+	// components range over, plus the explicit unary domain relation for
+	// variables with no positive occurrence inside their component. Only
+	// built when some component exists.
+	var (
+		evalDB *db.Database
+		domRel string
+	)
+	if len(comps) > 0 {
+		evalDB = db.New()
+		for _, ff := range d.FlaggedFacts() {
+			if qExoRels[ff.Fact.Rel] {
+				if err := evalDB.AddFlagged(ff); err != nil {
+					return nil, nil, nil, err
+				}
+			}
+		}
+		domRel = freshRel(evalDB, q, "Dom")
+		for _, c := range dom {
+			evalDB.MustAddExo(db.Fact{Rel: domRel, Args: []db.Const{c}})
+		}
+	}
+
+	// d2 starts as D minus the facts of the query's exogenous relations
+	// (their content moves into the per-component relations below);
+	// endogenous facts keep their insertion order, so EndoFacts order — and
+	// hence every result order — is unchanged.
+	d2 := db.New()
+	for _, ff := range d.FlaggedFacts() {
+		if !qExoRels[ff.Fact.Rel] {
+			if err := d2.AddFlagged(ff); err != nil {
+				return nil, nil, nil, err
+			}
+		}
+	}
+
+	padded := make(map[string]bool)
+	inComp := make(map[int]int) // atom index → component id
+	for ci, comp := range comps {
+		for _, ai := range comp {
+			inComp[ai] = ci
+		}
+	}
+	compAtom := make([]query.Atom, len(comps))
+	taken := make(map[string]bool) // names claimed by row-less components
+	for ci, comp := range comps {
+		// Union of the component's variables in first-occurrence order, and
+		// the subset with a positive occurrence inside the component.
+		var compVars []string
+		seen := make(map[string]bool)
+		positive := make(map[string]bool)
+		for _, ai := range comp {
+			for _, x := range q.Atoms[ai].Vars() {
+				if !seen[x] {
+					seen[x] = true
+					compVars = append(compVars, x)
+				}
+				if !q.Atoms[ai].Negated {
+					positive[x] = true
+				}
+			}
+		}
+		// Kept variables: the non-exogenous ones, in order (Step 3's
+		// projection target).
+		var keep []string
+		keepSet := make(map[string]bool)
+		for _, x := range compVars {
+			if !exoVars[x] {
+				keepSet[x] = true
+				keep = append(keep, x)
+			}
+		}
+		// Covering atom (Lemma 4.4). The dense transform takes the first
+		// covering non-exogenous atom regardless of polarity; when that
+		// choice needs no padding the lazy representation is not involved
+		// and we mirror it exactly. Otherwise padding is lazy, and the
+		// identity-factor argument for omitted buckets needs the covering
+		// atom to be positive.
+		beta, ok := coveringAtom(q, exo, keep)
+		if !ok {
+			return nil, nil, nil, fmt.Errorf("core: internal error: no covering non-exogenous atom for component %d (Lemma 4.4 violated?)", ci+1)
+		}
+		var pad []string
+		for _, x := range beta.Vars() {
+			if !keepSet[x] {
+				pad = append(pad, x)
+			}
+		}
+		if len(pad) > 0 && beta.Negated {
+			beta, ok = coveringAtomPositive(q, exo, keep)
+			if !ok {
+				return nil, nil, nil, errDenseFallback
+			}
+			pad = pad[:0]
+			for _, x := range beta.Vars() {
+				if !keepSet[x] {
+					pad = append(pad, x)
+				}
+			}
+		}
+
+		// Fused Steps 1–3: one indexed evaluation yielding the distinct
+		// projections of the component join onto the kept variables. The
+		// negated atoms stay negated (checked against the real relations —
+		// the implicit complement); variables with no positive occurrence
+		// range over the domain relation.
+		joinQ := &query.CQ{Label: "xjoin", Head: keep}
+		for _, ai := range comp {
+			joinQ.Atoms = append(joinQ.Atoms, q.Atoms[ai])
+		}
+		for _, x := range compVars {
+			if !positive[x] {
+				joinQ.Atoms = append(joinQ.Atoms, query.NewAtom(domRel, query.V(x)))
+			}
+		}
+		rows := joinQ.Answers(evalDB)
+
+		fresh := freshRel(d2, q, fmt.Sprintf("XJ%d", ci+1))
+		for taken[fresh] {
+			fresh = freshRel(d2, q, fresh+"x")
+		}
+		taken[fresh] = true
+		for _, row := range rows {
+			d2.MustAddExo(db.Fact{Rel: fresh, Args: row})
+		}
+		if len(pad) > 0 {
+			padded[fresh] = true
+		}
+		terms := make([]query.Term, 0, len(keep)+len(pad))
+		for _, x := range keep {
+			terms = append(terms, query.V(x))
+		}
+		for _, x := range pad {
+			terms = append(terms, query.V(x))
+		}
+		compAtom[ci] = query.NewAtom(fresh, terms...)
+	}
+
+	// Assemble q2 exactly as the dense Step 2 does: each component's atom
+	// appears at its first member's position; non-exogenous atoms pass
+	// through untouched (they cannot contain exogenous variables).
+	q2 := &query.CQ{Label: q.Label, Head: append([]string(nil), q.Head...)}
+	emitted := make(map[int]bool)
+	for ai, a := range q.Atoms {
+		if ci, isExo := inComp[ai]; isExo {
+			if !emitted[ci] {
+				emitted[ci] = true
+				q2.Atoms = append(q2.Atoms, compAtom[ci])
+			}
+			continue
+		}
+		q2.Atoms = append(q2.Atoms, a)
+	}
+	if !q2.IsHierarchical() {
+		return nil, nil, nil, fmt.Errorf("core: internal error: ExoShap output %s is not hierarchical", q2)
+	}
+	return d2, q2, padded, nil
+}
+
+// coveringAtomPositive is coveringAtom restricted to positive atoms, the
+// requirement of the lazy-padding representation (a negated covering atom
+// cannot anchor the omitted-bucket identity argument).
+func coveringAtomPositive(q *query.CQ, exo map[string]bool, vars []string) (query.Atom, bool) {
+	for _, a := range q.Atoms {
+		if exo[a.Rel] || a.Negated {
+			continue
+		}
+		all := true
+		for _, x := range vars {
+			if !a.HasVar(x) {
+				all = false
+				break
+			}
+		}
+		if all {
+			return a, true
+		}
+	}
+	return query.Atom{}, false
+}

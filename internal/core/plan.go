@@ -180,7 +180,7 @@ func (p *Plan) Apply(ctx context.Context, delta db.Delta) (db.Version, error) {
 		return p.version, err
 	}
 	memo := p.memo.next()
-	ex := prepExtras{memo: memo, prev: p.pb, par: p.eng.PrepareParallelism()}
+	ex := prepExtras{memo: memo, prev: p.pb, cfg: p.eng.buildConfig()}
 	var pb *PreparedBatch
 	if p.cq != nil {
 		pb, err = prepareCQ(newD, p.cq, p.eng.exo, p.eng.brute, ex)

@@ -207,7 +207,7 @@ func BenchmarkPlanApplyDeepDelta(b *testing.B) {
 			// genuinely absent (the plan is pre-delta), everything below
 			// them hits.
 			bld := &treeBuilder{memo: plan.memo.fork()}
-			if _, err := bld.build(nil, prevChild.shape, prevChild.label, bucketFacts, true, prevChild, 1); err != nil {
+			if _, err := bld.build(nil, prevChild.shape, prevChild.label, bucketFacts, nil, true, prevChild, 1); err != nil {
 				b.Fatal(err)
 			}
 		}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math/big"
 	"runtime"
@@ -208,9 +209,11 @@ type prepExtras struct {
 	memo *satMemo
 	prev *PreparedBatch
 
-	// par is the resolved DP-tree builder concurrency (see
-	// WithPrepareParallelism); 0 or 1 builds sequentially.
-	par int
+	// cfg carries the resolved DP-tree builder tuning: concurrency (see
+	// WithPrepareParallelism), the spawn-cost threshold driving token
+	// fan-out (WithSpawnCost) and the engine's scratch pool. The zero
+	// value builds sequentially without recycling.
+	cfg buildConfig
 }
 
 func (ex prepExtras) prevCtx() *satCountContext {
@@ -281,21 +284,13 @@ func prepareCQ(d *db.Database, q *query.CQ, exo map[string]bool, brute bool, ex 
 	}
 	switch {
 	case c.SelfJoinFree && c.Hierarchical:
-		ctx, err := newSatCountContext(d, q, ex.memo, ex.prevCtx(), ex.par)
+		ctx, err := newSatCountContext(d, q, nil, ex.memo, ex.prevCtx(), ex.cfg)
 		if err != nil {
 			return nil, err
 		}
 		p.ctx, p.method = ctx, MethodHierarchical
 	case c.SelfJoinFree && !c.HasNonHierPath:
-		d2, q2, _, err := ExoShapTransform(d, q, exo)
-		if err != nil {
-			return nil, err
-		}
-		// The transformed query is rebuilt per version; since the rebuild
-		// is deterministic, the previous version's tree still matches by
-		// content and every subtree the transform leaves unchanged is
-		// reused through the memo.
-		ctx, err := newSatCountContext(d2, q2, ex.memo, ex.prevCtx(), ex.par)
+		ctx, err := prepareExoShap(d, q, exo, ex)
 		if err != nil {
 			return nil, err
 		}
@@ -306,6 +301,34 @@ func prepareCQ(d *db.Database, q *query.CQ, exo map[string]bool, brute bool, ex 
 		return nil, ErrIntractable
 	}
 	return p, nil
+}
+
+// prepareExoShap runs the ExoShap arm of the dichotomy: the indexed
+// transform (implicit complements, lazy Step-3 padding; see
+// exoshap_indexed.go) unless shallow emulation is on — shallow units
+// recompute sub-instances with the reference recursion, which cannot see
+// lazily padded relations — or the instance needs padding without a
+// positive covering atom, in which case the dense transform is the exact
+// (if slower) fallback. The transformed query is rebuilt per version;
+// since the rebuild is deterministic, the previous version's tree still
+// matches by content and every subtree the transform leaves unchanged is
+// reused through the memo — and each version makes the same
+// dense-vs-indexed choice, so pad state never needs to be carried over.
+func prepareExoShap(d *db.Database, q *query.CQ, exo map[string]bool, ex prepExtras) (*satCountContext, error) {
+	if ex.memo == nil || !ex.memo.shallow {
+		d2, q2, padded, err := exoShapIndexed(d, q, exo)
+		if err == nil {
+			return newSatCountContext(d2, q2, padded, ex.memo, ex.prevCtx(), ex.cfg)
+		}
+		if !errors.Is(err, errDenseFallback) {
+			return nil, err
+		}
+	}
+	d2, q2, _, err := exoShapDense(d, q, exo)
+	if err != nil {
+		return nil, err
+	}
+	return newSatCountContext(d2, q2, nil, ex.memo, ex.prevCtx(), ex.cfg)
 }
 
 // prepareUCQ is prepareCQ for unions of CQ¬s.
@@ -321,7 +344,7 @@ func prepareUCQ(d *db.Database, u *query.UCQ, exo map[string]bool, brute bool, e
 		p.empty, p.method = true, MethodHierarchical
 		return p, nil
 	}
-	ctx, err := newUCQSatContext(d, u, ex.memo, ex.prevUCtx(), ex.par)
+	ctx, err := newUCQSatContext(d, u, ex.memo, ex.prevUCtx(), ex.cfg)
 	if err != nil {
 		if isUCQStructuralError(err) && brute {
 			p.bruteDB, p.bruteQ, p.method = d.Clone(), u, MethodBruteForce

@@ -1,0 +1,63 @@
+package core
+
+import "sync"
+
+// scratchPool recycles the short-lived slices and maps of DP-tree
+// construction — the per-node buildChild work lists and maintainProd's
+// child-key diff sets — across the builds of one Engine. Warm Prepare,
+// Apply and seeded-preparation paths allocate these at every interior
+// node, and on steady-state serving workloads they dominated allocs/op.
+// All methods are safe on a nil receiver (plain allocation, nothing
+// recycled), which is what the zero prepExtras of the deprecated Solver
+// shims and direct treeBuilder literals in tests get. sync.Pool makes the
+// recycling race-safe under parallel builders; recycled memory is cleared
+// on the way in so the pool never retains node or fact references.
+type scratchPool struct {
+	kids sync.Pool // *[]buildChild
+	keys sync.Pool // map[string]bool
+}
+
+// getKids returns a zeroed work list of n buildChild slots.
+func (p *scratchPool) getKids(n int) []buildChild {
+	if p != nil {
+		if v := p.kids.Get(); v != nil {
+			if s := *(v.(*[]buildChild)); cap(s) >= n {
+				return s[:n]
+			}
+		}
+	}
+	return make([]buildChild, n)
+}
+
+// putKids recycles a work list once buildChildren has joined (no spawned
+// builder holds a pointer into it after that). Slots are cleared so the
+// pool does not pin fact slices or previous-version nodes.
+func (p *scratchPool) putKids(kids []buildChild) {
+	if p == nil {
+		return
+	}
+	for i := range kids {
+		kids[i] = buildChild{}
+	}
+	kids = kids[:0]
+	p.kids.Put(&kids)
+}
+
+// getKeys returns an empty string-set for maintainProd's child diffs.
+func (p *scratchPool) getKeys() map[string]bool {
+	if p != nil {
+		if v := p.keys.Get(); v != nil {
+			return v.(map[string]bool)
+		}
+	}
+	return make(map[string]bool)
+}
+
+// putKeys recycles a diff set.
+func (p *scratchPool) putKeys(m map[string]bool) {
+	if p == nil {
+		return
+	}
+	clear(m)
+	p.keys.Put(m)
+}

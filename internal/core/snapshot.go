@@ -248,20 +248,17 @@ func importCQ(d *db.Database, q *query.CQ, exo map[string]bool, brute bool, root
 	}
 	switch {
 	case c.SelfJoinFree && c.Hierarchical:
-		ctx, err := importSatCountContext(d, q, root, memo)
+		ctx, err := importSatCountContext(d, q, nil, root, memo)
 		if err != nil {
 			return nil, err
 		}
 		p.ctx, p.method = ctx, MethodHierarchical
 	case c.SelfJoinFree && !c.HasNonHierPath:
-		// The DP-tree was built over the ExoShap-transformed instance;
-		// the transformation is deterministic, so replaying it yields the
-		// same tree the exporter walked.
-		d2, q2, _, err := ExoShapTransform(d, q, exo)
-		if err != nil {
-			return nil, err
-		}
-		ctx, err := importSatCountContext(d2, q2, root, memo)
+		// The DP-tree was built over the ExoShap-transformed instance; the
+		// transformation is deterministic — including the prepare path's
+		// indexed-vs-dense choice, which depends only on the query — so
+		// replaying it yields the same tree the exporter walked.
+		ctx, err := importExoShap(d, q, exo, root, memo)
 		if err != nil {
 			return nil, err
 		}
@@ -305,9 +302,28 @@ func importUCQ(d *db.Database, u *query.UCQ, exo map[string]bool, brute bool, ro
 	return p, nil
 }
 
+// importExoShap mirrors prepareExoShap's transform dispatch for a snapshot
+// import: indexed first, dense when the instance cannot be represented
+// lazily. Both sides of the choice are pure functions of (d, q, exo), so
+// importer and exporter always agree on which tree they are walking.
+func importExoShap(d *db.Database, q *query.CQ, exo map[string]bool, root *NodeSnapshot, memo *satMemo) (*satCountContext, error) {
+	d2, q2, padded, err := exoShapIndexed(d, q, exo)
+	if err == nil {
+		return importSatCountContext(d2, q2, padded, root, memo)
+	}
+	if !errors.Is(err, errDenseFallback) {
+		return nil, err
+	}
+	d2, q2, _, err2 := exoShapDense(d, q, exo)
+	if err2 != nil {
+		return nil, err2
+	}
+	return importSatCountContext(d2, q2, nil, root, memo)
+}
+
 // importSatCountContext mirrors newSatCountContext with the snapshot
 // replay in place of the builder.
-func importSatCountContext(d *db.Database, q *query.CQ, root *NodeSnapshot, memo *satMemo) (*satCountContext, error) {
+func importSatCountContext(d *db.Database, q *query.CQ, padded map[string]bool, root *NodeSnapshot, memo *satMemo) (*satCountContext, error) {
 	if err := q.Validate(); err != nil {
 		return nil, err
 	}
@@ -321,7 +337,8 @@ func importSatCountContext(d *db.Database, q *query.CQ, root *NodeSnapshot, memo
 		return nil, fmt.Errorf("%w: tractable plan without a DP-tree payload", ErrSnapshotMismatch)
 	}
 	im := &treeImporter{b: &treeBuilder{memo: memo}}
-	node, err := im.node(q, nil, "", factPtrs(d), false, root)
+	facts, pads := splitPadGroups(factPtrs(d), padded)
+	node, err := im.node(q, nil, "", facts, pads, false, root)
 	if err != nil {
 		return nil, err
 	}
@@ -371,7 +388,7 @@ type treeImporter struct {
 // preparation would construct) while validating each step against sn.
 //
 //repolint:allow nodeimmut: node construction — fields are written before the node is interned and published
-func (im *treeImporter) node(q *query.CQ, shape *dpShape, label string, facts []*taggedFact, prefiltered bool, sn *NodeSnapshot) (*dpNode, error) {
+func (im *treeImporter) node(q *query.CQ, shape *dpShape, label string, facts []*taggedFact, pads []*padGroup, prefiltered bool, sn *NodeSnapshot) (*dpNode, error) {
 	if sn == nil {
 		return nil, fmt.Errorf("%w: missing node payload", ErrSnapshotMismatch)
 	}
@@ -379,7 +396,7 @@ func (im *treeImporter) node(q *query.CQ, shape *dpShape, label string, facts []
 	if label == "" {
 		label = hashLabel(q.String())
 	}
-	key := b.key(label, facts)
+	key := b.key(label, facts, pads)
 	if n, ok := b.lookup(key, 0); ok {
 		return n, nil
 	}
@@ -433,6 +450,10 @@ func (im *treeImporter) node(q *query.CQ, shape *dpShape, label string, facts []
 			return nil, fmt.Errorf("%w: product node with %d components, snapshot has %d",
 				ErrSnapshotMismatch, len(shape.children), len(sn.Children))
 		}
+		childPads, err := routePadsProduct(shape, len(shape.children), pads)
+		if err != nil {
+			return nil, err
+		}
 		n.children = make([]*dpNode, len(shape.children))
 		for ci := range shape.children {
 			rels := shape.compRels[ci]
@@ -442,7 +463,11 @@ func (im *treeImporter) node(q *query.CQ, shape *dpShape, label string, facts []
 					childFacts = append(childFacts, tf)
 				}
 			}
-			child, err := im.node(nil, shape.children[ci], b.componentChildLabel(label, ci), childFacts, true, sn.Children[ci])
+			var kp []*padGroup
+			if childPads != nil {
+				kp = childPads[ci]
+			}
+			child, err := im.node(nil, shape.children[ci], b.componentChildLabel(label, ci), childFacts, kp, true, sn.Children[ci])
 			if err != nil {
 				return nil, err
 			}
@@ -456,8 +481,12 @@ func (im *treeImporter) node(q *query.CQ, shape *dpShape, label string, facts []
 		// Leaves are recomputed from the base case: cheap, and the
 		// recomputation cross-validates that fact routing agreed with the
 		// exporter all the way down.
-		n.facts = relevant
-		n.core = groundBaseFacts(relevant, shape.lits)
+		leafFacts, err := groundPadRows(relevant, pads)
+		if err != nil {
+			return nil, err
+		}
+		n.facts = leafFacts
+		n.core = groundBaseFacts(leafFacts, shape.lits)
 		n.finish()
 
 	default: // nodeBuckets
@@ -475,13 +504,21 @@ func (im *treeImporter) node(q *query.CQ, shape *dpShape, label string, facts []
 			n.values = append(n.values, v)
 		}
 		slices.Sort(n.values)
+		childPads, err := routePadsBuckets(shape, n.values, pads)
+		if err != nil {
+			return nil, err
+		}
 		n.children = make([]*dpNode, len(n.values))
 		for bi, v := range n.values {
 			childShape, err := shape.bucketChildShape(v)
 			if err != nil {
 				return nil, err
 			}
-			child, err := im.node(nil, childShape, b.bucketChildLabel(label, v), buckets[v], true, sn.Children[bi])
+			var kp []*padGroup
+			if childPads != nil {
+				kp = childPads[bi]
+			}
+			child, err := im.node(nil, childShape, b.bucketChildLabel(label, v), buckets[v], kp, true, sn.Children[bi])
 			if err != nil {
 				return nil, err
 			}
@@ -501,7 +538,7 @@ func (im *treeImporter) node(q *query.CQ, shape *dpShape, label string, facts []
 func (im *treeImporter) union(u *query.UCQ, relOf map[string]int, facts []*taggedFact, sn *NodeSnapshot) (*dpNode, error) {
 	b := im.b
 	label := hashLabel(unionLabelPrefix + u.String())
-	key := b.key(label, facts)
+	key := b.key(label, facts, nil)
 	if n, ok := b.lookup(key, 0); ok {
 		return n, nil
 	}
@@ -532,7 +569,7 @@ func (im *treeImporter) union(u *query.UCQ, relOf map[string]int, facts []*tagge
 	}
 	n.children = make([]*dpNode, len(u.Disjuncts))
 	for i, q := range u.Disjuncts {
-		child, err := im.node(q, nil, b.componentChildLabel(label, i), pools[i], false, sn.Children[i])
+		child, err := im.node(q, nil, b.componentChildLabel(label, i), pools[i], nil, false, sn.Children[i])
 		if err != nil {
 			return nil, err
 		}

@@ -39,8 +39,9 @@ func isUCQStructuralError(err error) bool {
 }
 
 // newUCQSatContext validates u and materializes the union DP-tree over d.
-// memo, prev and par play the same roles as in newSatCountContext.
-func newUCQSatContext(d *db.Database, u *query.UCQ, memo *satMemo, prev *ucqSatContext, par int) (*ucqSatContext, error) {
+// memo, prev and cfg play the same roles as in newSatCountContext. The UCQ
+// path never runs ExoShap, so there are no padded relations here.
+func newUCQSatContext(d *db.Database, u *query.UCQ, memo *satMemo, prev *ucqSatContext, cfg buildConfig) (*ucqSatContext, error) {
 	if err := u.Validate(); err != nil {
 		return nil, err
 	}
@@ -64,7 +65,7 @@ func newUCQSatContext(d *db.Database, u *query.UCQ, memo *satMemo, prev *ucqSatC
 	if prev != nil && prev.root != nil && prev.u.String() == u.String() {
 		prevRoot = prev.root
 	}
-	b := newTreeBuilder(memo, par)
+	b := newTreeBuilder(memo, cfg)
 	root, err := b.buildUnion(u, relOf, factPtrs(d), prevRoot)
 	if err != nil {
 		return nil, err

@@ -139,6 +139,11 @@ type Database struct {
 	rels    map[string][]*storedFact // per-relation, insertion order
 	arity   map[string]int
 	flagged []FlaggedFact // insertion order, maintained by Add
+
+	// idx caches lazily built hash indexes (see index.go). The zero value
+	// is an empty cache, so the copy-on-write constructors below leave it
+	// out of their struct literals and every copy starts cold.
+	idx indexCache
 }
 
 // New returns an empty database.

@@ -1,0 +1,107 @@
+package db
+
+import "sync"
+
+// RelIndex is a hash index over the facts of one relation, keyed by the
+// argument values at a fixed tuple of positions. Buckets preserve insertion
+// order, so index-driven evaluation visits facts in exactly the order a full
+// relation scan would. A RelIndex is a snapshot: it reflects the facts
+// present when Index returned it (databases are append-only, so a snapshot
+// is never wrong about the facts it contains).
+type RelIndex struct {
+	positions []int
+	buckets   map[string][]Fact
+}
+
+// indexCache is the per-database cache of lazily built RelIndexes. The zero
+// value is ready to use, which is what gives the copy-on-write constructors
+// (Clone, WithoutRelation, Restrict, ...) a fresh empty cache for free.
+type indexCache struct {
+	mu sync.Mutex
+	m  map[string]*cachedIndex
+}
+
+type cachedIndex struct {
+	n   int // relation fact count at build time; append-only ⇒ staleness test
+	idx *RelIndex
+}
+
+// indexKey renders the cache key for (rel, positions). Arities are tiny, so
+// one byte per position is always enough.
+func indexKey(rel string, positions []int) string {
+	b := make([]byte, 0, len(rel)+1+len(positions))
+	b = append(b, rel...)
+	b = append(b, 0)
+	for _, p := range positions {
+		b = append(b, byte(p))
+	}
+	return string(b)
+}
+
+// Index returns a hash index over rel keyed by the argument values at the
+// given positions, building and caching it on first use. Positions must be
+// valid argument indices for the relation's arity; they need not be sorted
+// but the same tuple should be passed in the same order to hit the cache.
+// The index reflects the facts present at call time; facts added later are
+// invisible to the returned handle (the cache rebuilds automatically on the
+// next Index call once the relation has grown).
+func (d *Database) Index(rel string, positions []int) *RelIndex {
+	sfs := d.rels[rel]
+	d.idx.mu.Lock()
+	defer d.idx.mu.Unlock()
+	key := indexKey(rel, positions)
+	if d.idx.m == nil {
+		d.idx.m = make(map[string]*cachedIndex)
+	}
+	if c, ok := d.idx.m[key]; ok && c.n == len(sfs) {
+		return c.idx
+	}
+	idx := &RelIndex{
+		positions: append([]int(nil), positions...),
+		buckets:   make(map[string][]Fact, len(sfs)),
+	}
+	var buf []byte
+	for _, sf := range sfs {
+		buf = buf[:0]
+		for i, p := range positions {
+			if i > 0 {
+				buf = append(buf, 0)
+			}
+			buf = append(buf, sf.fact.Args[p]...)
+		}
+		idx.buckets[string(buf)] = append(idx.buckets[string(buf)], sf.fact)
+	}
+	d.idx.m[key] = &cachedIndex{n: len(sfs), idx: idx}
+	return idx
+}
+
+// Lookup returns the facts whose arguments at the index's positions equal
+// vals (aligned with the positions passed to Index), in insertion order.
+// The returned slice is shared with the index and must not be mutated.
+// scratch, if non-nil, is reused as the probe-key buffer so warm lookups
+// allocate nothing; pass the returned buffer back on the next call.
+func (x *RelIndex) Lookup(vals []Const, scratch []byte) ([]Fact, []byte) {
+	scratch = scratch[:0]
+	for i, v := range vals {
+		if i > 0 {
+			scratch = append(scratch, 0)
+		}
+		scratch = append(scratch, v...)
+	}
+	return x.buckets[string(scratch)], scratch
+}
+
+// LookupKey is Lookup for a probe key already rendered by a previous Lookup
+// (or by joining the values with NUL bytes); it exists for callers that
+// build keys incrementally.
+func (x *RelIndex) LookupKey(key []byte) []Fact {
+	return x.buckets[string(key)]
+}
+
+// Positions returns the argument positions the index is keyed on. The
+// returned slice is shared and must not be mutated.
+func (x *RelIndex) Positions() []int { return x.positions }
+
+// RelationSize returns the number of facts of rel without copying them
+// (RelationFacts copies; the planners only need the count).
+func (d *Database) RelationSize(rel string) int { return len(d.rels[rel]) }

@@ -3,6 +3,7 @@ package numeric
 import (
 	"math/big"
 	"math/bits"
+	"sync"
 
 	"repro/internal/combinat"
 )
@@ -64,6 +65,48 @@ type acc192 struct {
 	w0, w1, w2 uint64
 }
 
+// The wide-accumulator scratch of the convolution kernels is recycled
+// through sync.Pools: accumulators are dead once the minimal-representation
+// result is extracted, yet on Prepare/Apply-heavy paths they were among the
+// largest allocation sites (one O(n) array per convolution). Only the
+// scratch is pooled — result slices always escape into immutable Vecs and
+// are never recycled. Pooled memory is dirty, so it is cleared on the way
+// out of the pool; an O(n) clear ahead of an O(n²) accumulation. The scalar
+// reference kernels (ops_scalar.go) stay pool-free on purpose: they are the
+// differential baseline the pooled paths are checked against.
+var (
+	acc192Pool = sync.Pool{New: func() any { return new([]acc192) }}
+	acc320Pool = sync.Pool{New: func() any { return new([]acc320) }}
+)
+
+// getAcc192 returns a zeroed accumulator array of length n.
+func getAcc192(n int) *[]acc192 {
+	p := acc192Pool.Get().(*[]acc192)
+	if cap(*p) < n {
+		*p = make([]acc192, n)
+		return p
+	}
+	*p = (*p)[:n]
+	clear(*p)
+	return p
+}
+
+func putAcc192(p *[]acc192) { acc192Pool.Put(p) }
+
+// getAcc320 returns a zeroed accumulator array of length n.
+func getAcc320(n int) *[]acc320 {
+	p := acc320Pool.Get().(*[]acc320)
+	if cap(*p) < n {
+		*p = make([]acc320, n)
+		return p
+	}
+	*p = (*p)[:n]
+	clear(*p)
+	return p
+}
+
+func putAcc320(p *[]acc320) { acc320Pool.Put(p) }
+
 // convolveU64 first attempts the common case — the result also fits
 // machine words — in a single pass with one output allocation; any
 // overflow restarts on the wide accumulator path (rare: it happens once
@@ -122,7 +165,9 @@ func add192(p *acc192, hi, lo uint64) {
 // convolveU64 (the four accumulation slots per step are distinct, so the
 // carry chains are independent).
 func convolveU64Wide(a, b []uint64) Vec {
-	acc := make([]acc192, len(a)+len(b)-1)
+	accP := getAcc192(len(a) + len(b) - 1)
+	defer putAcc192(accP)
+	acc := *accP
 	for i, ai := range a {
 		if ai == 0 {
 			continue
@@ -195,7 +240,9 @@ type acc320 struct {
 // accumulate the exact 256-bit products into exact 320-bit slots, and
 // exact sums do not depend on accumulation order.
 func convolveU128(a, b []Uint128) Vec {
-	acc := make([]acc320, len(a)+len(b)-1)
+	accP := getAcc320(len(a) + len(b) - 1)
+	defer putAcc320(accP)
+	acc := *accP
 	for i := range a {
 		ai := a[i]
 		if ai.isZero() {

@@ -54,7 +54,25 @@ func (q *CQ) ForEachHomomorphism(d *db.Database, fn func(Binding) bool) {
 			return
 		}
 	}
-	search(d, q, plan, 0, make(Binding), fn)
+	attachIndexes(d, q, plan)
+	var scratch []byte
+	search(d, q, plan, 0, make(Binding), &scratch, fn)
+}
+
+// ForEachHomomorphismScan is ForEachHomomorphism with index attachment
+// disabled: every join step falls back to the full relation scan. It is the
+// differential reference for the index-probing evaluator (the fuzz suite
+// pins both on random queries) and the baseline for its ablation benchmark;
+// results and their order are identical.
+func (q *CQ) ForEachHomomorphismScan(d *db.Database, fn func(Binding) bool) {
+	plan := planAtoms(q, d)
+	for _, i := range q.Negative() {
+		if q.Atoms[i].IsGround() && d.Contains(q.Atoms[i].GroundFact()) {
+			return
+		}
+	}
+	var scratch []byte
+	search(d, q, plan, 0, make(Binding), &scratch, fn)
 }
 
 // ForEachHomomorphismOrdered is ForEachHomomorphism with the positive atoms
@@ -67,7 +85,9 @@ func (q *CQ) ForEachHomomorphismOrdered(d *db.Database, fn func(Binding) bool) {
 			return
 		}
 	}
-	search(d, q, plan, 0, make(Binding), fn)
+	attachIndexes(d, q, plan)
+	var scratch []byte
+	search(d, q, plan, 0, make(Binding), &scratch, fn)
 }
 
 // planAtomsOrdered schedules positive atoms in declaration order, with
@@ -77,10 +97,10 @@ func planAtomsOrdered(q *CQ) []planStep {
 	negDone := make(map[int]bool)
 	var steps []planStep
 	for _, i := range q.Positive() {
+		step := planStep{atom: i, probePos: boundPositions(q.Atoms[i], bound)}
 		for _, x := range q.Atoms[i].Vars() {
 			bound[x] = true
 		}
-		step := planStep{atom: i}
 		for _, j := range q.Negative() {
 			if negDone[j] || q.Atoms[j].IsGround() {
 				continue
@@ -126,8 +146,48 @@ func (q *CQ) Answers(d *db.Database) [][]db.Const {
 // planStep is one positive atom to join, plus the negated atoms that become
 // fully bound right after it.
 type planStep struct {
-	atom     int   // index into q.Atoms (positive)
-	negAfter []int // indices of negated atoms checkable after this step
+	atom     int          // index into q.Atoms (positive)
+	negAfter []int        // indices of negated atoms checkable after this step
+	probePos []int        // argument positions bound before this step (constants included)
+	idx      *db.RelIndex // hash index over probePos; nil when the step scans
+}
+
+// boundPositions returns the argument positions of a whose value is known
+// before the step runs: constants, and variables bound by earlier steps.
+// These are exactly the positions an index probe can key on.
+func boundPositions(a Atom, bound map[string]bool) []int {
+	var out []int
+	for i, t := range a.Args {
+		if !t.IsVar() || bound[t.Var] {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// indexMinSize is the relation size below which a plan step keeps the plain
+// scan: building a hash index costs about one scan, so tiny relations never
+// win it back (across evaluations the per-database index cache amortizes the
+// build, but tiny scans are cheap anyway).
+const indexMinSize = 8
+
+// attachIndexes resolves a hash index for every plan step that has at least
+// one argument position bound before the step runs and a relation large
+// enough to be worth it. Index buckets preserve insertion order, and the
+// facts a probe skips are exactly those unify would reject on a bound
+// position, so the homomorphisms and their order are identical to the scan.
+func attachIndexes(d *db.Database, q *CQ, plan []planStep) {
+	for i := range plan {
+		step := &plan[i]
+		if len(step.probePos) == 0 {
+			continue
+		}
+		rel := q.Atoms[step.atom].Rel
+		if d.RelationSize(rel) < indexMinSize {
+			continue
+		}
+		step.idx = d.Index(rel, step.probePos)
+	}
 }
 
 // planAtoms orders the positive atoms greedily: start with the smallest
@@ -166,10 +226,10 @@ func planAtoms(q *CQ, d *db.Database) []planStep {
 			}
 		}
 		used[best] = true
+		step := planStep{atom: best, probePos: boundPositions(q.Atoms[best], bound)}
 		for _, x := range q.Atoms[best].Vars() {
 			bound[x] = true
 		}
-		step := planStep{atom: best}
 		for _, j := range neg {
 			if negDone[j] || q.Atoms[j].IsGround() {
 				continue
@@ -193,13 +253,35 @@ func planAtoms(q *CQ, d *db.Database) []planStep {
 }
 
 // search performs the backtracking join over the planned positive atoms.
-func search(d *db.Database, q *CQ, plan []planStep, depth int, env Binding, fn func(Binding) bool) bool {
+// Steps with an attached index probe only the matching hash bucket (keyed by
+// the already-bound argument values); the rest scan the relation. scratch is
+// the shared probe-key buffer, reused across the whole search so warm probes
+// allocate nothing.
+func search(d *db.Database, q *CQ, plan []planStep, depth int, env Binding, scratch *[]byte, fn func(Binding) bool) bool {
 	if depth == len(plan) {
 		return fn(env.clone())
 	}
 	step := plan[depth]
 	atom := q.Atoms[step.atom]
-	for _, f := range d.RelationFacts(atom.Rel) {
+	var facts []db.Fact
+	if step.idx != nil {
+		buf := (*scratch)[:0]
+		for i, p := range step.probePos {
+			if i > 0 {
+				buf = append(buf, 0)
+			}
+			if t := atom.Args[p]; t.IsVar() {
+				buf = append(buf, env[t.Var]...)
+			} else {
+				buf = append(buf, t.Const...)
+			}
+		}
+		*scratch = buf
+		facts = step.idx.LookupKey(buf)
+	} else {
+		facts = d.RelationFacts(atom.Rel)
+	}
+	for _, f := range facts {
 		newVars, ok := unify(atom, f, env)
 		if !ok {
 			continue
@@ -212,7 +294,7 @@ func search(d *db.Database, q *CQ, plan []planStep, depth int, env Binding, fn f
 			}
 		}
 		if !violated {
-			if !search(d, q, plan, depth+1, env, fn) {
+			if !search(d, q, plan, depth+1, env, scratch, fn) {
 				for _, x := range newVars {
 					delete(env, x)
 				}

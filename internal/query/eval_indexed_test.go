@@ -1,0 +1,151 @@
+package query_test
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/db"
+	"repro/internal/query"
+	"repro/internal/workload"
+)
+
+// This file fuzzes the index-probing join evaluator against its scan
+// reference on workload.RandomCQ queries. It lives in the external test
+// package because workload imports query. Instance sizes straddle
+// indexMinSize so both the probe and the scan arm of every plan step run.
+
+// bindingTrace renders one homomorphism deterministically.
+func bindingTrace(q *query.CQ, b query.Binding) string {
+	var sb strings.Builder
+	for _, x := range q.Vars() {
+		fmt.Fprintf(&sb, "%s=%s;", x, b[x])
+	}
+	return sb.String()
+}
+
+func randomDB(rng *rand.Rand, q *query.CQ, domSize, perRel int) *db.Database {
+	d := db.New()
+	dom := make([]db.Const, domSize)
+	for i := range dom {
+		dom[i] = db.Const(fmt.Sprintf("c%d", i))
+	}
+	// Constants of the query occasionally land in the data too.
+	for _, a := range q.Atoms {
+		for _, tm := range a.Args {
+			if !tm.IsVar() {
+				dom = append(dom, tm.Const)
+			}
+		}
+	}
+	arity := make(map[string]int)
+	for _, a := range q.Atoms {
+		arity[a.Rel] = len(a.Args)
+	}
+	for _, rel := range q.Relations() {
+		n := rng.Intn(perRel + 1)
+		for i := 0; i < n; i++ {
+			args := make([]db.Const, arity[rel])
+			for j := range args {
+				args[j] = dom[rng.Intn(len(dom))]
+			}
+			f := db.Fact{Rel: rel, Args: args}
+			if d.Contains(f) {
+				continue
+			}
+			if rng.Intn(2) == 0 {
+				d.MustAddEndo(f)
+			} else {
+				d.MustAddExo(f)
+			}
+		}
+	}
+	return d
+}
+
+// TestIndexedEvaluatorMatchesScanRandom pins ForEachHomomorphism (hash-index
+// probing) to ForEachHomomorphismScan (full scans) — same homomorphisms, same
+// order — over random queries and instances.
+func TestIndexedEvaluatorMatchesScanRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	cfg := workload.DefaultRandomCQConfig()
+	cfg.MaxAtoms = 5
+	cfg.MaxVars = 4
+	cfg.MaxArity = 3
+	for trial := 0; trial < 400; trial++ {
+		q, _ := workload.RandomCQ(rng, cfg)
+		if q.Validate() != nil {
+			continue
+		}
+		// Sizes straddling the index attachment threshold: small relations
+		// stay on the scan arm, large ones get probed.
+		perRel := []int{3, 12, 40}[trial%3]
+		d := randomDB(rng, q, 2+rng.Intn(3), perRel)
+		var indexed, scanned []string
+		q.ForEachHomomorphism(d, func(b query.Binding) bool {
+			indexed = append(indexed, bindingTrace(q, b))
+			return true
+		})
+		q.ForEachHomomorphismScan(d, func(b query.Binding) bool {
+			scanned = append(scanned, bindingTrace(q, b))
+			return true
+		})
+		if len(indexed) != len(scanned) {
+			t.Fatalf("%s: %d homomorphisms indexed, %d scanned\nDB:\n%s", q, len(indexed), len(scanned), d)
+		}
+		for i := range indexed {
+			if indexed[i] != scanned[i] {
+				t.Fatalf("%s: homomorphism %d differs (order or content): indexed %s, scanned %s\nDB:\n%s",
+					q, i, indexed[i], scanned[i], d)
+			}
+		}
+		// Early termination must agree too.
+		if len(indexed) > 1 {
+			stop := 1 + rng.Intn(len(indexed))
+			var cut []string
+			q.ForEachHomomorphism(d, func(b query.Binding) bool {
+				cut = append(cut, bindingTrace(q, b))
+				return len(cut) < stop
+			})
+			if len(cut) != stop {
+				t.Fatalf("%s: early stop after %d yielded %d homomorphisms", q, stop, len(cut))
+			}
+		}
+	}
+}
+
+// TestIndexedEvaluatorMatchesScanAppendHeavy pins the evaluator pair on a
+// database that grows between evaluations, exercising the index cache's
+// staleness check (indexes are rebuilt append-only).
+func TestIndexedEvaluatorMatchesScanAppendHeavy(t *testing.T) {
+	q := query.MustParse("q() :- R(x, y), S(y, z), !T(x, z)")
+	rng := rand.New(rand.NewSource(59))
+	d := randomDB(rng, q, 4, 30)
+	for round := 0; round < 6; round++ {
+		var indexed, scanned []string
+		q.ForEachHomomorphism(d, func(b query.Binding) bool {
+			indexed = append(indexed, bindingTrace(q, b))
+			return true
+		})
+		q.ForEachHomomorphismScan(d, func(b query.Binding) bool {
+			scanned = append(scanned, bindingTrace(q, b))
+			return true
+		})
+		if len(indexed) != len(scanned) {
+			t.Fatalf("round %d: %d indexed vs %d scanned", round, len(indexed), len(scanned))
+		}
+		for i := range indexed {
+			if indexed[i] != scanned[i] {
+				t.Fatalf("round %d: homomorphism %d differs: %s vs %s", round, i, indexed[i], scanned[i])
+			}
+		}
+		for i := 0; i < 7; i++ {
+			f := db.Fact{Rel: []string{"R", "S", "T"}[rng.Intn(3)],
+				Args: []db.Const{db.Const(fmt.Sprintf("c%d", rng.Intn(4))), db.Const(fmt.Sprintf("c%d", rng.Intn(4)))}}
+			if !d.Contains(f) {
+				d.MustAddExo(f)
+			}
+		}
+	}
+}

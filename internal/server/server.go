@@ -77,6 +77,10 @@ type Options struct {
 	// preparation and PATCH spine rebuilds (core.WithPrepareParallelism):
 	// zero or one builds sequentially, negative means GOMAXPROCS.
 	PrepareParallelism int
+	// PrepareSpawnCost is the cost threshold below which the parallel
+	// builder keeps a subtree inline instead of spawning it
+	// (core.WithSpawnCost); zero keeps the calibrated default.
+	PrepareSpawnCost int
 	// CacheSize is the plan-cache capacity in entries; zero means
 	// DefaultCacheSize.
 	CacheSize int
@@ -434,6 +438,7 @@ func (s *Server) planFor(ctx context.Context, snap dbSnapshot, pq parsedQuery, e
 			core.WithBruteForce(brute),
 			core.WithWorkers(s.opts.Workers),
 			core.WithPrepareParallelism(s.opts.PrepareParallelism),
+			core.WithSpawnCost(s.opts.PrepareSpawnCost),
 		)
 		// Detach the leader's cancellation: joiners waiting on this flight
 		// must not lose their plan because the initiating client hung up.

@@ -133,6 +133,7 @@ func (s *Server) ImportState(ctx context.Context, snap *cluster.Snapshot) (impor
 			core.WithBruteForce(ps.Brute),
 			core.WithWorkers(s.opts.Workers),
 			core.WithPrepareParallelism(s.opts.PrepareParallelism),
+			core.WithSpawnCost(s.opts.PrepareSpawnCost),
 		)
 		t0 := time.Now()
 		plan, perr := eng.ImportPlan(ictx, ps)
